@@ -1,0 +1,58 @@
+// Ablation: per-cycle latency distribution (responsiveness).
+//
+// The paper motivates continuous monitoring with time-critical
+// applications (Section 1): what matters to a client is not only the
+// total CPU time but the worst stall between consistent answers. TMA's
+// cost is spiky — cycles in which many queries recompute from scratch
+// stall everyone — while SMA's skyband maintenance spreads the work
+// evenly. This harness reports the mean and maximum cycle latency.
+
+#include <iostream>
+
+#include "bench/common/harness.h"
+
+namespace topkmon {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  WorkloadSpec base = BaselineSpec(scale);
+  PrintPreamble("Ablation: per-cycle latency (mean vs worst case)",
+                "responsiveness behind the Section 8 CPU-time figures",
+                base);
+
+  TablePrinter table({"dist", "k", "engine", "mean cycle [ms]",
+                      "max cycle [ms]", "max/mean"});
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    for (int k : {20, 100}) {
+      WorkloadSpec spec = base;
+      spec.distribution = dist;
+      spec.k = k;
+      for (EngineKind kind : {EngineKind::kTma, EngineKind::kSma}) {
+        const SimulationReport report = RunEngine(kind, spec);
+        const double mean = 1e3 * report.cycle_seconds.mean();
+        const double max = 1e3 * report.cycle_seconds.max();
+        table.AddRow({DistributionName(dist), TablePrinter::Int(k),
+                      EngineName(kind), TablePrinter::Num(mean, 4),
+                      TablePrinter::Num(max, 4),
+                      TablePrinter::Num(mean > 0 ? max / mean : 0, 3)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  PrintExpectation(
+      "SMA's mean cycle latency is a fraction of TMA's at every setting. "
+      "Both engines spike above their mean when batched recomputations "
+      "hit a cycle — frequently for TMA (any result expiry), rarely for "
+      "SMA (only a skyband refill) — so SMA delivers both lower average "
+      "and more predictable response times.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkmon
+
+int main() { return topkmon::bench::Main(); }

@@ -1,0 +1,76 @@
+// Ablation: Pins-before-Pdel processing order (Section 4.3).
+//
+// TMA processes arrivals before expirations so that an arrival replacing
+// an expiring result record pre-empts the from-scratch recomputation
+// (Figure 8(a)'s discussion). This ablation runs TMA both ways and
+// reports recomputation counts and running time.
+
+#include <iostream>
+
+#include "bench/common/harness.h"
+#include "core/tma_engine.h"
+
+namespace topkmon {
+namespace bench {
+namespace {
+
+SimulationReport RunTma(const WorkloadSpec& spec, bool arrivals_first) {
+  GridEngineOptions opt;
+  opt.dim = spec.dim;
+  opt.window = spec.MakeWindowSpec();
+  opt.arrivals_before_expirations = arrivals_first;
+  TmaEngine engine(opt);
+  Result<SimulationReport> report = RunWorkload(engine, spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(report);
+}
+
+int Main() {
+  const Scale scale = GetScale();
+  WorkloadSpec base = BaselineSpec(scale);
+  PrintPreamble("Ablation: update processing order in TMA",
+                "Section 4.3 of Mouratidis et al., SIGMOD 2006 (\"this is "
+                "the reason for handling Pins before Pdel\")",
+                base);
+
+  TablePrinter table({"dist", "k", "order", "recomputes", "time [s]"});
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    for (int k : {10, 50}) {
+      WorkloadSpec spec = base;
+      spec.distribution = dist;
+      spec.k = k;
+      const SimulationReport pins_first = RunTma(spec, true);
+      const SimulationReport pdel_first = RunTma(spec, false);
+      table.AddRow({DistributionName(dist), TablePrinter::Int(k),
+                    "Pins first",
+                    TablePrinter::Int(static_cast<std::int64_t>(
+                        pins_first.stats.recomputations)),
+                    TablePrinter::Num(pins_first.monitor_seconds, 4)});
+      table.AddRow({DistributionName(dist), TablePrinter::Int(k),
+                    "Pdel first",
+                    TablePrinter::Int(static_cast<std::int64_t>(
+                        pdel_first.stats.recomputations)),
+                    TablePrinter::Num(pdel_first.monitor_seconds, 4)});
+    }
+  }
+  table.Print(std::cout);
+  PrintExpectation(
+      "processing expirations first triggers more from-scratch "
+      "recomputations (an arrival can no longer pre-empt the expiry of "
+      "the result record it evicts). The effect is modest at a 1% "
+      "replacement rate — pre-emption requires the arrival to land in the "
+      "same cycle as the expiry — but it is consistently non-negative, "
+      "which is why Figure 9 fixes the Pins-before-Pdel order.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkmon
+
+int main() { return topkmon::bench::Main(); }

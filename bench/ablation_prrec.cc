@@ -1,0 +1,56 @@
+// Ablation: measured recomputation probability vs the Section 6 bound.
+//
+// The analysis bounds the probability that TMA recomputes a query in a
+// cycle by Prrec <= 1 - (1 - r/N)^k (the probability that at least one of
+// the k current results expires; arrivals replacing expiring records make
+// the true rate lower). SMA's analysis predicts essentially zero
+// recomputations under steady arrivals. This harness measures both
+// engines' empirical rates across k and compares with the bound.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/common/harness.h"
+
+namespace topkmon {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  WorkloadSpec base = BaselineSpec(scale);
+  PrintPreamble("Ablation: recomputation probability vs analytic bound",
+                "Section 6 analysis of Mouratidis et al., SIGMOD 2006",
+                base);
+
+  const double ratio = static_cast<double>(base.arrivals_per_cycle) /
+                       static_cast<double>(base.window_size);
+  TablePrinter table({"k", "bound 1-(1-r/N)^k", "TMA measured",
+                      "SMA measured"});
+  for (int k : {1, 5, 10, 20, 50, 100}) {
+    WorkloadSpec spec = base;
+    spec.k = k;
+    const SimulationReport tma = RunEngine(EngineKind::kTma, spec);
+    const SimulationReport sma = RunEngine(EngineKind::kSma, spec);
+    const double bound = 1.0 - std::pow(1.0 - ratio, k);
+    table.AddRow(
+        {TablePrinter::Int(k), TablePrinter::Num(bound, 4),
+         TablePrinter::Num(tma.stats.RecomputationRate(spec.num_queries),
+                           4),
+         TablePrinter::Num(sma.stats.RecomputationRate(spec.num_queries),
+                           4)});
+  }
+  table.Print(std::cout);
+  PrintExpectation(
+      "TMA's measured rate tracks the analytic estimate and grows with k; "
+      "SMA's rate stays near zero (an order of magnitude below TMA) "
+      "because the skyband absorbs result expirations, matching "
+      "Section 6.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkmon
+
+int main() { return topkmon::bench::Main(); }

@@ -1,0 +1,147 @@
+#include "bench/common/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/brute_force_engine.h"
+#include "core/sma_engine.h"
+#include "core/tma_engine.h"
+#include "tsl/tsl_engine.h"
+
+namespace topkmon {
+namespace bench {
+
+Scale GetScale() {
+  const char* env = std::getenv("TOPKMON_SCALE");
+  if (env == nullptr || std::strcmp(env, "default") == 0) {
+    return Scale::kDefault;
+  }
+  if (std::strcmp(env, "smoke") == 0) return Scale::kSmoke;
+  if (std::strcmp(env, "paper") == 0) return Scale::kPaper;
+  std::fprintf(stderr,
+               "warning: unknown TOPKMON_SCALE '%s', using 'default'\n",
+               env);
+  return Scale::kDefault;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kDefault:
+      return "default";
+    case Scale::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+WorkloadSpec BaselineSpec(Scale scale) {
+  WorkloadSpec spec;
+  spec.dim = 4;
+  spec.distribution = Distribution::kIndependent;
+  spec.window_kind = WindowKind::kCountBased;
+  spec.family = FunctionFamily::kLinear;
+  spec.k = 20;
+  spec.seed = 20060627;  // SIGMOD 2006, day one
+  switch (scale) {
+    case Scale::kSmoke:
+      spec.window_size = 20000;
+      spec.arrivals_per_cycle = 200;
+      spec.num_queries = 20;
+      spec.num_cycles = 10;
+      break;
+    case Scale::kDefault:
+      spec.window_size = 100000;
+      spec.arrivals_per_cycle = 1000;
+      spec.num_queries = 100;
+      spec.num_cycles = 50;
+      break;
+    case Scale::kPaper:
+      spec.window_size = 1000000;
+      spec.arrivals_per_cycle = 10000;
+      spec.num_queries = 1000;
+      spec.num_cycles = 100;
+      break;
+  }
+  return spec;
+}
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kTma:
+      return "TMA";
+    case EngineKind::kSma:
+      return "SMA";
+    case EngineKind::kTsl:
+      return "TSL";
+    case EngineKind::kBrute:
+      return "BRUTE";
+  }
+  return "?";
+}
+
+std::unique_ptr<MonitorEngine> MakeEngine(EngineKind kind,
+                                          const WorkloadSpec& spec,
+                                          std::size_t cell_budget,
+                                          int kmax_override) {
+  switch (kind) {
+    case EngineKind::kTma: {
+      GridEngineOptions opt;
+      opt.dim = spec.dim;
+      opt.window = spec.MakeWindowSpec();
+      opt.cell_budget = cell_budget;
+      return std::make_unique<TmaEngine>(opt);
+    }
+    case EngineKind::kSma: {
+      GridEngineOptions opt;
+      opt.dim = spec.dim;
+      opt.window = spec.MakeWindowSpec();
+      opt.cell_budget = cell_budget;
+      return std::make_unique<SmaEngine>(opt);
+    }
+    case EngineKind::kTsl: {
+      TslOptions opt;
+      opt.dim = spec.dim;
+      opt.window = spec.MakeWindowSpec();
+      opt.kmax_override = kmax_override;
+      return std::make_unique<TslEngine>(opt);
+    }
+    case EngineKind::kBrute:
+      return std::make_unique<BruteForceEngine>(spec.dim,
+                                                spec.MakeWindowSpec());
+  }
+  return nullptr;
+}
+
+SimulationReport RunEngine(EngineKind kind, const WorkloadSpec& spec,
+                           std::size_t cell_budget, int kmax_override) {
+  std::unique_ptr<MonitorEngine> engine =
+      MakeEngine(kind, spec, cell_budget, kmax_override);
+  Result<SimulationReport> report = RunWorkload(*engine, spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench workload failed for %s: %s\n",
+                 EngineName(kind), report.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(report);
+}
+
+void PrintPreamble(const std::string& title, const std::string& paper_ref,
+                   const WorkloadSpec& base) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf(
+      "scale=%s  d=%d N=%zu r=%zu Q=%zu k=%d cycles=%d window=%s\n\n",
+      ScaleName(GetScale()), base.dim, base.window_size,
+      base.arrivals_per_cycle, base.num_queries, base.k, base.num_cycles,
+      base.window_kind == WindowKind::kCountBased ? "count" : "time");
+}
+
+void PrintExpectation(const std::string& note) {
+  std::printf("\npaper shape: %s\n\n", note.c_str());
+}
+
+}  // namespace bench
+}  // namespace topkmon

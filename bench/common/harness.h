@@ -1,0 +1,72 @@
+// Shared scaffolding for the paper-figure benchmark binaries.
+//
+// Every binary under bench/ regenerates one table or figure of the paper
+// (Section 8). Because the original testbed is a 2006-era Pentium and the
+// paper-scale workloads (N up to 5M tuples, Q up to 5K queries) take many
+// minutes per sweep point for the TSL baseline, the benches run a
+// proportionally scaled-down workload by default and accept the
+// TOPKMON_SCALE environment variable:
+//   TOPKMON_SCALE=smoke    tiny workload (seconds; CI smoke run)
+//   TOPKMON_SCALE=default  1/10 of the paper's parameters (the default)
+//   TOPKMON_SCALE=paper    the paper's Table 1 parameters
+// The reproduction target is the *shape* of each figure (who wins, by what
+// factor, where trends bend), not absolute 2006 CPU seconds.
+
+#ifndef TOPKMON_BENCH_COMMON_HARNESS_H_
+#define TOPKMON_BENCH_COMMON_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/simulation.h"
+#include "util/table_printer.h"
+
+namespace topkmon {
+namespace bench {
+
+/// Workload scale selected via TOPKMON_SCALE.
+enum class Scale { kSmoke, kDefault, kPaper };
+
+/// Reads TOPKMON_SCALE (defaults to kDefault; unknown values warn and
+/// fall back).
+Scale GetScale();
+
+const char* ScaleName(Scale scale);
+
+/// The Table 1 defaults at the selected scale: d=4, N, r, Q, k=20,
+/// linear functions, count-based window, 100 (scaled) timestamps.
+WorkloadSpec BaselineSpec(Scale scale);
+
+/// Engines under comparison.
+enum class EngineKind { kTma, kSma, kTsl, kBrute };
+
+const char* EngineName(EngineKind kind);
+
+/// Instantiates an engine for the given workload. `cell_budget` applies to
+/// the grid-based engines (default: the tuned ~12^4 cells of Figure 14);
+/// `kmax_override` applies to TSL (0 = the paper's fine-tuned kmax).
+std::unique_ptr<MonitorEngine> MakeEngine(EngineKind kind,
+                                          const WorkloadSpec& spec,
+                                          std::size_t cell_budget = 20736,
+                                          int kmax_override = 0);
+
+/// Runs `kind` through `spec` and returns the report (aborts with a
+/// diagnostic on Status errors — benches have no recovery path).
+SimulationReport RunEngine(EngineKind kind, const WorkloadSpec& spec,
+                           std::size_t cell_budget = 20736,
+                           int kmax_override = 0);
+
+/// Prints the standard bench preamble: what paper artifact this
+/// reproduces, the scale, and the workload parameters.
+void PrintPreamble(const std::string& title, const std::string& paper_ref,
+                   const WorkloadSpec& base);
+
+/// Prints a closing note (expected qualitative shape from the paper).
+void PrintExpectation(const std::string& note);
+
+}  // namespace bench
+}  // namespace topkmon
+
+#endif  // TOPKMON_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,57 @@
+// Figure 15: CPU time versus data dimensionality d (2..6), IND and ANT.
+//
+// All algorithms degrade with d (more cells processed per computation for
+// TMA/SMA; more sorted lists and TA rounds for TSL). TMA and SMA beat TSL
+// by roughly an order of magnitude, SMA beats TMA, and ANT costs more
+// than IND because the top-k computation must descend through many cells
+// before finding records near the anti-diagonal.
+
+#include <iostream>
+
+#include "bench/common/harness.h"
+
+namespace topkmon {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  WorkloadSpec base = BaselineSpec(scale);
+  PrintPreamble("Figure 15: CPU time vs dimensionality",
+                "Figure 15(a)+(b) of Mouratidis et al., SIGMOD 2006", base);
+
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    std::printf("--- %s ---\n", DistributionName(dist));
+    TablePrinter table(
+        {"d", "TSL [s]", "TMA [s]", "SMA [s]", "TSL/SMA", "TMA/SMA"});
+    for (int d = 2; d <= 6; ++d) {
+      WorkloadSpec spec = base;
+      spec.dim = d;
+      spec.distribution = dist;
+      const SimulationReport tsl = RunEngine(EngineKind::kTsl, spec);
+      const SimulationReport tma = RunEngine(EngineKind::kTma, spec);
+      const SimulationReport sma = RunEngine(EngineKind::kSma, spec);
+      table.AddRow(
+          {TablePrinter::Int(d), TablePrinter::Num(tsl.monitor_seconds, 4),
+           TablePrinter::Num(tma.monitor_seconds, 4),
+           TablePrinter::Num(sma.monitor_seconds, 4),
+           TablePrinter::Num(tsl.monitor_seconds / sma.monitor_seconds, 3),
+           TablePrinter::Num(tma.monitor_seconds / sma.monitor_seconds,
+                             3)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  PrintExpectation(
+      "cost increases with d for every method; TSL >> TMA > SMA "
+      "throughout (TMA/TSL gap of roughly an order of magnitude); ANT "
+      "more expensive than IND.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkmon
+
+int main() { return topkmon::bench::Main(); }

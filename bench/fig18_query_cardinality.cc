@@ -1,0 +1,56 @@
+// Figure 18: CPU time versus query cardinality Q (100 .. 5K), IND and ANT.
+//
+// Running time scales linearly with Q for all methods; the relative
+// ordering (TSL >> TMA > SMA) is unchanged.
+
+#include <iostream>
+
+#include "bench/common/harness.h"
+
+namespace topkmon {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  WorkloadSpec base = BaselineSpec(scale);
+  PrintPreamble("Figure 18: CPU time vs number of queries",
+                "Figure 18(a)+(b) of Mouratidis et al., SIGMOD 2006", base);
+
+  // Paper Q values relative to the default 1K: 0.1x, 0.5x, 1x, 2x, 5x.
+  const std::vector<double> q_multipliers = {0.1, 0.5, 1.0, 2.0, 5.0};
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    std::printf("--- %s ---\n", DistributionName(dist));
+    TablePrinter table({"Q", "TSL [s]", "TMA [s]", "SMA [s]", "TSL/SMA"});
+    for (double mult : q_multipliers) {
+      WorkloadSpec spec = base;
+      spec.distribution = dist;
+      spec.num_queries = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 mult * static_cast<double>(base.num_queries)));
+      const SimulationReport tsl = RunEngine(EngineKind::kTsl, spec);
+      const SimulationReport tma = RunEngine(EngineKind::kTma, spec);
+      const SimulationReport sma = RunEngine(EngineKind::kSma, spec);
+      table.AddRow(
+          {TablePrinter::Int(static_cast<std::int64_t>(spec.num_queries)),
+           TablePrinter::Num(tsl.monitor_seconds, 4),
+           TablePrinter::Num(tma.monitor_seconds, 4),
+           TablePrinter::Num(sma.monitor_seconds, 4),
+           TablePrinter::Num(tsl.monitor_seconds / sma.monitor_seconds,
+                             3)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  PrintExpectation(
+      "near-linear growth in Q for every method; relative performance "
+      "unchanged (TSL >> TMA > SMA).");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkmon
+
+int main() { return topkmon::bench::Main(); }

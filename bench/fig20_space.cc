@@ -1,0 +1,68 @@
+// Figure 20: space requirements versus k, IND and ANT.
+//
+// TSL pays for d extra sorted lists over the whole window; TMA and SMA
+// pay for the grid plus per-cell book-keeping. All methods grow with k
+// (bigger result lists / views and larger influence lists), and SMA sits
+// slightly above TMA (skybands store dominance counters and a few extra
+// entries).
+
+#include <iostream>
+
+#include "bench/common/harness.h"
+
+namespace topkmon {
+namespace bench {
+namespace {
+
+int Main() {
+  const Scale scale = GetScale();
+  WorkloadSpec base = BaselineSpec(scale);
+  // Space stabilizes quickly; fewer cycles keep the bench fast.
+  base.num_cycles = std::max(5, base.num_cycles / 5);
+  PrintPreamble("Figure 20: space requirements vs k",
+                "Figure 20(a)+(b) of Mouratidis et al., SIGMOD 2006", base);
+
+  const std::vector<int> ks = {1, 5, 10, 20, 50, 100};
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    std::printf("--- %s ---\n", DistributionName(dist));
+    TablePrinter table({"k", "TSL [MiB]", "TMA [MiB]", "SMA [MiB]",
+                        "TSL sorted lists [MiB]", "TMA+SMA grid [MiB]"});
+    for (int k : ks) {
+      WorkloadSpec spec = base;
+      spec.distribution = dist;
+      spec.k = k;
+      const SimulationReport tsl = RunEngine(EngineKind::kTsl, spec);
+      const SimulationReport tma = RunEngine(EngineKind::kTma, spec);
+      const SimulationReport sma = RunEngine(EngineKind::kSma, spec);
+      const double grid_mib =
+          static_cast<double>(tma.memory.Bytes("grid_directory") +
+                              tma.memory.Bytes("point_lists") +
+                              tma.memory.Bytes("influence_lists")) /
+          (1024.0 * 1024.0);
+      table.AddRow(
+          {TablePrinter::Int(k),
+           TablePrinter::Num(tsl.memory.TotalMiB(), 4),
+           TablePrinter::Num(tma.memory.TotalMiB(), 4),
+           TablePrinter::Num(sma.memory.TotalMiB(), 4),
+           TablePrinter::Num(static_cast<double>(tsl.memory.Bytes(
+                                 "sorted_lists")) /
+                                 (1024.0 * 1024.0),
+                             4),
+           TablePrinter::Num(grid_mib, 4)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  PrintExpectation(
+      "TSL consumes the most space (d sorted lists over the window); TMA "
+      "and SMA grow mildly with k (influence lists + result state) with "
+      "SMA slightly above TMA.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkmon
+
+int main() { return topkmon::bench::Main(); }

@@ -1,0 +1,139 @@
+// Stock-ticker leaderboard — "stock market trading" from the paper's
+// application list (Section 1), exercising time-based windows, multiple
+// preference functions and query churn.
+//
+// Trades stream in with attributes (normalized to [0,1]):
+//   x1 = trade volume, x2 = price momentum, x3 = volatility.
+// Three leaderboards run concurrently over the last 30 seconds:
+//   * "whales"    — top-5 by volume;
+//   * "momentum"  — top-5 by momentum-weighted volume (product function);
+//   * "quiet"     — top-5 large-volume LOW-volatility trades (mixed
+//     monotonicity: volatility enters with a negative weight).
+// Midway, a trader retires the momentum board and registers a
+// sum-of-squares "breakout" board instead, demonstrating query churn.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/tma_engine.h"
+#include "util/rng.h"
+
+using namespace topkmon;
+
+namespace {
+
+const char* kSymbols[] = {"AAA", "BBB", "CCC", "DDD", "EEE",
+                          "FFF", "GGG", "HHH"};
+
+struct Trade {
+  Record record;
+  std::string symbol;
+};
+
+struct TradeFeed {
+  Rng rng{7};
+  RecordId next_id = 0;
+
+  Trade Next(Timestamp now) {
+    Trade t;
+    const std::size_t sym = rng.UniformInt(std::size(kSymbols));
+    // Symbols have different volume/volatility profiles.
+    const double vol_center = 0.2 + 0.08 * static_cast<double>(sym);
+    Point x(3);
+    x[0] = std::clamp(rng.Gaussian(vol_center, 0.2), 0.0, 1.0);
+    x[1] = std::clamp(rng.Gaussian(0.5, 0.22), 0.0, 1.0);
+    x[2] = std::clamp(rng.Gaussian(0.3 + 0.05 * static_cast<double>(sym),
+                                   0.18),
+                      0.0, 1.0);
+    t.record = Record(next_id++, x, now);
+    t.symbol = kSymbols[sym];
+    return t;
+  }
+};
+
+void PrintBoard(const char* name, const TmaEngine& engine, QueryId id,
+                const std::vector<std::string>& symbols) {
+  const auto result = engine.CurrentResult(id);
+  if (!result.ok()) return;
+  std::printf("  %-9s:", name);
+  for (const ResultEntry& e : *result) {
+    std::printf(" %s(%.3f)", symbols[static_cast<std::size_t>(e.id)].c_str(),
+                e.score);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  GridEngineOptions options;
+  options.dim = 3;
+  options.window = WindowSpec::Time(30);  // last 30 seconds
+  TmaEngine engine(options);
+
+  QuerySpec whales;
+  whales.id = 1;
+  whales.k = 5;
+  whales.function = std::make_shared<LinearFunction>(
+      std::vector<double>{1.0, 0.0, 0.0});
+  QuerySpec momentum;
+  momentum.id = 2;
+  momentum.k = 5;
+  momentum.function = std::make_shared<ProductFunction>(
+      std::vector<double>{0.2, 0.05, 1.0});
+  QuerySpec quiet;
+  quiet.id = 3;
+  quiet.k = 5;
+  quiet.function = std::make_shared<LinearFunction>(
+      std::vector<double>{1.0, 0.0, -0.8});
+  for (const QuerySpec* q : {&whales, &momentum, &quiet}) {
+    if (Status st = engine.RegisterQuery(*q); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  TradeFeed feed;
+  std::vector<std::string> symbols;  // record id -> symbol
+  for (Timestamp second = 1; second <= 60; ++second) {
+    std::vector<Record> batch;
+    for (int i = 0; i < 400; ++i) {
+      Trade t = feed.Next(second);
+      symbols.push_back(t.symbol);
+      batch.push_back(t.record);
+    }
+    if (Status st = engine.ProcessCycle(second, batch); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (second == 30) {
+      // Query churn: retire "momentum", launch "breakout".
+      if (Status st = engine.UnregisterQuery(momentum.id); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      QuerySpec breakout;
+      breakout.id = 4;
+      breakout.k = 5;
+      breakout.function = std::make_shared<SumOfSquaresFunction>(
+          std::vector<double>{0.4, 1.0, 0.3});
+      if (Status st = engine.RegisterQuery(breakout); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("t=%llds: retired 'momentum', registered 'breakout'\n",
+                  static_cast<long long>(second));
+    }
+    if (second % 10 == 0) {
+      std::printf("t=%llds, window=%zu trades\n",
+                  static_cast<long long>(second), engine.WindowSize());
+      PrintBoard("whales", engine, whales.id, symbols);
+      PrintBoard("momentum", engine, momentum.id, symbols);
+      PrintBoard("quiet", engine, quiet.id, symbols);
+      PrintBoard("breakout", engine, 4, symbols);
+    }
+  }
+  std::printf("\nengine stats: %s\n", engine.stats().ToString().c_str());
+  return 0;
+}

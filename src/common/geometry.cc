@@ -1,0 +1,73 @@
+#include "common/geometry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace topkmon {
+
+bool Point::InUnitSpace() const {
+  for (int i = 0; i < dim_; ++i) {
+    if (!std::isfinite(x_[i]) || x_[i] < 0.0 || x_[i] > 1.0) return false;
+  }
+  return true;
+}
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (int i = 0; i < dim_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.4f", x_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+Rect Rect::UnitSpace(int dim) {
+  Point lo(dim);
+  Point hi(dim);
+  for (int i = 0; i < dim; ++i) hi[i] = 1.0;
+  return Rect(lo, hi);
+}
+
+bool Rect::Contains(const Point& p) const {
+  assert(p.dim() == dim_);
+  for (int i = 0; i < dim_; ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  assert(other.dim() == dim_);
+  for (int i = 0; i < dim_; ++i) {
+    if (hi_[i] < other.lo_[i] || other.hi_[i] < lo_[i]) return false;
+  }
+  return true;
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (int i = 0; i < dim_; ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+std::string Rect::ToString() const {
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+Status ValidatePoint(const Point& p, int expected_dim) {
+  if (p.dim() != expected_dim) {
+    return Status::InvalidArgument("point has dimensionality " +
+                                   std::to_string(p.dim()) + ", expected " +
+                                   std::to_string(expected_dim));
+  }
+  if (!p.InUnitSpace()) {
+    return Status::OutOfRange("point " + p.ToString() +
+                              " outside unit workspace");
+  }
+  return Status::Ok();
+}
+
+}  // namespace topkmon

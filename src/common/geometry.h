@@ -1,0 +1,113 @@
+// Geometric primitives for the unit workspace.
+//
+// The paper (Section 3) models each record as a point in the d-dimensional
+// unit space [0,1]^d. Points use a fixed-capacity inline array so that the
+// hot maintenance path never allocates.
+
+#ifndef TOPKMON_COMMON_GEOMETRY_H_
+#define TOPKMON_COMMON_GEOMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/status.h"
+
+namespace topkmon {
+
+/// Maximum supported dimensionality. The paper evaluates d in [2, 6]; we
+/// leave headroom for experimentation.
+inline constexpr int kMaxDims = 8;
+
+/// A point in [0,1]^d with inline storage (no heap allocation).
+///
+/// Only the first `dim()` coordinates are meaningful; the remainder are
+/// zero-initialized so that equality and hashing are well-defined.
+class Point {
+ public:
+  Point() : dim_(0), x_{} {}
+
+  /// Creates a `dim`-dimensional origin point (all coordinates zero).
+  explicit Point(int dim) : dim_(dim), x_{} { assert(dim >= 0 && dim <= kMaxDims); }
+
+  /// Creates a point from an explicit coordinate list, e.g. Point({0.3, 0.7}).
+  Point(std::initializer_list<double> coords) : dim_(0), x_{} {
+    assert(static_cast<int>(coords.size()) <= kMaxDims);
+    for (double c : coords) x_[dim_++] = c;
+  }
+
+  int dim() const { return dim_; }
+
+  double operator[](int i) const {
+    assert(i >= 0 && i < dim_);
+    return x_[i];
+  }
+  double& operator[](int i) {
+    assert(i >= 0 && i < dim_);
+    return x_[i];
+  }
+
+  const double* data() const { return x_.data(); }
+
+  /// True iff every coordinate lies in [0, 1] and is finite.
+  bool InUnitSpace() const;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.dim_ == b.dim_ && a.x_ == b.x_;
+  }
+
+  /// "(x1, x2, ..., xd)" with 4 decimal places.
+  std::string ToString() const;
+
+ private:
+  int dim_;
+  std::array<double, kMaxDims> x_;
+};
+
+/// An axis-parallel hyper-rectangle [lo, hi] used for grid cells and the
+/// constraint regions of constrained top-k queries (Section 7).
+class Rect {
+ public:
+  Rect() : dim_(0) {}
+
+  /// Constructs the rectangle spanning [lo[i], hi[i]] per dimension.
+  /// Requires lo.dim() == hi.dim() and lo[i] <= hi[i].
+  Rect(const Point& lo, const Point& hi) : dim_(lo.dim()), lo_(lo), hi_(hi) {
+    assert(lo.dim() == hi.dim());
+#ifndef NDEBUG
+    for (int i = 0; i < dim_; ++i) assert(lo[i] <= hi[i]);
+#endif
+  }
+
+  /// The full unit workspace [0,1]^d.
+  static Rect UnitSpace(int dim);
+
+  int dim() const { return dim_; }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  /// True iff `p` lies inside this rectangle (inclusive on all faces).
+  bool Contains(const Point& p) const;
+
+  /// True iff this rectangle and `other` share at least one point.
+  bool Intersects(const Rect& other) const;
+
+  /// Product of side lengths.
+  double Volume() const;
+
+  std::string ToString() const;
+
+ private:
+  int dim_;
+  Point lo_;
+  Point hi_;
+};
+
+/// Validates that a point has dimensionality `expected_dim` and lies in the
+/// unit workspace; returns InvalidArgument / OutOfRange otherwise.
+Status ValidatePoint(const Point& p, int expected_dim);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_COMMON_GEOMETRY_H_

@@ -1,0 +1,45 @@
+// The stream record type.
+//
+// Following Section 4.1 of the paper, a record is the tuple
+// <p.id, p.x1 ... p.xd, p.t>: a unique identifier, d attribute values in
+// the unit workspace, and its arrival time. For time-based windows the
+// expiration instant is `t + window_span`; for count-based windows records
+// expire in strict arrival (FIFO) order.
+
+#ifndef TOPKMON_COMMON_RECORD_H_
+#define TOPKMON_COMMON_RECORD_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/geometry.h"
+
+namespace topkmon {
+
+/// Unique, monotonically increasing record identifier assigned on arrival.
+/// Because ids are assigned in arrival order, comparing ids also compares
+/// arrival (and, in the append-only model, expiration) order.
+using RecordId = std::uint64_t;
+
+/// Sentinel for "no record".
+inline constexpr RecordId kInvalidRecordId =
+    std::numeric_limits<RecordId>::max();
+
+/// Logical timestamp (processing-cycle counter for count-based windows,
+/// wall-clock ticks for time-based windows).
+using Timestamp = std::int64_t;
+
+/// A single stream tuple.
+struct Record {
+  RecordId id = kInvalidRecordId;
+  Point position;          ///< attribute vector in [0,1]^d
+  Timestamp arrival = 0;   ///< arrival timestamp
+
+  Record() = default;
+  Record(RecordId id_in, Point pos, Timestamp arrival_in)
+      : id(id_in), position(std::move(pos)), arrival(arrival_in) {}
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_COMMON_RECORD_H_

@@ -1,0 +1,140 @@
+#include "common/scoring.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace topkmon {
+
+namespace {
+
+std::string FormatTerm(double coeff, const char* fmt, int i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, coeff, i + 1);
+  return buf;
+}
+
+}  // namespace
+
+Point ScoringFunction::BestCorner(const Rect& r) const {
+  assert(r.dim() == dim());
+  Point corner(r.dim());
+  for (int i = 0; i < r.dim(); ++i) {
+    corner[i] =
+        direction(i) == Monotonicity::kIncreasing ? r.hi()[i] : r.lo()[i];
+  }
+  return corner;
+}
+
+Point ScoringFunction::WorstCorner(const Rect& r) const {
+  assert(r.dim() == dim());
+  Point corner(r.dim());
+  for (int i = 0; i < r.dim(); ++i) {
+    corner[i] =
+        direction(i) == Monotonicity::kIncreasing ? r.lo()[i] : r.hi()[i];
+  }
+  return corner;
+}
+
+LinearFunction::LinearFunction(std::vector<double> weights, double bias)
+    : weights_(std::move(weights)), bias_(bias) {
+  assert(!weights_.empty() &&
+         static_cast<int>(weights_.size()) <= kMaxDims);
+}
+
+double LinearFunction::Score(const Point& p) const {
+  assert(p.dim() == dim());
+  double s = bias_;
+  for (int i = 0; i < dim(); ++i) s += weights_[i] * p[i];
+  return s;
+}
+
+std::string LinearFunction::ToString() const {
+  std::string out;
+  if (bias_ != 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f + ", bias_);
+    out += buf;
+  }
+  for (int i = 0; i < dim(); ++i) {
+    if (i > 0) out += " + ";
+    out += FormatTerm(weights_[i], "%.3f*x%d", i);
+  }
+  return out;
+}
+
+ProductFunction::ProductFunction(std::vector<double> offsets)
+    : offsets_(std::move(offsets)) {
+  assert(!offsets_.empty() &&
+         static_cast<int>(offsets_.size()) <= kMaxDims);
+#ifndef NDEBUG
+  for (double a : offsets_) assert(a >= 0.0);
+#endif
+}
+
+double ProductFunction::Score(const Point& p) const {
+  assert(p.dim() == dim());
+  double s = 1.0;
+  for (int i = 0; i < dim(); ++i) s *= offsets_[i] + p[i];
+  return s;
+}
+
+std::string ProductFunction::ToString() const {
+  std::string out;
+  for (int i = 0; i < dim(); ++i) {
+    if (i > 0) out += " * ";
+    out += FormatTerm(offsets_[i], "(%.3f+x%d)", i);
+  }
+  return out;
+}
+
+SumOfSquaresFunction::SumOfSquaresFunction(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  assert(!coeffs_.empty() && static_cast<int>(coeffs_.size()) <= kMaxDims);
+#ifndef NDEBUG
+  for (double a : coeffs_) assert(a >= 0.0);
+#endif
+}
+
+double SumOfSquaresFunction::Score(const Point& p) const {
+  assert(p.dim() == dim());
+  double s = 0.0;
+  for (int i = 0; i < dim(); ++i) s += coeffs_[i] * p[i] * p[i];
+  return s;
+}
+
+std::string SumOfSquaresFunction::ToString() const {
+  std::string out;
+  for (int i = 0; i < dim(); ++i) {
+    if (i > 0) out += " + ";
+    out += FormatTerm(coeffs_[i], "%.3f*x%d^2", i);
+  }
+  return out;
+}
+
+std::unique_ptr<ScoringFunction> MakeRandomFunction(
+    FunctionFamily family, int dim,
+    const std::function<double()>& uniform01) {
+  assert(dim >= 1 && dim <= kMaxDims);
+  std::vector<double> coeffs(dim);
+  for (double& c : coeffs) c = uniform01();
+  switch (family) {
+    case FunctionFamily::kLinear:
+      return std::make_unique<LinearFunction>(std::move(coeffs));
+    case FunctionFamily::kProduct:
+      return std::make_unique<ProductFunction>(std::move(coeffs));
+    case FunctionFamily::kSumOfSquares:
+      return std::make_unique<SumOfSquaresFunction>(std::move(coeffs));
+  }
+  return nullptr;
+}
+
+Result<FunctionFamily> ParseFunctionFamily(const std::string& name) {
+  if (name == "linear") return FunctionFamily::kLinear;
+  if (name == "product") return FunctionFamily::kProduct;
+  if (name == "squares" || name == "sum_of_squares") {
+    return FunctionFamily::kSumOfSquares;
+  }
+  return Status::InvalidArgument("unknown scoring-function family: " + name);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,140 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// The monitoring engines validate external input (records from the wire,
+// query registrations from clients) and surface problems as Status values
+// instead of throwing: stream servers must keep running when a single
+// malformed tuple arrives. Internal hot paths use assertions instead.
+
+#ifndef TOPKMON_COMMON_STATUS_H_
+#define TOPKMON_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace topkmon {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed a value outside the documented domain
+  kNotFound,          ///< referenced entity (query id, record id) is unknown
+  kAlreadyExists,     ///< entity with the same id is already registered
+  kOutOfRange,        ///< coordinate outside the unit workspace
+  kFailedPrecondition,///< operation illegal in the current engine state
+  kUnimplemented,     ///< feature combination not supported (e.g. SMA on
+                      ///< update streams, Section 7 of the paper)
+  kInternal,          ///< invariant violation; indicates a library bug
+};
+
+/// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error indicator with an optional message.
+///
+/// A default-constructed Status is OK. Error statuses carry a StatusCode
+/// plus a free-form message describing the offending input.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A message on an
+  /// OK status is allowed but meaningless.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers mirroring absl::Status.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Result<T>: either a value or an error Status (a minimal absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. `status.ok()` must be
+  /// false; a Result never holds an OK status without a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the enclosing function.
+#define TOPKMON_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::topkmon::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_COMMON_STATUS_H_

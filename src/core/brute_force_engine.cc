@@ -1,0 +1,90 @@
+#include "core/brute_force_engine.h"
+
+#include <algorithm>
+
+namespace topkmon {
+
+BruteForceEngine::BruteForceEngine(int dim, const WindowSpec& window)
+    : dim_(dim),
+      window_(window.kind == WindowKind::kCountBased
+                  ? SlidingWindow::CountBased(window.capacity)
+                  : SlidingWindow::TimeBased(window.span)) {}
+
+Status BruteForceEngine::RegisterQuery(const QuerySpec& spec) {
+  TOPKMON_RETURN_IF_ERROR(spec.Validate(dim_));
+  if (queries_.count(spec.id) > 0) {
+    return Status::AlreadyExists("query id " + std::to_string(spec.id) +
+                                 " already registered");
+  }
+  QueryState state{spec, {}};
+  Recompute(state);
+  ++stats_.initial_computations;
+  delta_.Report(spec.id, last_cycle_, state.result);
+  queries_.emplace(spec.id, std::move(state));
+  return Status::Ok();
+}
+
+Status BruteForceEngine::UnregisterQuery(QueryId id) {
+  if (queries_.erase(id) == 0) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  delta_.Forget(id);
+  return Status::Ok();
+}
+
+Status BruteForceEngine::ProcessCycle(Timestamp now,
+                                      const std::vector<Record>& arrivals) {
+  Stopwatch watch;
+  ++stats_.cycles;
+  for (const Record& p : arrivals) {
+    TOPKMON_RETURN_IF_ERROR(ValidatePoint(p.position, dim_));
+    TOPKMON_RETURN_IF_ERROR(window_.Append(p));
+    ++stats_.arrivals;
+  }
+  stats_.expirations += window_.EvictExpired(now).size();
+  for (auto& [qid, state] : queries_) {
+    Recompute(state);
+    ++stats_.recomputations;
+    delta_.Report(qid, now, state.result);
+  }
+  last_cycle_ = now;
+  stats_.maintenance_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+void BruteForceEngine::Recompute(QueryState& state) {
+  TopKList top(state.spec.k);
+  for (const Record& p : window_) {
+    if (state.spec.constraint.has_value() &&
+        !state.spec.constraint->Contains(p.position)) {
+      continue;
+    }
+    ++stats_.points_scored;
+    top.Consider(p.id, state.spec.function->Score(p.position));
+  }
+  state.result = top.entries();
+}
+
+Result<std::vector<ResultEntry>> BruteForceEngine::CurrentResult(
+    QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  return it->second.result;
+}
+
+MemoryBreakdown BruteForceEngine::Memory() const {
+  MemoryBreakdown mb;
+  mb.Add("window", window_.MemoryBytes());
+  std::size_t query_bytes = 0;
+  for (const auto& [qid, state] : queries_) {
+    query_bytes += sizeof(QueryState) + VectorBytes(state.result);
+  }
+  mb.Add("query_table", query_bytes);
+  return mb;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,57 @@
+// Brute-force reference engine.
+//
+// Recomputes every query by a full scan of the valid records each cycle.
+// It is the correctness oracle for the integration tests (every other
+// engine must match its result score sets cycle-for-cycle) and a
+// no-index baseline datapoint for the benchmarks.
+
+#ifndef TOPKMON_CORE_BRUTE_FORCE_ENGINE_H_
+#define TOPKMON_CORE_BRUTE_FORCE_ENGINE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "stream/sliding_window.h"
+
+namespace topkmon {
+
+/// Full-scan reference implementation of MonitorEngine.
+class BruteForceEngine final : public MonitorEngine {
+ public:
+  BruteForceEngine(int dim, const WindowSpec& window);
+
+  std::string name() const override { return "BRUTE"; }
+  int dim() const override { return dim_; }
+  Status RegisterQuery(const QuerySpec& spec) override;
+  Status UnregisterQuery(QueryId id) override;
+  Status ProcessCycle(Timestamp now,
+                      const std::vector<Record>& arrivals) override;
+  Result<std::vector<ResultEntry>> CurrentResult(QueryId id) const override;
+  void SetDeltaCallback(DeltaCallback callback) override {
+    delta_.SetCallback(std::move(callback));
+  }
+  std::size_t WindowSize() const override { return window_.size(); }
+  const EngineStats& stats() const override { return stats_; }
+  MemoryBreakdown Memory() const override;
+
+ private:
+  struct QueryState {
+    QuerySpec spec;
+    std::vector<ResultEntry> result;
+  };
+
+  void Recompute(QueryState& state);
+
+  int dim_;
+  SlidingWindow window_;
+  std::unordered_map<QueryId, QueryState> queries_;
+  EngineStats stats_;
+  DeltaTracker delta_;
+  Timestamp last_cycle_ = 0;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_BRUTE_FORCE_ENGINE_H_

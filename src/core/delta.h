@@ -1,0 +1,66 @@
+// Result-change reporting ("Report changes to the client", Figures 9/11).
+//
+// Clients of a monitoring server rarely want the full top-k every cycle;
+// they want the delta. DeltaTracker compares each query's current result
+// against the last reported one and invokes a client callback with the
+// entries that entered and left. Tracking is off (and free) until a
+// callback is installed.
+
+#ifndef TOPKMON_CORE_DELTA_H_
+#define TOPKMON_CORE_DELTA_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace topkmon {
+
+/// The change in one query's result since the last report.
+struct ResultDelta {
+  QueryId query = 0;
+  Timestamp when = 0;
+  std::vector<ResultEntry> added;    ///< entries that entered the top-k
+  std::vector<ResultEntry> removed;  ///< entries that left the top-k
+};
+
+/// Client callback; invoked once per query per cycle in which its result
+/// changed (and once at registration with the initial result as `added`).
+using DeltaCallback = std::function<void(const ResultDelta&)>;
+
+/// Per-engine delta bookkeeping. Engines call Report() for every query at
+/// the end of each processing cycle; the tracker diffs by record id and
+/// fires the callback only on actual changes.
+class DeltaTracker {
+ public:
+  /// Installs (or clears, with nullptr) the callback. Installing starts
+  /// reporting from the *next* Report() call, which will treat the
+  /// current result as entirely new.
+  void SetCallback(DeltaCallback callback) {
+    callback_ = std::move(callback);
+    if (!callback_) last_reported_.clear();
+  }
+
+  /// True iff a callback is installed; engines skip all tracking work
+  /// otherwise.
+  bool enabled() const { return static_cast<bool>(callback_); }
+
+  /// Diffs `current` against the last reported result of `query`, fires
+  /// the callback when they differ, and remembers `current`.
+  void Report(QueryId query, Timestamp when,
+              const std::vector<ResultEntry>& current);
+
+  /// Drops the stored state of a terminated query (no callback fired).
+  void Forget(QueryId query) { last_reported_.erase(query); }
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  DeltaCallback callback_;
+  std::unordered_map<QueryId, std::vector<ResultEntry>> last_reported_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_DELTA_H_

@@ -1,0 +1,80 @@
+// Abstract interface of a continuous top-k monitoring engine.
+//
+// All evaluated methods (TMA, SMA, the TSL baseline, and the brute-force
+// reference) implement this interface so that the simulation driver,
+// benchmarks and correctness tests can feed the identical stream to each
+// competitor and compare results cycle-for-cycle.
+
+#ifndef TOPKMON_CORE_ENGINE_H_
+#define TOPKMON_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+#include "core/delta.h"
+#include "core/query.h"
+#include "stream/sliding_window.h"
+#include "util/memory_tracker.h"
+#include "util/stats.h"
+
+namespace topkmon {
+
+/// A continuous top-k monitoring engine.
+///
+/// Lifecycle: construct, RegisterQuery() any number of queries (also
+/// mid-stream), then call ProcessCycle() once per timestamp with that
+/// cycle's arrivals. After every ProcessCycle the engine answers
+/// CurrentResult() for each registered query with its exact top-k set
+/// among the valid records.
+class MonitorEngine {
+ public:
+  virtual ~MonitorEngine() = default;
+
+  /// Engine name for reports ("TMA", "SMA", "TSL", "BRUTE").
+  virtual std::string name() const = 0;
+
+  /// Attribute-space dimensionality.
+  virtual int dim() const = 0;
+
+  /// Registers a query and computes its initial result over the current
+  /// window contents. Fails with AlreadyExists on duplicate ids and
+  /// InvalidArgument on malformed specs.
+  virtual Status RegisterQuery(const QuerySpec& spec) = 0;
+
+  /// Terminates a query and releases its book-keeping (influence-list
+  /// entries, views). NotFound if the id is unknown.
+  virtual Status UnregisterQuery(QueryId id) = 0;
+
+  /// Advances the stream by one processing cycle: admits `arrivals`
+  /// (strictly increasing ids, non-decreasing timestamps), evicts expired
+  /// records, and maintains every registered query's result.
+  virtual Status ProcessCycle(Timestamp now,
+                              const std::vector<Record>& arrivals) = 0;
+
+  /// The query's current top-k set in ResultOrder (may hold fewer than k
+  /// entries when the window has fewer qualifying records).
+  virtual Result<std::vector<ResultEntry>> CurrentResult(
+      QueryId id) const = 0;
+
+  /// Installs a callback receiving per-query result deltas: invoked once
+  /// at registration (the initial result as `added`) and once per cycle
+  /// in which a query's result changed (Figures 9/11: "report changes to
+  /// the client"). Passing nullptr disables reporting; tracking costs
+  /// nothing while disabled.
+  virtual void SetDeltaCallback(DeltaCallback callback) = 0;
+
+  /// Number of currently valid (indexed) records.
+  virtual std::size_t WindowSize() const = 0;
+
+  /// Accumulated maintenance counters.
+  virtual const EngineStats& stats() const = 0;
+
+  /// Structure-size accounting of all engine state.
+  virtual MemoryBreakdown Memory() const = 0;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_ENGINE_H_

@@ -1,0 +1,46 @@
+// Influence-list book-keeping shared by the grid-based engines
+// (Section 4.3).
+//
+// Influence lists are maintained lazily: result improvements (which shrink
+// the influence region) leave stale entries in place, and the entries are
+// reconciled only after a from-scratch top-k computation. The cleanup walk
+// starts from the cells the computation left en-heaped (the frontier, just
+// outside the new influence region) and expands toward lower scores
+// through every cell that still carries the query, removing it. The walk
+// can never re-enter the new influence region — the region is up-closed
+// toward the best corner and the frontier lies strictly below it — so no
+// live entry is ever removed.
+
+#ifndef TOPKMON_CORE_INFLUENCE_H_
+#define TOPKMON_CORE_INFLUENCE_H_
+
+#include <vector>
+
+#include "common/scoring.h"
+#include "grid/cell_traversal.h"
+#include "grid/grid.h"
+
+namespace topkmon {
+
+/// Registers `query` in the influence list of every cell in `cells`
+/// (idempotent; cells typically come from TopKComputation::processed_cells).
+void AddInfluenceEntries(Grid& grid, const std::vector<CellIndex>& cells,
+                         QueryId query);
+
+/// Removes stale influence entries of `query` reachable from the frontier
+/// `seeds` by walking toward decreasing scores through cells that carry
+/// the query (Figure 9, lines 14-21).
+void CleanupStaleInfluence(Grid& grid, const ScoringFunction& f,
+                           const std::vector<CellIndex>& seeds, QueryId query,
+                           TraversalScratch* scratch);
+
+/// Removes every influence entry of `query` (query termination,
+/// Section 4.3): walks from the cell with the globally maximal maxscore —
+/// the best corner of `constraint` when given, of the workspace otherwise.
+void RemoveAllInfluence(Grid& grid, const ScoringFunction& f, QueryId query,
+                        TraversalScratch* scratch,
+                        const Rect* constraint = nullptr);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_INFLUENCE_H_

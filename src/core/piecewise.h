@@ -1,0 +1,80 @@
+// Non-monotone preference functions via piecewise-monotone partitioning.
+//
+// The paper's future-work direction (Section 9): "a function with finite
+// and analytically computable local maxima could be evaluated with a
+// proper partitioning of the space into sub-domains where it is
+// monotone." This header implements exactly that on top of any engine
+// with constrained-query support (TMA, SMA): the caller supplies the
+// partition — a set of axis-parallel sub-domains, each with a monotone
+// function that agrees with the global preference function on that
+// sub-domain — and PiecewiseTopKQuery registers one constrained sub-query
+// per piece and merges their results into the global top-k.
+//
+// Example: f(p) = x2 - |x1 - 0.5| is not monotone in x1, but splits into
+//   piece 1: x1 in [0, 0.5], f = x1 - 0.5 + x2   (increasing, increasing)
+//   piece 2: x1 in [0.5, 1], f = 0.5 - x1 + x2   (decreasing, increasing)
+// Records on a shared boundary may appear in several pieces; the merge
+// deduplicates by record id, so partitions only need to cover the
+// workspace, not to be disjoint.
+
+#ifndef TOPKMON_CORE_PIECEWISE_H_
+#define TOPKMON_CORE_PIECEWISE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+
+namespace topkmon {
+
+/// One monotone piece of a non-monotone preference function: an
+/// axis-parallel sub-domain and a monotone function that equals the
+/// global function inside it.
+struct MonotonePiece {
+  Rect domain;
+  std::shared_ptr<const ScoringFunction> function;
+};
+
+/// A continuous top-k query with a piecewise-monotone preference
+/// function, evaluated as one constrained sub-query per piece.
+///
+/// Sub-queries occupy the id range [base_id, base_id + pieces). The
+/// object is move-only and unregisters its sub-queries via Unregister()
+/// (not automatically: destruction without Unregister leaves them
+/// running, mirroring the raw engine API).
+class PiecewiseTopKQuery {
+ public:
+  /// Registers one constrained top-k sub-query per piece on `engine`.
+  /// Validates that every piece has a function of the engine's
+  /// dimensionality and a domain inside the unit workspace. On failure,
+  /// any sub-queries registered so far are rolled back.
+  static Result<PiecewiseTopKQuery> Register(
+      MonitorEngine* engine, QueryId base_id, int k,
+      std::vector<MonotonePiece> pieces);
+
+  /// The global top-k: the k best entries across all pieces, deduplicated
+  /// by record id (boundary records may be reported by several pieces).
+  Result<std::vector<ResultEntry>> CurrentResult() const;
+
+  /// Terminates all sub-queries.
+  Status Unregister();
+
+  QueryId base_id() const { return base_id_; }
+  int k() const { return k_; }
+  std::size_t num_pieces() const { return num_pieces_; }
+
+ private:
+  PiecewiseTopKQuery(MonitorEngine* engine, QueryId base_id, int k,
+                     std::size_t num_pieces)
+      : engine_(engine), base_id_(base_id), k_(k), num_pieces_(num_pieces) {}
+
+  MonitorEngine* engine_;
+  QueryId base_id_;
+  int k_;
+  std::size_t num_pieces_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_PIECEWISE_H_

@@ -1,0 +1,147 @@
+#include "core/sharded_engine.h"
+
+#include <cassert>
+
+namespace topkmon {
+
+ShardedEngine::ShardedEngine(int num_shards, const EngineFactory& factory) {
+  assert(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(factory());
+    assert(shards_.back() != nullptr);
+  }
+  shard_status_.resize(shards_.size());
+  threads_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    threads_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::string ShardedEngine::name() const {
+  return "SHARDED[" + std::to_string(shards_.size()) + "x" +
+         shards_.front()->name() + "]";
+}
+
+Status ShardedEngine::RegisterQuery(const QuerySpec& spec) {
+  if (query_shard_.count(spec.id) > 0) {
+    return Status::AlreadyExists("query id " + std::to_string(spec.id) +
+                                 " already registered");
+  }
+  const std::size_t shard = next_shard_ % shards_.size();
+  TOPKMON_RETURN_IF_ERROR(shards_[shard]->RegisterQuery(spec));
+  query_shard_.emplace(spec.id, shard);
+  ++next_shard_;
+  return Status::Ok();
+}
+
+Status ShardedEngine::UnregisterQuery(QueryId id) {
+  auto it = query_shard_.find(id);
+  if (it == query_shard_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  TOPKMON_RETURN_IF_ERROR(shards_[it->second]->UnregisterQuery(id));
+  query_shard_.erase(it);
+  return Status::Ok();
+}
+
+Status ShardedEngine::ProcessCycle(Timestamp now,
+                                   const std::vector<Record>& arrivals) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = now;
+    arrivals_ = &arrivals;
+    pending_ = shards_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  // All shards run the same deterministic validation on the same input,
+  // so either all succeed or all fail identically; report the first.
+  for (const Status& st : shard_status_) {
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+void ShardedEngine::WorkerLoop(std::size_t shard_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    Timestamp now;
+    const std::vector<Record>* arrivals;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ > seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      now = now_;
+      arrivals = arrivals_;
+    }
+    const Status st = shards_[shard_index]->ProcessCycle(now, *arrivals);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shard_status_[shard_index] = st;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Result<std::vector<ResultEntry>> ShardedEngine::CurrentResult(
+    QueryId id) const {
+  auto it = query_shard_.find(id);
+  if (it == query_shard_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  return shards_[it->second]->CurrentResult(id);
+}
+
+void ShardedEngine::SetDeltaCallback(DeltaCallback callback) {
+  if (!callback) {
+    for (auto& shard : shards_) shard->SetDeltaCallback(nullptr);
+    return;
+  }
+  // Callbacks fire from worker threads concurrently; serialize them so
+  // the client sees the single-threaded contract.
+  auto mu = delta_mu_;
+  auto serialized = [mu, callback](const ResultDelta& delta) {
+    std::lock_guard<std::mutex> lock(*mu);
+    callback(delta);
+  };
+  for (auto& shard : shards_) shard->SetDeltaCallback(serialized);
+}
+
+const EngineStats& ShardedEngine::stats() const {
+  aggregated_stats_ = EngineStats();
+  for (const auto& shard : shards_) aggregated_stats_ += shard->stats();
+  // Cycles and stream counters are replicated per shard; report the
+  // logical stream numbers, not the sum.
+  const EngineStats& first = shards_.front()->stats();
+  aggregated_stats_.cycles = first.cycles;
+  aggregated_stats_.arrivals = first.arrivals;
+  aggregated_stats_.expirations = first.expirations;
+  return aggregated_stats_;
+}
+
+MemoryBreakdown ShardedEngine::Memory() const {
+  MemoryBreakdown mb;
+  for (const auto& shard : shards_) mb.Merge(shard->Memory());
+  return mb;
+}
+
+}  // namespace topkmon

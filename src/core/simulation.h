@@ -1,0 +1,75 @@
+// Workload construction and simulation driving (Section 8).
+//
+// A WorkloadSpec captures the paper's experimental parameters (Table 1):
+// dimensionality d, window size N, arrival rate r, query count Q, result
+// size k, data distribution, scoring-function family, and the window
+// flavor. RunWorkload() drives one engine through the standard protocol —
+// warm the window up to steady state, register the Q queries, then run
+// the measured monitoring cycles — and reports timings, counters and the
+// memory footprint. Two engines given the same spec consume identical
+// streams and query sets (generators are seeded deterministically), which
+// is what makes cross-engine comparisons and correctness checks exact.
+
+#ifndef TOPKMON_CORE_SIMULATION_H_
+#define TOPKMON_CORE_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/scoring.h"
+#include "core/engine.h"
+#include "stream/generators.h"
+
+namespace topkmon {
+
+/// Experiment parameters (defaults follow Table 1, scaled by the caller).
+struct WorkloadSpec {
+  int dim = 4;                              ///< d
+  Distribution distribution = Distribution::kIndependent;
+  WindowKind window_kind = WindowKind::kCountBased;
+  std::size_t window_size = 100000;         ///< N (count-based)
+  std::size_t arrivals_per_cycle = 1000;    ///< r
+  int num_cycles = 100;                     ///< measured timestamps
+  std::size_t num_queries = 100;            ///< Q
+  int k = 20;
+  FunctionFamily family = FunctionFamily::kLinear;
+  std::uint64_t seed = 42;
+
+  /// Window spec for engine construction. Time-based windows get a span of
+  /// ceil(N / r) cycles so that steady state also holds ~N records.
+  WindowSpec MakeWindowSpec() const;
+
+  /// Number of warm-up cycles needed to reach a full window.
+  int WarmupCycles() const;
+
+  /// The Q random queries of Section 8 (coefficients uniform in [0,1]),
+  /// deterministic in `seed`. Ids are 1..Q.
+  std::vector<QuerySpec> MakeQueries() const;
+};
+
+/// Outcome of driving one engine through a workload.
+struct SimulationReport {
+  std::string engine;
+  double warmup_seconds = 0.0;    ///< window fill (unmeasured in the paper)
+  double register_seconds = 0.0;  ///< initial computation of all queries
+  double monitor_seconds = 0.0;   ///< the paper's "CPU time": the measured
+                                  ///< monitoring cycles
+  RunningStat cycle_seconds;      ///< per-cycle latency distribution —
+                                  ///< max() is the worst stall a client
+                                  ///< observes between consistent results
+  EngineStats stats;              ///< counters accumulated over the run
+  MemoryBreakdown memory;         ///< footprint after the last cycle
+};
+
+/// Drives `engine` through `spec`: warm-up, query registration, then
+/// spec.num_cycles measured cycles of r arrivals each. The engine must be
+/// freshly constructed with spec.MakeWindowSpec() and dimensionality
+/// spec.dim.
+Result<SimulationReport> RunWorkload(MonitorEngine& engine,
+                                     const WorkloadSpec& spec);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_SIMULATION_H_

@@ -1,0 +1,101 @@
+#include "core/skyband.h"
+
+#include <algorithm>
+
+#include "util/os_treap.h"
+
+namespace topkmon {
+
+namespace {
+
+bool SkybandOrder(const SkybandEntry& a, const SkybandEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id > b.id;
+}
+
+}  // namespace
+
+void Skyband::Rebuild(const std::vector<ResultEntry>& result) {
+  entries_.clear();
+  entries_.reserve(result.size());
+  // Process in descending (score, id) order; every id already in the tree
+  // belongs to a record with higher score (or equal score and later
+  // expiry), so the entries preceding `e.id` in expiry order — the ids
+  // greater than e.id — are exactly its dominators (Section 5).
+  OsTreap<RecordId> arrival_tree;
+  for (const ResultEntry& e : result) {
+    SkybandEntry entry;
+    entry.id = e.id;
+    entry.score = e.score;
+    entry.dominance = static_cast<int>(arrival_tree.CountGreater(e.id));
+    arrival_tree.Insert(e.id);
+    entries_.push_back(entry);
+  }
+  assert(std::is_sorted(entries_.begin(), entries_.end(), SkybandOrder));
+}
+
+std::size_t Skyband::Insert(RecordId id, double score) {
+  const SkybandEntry candidate{id, score, 0};
+  auto pos = std::lower_bound(entries_.begin(), entries_.end(), candidate,
+                              SkybandOrder);
+  const std::size_t insert_at = static_cast<std::size_t>(pos - entries_.begin());
+  // Every entry at or after `pos` has score <= `score` (the candidate is
+  // the newest record, so the tie-break also places it first among
+  // equals): increment their dominance counters and evict the ones that
+  // reach k, compacting in a single pass.
+  std::size_t evicted = 0;
+  auto out = pos;
+  for (auto it = pos; it != entries_.end(); ++it) {
+    if (++it->dominance >= k_) {
+      ++evicted;
+      continue;
+    }
+    *out++ = *it;
+  }
+  entries_.erase(out, entries_.end());
+  // The insertion index is unaffected: evictions happened at or after it.
+  entries_.insert(entries_.begin() + static_cast<long>(insert_at), candidate);
+  return evicted;
+}
+
+bool Skyband::Remove(RecordId id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Skyband::Contains(RecordId id) const {
+  for (const SkybandEntry& e : entries_) {
+    if (e.id == id) return true;
+  }
+  return false;
+}
+
+std::vector<ResultEntry> Skyband::TopK() const {
+  const std::size_t n = std::min<std::size_t>(entries_.size(), k_);
+  std::vector<ResultEntry> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ResultEntry{entries_[i].id, entries_[i].score});
+  }
+  return out;
+}
+
+std::vector<RecordId> BruteForceSkyband(
+    const std::vector<ResultEntry>& records, int k) {
+  std::vector<RecordId> out;
+  for (const ResultEntry& p : records) {
+    int dominators = 0;
+    for (const ResultEntry& q : records) {
+      if (q.score >= p.score && q.id > p.id) ++dominators;
+    }
+    if (dominators < k) out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,88 @@
+// k-skyband maintenance in score-time space (Sections 3.1 and 5).
+//
+// Associate each record with the pair (score, expiration time). A record
+// appears in some future top-k result if and only if it belongs to the
+// k-skyband of this 2-D space: it is dominated by fewer than k records
+// that have both a higher score and a later expiry (Figure 2). Because
+// arrival order equals expiration order in the append-only model, the
+// record id doubles as the expiry coordinate.
+//
+// SMA restricts the skyband to the query's influence region: only records
+// scoring at least q.top_score (the kth score at the last from-scratch
+// computation) enter. Each entry carries a dominance counter DC = number
+// of skyband records with higher score that arrived later; an entry whose
+// DC reaches k can never re-enter the top-k and is evicted (Figure 10).
+
+#ifndef TOPKMON_CORE_SKYBAND_H_
+#define TOPKMON_CORE_SKYBAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+
+namespace topkmon {
+
+/// One skyband entry: <p.id, p.score, p.DC> (Section 5).
+struct SkybandEntry {
+  RecordId id = kInvalidRecordId;
+  double score = 0.0;
+  int dominance = 0;  ///< records with higher score arriving after this one
+};
+
+/// The per-query k-skyband of SMA, ordered by descending (score, id).
+/// The first k entries are the query's current top-k result.
+class Skyband {
+ public:
+  explicit Skyband(int k) : k_(k) { assert(k >= 1); }
+
+  int k() const { return k_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Rebuilds the skyband from a fresh top-k computation: the entries
+  /// (given in ResultOrder) become the skyband, and dominance counters are
+  /// derived with an order-statistics tree over arrival order in O(k log k)
+  /// (Section 5's balanced tree BT).
+  void Rebuild(const std::vector<ResultEntry>& result);
+
+  /// Handles the arrival of a record inside the influence region
+  /// (Figure 11, lines 8-11): inserts it with DC = 0, increments the DC of
+  /// every entry with score <= `score`, and evicts entries whose DC
+  /// reaches k. The new record must be the youngest ever inserted
+  /// (append-only stream). Returns the number of evicted entries.
+  std::size_t Insert(RecordId id, double score);
+
+  /// Handles the expiration of a record: removes it if present. The
+  /// expiring record never dominates anything (it has the earliest
+  /// expiry), so no counters change (Figure 11, lines 15-16). Returns true
+  /// iff the record was in the skyband.
+  bool Remove(RecordId id);
+
+  bool Contains(RecordId id) const;
+
+  /// The current top-k result: the first min(k, size) entries.
+  std::vector<ResultEntry> TopK() const;
+
+  /// All entries, best score first.
+  const std::vector<SkybandEntry>& entries() const { return entries_; }
+
+  void Clear() { entries_.clear(); }
+
+  std::size_t MemoryBytes() const { return VectorBytes(entries_); }
+
+ private:
+  int k_;
+  std::vector<SkybandEntry> entries_;
+};
+
+/// Test oracle: the k-skyband of (score, expiry) pairs by O(n^2) dominance
+/// counting. `a` dominates `b` iff a.score >= b.score and a expires
+/// strictly later (a.id > b.id) — the convention of Skyband::Insert, where
+/// equal scores are resolved in favor of the later-expiring record.
+/// Returns the ids of records dominated by at most k-1 others.
+std::vector<RecordId> BruteForceSkyband(
+    const std::vector<ResultEntry>& records, int k);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_SKYBAND_H_

@@ -1,0 +1,78 @@
+// Continuous skyline monitoring over sliding windows.
+//
+// Library extension inspired by the related work the paper builds on
+// (Section 2.2: Lin et al. [20], Tao and Papadias [26]): maintain the
+// skyline — the set of valid records not dominated by any other valid
+// record — continuously over the same sliding-window stream the top-k
+// engines consume. The algorithm mirrors the top-k/skyband reduction of
+// Section 3.1 applied in attribute space:
+//
+//   Keep as *candidates* exactly the valid records that are not strictly
+//   dominated by any later-arriving valid record. Dominated-by-later
+//   records can be discarded immediately: their dominator is better and
+//   expires after them, so they can never (re-)enter the skyline. The
+//   candidate set is precisely the union of the current and all future
+//   skylines absent further arrivals; the current skyline is the subset
+//   of candidates not dominated by another candidate (the latest-arriving
+//   dominator of any candidate is itself a candidate, by transitivity of
+//   dominance).
+//
+// Complexity: an arrival scans the candidate list once (skylines are
+// small — O(log^{d-1} N / (d-1)!) in expectation for independent
+// dimensions); expiration is O(1) (the expiring record can only be the
+// oldest candidate); reading the skyline is O(c^2) over c candidates.
+
+#ifndef TOPKMON_CORE_SKYLINE_MONITOR_H_
+#define TOPKMON_CORE_SKYLINE_MONITOR_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+#include "stream/sliding_window.h"
+#include "util/memory_tracker.h"
+#include "util/stats.h"
+
+namespace topkmon {
+
+/// True iff `a` dominates `b` with all dimensions maximized: a >= b on
+/// every attribute and a > b on at least one (Section 2.2's definition).
+bool Dominates(const Point& a, const Point& b);
+
+/// True iff `a` is at least as good as `b` on every attribute (weak
+/// dominance; equality included).
+bool DominatesOrEquals(const Point& a, const Point& b);
+
+/// Continuous skyline monitor (all attributes maximized).
+class SkylineMonitor {
+ public:
+  /// Monitors the skyline of a `dim`-dimensional stream under `window`.
+  SkylineMonitor(int dim, const WindowSpec& window);
+
+  int dim() const { return dim_; }
+
+  /// Advances the stream one cycle (same contract as MonitorEngine).
+  Status ProcessCycle(Timestamp now, const std::vector<Record>& arrivals);
+
+  /// The current skyline, in arrival order.
+  std::vector<Record> CurrentSkyline() const;
+
+  /// Records retained as candidates (current plus all future skylines
+  /// absent further arrivals).
+  std::size_t CandidateCount() const { return candidates_.size(); }
+  std::size_t WindowSize() const { return window_.size(); }
+
+  const EngineStats& stats() const { return stats_; }
+  MemoryBreakdown Memory() const;
+
+ private:
+  int dim_;
+  SlidingWindow window_;
+  std::deque<Record> candidates_;  ///< arrival order
+  EngineStats stats_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_SKYLINE_MONITOR_H_

@@ -1,0 +1,159 @@
+#include "core/sma_engine.h"
+
+#include "core/influence.h"
+
+namespace topkmon {
+
+namespace {
+
+SlidingWindow MakeWindow(const WindowSpec& spec) {
+  return spec.kind == WindowKind::kCountBased
+             ? SlidingWindow::CountBased(spec.capacity)
+             : SlidingWindow::TimeBased(spec.span);
+}
+
+}  // namespace
+
+SmaEngine::SmaEngine(const GridEngineOptions& options)
+    : grid_(options.dim, options.ResolvedCellsPerAxis()),
+      window_(MakeWindow(options.window)) {}
+
+Status SmaEngine::RegisterQuery(const QuerySpec& spec) {
+  TOPKMON_RETURN_IF_ERROR(spec.Validate(dim()));
+  if (queries_.count(spec.id) > 0) {
+    return Status::AlreadyExists("query id " + std::to_string(spec.id) +
+                                 " already registered");
+  }
+  auto [it, inserted] = queries_.emplace(spec.id, QueryState(spec));
+  ++stats_.initial_computations;
+  RecomputeFromScratch(spec.id, it->second);
+  delta_.Report(spec.id, last_cycle_, it->second.skyband.TopK());
+  return Status::Ok();
+}
+
+Status SmaEngine::UnregisterQuery(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  const QuerySpec& spec = it->second.spec;
+  const Rect* constraint =
+      spec.constraint.has_value() ? &*spec.constraint : nullptr;
+  RemoveAllInfluence(grid_, *spec.function, id, &scratch_, constraint);
+  queries_.erase(it);
+  delta_.Forget(id);
+  return Status::Ok();
+}
+
+Status SmaEngine::ProcessCycle(Timestamp now,
+                               const std::vector<Record>& arrivals) {
+  Stopwatch watch;
+  ++stats_.cycles;
+  // -- Pins (Figure 11, lines 4-11) ----------------------------------------
+  for (const Record& p : arrivals) {
+    TOPKMON_RETURN_IF_ERROR(ValidatePoint(p.position, dim()));
+    TOPKMON_RETURN_IF_ERROR(window_.Append(p));
+    const CellIndex cell = grid_.LocateCell(p.position);
+    grid_.InsertPoint(cell, p.id);
+    ++stats_.arrivals;
+    for (QueryId qid : grid_.InfluenceList(cell)) {
+      QueryState& state = queries_.at(qid);
+      if (state.spec.constraint.has_value() &&
+          !state.spec.constraint->Contains(p.position)) {
+        continue;
+      }
+      ++stats_.points_scored;
+      const double score = state.spec.function->Score(p.position);
+      if (score >= state.top_score) {
+        stats_.skyband_evictions += state.skyband.Insert(p.id, score);
+        ++stats_.skyband_insertions;
+        state.changed = true;
+      }
+    }
+  }
+  // -- Pdel (lines 12-16) ----------------------------------------------------
+  for (const Record& p : window_.EvictExpired(now)) {
+    const CellIndex cell = grid_.LocateCell(p.position);
+    grid_.ErasePointFifo(cell, p.id);
+    ++stats_.expirations;
+    for (QueryId qid : grid_.InfluenceList(cell)) {
+      QueryState& state = queries_.at(qid);
+      // An expiring record found in the skyband is necessarily its
+      // earliest-arrival entry and a member of the current top-k
+      // (Section 5, footnote 5); its removal affects no dominance counter.
+      if (state.skyband.Remove(p.id)) state.changed = true;
+    }
+  }
+  // -- Report / refill (lines 17-22) ----------------------------------------
+  for (auto& [qid, state] : queries_) {
+    if (!state.changed) continue;
+    state.changed = false;
+    ++stats_.result_changes;
+    if (state.skyband.size() < static_cast<std::size_t>(state.spec.k) &&
+        window_.size() > 0) {
+      ++stats_.recomputations;
+      RecomputeFromScratch(qid, state);
+    }
+  }
+  last_cycle_ = now;
+  if (delta_.enabled()) {
+    for (const auto& [qid, state] : queries_) {
+      delta_.Report(qid, now, state.skyband.TopK());
+    }
+  }
+  stats_.maintenance_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+void SmaEngine::RecomputeFromScratch(QueryId id, QueryState& state) {
+  const QuerySpec& spec = state.spec;
+  const Rect* constraint =
+      spec.constraint.has_value() ? &*spec.constraint : nullptr;
+  const TopKComputation computation = ComputeTopK(
+      grid_, *spec.function, spec.k,
+      [this](RecordId rid) -> const Record& { return Lookup(rid); },
+      &scratch_, constraint);
+  stats_.cells_visited += computation.processed_cells.size();
+  stats_.points_scored += computation.points_scored;
+  state.skyband.Rebuild(computation.result);
+  state.top_score = computation.KthScore(spec.k);
+  AddInfluenceEntries(grid_, computation.processed_cells, id);
+  CleanupStaleInfluence(grid_, *spec.function, computation.frontier_cells,
+                        id, &scratch_);
+}
+
+Result<std::vector<ResultEntry>> SmaEngine::CurrentResult(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  return it->second.skyband.TopK();
+}
+
+MemoryBreakdown SmaEngine::Memory() const {
+  MemoryBreakdown mb = grid_.Memory();
+  mb.Add("window", window_.MemoryBytes());
+  std::size_t query_bytes = 0;
+  for (const auto& [qid, state] : queries_) {
+    // O(d + 3k): function parameters plus <id, score, DC> per skyband
+    // entry (Section 6).
+    query_bytes += sizeof(QueryState) + state.skyband.MemoryBytes() +
+                   static_cast<std::size_t>(dim()) * sizeof(double);
+  }
+  mb.Add("query_table", query_bytes);
+  mb.Add("scratch", scratch_.MemoryBytes());
+  return mb;
+}
+
+double SmaEngine::AverageSkybandSize() const {
+  if (queries_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [qid, state] : queries_) {
+    total += static_cast<double>(state.skyband.size());
+  }
+  return total / static_cast<double>(queries_.size());
+}
+
+}  // namespace topkmon

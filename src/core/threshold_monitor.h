@@ -1,0 +1,81 @@
+// Continuous threshold monitoring (Section 7).
+//
+// A threshold query reports, at all times, every valid record whose score
+// exceeds a user-specified threshold. Unlike top-k queries the influence
+// region is static — the iso-score surface at the threshold — so the
+// framework needs no recomputation ever: the initial result is collected
+// by a list walk over the cells with maxscore above the threshold (the
+// visiting order is irrelevant, so no heap is needed), influence entries
+// are installed in exactly those cells, and maintenance just filters the
+// arrivals/expirations inside them.
+
+#ifndef TOPKMON_CORE_THRESHOLD_MONITOR_H_
+#define TOPKMON_CORE_THRESHOLD_MONITOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "grid/cell_traversal.h"
+#include "grid/grid.h"
+#include "stream/sliding_window.h"
+
+namespace topkmon {
+
+/// A continuous "score above tau" monitoring query.
+struct ThresholdQuerySpec {
+  QueryId id = 0;
+  double threshold = 0.0;
+  std::shared_ptr<const ScoringFunction> function;
+
+  Status Validate(int dim) const;
+};
+
+/// Monitors threshold queries over a sliding window using the grid
+/// framework of Section 4.1.
+class ThresholdMonitor {
+ public:
+  ThresholdMonitor(int dim, const WindowSpec& window,
+                   std::size_t cell_budget = 20736);
+
+  int dim() const { return grid_.dim(); }
+
+  /// Registers a query and computes its initial result.
+  Status RegisterQuery(const ThresholdQuerySpec& spec);
+
+  /// Terminates a query, clearing its influence entries.
+  Status UnregisterQuery(QueryId id);
+
+  /// Advances the stream one cycle (same contract as MonitorEngine).
+  Status ProcessCycle(Timestamp now, const std::vector<Record>& arrivals);
+
+  /// All records currently above the query's threshold, best first.
+  Result<std::vector<ResultEntry>> CurrentResult(QueryId id) const;
+
+  std::size_t WindowSize() const { return window_.size(); }
+  const EngineStats& stats() const { return stats_; }
+  MemoryBreakdown Memory() const;
+
+ private:
+  struct QueryState {
+    ThresholdQuerySpec spec;
+    /// Result records ordered ascending by (score, id); reported reversed.
+    std::set<std::pair<double, RecordId>> result;
+    /// Cells carrying this query's influence entry (for termination).
+    std::vector<CellIndex> influence_cells;
+  };
+
+  Grid grid_;
+  SlidingWindow window_;
+  TraversalScratch scratch_;
+  std::unordered_map<QueryId, QueryState> queries_;
+  EngineStats stats_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_THRESHOLD_MONITOR_H_

@@ -1,0 +1,168 @@
+#include "core/tma_engine.h"
+
+#include "core/influence.h"
+
+namespace topkmon {
+
+int GridEngineOptions::ResolvedCellsPerAxis() const {
+  if (cells_per_axis > 0) return cells_per_axis;
+  return Grid::CellsPerAxisForBudget(dim, cell_budget);
+}
+
+namespace {
+
+SlidingWindow MakeWindow(const WindowSpec& spec) {
+  return spec.kind == WindowKind::kCountBased
+             ? SlidingWindow::CountBased(spec.capacity)
+             : SlidingWindow::TimeBased(spec.span);
+}
+
+}  // namespace
+
+TmaEngine::TmaEngine(const GridEngineOptions& options)
+    : arrivals_first_(options.arrivals_before_expirations),
+      grid_(options.dim, options.ResolvedCellsPerAxis()),
+      window_(MakeWindow(options.window)) {}
+
+Status TmaEngine::RegisterQuery(const QuerySpec& spec) {
+  TOPKMON_RETURN_IF_ERROR(spec.Validate(dim()));
+  if (queries_.count(spec.id) > 0) {
+    return Status::AlreadyExists("query id " + std::to_string(spec.id) +
+                                 " already registered");
+  }
+  auto [it, inserted] = queries_.emplace(spec.id, QueryState(spec));
+  QueryState& state = it->second;
+  ++stats_.initial_computations;
+  RecomputeFromScratch(spec.id, state);
+  delta_.Report(spec.id, last_cycle_, state.top_list.entries());
+  return Status::Ok();
+}
+
+Status TmaEngine::UnregisterQuery(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  const QuerySpec& spec = it->second.spec;
+  const Rect* constraint =
+      spec.constraint.has_value() ? &*spec.constraint : nullptr;
+  RemoveAllInfluence(grid_, *spec.function, id, &scratch_, constraint);
+  queries_.erase(it);
+  delta_.Forget(id);
+  return Status::Ok();
+}
+
+Status TmaEngine::ProcessCycle(Timestamp now,
+                               const std::vector<Record>& arrivals) {
+  Stopwatch watch;
+  ++stats_.cycles;
+  // Admit arrivals into the window first so that both batches (Pins and
+  // Pdel) are known; their *processing* order is configurable.
+  for (const Record& p : arrivals) {
+    TOPKMON_RETURN_IF_ERROR(ValidatePoint(p.position, dim()));
+    TOPKMON_RETURN_IF_ERROR(window_.Append(p));
+  }
+  const std::vector<Record> expired = window_.EvictExpired(now);
+  if (arrivals_first_) {
+    // Pins before Pdel (Figure 9): an arrival that beats the expiring kth
+    // record replaces it before the expiration is seen, avoiding a
+    // needless recomputation (Section 4.3).
+    for (const Record& p : arrivals) HandleArrival(p);
+    for (const Record& p : expired) HandleExpiry(p);
+  } else {
+    // Ablation order: expirations first mark queries affected even when an
+    // arrival in the same cycle would have covered them.
+    for (const Record& p : expired) HandleExpiry(p);
+    for (const Record& p : arrivals) HandleArrival(p);
+  }
+  // -- Recompute affected queries from scratch (lines 12-21) ---------------
+  for (auto& [qid, state] : queries_) {
+    if (!state.affected) continue;
+    state.affected = false;
+    ++stats_.recomputations;
+    ++stats_.result_changes;
+    RecomputeFromScratch(qid, state);
+  }
+  last_cycle_ = now;
+  if (delta_.enabled()) {
+    for (const auto& [qid, state] : queries_) {
+      delta_.Report(qid, now, state.top_list.entries());
+    }
+  }
+  stats_.maintenance_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+void TmaEngine::HandleArrival(const Record& p) {
+  const CellIndex cell = grid_.LocateCell(p.position);
+  grid_.InsertPoint(cell, p.id);
+  ++stats_.arrivals;
+  for (QueryId qid : grid_.InfluenceList(cell)) {
+    QueryState& state = queries_.at(qid);
+    if (state.spec.constraint.has_value() &&
+        !state.spec.constraint->Contains(p.position)) {
+      continue;  // constrained query: update outside R (Section 7)
+    }
+    ++stats_.points_scored;
+    const double score = state.spec.function->Score(p.position);
+    if (score >= state.top_list.KthScore()) {
+      if (state.top_list.Consider(p.id, score)) ++stats_.result_changes;
+    }
+  }
+}
+
+void TmaEngine::HandleExpiry(const Record& p) {
+  const CellIndex cell = grid_.LocateCell(p.position);
+  grid_.ErasePointFifo(cell, p.id);
+  ++stats_.expirations;
+  for (QueryId qid : grid_.InfluenceList(cell)) {
+    QueryState& state = queries_.at(qid);
+    if (state.top_list.Contains(p.id)) state.affected = true;
+  }
+}
+
+void TmaEngine::RecomputeFromScratch(QueryId id, QueryState& state) {
+  const QuerySpec& spec = state.spec;
+  const Rect* constraint =
+      spec.constraint.has_value() ? &*spec.constraint : nullptr;
+  const TopKComputation computation = ComputeTopK(
+      grid_, *spec.function, spec.k,
+      [this](RecordId rid) -> const Record& { return Lookup(rid); },
+      &scratch_, constraint);
+  stats_.cells_visited += computation.processed_cells.size();
+  stats_.points_scored += computation.points_scored;
+  state.top_list.Clear();
+  for (const ResultEntry& e : computation.result) {
+    state.top_list.Consider(e.id, e.score);
+  }
+  AddInfluenceEntries(grid_, computation.processed_cells, id);
+  CleanupStaleInfluence(grid_, *spec.function, computation.frontier_cells,
+                        id, &scratch_);
+}
+
+Result<std::vector<ResultEntry>> TmaEngine::CurrentResult(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  return it->second.top_list.entries();
+}
+
+MemoryBreakdown TmaEngine::Memory() const {
+  MemoryBreakdown mb = grid_.Memory();
+  mb.Add("window", window_.MemoryBytes());
+  std::size_t query_bytes = 0;
+  for (const auto& [qid, state] : queries_) {
+    // Scoring function parameters (O(d)) + the result list (O(2k): id and
+    // score per entry) — the paper's O(d + 2k) query-table entry.
+    query_bytes += sizeof(QueryState) + state.top_list.MemoryBytes() +
+                   static_cast<std::size_t>(dim()) * sizeof(double);
+  }
+  mb.Add("query_table", query_bytes);
+  mb.Add("scratch", scratch_.MemoryBytes());
+  return mb;
+}
+
+}  // namespace topkmon

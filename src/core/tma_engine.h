@@ -1,0 +1,100 @@
+// TMA — the Top-k Monitoring Algorithm (Section 4, Figure 9).
+//
+// TMA maintains each query's exact top-k list incrementally:
+//   * arrivals inside a query's influence region that score at least
+//     q.top_score enter the top-k list directly (possibly evicting the
+//     current kth entry);
+//   * expirations of current result records mark the query as affected;
+//     after the cycle's updates, affected queries are recomputed from
+//     scratch by the top-k computation module, followed by the lazy
+//     influence-list reconciliation walk.
+// Arrivals are processed before expirations so that a replacement arriving
+// in the same cycle avoids a needless recomputation (Section 4.3).
+
+#ifndef TOPKMON_CORE_TMA_ENGINE_H_
+#define TOPKMON_CORE_TMA_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/topk_compute.h"
+#include "grid/cell_traversal.h"
+#include "grid/grid.h"
+#include "stream/sliding_window.h"
+
+namespace topkmon {
+
+/// Configuration shared by the grid-based engines.
+struct GridEngineOptions {
+  int dim = 2;
+  WindowSpec window = WindowSpec::Count(1000);
+  /// Total cell budget; per-axis resolution is budget^(1/dim) as in the
+  /// paper's granularity experiment (Figure 14; 12^4 is the tuned value).
+  std::size_t cell_budget = 20736;
+  /// Overrides cell_budget with an explicit per-axis resolution when > 0.
+  int cells_per_axis = 0;
+  /// Process Pins before Pdel (Section 4.3's ordering, the default).
+  /// Setting this to false processes expirations first — correct but
+  /// wasteful, because an arrival that would have replaced an expiring
+  /// result record no longer pre-empts the recomputation. Exists for the
+  /// ordering ablation benchmark.
+  bool arrivals_before_expirations = true;
+
+  int ResolvedCellsPerAxis() const;
+};
+
+/// The Top-k Monitoring Algorithm.
+class TmaEngine final : public MonitorEngine {
+ public:
+  explicit TmaEngine(const GridEngineOptions& options);
+
+  std::string name() const override { return "TMA"; }
+  int dim() const override { return grid_.dim(); }
+  Status RegisterQuery(const QuerySpec& spec) override;
+  Status UnregisterQuery(QueryId id) override;
+  Status ProcessCycle(Timestamp now,
+                      const std::vector<Record>& arrivals) override;
+  Result<std::vector<ResultEntry>> CurrentResult(QueryId id) const override;
+  void SetDeltaCallback(DeltaCallback callback) override {
+    delta_.SetCallback(std::move(callback));
+  }
+  std::size_t WindowSize() const override { return window_.size(); }
+  const EngineStats& stats() const override { return stats_; }
+  MemoryBreakdown Memory() const override;
+
+  /// Grid resolution actually in use (for the granularity experiment).
+  const Grid& grid() const { return grid_; }
+
+ private:
+  struct QueryState {
+    explicit QueryState(QuerySpec s) : spec(std::move(s)), top_list(spec.k) {}
+    QuerySpec spec;
+    TopKList top_list;
+    bool affected = false;  ///< a result record expired this cycle
+  };
+
+  /// Runs the computation module for `state`, refreshes its top-k list and
+  /// reconciles influence lists (add processed, clean stale from frontier).
+  void RecomputeFromScratch(QueryId id, QueryState& state);
+
+  void HandleArrival(const Record& p);
+  void HandleExpiry(const Record& p);
+
+  const Record& Lookup(RecordId id) const { return window_.Get(id); }
+
+  bool arrivals_first_;
+  Grid grid_;
+  SlidingWindow window_;
+  TraversalScratch scratch_;
+  std::unordered_map<QueryId, QueryState> queries_;
+  EngineStats stats_;
+  DeltaTracker delta_;
+  Timestamp last_cycle_ = 0;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CORE_TMA_ENGINE_H_

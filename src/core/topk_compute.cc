@@ -1,0 +1,94 @@
+#include "core/topk_compute.h"
+
+#include <algorithm>
+
+namespace topkmon {
+
+namespace {
+
+/// Scans one cell's point list, considering each point for the running
+/// top-k list (Figure 6, lines 7-8).
+void ScanCell(const Grid& grid, CellIndex cell, const ScoringFunction& f,
+              const RecordAccessor& records, const Rect* constraint,
+              TopKList* top, std::uint64_t* points_scored) {
+  for (RecordId id : grid.PointsIn(cell)) {
+    const Record& record = records(id);
+    if (constraint != nullptr && !constraint->Contains(record.position)) {
+      continue;  // outside the constraint region (Figure 12: point p1)
+    }
+    ++*points_scored;
+    const double score = f.Score(record.position);
+    if (!top->full() || score >= top->KthScore()) {
+      top->Consider(id, score);
+    }
+  }
+}
+
+}  // namespace
+
+TopKComputation ComputeTopK(const Grid& grid, const ScoringFunction& f,
+                            int k, const RecordAccessor& records,
+                            TraversalScratch* scratch,
+                            const Rect* constraint) {
+  assert(k >= 1);
+  TopKComputation out;
+  TopKList top(k);
+  MaxScoreTraversal traversal(grid, f, scratch, constraint);
+  // Figure 6, line 5: de-heap while the next key can still contribute,
+  // i.e. the result is incomplete or the key exceeds q.top_score.
+  while (traversal.HasNext() &&
+         (!top.full() || traversal.PeekMaxScore() > top.KthScore())) {
+    const MaxScoreTraversal::Entry entry = traversal.Next();
+    ScanCell(grid, entry.cell, f, records, constraint, &top,
+             &out.points_scored);
+    out.processed_cells.push_back(entry.cell);
+  }
+  out.frontier_cells = traversal.RemainingFrontier();
+  out.result = top.entries();
+  return out;
+}
+
+TopKComputation ComputeTopKNaive(const Grid& grid, const ScoringFunction& f,
+                                 int k, const RecordAccessor& records,
+                                 const Rect* constraint) {
+  assert(k >= 1);
+  TopKComputation out;
+  TopKList top(k);
+  // Compute the maxscore of every cell and sort descending (the expensive
+  // strawman the heap traversal replaces, Section 4.2).
+  struct CellScore {
+    CellIndex cell;
+    double maxscore;
+  };
+  std::vector<CellScore> order;
+  order.reserve(grid.num_cells());
+  for (CellIndex c = 0; c < grid.num_cells(); ++c) {
+    const Rect bounds = grid.CellBounds(c);
+    if (constraint != nullptr && !bounds.Intersects(*constraint)) continue;
+    Rect clipped = bounds;
+    if (constraint != nullptr) {
+      Point lo(grid.dim());
+      Point hi(grid.dim());
+      for (int i = 0; i < grid.dim(); ++i) {
+        lo[i] = std::max(bounds.lo()[i], constraint->lo()[i]);
+        hi[i] = std::min(bounds.hi()[i], constraint->hi()[i]);
+      }
+      clipped = Rect(lo, hi);
+    }
+    order.push_back(CellScore{c, f.MaxScore(clipped)});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const CellScore& a, const CellScore& b) {
+              return a.maxscore > b.maxscore;
+            });
+  for (const CellScore& cs : order) {
+    if (top.full() && cs.maxscore <= top.KthScore()) break;
+    ScanCell(grid, cs.cell, f, records, constraint, &top,
+             &out.points_scored);
+    out.processed_cells.push_back(cs.cell);
+  }
+  out.result = top.entries();
+  return out;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,121 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace topkmon {
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "IND";
+    case Distribution::kAntiCorrelated:
+      return "ANT";
+    case Distribution::kClustered:
+      return "CLU";
+  }
+  return "?";
+}
+
+Result<Distribution> ParseDistribution(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "ind" || lower == "independent") {
+    return Distribution::kIndependent;
+  }
+  if (lower == "ant" || lower == "anticorrelated") {
+    return Distribution::kAntiCorrelated;
+  }
+  if (lower == "clu" || lower == "clustered") return Distribution::kClustered;
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+Point IndependentGenerator::NextPoint() {
+  Point p(dim_);
+  for (int i = 0; i < dim_; ++i) p[i] = rng_.Uniform();
+  return p;
+}
+
+Point AntiCorrelatedGenerator::NextPoint() {
+  // Borzsonyi-style anti-correlated data: pick a hyperplane offset
+  // v ~ N(0.5, 0.08) (clipped to (0,1)), then spread the point uniformly
+  // over the simplex slice sum(x_i) = d * v via exponential (Dirichlet
+  // alpha = 1) shares. Shares are re-drawn until every coordinate fits in
+  // [0,1] — always feasible since the equal split x_i = v works — so the
+  // v distribution itself is unbiased. The tight plane spread and the
+  // full spread *along* the plane yield the Figure 13(b) shape: a thin
+  // band around the anti-diagonal with strongly negative pairwise
+  // correlation (a large value on one dimension forces small values on
+  // the others).
+  double v;
+  do {
+    v = rng_.Gaussian(0.5, 0.08);
+  } while (v < 0.02 || v > 0.98);
+  Point p(dim_);
+  if (dim_ == 1) {
+    p[0] = v;
+    return p;
+  }
+  const double total = v * dim_;
+  while (true) {
+    double shares[kMaxDims];
+    double share_sum = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+      // Exponential share => Dirichlet(1,...,1): uniform on the simplex.
+      double u;
+      do {
+        u = rng_.Uniform();
+      } while (u <= 1e-300);
+      shares[i] = -std::log(u);
+      share_sum += shares[i];
+    }
+    bool ok = true;
+    for (int i = 0; i < dim_; ++i) {
+      p[i] = total * shares[i] / share_sum;
+      if (p[i] > 1.0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return p;
+  }
+}
+
+ClusteredGenerator::ClusteredGenerator(int dim, std::uint64_t seed,
+                                       int num_clusters, double stddev)
+    : StreamGenerator(dim, seed), stddev_(stddev) {
+  assert(num_clusters > 0);
+  centers_.reserve(num_clusters);
+  for (int c = 0; c < num_clusters; ++c) {
+    Point center(dim);
+    for (int i = 0; i < dim; ++i) center[i] = rng_.Uniform(0.1, 0.9);
+    centers_.push_back(center);
+  }
+}
+
+Point ClusteredGenerator::NextPoint() {
+  const Point& center =
+      centers_[static_cast<std::size_t>(rng_.UniformInt(centers_.size()))];
+  Point p(dim_);
+  for (int i = 0; i < dim_; ++i) {
+    p[i] = std::clamp(center[i] + rng_.Gaussian(0.0, stddev_), 0.0, 1.0);
+  }
+  return p;
+}
+
+std::unique_ptr<StreamGenerator> MakeGenerator(Distribution dist, int dim,
+                                               std::uint64_t seed) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return std::make_unique<IndependentGenerator>(dim, seed);
+    case Distribution::kAntiCorrelated:
+      return std::make_unique<AntiCorrelatedGenerator>(dim, seed);
+    case Distribution::kClustered:
+      return std::make_unique<ClusteredGenerator>(dim, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,44 @@
+#include "stream/record_pool.h"
+
+namespace topkmon {
+
+Status RecordPool::Insert(const Record& record) {
+  if (record.id == kInvalidRecordId) {
+    return Status::InvalidArgument("record has invalid id");
+  }
+  if (index_.count(record.id) > 0) {
+    return Status::AlreadyExists("record id " + std::to_string(record.id) +
+                                 " already live");
+  }
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = record;
+  } else {
+    slot = slots_.size();
+    slots_.push_back(record);
+  }
+  index_.emplace(record.id, slot);
+  return Status::Ok();
+}
+
+Status RecordPool::Erase(RecordId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("record id " + std::to_string(id) + " not live");
+  }
+  free_slots_.push_back(it->second);
+  index_.erase(it);
+  return Status::Ok();
+}
+
+Result<Record> RecordPool::Find(RecordId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("record id " + std::to_string(id) + " not live");
+  }
+  return slots_[it->second];
+}
+
+}  // namespace topkmon

@@ -1,0 +1,69 @@
+// Slab-allocated record storage for the update-stream model.
+//
+// Section 7 of the paper extends the framework to streams with explicit
+// deletions, where records no longer expire in FIFO order; the contiguous
+// deque of SlidingWindow does not apply. RecordPool stores live records in
+// a slab with a free list and resolves record ids through a hash map,
+// giving O(1) expected insert / erase / lookup.
+
+#ifndef TOPKMON_STREAM_RECORD_POOL_H_
+#define TOPKMON_STREAM_RECORD_POOL_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+
+namespace topkmon {
+
+/// Live-record store keyed by RecordId, with slab reuse of freed slots.
+class RecordPool {
+ public:
+  RecordPool() = default;
+
+  /// Inserts a record. Returns AlreadyExists if its id is live.
+  Status Insert(const Record& record);
+
+  /// Removes the record with this id. Returns NotFound if absent.
+  Status Erase(RecordId id);
+
+  /// True iff the id is live.
+  bool Contains(RecordId id) const { return index_.count(id) > 0; }
+
+  /// Looks up a live record; NotFound if absent.
+  Result<Record> Find(RecordId id) const;
+
+  /// Unchecked O(1) access. Requires Contains(id).
+  const Record& Get(RecordId id) const {
+    auto it = index_.find(id);
+    assert(it != index_.end());
+    return slots_[it->second];
+  }
+
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// Invokes `fn(const Record&)` on every live record (arbitrary order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, slot] : index_) fn(slots_[slot]);
+  }
+
+  /// Approximate heap footprint (slab + index).
+  std::size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(Record) +
+           index_.size() * (sizeof(RecordId) + sizeof(std::size_t) +
+                            2 * sizeof(void*));
+  }
+
+ private:
+  std::vector<Record> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::unordered_map<RecordId, std::size_t> index_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_STREAM_RECORD_POOL_H_

@@ -1,0 +1,48 @@
+#include "stream/update_stream.h"
+
+#include <cassert>
+
+namespace topkmon {
+
+UpdateStreamGenerator::UpdateStreamGenerator(
+    std::unique_ptr<StreamGenerator> generator, double delete_fraction,
+    std::uint64_t seed)
+    : generator_(std::move(generator)),
+      delete_fraction_(delete_fraction),
+      rng_(seed) {
+  assert(delete_fraction_ >= 0.0 && delete_fraction_ < 1.0);
+}
+
+UpdateOp UpdateStreamGenerator::Next(Timestamp now) {
+  if (!live_ids_.empty() && rng_.Uniform() < delete_fraction_) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng_.UniformInt(live_ids_.size()));
+    const RecordId victim = live_ids_[pos];
+    // Swap-remove keeps deletion sampling O(1).
+    live_ids_[pos] = live_ids_.back();
+    live_pos_[live_ids_[pos]] = pos;
+    live_ids_.pop_back();
+    live_pos_.erase(victim);
+    UpdateOp op;
+    op.kind = UpdateOp::Kind::kDelete;
+    op.record.id = victim;
+    op.record.arrival = now;
+    return op;
+  }
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kInsert;
+  op.record = Record(next_id_++, generator_->NextPoint(), now);
+  live_pos_[op.record.id] = live_ids_.size();
+  live_ids_.push_back(op.record.id);
+  return op;
+}
+
+std::vector<UpdateOp> UpdateStreamGenerator::NextBatch(std::size_t count,
+                                                       Timestamp now) {
+  std::vector<UpdateOp> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ops.push_back(Next(now));
+  return ops;
+}
+
+}  // namespace topkmon

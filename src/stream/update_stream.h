@@ -1,0 +1,67 @@
+// Update-stream workload (Section 7).
+//
+// In the update-stream model, tuples do not expire in FIFO order: the
+// stream interleaves insertions of new records with explicit deletions of
+// arbitrary live records. This generator produces such a workload with a
+// configurable deletion fraction, tracking the live set so that deletions
+// always target existing records.
+
+#ifndef TOPKMON_STREAM_UPDATE_STREAM_H_
+#define TOPKMON_STREAM_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/record.h"
+#include "stream/generators.h"
+#include "util/rng.h"
+
+namespace topkmon {
+
+/// One operation of an update stream.
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind;
+  Record record;  ///< full record for inserts; only `record.id` is
+                  ///< meaningful for deletes
+};
+
+/// Generates an interleaved insert/delete workload over live records.
+class UpdateStreamGenerator {
+ public:
+  /// `delete_fraction` in [0,1): probability that an operation is a
+  /// deletion (when the live set is non-empty).
+  UpdateStreamGenerator(std::unique_ptr<StreamGenerator> generator,
+                        double delete_fraction, std::uint64_t seed);
+
+  int dim() const { return generator_->dim(); }
+  std::size_t live_count() const { return live_ids_.size(); }
+  double delete_fraction() const { return delete_fraction_; }
+
+  /// Changes the deletion probability mid-stream (e.g. an insert-only
+  /// fill phase followed by churn). Requires 0 <= fraction < 1.
+  void set_delete_fraction(double fraction) {
+    assert(fraction >= 0.0 && fraction < 1.0);
+    delete_fraction_ = fraction;
+  }
+
+  /// Next operation at timestamp `now`.
+  UpdateOp Next(Timestamp now);
+
+  /// Batch of `count` operations at timestamp `now`.
+  std::vector<UpdateOp> NextBatch(std::size_t count, Timestamp now);
+
+ private:
+  std::unique_ptr<StreamGenerator> generator_;
+  double delete_fraction_;
+  Rng rng_;
+  RecordId next_id_ = 0;
+  std::vector<RecordId> live_ids_;  ///< swap-remove sampling of deletions
+  std::unordered_map<RecordId, std::size_t> live_pos_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_STREAM_UPDATE_STREAM_H_

@@ -1,0 +1,69 @@
+#include "tsl/sorted_lists.h"
+
+namespace topkmon {
+
+SortedAttributeLists::SortedAttributeLists(int dim) : lists_(dim) {
+  assert(dim >= 1 && dim <= kMaxDims);
+}
+
+void SortedAttributeLists::Insert(const Record& record) {
+  assert(record.position.dim() == dim());
+  for (int axis = 0; axis < dim(); ++axis) {
+    lists_[axis].emplace(record.position[axis], record.id);
+  }
+}
+
+Status SortedAttributeLists::Erase(const Record& record) {
+  assert(record.position.dim() == dim());
+  for (int axis = 0; axis < dim(); ++axis) {
+    if (lists_[axis].erase({record.position[axis], record.id}) == 0) {
+      return Status::NotFound("record " + std::to_string(record.id) +
+                              " missing from sorted list " +
+                              std::to_string(axis));
+    }
+  }
+  return Status::Ok();
+}
+
+SortedAttributeLists::Cursor::Cursor(const Set* set, bool descending)
+    : set_(set), descending_(descending) {
+  if (set_->empty()) {
+    valid_ = false;
+    it_ = set_->end();
+    return;
+  }
+  valid_ = true;
+  it_ = descending_ ? std::prev(set_->end()) : set_->begin();
+}
+
+void SortedAttributeLists::Cursor::Advance() {
+  assert(valid_);
+  if (descending_) {
+    if (it_ == set_->begin()) {
+      valid_ = false;
+    } else {
+      --it_;
+    }
+  } else {
+    ++it_;
+    if (it_ == set_->end()) valid_ = false;
+  }
+}
+
+SortedAttributeLists::Cursor SortedAttributeLists::BestFirst(
+    int axis, Monotonicity direction) const {
+  assert(axis >= 0 && axis < dim());
+  return Cursor(&lists_[axis], direction == Monotonicity::kIncreasing);
+}
+
+std::size_t SortedAttributeLists::MemoryBytes() const {
+  // Red-black tree node: payload + parent/left/right pointers + color.
+  const std::size_t node_bytes =
+      sizeof(std::pair<double, RecordId>) + 3 * sizeof(void*) +
+      sizeof(long);
+  std::size_t total = 0;
+  for (const Set& s : lists_) total += s.size() * node_bytes;
+  return total;
+}
+
+}  // namespace topkmon

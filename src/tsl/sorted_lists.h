@@ -1,0 +1,85 @@
+// Per-dimension sorted attribute lists (Section 3.2, Figure 3).
+//
+// The TSL baseline maintains, for each of the d attributes, a list of all
+// valid records sorted by that attribute. The Threshold Algorithm consumes
+// the lists via sorted access in "best-first" order (descending values on
+// increasingly monotone axes, ascending on decreasing ones); stream
+// maintenance inserts and deletes records as they arrive and expire. Each
+// list is a balanced tree keyed by (value, id), giving O(log N) updates
+// and exact deletion of a specific record's entry.
+
+#ifndef TOPKMON_TSL_SORTED_LISTS_H_
+#define TOPKMON_TSL_SORTED_LISTS_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/record.h"
+#include "common/scoring.h"
+#include "common/status.h"
+
+namespace topkmon {
+
+/// The d sorted attribute lists of TSL.
+class SortedAttributeLists {
+ public:
+  explicit SortedAttributeLists(int dim);
+
+  int dim() const { return static_cast<int>(lists_.size()); }
+
+  /// Number of indexed records (identical across lists).
+  std::size_t size() const { return lists_.empty() ? 0 : lists_[0].size(); }
+
+  /// Adds the record's attribute values to all d lists.
+  void Insert(const Record& record);
+
+  /// Removes the record from all d lists. Returns NotFound if any list
+  /// lacks the entry (indicates the record was never inserted).
+  Status Erase(const Record& record);
+
+  /// Sorted access in best-first order along one axis.
+  class Cursor {
+   public:
+    /// True while a current entry exists.
+    bool Valid() const { return valid_; }
+    /// Attribute value of the current entry. Requires Valid().
+    double value() const {
+      assert(valid_);
+      return it_->first;
+    }
+    /// Record id of the current entry. Requires Valid().
+    RecordId id() const {
+      assert(valid_);
+      return it_->second;
+    }
+    /// Moves to the next-best entry.
+    void Advance();
+
+   private:
+    friend class SortedAttributeLists;
+    using Set = std::set<std::pair<double, RecordId>>;
+    Cursor(const Set* set, bool descending);
+
+    const Set* set_;
+    bool descending_;
+    Set::const_iterator it_;
+    bool valid_;
+  };
+
+  /// Best-first cursor over axis `axis`: descending values when the axis
+  /// is increasingly monotone for the consumer, ascending otherwise.
+  Cursor BestFirst(int axis, Monotonicity direction) const;
+
+  /// Approximate heap footprint: one tree node (payload + three pointers +
+  /// color word) per record per list.
+  std::size_t MemoryBytes() const;
+
+ private:
+  using Set = std::set<std::pair<double, RecordId>>;
+  std::vector<Set> lists_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_TSL_SORTED_LISTS_H_

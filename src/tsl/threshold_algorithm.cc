@@ -1,0 +1,61 @@
+#include "tsl/threshold_algorithm.h"
+
+#include <unordered_set>
+
+namespace topkmon {
+
+TaResult RunThresholdAlgorithm(const SortedAttributeLists& lists,
+                               const ScoringFunction& f, int k,
+                               const TaRecordAccessor& records) {
+  assert(k >= 1);
+  assert(f.dim() == lists.dim());
+  TaResult out;
+  const int dim = lists.dim();
+
+  std::vector<SortedAttributeLists::Cursor> cursors;
+  cursors.reserve(dim);
+  for (int axis = 0; axis < dim; ++axis) {
+    cursors.push_back(lists.BestFirst(axis, f.direction(axis)));
+  }
+
+  TopKList top(k);
+  std::unordered_set<RecordId> seen;
+  Point last_seen(dim);  // last attribute value consumed per list
+  std::vector<bool> touched(dim, false);
+
+  bool any_valid = true;
+  while (any_valid) {
+    ++out.rounds;
+    any_valid = false;
+    // One sorted access per list, round-robin (Section 3.2).
+    for (int axis = 0; axis < dim; ++axis) {
+      auto& cursor = cursors[axis];
+      if (!cursor.Valid()) continue;
+      any_valid = true;
+      ++out.sorted_accesses;
+      last_seen[axis] = cursor.value();
+      touched[axis] = true;
+      const RecordId id = cursor.id();
+      cursor.Advance();
+      if (!seen.insert(id).second) continue;  // already resolved
+      ++out.random_accesses;
+      const Record& record = records(id);
+      const double score = f.Score(record.position);
+      if (!top.full() || score >= top.KthScore()) top.Consider(id, score);
+    }
+    if (!any_valid) break;  // lists exhausted: fewer than k records exist
+    // Threshold tau: the best score any unseen record could still achieve,
+    // assembled from the frontier of every list. Until every list has been
+    // touched at least once tau is undefined (unbounded).
+    bool tau_defined = true;
+    for (int axis = 0; axis < dim; ++axis) tau_defined &= touched[axis];
+    if (tau_defined && top.full()) {
+      const double tau = f.Score(last_seen);
+      if (top.KthScore() >= tau) break;
+    }
+  }
+  out.result = top.entries();
+  return out;
+}
+
+}  // namespace topkmon

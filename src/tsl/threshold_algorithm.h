@@ -1,0 +1,46 @@
+// The Threshold Algorithm of Fagin, Lotem and Naor (TA), as used by the
+// TSL baseline's top-k computation module (Section 3.2).
+//
+// TA performs sorted accesses over the d attribute lists in round-robin,
+// resolving each newly seen record with a random access to obtain its
+// remaining attributes and score. After each round it computes the
+// threshold tau — the score of the virtual point assembled from the last
+// value seen on every list, an upper bound on the score of any unseen
+// record — and terminates once the current kth best score reaches tau.
+
+#ifndef TOPKMON_TSL_THRESHOLD_ALGORITHM_H_
+#define TOPKMON_TSL_THRESHOLD_ALGORITHM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/record.h"
+#include "common/scoring.h"
+#include "core/query.h"
+#include "tsl/sorted_lists.h"
+
+namespace topkmon {
+
+/// Output of one TA run.
+struct TaResult {
+  /// Up to k entries in ResultOrder.
+  std::vector<ResultEntry> result;
+  std::uint64_t sorted_accesses = 0;
+  std::uint64_t random_accesses = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Resolves a record id to the full record (random access).
+using TaRecordAccessor = std::function<const Record&(RecordId)>;
+
+/// Runs TA for monotone function `f`, returning the top `k` records among
+/// those indexed in `lists`. Returns fewer than k entries when the lists
+/// hold fewer records.
+TaResult RunThresholdAlgorithm(const SortedAttributeLists& lists,
+                               const ScoringFunction& f, int k,
+                               const TaRecordAccessor& records);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_TSL_THRESHOLD_ALGORITHM_H_

@@ -1,0 +1,73 @@
+#include "tsl/topk_view.h"
+
+#include <algorithm>
+
+namespace topkmon {
+
+void TopKView::Refill(const std::vector<ResultEntry>& top_kmax) {
+  entries_.assign(top_kmax.begin(), top_kmax.end());
+  if (entries_.size() > static_cast<std::size_t>(kmax_)) {
+    entries_.resize(static_cast<std::size_t>(kmax_));
+  }
+  assert(std::is_sorted(entries_.begin(), entries_.end(), ResultOrder));
+}
+
+bool TopKView::OnArrival(RecordId id, double score) {
+  // Yi et al.: insert only records beating the current k'th (worst) view
+  // entry. A weaker record is provably outside the top-k' and admitting it
+  // would break the "view = exact top-k'" invariant; an empty view (k'=0)
+  // accepts nothing and is repaired by the next refill.
+  if (entries_.empty()) return false;
+  const ResultEntry candidate{id, score};
+  if (!ResultOrder(candidate, entries_.back())) return false;
+  auto pos = std::lower_bound(entries_.begin(), entries_.end(), candidate,
+                              ResultOrder);
+  entries_.insert(pos, candidate);
+  if (entries_.size() > static_cast<std::size_t>(kmax_)) entries_.pop_back();
+  return true;
+}
+
+bool TopKView::OnExpiry(RecordId id, double score) {
+  if (entries_.empty()) return false;
+  // Non-members score below the k'th entry; skip them in O(1).
+  const ResultEntry probe{id, score};
+  if (ResultOrder(entries_.back(), probe)) return false;
+  auto pos = std::lower_bound(entries_.begin(), entries_.end(), probe,
+                              ResultOrder);
+  if (pos != entries_.end() && pos->id == id) {
+    entries_.erase(pos);
+    return true;
+  }
+  return false;
+}
+
+std::vector<ResultEntry> TopKView::TopK() const {
+  const std::size_t n =
+      std::min<std::size_t>(entries_.size(), static_cast<std::size_t>(k_));
+  return std::vector<ResultEntry>(entries_.begin(), entries_.begin() + n);
+}
+
+int DefaultKmax(int k) {
+  assert(k >= 1);
+  struct Pt {
+    int k;
+    int kmax;
+  };
+  static constexpr Pt kTable[] = {{1, 4},   {5, 10},  {10, 20},
+                                  {20, 30}, {50, 70}, {100, 120}};
+  if (k <= kTable[0].k) return kTable[0].kmax;
+  constexpr int n = static_cast<int>(std::size(kTable));
+  for (int i = 1; i < n; ++i) {
+    if (k <= kTable[i].k) {
+      const auto [k0, m0] = kTable[i - 1];
+      const auto [k1, m1] = kTable[i];
+      return m0 + (m1 - m0) * (k - k0) / (k1 - k0);
+    }
+  }
+  // Beyond the calibrated range, continue the last segment's slope.
+  const auto [k0, m0] = kTable[n - 2];
+  const auto [k1, m1] = kTable[n - 1];
+  return m1 + (m1 - m0) * (k - k1) / (k1 - k0);
+}
+
+}  // namespace topkmon

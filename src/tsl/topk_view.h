@@ -1,0 +1,74 @@
+// Materialized top-k views with lazy refill (Yi et al. [30], Section 3.2).
+//
+// Instead of a top-k view, TSL maintains a larger view of k' entries with
+// k <= k' <= kmax. Arrivals beating the current k'th score enter the view
+// (evicting the kmax-th entry when full); expirations of view members
+// shrink k'. Only when k' drops below k is a from-scratch top-kmax
+// computation (TA) required to refill the view — the slack kmax - k
+// amortizes recomputations over many expirations.
+
+#ifndef TOPKMON_TSL_TOPK_VIEW_H_
+#define TOPKMON_TSL_TOPK_VIEW_H_
+
+#include <vector>
+
+#include "core/query.h"
+
+namespace topkmon {
+
+/// The per-query materialized view of the TSL baseline.
+class TopKView {
+ public:
+  /// Requires 1 <= k <= kmax.
+  TopKView(int k, int kmax) : k_(k), kmax_(kmax) {
+    assert(k >= 1 && kmax >= k);
+    entries_.reserve(kmax);
+  }
+
+  int k() const { return k_; }
+  int kmax() const { return kmax_; }
+  /// Current view cardinality k'.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Replaces the view contents with a fresh top-kmax computation
+  /// (entries in ResultOrder).
+  void Refill(const std::vector<ResultEntry>& top_kmax);
+
+  /// Handles an arrival: inserts when the view is not full or the score
+  /// beats the current k'th (worst) entry, evicting the overflow beyond
+  /// kmax. Returns true iff the view changed.
+  bool OnArrival(RecordId id, double score);
+
+  /// Handles an expiration: removes the record if present. `score` is the
+  /// record's score under the view's query, used to skip non-members in
+  /// O(1). Returns true iff the view changed.
+  bool OnExpiry(RecordId id, double score);
+
+  /// True when k' < k and the view no longer answers the query (refill
+  /// needed).
+  bool NeedsRefill() const {
+    return entries_.size() < static_cast<std::size_t>(k_);
+  }
+
+  /// The answer: first min(k, k') entries.
+  std::vector<ResultEntry> TopK() const;
+
+  /// All view entries in ResultOrder.
+  const std::vector<ResultEntry>& entries() const { return entries_; }
+
+  std::size_t MemoryBytes() const { return VectorBytes(entries_); }
+
+ private:
+  int k_;
+  int kmax_;
+  std::vector<ResultEntry> entries_;  // ResultOrder, size <= kmax
+};
+
+/// The fine-tuned kmax for a given k from the paper's calibration
+/// (Section 8): (k, kmax) = (1,4), (5,10), (10,20), (20,30), (50,70),
+/// (100,120); piecewise-linear in between and extrapolated beyond.
+int DefaultKmax(int k);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_TSL_TOPK_VIEW_H_

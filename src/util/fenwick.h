@@ -1,0 +1,72 @@
+// Fenwick (binary indexed) tree over a bounded integer domain.
+//
+// Companion to OsTreap for rank/prefix-count queries when keys are dense
+// integer ranks (e.g. arrival positions inside a count-based window). Used
+// by tests as an independent oracle for the treap and available to
+// applications that prefer O(1)-allocation rank structures.
+
+#ifndef TOPKMON_UTIL_FENWICK_H_
+#define TOPKMON_UTIL_FENWICK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace topkmon {
+
+/// Fenwick tree maintaining per-slot non-negative counts over [0, n).
+class FenwickTree {
+ public:
+  /// Creates a tree over the domain [0, universe), all counts zero.
+  explicit FenwickTree(std::size_t universe)
+      : tree_(universe + 1, 0), total_(0) {}
+
+  std::size_t universe() const { return tree_.size() - 1; }
+  std::int64_t total() const { return total_; }
+
+  /// Adds `delta` to slot `index`. The resulting per-slot count must remain
+  /// non-negative (checked only in debug builds via PrefixSum).
+  void Add(std::size_t index, std::int64_t delta) {
+    assert(index < universe());
+    total_ += delta;
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of counts in slots [0, index] inclusive.
+  std::int64_t PrefixSum(std::size_t index) const {
+    assert(index < universe());
+    std::int64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  /// Sum of counts in slots [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t RangeSum(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi && hi < universe());
+    return PrefixSum(hi) - (lo == 0 ? 0 : PrefixSum(lo - 1));
+  }
+
+  /// Count of entries in slots strictly greater than `index`.
+  std::int64_t CountGreater(std::size_t index) const {
+    return total_ - PrefixSum(index);
+  }
+
+  /// Resets all counts to zero without reallocating.
+  void Clear() {
+    std::fill(tree_.begin(), tree_.end(), 0);
+    total_ = 0;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+  std::int64_t total_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_FENWICK_H_

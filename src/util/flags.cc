@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace topkmon {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      return Status::InvalidArgument("expected --flag, got '" + token + "'");
+    }
+    token = token.substr(2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[token] = argv[++i];
+    } else {
+      flags.values_[token] = "";
+    }
+  }
+  return flags;
+}
+
+Result<std::string> Flags::GetString(const std::string& name,
+                                     const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  return it->second;
+}
+
+Result<std::int64_t> Flags::GetInt(const std::string& name,
+                                   std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects an integer, "
+                                   "got '" + it->second + "'");
+  }
+  return value;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects a number, "
+                                   "got '" + it->second + "'");
+  }
+  return value;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0") return false;
+  return Status::InvalidArgument("flag --" + name + " expects a boolean, "
+                                 "got '" + it->second + "'");
+}
+
+std::vector<std::string> Flags::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, value] : values_) {
+    if (read_.find(name) == read_.end()) unread.push_back(name);
+  }
+  return unread;
+}
+
+}  // namespace topkmon

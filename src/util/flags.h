@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for the example tools.
+//
+// Supports "--name=value" and "--name value" syntax with typed lookups
+// and a generated usage string; no external dependencies.
+
+#ifndef TOPKMON_UTIL_FLAGS_H_
+#define TOPKMON_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace topkmon {
+
+/// Parsed command line: flag name -> value ("" for bare flags).
+class Flags {
+ public:
+  /// Parses argv. Returns InvalidArgument for tokens that are not flags.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Typed accessors returning `fallback` when the flag is absent and
+  /// InvalidArgument when the value does not parse.
+  Result<std::string> GetString(const std::string& name,
+                                const std::string& fallback) const;
+  Result<std::int64_t> GetInt(const std::string& name,
+                              std::int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  /// Flags present on the command line that were never read — typically
+  /// typos; tools can warn on them.
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_FLAGS_H_

@@ -1,0 +1,47 @@
+#include "util/memory_tracker.h"
+
+#include <cstdio>
+
+namespace topkmon {
+
+void MemoryBreakdown::Add(const std::string& component, std::size_t bytes) {
+  for (auto& [name, count] : components_) {
+    if (name == component) {
+      count += bytes;
+      return;
+    }
+  }
+  components_.emplace_back(component, bytes);
+}
+
+void MemoryBreakdown::Merge(const MemoryBreakdown& other) {
+  for (const auto& [name, count] : other.components_) Add(name, count);
+}
+
+std::size_t MemoryBreakdown::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, count] : components_) total += count;
+  return total;
+}
+
+std::size_t MemoryBreakdown::Bytes(const std::string& component) const {
+  for (const auto& [name, count] : components_) {
+    if (name == component) return count;
+  }
+  return 0;
+}
+
+std::string MemoryBreakdown::ToString() const {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, count] : components_) {
+    std::snprintf(buf, sizeof(buf), "%s=%.2fMiB ", name.c_str(),
+                  static_cast<double>(count) / (1024.0 * 1024.0));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "total=%.2fMiB", TotalMiB());
+  out += buf;
+  return out;
+}
+
+}  // namespace topkmon

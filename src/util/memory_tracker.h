@@ -1,0 +1,61 @@
+// Structure-size accounting.
+//
+// Figures 14b and 20 of the paper report the memory footprint of each
+// method (grid + point lists + influence lists + query table for TMA/SMA;
+// sorted lists + views for TSL). Engines report their footprint as a
+// MemoryBreakdown: named byte counts that sum to the total, so benches can
+// both print totals and attribute space to individual structures.
+
+#ifndef TOPKMON_UTIL_MEMORY_TRACKER_H_
+#define TOPKMON_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace topkmon {
+
+/// Named byte counts summing to an engine's total footprint.
+class MemoryBreakdown {
+ public:
+  /// Adds `bytes` under `component`, accumulating if it already exists.
+  void Add(const std::string& component, std::size_t bytes);
+
+  /// Merges another breakdown into this one.
+  void Merge(const MemoryBreakdown& other);
+
+  /// Total bytes across all components.
+  std::size_t TotalBytes() const;
+
+  /// Total in MiB.
+  double TotalMiB() const {
+    return static_cast<double>(TotalBytes()) / (1024.0 * 1024.0);
+  }
+
+  /// Bytes attributed to `component`, 0 if absent.
+  std::size_t Bytes(const std::string& component) const;
+
+  const std::vector<std::pair<std::string, std::size_t>>& components() const {
+    return components_;
+  }
+
+  /// "grid=1.2MiB point_lists=3.4MiB ... total=4.6MiB"
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::size_t>> components_;
+};
+
+/// Approximate heap footprint helpers for standard containers. These count
+/// payload plus typical allocator bookkeeping-free capacity; exact malloc
+/// overhead is platform-specific and intentionally ignored, matching the
+/// paper's structure-size accounting.
+template <typename Vec>
+std::size_t VectorBytes(const Vec& v) {
+  return v.capacity() * sizeof(typename Vec::value_type);
+}
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,213 @@
+// Order-statistics treap.
+//
+// Section 5 of the paper computes the initial dominance counters of a
+// query's k-skyband with "a balanced tree BT sorted in descending order
+// [of arrival time, where] an internal node contains the cardinality of
+// the sub-tree rooted at that node", giving O(k log k) total time. This
+// treap is that structure: a randomized balanced BST augmented with
+// subtree sizes, supporting rank queries (how many stored keys are
+// greater/less than x) in O(log n) expected time.
+//
+// Keys may repeat; duplicates are stored as separate nodes.
+
+#ifndef TOPKMON_UTIL_OS_TREAP_H_
+#define TOPKMON_UTIL_OS_TREAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace topkmon {
+
+/// Order-statistics treap over keys of totally ordered type K.
+template <typename K>
+class OsTreap {
+ public:
+  OsTreap() : rng_state_(0x853c49e6748fea9bULL) {}
+
+  /// Number of stored keys (counting duplicates).
+  std::size_t Size() const { return SizeOf(root_.get()); }
+  bool Empty() const { return root_ == nullptr; }
+
+  /// Inserts one occurrence of `key`. O(log n) expected.
+  void Insert(const K& key) { root_ = InsertNode(std::move(root_), key); }
+
+  /// Removes one occurrence of `key`; returns false if absent.
+  bool Erase(const K& key) {
+    bool erased = false;
+    root_ = EraseNode(std::move(root_), key, &erased);
+    return erased;
+  }
+
+  /// True iff at least one occurrence of `key` is stored.
+  bool Contains(const K& key) const {
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      if (key < n->key) {
+        n = n->left.get();
+      } else if (n->key < key) {
+        n = n->right.get();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of stored keys strictly greater than `key`. O(log n) expected.
+  std::size_t CountGreater(const K& key) const {
+    std::size_t count = 0;
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      if (key < n->key) {
+        count += 1 + SizeOf(n->right.get());
+        n = n->left.get();
+      } else {
+        n = n->right.get();
+      }
+    }
+    return count;
+  }
+
+  /// Number of stored keys strictly less than `key`. O(log n) expected.
+  std::size_t CountLess(const K& key) const {
+    std::size_t count = 0;
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      if (n->key < key) {
+        count += 1 + SizeOf(n->left.get());
+        n = n->right.get();
+      } else {
+        n = n->left.get();
+      }
+    }
+    return count;
+  }
+
+  /// The `rank`-th smallest key (0-based). Requires rank < Size().
+  const K& Select(std::size_t rank) const {
+    const Node* n = root_.get();
+    assert(rank < Size());
+    while (true) {
+      const std::size_t left = SizeOf(n->left.get());
+      if (rank < left) {
+        n = n->left.get();
+      } else if (rank == left) {
+        return n->key;
+      } else {
+        rank -= left + 1;
+        n = n->right.get();
+      }
+    }
+  }
+
+  /// Removes all keys.
+  void Clear() { root_.reset(); }
+
+  /// In-order (ascending) key dump, mainly for tests.
+  std::vector<K> ToSortedVector() const {
+    std::vector<K> out;
+    out.reserve(Size());
+    AppendInOrder(root_.get(), &out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    explicit Node(const K& k, std::uint64_t prio)
+        : key(k), priority(prio) {}
+    K key;
+    std::uint64_t priority;
+    std::size_t size = 1;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static std::size_t SizeOf(const Node* n) { return n ? n->size : 0; }
+
+  static void Update(Node* n) {
+    n->size = 1 + SizeOf(n->left.get()) + SizeOf(n->right.get());
+  }
+
+  std::uint64_t NextPriority() {
+    // xorshift64*; only used for treap balance, not statistics.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    return rng_state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  static NodePtr RotateRight(NodePtr n) {
+    NodePtr l = std::move(n->left);
+    n->left = std::move(l->right);
+    Update(n.get());
+    l->right = std::move(n);
+    Update(l.get());
+    return l;
+  }
+
+  static NodePtr RotateLeft(NodePtr n) {
+    NodePtr r = std::move(n->right);
+    n->right = std::move(r->left);
+    Update(n.get());
+    r->left = std::move(n);
+    Update(r.get());
+    return r;
+  }
+
+  NodePtr InsertNode(NodePtr n, const K& key) {
+    if (n == nullptr) return std::make_unique<Node>(key, NextPriority());
+    if (key < n->key) {
+      n->left = InsertNode(std::move(n->left), key);
+      Update(n.get());
+      if (n->left->priority > n->priority) n = RotateRight(std::move(n));
+    } else {
+      n->right = InsertNode(std::move(n->right), key);
+      Update(n.get());
+      if (n->right->priority > n->priority) n = RotateLeft(std::move(n));
+    }
+    return n;
+  }
+
+  static NodePtr EraseNode(NodePtr n, const K& key, bool* erased) {
+    if (n == nullptr) return nullptr;
+    if (key < n->key) {
+      n->left = EraseNode(std::move(n->left), key, erased);
+    } else if (n->key < key) {
+      n->right = EraseNode(std::move(n->right), key, erased);
+    } else {
+      *erased = true;
+      // Rotate the node down until it has at most one child, then splice.
+      if (n->left == nullptr) return std::move(n->right);
+      if (n->right == nullptr) return std::move(n->left);
+      if (n->left->priority > n->right->priority) {
+        n = RotateRight(std::move(n));
+        bool dummy = false;
+        n->right = EraseNode(std::move(n->right), key, &dummy);
+      } else {
+        n = RotateLeft(std::move(n));
+        bool dummy = false;
+        n->left = EraseNode(std::move(n->left), key, &dummy);
+      }
+    }
+    Update(n.get());
+    return n;
+  }
+
+  static void AppendInOrder(const Node* n, std::vector<K>* out) {
+    if (n == nullptr) return;
+    AppendInOrder(n->left.get(), out);
+    out->push_back(n->key);
+    AppendInOrder(n->right.get(), out);
+  }
+
+  NodePtr root_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_OS_TREAP_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (stream generators, query workloads, test
+// sweeps) draw from this RNG so that every experiment is reproducible from
+// a single seed. The generator is xoshiro256**, which is fast, has a 256-bit
+// state, and passes BigCrush; determinism across platforms matters more
+// here than cryptographic quality.
+
+#ifndef TOPKMON_UTIL_RNG_H_
+#define TOPKMON_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace topkmon {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds yield uncorrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Splits off an independent generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_RNG_H_

@@ -1,0 +1,70 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace topkmon {
+
+std::string RunningStat::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.6g stddev=%.6g min=%.6g max=%.6g n=%llu", mean(),
+                stddev(), min(), max(),
+                static_cast<unsigned long long>(n_));
+  return buf;
+}
+
+EngineStats& EngineStats::operator+=(const EngineStats& o) {
+  cycles += o.cycles;
+  arrivals += o.arrivals;
+  expirations += o.expirations;
+  cells_visited += o.cells_visited;
+  points_scored += o.points_scored;
+  recomputations += o.recomputations;
+  initial_computations += o.initial_computations;
+  result_changes += o.result_changes;
+  skyband_insertions += o.skyband_insertions;
+  skyband_evictions += o.skyband_evictions;
+  view_refills += o.view_refills;
+  maintenance_seconds += o.maintenance_seconds;
+  return *this;
+}
+
+EngineStats Subtract(const EngineStats& a, const EngineStats& b) {
+  EngineStats d;
+  d.cycles = a.cycles - b.cycles;
+  d.arrivals = a.arrivals - b.arrivals;
+  d.expirations = a.expirations - b.expirations;
+  d.cells_visited = a.cells_visited - b.cells_visited;
+  d.points_scored = a.points_scored - b.points_scored;
+  d.recomputations = a.recomputations - b.recomputations;
+  d.initial_computations = a.initial_computations - b.initial_computations;
+  d.result_changes = a.result_changes - b.result_changes;
+  d.skyband_insertions = a.skyband_insertions - b.skyband_insertions;
+  d.skyband_evictions = a.skyband_evictions - b.skyband_evictions;
+  d.view_refills = a.view_refills - b.view_refills;
+  d.maintenance_seconds = a.maintenance_seconds - b.maintenance_seconds;
+  return d;
+}
+
+std::string EngineStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cycles=%llu arrivals=%llu expirations=%llu cells=%llu scored=%llu "
+      "recomputes=%llu initial=%llu changes=%llu skyband(ins=%llu evict=%llu) "
+      "refills=%llu time=%.4fs",
+      static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(arrivals),
+      static_cast<unsigned long long>(expirations),
+      static_cast<unsigned long long>(cells_visited),
+      static_cast<unsigned long long>(points_scored),
+      static_cast<unsigned long long>(recomputations),
+      static_cast<unsigned long long>(initial_computations),
+      static_cast<unsigned long long>(result_changes),
+      static_cast<unsigned long long>(skyband_insertions),
+      static_cast<unsigned long long>(skyband_evictions),
+      static_cast<unsigned long long>(view_refills), maintenance_seconds);
+  return buf;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,42 @@
+// Fixed-width text table printer for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper by
+// printing its rows/series; this printer keeps that output aligned and
+// diff-friendly.
+
+#ifndef TOPKMON_UTIL_TABLE_PRINTER_H_
+#define TOPKMON_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace topkmon {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string Num(double v, int precision = 4);
+  static std::string Int(std::int64_t v);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,116 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace topkmon {
+namespace {
+
+TEST(PointTest, DefaultIsZeroDimensional) {
+  Point p;
+  EXPECT_EQ(p.dim(), 0);
+}
+
+TEST(PointTest, DimConstructorZeroInitializes) {
+  Point p(3);
+  EXPECT_EQ(p.dim(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, InitializerListSetsCoords) {
+  Point p{0.25, 0.5, 0.75};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p[0], 0.25);
+  EXPECT_EQ(p[1], 0.5);
+  EXPECT_EQ(p[2], 0.75);
+}
+
+TEST(PointTest, MutationThroughIndex) {
+  Point p(2);
+  p[1] = 0.9;
+  EXPECT_EQ(p[1], 0.9);
+}
+
+TEST(PointTest, InUnitSpaceAcceptsBoundaries) {
+  EXPECT_TRUE((Point{0.0, 1.0}).InUnitSpace());
+  EXPECT_TRUE((Point{0.5, 0.5}).InUnitSpace());
+}
+
+TEST(PointTest, InUnitSpaceRejectsOutside) {
+  EXPECT_FALSE((Point{-0.01, 0.5}).InUnitSpace());
+  EXPECT_FALSE((Point{0.5, 1.01}).InUnitSpace());
+}
+
+TEST(PointTest, InUnitSpaceRejectsNonFinite) {
+  EXPECT_FALSE((Point{std::nan(""), 0.5}).InUnitSpace());
+  EXPECT_FALSE((Point{0.5, std::numeric_limits<double>::infinity()})
+                   .InUnitSpace());
+}
+
+TEST(PointTest, EqualityRequiresSameDimAndCoords) {
+  EXPECT_EQ((Point{0.1, 0.2}), (Point{0.1, 0.2}));
+  EXPECT_FALSE((Point{0.1, 0.2}) == (Point{0.1}));
+  EXPECT_FALSE((Point{0.1, 0.2}) == (Point{0.1, 0.3}));
+}
+
+TEST(PointTest, ToStringFormats) {
+  EXPECT_EQ((Point{0.5, 1.0}).ToString(), "(0.5000, 1.0000)");
+}
+
+TEST(RectTest, UnitSpaceSpansZeroToOne) {
+  Rect r = Rect::UnitSpace(3);
+  EXPECT_EQ(r.dim(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.lo()[i], 0.0);
+    EXPECT_EQ(r.hi()[i], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(r.Volume(), 1.0);
+}
+
+TEST(RectTest, ContainsIsInclusive) {
+  Rect r(Point{0.2, 0.2}, Point{0.8, 0.8});
+  EXPECT_TRUE(r.Contains(Point{0.2, 0.8}));
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{0.19, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{0.5, 0.81}));
+}
+
+TEST(RectTest, IntersectsDetectsOverlapAndTouch) {
+  Rect a(Point{0.0, 0.0}, Point{0.5, 0.5});
+  Rect b(Point{0.4, 0.4}, Point{1.0, 1.0});
+  Rect c(Point{0.5, 0.5}, Point{1.0, 1.0});  // touches a at one corner
+  Rect d(Point{0.6, 0.6}, Point{1.0, 1.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(d));
+}
+
+TEST(RectTest, VolumeIsProductOfExtents) {
+  Rect r(Point{0.0, 0.25}, Point{0.5, 0.75});
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.25);
+}
+
+TEST(RectTest, DegenerateRectHasZeroVolumeButContainsItsPoints) {
+  Rect r(Point{0.5, 0.5}, Point{0.5, 0.9});
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.7}));
+}
+
+TEST(ValidatePointTest, AcceptsValid) {
+  EXPECT_TRUE(ValidatePoint(Point{0.3, 0.4}, 2).ok());
+}
+
+TEST(ValidatePointTest, RejectsWrongDim) {
+  const Status s = ValidatePoint(Point{0.3}, 2);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatePointTest, RejectsOutOfRange) {
+  const Status s = ValidatePoint(Point{0.3, 1.5}, 2);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace topkmon

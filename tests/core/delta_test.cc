@@ -1,0 +1,172 @@
+#include "core/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/brute_force_engine.h"
+#include "core/sma_engine.h"
+#include "core/tma_engine.h"
+#include "tests/test_util.h"
+#include "tsl/tsl_engine.h"
+
+namespace topkmon {
+namespace {
+
+TEST(DeltaTrackerTest, DisabledTrackerDoesNothing) {
+  DeltaTracker tracker;
+  EXPECT_FALSE(tracker.enabled());
+  tracker.Report(1, 0, {{1, 0.5}});  // must be a no-op, not a crash
+  EXPECT_EQ(tracker.MemoryBytes(), 0u);
+}
+
+TEST(DeltaTrackerTest, FirstReportIsAllAdded) {
+  DeltaTracker tracker;
+  std::vector<ResultDelta> deltas;
+  tracker.SetCallback([&](const ResultDelta& d) { deltas.push_back(d); });
+  tracker.Report(7, 3, {{10, 0.9}, {11, 0.8}});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].query, 7u);
+  EXPECT_EQ(deltas[0].when, 3);
+  EXPECT_EQ(deltas[0].added.size(), 2u);
+  EXPECT_TRUE(deltas[0].removed.empty());
+}
+
+TEST(DeltaTrackerTest, UnchangedResultIsSilent) {
+  DeltaTracker tracker;
+  int calls = 0;
+  tracker.SetCallback([&](const ResultDelta&) { ++calls; });
+  tracker.Report(1, 1, {{10, 0.9}});
+  tracker.Report(1, 2, {{10, 0.9}});
+  tracker.Report(1, 3, {{10, 0.9}});
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DeltaTrackerTest, ChangeReportsAddedAndRemoved) {
+  DeltaTracker tracker;
+  std::vector<ResultDelta> deltas;
+  tracker.SetCallback([&](const ResultDelta& d) { deltas.push_back(d); });
+  tracker.Report(1, 1, {{10, 0.9}, {11, 0.8}});
+  tracker.Report(1, 2, {{10, 0.9}, {12, 0.85}});
+  ASSERT_EQ(deltas.size(), 2u);
+  ASSERT_EQ(deltas[1].added.size(), 1u);
+  EXPECT_EQ(deltas[1].added[0].id, 12u);
+  ASSERT_EQ(deltas[1].removed.size(), 1u);
+  EXPECT_EQ(deltas[1].removed[0].id, 11u);
+}
+
+TEST(DeltaTrackerTest, ForgetDropsState) {
+  DeltaTracker tracker;
+  int calls = 0;
+  tracker.SetCallback([&](const ResultDelta&) { ++calls; });
+  tracker.Report(1, 1, {{10, 0.9}});
+  tracker.Forget(1);
+  tracker.Report(1, 2, {{10, 0.9}});  // reported as new again
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(DeltaTrackerTest, ClearingCallbackResetsState) {
+  DeltaTracker tracker;
+  tracker.SetCallback([](const ResultDelta&) {});
+  tracker.Report(1, 1, {{10, 0.9}});
+  EXPECT_GT(tracker.MemoryBytes(), 0u);
+  tracker.SetCallback(nullptr);
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_EQ(tracker.MemoryBytes(), 0u);
+}
+
+// Engine-level contract: replaying the deltas reconstructs the current
+// result exactly, for every engine, over a random stream.
+template <typename EngineT>
+void CheckDeltaReplay(EngineT& engine) {
+  const int dim = engine.dim();
+  QuerySpec q;
+  q.id = 1;
+  q.k = 5;
+  q.function = std::make_shared<LinearFunction>(
+      std::vector<double>(dim, 1.0));
+  std::map<RecordId, double> replayed;
+  std::uint64_t callbacks = 0;
+  engine.SetDeltaCallback([&](const ResultDelta& d) {
+    ++callbacks;
+    ASSERT_EQ(d.query, 1u);
+    for (const ResultEntry& e : d.removed) {
+      ASSERT_EQ(replayed.erase(e.id), 1u) << "removed unknown entry";
+    }
+    for (const ResultEntry& e : d.added) {
+      ASSERT_TRUE(replayed.emplace(e.id, e.score).second)
+          << "added duplicate entry";
+    }
+  });
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(q));
+  RecordSource source(MakeGenerator(Distribution::kIndependent, dim, 77));
+  for (Timestamp now = 1; now <= 40; ++now) {
+    TOPKMON_ASSERT_OK(engine.ProcessCycle(now, source.NextBatch(25, now)));
+    const auto result = engine.CurrentResult(1);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(replayed.size(), result->size()) << "at t=" << now;
+    for (const ResultEntry& e : *result) {
+      auto it = replayed.find(e.id);
+      ASSERT_NE(it, replayed.end());
+      EXPECT_EQ(it->second, e.score);
+    }
+  }
+  EXPECT_GT(callbacks, 1u);
+}
+
+TEST(EngineDeltaTest, TmaDeltasReplayToCurrentResult) {
+  GridEngineOptions opt;
+  opt.dim = 2;
+  opt.window = WindowSpec::Count(300);
+  opt.cell_budget = 256;
+  TmaEngine engine(opt);
+  CheckDeltaReplay(engine);
+}
+
+TEST(EngineDeltaTest, SmaDeltasReplayToCurrentResult) {
+  GridEngineOptions opt;
+  opt.dim = 2;
+  opt.window = WindowSpec::Count(300);
+  opt.cell_budget = 256;
+  SmaEngine engine(opt);
+  CheckDeltaReplay(engine);
+}
+
+TEST(EngineDeltaTest, TslDeltasReplayToCurrentResult) {
+  TslOptions opt;
+  opt.dim = 2;
+  opt.window = WindowSpec::Count(300);
+  TslEngine engine(opt);
+  CheckDeltaReplay(engine);
+}
+
+TEST(EngineDeltaTest, BruteDeltasReplayToCurrentResult) {
+  BruteForceEngine engine(2, WindowSpec::Count(300));
+  CheckDeltaReplay(engine);
+}
+
+TEST(EngineDeltaTest, RegistrationEmitsInitialResult) {
+  GridEngineOptions opt;
+  opt.dim = 2;
+  opt.window = WindowSpec::Count(100);
+  opt.cell_budget = 64;
+  TmaEngine engine(opt);
+  RecordSource source(MakeGenerator(Distribution::kIndependent, 2, 5));
+  TOPKMON_ASSERT_OK(engine.ProcessCycle(1, source.NextBatch(100, 1)));
+  std::vector<ResultDelta> deltas;
+  engine.SetDeltaCallback(
+      [&](const ResultDelta& d) { deltas.push_back(d); });
+  QuerySpec q;
+  q.id = 9;
+  q.k = 3;
+  q.function = std::make_shared<LinearFunction>(
+      std::vector<double>{1.0, 1.0});
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(q));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].query, 9u);
+  EXPECT_EQ(deltas[0].added.size(), 3u);
+  EXPECT_TRUE(deltas[0].removed.empty());
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,140 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace topkmon {
+namespace {
+
+QuerySpec MakeSpec(int k, std::vector<double> weights) {
+  QuerySpec spec;
+  spec.id = 1;
+  spec.k = k;
+  spec.function = std::make_shared<LinearFunction>(std::move(weights));
+  return spec;
+}
+
+TEST(QuerySpecTest, ValidSpecPasses) {
+  EXPECT_TRUE(MakeSpec(5, {1.0, 2.0}).Validate(2).ok());
+}
+
+TEST(QuerySpecTest, RejectsNonPositiveK) {
+  EXPECT_EQ(MakeSpec(0, {1.0, 2.0}).Validate(2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeSpec(-3, {1.0, 2.0}).Validate(2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuerySpecTest, RejectsMissingFunction) {
+  QuerySpec spec;
+  spec.k = 1;
+  EXPECT_EQ(spec.Validate(2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuerySpecTest, RejectsDimMismatch) {
+  EXPECT_EQ(MakeSpec(1, {1.0, 2.0, 3.0}).Validate(2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuerySpecTest, RejectsConstraintDimMismatch) {
+  QuerySpec spec = MakeSpec(1, {1.0, 2.0});
+  spec.constraint = Rect::UnitSpace(3);
+  EXPECT_EQ(spec.Validate(2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuerySpecTest, RejectsConstraintOutsideUnitSpace) {
+  QuerySpec spec = MakeSpec(1, {1.0, 2.0});
+  Point hi{1.0, 1.0};
+  hi[0] = 1.5;
+  spec.constraint = Rect(Point{0.0, 0.0}, hi);
+  EXPECT_EQ(spec.Validate(2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultOrderTest, DescendingScoreThenDescendingId) {
+  EXPECT_TRUE(ResultOrder({1, 2.0}, {2, 1.0}));
+  EXPECT_FALSE(ResultOrder({2, 1.0}, {1, 2.0}));
+  EXPECT_TRUE(ResultOrder({5, 1.0}, {3, 1.0}));  // newer id first on tie
+  EXPECT_FALSE(ResultOrder({3, 1.0}, {5, 1.0}));
+}
+
+TEST(TopKListTest, KeepsBestKSorted) {
+  TopKList list(3);
+  list.Consider(1, 0.5);
+  list.Consider(2, 0.9);
+  list.Consider(3, 0.1);
+  list.Consider(4, 0.7);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.entries()[0].id, 2u);
+  EXPECT_EQ(list.entries()[1].id, 4u);
+  EXPECT_EQ(list.entries()[2].id, 1u);
+  EXPECT_DOUBLE_EQ(list.KthScore(), 0.5);
+  EXPECT_TRUE(list.full());
+}
+
+TEST(TopKListTest, KthScoreIsMinusInfinityWhileNotFull) {
+  TopKList list(2);
+  EXPECT_EQ(list.KthScore(), -std::numeric_limits<double>::infinity());
+  list.Consider(1, 0.5);
+  EXPECT_EQ(list.KthScore(), -std::numeric_limits<double>::infinity());
+  list.Consider(2, 0.6);
+  EXPECT_DOUBLE_EQ(list.KthScore(), 0.5);
+}
+
+TEST(TopKListTest, RejectsWorseThanKth) {
+  TopKList list(2);
+  list.Consider(1, 0.9);
+  list.Consider(2, 0.8);
+  EXPECT_FALSE(list.Consider(3, 0.7));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(TopKListTest, EqualScoreNewerIdReplacesOlder) {
+  TopKList list(2);
+  list.Consider(1, 0.9);
+  list.Consider(2, 0.5);
+  // Newer record ties the kth score: per the arrival rule (score >=
+  // top_score) it enters and the older equal entry leaves.
+  EXPECT_TRUE(list.Consider(7, 0.5));
+  EXPECT_TRUE(list.Contains(7));
+  EXPECT_FALSE(list.Contains(2));
+}
+
+TEST(TopKListTest, EqualScoreOlderIdRejectedWhenFull) {
+  TopKList list(2);
+  list.Consider(5, 0.9);
+  list.Consider(6, 0.5);
+  EXPECT_FALSE(list.Consider(2, 0.5));
+  EXPECT_TRUE(list.Contains(6));
+}
+
+TEST(TopKListTest, RemoveAndContains) {
+  TopKList list(3);
+  list.Consider(1, 0.5);
+  list.Consider(2, 0.6);
+  EXPECT_TRUE(list.Contains(1));
+  EXPECT_TRUE(list.Remove(1));
+  EXPECT_FALSE(list.Contains(1));
+  EXPECT_FALSE(list.Remove(1));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(TopKListTest, ClearEmpties) {
+  TopKList list(2);
+  list.Consider(1, 0.5);
+  list.Clear();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.full());
+}
+
+TEST(TopKListTest, KOneBehaves) {
+  TopKList list(1);
+  list.Consider(1, 0.3);
+  EXPECT_TRUE(list.Consider(2, 0.4));
+  EXPECT_FALSE(list.Consider(3, 0.2));
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.entries()[0].id, 2u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,185 @@
+#include "core/skyband.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+std::vector<RecordId> Ids(const Skyband& s) {
+  std::vector<RecordId> out;
+  for (const SkybandEntry& e : s.entries()) out.push_back(e.id);
+  return out;
+}
+
+TEST(SkybandTest, RebuildFromResultComputesDominanceCounters) {
+  // Figure 2(b)-style setup: entries in ResultOrder (desc score); arrival
+  // (= expiry) order is the id. For each entry, DC = higher-scoring
+  // records that arrive later.
+  Skyband s(3);
+  s.Rebuild({{5, 0.9}, {7, 0.8}, {2, 0.7}, {9, 0.6}});
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.entries()[0].dominance, 0);  // id 5, score .9: none above
+  EXPECT_EQ(s.entries()[1].dominance, 0);  // id 7: id 5 is above but older
+  EXPECT_EQ(s.entries()[2].dominance, 2);  // id 2: ids 5 and 7 later+higher
+  EXPECT_EQ(s.entries()[3].dominance, 0);  // id 9: nothing above is newer
+}
+
+TEST(SkybandTest, InsertIncrementsLowerScoredCounters) {
+  Skyband s(2);
+  s.Rebuild({{1, 0.9}, {2, 0.5}});
+  // New arrival (id 3) with middle score dominates entry 2 only.
+  s.Insert(3, 0.7);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(Ids(s), (std::vector<RecordId>{1, 3, 2}));
+  EXPECT_EQ(s.entries()[2].dominance, 1);
+}
+
+TEST(SkybandTest, InsertEvictsAtDominanceK) {
+  // Figure 10's pattern: a high-scoring, latest-expiring arrival bumps the
+  // dominance counter of everything below it; entries reaching DC = k
+  // leave the 2-skyband.
+  Skyband s(2);
+  s.Rebuild({{10, 0.9}, {6, 0.6}, {8, 0.5}, {12, 0.3}});
+  EXPECT_EQ(s.entries()[0].dominance, 0);  // id 10: top score
+  EXPECT_EQ(s.entries()[1].dominance, 1);  // id 6: dominated by 10
+  EXPECT_EQ(s.entries()[2].dominance, 1);  // id 8: dominated by 10
+  EXPECT_EQ(s.entries()[3].dominance, 0);  // id 12: newest, higher ones older
+  // Arrival id 13 with score 0.8 dominates ids 6, 8 (reaching DC=2,
+  // evicted) and id 12 (DC=1).
+  const std::size_t evicted = s.Insert(13, 0.8);
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(Ids(s), (std::vector<RecordId>{10, 13, 12}));
+  EXPECT_EQ(s.entries()[2].dominance, 1);  // id 12
+}
+
+TEST(SkybandTest, RemoveOnlyTouchesMatchingEntry) {
+  Skyband s(2);
+  s.Rebuild({{4, 0.9}, {6, 0.5}});
+  EXPECT_TRUE(s.Remove(4));
+  EXPECT_FALSE(s.Remove(4));
+  EXPECT_FALSE(s.Remove(99));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.entries()[0].id, 6u);
+  EXPECT_EQ(s.entries()[0].dominance, 0);  // unchanged by removal
+}
+
+TEST(SkybandTest, TopKIsPrefix) {
+  Skyband s(2);
+  s.Rebuild({{1, 0.9}});
+  s.Insert(2, 0.8);
+  s.Insert(3, 0.7);
+  const std::vector<ResultEntry> top = s.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(SkybandTest, TopKWithFewerThanKEntries) {
+  Skyband s(5);
+  s.Insert(1, 0.5);
+  EXPECT_EQ(s.TopK().size(), 1u);
+}
+
+TEST(SkybandTest, ContainsFindsById) {
+  Skyband s(2);
+  s.Insert(3, 0.5);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(SkybandTest, EqualScoresNewerDominatesOlder) {
+  Skyband s(1);
+  s.Insert(1, 0.5);
+  // Same score, newer arrival: under the paper's <= rule the old entry is
+  // dominated and (k=1) evicted.
+  const std::size_t evicted = s.Insert(2, 0.5);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(Ids(s), std::vector<RecordId>{2});
+}
+
+TEST(BruteForceSkybandTest, MatchesDefinition) {
+  // Points: (id=expiry, score).
+  const std::vector<ResultEntry> pts = {
+      {1, 0.9}, {2, 0.3}, {3, 0.5}, {4, 0.4}};
+  // Dominators (higher score, later expiry): id 2 is dominated by ids 3
+  // and 4; ids 1, 3, 4 are undominated (id 1 has the top score; nothing
+  // newer than 3 or 4 scores higher).
+  const std::vector<RecordId> sky1 = BruteForceSkyband(pts, 1);
+  EXPECT_EQ(sky1, (std::vector<RecordId>{1, 3, 4}));
+  // id 2 has exactly two dominators, so it joins the 3-skyband but not
+  // the 2-skyband.
+  const std::vector<RecordId> sky2 = BruteForceSkyband(pts, 2);
+  EXPECT_EQ(sky2, (std::vector<RecordId>{1, 3, 4}));
+  const std::vector<RecordId> sky3 = BruteForceSkyband(pts, 3);
+  EXPECT_EQ(sky3, (std::vector<RecordId>{1, 2, 3, 4}));
+}
+
+// Differential test: maintaining a Skyband over a random arrival stream
+// (all arrivals admitted, threshold -inf) matches the brute-force
+// k-skyband of the live set at every step — restricted to the entries the
+// incremental structure is required to keep (it may evict dominated ones
+// early, but the first-k prefix must always match the true top-k).
+TEST(SkybandTest, IncrementalTopKMatchesBruteForceUnderArrivals) {
+  Rng rng(17);
+  for (int k : {1, 2, 3, 5}) {
+    Skyband s(k);
+    std::vector<ResultEntry> live;
+    for (RecordId id = 1; id <= 300; ++id) {
+      const double score = rng.Uniform();
+      s.Insert(id, score);
+      live.push_back({id, score});
+      // True top-k of the live set:
+      std::vector<ResultEntry> sorted = live;
+      std::sort(sorted.begin(), sorted.end(), ResultOrder);
+      sorted.resize(std::min<std::size_t>(sorted.size(), k));
+      const std::vector<ResultEntry> got = s.TopK();
+      ASSERT_EQ(got, sorted) << "k=" << k << " id=" << id;
+      // Skyband must contain every brute-force k-skyband member... the
+      // incremental skyband equals it exactly:
+      const std::vector<RecordId> oracle = BruteForceSkyband(live, k);
+      // (Oracle over the full arrival history: expired nothing yet.)
+      std::vector<RecordId> have = Ids(s);
+      std::sort(have.begin(), have.end());
+      std::vector<RecordId> want = oracle;
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(have, want) << "k=" << k << " id=" << id;
+    }
+  }
+}
+
+// Expiry side: popping the earliest-arrival entries in order yields the
+// successive future top-k results (Figure 2: the skyband contains exactly
+// the records that appear in some result).
+TEST(SkybandTest, ExpiryReplaysFutureResults) {
+  Rng rng(23);
+  const int k = 3;
+  Skyband s(k);
+  std::vector<ResultEntry> live;
+  for (RecordId id = 1; id <= 100; ++id) {
+    const double score = rng.Uniform();
+    s.Insert(id, score);
+    live.push_back({id, score});
+  }
+  // No more arrivals: expire records one at a time (FIFO by id).
+  for (RecordId expired = 1; expired <= 100; ++expired) {
+    // Remove the expired record from both structures.
+    s.Remove(expired);
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [expired](const ResultEntry& e) {
+                                return e.id == expired;
+                              }),
+               live.end());
+    std::vector<ResultEntry> sorted = live;
+    std::sort(sorted.begin(), sorted.end(), ResultOrder);
+    sorted.resize(std::min<std::size_t>(sorted.size(), k));
+    ASSERT_EQ(s.TopK(), sorted) << "after expiry of " << expired;
+  }
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,168 @@
+#include "core/skyline_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "stream/generators.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+TEST(DominanceTest, StrictDominanceRequiresOneStrictAxis) {
+  EXPECT_TRUE(Dominates(Point{0.5, 0.5}, Point{0.5, 0.4}));
+  EXPECT_TRUE(Dominates(Point{0.6, 0.6}, Point{0.5, 0.5}));
+  EXPECT_FALSE(Dominates(Point{0.5, 0.5}, Point{0.5, 0.5}));
+  EXPECT_FALSE(Dominates(Point{0.6, 0.4}, Point{0.5, 0.5}));
+}
+
+TEST(DominanceTest, WeakDominanceAcceptsEquality) {
+  EXPECT_TRUE(DominatesOrEquals(Point{0.5, 0.5}, Point{0.5, 0.5}));
+  EXPECT_TRUE(DominatesOrEquals(Point{0.6, 0.5}, Point{0.5, 0.5}));
+  EXPECT_FALSE(DominatesOrEquals(Point{0.4, 0.9}, Point{0.5, 0.5}));
+}
+
+TEST(SkylineMonitorTest, SimpleSkyline) {
+  SkylineMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.9, 0.2}, 1), Record(1, Point{0.5, 0.5}, 1),
+          Record(2, Point{0.2, 0.9}, 1), Record(3, Point{0.4, 0.4}, 1)}));
+  const std::vector<Record> skyline = monitor.CurrentSkyline();
+  std::set<RecordId> ids;
+  for (const Record& r : skyline) ids.insert(r.id);
+  // Record 3 is dominated by record 1; the rest are incomparable.
+  EXPECT_EQ(ids, (std::set<RecordId>{0, 1, 2}));
+}
+
+TEST(SkylineMonitorTest, ArrivalEvictsSupersededCandidates) {
+  SkylineMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.5, 0.5}, 1), Record(1, Point{0.4, 0.4}, 1)}));
+  EXPECT_EQ(monitor.CandidateCount(), 2u);  // 1 may outlive 0
+  // A new record strictly dominating both: candidates collapse to it.
+  TOPKMON_ASSERT_OK(
+      monitor.ProcessCycle(2, {Record(2, Point{0.6, 0.6}, 2)}));
+  EXPECT_EQ(monitor.CandidateCount(), 1u);
+  const std::vector<Record> skyline = monitor.CurrentSkyline();
+  ASSERT_EQ(skyline.size(), 1u);
+  EXPECT_EQ(skyline[0].id, 2u);
+}
+
+TEST(SkylineMonitorTest, ExactDuplicatesBothStayInSkyline) {
+  SkylineMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.7, 0.7}, 1), Record(1, Point{0.7, 0.7}, 1)}));
+  EXPECT_EQ(monitor.CandidateCount(), 2u);
+  EXPECT_EQ(monitor.CurrentSkyline().size(), 2u);
+}
+
+TEST(SkylineMonitorTest, DominatedByOlderStaysAsCandidate) {
+  SkylineMonitor monitor(2, WindowSpec::Count(2));
+  // Record 0 dominates record 1, but 1 arrives later: 1 must be retained
+  // because it enters the skyline once 0 expires.
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.8, 0.8}, 1), Record(1, Point{0.3, 0.3}, 1)}));
+  auto skyline = monitor.CurrentSkyline();
+  ASSERT_EQ(skyline.size(), 1u);
+  EXPECT_EQ(skyline[0].id, 0u);
+  EXPECT_EQ(monitor.CandidateCount(), 2u);
+  // Push record 0 out of the 2-record window.
+  TOPKMON_ASSERT_OK(
+      monitor.ProcessCycle(2, {Record(2, Point{0.1, 0.9}, 2)}));
+  skyline = monitor.CurrentSkyline();
+  std::set<RecordId> ids;
+  for (const Record& r : skyline) ids.insert(r.id);
+  EXPECT_EQ(ids, (std::set<RecordId>{1, 2}));
+}
+
+TEST(SkylineMonitorTest, RejectsMalformedInput) {
+  SkylineMonitor monitor(2, WindowSpec::Count(10));
+  EXPECT_EQ(monitor.ProcessCycle(1, {Record(0, Point{1.2, 0.5}, 1)}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(
+      monitor.ProcessCycle(1, {Record(0, Point{0.5, 0.5, 0.5}, 1)}).code(),
+      StatusCode::kInvalidArgument);
+}
+
+// Differential test against a full-scan skyline oracle across window
+// kinds, dimensionalities and distributions.
+class SkylineMonitorProperty
+    : public ::testing::TestWithParam<std::tuple<int, Distribution>> {};
+
+TEST_P(SkylineMonitorProperty, MatchesBruteForceOracle) {
+  const auto [dim, dist] = GetParam();
+  const std::size_t window_n = 150;
+  SkylineMonitor monitor(dim, WindowSpec::Count(window_n));
+  SlidingWindow shadow = SlidingWindow::CountBased(window_n);
+  RecordSource source(
+      MakeGenerator(dist, dim, 300 + static_cast<std::uint64_t>(dim)));
+  Timestamp now = 0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    ++now;
+    const std::vector<Record> batch = source.NextBatch(20, now);
+    TOPKMON_ASSERT_OK(monitor.ProcessCycle(now, batch));
+    for (const Record& r : batch) ASSERT_TRUE(shadow.Append(r).ok());
+    shadow.EvictExpired(now);
+    // Oracle: O(n^2) skyline of the shadow window.
+    std::set<RecordId> want;
+    for (const Record& p : shadow) {
+      bool dominated = false;
+      for (const Record& q : shadow) {
+        if (q.id != p.id && Dominates(q.position, p.position)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) want.insert(p.id);
+    }
+    std::set<RecordId> got;
+    for (const Record& r : monitor.CurrentSkyline()) got.insert(r.id);
+    ASSERT_EQ(got, want) << "cycle " << cycle << " dim " << dim;
+    // The candidate set is always a superset of the skyline and a subset
+    // of the window.
+    EXPECT_GE(monitor.CandidateCount(), got.size());
+    EXPECT_LE(monitor.CandidateCount(), shadow.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkylineMonitorProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(Distribution::kIndependent,
+                                         Distribution::kAntiCorrelated,
+                                         Distribution::kClustered)));
+
+TEST(SkylineMonitorTest, TimeBasedWindowDrains) {
+  SkylineMonitor monitor(2, WindowSpec::Time(3));
+  TOPKMON_ASSERT_OK(
+      monitor.ProcessCycle(1, {Record(0, Point{0.9, 0.9}, 1)}));
+  EXPECT_EQ(monitor.CurrentSkyline().size(), 1u);
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(5, {}));
+  EXPECT_EQ(monitor.CurrentSkyline().size(), 0u);
+  EXPECT_EQ(monitor.WindowSize(), 0u);
+  EXPECT_EQ(monitor.CandidateCount(), 0u);
+}
+
+TEST(SkylineMonitorTest, AntiCorrelatedSkylineIsLarger) {
+  // Classic skyline behavior: ANT data have much larger skylines than IND
+  // (every band point is nearly incomparable with its neighbors).
+  auto run = [](Distribution dist) {
+    SkylineMonitor monitor(3, WindowSpec::Count(2000));
+    RecordSource source(MakeGenerator(dist, 3, 9));
+    Timestamp now = 0;
+    for (int c = 0; c < 10; ++c) {
+      ++now;
+      [&] {
+        TOPKMON_ASSERT_OK(monitor.ProcessCycle(now, source.NextBatch(200, now)));
+      }();
+    }
+    return monitor.CurrentSkyline().size();
+  };
+  EXPECT_GT(run(Distribution::kAntiCorrelated),
+            2 * run(Distribution::kIndependent));
+}
+
+}  // namespace
+}  // namespace topkmon

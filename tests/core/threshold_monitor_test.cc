@@ -1,0 +1,149 @@
+#include "core/threshold_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/generators.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+ThresholdQuerySpec ThresholdQuery(QueryId id, double tau,
+                                  std::vector<double> w) {
+  ThresholdQuerySpec spec;
+  spec.id = id;
+  spec.threshold = tau;
+  spec.function = std::make_shared<LinearFunction>(std::move(w));
+  return spec;
+}
+
+TEST(ThresholdMonitorTest, ValidationErrors) {
+  ThresholdMonitor monitor(2, WindowSpec::Count(10));
+  ThresholdQuerySpec bad;
+  bad.id = 1;
+  EXPECT_EQ(monitor.RegisterQuery(bad).code(),
+            StatusCode::kInvalidArgument);
+  ThresholdQuerySpec wrong_dim = ThresholdQuery(1, 0.5, {1.0, 1.0, 1.0});
+  EXPECT_EQ(monitor.RegisterQuery(wrong_dim).code(),
+            StatusCode::kInvalidArgument);
+  ThresholdQuerySpec nan_tau = ThresholdQuery(1, std::nan(""), {1.0, 1.0});
+  EXPECT_EQ(monitor.RegisterQuery(nan_tau).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ThresholdMonitorTest, DuplicateAndUnknownIds) {
+  ThresholdMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(monitor.RegisterQuery(ThresholdQuery(1, 0.5, {1, 1})));
+  EXPECT_EQ(monitor.RegisterQuery(ThresholdQuery(1, 0.5, {1, 1})).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(monitor.UnregisterQuery(2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(monitor.CurrentResult(2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ThresholdMonitorTest, InitialResultCoversExistingRecords) {
+  ThresholdMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.9, 0.9}, 1), Record(1, Point{0.2, 0.2}, 1),
+          Record(2, Point{0.6, 0.7}, 1)}));
+  TOPKMON_ASSERT_OK(
+      monitor.RegisterQuery(ThresholdQuery(1, 1.0, {1.0, 1.0})));
+  const auto result = monitor.CurrentResult(1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);  // 1.8 and 1.3 exceed 1.0; 0.4 does not
+  EXPECT_EQ((*result)[0].id, 0u);
+  EXPECT_EQ((*result)[1].id, 2u);
+}
+
+TEST(ThresholdMonitorTest, MaintenanceTracksArrivalsAndExpirations) {
+  ThresholdMonitor monitor(2, WindowSpec::Count(2));
+  TOPKMON_ASSERT_OK(
+      monitor.RegisterQuery(ThresholdQuery(1, 1.0, {1.0, 1.0})));
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.9, 0.9}, 1), Record(1, Point{0.7, 0.8}, 1)}));
+  auto result = monitor.CurrentResult(1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  // Record 0 expires when two more arrive.
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      2, {Record(2, Point{0.1, 0.1}, 2), Record(3, Point{0.95, 0.6}, 2)}));
+  result = monitor.CurrentResult(1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 3u);  // 1.55 > 1.0; records 0,1 expired
+  EXPECT_EQ(monitor.stats().recomputations, 0u);  // never needed
+}
+
+TEST(ThresholdMonitorTest, MatchesFullScanOracleOnRandomStream) {
+  const int dim = 3;
+  ThresholdMonitor monitor(dim, WindowSpec::Count(300), 512);
+  RecordSource source(MakeGenerator(Distribution::kIndependent, dim, 5));
+  // Thresholds chosen around the upper score range so results stay small.
+  std::vector<ThresholdQuerySpec> specs;
+  specs.push_back(ThresholdQuery(1, 2.2, {1.0, 1.0, 1.0}));
+  specs.push_back(ThresholdQuery(2, 1.2, {0.5, 0.9, 0.2}));
+  specs.push_back(ThresholdQuery(3, 0.95, {0.1, 0.2, 0.9}));
+  Timestamp now = 1;
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(now, source.NextBatch(300, now)));
+  for (const auto& s : specs) TOPKMON_ASSERT_OK(monitor.RegisterQuery(s));
+  // Shadow window for the oracle.
+  SlidingWindow shadow = SlidingWindow::CountBased(300);
+  {
+    RecordSource shadow_source(
+        MakeGenerator(Distribution::kIndependent, dim, 5));
+    for (const Record& r : shadow_source.NextBatch(300, 1)) {
+      ASSERT_TRUE(shadow.Append(r).ok());
+    }
+    shadow.EvictExpired(1);
+  }
+  RecordSource shadow_source(
+      MakeGenerator(Distribution::kIndependent, dim, 5));
+  shadow_source.NextBatch(300, 1);  // skip what the monitor already saw
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    ++now;
+    const std::vector<Record> batch = shadow_source.NextBatch(25, now);
+    TOPKMON_ASSERT_OK(monitor.ProcessCycle(now, batch));
+    for (const Record& r : batch) ASSERT_TRUE(shadow.Append(r).ok());
+    shadow.EvictExpired(now);
+    for (const auto& spec : specs) {
+      std::vector<double> oracle;
+      for (const Record& r : shadow) {
+        const double score = spec.function->Score(r.position);
+        if (score > spec.threshold) oracle.push_back(score);
+      }
+      std::sort(oracle.rbegin(), oracle.rend());
+      const auto got = monitor.CurrentResult(spec.id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(testing::Scores(*got), oracle)
+          << "query " << spec.id << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(ThresholdMonitorTest, UnregisterStopsMaintenance) {
+  ThresholdMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(
+      monitor.RegisterQuery(ThresholdQuery(1, 0.5, {1.0, 1.0})));
+  TOPKMON_ASSERT_OK(monitor.UnregisterQuery(1));
+  // Arrivals after unregistration must not crash on stale influence
+  // entries.
+  TOPKMON_ASSERT_OK(
+      monitor.ProcessCycle(1, {Record(0, Point{0.9, 0.9}, 1)}));
+  EXPECT_EQ(monitor.CurrentResult(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ThresholdMonitorTest, VeryHighThresholdYieldsEmptyResult) {
+  ThresholdMonitor monitor(2, WindowSpec::Count(10));
+  TOPKMON_ASSERT_OK(monitor.ProcessCycle(
+      1, {Record(0, Point{0.9, 0.9}, 1)}));
+  TOPKMON_ASSERT_OK(
+      monitor.RegisterQuery(ThresholdQuery(1, 5.0, {1.0, 1.0})));
+  const auto result = monitor.CurrentResult(1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(monitor.stats().cells_visited, 0u);  // no cell beats tau=5
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,168 @@
+#include "core/update_stream_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/record_pool.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+GridEngineOptions SmallOptions(int dim) {
+  GridEngineOptions opt;
+  opt.dim = dim;
+  opt.cell_budget = 256;
+  return opt;
+}
+
+QuerySpec LinearQuery(QueryId id, int k, std::vector<double> w) {
+  QuerySpec spec;
+  spec.id = id;
+  spec.k = k;
+  spec.function = std::make_shared<LinearFunction>(std::move(w));
+  return spec;
+}
+
+UpdateOp Insert(RecordId id, Point p) {
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kInsert;
+  op.record = Record(id, std::move(p), 0);
+  return op;
+}
+
+UpdateOp Delete(RecordId id) {
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kDelete;
+  op.record.id = id;
+  return op;
+}
+
+TEST(UpdateStreamEngineTest, InsertionsBuildResult) {
+  UpdateStreamTmaEngine engine(SmallOptions(2));
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(LinearQuery(1, 2, {1.0, 1.0})));
+  TOPKMON_ASSERT_OK(engine.ProcessBatch({Insert(0, Point{0.9, 0.9}),
+                                         Insert(1, Point{0.2, 0.2}),
+                                         Insert(2, Point{0.5, 0.6})}));
+  const auto result = engine.CurrentResult(1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].id, 0u);
+  EXPECT_EQ((*result)[1].id, 2u);
+  EXPECT_EQ(engine.LiveCount(), 3u);
+}
+
+TEST(UpdateStreamEngineTest, DeletingResultRecordTriggersRecompute) {
+  UpdateStreamTmaEngine engine(SmallOptions(2));
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(LinearQuery(1, 1, {1.0, 1.0})));
+  TOPKMON_ASSERT_OK(engine.ProcessBatch({Insert(0, Point{0.9, 0.9}),
+                                         Insert(1, Point{0.4, 0.4})}));
+  const std::uint64_t before = engine.stats().recomputations;
+  TOPKMON_ASSERT_OK(engine.ProcessBatch({Delete(0)}));
+  EXPECT_EQ(engine.stats().recomputations, before + 1);
+  const auto result = engine.CurrentResult(1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 1u);
+}
+
+TEST(UpdateStreamEngineTest, DeletingNonResultRecordIsCheap) {
+  UpdateStreamTmaEngine engine(SmallOptions(2));
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(LinearQuery(1, 1, {1.0, 1.0})));
+  TOPKMON_ASSERT_OK(engine.ProcessBatch({Insert(0, Point{0.9, 0.9}),
+                                         Insert(1, Point{0.4, 0.4})}));
+  const std::uint64_t before = engine.stats().recomputations;
+  TOPKMON_ASSERT_OK(engine.ProcessBatch({Delete(1)}));
+  EXPECT_EQ(engine.stats().recomputations, before);
+}
+
+TEST(UpdateStreamEngineTest, DeleteUnknownIdFails) {
+  UpdateStreamTmaEngine engine(SmallOptions(2));
+  EXPECT_EQ(engine.ProcessBatch({Delete(42)}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(UpdateStreamEngineTest, DuplicateInsertFails) {
+  UpdateStreamTmaEngine engine(SmallOptions(2));
+  TOPKMON_ASSERT_OK(engine.ProcessBatch({Insert(0, Point{0.5, 0.5})}));
+  EXPECT_EQ(engine.ProcessBatch({Insert(0, Point{0.6, 0.6})}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(UpdateStreamEngineTest, MatchesOracleOnRandomChurn) {
+  const int dim = 2;
+  UpdateStreamTmaEngine engine(SmallOptions(dim));
+  const auto queries = testing::MakeRandomQueries(dim, 6, 4, 77);
+  for (const QuerySpec& q : queries) {
+    TOPKMON_ASSERT_OK(engine.RegisterQuery(q));
+  }
+  UpdateStreamGenerator gen(
+      MakeGenerator(Distribution::kIndependent, dim, 3), 0.35, 99);
+  RecordPool oracle;
+  for (int batch = 0; batch < 40; ++batch) {
+    const std::vector<UpdateOp> ops = gen.NextBatch(25, batch);
+    TOPKMON_ASSERT_OK(engine.ProcessBatch(ops));
+    for (const UpdateOp& op : ops) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        ASSERT_TRUE(oracle.Insert(op.record).ok());
+      } else {
+        ASSERT_TRUE(oracle.Erase(op.record.id).ok());
+      }
+    }
+    for (const QuerySpec& q : queries) {
+      TopKList want(q.k);
+      oracle.ForEach([&](const Record& r) {
+        want.Consider(r.id, q.function->Score(r.position));
+      });
+      const auto got = engine.CurrentResult(q.id);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(testing::Scores(*got), testing::Scores(want.entries()))
+          << "query " << q.id << " batch " << batch;
+    }
+  }
+}
+
+TEST(UpdateStreamEngineTest, ConstrainedQueryMatchesOracle) {
+  const int dim = 2;
+  UpdateStreamTmaEngine engine(SmallOptions(dim));
+  QuerySpec q = LinearQuery(1, 3, {1.0, 2.0});
+  q.constraint = Rect(Point{0.1, 0.2}, Point{0.8, 0.9});
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(q));
+  UpdateStreamGenerator gen(
+      MakeGenerator(Distribution::kIndependent, dim, 31), 0.3, 17);
+  RecordPool oracle;
+  for (int batch = 0; batch < 30; ++batch) {
+    const std::vector<UpdateOp> ops = gen.NextBatch(20, batch);
+    TOPKMON_ASSERT_OK(engine.ProcessBatch(ops));
+    for (const UpdateOp& op : ops) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        ASSERT_TRUE(oracle.Insert(op.record).ok());
+      } else {
+        ASSERT_TRUE(oracle.Erase(op.record.id).ok());
+      }
+    }
+    TopKList want(q.k);
+    oracle.ForEach([&](const Record& r) {
+      if (!q.constraint->Contains(r.position)) return;
+      want.Consider(r.id, q.function->Score(r.position));
+    });
+    const auto got = engine.CurrentResult(q.id);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(testing::Scores(*got), testing::Scores(want.entries()))
+        << "batch " << batch;
+  }
+}
+
+TEST(UpdateStreamEngineTest, UnregisterAndErrors) {
+  UpdateStreamTmaEngine engine(SmallOptions(2));
+  EXPECT_EQ(engine.UnregisterQuery(1).code(), StatusCode::kNotFound);
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(LinearQuery(1, 1, {1.0, 1.0})));
+  EXPECT_EQ(engine.RegisterQuery(LinearQuery(1, 1, {1.0, 1.0})).code(),
+            StatusCode::kAlreadyExists);
+  TOPKMON_ASSERT_OK(engine.UnregisterQuery(1));
+  EXPECT_EQ(engine.CurrentResult(1).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace topkmon

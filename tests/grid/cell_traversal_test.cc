@@ -1,0 +1,232 @@
+#include "grid/cell_traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+TEST(TraversalScratchTest, MarksResetPerEpoch) {
+  TraversalScratch scratch;
+  scratch.Reset(16);
+  EXPECT_TRUE(scratch.Mark(3));
+  EXPECT_FALSE(scratch.Mark(3));
+  EXPECT_TRUE(scratch.IsMarked(3));
+  EXPECT_FALSE(scratch.IsMarked(4));
+  scratch.Reset(16);
+  EXPECT_FALSE(scratch.IsMarked(3));
+  EXPECT_TRUE(scratch.Mark(3));
+}
+
+TEST(TraversalScratchTest, GrowsWithGrid) {
+  TraversalScratch scratch;
+  scratch.Reset(4);
+  EXPECT_TRUE(scratch.Mark(3));
+  scratch.Reset(32);
+  EXPECT_TRUE(scratch.Mark(31));
+}
+
+TEST(SeedCellTest, IncreasingFunctionsSeedAtTopCorner) {
+  Grid g(2, 10);
+  LinearFunction f({1.0, 1.0});
+  const CellCoords coords = g.Decompose(SeedCell(g, f));
+  EXPECT_EQ(coords[0], 9);
+  EXPECT_EQ(coords[1], 9);
+}
+
+TEST(SeedCellTest, MixedMonotonicitySeedsAtMixedCorner) {
+  // Figure 7a: f = x1 - x2 starts at the bottom-right corner.
+  Grid g(2, 10);
+  LinearFunction f({1.0, -1.0});
+  const CellCoords coords = g.Decompose(SeedCell(g, f));
+  EXPECT_EQ(coords[0], 9);
+  EXPECT_EQ(coords[1], 0);
+}
+
+// The core Figure 5b property: the traversal must emit every grid cell in
+// exact descending maxscore order, for any monotone function.
+class DescendingOrderProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DescendingOrderProperty, EnumeratesAllCellsInMaxScoreOrder) {
+  const auto [dim, cells_per_axis] = GetParam();
+  Grid g(dim, cells_per_axis);
+  Rng rng(100 + dim * 10 + cells_per_axis);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random mixed-sign linear function.
+    std::vector<double> w(dim);
+    for (double& x : w) x = rng.Uniform(-1.0, 1.0);
+    LinearFunction f(w);
+
+    TraversalScratch scratch;
+    MaxScoreTraversal traversal(g, f, &scratch);
+    std::vector<double> emitted;
+    std::unordered_set<CellIndex> seen;
+    while (traversal.HasNext()) {
+      const auto entry = traversal.Next();
+      emitted.push_back(entry.maxscore);
+      EXPECT_TRUE(seen.insert(entry.cell).second)
+          << "cell emitted twice: " << entry.cell;
+      // The reported key must equal the true maxscore of the cell.
+      EXPECT_DOUBLE_EQ(entry.maxscore, f.MaxScore(g.CellBounds(entry.cell)));
+    }
+    EXPECT_EQ(seen.size(), g.num_cells());
+    EXPECT_TRUE(std::is_sorted(emitted.rbegin(), emitted.rend()))
+        << "maxscores not descending";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndResolutions, DescendingOrderProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 5, 8)));
+
+TEST(MaxScoreTraversalTest, FrontierIsEnheapedButUnprocessed) {
+  Grid g(2, 8);
+  LinearFunction f({1.0, 2.0});
+  TraversalScratch scratch;
+  MaxScoreTraversal traversal(g, f, &scratch);
+  // Process only 5 cells.
+  std::unordered_set<CellIndex> processed;
+  for (int i = 0; i < 5; ++i) processed.insert(traversal.Next().cell);
+  const std::vector<CellIndex> frontier = traversal.RemainingFrontier();
+  EXPECT_FALSE(frontier.empty());
+  for (CellIndex c : frontier) {
+    EXPECT_FALSE(processed.count(c))
+        << "frontier cell was already processed";
+    // Frontier cells have lower-or-equal maxscore than any processed cell's.
+  }
+  EXPECT_EQ(traversal.num_processed(), 5u);
+}
+
+TEST(MaxScoreTraversalTest, ConstrainedVisitsOnlyIntersectingCells) {
+  Grid g(2, 10);
+  LinearFunction f({1.0, 2.0});
+  const Rect constraint(Point{0.32, 0.0}, Point{0.58, 0.45});
+  TraversalScratch scratch;
+  MaxScoreTraversal traversal(g, f, &scratch, &constraint);
+  std::size_t count = 0;
+  double last = std::numeric_limits<double>::infinity();
+  while (traversal.HasNext()) {
+    const auto entry = traversal.Next();
+    ++count;
+    EXPECT_TRUE(g.CellBounds(entry.cell).Intersects(constraint));
+    EXPECT_LE(entry.maxscore, last + 1e-12);
+    last = entry.maxscore;
+    // Clipped maxscore never exceeds the constraint's own best score.
+    EXPECT_LE(entry.maxscore, f.MaxScore(constraint) + 1e-12);
+  }
+  // The constraint spans x1 in cells 3..5 and x2 in cells 0..4 => 15 cells.
+  EXPECT_EQ(count, 15u);
+}
+
+TEST(MaxScoreTraversalTest, ConstraintSeedIsBestCornerCell) {
+  Grid g(2, 10);
+  LinearFunction f({1.0, 2.0});
+  const Rect constraint(Point{0.3, 0.0}, Point{0.6, 0.45});
+  TraversalScratch scratch;
+  MaxScoreTraversal traversal(g, f, &scratch, &constraint);
+  // Figure 12: the first processed cell contains the best corner of R.
+  // The corner (0.6, 0.45) lies exactly on the grid line x1 = 0.6, so the
+  // corrected seed is the cell on the constraint's side: (5, 4).
+  ASSERT_TRUE(traversal.HasNext());
+  const auto first = traversal.Next();
+  EXPECT_EQ(first.cell, ConstrainedSeedCell(g, f, constraint));
+  const CellCoords coords = g.Decompose(first.cell);
+  EXPECT_EQ(coords[0], 5);
+  EXPECT_EQ(coords[1], 4);
+}
+
+TEST(ConstrainedSeedCellTest, CornerOnGridLineStaysInsideConstraint) {
+  Grid g(2, 10);
+  LinearFunction inc({1.0, 1.0});
+  // hi corner exactly on a grid line for an increasing function.
+  const Rect on_line(Point{0.0, 0.0}, Point{0.6, 0.6});
+  const CellCoords c1 = g.Decompose(ConstrainedSeedCell(g, inc, on_line));
+  EXPECT_EQ(c1[0], 5);
+  EXPECT_EQ(c1[1], 5);
+  // lo corner exactly on a grid line for a decreasing function: whichever
+  // cell is chosen, it must intersect the constraint (the property the
+  // traversal needs to start).
+  LinearFunction dec({-1.0, -1.0});
+  const Rect lo_line(Point{0.3, 0.3}, Point{0.9, 0.9});
+  const CellIndex c2 = ConstrainedSeedCell(g, dec, lo_line);
+  EXPECT_TRUE(g.CellBounds(c2).Intersects(lo_line));
+  // And across many random constraints the seed always intersects.
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point lo(2);
+    Point hi(2);
+    for (int i = 0; i < 2; ++i) {
+      double a = rng.UniformInt(11) / 10.0;  // grid-aligned corners
+      double b = rng.Uniform();
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    const Rect r(lo, hi);
+    for (const ScoringFunction* f2 :
+         {static_cast<const ScoringFunction*>(&inc),
+          static_cast<const ScoringFunction*>(&dec)}) {
+      const CellIndex seed = ConstrainedSeedCell(g, *f2, r);
+      EXPECT_TRUE(g.CellBounds(seed).Intersects(r))
+          << "constraint " << r.ToString();
+    }
+  }
+}
+
+TEST(WalkDescendingTest, VisitsDownClosedRegion) {
+  Grid g(2, 6);
+  LinearFunction f({1.0, 1.0});
+  TraversalScratch scratch;
+  // Expand only through cells whose coordinate sum is >= 8; the walk from
+  // the top corner should visit those plus their immediate down-neighbors.
+  std::vector<CellIndex> visited;
+  WalkDescending(g, f, {SeedCell(g, f)}, &scratch,
+                 [&](CellIndex cell) {
+                   visited.push_back(cell);
+                   const CellCoords c = g.Decompose(cell);
+                   return c[0] + c[1] >= 8;
+                 });
+  // Cells with sum >= 8: (4,4),(5,4),(4,5),(5,5),(3,5),(5,3) = 6 cells;
+  // their down-neighbors with sum 7 are also *visited* (but not expanded):
+  // (2,5),(3,4),(4,3),(5,2).
+  std::unordered_set<CellIndex> set(visited.begin(), visited.end());
+  EXPECT_EQ(set.size(), 10u);
+  for (CellIndex cell : visited) {
+    const CellCoords c = g.Decompose(cell);
+    EXPECT_GE(c[0] + c[1], 7);
+  }
+}
+
+TEST(WalkDescendingTest, EmptySeedsVisitsNothing) {
+  Grid g(2, 4);
+  LinearFunction f({1.0, 1.0});
+  TraversalScratch scratch;
+  int visits = 0;
+  WalkDescending(g, f, {}, &scratch, [&](CellIndex) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(WalkDescendingTest, DuplicateSeedsVisitOnce) {
+  Grid g(2, 4);
+  LinearFunction f({1.0, 1.0});
+  TraversalScratch scratch;
+  int visits = 0;
+  const CellIndex seed = SeedCell(g, f);
+  WalkDescending(g, f, {seed, seed, seed}, &scratch, [&](CellIndex) {
+    ++visits;
+    return false;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+}  // namespace
+}  // namespace topkmon

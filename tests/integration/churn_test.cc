@@ -1,0 +1,159 @@
+// Chaos test: random interleaving of query registration, termination,
+// empty cycles, bursty cycles and constraint churn across all engines,
+// checked against the brute-force oracle after every step.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/brute_force_engine.h"
+#include "core/sma_engine.h"
+#include "core/tma_engine.h"
+#include "tests/test_util.h"
+#include "tsl/tsl_engine.h"
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+class ChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnTest, EnginesStayExactUnderRandomOperations) {
+  const std::uint64_t seed = GetParam();
+  const int dim = 3;
+  const WindowSpec window = WindowSpec::Count(300);
+  GridEngineOptions grid_opt;
+  grid_opt.dim = dim;
+  grid_opt.window = window;
+  grid_opt.cell_budget = 343;
+  TslOptions tsl_opt;
+  tsl_opt.dim = dim;
+  tsl_opt.window = window;
+
+  BruteForceEngine brute(dim, window);
+  TmaEngine tma(grid_opt);
+  SmaEngine sma(grid_opt);
+  TslEngine tsl(tsl_opt);
+  // TSL does not support constrained queries; it participates only in the
+  // unconstrained ones.
+  std::vector<MonitorEngine*> grid_engines = {&brute, &tma, &sma};
+
+  Rng rng(seed);
+  RecordSource source(MakeGenerator(Distribution::kIndependent, dim, seed));
+  Timestamp now = 0;
+  QueryId next_query = 1;
+  std::set<QueryId> live_constrained;
+  std::set<QueryId> live_unconstrained;
+
+  auto make_query = [&](bool constrained) {
+    QuerySpec q;
+    q.id = next_query++;
+    q.k = 1 + static_cast<int>(rng.UniformInt(10));
+    std::vector<double> w(dim);
+    for (double& x : w) x = rng.Uniform();
+    q.function = std::make_shared<LinearFunction>(std::move(w));
+    if (constrained) {
+      Point lo(dim);
+      Point hi(dim);
+      for (int i = 0; i < dim; ++i) {
+        const double a = rng.Uniform();
+        const double b = rng.Uniform();
+        lo[i] = std::min(a, b);
+        hi[i] = std::max(a, b);
+      }
+      q.constraint = Rect(lo, hi);
+    }
+    return q;
+  };
+
+  auto check_all = [&]() {
+    for (QueryId id : live_unconstrained) {
+      const auto want = brute.CurrentResult(id);
+      ASSERT_TRUE(want.ok());
+      for (MonitorEngine* e :
+           std::vector<MonitorEngine*>{&tma, &sma, &tsl}) {
+        const auto got = e->CurrentResult(id);
+        ASSERT_TRUE(got.ok()) << e->name();
+        ASSERT_EQ(testing::Scores(*got), testing::Scores(*want))
+            << e->name() << " query " << id << " t=" << now;
+      }
+    }
+    for (QueryId id : live_constrained) {
+      const auto want = brute.CurrentResult(id);
+      ASSERT_TRUE(want.ok());
+      for (MonitorEngine* e : std::vector<MonitorEngine*>{&tma, &sma}) {
+        const auto got = e->CurrentResult(id);
+        ASSERT_TRUE(got.ok()) << e->name();
+        ASSERT_EQ(testing::Scores(*got), testing::Scores(*want))
+            << e->name() << " constrained query " << id << " t=" << now;
+      }
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const int action = static_cast<int>(rng.UniformInt(10));
+    if (action < 5) {
+      // Normal cycle with a random burst size (possibly 0).
+      ++now;
+      const std::size_t burst = rng.UniformInt(60);
+      const std::vector<Record> batch = source.NextBatch(burst, now);
+      for (MonitorEngine* e : grid_engines) {
+        TOPKMON_ASSERT_OK(e->ProcessCycle(now, batch));
+      }
+      TOPKMON_ASSERT_OK(tsl.ProcessCycle(now, batch));
+    } else if (action < 7) {
+      // Register a new unconstrained query on all engines.
+      const QuerySpec q = make_query(false);
+      for (MonitorEngine* e : grid_engines) {
+        TOPKMON_ASSERT_OK(e->RegisterQuery(q));
+      }
+      TOPKMON_ASSERT_OK(tsl.RegisterQuery(q));
+      live_unconstrained.insert(q.id);
+    } else if (action < 8) {
+      // Register a constrained query (grid engines only).
+      const QuerySpec q = make_query(true);
+      for (MonitorEngine* e : grid_engines) {
+        TOPKMON_ASSERT_OK(e->RegisterQuery(q));
+      }
+      live_constrained.insert(q.id);
+    } else {
+      // Terminate a random live query, if any.
+      if (!live_unconstrained.empty() &&
+          (live_constrained.empty() || rng.UniformInt(2) == 0)) {
+        const QueryId id = *live_unconstrained.begin();
+        for (MonitorEngine* e : grid_engines) {
+          TOPKMON_ASSERT_OK(e->UnregisterQuery(id));
+        }
+        TOPKMON_ASSERT_OK(tsl.UnregisterQuery(id));
+        live_unconstrained.erase(id);
+      } else if (!live_constrained.empty()) {
+        const QueryId id = *live_constrained.begin();
+        for (MonitorEngine* e : grid_engines) {
+          TOPKMON_ASSERT_OK(e->UnregisterQuery(id));
+        }
+        live_constrained.erase(id);
+      }
+    }
+    check_all();
+  }
+  // Influence lists must be fully reclaimed after terminating everything.
+  for (QueryId id : live_unconstrained) {
+    for (MonitorEngine* e : grid_engines) {
+      TOPKMON_ASSERT_OK(e->UnregisterQuery(id));
+    }
+  }
+  for (QueryId id : live_constrained) {
+    for (MonitorEngine* e : grid_engines) {
+      TOPKMON_ASSERT_OK(e->UnregisterQuery(id));
+    }
+  }
+  EXPECT_EQ(tma.grid().TotalInfluenceEntries(), 0u);
+  EXPECT_EQ(sma.grid().TotalInfluenceEntries(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace topkmon

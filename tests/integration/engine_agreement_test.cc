@@ -1,0 +1,232 @@
+// Cross-engine agreement: TMA, SMA and TSL must report, cycle for cycle,
+// the same top-k score multisets as the brute-force reference for the same
+// stream — across dimensionalities, result sizes, distributions, window
+// kinds and scoring-function families.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/brute_force_engine.h"
+#include "core/sma_engine.h"
+#include "core/tma_engine.h"
+#include "tests/test_util.h"
+#include "tsl/tsl_engine.h"
+
+namespace topkmon {
+namespace {
+
+using ::topkmon::testing::MakeRandomQueries;
+
+struct AgreementCase {
+  int dim;
+  int k;
+  Distribution dist;
+  WindowKind window_kind;
+  FunctionFamily family;
+};
+
+class EngineAgreement : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(EngineAgreement, AllEnginesMatchBruteForce) {
+  const AgreementCase& c = GetParam();
+  const std::size_t window_n = 600;
+  const std::size_t r = 60;
+  const WindowSpec window = c.window_kind == WindowKind::kCountBased
+                                ? WindowSpec::Count(window_n)
+                                : WindowSpec::Time(10);
+
+  GridEngineOptions grid_opt;
+  grid_opt.dim = c.dim;
+  grid_opt.window = window;
+  grid_opt.cell_budget = 1024;
+
+  TslOptions tsl_opt;
+  tsl_opt.dim = c.dim;
+  tsl_opt.window = window;
+
+  BruteForceEngine brute(c.dim, window);
+  TmaEngine tma(grid_opt);
+  SmaEngine sma(grid_opt);
+  TslEngine tsl(tsl_opt);
+
+  const auto queries =
+      MakeRandomQueries(c.dim, 6, c.k,
+                        1000 + static_cast<std::uint64_t>(c.dim), c.family);
+  testing::RunLockstepAgreement(
+      {&brute, &tma, &sma, &tsl}, queries, c.dist, c.dim, r,
+      /*warmup_cycles=*/12, /*measured_cycles=*/25,
+      /*seed=*/2000 + static_cast<std::uint64_t>(c.k));
+}
+
+std::string CaseName(const ::testing::TestParamInfo<AgreementCase>& info) {
+  const AgreementCase& c = info.param;
+  std::string name = "d" + std::to_string(c.dim) + "_k" +
+                     std::to_string(c.k) + "_";
+  name += DistributionName(c.dist);
+  name += c.window_kind == WindowKind::kCountBased ? "_count" : "_time";
+  switch (c.family) {
+    case FunctionFamily::kLinear:
+      name += "_linear";
+      break;
+    case FunctionFamily::kProduct:
+      name += "_product";
+      break;
+    case FunctionFamily::kSumOfSquares:
+      name += "_squares";
+      break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineAgreement,
+    ::testing::Values(
+        // Dimensionality sweep (count-based, linear, IND).
+        AgreementCase{2, 5, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        AgreementCase{3, 5, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        AgreementCase{4, 5, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        AgreementCase{5, 5, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        // k sweep.
+        AgreementCase{2, 1, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        AgreementCase{2, 20, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        AgreementCase{2, 50, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        // Anti-correlated data.
+        AgreementCase{2, 10, Distribution::kAntiCorrelated,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        AgreementCase{4, 10, Distribution::kAntiCorrelated,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        // Clustered data (extension workload).
+        AgreementCase{3, 8, Distribution::kClustered,
+                      WindowKind::kCountBased, FunctionFamily::kLinear},
+        // Time-based windows.
+        AgreementCase{2, 5, Distribution::kIndependent,
+                      WindowKind::kTimeBased, FunctionFamily::kLinear},
+        AgreementCase{3, 10, Distribution::kAntiCorrelated,
+                      WindowKind::kTimeBased, FunctionFamily::kLinear},
+        // Non-linear preference functions (Figure 21).
+        AgreementCase{2, 5, Distribution::kIndependent,
+                      WindowKind::kCountBased, FunctionFamily::kProduct},
+        AgreementCase{3, 10, Distribution::kAntiCorrelated,
+                      WindowKind::kCountBased, FunctionFamily::kProduct},
+        AgreementCase{2, 5, Distribution::kIndependent,
+                      WindowKind::kCountBased,
+                      FunctionFamily::kSumOfSquares},
+        AgreementCase{4, 10, Distribution::kIndependent,
+                      WindowKind::kCountBased,
+                      FunctionFamily::kSumOfSquares}),
+    CaseName);
+
+// Queries arriving and terminating mid-stream: late registration computes
+// over the current window; unregistered queries stop being maintained
+// while the rest stay exact.
+TEST(EngineAgreementTest, MidStreamRegistrationAndTermination) {
+  const int dim = 2;
+  const WindowSpec window = WindowSpec::Count(400);
+  GridEngineOptions opt;
+  opt.dim = dim;
+  opt.window = window;
+  opt.cell_budget = 256;
+  BruteForceEngine brute(dim, window);
+  TmaEngine tma(opt);
+  SmaEngine sma(opt);
+  std::vector<MonitorEngine*> engines = {&brute, &tma, &sma};
+
+  RecordSource source(MakeGenerator(Distribution::kIndependent, dim, 5));
+  const auto queries = MakeRandomQueries(dim, 6, 5, 11);
+  Timestamp now = 0;
+  auto cycle = [&](std::size_t n) {
+    ++now;
+    const auto batch = source.NextBatch(n, now);
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->ProcessCycle(now, batch));
+    }
+  };
+  auto check = [&](QueryId id) {
+    const auto want = brute.CurrentResult(id);
+    ASSERT_TRUE(want.ok());
+    for (MonitorEngine* e : engines) {
+      const auto got = e->CurrentResult(id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(testing::Scores(*got), testing::Scores(*want))
+          << e->name() << " query " << id;
+    }
+  };
+
+  for (int c = 0; c < 10; ++c) cycle(50);
+  // Register the first half.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->RegisterQuery(queries[i]));
+    }
+  }
+  for (int c = 0; c < 5; ++c) cycle(40);
+  for (std::size_t i = 0; i < 3; ++i) check(queries[i].id);
+  // Register the second half mid-stream; terminate query 0.
+  for (std::size_t i = 3; i < 6; ++i) {
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->RegisterQuery(queries[i]));
+    }
+  }
+  for (MonitorEngine* e : engines) {
+    TOPKMON_ASSERT_OK(e->UnregisterQuery(queries[0].id));
+  }
+  for (int c = 0; c < 10; ++c) {
+    cycle(40);
+    for (std::size_t i = 1; i < 6; ++i) check(queries[i].id);
+  }
+}
+
+// Stress: window drains to empty (no arrivals for several cycles under a
+// time-based window), then refills.
+TEST(EngineAgreementTest, WindowDrainAndRefill) {
+  const int dim = 2;
+  const WindowSpec window = WindowSpec::Time(4);
+  GridEngineOptions opt;
+  opt.dim = dim;
+  opt.window = window;
+  opt.cell_budget = 256;
+  BruteForceEngine brute(dim, window);
+  TmaEngine tma(opt);
+  SmaEngine sma(opt);
+  std::vector<MonitorEngine*> engines = {&brute, &tma, &sma};
+  const auto queries = MakeRandomQueries(dim, 4, 3, 21);
+  for (const QuerySpec& q : queries) {
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->RegisterQuery(q));
+    }
+  }
+  RecordSource source(MakeGenerator(Distribution::kIndependent, dim, 9));
+  Timestamp now = 0;
+  auto run_and_check = [&](std::size_t n) {
+    ++now;
+    const auto batch = source.NextBatch(n, now);
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->ProcessCycle(now, batch));
+    }
+    for (const QuerySpec& q : queries) {
+      const auto want = brute.CurrentResult(q.id);
+      ASSERT_TRUE(want.ok());
+      for (MonitorEngine* e : engines) {
+        const auto got = e->CurrentResult(q.id);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(testing::Scores(*got), testing::Scores(*want))
+            << e->name() << " at t=" << now;
+      }
+    }
+  };
+  for (int c = 0; c < 6; ++c) run_and_check(20);
+  for (int c = 0; c < 8; ++c) run_and_check(0);  // drain to empty
+  EXPECT_EQ(brute.WindowSize(), 0u);
+  for (int c = 0; c < 6; ++c) run_and_check(20);  // refill
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,128 @@
+#include "stream/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+Record Rec(RecordId id, double x, Timestamp t) {
+  return Record(id, Point{x, x}, t);
+}
+
+TEST(SlidingWindowTest, CountBasedEvictsOldestBeyondCapacity) {
+  SlidingWindow w = SlidingWindow::CountBased(3);
+  for (RecordId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.Append(Rec(i, 0.5, static_cast<Timestamp>(i))).ok());
+  }
+  const std::vector<Record> expired = w.EvictExpired(5);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].id, 0u);
+  EXPECT_EQ(expired[1].id, 1u);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_FALSE(w.Contains(1));
+  EXPECT_TRUE(w.Contains(2));
+  EXPECT_TRUE(w.Contains(4));
+}
+
+TEST(SlidingWindowTest, TimeBasedEvictsByArrivalCutoff) {
+  SlidingWindow w = SlidingWindow::TimeBased(10);
+  ASSERT_TRUE(w.Append(Rec(0, 0.1, 0)).ok());
+  ASSERT_TRUE(w.Append(Rec(1, 0.2, 5)).ok());
+  ASSERT_TRUE(w.Append(Rec(2, 0.3, 12)).ok());
+  // At now=12 the cutoff is 2: record 0 (arrival 0 <= 2) expires.
+  std::vector<Record> expired = w.EvictExpired(12);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 0u);
+  // At now=15 the cutoff is 5: record 1 (arrival 5 <= 5) expires too.
+  expired = w.EvictExpired(15);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 1u);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SlidingWindowTest, GetReturnsStoredRecord) {
+  SlidingWindow w = SlidingWindow::CountBased(10);
+  ASSERT_TRUE(w.Append(Rec(0, 0.25, 1)).ok());
+  ASSERT_TRUE(w.Append(Rec(1, 0.75, 1)).ok());
+  EXPECT_EQ(w.Get(1).position[0], 0.75);
+  EXPECT_EQ(w.Get(0).arrival, 1);
+}
+
+TEST(SlidingWindowTest, GetAfterEvictionUsesShiftedBase) {
+  SlidingWindow w = SlidingWindow::CountBased(2);
+  for (RecordId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(w.Append(Rec(i, 0.1 * static_cast<double>(i + 1),
+                             static_cast<Timestamp>(i)))
+                    .ok());
+    w.EvictExpired(static_cast<Timestamp>(i));
+  }
+  EXPECT_TRUE(w.Contains(2));
+  EXPECT_TRUE(w.Contains(3));
+  EXPECT_DOUBLE_EQ(w.Get(3).position[0], 0.4);
+}
+
+TEST(SlidingWindowTest, RejectsNonContiguousIds) {
+  SlidingWindow w = SlidingWindow::CountBased(10);
+  ASSERT_TRUE(w.Append(Rec(0, 0.5, 0)).ok());
+  const Status s = w.Append(Rec(2, 0.5, 0));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SlidingWindowTest, RejectsInvalidId) {
+  SlidingWindow w = SlidingWindow::CountBased(10);
+  Record r = Rec(kInvalidRecordId, 0.5, 0);
+  EXPECT_EQ(w.Append(r).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SlidingWindowTest, RejectsDecreasingTimestamps) {
+  SlidingWindow w = SlidingWindow::CountBased(10);
+  ASSERT_TRUE(w.Append(Rec(0, 0.5, 5)).ok());
+  EXPECT_EQ(w.Append(Rec(1, 0.5, 4)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SlidingWindowTest, IterationIsArrivalOrdered) {
+  SlidingWindow w = SlidingWindow::CountBased(10);
+  for (RecordId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.Append(Rec(i, 0.5, 0)).ok());
+  }
+  RecordId expect = 0;
+  for (const Record& r : w) EXPECT_EQ(r.id, expect++);
+  EXPECT_EQ(expect, 5u);
+}
+
+TEST(SlidingWindowTest, OldestIsFrontOfFifo) {
+  SlidingWindow w = SlidingWindow::CountBased(2);
+  ASSERT_TRUE(w.Append(Rec(0, 0.5, 0)).ok());
+  ASSERT_TRUE(w.Append(Rec(1, 0.5, 0)).ok());
+  EXPECT_EQ(w.Oldest().id, 0u);
+  ASSERT_TRUE(w.Append(Rec(2, 0.5, 1)).ok());
+  w.EvictExpired(1);
+  EXPECT_EQ(w.Oldest().id, 1u);
+}
+
+TEST(SlidingWindowTest, EmptyWindowBehaves) {
+  SlidingWindow w = SlidingWindow::TimeBased(5);
+  EXPECT_TRUE(w.empty());
+  EXPECT_TRUE(w.EvictExpired(100).empty());
+  EXPECT_FALSE(w.Contains(0));
+}
+
+TEST(SlidingWindowTest, ExactCapacityDoesNotEvict) {
+  SlidingWindow w = SlidingWindow::CountBased(3);
+  for (RecordId i = 0; i < 3; ++i) {
+    ASSERT_TRUE(w.Append(Rec(i, 0.5, 0)).ok());
+  }
+  EXPECT_TRUE(w.EvictExpired(0).empty());
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindowTest, MemoryBytesTracksSize) {
+  SlidingWindow w = SlidingWindow::CountBased(100);
+  EXPECT_EQ(w.MemoryBytes(), 0u);
+  ASSERT_TRUE(w.Append(Rec(0, 0.5, 0)).ok());
+  EXPECT_EQ(w.MemoryBytes(), sizeof(Record));
+}
+
+}  // namespace
+}  // namespace topkmon

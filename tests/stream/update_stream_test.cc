@@ -1,0 +1,78 @@
+#include "stream/update_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace topkmon {
+namespace {
+
+UpdateStreamGenerator MakeGen(double delete_fraction, std::uint64_t seed) {
+  return UpdateStreamGenerator(
+      MakeGenerator(Distribution::kIndependent, 2, seed), delete_fraction,
+      seed + 1);
+}
+
+TEST(UpdateStreamTest, ZeroDeleteFractionIsInsertOnly) {
+  UpdateStreamGenerator gen = MakeGen(0.0, 5);
+  for (int i = 0; i < 200; ++i) {
+    const UpdateOp op = gen.Next(0);
+    ASSERT_EQ(op.kind, UpdateOp::Kind::kInsert);
+  }
+  EXPECT_EQ(gen.live_count(), 200u);
+}
+
+TEST(UpdateStreamTest, DeletesTargetLiveRecords) {
+  UpdateStreamGenerator gen = MakeGen(0.4, 9);
+  std::unordered_set<RecordId> live;
+  for (int i = 0; i < 5000; ++i) {
+    const UpdateOp op = gen.Next(0);
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      EXPECT_TRUE(live.insert(op.record.id).second);
+    } else {
+      EXPECT_EQ(live.erase(op.record.id), 1u)
+          << "deletion of non-live record " << op.record.id;
+    }
+    ASSERT_EQ(gen.live_count(), live.size());
+  }
+}
+
+TEST(UpdateStreamTest, DeleteFractionApproximatelyRespected) {
+  UpdateStreamGenerator gen = MakeGen(0.3, 21);
+  int deletes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(0).kind == UpdateOp::Kind::kDelete) ++deletes;
+  }
+  EXPECT_NEAR(static_cast<double>(deletes) / n, 0.3, 0.02);
+}
+
+TEST(UpdateStreamTest, InsertIdsAreUniqueAndIncreasing) {
+  UpdateStreamGenerator gen = MakeGen(0.5, 33);
+  RecordId last = 0;
+  bool first = true;
+  for (int i = 0; i < 2000; ++i) {
+    const UpdateOp op = gen.Next(0);
+    if (op.kind != UpdateOp::Kind::kInsert) continue;
+    if (!first) {
+      EXPECT_GT(op.record.id, last);
+    }
+    last = op.record.id;
+    first = false;
+  }
+}
+
+TEST(UpdateStreamTest, BatchCarriesTimestamps) {
+  UpdateStreamGenerator gen = MakeGen(0.0, 1);
+  const std::vector<UpdateOp> ops = gen.NextBatch(5, 42);
+  ASSERT_EQ(ops.size(), 5u);
+  for (const UpdateOp& op : ops) EXPECT_EQ(op.record.arrival, 42);
+}
+
+TEST(UpdateStreamTest, FirstOpIsInsertEvenWithHighDeleteFraction) {
+  UpdateStreamGenerator gen = MakeGen(0.9, 2);
+  EXPECT_EQ(gen.Next(0).kind, UpdateOp::Kind::kInsert);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,113 @@
+// Shared helpers for the topkmon test suite.
+
+#ifndef TOPKMON_TESTS_TEST_UTIL_H_
+#define TOPKMON_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/scoring.h"
+#include "core/engine.h"
+#include "core/simulation.h"
+#include "stream/generators.h"
+#include "util/rng.h"
+
+namespace topkmon {
+namespace testing {
+
+/// Extracts the (descending) score multiset of a result. Engines may break
+/// exact-score ties differently, so correctness is compared on scores.
+inline std::vector<double> Scores(const std::vector<ResultEntry>& result) {
+  std::vector<double> out;
+  out.reserve(result.size());
+  for (const ResultEntry& e : result) out.push_back(e.score);
+  return out;
+}
+
+/// gtest-friendly status assertions.
+#define TOPKMON_ASSERT_OK(expr)                               \
+  do {                                                        \
+    const ::topkmon::Status _st = (expr);                     \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define TOPKMON_EXPECT_OK(expr)                               \
+  do {                                                        \
+    const ::topkmon::Status _st = (expr);                     \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+/// Makes a deterministic random query workload of `q` linear (by default)
+/// queries for dimensionality `dim`.
+inline std::vector<QuerySpec> MakeRandomQueries(
+    int dim, std::size_t q, int k, std::uint64_t seed,
+    FunctionFamily family = FunctionFamily::kLinear) {
+  Rng rng(seed);
+  std::vector<QuerySpec> out;
+  for (std::size_t i = 0; i < q; ++i) {
+    QuerySpec spec;
+    spec.id = static_cast<QueryId>(i + 1);
+    spec.k = k;
+    spec.function =
+        MakeRandomFunction(family, dim, [&rng]() { return rng.Uniform(); });
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+/// Drives all engines through the same deterministic stream and checks
+/// that every registered query's result score multiset matches the first
+/// engine's after every cycle. `register_after` cycles run before query
+/// registration (warm-up).
+inline void RunLockstepAgreement(const std::vector<MonitorEngine*>& engines,
+                                 const std::vector<QuerySpec>& queries,
+                                 Distribution dist, int dim,
+                                 std::size_t arrivals_per_cycle,
+                                 int warmup_cycles, int measured_cycles,
+                                 std::uint64_t seed) {
+  ASSERT_FALSE(engines.empty());
+  RecordSource source(MakeGenerator(dist, dim, seed));
+  Timestamp now = 0;
+  for (int c = 0; c < warmup_cycles; ++c) {
+    ++now;
+    const std::vector<Record> batch =
+        source.NextBatch(arrivals_per_cycle, now);
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->ProcessCycle(now, batch));
+    }
+  }
+  for (const QuerySpec& q : queries) {
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->RegisterQuery(q));
+    }
+  }
+  for (int c = 0; c < measured_cycles; ++c) {
+    ++now;
+    const std::vector<Record> batch =
+        source.NextBatch(arrivals_per_cycle, now);
+    for (MonitorEngine* e : engines) {
+      TOPKMON_ASSERT_OK(e->ProcessCycle(now, batch));
+    }
+    for (const QuerySpec& q : queries) {
+      const auto reference = engines[0]->CurrentResult(q.id);
+      ASSERT_TRUE(reference.ok());
+      const std::vector<double> want = Scores(*reference);
+      for (std::size_t i = 1; i < engines.size(); ++i) {
+        const auto got = engines[i]->CurrentResult(q.id);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(want, Scores(*got))
+            << "engine " << engines[i]->name() << " disagrees with "
+            << engines[0]->name() << " on query " << q.id << " at cycle "
+            << c << " (window=" << engines[0]->WindowSize() << ")";
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace topkmon
+
+#endif  // TOPKMON_TESTS_TEST_UTIL_H_

@@ -1,0 +1,98 @@
+#include "tsl/sorted_lists.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+Record Rec(RecordId id, std::initializer_list<double> coords) {
+  return Record(id, Point(coords), 0);
+}
+
+TEST(SortedListsTest, InsertAndSize) {
+  SortedAttributeLists lists(2);
+  EXPECT_EQ(lists.size(), 0u);
+  lists.Insert(Rec(0, {0.3, 0.7}));
+  lists.Insert(Rec(1, {0.6, 0.1}));
+  EXPECT_EQ(lists.size(), 2u);
+  EXPECT_EQ(lists.dim(), 2);
+}
+
+TEST(SortedListsTest, DescendingCursorForIncreasingAxis) {
+  SortedAttributeLists lists(2);
+  lists.Insert(Rec(0, {0.3, 0.7}));
+  lists.Insert(Rec(1, {0.6, 0.1}));
+  lists.Insert(Rec(2, {0.1, 0.9}));
+  auto cursor = lists.BestFirst(0, Monotonicity::kIncreasing);
+  std::vector<double> values;
+  while (cursor.Valid()) {
+    values.push_back(cursor.value());
+    cursor.Advance();
+  }
+  EXPECT_EQ(values, (std::vector<double>{0.6, 0.3, 0.1}));
+}
+
+TEST(SortedListsTest, AscendingCursorForDecreasingAxis) {
+  SortedAttributeLists lists(2);
+  lists.Insert(Rec(0, {0.3, 0.7}));
+  lists.Insert(Rec(1, {0.6, 0.1}));
+  auto cursor = lists.BestFirst(1, Monotonicity::kDecreasing);
+  EXPECT_TRUE(cursor.Valid());
+  EXPECT_DOUBLE_EQ(cursor.value(), 0.1);
+  EXPECT_EQ(cursor.id(), 1u);
+  cursor.Advance();
+  EXPECT_DOUBLE_EQ(cursor.value(), 0.7);
+  cursor.Advance();
+  EXPECT_FALSE(cursor.Valid());
+}
+
+TEST(SortedListsTest, EmptyCursorInvalid) {
+  SortedAttributeLists lists(1);
+  EXPECT_FALSE(lists.BestFirst(0, Monotonicity::kIncreasing).Valid());
+  EXPECT_FALSE(lists.BestFirst(0, Monotonicity::kDecreasing).Valid());
+}
+
+TEST(SortedListsTest, EraseRemovesFromAllAxes) {
+  SortedAttributeLists lists(2);
+  lists.Insert(Rec(0, {0.3, 0.7}));
+  lists.Insert(Rec(1, {0.6, 0.1}));
+  ASSERT_TRUE(lists.Erase(Rec(0, {0.3, 0.7})).ok());
+  EXPECT_EQ(lists.size(), 1u);
+  auto cursor = lists.BestFirst(0, Monotonicity::kIncreasing);
+  EXPECT_EQ(cursor.id(), 1u);
+}
+
+TEST(SortedListsTest, EraseMissingFails) {
+  SortedAttributeLists lists(2);
+  EXPECT_EQ(lists.Erase(Rec(9, {0.5, 0.5})).code(), StatusCode::kNotFound);
+}
+
+TEST(SortedListsTest, DuplicateValuesDistinguishedById) {
+  SortedAttributeLists lists(1);
+  lists.Insert(Rec(0, {0.5}));
+  lists.Insert(Rec(1, {0.5}));
+  ASSERT_TRUE(lists.Erase(Rec(0, {0.5})).ok());
+  auto cursor = lists.BestFirst(0, Monotonicity::kIncreasing);
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.id(), 1u);
+  EXPECT_EQ(lists.size(), 1u);
+}
+
+TEST(SortedListsTest, MemoryGrowsWithRecords) {
+  SortedAttributeLists lists(3);
+  const std::size_t empty = lists.MemoryBytes();
+  Rng rng(1);
+  for (RecordId i = 0; i < 100; ++i) {
+    lists.Insert(Record(i, Point{rng.Uniform(), rng.Uniform(),
+                                 rng.Uniform()},
+                        0));
+  }
+  EXPECT_GT(lists.MemoryBytes(), empty);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,122 @@
+#include "tsl/threshold_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/generators.h"
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+struct Dataset {
+  std::vector<Record> records;
+  SortedAttributeLists lists;
+
+  Dataset(int dim, std::size_t n, Distribution dist, std::uint64_t seed)
+      : lists(dim) {
+    RecordSource source(MakeGenerator(dist, dim, seed));
+    for (std::size_t i = 0; i < n; ++i) {
+      records.push_back(source.Next(0));
+      lists.Insert(records.back());
+    }
+  }
+
+  TaRecordAccessor Accessor() const {
+    return [this](RecordId id) -> const Record& {
+      return records[static_cast<std::size_t>(id)];
+    };
+  }
+
+  std::vector<ResultEntry> BruteTopK(const ScoringFunction& f, int k) const {
+    TopKList top(k);
+    for (const Record& r : records) top.Consider(r.id, f.Score(r.position));
+    return top.entries();
+  }
+};
+
+TEST(ThresholdAlgorithmTest, FindsExactTopK) {
+  Dataset data(2, 500, Distribution::kIndependent, 1);
+  LinearFunction f({1.0, 2.0});
+  const TaResult out = RunThresholdAlgorithm(data.lists, f, 10,
+                                             data.Accessor());
+  EXPECT_EQ(out.result, data.BruteTopK(f, 10));
+}
+
+TEST(ThresholdAlgorithmTest, EmptyListsReturnNothing) {
+  Dataset data(2, 0, Distribution::kIndependent, 1);
+  LinearFunction f({1.0, 1.0});
+  const TaResult out =
+      RunThresholdAlgorithm(data.lists, f, 5, data.Accessor());
+  EXPECT_TRUE(out.result.empty());
+}
+
+TEST(ThresholdAlgorithmTest, KLargerThanDataset) {
+  Dataset data(2, 7, Distribution::kIndependent, 2);
+  LinearFunction f({1.0, 1.0});
+  const TaResult out =
+      RunThresholdAlgorithm(data.lists, f, 50, data.Accessor());
+  EXPECT_EQ(out.result.size(), 7u);
+}
+
+TEST(ThresholdAlgorithmTest, StopsEarlyOnSkewedFunction) {
+  // With all weight on one axis, TA should terminate after scanning a
+  // small prefix of the lists rather than everything.
+  Dataset data(2, 2000, Distribution::kIndependent, 3);
+  LinearFunction f({1.0, 0.0});
+  const TaResult out =
+      RunThresholdAlgorithm(data.lists, f, 5, data.Accessor());
+  EXPECT_EQ(out.result, data.BruteTopK(f, 5));
+  EXPECT_LT(out.sorted_accesses, 2u * 2000u);
+}
+
+TEST(ThresholdAlgorithmTest, MixedMonotonicityUsesAscendingCursor) {
+  Dataset data(2, 800, Distribution::kIndependent, 4);
+  LinearFunction f({1.0, -1.0});
+  const TaResult out =
+      RunThresholdAlgorithm(data.lists, f, 6, data.Accessor());
+  EXPECT_EQ(out.result, data.BruteTopK(f, 6));
+}
+
+class TaProperty : public ::testing::TestWithParam<
+                       std::tuple<int, int, Distribution, FunctionFamily>> {
+};
+
+TEST_P(TaProperty, MatchesBruteForce) {
+  const auto [dim, k, dist, family] = GetParam();
+  Dataset data(dim, 600, dist, 100 + static_cast<std::uint64_t>(dim));
+  Rng rng(55 + dim);
+  auto uniform = [&rng]() { return rng.Uniform(); };
+  for (int trial = 0; trial < 4; ++trial) {
+    auto f = MakeRandomFunction(family, dim, uniform);
+    const TaResult out =
+        RunThresholdAlgorithm(data.lists, *f, k, data.Accessor());
+    EXPECT_EQ(out.result, data.BruteTopK(*f, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TaProperty,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3, 4),
+        ::testing::Values(1, 10, 25),
+        ::testing::Values(Distribution::kIndependent,
+                          Distribution::kAntiCorrelated),
+        ::testing::Values(FunctionFamily::kLinear,
+                          FunctionFamily::kProduct)));
+
+TEST(ThresholdAlgorithmTest, AccessCountersAreConsistent) {
+  Dataset data(3, 400, Distribution::kIndependent, 5);
+  LinearFunction f({0.5, 0.5, 0.5});
+  const TaResult out =
+      RunThresholdAlgorithm(data.lists, f, 10, data.Accessor());
+  EXPECT_GT(out.sorted_accesses, 0u);
+  EXPECT_GT(out.random_accesses, 0u);
+  EXPECT_LE(out.random_accesses, out.sorted_accesses);
+  EXPECT_GT(out.rounds, 0u);
+  EXPECT_LE(out.sorted_accesses, out.rounds * 3);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,106 @@
+#include "tsl/topk_view.h"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(TopKViewTest, RefillSetsEntries) {
+  TopKView view(2, 4);
+  view.Refill({{1, 0.9}, {2, 0.8}, {3, 0.7}});
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_FALSE(view.NeedsRefill());
+  const auto top = view.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(TopKViewTest, RefillTrimsToKmax) {
+  TopKView view(1, 2);
+  view.Refill({{1, 0.9}, {2, 0.8}, {3, 0.7}});
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(TopKViewTest, ArrivalAboveKthInserts) {
+  TopKView view(2, 3);
+  view.Refill({{1, 0.9}, {2, 0.5}});
+  EXPECT_TRUE(view.OnArrival(3, 0.7));
+  EXPECT_EQ(view.size(), 3u);
+  const auto top = view.TopK();
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 3u);
+}
+
+TEST(TopKViewTest, ArrivalBelowWorstIsIgnored) {
+  TopKView view(2, 3);
+  view.Refill({{1, 0.9}, {2, 0.5}});
+  EXPECT_FALSE(view.OnArrival(3, 0.4));
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(TopKViewTest, ArrivalIntoEmptyViewIsIgnored) {
+  // An empty view answers top-0; only a refill may grow it (inserting an
+  // arbitrary arrival would falsely claim it is the top-1).
+  TopKView view(1, 3);
+  EXPECT_FALSE(view.OnArrival(1, 0.9));
+  EXPECT_TRUE(view.NeedsRefill());
+}
+
+TEST(TopKViewTest, OverflowBeyondKmaxDropsWorst) {
+  TopKView view(1, 2);
+  view.Refill({{1, 0.9}, {2, 0.8}});
+  EXPECT_TRUE(view.OnArrival(3, 0.85));
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.entries()[0].id, 1u);
+  EXPECT_EQ(view.entries()[1].id, 3u);  // 2 dropped
+}
+
+TEST(TopKViewTest, ExpiryRemovesMember) {
+  TopKView view(2, 4);
+  view.Refill({{1, 0.9}, {2, 0.8}, {3, 0.7}});
+  EXPECT_TRUE(view.OnExpiry(2, 0.8));
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.NeedsRefill());
+  EXPECT_TRUE(view.OnExpiry(1, 0.9));
+  EXPECT_TRUE(view.NeedsRefill());
+}
+
+TEST(TopKViewTest, ExpiryOfNonMemberIsNoop) {
+  TopKView view(2, 4);
+  view.Refill({{1, 0.9}, {2, 0.8}});
+  EXPECT_FALSE(view.OnExpiry(7, 0.3));
+  EXPECT_FALSE(view.OnExpiry(7, 0.85));  // score in range but id absent
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(TopKViewTest, TieScoresResolvedById) {
+  TopKView view(2, 4);
+  view.Refill({{5, 0.8}, {3, 0.8}});
+  EXPECT_TRUE(view.OnExpiry(3, 0.8));
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.entries()[0].id, 5u);
+}
+
+TEST(DefaultKmaxTest, MatchesPaperCalibration) {
+  EXPECT_EQ(DefaultKmax(1), 4);
+  EXPECT_EQ(DefaultKmax(5), 10);
+  EXPECT_EQ(DefaultKmax(10), 20);
+  EXPECT_EQ(DefaultKmax(20), 30);
+  EXPECT_EQ(DefaultKmax(50), 70);
+  EXPECT_EQ(DefaultKmax(100), 120);
+}
+
+TEST(DefaultKmaxTest, InterpolatesBetweenCalibrationPoints) {
+  EXPECT_GT(DefaultKmax(30), 30);
+  EXPECT_LT(DefaultKmax(30), 70);
+  EXPECT_GE(DefaultKmax(3), 4);
+  EXPECT_LE(DefaultKmax(3), 10);
+}
+
+TEST(DefaultKmaxTest, ExtrapolatesBeyondRange) {
+  EXPECT_GT(DefaultKmax(200), 200);
+}
+
+}  // namespace
+}  // namespace topkmon

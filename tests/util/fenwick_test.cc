@@ -1,0 +1,82 @@
+#include "util/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+TEST(FenwickTest, StartsEmpty) {
+  FenwickTree t(10);
+  EXPECT_EQ(t.universe(), 10u);
+  EXPECT_EQ(t.total(), 0);
+  EXPECT_EQ(t.PrefixSum(9), 0);
+}
+
+TEST(FenwickTest, SingleAdd) {
+  FenwickTree t(8);
+  t.Add(3, 5);
+  EXPECT_EQ(t.PrefixSum(2), 0);
+  EXPECT_EQ(t.PrefixSum(3), 5);
+  EXPECT_EQ(t.PrefixSum(7), 5);
+  EXPECT_EQ(t.total(), 5);
+}
+
+TEST(FenwickTest, RangeSum) {
+  FenwickTree t(16);
+  for (std::size_t i = 0; i < 16; ++i) t.Add(i, 1);
+  EXPECT_EQ(t.RangeSum(0, 15), 16);
+  EXPECT_EQ(t.RangeSum(4, 7), 4);
+  EXPECT_EQ(t.RangeSum(15, 15), 1);
+}
+
+TEST(FenwickTest, CountGreater) {
+  FenwickTree t(8);
+  t.Add(1, 2);
+  t.Add(5, 3);
+  EXPECT_EQ(t.CountGreater(0), 5);
+  EXPECT_EQ(t.CountGreater(1), 3);
+  EXPECT_EQ(t.CountGreater(5), 0);
+}
+
+TEST(FenwickTest, NegativeDeltasRemoveCounts) {
+  FenwickTree t(4);
+  t.Add(2, 3);
+  t.Add(2, -2);
+  EXPECT_EQ(t.PrefixSum(3), 1);
+  EXPECT_EQ(t.total(), 1);
+}
+
+TEST(FenwickTest, ClearResets) {
+  FenwickTree t(8);
+  t.Add(0, 1);
+  t.Add(7, 1);
+  t.Clear();
+  EXPECT_EQ(t.total(), 0);
+  EXPECT_EQ(t.PrefixSum(7), 0);
+}
+
+TEST(FenwickTest, MatchesVectorOracleUnderRandomOps) {
+  const std::size_t n = 64;
+  FenwickTree t(n);
+  std::vector<std::int64_t> oracle(n, 0);
+  Rng rng(9);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t idx = rng.UniformInt(n);
+    if (rng.UniformInt(2) == 0) {
+      const std::int64_t delta = static_cast<std::int64_t>(rng.UniformInt(5));
+      t.Add(idx, delta);
+      oracle[idx] += delta;
+    } else {
+      std::int64_t want = 0;
+      for (std::size_t i = 0; i <= idx; ++i) want += oracle[i];
+      EXPECT_EQ(t.PrefixSum(idx), want);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

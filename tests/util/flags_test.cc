@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  const Result<Flags> flags =
+      Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.ok());
+  return *flags;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = MustParse({"--engine=sma", "--k=20"});
+  EXPECT_EQ(*f.GetString("engine", ""), "sma");
+  EXPECT_EQ(*f.GetInt("k", 0), 20);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = MustParse({"--engine", "tma", "--k", "5"});
+  EXPECT_EQ(*f.GetString("engine", ""), "tma");
+  EXPECT_EQ(*f.GetInt("k", 0), 5);
+}
+
+TEST(FlagsTest, BareFlagIsTrueBool) {
+  const Flags f = MustParse({"--csv", "--compare=false"});
+  EXPECT_TRUE(*f.GetBool("csv", false));
+  EXPECT_FALSE(*f.GetBool("compare", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags f = MustParse({});
+  EXPECT_EQ(*f.GetString("engine", "sma"), "sma");
+  EXPECT_EQ(*f.GetInt("k", 7), 7);
+  EXPECT_DOUBLE_EQ(*f.GetDouble("rate", 0.5), 0.5);
+  EXPECT_TRUE(*f.GetBool("flag", true));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags f = MustParse({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(*f.GetDouble("rate", 0), 0.25);
+}
+
+TEST(FlagsTest, BadIntegerIsError) {
+  const Flags f = MustParse({"--k=banana"});
+  EXPECT_FALSE(f.GetInt("k", 0).ok());
+}
+
+TEST(FlagsTest, BadBoolIsError) {
+  const Flags f = MustParse({"--csv=maybe"});
+  EXPECT_FALSE(f.GetBool("csv", false).ok());
+}
+
+TEST(FlagsTest, NonFlagTokenIsError) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, UnreadFlagsDetected) {
+  const Flags f = MustParse({"--engine=sma", "--typo=1"});
+  (void)*f.GetString("engine", "");
+  const std::vector<std::string> unread = f.UnreadFlags();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(FlagsTest, HasChecksPresence) {
+  const Flags f = MustParse({"--x=1"});
+  EXPECT_TRUE(f.Has("x"));
+  EXPECT_FALSE(f.Has("y"));
+}
+
+}  // namespace
+}  // namespace topkmon

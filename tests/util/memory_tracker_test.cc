@@ -1,0 +1,53 @@
+#include "util/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+TEST(MemoryBreakdownTest, EmptyTotalsZero) {
+  MemoryBreakdown mb;
+  EXPECT_EQ(mb.TotalBytes(), 0u);
+  EXPECT_EQ(mb.TotalMiB(), 0.0);
+}
+
+TEST(MemoryBreakdownTest, AddAccumulatesPerComponent) {
+  MemoryBreakdown mb;
+  mb.Add("grid", 100);
+  mb.Add("grid", 50);
+  mb.Add("lists", 25);
+  EXPECT_EQ(mb.Bytes("grid"), 150u);
+  EXPECT_EQ(mb.Bytes("lists"), 25u);
+  EXPECT_EQ(mb.Bytes("absent"), 0u);
+  EXPECT_EQ(mb.TotalBytes(), 175u);
+}
+
+TEST(MemoryBreakdownTest, MergeCombines) {
+  MemoryBreakdown a;
+  a.Add("x", 10);
+  MemoryBreakdown b;
+  b.Add("x", 5);
+  b.Add("y", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.Bytes("x"), 15u);
+  EXPECT_EQ(a.Bytes("y"), 7u);
+}
+
+TEST(MemoryBreakdownTest, ToStringListsComponentsAndTotal) {
+  MemoryBreakdown mb;
+  mb.Add("grid", 2 * 1024 * 1024);
+  const std::string s = mb.ToString();
+  EXPECT_NE(s.find("grid=2.00MiB"), std::string::npos);
+  EXPECT_NE(s.find("total=2.00MiB"), std::string::npos);
+}
+
+TEST(VectorBytesTest, CountsCapacity) {
+  std::vector<std::uint64_t> v;
+  v.reserve(16);
+  EXPECT_EQ(VectorBytes(v), 16 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace topkmon

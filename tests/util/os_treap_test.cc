@@ -1,0 +1,135 @@
+#include "util/os_treap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+TEST(OsTreapTest, EmptyTreap) {
+  OsTreap<int> t;
+  EXPECT_TRUE(t.Empty());
+  EXPECT_EQ(t.Size(), 0u);
+  EXPECT_EQ(t.CountGreater(0), 0u);
+  EXPECT_EQ(t.CountLess(0), 0u);
+  EXPECT_FALSE(t.Contains(0));
+  EXPECT_FALSE(t.Erase(0));
+}
+
+TEST(OsTreapTest, InsertAndCount) {
+  OsTreap<int> t;
+  for (int v : {5, 1, 9, 3, 7}) t.Insert(v);
+  EXPECT_EQ(t.Size(), 5u);
+  EXPECT_EQ(t.CountGreater(5), 2u);  // 7, 9
+  EXPECT_EQ(t.CountLess(5), 2u);     // 1, 3
+  EXPECT_EQ(t.CountGreater(0), 5u);
+  EXPECT_EQ(t.CountGreater(9), 0u);
+  EXPECT_TRUE(t.Contains(3));
+  EXPECT_FALSE(t.Contains(4));
+}
+
+TEST(OsTreapTest, DuplicatesCountSeparately) {
+  OsTreap<int> t;
+  t.Insert(4);
+  t.Insert(4);
+  t.Insert(4);
+  t.Insert(2);
+  EXPECT_EQ(t.Size(), 4u);
+  EXPECT_EQ(t.CountGreater(2), 3u);
+  EXPECT_EQ(t.CountLess(4), 1u);
+  EXPECT_TRUE(t.Erase(4));
+  EXPECT_EQ(t.Size(), 3u);
+  EXPECT_EQ(t.CountGreater(2), 2u);
+}
+
+TEST(OsTreapTest, SelectReturnsSortedOrder) {
+  OsTreap<int> t;
+  for (int v : {50, 10, 40, 20, 30}) t.Insert(v);
+  EXPECT_EQ(t.Select(0), 10);
+  EXPECT_EQ(t.Select(2), 30);
+  EXPECT_EQ(t.Select(4), 50);
+}
+
+TEST(OsTreapTest, EraseMissingReturnsFalse) {
+  OsTreap<int> t;
+  t.Insert(1);
+  EXPECT_FALSE(t.Erase(2));
+  EXPECT_EQ(t.Size(), 1u);
+}
+
+TEST(OsTreapTest, ClearEmpties) {
+  OsTreap<int> t;
+  for (int i = 0; i < 100; ++i) t.Insert(i);
+  t.Clear();
+  EXPECT_TRUE(t.Empty());
+}
+
+TEST(OsTreapTest, ToSortedVectorIsSorted) {
+  OsTreap<int> t;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) t.Insert(static_cast<int>(rng.UniformInt(50)));
+  const std::vector<int> v = t.ToSortedVector();
+  EXPECT_EQ(v.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+// Randomized differential test against std::multiset.
+TEST(OsTreapTest, MatchesMultisetOracleUnderRandomOps) {
+  OsTreap<int> treap;
+  std::multiset<int> oracle;
+  Rng rng(42);
+  for (int op = 0; op < 5000; ++op) {
+    const int key = static_cast<int>(rng.UniformInt(100));
+    const int action = static_cast<int>(rng.UniformInt(4));
+    if (action < 2) {
+      treap.Insert(key);
+      oracle.insert(key);
+    } else if (action == 2) {
+      const bool erased = treap.Erase(key);
+      auto it = oracle.find(key);
+      EXPECT_EQ(erased, it != oracle.end());
+      if (it != oracle.end()) oracle.erase(it);
+    } else {
+      const auto greater = static_cast<std::size_t>(std::distance(
+          oracle.upper_bound(key), oracle.end()));
+      const auto less = static_cast<std::size_t>(std::distance(
+          oracle.begin(), oracle.lower_bound(key)));
+      EXPECT_EQ(treap.CountGreater(key), greater);
+      EXPECT_EQ(treap.CountLess(key), less);
+    }
+    ASSERT_EQ(treap.Size(), oracle.size());
+  }
+  // Final structural comparison.
+  std::vector<int> want(oracle.begin(), oracle.end());
+  EXPECT_EQ(treap.ToSortedVector(), want);
+}
+
+TEST(OsTreapTest, SelectMatchesOracleAfterRandomInserts) {
+  OsTreap<int> treap;
+  std::vector<int> oracle;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const int key = static_cast<int>(rng.UniformInt(1000));
+    treap.Insert(key);
+    oracle.push_back(key);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (std::size_t r = 0; r < oracle.size(); r += 7) {
+    EXPECT_EQ(treap.Select(r), oracle[r]);
+  }
+}
+
+TEST(OsTreapTest, WorksWithUint64Keys) {
+  OsTreap<std::uint64_t> t;
+  t.Insert(10);
+  t.Insert(~std::uint64_t{0});
+  EXPECT_EQ(t.CountGreater(10), 1u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,101 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStatTest, ToStringMentionsMean) {
+  RunningStat s;
+  s.Add(2.0);
+  EXPECT_NE(s.ToString().find("mean=2"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotoneTime) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  w.Restart();
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+}
+
+TEST(EngineStatsTest, AccumulateAndSubtract) {
+  EngineStats a;
+  a.cycles = 10;
+  a.arrivals = 100;
+  a.recomputations = 3;
+  a.maintenance_seconds = 1.5;
+  EngineStats b;
+  b.cycles = 4;
+  b.arrivals = 40;
+  b.recomputations = 1;
+  b.maintenance_seconds = 0.5;
+  EngineStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.cycles, 14u);
+  EXPECT_EQ(sum.arrivals, 140u);
+  const EngineStats diff = Subtract(sum, b);
+  EXPECT_EQ(diff.cycles, a.cycles);
+  EXPECT_EQ(diff.arrivals, a.arrivals);
+  EXPECT_EQ(diff.recomputations, a.recomputations);
+  EXPECT_DOUBLE_EQ(diff.maintenance_seconds, a.maintenance_seconds);
+}
+
+TEST(EngineStatsTest, RecomputationRate) {
+  EngineStats s;
+  s.cycles = 100;
+  s.recomputations = 20;
+  EXPECT_DOUBLE_EQ(s.RecomputationRate(1), 0.2);
+  EXPECT_DOUBLE_EQ(s.RecomputationRate(10), 0.02);
+  EngineStats empty;
+  EXPECT_EQ(empty.RecomputationRate(10), 0.0);
+}
+
+TEST(EngineStatsTest, ToStringContainsCounters) {
+  EngineStats s;
+  s.cycles = 7;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("cycles=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topkmon

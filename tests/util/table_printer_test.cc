@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace topkmon {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Every line has the same length (fixed-width columns).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line: '" << line << "'";
+  }
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, NumFormatsSignificantDigits) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 3), "3.14");
+  EXPECT_EQ(TablePrinter::Num(12345.678, 4), "1.235e+04");
+  EXPECT_EQ(TablePrinter::Int(-7), "-7");
+}
+
+TEST(TablePrinterTest, SeparatorLineMatchesHeader) {
+  TablePrinter t({"xx"});
+  t.AddRow({"y"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topkmon
