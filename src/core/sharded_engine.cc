@@ -6,11 +6,15 @@ namespace topkmon {
 
 ShardedEngine::ShardedEngine(int num_shards, const EngineFactory& factory) {
   assert(num_shards >= 1);
+  if (num_shards < 1) num_shards = 1;  // release builds: degrade, not UB
   shards_.reserve(num_shards);
   for (int s = 0; s < num_shards; ++s) {
     shards_.push_back(factory());
     assert(shards_.back() != nullptr);
   }
+  dim_ = shards_.front()->dim();
+  name_ = "SHARDED[" + std::to_string(shards_.size()) + "x" +
+          shards_.front()->name() + "]";
   shard_status_.resize(shards_.size());
   threads_.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -18,18 +22,18 @@ ShardedEngine::ShardedEngine(int num_shards, const EngineFactory& factory) {
   }
 }
 
-ShardedEngine::~ShardedEngine() {
+ShardedEngine::~ShardedEngine() { Shutdown(); }
+
+void ShardedEngine::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
-
-std::string ShardedEngine::name() const {
-  return "SHARDED[" + std::to_string(shards_.size()) + "x" +
-         shards_.front()->name() + "]";
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 Status ShardedEngine::RegisterQuery(const QuerySpec& spec) {
@@ -38,8 +42,15 @@ Status ShardedEngine::RegisterQuery(const QuerySpec& spec) {
                                  " already registered");
   }
   const std::size_t shard = next_shard_ % shards_.size();
-  TOPKMON_RETURN_IF_ERROR(shards_[shard]->RegisterQuery(spec));
+  // Record the routing *before* the inner registration: the inner engine
+  // reports the query's initial result synchronously through the delta
+  // callback, and the per-shard wrapper drops deltas for unrouted queries.
   query_shard_.emplace(spec.id, shard);
+  const Status st = shards_[shard]->RegisterQuery(spec);
+  if (!st.ok()) {
+    query_shard_.erase(spec.id);
+    return st;
+  }
   ++next_shard_;
   return Status::Ok();
 }
@@ -59,6 +70,10 @@ Status ShardedEngine::ProcessCycle(Timestamp now,
                                    const std::vector<Record>& arrivals) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return Status::FailedPrecondition(
+          "ShardedEngine is shut down; no worker pool to run the cycle");
+    }
     now_ = now;
     arrivals_ = &arrivals;
     pending_ = shards_.size();
@@ -116,14 +131,22 @@ void ShardedEngine::SetDeltaCallback(DeltaCallback callback) {
     for (auto& shard : shards_) shard->SetDeltaCallback(nullptr);
     return;
   }
-  // Callbacks fire from worker threads concurrently; serialize them so
-  // the client sees the single-threaded contract.
+  // Each shard gets its own wrapper: callbacks fire from worker threads
+  // concurrently, so they are serialized to preserve the single-threaded
+  // contract, and each delta is forwarded only while the routing table
+  // still maps its query to the reporting shard — a delta racing a
+  // just-failed registration rollback is dropped instead of leaking a
+  // phantom query to the subscriber.
   auto mu = delta_mu_;
-  auto serialized = [mu, callback](const ResultDelta& delta) {
-    std::lock_guard<std::mutex> lock(*mu);
-    callback(delta);
-  };
-  for (auto& shard : shards_) shard->SetDeltaCallback(serialized);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->SetDeltaCallback(
+        [this, mu, callback, s](const ResultDelta& delta) {
+          const auto it = query_shard_.find(delta.query);
+          if (it == query_shard_.end() || it->second != s) return;
+          std::lock_guard<std::mutex> lock(*mu);
+          callback(delta);
+        });
+  }
 }
 
 const EngineStats& ShardedEngine::stats() const {

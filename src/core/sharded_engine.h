@@ -45,8 +45,16 @@ class ShardedEngine final : public MonitorEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  std::string name() const override;
-  int dim() const override { return shards_.front()->dim(); }
+  /// Stops and joins the worker pool. Idempotent; also runs from the
+  /// destructor. After shutdown, ProcessCycle fails with
+  /// FailedPrecondition while name()/dim()/num_shards() (cached at
+  /// construction) and the read-side (CurrentResult, stats, Memory)
+  /// remain valid — a service layer can still serve snapshot reads while
+  /// tearing down.
+  void Shutdown();
+
+  std::string name() const override { return name_; }
+  int dim() const override { return dim_; }
   Status RegisterQuery(const QuerySpec& spec) override;
   Status UnregisterQuery(QueryId id) override;
   Status ProcessCycle(Timestamp now,
@@ -65,6 +73,11 @@ class ShardedEngine final : public MonitorEngine {
 
  private:
   void WorkerLoop(std::size_t shard_index);
+
+  // Identity cached at construction so it stays answerable after
+  // Shutdown() without touching shard state.
+  int dim_ = 0;
+  std::string name_;
 
   std::vector<std::unique_ptr<MonitorEngine>> shards_;
   std::unordered_map<QueryId, std::size_t> query_shard_;

@@ -1,0 +1,128 @@
+#include "service/ingest_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace topkmon {
+
+IngestQueue::IngestQueue(const IngestOptions& options) : options_(options) {
+  assert(options_.capacity > 0);
+  assert(options_.max_batch > 0);
+  assert(options_.slack >= 0);
+  heap_.reserve(std::min<std::size_t>(options_.capacity, 4096));
+}
+
+void IngestQueue::PushLocked(Point&& position, Timestamp arrival) {
+  heap_.push_back(Pending{arrival, push_seq_++, std::move(position)});
+  std::push_heap(heap_.begin(), heap_.end(), Later());
+  max_seen_ = std::max(max_seen_, arrival);
+  ++stats_.pushed;
+  stats_.max_depth = std::max(stats_.max_depth, heap_.size());
+}
+
+Status IngestQueue::Push(Point position, Timestamp arrival) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_cv_.wait(lock, [this] {
+    return closed_ || heap_.size() < options_.capacity;
+  });
+  if (closed_) {
+    return Status::FailedPrecondition("ingest queue is closed");
+  }
+  PushLocked(std::move(position), arrival);
+  drain_cv_.notify_one();
+  return Status::Ok();
+}
+
+bool IngestQueue::TryPush(Point position, Timestamp arrival) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || heap_.size() >= options_.capacity) {
+    if (!closed_) ++stats_.shed;
+    return false;
+  }
+  PushLocked(std::move(position), arrival);
+  drain_cv_.notify_one();
+  return true;
+}
+
+bool IngestQueue::ReleasableLocked() const {
+  if (heap_.empty()) return false;
+  // heap_.front() is the earliest (arrival, seq) pending record.
+  return heap_.front().arrival + options_.slack <= max_seen_;
+}
+
+std::size_t IngestQueue::DrainBatch(std::vector<Record>* out,
+                                    Timestamp* cycle_ts,
+                                    std::chrono::milliseconds max_wait,
+                                    bool flush_all) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!flush_all && !closed_ && !ReleasableLocked()) {
+    drain_cv_.wait_for(lock, max_wait,
+                       [this] { return closed_ || ReleasableLocked(); });
+  }
+  if (heap_.empty()) return 0;
+  // A timeout with data buffered opens the slack gate: bounded staleness
+  // beats holding the last records of a quiet stream forever.
+  const bool open_gate = flush_all || closed_ || !ReleasableLocked();
+  std::size_t released = 0;
+  while (released < options_.max_batch && !heap_.empty()) {
+    if (!open_gate && heap_.front().arrival + options_.slack > max_seen_) {
+      break;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later());
+    Pending p = std::move(heap_.back());
+    heap_.pop_back();
+    if (p.arrival < frontier_) {
+      // Straggler beyond the slack: advance it to the frontier so the
+      // batch stays time-ordered for the window.
+      p.arrival = frontier_;
+      ++stats_.coerced;
+    }
+    frontier_ = p.arrival;
+    out->emplace_back(next_id_++, std::move(p.position), p.arrival);
+    ++released;
+  }
+  if (released > 0) {
+    ++stats_.batches;
+    *cycle_ts = frontier_;
+    not_full_cv_.notify_all();
+  }
+  return released;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+IngestStats IngestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t IngestQueue::PushedSoFar() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.pushed;
+}
+
+std::size_t IngestQueue::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.capacity() * sizeof(Pending);
+}
+
+}  // namespace topkmon

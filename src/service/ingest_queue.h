@@ -1,0 +1,139 @@
+// Batched, reordering MPSC ingest queue (service layer).
+//
+// Many producer threads feed tuples concurrently, but the monitoring
+// engines consume one single-threaded arrival batch per processing cycle
+// with strictly increasing record ids and non-decreasing timestamps.
+// IngestQueue bridges the two worlds:
+//   * Push()/TryPush() admit a point with a client-supplied arrival
+//     timestamp from any thread. A bounded capacity applies backpressure
+//     (Push blocks while full) or load-shedding (TryPush refuses and
+//     counts the record as shed).
+//   * Buffered tuples sit in a min-heap ordered by (timestamp, push
+//     sequence). A tuple is released only once the highest timestamp seen
+//     has advanced past it by `slack` time units, so out-of-order arrivals
+//     within the slack are re-sorted rather than clamped. Stragglers that
+//     show up later than the release frontier are coerced forward to it
+//     (and counted) — the engines' window contract admits no time travel.
+//   * DrainBatch() pops the releasable prefix as one arrival batch,
+//     assigns the strictly increasing record ids the engines require, and
+//     reports the cycle timestamp to process the batch at. When nothing
+//     clears the slack gate within `max_wait` the gate opens and whatever
+//     is buffered is released, bounding result staleness when the stream
+//     goes quiet.
+
+#ifndef TOPKMON_SERVICE_INGEST_QUEUE_H_
+#define TOPKMON_SERVICE_INGEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+
+namespace topkmon {
+
+/// Tuning knobs for the ingest path.
+struct IngestOptions {
+  /// Maximum buffered records before producers feel backpressure.
+  std::size_t capacity = 1 << 16;
+  /// Maximum records released per DrainBatch call (one processing cycle).
+  std::size_t max_batch = 8192;
+  /// Reorder tolerance: a record is held until max-seen-timestamp exceeds
+  /// its arrival by this much, giving out-of-order producers a chance to
+  /// slot in. 0 releases immediately in push order.
+  Timestamp slack = 2;
+};
+
+/// Observable ingest counters (all monotonically increasing except depth).
+struct IngestStats {
+  std::uint64_t pushed = 0;    ///< records accepted into the buffer
+  std::uint64_t shed = 0;      ///< TryPush refusals on a full buffer
+  std::uint64_t coerced = 0;   ///< late records whose timestamp was
+                               ///< advanced to the release frontier
+  std::uint64_t batches = 0;   ///< DrainBatch calls that released records
+  std::size_t max_depth = 0;   ///< high-water mark of the buffer
+};
+
+/// Thread-safe multi-producer single-consumer batching queue.
+class IngestQueue {
+ public:
+  explicit IngestQueue(const IngestOptions& options);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Admits a tuple, blocking while the buffer is at capacity
+  /// (backpressure). Fails with FailedPrecondition once Close()d.
+  Status Push(Point position, Timestamp arrival);
+
+  /// Non-blocking admission; returns false when the buffer is full
+  /// (counted as shed) or the queue is closed (not counted — the stream
+  /// has ended, nothing was load-shed).
+  bool TryPush(Point position, Timestamp arrival);
+
+  /// Consumer side: appends at most options.max_batch releasable records
+  /// to *out (ids assigned, timestamps non-decreasing) and sets *cycle_ts
+  /// to the timestamp the batch should be processed at. Blocks up to
+  /// `max_wait` for the slack gate to clear; on timeout (or when
+  /// `flush_all` is set, or after Close) everything buffered is released.
+  /// Returns the number of records appended; 0 with closed() true and an
+  /// empty buffer means the stream is fully drained.
+  std::size_t DrainBatch(std::vector<Record>* out, Timestamp* cycle_ts,
+                         std::chrono::milliseconds max_wait,
+                         bool flush_all = false);
+
+  /// Permanently closes the queue: subsequent pushes fail, blocked
+  /// producers wake, and DrainBatch releases the remaining buffer.
+  void Close();
+
+  bool closed() const;
+
+  /// Records currently buffered.
+  std::size_t depth() const;
+
+  IngestStats stats() const;
+
+  /// Total records ever accepted (stats().pushed; used as a flush fence).
+  std::uint64_t PushedSoFar() const;
+
+  /// Approximate heap footprint of the buffered records.
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Pending {
+    Timestamp arrival;
+    std::uint64_t seq;  ///< push order; ties on arrival keep FIFO order
+    Point position;
+  };
+  /// Max-heap comparator inverted to pop the smallest (arrival, seq).
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.seq > b.seq;
+    }
+  };
+
+  void PushLocked(Point&& position, Timestamp arrival);
+  bool ReleasableLocked() const;
+
+  const IngestOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_cv_;  ///< producers wait here
+  std::condition_variable drain_cv_;     ///< the consumer waits here
+  std::vector<Pending> heap_;
+  bool closed_ = false;
+  std::uint64_t push_seq_ = 0;
+  Timestamp max_seen_ = std::numeric_limits<Timestamp>::min();
+  Timestamp frontier_ = std::numeric_limits<Timestamp>::min();
+  RecordId next_id_ = 0;
+  IngestStats stats_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_SERVICE_INGEST_QUEUE_H_

@@ -1,0 +1,244 @@
+#include "service/monitor_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "common/geometry.h"
+
+namespace topkmon {
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " ingested=" << records_ingested
+     << " applied=" << records_applied << " shed=" << records_shed
+     << " coerced=" << records_coerced << " published=" << deltas_published
+     << " delivered=" << deltas_delivered << " dropped=" << deltas_dropped
+     << " failed_cycles=" << failed_cycles << " queue_depth=" << queue_depth
+     << " sessions=" << open_sessions << " queries=" << active_queries;
+  return os.str();
+}
+
+MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
+                               const ServiceOptions& options)
+    : options_(options),
+      engine_(std::move(engine)),
+      dim_(engine_->dim()),
+      engine_name_(engine_->name()),
+      ingest_(options.ingest),
+      sessions_(options.session),
+      hub_(options.hub) {
+  assert(engine_ != nullptr);
+  // Install the fan-out before any query can register or any cycle run,
+  // so the very first delta (a query's initial result) is routed.
+  engine_->SetDeltaCallback(
+      [this](const ResultDelta& delta) { hub_.Publish(delta); });
+  driver_ = std::thread([this] { DriverLoop(); });
+}
+
+MonitorService::~MonitorService() { Shutdown(); }
+
+Status MonitorService::Ingest(Point position, Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
+  return ingest_.Push(std::move(position), arrival);
+}
+
+Status MonitorService::TryIngest(Point position, Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
+  if (ingest_.TryPush(std::move(position), arrival)) return Status::Ok();
+  if (ingest_.closed()) {
+    return Status::FailedPrecondition("ingest queue is closed");
+  }
+  return Status::FailedPrecondition("ingest queue is full");
+}
+
+Result<SessionId> MonitorService::OpenSession(std::string label) {
+  Result<SessionId> id = sessions_.Open(std::move(label));
+  if (id.ok()) hub_.Attach(*id);
+  return id;
+}
+
+Status MonitorService::CloseSession(SessionId session) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  Result<std::vector<QueryId>> owned = sessions_.Close(session);
+  if (!owned.ok()) return owned.status();
+  Status first_error;
+  for (QueryId query : *owned) {
+    hub_.Unbind(query);
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    const Status st = engine_->UnregisterQuery(query);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  hub_.Detach(session);
+  return first_error;
+}
+
+Result<QueryId> MonitorService::Register(SessionId session, QuerySpec spec) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  spec.id = next_query_id_.fetch_add(1);
+  TOPKMON_RETURN_IF_ERROR(sessions_.Admit(session, spec.id, spec.k));
+  // Bind before registering: the engine reports the initial result as a
+  // delta synchronously from RegisterQuery.
+  Status st = hub_.Bind(spec.id, session);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    st = engine_->RegisterQuery(spec);
+  }
+  if (!st.ok()) {
+    hub_.Unbind(spec.id);
+    sessions_.Release(spec.id);
+    return st;
+  }
+  return spec.id;
+}
+
+Status MonitorService::Unregister(SessionId session, QueryId query) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  Result<SessionId> owner = sessions_.Owner(query);
+  if (!owner.ok()) return owner.status();
+  if (*owner != session) {
+    return Status::FailedPrecondition(
+        "query id " + std::to_string(query) + " is owned by session " +
+        std::to_string(*owner) + ", not " + std::to_string(session));
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    TOPKMON_RETURN_IF_ERROR(engine_->UnregisterQuery(query));
+  }
+  hub_.Unbind(query);
+  return sessions_.Release(query);
+}
+
+Result<std::vector<ResultEntry>> MonitorService::CurrentResult(
+    QueryId query) const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_->CurrentResult(query);
+}
+
+std::size_t MonitorService::PollDeltas(SessionId session, std::size_t max,
+                                       std::vector<DeltaEvent>* out) {
+  return hub_.Poll(session, max, out);
+}
+
+std::size_t MonitorService::WaitDeltas(SessionId session, std::size_t max,
+                                       std::chrono::milliseconds timeout,
+                                       std::vector<DeltaEvent>* out) {
+  return hub_.WaitPoll(session, max, timeout, out);
+}
+
+std::uint64_t MonitorService::DroppedDeltas(SessionId session) const {
+  return hub_.Dropped(session);
+}
+
+bool MonitorService::NeedsFlush() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return applied_records_ < flush_fence_;
+}
+
+void MonitorService::DriverLoop() {
+  std::vector<Record> batch;
+  Timestamp cycle_ts = 0;
+  while (true) {
+    batch.clear();
+    const std::size_t n =
+        ingest_.DrainBatch(&batch, &cycle_ts, options_.drain_wait,
+                           /*flush_all=*/NeedsFlush());
+    if (n == 0) {
+      if (ingest_.closed() && ingest_.depth() == 0) break;
+      // A flush fence may already be satisfied (fence raced a drain).
+      flush_cv_.notify_all();
+      continue;
+    }
+    CycleObserver observer;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      observer = observer_;
+    }
+    if (observer) observer(cycle_ts, batch);
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      st = engine_->ProcessCycle(cycle_ts, batch);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      applied_records_ += n;
+      ++cycles_;
+      // Ingest validation makes cycle errors unreachable in practice;
+      // count them anyway so a regression is visible, not silent.
+      if (!st.ok()) ++failed_cycles_;
+    }
+    flush_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stopped_ = true;
+  }
+  flush_cv_.notify_all();
+}
+
+Status MonitorService::Flush() {
+  const std::uint64_t fence = ingest_.PushedSoFar();
+  std::unique_lock<std::mutex> lock(state_mu_);
+  flush_fence_ = std::max(flush_fence_, fence);
+  flush_cv_.wait(lock, [this, fence] {
+    return stopped_ || applied_records_ >= fence;
+  });
+  if (applied_records_ >= fence) return Status::Ok();
+  return Status::FailedPrecondition("service stopped before flush finished");
+}
+
+void MonitorService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!shutdown_requested_) {
+    shutdown_requested_ = true;
+    ingest_.Close();
+  }
+  if (driver_.joinable()) driver_.join();
+}
+
+ServiceStats MonitorService::stats() const {
+  ServiceStats out;
+  const IngestStats ingest = ingest_.stats();
+  const HubStats hub = hub_.stats();
+  out.records_ingested = ingest.pushed;
+  out.records_shed = ingest.shed;
+  out.records_coerced = ingest.coerced;
+  out.queue_depth = ingest_.depth();
+  out.deltas_published = hub.published;
+  out.deltas_delivered = hub.delivered;
+  out.deltas_dropped = hub.dropped;
+  out.open_sessions = sessions_.OpenSessions();
+  out.active_queries = sessions_.ActiveQueries();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    out.cycles = cycles_;
+    out.records_applied = applied_records_;
+    out.failed_cycles = failed_cycles_;
+  }
+  return out;
+}
+
+EngineStats MonitorService::EngineCounters() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_->stats();
+}
+
+MemoryBreakdown MonitorService::Memory() const {
+  MemoryBreakdown mb;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    mb = engine_->Memory();
+  }
+  mb.Add("service_ingest", ingest_.MemoryBytes());
+  mb.Add("service_hub", hub_.MemoryBytes());
+  return mb;
+}
+
+void MonitorService::SetCycleObserver(CycleObserver observer) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  observer_ = std::move(observer);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,196 @@
+// MonitorService — the multi-client continuous-query façade.
+//
+// The paper's engines are single-threaded libraries driven by a
+// simulation loop; this is the layer that makes them servable. A
+// MonitorService owns one MonitorEngine (typically a ShardedEngine for
+// multi-core scaling) plus the three service components, and runs a
+// dedicated cycle-driver thread:
+//
+//   producers --Push--> IngestQueue --DrainBatch--> driver thread
+//                                                      |  ProcessCycle
+//                                                      v
+//   sessions <--Poll--  SubscriptionHub <--Publish-- DeltaCallback
+//
+// Thread roles:
+//   * any number of producer threads call Ingest()/TryIngest();
+//   * any number of client threads open sessions, register queries,
+//     read snapshots (CurrentResult) and poll delta subscriptions;
+//   * exactly one internal driver thread talks to the engine for cycle
+//     processing. Client-facing engine calls (register / unregister /
+//     snapshot reads) are serialized with the driver through one mutex,
+//     preserving the engines' single-threaded contract.
+//
+// Ingested tuples are validated against the engine's dimensionality at
+// admission (the same ValidatePoint the engines use), so a malformed
+// tuple is an error returned to its producer, never a poisoned batch in
+// the driver loop.
+//
+// Shutdown() closes ingest, lets the driver flush every buffered record
+// through a final cycle, and joins the thread; it is idempotent and also
+// runs from the destructor. Flush() is the deterministic fence used by
+// tests and graceful drains: it blocks until every record pushed before
+// the call has been applied to the engine.
+
+#ifndef TOPKMON_SERVICE_MONITOR_SERVICE_H_
+#define TOPKMON_SERVICE_MONITOR_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/ingest_queue.h"
+#include "service/session.h"
+#include "service/subscription_hub.h"
+
+namespace topkmon {
+
+/// Composite configuration of the service layer.
+struct ServiceOptions {
+  IngestOptions ingest;
+  SessionOptions session;
+  HubOptions hub;
+  /// Longest the driver waits for the ingest slack gate before forcing a
+  /// cycle with whatever is buffered (bounds ingest->result staleness).
+  std::chrono::milliseconds drain_wait{5};
+};
+
+/// Service-level counters, aggregated across the components.
+struct ServiceStats {
+  std::uint64_t cycles = 0;             ///< engine cycles driven
+  std::uint64_t records_ingested = 0;   ///< records accepted by ingest
+  std::uint64_t records_applied = 0;    ///< records applied to the engine
+  std::uint64_t records_shed = 0;       ///< TryIngest refusals (queue full)
+  std::uint64_t records_coerced = 0;    ///< stragglers time-shifted forward
+  std::uint64_t deltas_published = 0;   ///< engine deltas entering the hub
+  std::uint64_t deltas_delivered = 0;   ///< events consumed by sessions
+  std::uint64_t deltas_dropped = 0;     ///< events lost to slow consumers
+  std::uint64_t failed_cycles = 0;      ///< ProcessCycle errors (bug guard)
+  std::size_t queue_depth = 0;          ///< records waiting in ingest
+  std::size_t open_sessions = 0;
+  std::size_t active_queries = 0;
+
+  std::string ToString() const;
+};
+
+/// Thread-safe multi-client continuous-query service over one engine.
+class MonitorService {
+ public:
+  /// Takes ownership of `engine` (freshly constructed, no queries) and
+  /// starts the cycle-driver thread.
+  MonitorService(std::unique_ptr<MonitorEngine> engine,
+                 const ServiceOptions& options);
+  ~MonitorService();
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  // ---- producer API (any thread) --------------------------------------
+  /// Validates and admits a tuple, blocking under backpressure.
+  Status Ingest(Point position, Timestamp arrival);
+  /// Non-blocking variant; OutOfRange/InvalidArgument for bad tuples,
+  /// FailedPrecondition when the queue is full or the service stopped.
+  Status TryIngest(Point position, Timestamp arrival);
+
+  // ---- client API (any thread) ----------------------------------------
+  Result<SessionId> OpenSession(std::string label);
+  /// Unregisters every query the session owns, drops its subscription
+  /// buffer, and closes it.
+  Status CloseSession(SessionId session);
+
+  /// Registers `spec` on behalf of `session` subject to its quotas. The
+  /// spec's id field is ignored: the service assigns the returned
+  /// globally unique id. The initial result arrives as the session's
+  /// first delta event for that query.
+  Result<QueryId> Register(SessionId session, QuerySpec spec);
+  /// Terminates a query; only its owning session may do so.
+  Status Unregister(SessionId session, QueryId query);
+
+  /// Snapshot read of a query's current top-k (any thread).
+  Result<std::vector<ResultEntry>> CurrentResult(QueryId query) const;
+
+  /// Moves up to `max` pending delta events for `session` into *out.
+  std::size_t PollDeltas(SessionId session, std::size_t max,
+                         std::vector<DeltaEvent>* out);
+  /// Long-poll variant: blocks until events arrive or `timeout` expires.
+  std::size_t WaitDeltas(SessionId session, std::size_t max,
+                         std::chrono::milliseconds timeout,
+                         std::vector<DeltaEvent>* out);
+  /// Delta events `session` has lost to buffer overflow.
+  std::uint64_t DroppedDeltas(SessionId session) const;
+
+  // ---- control / observability ----------------------------------------
+  /// Blocks until every record pushed before the call has been applied to
+  /// the engine (forces the slack gate open). FailedPrecondition after
+  /// Shutdown.
+  Status Flush();
+
+  /// Graceful stop: close ingest, flush buffered records through final
+  /// cycles, join the driver. Idempotent; buffered delta events remain
+  /// pollable afterwards.
+  void Shutdown();
+
+  ServiceStats stats() const;
+
+  /// Engine counters and memory, including the service's own buffers.
+  const std::string& engine_name() const { return engine_name_; }
+  EngineStats EngineCounters() const;
+  MemoryBreakdown Memory() const;
+
+  /// Installs a hook invoked by the driver thread with every (cycle
+  /// timestamp, arrival batch) right before it is applied — the seam for
+  /// journaling/persistence and for tests that need ground truth replay.
+  using CycleObserver =
+      std::function<void(Timestamp, const std::vector<Record>&)>;
+  void SetCycleObserver(CycleObserver observer);
+
+ private:
+  void DriverLoop();
+  bool NeedsFlush() const;
+
+  const ServiceOptions options_;
+  std::unique_ptr<MonitorEngine> engine_;
+  const int dim_;
+  const std::string engine_name_;
+
+  IngestQueue ingest_;
+  SessionManager sessions_;
+  SubscriptionHub hub_;
+
+  /// Serializes every engine call (driver cycles and client operations).
+  mutable std::mutex engine_mu_;
+
+  /// Serializes control-plane operations (Register / Unregister /
+  /// CloseSession): admission, hub binding and engine registration must
+  /// be atomic with respect to a concurrent session close, or a racing
+  /// Close could strand a just-registered query in the engine with no
+  /// owner. Always acquired before engine_mu_, never by the driver.
+  std::mutex control_mu_;
+
+  std::atomic<QueryId> next_query_id_{1};
+
+  // Driver / flush coordination.
+  mutable std::mutex state_mu_;
+  std::condition_variable flush_cv_;
+  CycleObserver observer_;
+  std::uint64_t applied_records_ = 0;
+  std::uint64_t flush_fence_ = 0;  ///< drain at least this many pushes
+  std::uint64_t cycles_ = 0;
+  std::uint64_t failed_cycles_ = 0;
+  bool stopped_ = false;
+
+  std::mutex shutdown_mu_;
+  bool shutdown_requested_ = false;
+
+  std::thread driver_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_SERVICE_MONITOR_SERVICE_H_

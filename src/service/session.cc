@@ -1,0 +1,128 @@
+#include "service/session.h"
+
+#include <utility>
+
+namespace topkmon {
+
+SessionManager::SessionManager(const SessionOptions& options)
+    : options_(options) {}
+
+Result<SessionId> SessionManager::Open(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::FailedPrecondition(
+        "session limit reached (" + std::to_string(options_.max_sessions) +
+        " open)");
+  }
+  const SessionId id = next_session_++;
+  sessions_.emplace(id, SessionState{std::move(label), {}});
+  ++stats_.opened;
+  return id;
+}
+
+Result<std::vector<QueryId>> SessionManager::Close(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session " + std::to_string(session) +
+                            " not open");
+  }
+  std::vector<QueryId> owned(it->second.queries.begin(),
+                             it->second.queries.end());
+  for (QueryId q : owned) owner_.erase(q);
+  stats_.queries_released += owned.size();
+  sessions_.erase(it);
+  ++stats_.closed;
+  return owned;
+}
+
+Status SessionManager::Admit(SessionId session, QueryId query_id, int k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session " + std::to_string(session) +
+                            " not open");
+  }
+  if (k <= 0 || k > options_.max_k) {
+    ++stats_.quota_rejections;
+    return Status::InvalidArgument(
+        "k=" + std::to_string(k) + " outside the admissible range [1, " +
+        std::to_string(options_.max_k) + "]");
+  }
+  if (it->second.queries.size() >=
+      static_cast<std::size_t>(options_.max_queries_per_session)) {
+    ++stats_.quota_rejections;
+    return Status::FailedPrecondition(
+        "session " + std::to_string(session) + " is at its query quota (" +
+        std::to_string(options_.max_queries_per_session) + ")");
+  }
+  if (owner_.count(query_id) > 0) {
+    return Status::AlreadyExists("query id " + std::to_string(query_id) +
+                                 " already owned");
+  }
+  it->second.queries.insert(query_id);
+  owner_.emplace(query_id, session);
+  ++stats_.queries_admitted;
+  return Status::Ok();
+}
+
+Status SessionManager::Release(QueryId query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owner_.find(query_id);
+  if (it == owner_.end()) {
+    return Status::NotFound("query id " + std::to_string(query_id) +
+                            " not owned by any session");
+  }
+  auto session = sessions_.find(it->second);
+  if (session != sessions_.end()) session->second.queries.erase(query_id);
+  owner_.erase(it);
+  ++stats_.queries_released;
+  return Status::Ok();
+}
+
+Result<SessionId> SessionManager::Owner(QueryId query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owner_.find(query_id);
+  if (it == owner_.end()) {
+    return Status::NotFound("query id " + std::to_string(query_id) +
+                            " not owned by any session");
+  }
+  return it->second;
+}
+
+Result<std::string> SessionManager::Label(SessionId session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session " + std::to_string(session) +
+                            " not open");
+  }
+  return it->second.label;
+}
+
+Result<std::size_t> SessionManager::QueryCount(SessionId session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session " + std::to_string(session) +
+                            " not open");
+  }
+  return it->second.queries.size();
+}
+
+std::size_t SessionManager::OpenSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::size_t SessionManager::ActiveQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owner_.size();
+}
+
+SessionStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace topkmon

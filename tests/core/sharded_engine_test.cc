@@ -120,6 +120,43 @@ TEST(ShardedEngineTest, DeltaCallbacksAreSerializedAndComplete) {
   EXPECT_EQ(reported.size(), queries.size());
 }
 
+TEST(ShardedEngineTest, ShutdownKeepsIdentityAndReadsValid) {
+  ShardedEngine engine(3, SmaFactory(2, 100));
+  RecordSource source(MakeGenerator(Distribution::kIndependent, 2, 3));
+  const auto queries = MakeRandomQueries(2, 2, 3, 5);
+  for (const QuerySpec& q : queries) {
+    TOPKMON_ASSERT_OK(engine.RegisterQuery(q));
+  }
+  TOPKMON_ASSERT_OK(engine.ProcessCycle(1, source.NextBatch(50, 1)));
+  engine.Shutdown();
+  engine.Shutdown();  // idempotent
+  // Identity and the read side survive shutdown...
+  EXPECT_EQ(engine.name(), "SHARDED[3xSMA]");
+  EXPECT_EQ(engine.dim(), 2);
+  EXPECT_EQ(engine.num_shards(), 3);
+  EXPECT_TRUE(engine.CurrentResult(queries[0].id).ok());
+  EXPECT_EQ(engine.stats().cycles, 1u);
+  // ...but cycles need the worker pool.
+  EXPECT_EQ(engine.ProcessCycle(2, source.NextBatch(10, 2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedEngineTest, InitialResultDeltaIsRoutedOnRegistration) {
+  ShardedEngine engine(3, SmaFactory(2, 200));
+  RecordSource source(MakeGenerator(Distribution::kIndependent, 2, 3));
+  TOPKMON_ASSERT_OK(engine.ProcessCycle(1, source.NextBatch(100, 1)));
+  std::vector<ResultDelta> deltas;
+  engine.SetDeltaCallback(
+      [&deltas](const ResultDelta& d) { deltas.push_back(d); });
+  // Registering mid-stream must report the initial result as one delta.
+  const auto queries = MakeRandomQueries(2, 1, 4, 5);
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(queries[0]));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].query, queries[0].id);
+  EXPECT_EQ(deltas[0].added.size(), 4u);
+  EXPECT_TRUE(deltas[0].removed.empty());
+}
+
 TEST(ShardedEngineTest, MidStreamChurnStaysExact) {
   const int dim = 2;
   ShardedEngine sharded(3, SmaFactory(dim, 300));

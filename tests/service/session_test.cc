@@ -1,0 +1,106 @@
+#include "service/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+SessionOptions SmallQuotas() {
+  SessionOptions opt;
+  opt.max_queries_per_session = 2;
+  opt.max_k = 10;
+  opt.max_sessions = 3;
+  return opt;
+}
+
+TEST(SessionManagerTest, OpenAdmitCloseLifecycle) {
+  SessionManager mgr(SmallQuotas());
+  const auto session = mgr.Open("dashboard-1");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(mgr.OpenSessions(), 1u);
+  EXPECT_EQ(*mgr.Label(*session), "dashboard-1");
+
+  TOPKMON_ASSERT_OK(mgr.Admit(*session, 7, 5));
+  TOPKMON_ASSERT_OK(mgr.Admit(*session, 8, 5));
+  EXPECT_EQ(*mgr.QueryCount(*session), 2u);
+  EXPECT_EQ(*mgr.Owner(7), *session);
+  EXPECT_EQ(mgr.ActiveQueries(), 2u);
+
+  const auto owned = mgr.Close(*session);
+  ASSERT_TRUE(owned.ok());
+  std::vector<QueryId> ids = *owned;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<QueryId>{7, 8}));
+  EXPECT_EQ(mgr.OpenSessions(), 0u);
+  EXPECT_EQ(mgr.ActiveQueries(), 0u);
+  EXPECT_EQ(mgr.Owner(7).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, QueryQuotaIsEnforced) {
+  SessionManager mgr(SmallQuotas());
+  const SessionId s = *mgr.Open("greedy");
+  TOPKMON_ASSERT_OK(mgr.Admit(s, 1, 3));
+  TOPKMON_ASSERT_OK(mgr.Admit(s, 2, 3));
+  EXPECT_EQ(mgr.Admit(s, 3, 3).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mgr.stats().quota_rejections, 1u);
+  // Releasing one frees a slot.
+  TOPKMON_ASSERT_OK(mgr.Release(1));
+  TOPKMON_ASSERT_OK(mgr.Admit(s, 3, 3));
+}
+
+TEST(SessionManagerTest, KQuotaIsEnforced) {
+  SessionManager mgr(SmallQuotas());
+  const SessionId s = *mgr.Open("big-k");
+  EXPECT_EQ(mgr.Admit(s, 1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Admit(s, 1, 11).code(), StatusCode::kInvalidArgument);
+  TOPKMON_ASSERT_OK(mgr.Admit(s, 1, 10));
+  EXPECT_EQ(mgr.stats().quota_rejections, 2u);
+}
+
+TEST(SessionManagerTest, SessionLimitIsEnforced) {
+  SessionManager mgr(SmallQuotas());
+  ASSERT_TRUE(mgr.Open("a").ok());
+  ASSERT_TRUE(mgr.Open("b").ok());
+  const auto c = mgr.Open("c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(mgr.Open("d").status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(mgr.Close(*c).ok());
+  ASSERT_TRUE(mgr.Open("d").ok());
+}
+
+TEST(SessionManagerTest, UnknownEntitiesReportNotFound) {
+  SessionManager mgr(SmallQuotas());
+  EXPECT_EQ(mgr.Close(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.Admit(99, 1, 3).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.Release(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.Label(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.QueryCount(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, DuplicateQueryIdRefused) {
+  SessionManager mgr(SmallQuotas());
+  const SessionId a = *mgr.Open("a");
+  const SessionId b = *mgr.Open("b");
+  TOPKMON_ASSERT_OK(mgr.Admit(a, 1, 3));
+  EXPECT_EQ(mgr.Admit(b, 1, 3).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SessionManagerTest, StatsCountTheLifecycle) {
+  SessionManager mgr(SmallQuotas());
+  const SessionId s = *mgr.Open("stats");
+  TOPKMON_ASSERT_OK(mgr.Admit(s, 1, 3));
+  TOPKMON_ASSERT_OK(mgr.Release(1));
+  ASSERT_TRUE(mgr.Close(s).ok());
+  const SessionStats stats = mgr.stats();
+  EXPECT_EQ(stats.opened, 1u);
+  EXPECT_EQ(stats.closed, 1u);
+  EXPECT_EQ(stats.queries_admitted, 1u);
+  EXPECT_EQ(stats.queries_released, 1u);
+}
+
+}  // namespace
+}  // namespace topkmon
