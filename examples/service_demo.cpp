@@ -8,7 +8,13 @@
 //     every change as it arrives (sequence number, cycle, entered/left).
 // Ends with a graceful shutdown and the service-level counters.
 //
+// With --journal=DIR the service write-ahead-journals every cycle and
+// recovers the directory on startup: run the demo twice with the same
+// DIR and the second run prints the recovery summary, re-adopts the
+// first run's sessions by label, and continues their queries.
+//
 // Flags: --producers=N --records=N --queries=N --k=N --window=N
+//        --journal=DIR --sync=none|interval|always
 
 #include <atomic>
 #include <cstdio>
@@ -44,6 +50,18 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const auto journal_flag = flags->GetString("journal", "");
+  const auto sync_flag = flags->GetString("sync", "none");
+  if (!journal_flag.ok() || !sync_flag.ok()) {
+    std::fprintf(stderr, "bad --journal/--sync flag\n");
+    return 1;
+  }
+  const std::string journal_dir = *journal_flag;
+  const auto sync_policy = ParseSyncPolicy(*sync_flag);
+  if (!sync_policy.ok()) {
+    std::fprintf(stderr, "%s\n", sync_policy.status().ToString().c_str());
+    return 1;
+  }
   const int producers = static_cast<int>(*producers_flag);
   const std::size_t records = static_cast<std::size_t>(*records_flag);
   const std::size_t queries_per_session =
@@ -52,26 +70,52 @@ int main(int argc, char** argv) {
   const std::size_t window = static_cast<std::size_t>(*window_flag);
 
   // 1. Engine + service. The service owns the cycle-driver thread; we
-  //    never call the engine directly again.
+  //    never call the engine directly again. With --journal, Open()
+  //    recovers the directory first and resumes journaling.
   ServiceOptions options;
   options.ingest.slack = 4;
   options.drain_wait = std::chrono::milliseconds(2);
-  MonitorService service(
-      std::make_unique<ShardedEngine>(
-          2,
-          [window] {
-            GridEngineOptions opt;
-            opt.dim = 2;
-            opt.window = WindowSpec::Count(window);
-            return std::unique_ptr<MonitorEngine>(new TmaEngine(opt));
-          }),
-      options);
+  options.journal.dir = journal_dir;
+  options.journal.sync = *sync_policy;
+  const auto engine_factory = [window] {
+    return std::unique_ptr<MonitorEngine>(new ShardedEngine(
+        2,
+        [window] {
+          GridEngineOptions opt;
+          opt.dim = 2;
+          opt.window = WindowSpec::Count(window);
+          return std::unique_ptr<MonitorEngine>(new TmaEngine(opt));
+        }));
+  };
+  std::unique_ptr<MonitorService> owned_service;
+  if (journal_dir.empty()) {
+    owned_service =
+        std::make_unique<MonitorService>(engine_factory(), options);
+  } else {
+    auto opened = MonitorService::Open(engine_factory, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    owned_service = std::move(*opened);
+    std::printf("journal: %s\n",
+                owned_service->recovery().ToString().c_str());
+  }
+  MonitorService& service = *owned_service;
 
-  // 2. Two client sessions, each holding continuous queries.
+  // 2. Two client sessions, each holding continuous queries. After a
+  //    recovery the sessions already exist (adopted by label) and keep
+  //    the previous run's queries.
   const char* names[2] = {"alice", "bob"};
   std::vector<SessionId> sessions;
   Rng rng(2024);
   for (const char* name : names) {
+    if (const auto adopted = service.FindSession(name); adopted.ok()) {
+      std::printf("[%s] adopted recovered session %llu\n", name,
+                  static_cast<unsigned long long>(*adopted));
+      sessions.push_back(*adopted);
+      continue;
+    }
     const auto session = service.OpenSession(name);
     if (!session.ok()) {
       std::fprintf(stderr, "%s\n", session.status().ToString().c_str());

@@ -21,6 +21,13 @@
 
 namespace topkmon {
 
+/// Engine-ready image of the stream state, used by the journal subsystem
+/// (src/journal/) for snapshot records and crash recovery.
+struct EngineSnapshot {
+  Timestamp last_cycle = 0;    ///< timestamp of the last processed cycle
+  std::vector<Record> window;  ///< valid records in arrival (id) order
+};
+
 /// A continuous top-k monitoring engine.
 ///
 /// Lifecycle: construct, RegisterQuery() any number of queries (also
@@ -67,6 +74,33 @@ class MonitorEngine {
 
   /// Number of currently valid (indexed) records.
   virtual std::size_t WindowSize() const = 0;
+
+  /// The current window image for journal snapshots. Engines that keep a
+  /// SlidingWindow override this; exotic engines may leave it
+  /// Unimplemented (such an engine cannot anchor journal segments).
+  virtual Result<EngineSnapshot> SnapshotState() const {
+    return Status::Unimplemented("engine " + name() +
+                                 " does not support state snapshots");
+  }
+
+  /// Rebuilds the window from a snapshot. Requires a freshly constructed
+  /// engine (empty window). The default re-admits the snapshot records as
+  /// one arrival batch at the snapshot's cycle timestamp — exact for
+  /// every engine, because a window's content is a deterministic function
+  /// of the (id-ordered) records admitted and the eviction instant, and
+  /// none of the snapshot records can be expired at that instant. Queries
+  /// registered afterwards compute their initial results over the
+  /// restored window exactly as they did originally.
+  virtual Status RestoreState(const EngineSnapshot& snapshot) {
+    if (WindowSize() != 0) {
+      return Status::FailedPrecondition(
+          "RestoreState requires a freshly constructed engine");
+    }
+    if (snapshot.window.empty() && snapshot.last_cycle == 0) {
+      return Status::Ok();
+    }
+    return ProcessCycle(snapshot.last_cycle, snapshot.window);
+  }
 
   /// Accumulated maintenance counters.
   virtual const EngineStats& stats() const = 0;

@@ -64,6 +64,12 @@ class ShardedEngine final : public MonitorEngine {
   std::size_t WindowSize() const override {
     return shards_.front()->WindowSize();
   }
+  /// Every shard consumes the identical stream, so any shard's window is
+  /// the engine's window; restore (the base-class default) re-partitions
+  /// through the regular ProcessCycle fan-out.
+  Result<EngineSnapshot> SnapshotState() const override {
+    return shards_.front()->SnapshotState();
+  }
   /// Aggregated counters across shards (maintenance_seconds sums shard
   /// CPU time; wall-clock per cycle is roughly the max over shards).
   const EngineStats& stats() const override;

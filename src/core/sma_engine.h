@@ -43,6 +43,10 @@ class SmaEngine final : public MonitorEngine {
     delta_.SetCallback(std::move(callback));
   }
   std::size_t WindowSize() const override { return window_.size(); }
+  Result<EngineSnapshot> SnapshotState() const override {
+    return EngineSnapshot{
+        last_cycle_, std::vector<Record>(window_.begin(), window_.end())};
+  }
   const EngineStats& stats() const override { return stats_; }
   MemoryBreakdown Memory() const override;
 

@@ -1,0 +1,277 @@
+#include "journal/journal_writer.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "journal/journal_reader.h"
+
+namespace topkmon {
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::Internal(what + ": " + std::strerror(err));
+}
+
+/// mkdir -p for a single path (creates missing parents).
+Status MakeDirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir " + prefix, errno);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Writes all of `bytes` to `fd`, riding out EINTR and partial writes.
+Status WriteAllTo(int fd, const std::string& path,
+                  const std::string& bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write " + path, errno);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SyncPolicy> ParseSyncPolicy(const std::string& name) {
+  if (name == "none") return SyncPolicy::kNone;
+  if (name == "interval") return SyncPolicy::kInterval;
+  if (name == "always") return SyncPolicy::kAlways;
+  return Status::InvalidArgument("unknown sync policy '" + name +
+                                 "' (expected none|interval|always)");
+}
+
+const char* SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kNone: return "none";
+    case SyncPolicy::kInterval: return "interval";
+    case SyncPolicy::kAlways: return "always";
+  }
+  return "?";
+}
+
+CycleJournalWriter::CycleJournalWriter(const JournalOptions& options,
+                                       std::uint64_t next_index)
+    : options_(options), segment_index_(next_index) {}
+
+Result<std::unique_ptr<CycleJournalWriter>> CycleJournalWriter::Open(
+    const JournalOptions& options, const JournalSnapshot& initial,
+    bool resuming) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("journal directory is empty");
+  }
+  TOPKMON_RETURN_IF_ERROR(MakeDirs(options.dir));
+  auto existing = ListSegments(options.dir);
+  if (!existing.ok()) return existing.status();
+  const std::uint64_t next_index =
+      existing->empty() ? 0 : existing->back().index + 1;
+  if (!resuming && next_index != 0) {
+    return Status::FailedPrecondition(
+        "journal directory " + options.dir + " already holds " +
+        std::to_string(existing->size()) +
+        " segment(s); recover it (MonitorService::Open) or point the "
+        "writer at an empty directory");
+  }
+  std::unique_ptr<CycleJournalWriter> writer(
+      new CycleJournalWriter(options, next_index));
+  TOPKMON_RETURN_IF_ERROR(writer->OpenSegment(initial, next_index));
+  return writer;
+}
+
+CycleJournalWriter::~CycleJournalWriter() { Close(); }
+
+Status CycleJournalWriter::OpenSegment(const JournalSnapshot& snapshot,
+                                       std::uint64_t index) {
+  // Build the new segment on local state and commit the writer to it
+  // only once its anchor snapshot is durable; a failed rotation leaves
+  // the current segment (and every member) exactly as it was, so
+  // subsequent appends keep landing somewhere recovery can read.
+  const std::string path = options_.dir + "/" + SegmentFileName(index);
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0666);
+  if (fd < 0) {
+    ++stats_.append_failures;
+    return ErrnoStatus("open " + path, errno);
+  }
+  std::string bytes;
+  EncodeSegmentHeader(&bytes);
+  std::string body;
+  Status st = EncodeSnapshotBody(snapshot, &body);
+  if (st.ok()) {
+    EncodeFrame(body, &bytes);
+    st = WriteAllTo(fd, path, bytes);
+  }
+  if (st.ok()) {
+    ++stats_.sync_calls;
+    // The snapshot is the recovery anchor — it is always synced, and so
+    // is its directory entry.
+    if (::fdatasync(fd) != 0) st = ErrnoStatus("fdatasync " + path, errno);
+  }
+  if (st.ok()) st = SyncDir();
+  if (!st.ok()) {
+    ++stats_.append_failures;
+    ::close(fd);
+    ::unlink(path.c_str());
+    return st;
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  segment_path_ = path;
+  segment_index_ = index;
+  segment_bytes_ = bytes.size();
+  cycles_in_segment_ = 0;
+  appends_since_sync_ = 0;
+  stats_.bytes_written += bytes.size();
+  ++stats_.segments_created;
+  ++stats_.snapshots_written;
+  GarbageCollect();
+  return Status::Ok();
+}
+
+Status CycleJournalWriter::WriteAll(const std::string& bytes) {
+  TOPKMON_RETURN_IF_ERROR(WriteAllTo(fd_, segment_path_, bytes));
+  segment_bytes_ += bytes.size();
+  stats_.bytes_written += bytes.size();
+  return Status::Ok();
+}
+
+Status CycleJournalWriter::SyncFd() {
+  ++stats_.sync_calls;
+  if (::fdatasync(fd_) != 0) {
+    return ErrnoStatus("fdatasync " + segment_path_, errno);
+  }
+  return Status::Ok();
+}
+
+Status CycleJournalWriter::SyncDir() {
+  const int dfd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return ErrnoStatus("open " + options_.dir, errno);
+  const int rc = ::fsync(dfd);
+  const int err = errno;
+  ::close(dfd);
+  if (rc != 0) return ErrnoStatus("fsync " + options_.dir, err);
+  return Status::Ok();
+}
+
+void CycleJournalWriter::GarbageCollect() {
+  if (options_.retain_old_segments) return;
+  auto existing = ListSegments(options_.dir);
+  if (!existing.ok()) return;  // best-effort
+  for (const SegmentInfo& segment : *existing) {
+    if (segment.index >= segment_index_) continue;
+    if (::unlink(segment.path.c_str()) == 0) ++stats_.segments_deleted;
+  }
+}
+
+Status CycleJournalWriter::AppendScratchFrame(bool is_cycle) {
+  if (closed_ || fd_ < 0) {
+    ++stats_.append_failures;
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  const std::size_t body_len = frame_scratch_.size() - kFrameHeaderBytes;
+  const std::uint32_t len32 = static_cast<std::uint32_t>(body_len);
+  const std::uint32_t crc =
+      Crc32(frame_scratch_.data() + kFrameHeaderBytes, body_len);
+  char* prologue = &frame_scratch_[0];
+  for (int i = 0; i < 4; ++i) {
+    prologue[i] = static_cast<char>(len32 >> (8 * i));
+    prologue[4 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  Status st = WriteAll(frame_scratch_);
+  if (st.ok()) {
+    ++appends_since_sync_;
+    const bool sync_now =
+        options_.sync == SyncPolicy::kAlways ||
+        (options_.sync == SyncPolicy::kInterval &&
+         appends_since_sync_ >= std::max<std::uint64_t>(
+                                    1, options_.sync_every_records));
+    if (sync_now) {
+      st = SyncFd();
+      appends_since_sync_ = 0;
+    }
+  }
+  if (!st.ok()) {
+    ++stats_.append_failures;
+    return st;
+  }
+  ++stats_.records_appended;
+  if (is_cycle) {
+    ++stats_.cycles_appended;
+    ++cycles_in_segment_;
+  }
+  return Status::Ok();
+}
+
+Status CycleJournalWriter::AppendCycle(Timestamp ts,
+                                       const std::vector<Record>& batch) {
+  frame_scratch_.clear();
+  frame_scratch_.resize(kFrameHeaderBytes);  // prologue placeholder
+  EncodeCycleBody(ts, batch, &frame_scratch_);
+  return AppendScratchFrame(/*is_cycle=*/true);
+}
+
+Status CycleJournalWriter::AppendRegister(const JournaledQuery& query) {
+  frame_scratch_.clear();
+  frame_scratch_.resize(kFrameHeaderBytes);
+  // An encode refusal (Unimplemented: non-journalable scoring function)
+  // is a rejection of the caller's input, not a journal failure — the
+  // segment is untouched and stays healthy.
+  TOPKMON_RETURN_IF_ERROR(EncodeRegisterBody(query, &frame_scratch_));
+  return AppendScratchFrame(/*is_cycle=*/false);
+}
+
+Status CycleJournalWriter::AppendUnregister(QueryId id) {
+  frame_scratch_.clear();
+  frame_scratch_.resize(kFrameHeaderBytes);
+  EncodeUnregisterBody(id, &frame_scratch_);
+  return AppendScratchFrame(/*is_cycle=*/false);
+}
+
+bool CycleJournalWriter::SnapshotDue() const {
+  if (closed_) return false;
+  if (segment_bytes_ >= options_.segment_bytes) return true;
+  return options_.snapshot_every_cycles > 0 &&
+         cycles_in_segment_ >= options_.snapshot_every_cycles;
+}
+
+Status CycleJournalWriter::RotateWithSnapshot(
+    const JournalSnapshot& snapshot) {
+  if (closed_ || fd_ < 0) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  return OpenSegment(snapshot, segment_index_ + 1);
+}
+
+Status CycleJournalWriter::Close() {
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  if (fd_ < 0) return Status::Ok();
+  Status st = SyncFd();
+  if (::close(fd_) != 0 && st.ok()) {
+    st = ErrnoStatus("close " + segment_path_, errno);
+  }
+  fd_ = -1;
+  return st;
+}
+
+}  // namespace topkmon

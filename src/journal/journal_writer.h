@@ -1,0 +1,152 @@
+// CycleJournalWriter — append side of the durable cycle journal.
+//
+// One writer owns a journal directory and appends length-prefixed,
+// CRC-checked records to the current segment file. Every segment begins
+// with a snapshot record (an engine-ready image of the window plus the
+// live query set), making each segment self-contained: recovery reads
+// exactly one segment. Rotation — triggered by segment size or by the
+// snapshot interval — writes the next snapshot as the first record of a
+// fresh segment, fdatasyncs it, and only then garbage-collects the older
+// segments, so a crash at any instant leaves at least one segment with an
+// intact leading snapshot on disk.
+//
+// Durability knobs (JournalOptions::sync):
+//   kNone     every append reaches the kernel (write(2)); the OS decides
+//             when it reaches the platter. Crash of the process loses
+//             nothing; crash of the machine loses the page-cache tail.
+//   kInterval fdatasync every `sync_every_records` appends.
+//   kAlways   fdatasync after every append (group-commit-free, slowest).
+// Snapshot records are always fdatasync'd regardless of policy — they are
+// the recovery anchors.
+//
+// Thread-compatibility: calls must be externally serialized (the service
+// holds its engine mutex across every append, which also keeps the
+// journal's record order identical to the engine's apply order).
+
+#ifndef TOPKMON_JOURNAL_JOURNAL_WRITER_H_
+#define TOPKMON_JOURNAL_JOURNAL_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "journal/format.h"
+
+namespace topkmon {
+
+/// When appended records are pushed to the platter.
+enum class SyncPolicy : std::uint8_t {
+  kNone = 0,      ///< write(2) only; kernel flushes at its leisure
+  kInterval = 1,  ///< fdatasync every sync_every_records appends
+  kAlways = 2,    ///< fdatasync after every append
+};
+
+/// Parses "none" / "interval" / "always" (for CLI flags).
+Result<SyncPolicy> ParseSyncPolicy(const std::string& name);
+const char* SyncPolicyName(SyncPolicy policy);
+
+/// Journaling configuration (part of ServiceOptions).
+struct JournalOptions {
+  /// Journal directory; empty disables journaling entirely.
+  std::string dir;
+  /// Rotate (and snapshot) once the current segment exceeds this size.
+  std::size_t segment_bytes = 8u << 20;
+  /// Also rotate after this many cycle records (0 = size-based only).
+  std::uint64_t snapshot_every_cycles = 4096;
+  SyncPolicy sync = SyncPolicy::kNone;
+  /// fdatasync cadence under SyncPolicy::kInterval.
+  std::uint64_t sync_every_records = 256;
+  /// Keep superseded segments instead of deleting them after rotation.
+  bool retain_old_segments = false;
+  /// Write a final snapshot segment on clean service shutdown so restart
+  /// recovery replays nothing.
+  bool snapshot_on_shutdown = true;
+};
+
+/// Monotonic writer counters.
+struct JournalWriterStats {
+  std::uint64_t records_appended = 0;   ///< cycle/register/unregister
+  std::uint64_t cycles_appended = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_deleted = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t sync_calls = 0;
+  std::uint64_t append_failures = 0;
+};
+
+/// Append-only writer over a journal directory. Create with Open().
+class CycleJournalWriter {
+ public:
+  /// Opens `options.dir` (creating it if absent) and starts a fresh
+  /// segment anchored by `initial` — the state of the engine this journal
+  /// is about to describe. When `resuming` is false and the directory
+  /// already holds segments, fails with FailedPrecondition instead of
+  /// silently superseding the previous journal's state (recover first —
+  /// MonitorService::Open does).
+  static Result<std::unique_ptr<CycleJournalWriter>> Open(
+      const JournalOptions& options, const JournalSnapshot& initial,
+      bool resuming = false);
+
+  ~CycleJournalWriter();
+
+  CycleJournalWriter(const CycleJournalWriter&) = delete;
+  CycleJournalWriter& operator=(const CycleJournalWriter&) = delete;
+
+  /// Appends one record (write-ahead: call before applying to the engine).
+  Status AppendCycle(Timestamp ts, const std::vector<Record>& batch);
+  Status AppendRegister(const JournaledQuery& query);
+  Status AppendUnregister(QueryId id);
+
+  /// True once the segment-size or snapshot-interval threshold is hit;
+  /// the owner should take an engine snapshot and call
+  /// RotateWithSnapshot() at the next convenient point.
+  bool SnapshotDue() const;
+
+  /// Starts a new segment anchored by `snapshot`, fdatasyncs it, and
+  /// garbage-collects superseded segments.
+  Status RotateWithSnapshot(const JournalSnapshot& snapshot);
+
+  /// fdatasyncs and closes the current segment. Idempotent; appends after
+  /// Close fail with FailedPrecondition.
+  Status Close();
+
+  bool closed() const { return closed_; }
+  const JournalWriterStats& stats() const { return stats_; }
+  const std::string& current_segment_path() const { return segment_path_; }
+  std::uint64_t current_segment_index() const { return segment_index_; }
+
+ private:
+  CycleJournalWriter(const JournalOptions& options, std::uint64_t next_index);
+
+  /// Creates and durably anchors segment `index`, committing the writer
+  /// to it only on success (a failed rotation leaves the current segment
+  /// in place and appendable).
+  Status OpenSegment(const JournalSnapshot& snapshot, std::uint64_t index);
+  /// Appends frame_scratch_, whose first kFrameHeaderBytes are a
+  /// placeholder prologue patched here (length + CRC over the body that
+  /// follows) — the body is encoded in place, never copied.
+  Status AppendScratchFrame(bool is_cycle);
+  Status WriteAll(const std::string& bytes);
+  Status SyncFd();
+  Status SyncDir();
+  void GarbageCollect();
+
+  const JournalOptions options_;
+  /// Reused serialization buffer (capacity persists across appends so
+  /// the per-cycle hot path does not allocate).
+  std::string frame_scratch_;
+  int fd_ = -1;
+  std::string segment_path_;
+  std::uint64_t segment_index_ = 0;
+  std::size_t segment_bytes_ = 0;       ///< bytes written to current segment
+  std::uint64_t cycles_in_segment_ = 0;
+  std::uint64_t appends_since_sync_ = 0;
+  bool closed_ = false;
+  JournalWriterStats stats_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_JOURNAL_JOURNAL_WRITER_H_

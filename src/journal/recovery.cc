@@ -1,0 +1,194 @@
+#include "journal/recovery.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "journal/journal_reader.h"
+
+namespace topkmon {
+namespace {
+
+/// Validates that journaled state is dimensionally compatible with the
+/// engine before anything is applied (the wrong engine factory should
+/// fail loudly, not corrupt silently).
+Status CheckDims(const JournalSnapshot& snap, const MonitorEngine& engine) {
+  if (!snap.window.empty() &&
+      snap.window.front().position.dim() != engine.dim()) {
+    return Status::FailedPrecondition(
+        "journal window is " +
+        std::to_string(snap.window.front().position.dim()) +
+        "-dimensional but the engine expects " +
+        std::to_string(engine.dim()));
+  }
+  for (const JournaledQuery& q : snap.live_queries) {
+    TOPKMON_RETURN_IF_ERROR(q.spec.Validate(engine.dim()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream os;
+  if (!recovered) {
+    os << "no journal to recover (segments_found=" << segments_found << ")";
+    return os.str();
+  }
+  os << "recovered from " << segment << ": cycles=" << cycles_replayed
+     << " records=" << records_replayed << " registers=" << registers_replayed
+     << " unregisters=" << unregisters_replayed
+     << " live_queries=" << live_queries.size()
+     << " window=" << window_size << " last_cycle_ts=" << last_cycle_ts
+     << " next_record_id=" << next_record_id
+     << " next_query_id=" << next_query_id;
+  if (torn_tail || corrupt_record) {
+    os << (corrupt_record ? " [corrupt record: " : " [torn tail: ")
+       << tail_detail << ", " << tail_bytes_dropped << " bytes dropped]";
+  }
+  return os.str();
+}
+
+Result<RecoveryReport> RecoveryDriver::Replay(const std::string& dir,
+                                              MonitorEngine& engine) {
+  RecoveryReport report;
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  report.segments_found = segments->size();
+
+  // Newest segment with a usable anchor snapshot wins. A newer segment
+  // without one can only be the product of a crash mid-rotation, before
+  // the previous segments were garbage-collected — fall back.
+  std::unique_ptr<CycleJournalReader> reader;
+  JournalSnapshot anchor;
+  for (auto it = segments->rbegin(); it != segments->rend(); ++it) {
+    auto candidate = CycleJournalReader::Open(it->path);
+    if (!candidate.ok()) {
+      ++report.segments_skipped;
+      continue;
+    }
+    CycleJournalReader::Outcome first = (*candidate)->Next();
+    if (first.kind != CycleJournalReader::Kind::kRecord ||
+        first.record.type != JournalRecordType::kSnapshot) {
+      ++report.segments_skipped;
+      continue;
+    }
+    reader = std::move(*candidate);
+    anchor = std::move(first.record.snapshot);
+    report.segment = it->path;
+    break;
+  }
+  if (reader == nullptr) {
+    // Empty directory (or no segment survived with an anchor): fresh
+    // start. Defaults in the report already say "begin from zero".
+    return report;
+  }
+
+  if (engine.WindowSize() != 0) {
+    return Status::FailedPrecondition(
+        "recovery requires a freshly constructed engine");
+  }
+  TOPKMON_RETURN_IF_ERROR(CheckDims(anchor, engine));
+
+  // 1. Restore the window image, then the live query set (each query's
+  //    initial result is recomputed over the restored window, exactly as
+  //    at its original registration).
+  EngineSnapshot image;
+  image.last_cycle = anchor.last_cycle_ts;
+  image.window = std::move(anchor.window);
+  TOPKMON_RETURN_IF_ERROR(engine.RestoreState(image));
+
+  std::vector<JournaledQuery> live;
+  std::unordered_map<QueryId, std::size_t> live_index;
+  auto register_query = [&](const JournaledQuery& q) {
+    const Status st = engine.RegisterQuery(q.spec);
+    if (!st.ok()) {
+      ++report.apply_rejections;
+      return;
+    }
+    live_index[q.spec.id] = live.size();
+    live.push_back(q);
+  };
+  auto unregister_query = [&](QueryId id) {
+    const Status st = engine.UnregisterQuery(id);
+    auto it = live_index.find(id);
+    if (it != live_index.end()) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(it->second));
+      live_index.clear();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        live_index[live[i].spec.id] = i;
+      }
+    }
+    if (!st.ok()) ++report.apply_rejections;
+  };
+  for (const JournaledQuery& q : anchor.live_queries) register_query(q);
+
+  report.recovered = true;
+  report.records_replayed = 1;  // the anchor snapshot
+  report.last_cycle_ts = anchor.last_cycle_ts;
+  report.next_record_id = anchor.next_record_id;
+  report.next_query_id = anchor.next_query_id;
+
+  // 2. Replay everything the original process applied after the anchor.
+  while (true) {
+    CycleJournalReader::Outcome outcome = reader->Next();
+    if (outcome.kind == CycleJournalReader::Kind::kEnd) break;
+    if (outcome.kind == CycleJournalReader::Kind::kIoError) {
+      // The bytes on disk may be intact — failing (so the operator can
+      // retry) beats silently rolling state back to this offset.
+      return Status::Internal("I/O error reading " + report.segment + ": " +
+                              outcome.detail);
+    }
+    if (outcome.kind == CycleJournalReader::Kind::kTorn ||
+        outcome.kind == CycleJournalReader::Kind::kCorrupt) {
+      report.torn_tail = outcome.kind == CycleJournalReader::Kind::kTorn;
+      report.corrupt_record =
+          outcome.kind == CycleJournalReader::Kind::kCorrupt;
+      report.tail_bytes_dropped = reader->file_size() - outcome.offset;
+      report.tail_detail = outcome.detail;
+      break;
+    }
+    JournalRecord& record = outcome.record;
+    switch (record.type) {
+      case JournalRecordType::kCycle: {
+        const Status st = engine.ProcessCycle(record.cycle_ts, record.batch);
+        if (!st.ok()) {
+          return Status::Internal(
+              "journal replay diverged at cycle ts=" +
+              std::to_string(record.cycle_ts) + ": " + st.ToString() +
+              " (was this journal written by a differently configured "
+              "engine?)");
+        }
+        ++report.cycles_replayed;
+        report.last_cycle_ts = record.cycle_ts;
+        if (!record.batch.empty()) {
+          report.next_record_id =
+              std::max(report.next_record_id, record.batch.back().id + 1);
+        }
+        break;
+      }
+      case JournalRecordType::kRegister:
+        register_query(record.query);
+        ++report.registers_replayed;
+        report.next_query_id = std::max(
+            report.next_query_id,
+            static_cast<std::uint64_t>(record.query.spec.id) + 1);
+        break;
+      case JournalRecordType::kUnregister:
+        unregister_query(record.unregistered);
+        ++report.unregisters_replayed;
+        break;
+      case JournalRecordType::kSnapshot:
+        // Snapshots only anchor segments; mid-segment ones are not
+        // written. Tolerate and skip if a future version interleaves them.
+        break;
+    }
+    ++report.records_replayed;
+  }
+
+  report.live_queries = std::move(live);
+  report.window_size = engine.WindowSize();
+  return report;
+}
+
+}  // namespace topkmon

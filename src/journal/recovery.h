@@ -1,0 +1,85 @@
+// RecoveryDriver — rebuilds an engine from the cycle journal at startup.
+//
+// Recovery reads exactly one segment: the newest one whose leading
+// snapshot record is intact (every segment starts with one — see
+// journal_writer.h). The snapshot restores the window image and the live
+// query set; the records after it replay, in order, every cycle and
+// query-lifetime event the original process applied after taking that
+// snapshot. Because the engines are deterministic functions of (window
+// state, registered queries, arrival batches), the replayed engine's
+// top-k results — and the delta stream it produces from the first
+// post-recovery cycle on — match the uninterrupted run cycle-for-cycle
+// (tests/journal/recovery_test.cc holds this against BruteForceEngine
+// ground truth).
+//
+// A torn tail (crash mid-append) is truncated silently; a corrupt record
+// (CRC or content failure on a complete frame) also stops replay and is
+// flagged in the report, since nothing after an untrusted record can be
+// trusted either.
+
+#ifndef TOPKMON_JOURNAL_RECOVERY_H_
+#define TOPKMON_JOURNAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "journal/format.h"
+
+namespace topkmon {
+
+/// What recovery found and did. Returned to the caller (and surfaced by
+/// MonitorService::Open) so operators can see exactly what was restored.
+struct RecoveryReport {
+  /// False when the directory held no replayable segment (first boot or
+  /// empty dir): the engine is untouched and the ids below are defaults.
+  bool recovered = false;
+
+  std::string segment;                ///< path of the segment replayed
+  std::uint64_t segments_found = 0;   ///< segment files in the directory
+  std::uint64_t segments_skipped = 0; ///< newer segments without a usable
+                                      ///< anchor snapshot (crash during
+                                      ///< rotation)
+  std::uint64_t cycles_replayed = 0;
+  std::uint64_t records_replayed = 0;  ///< all journal records applied
+  std::uint64_t registers_replayed = 0;
+  std::uint64_t unregisters_replayed = 0;
+  /// Register/unregister records the engine rejected at replay exactly as
+  /// it did originally (e.g. a compensated registration); harmless.
+  std::uint64_t apply_rejections = 0;
+
+  bool torn_tail = false;       ///< segment ended mid-frame (crash tail)
+  bool corrupt_record = false;  ///< CRC/content failure on a full frame
+  std::uint64_t tail_bytes_dropped = 0;
+  std::string tail_detail;
+
+  Timestamp last_cycle_ts = 0;
+  RecordId next_record_id = 0;      ///< resume point for ingest record ids
+  std::uint64_t next_query_id = 1;  ///< resume point for query ids
+  std::size_t window_size = 0;      ///< engine window size after recovery
+
+  /// Queries live at the end of replay, in registration order — the set
+  /// the service re-binds to recovered sessions.
+  std::vector<JournaledQuery> live_queries;
+
+  std::string ToString() const;
+};
+
+/// Replays the journal in `dir` into `engine`.
+class RecoveryDriver {
+ public:
+  /// `engine` must be freshly constructed: empty window, no queries, no
+  /// delta callback (replay must not re-deliver historic deltas). On an
+  /// empty/missing journal directory returns recovered=false and leaves
+  /// the engine untouched. Fails on I/O errors, on a dimensionality
+  /// mismatch between the journal and the engine, and on any cycle the
+  /// engine refuses to re-apply (which indicates the wrong engine
+  /// configuration for this journal, e.g. a different window spec).
+  static Result<RecoveryReport> Replay(const std::string& dir,
+                                       MonitorEngine& engine);
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_JOURNAL_RECOVERY_H_

@@ -12,6 +12,9 @@ IngestQueue::IngestQueue(const IngestOptions& options) : options_(options) {
   assert(options_.max_batch > 0);
   assert(options_.slack >= 0);
   heap_.reserve(std::min<std::size_t>(options_.capacity, 4096));
+  next_id_ = options_.first_record_id;
+  frontier_ = options_.min_timestamp;
+  max_seen_ = options_.min_timestamp;
 }
 
 void IngestQueue::PushLocked(Point&& position, Timestamp arrival) {
@@ -118,6 +121,11 @@ IngestStats IngestQueue::stats() const {
 std::uint64_t IngestQueue::PushedSoFar() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_.pushed;
+}
+
+RecordId IngestQueue::NextRecordId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
 }
 
 std::size_t IngestQueue::MemoryBytes() const {

@@ -46,6 +46,16 @@ struct IngestOptions {
   /// its arrival by this much, giving out-of-order producers a chance to
   /// slot in. 0 releases immediately in push order.
   Timestamp slack = 2;
+  /// First record id DrainBatch assigns. After crash recovery the service
+  /// resumes the id sequence where the journal left off, because record
+  /// ids must stay strictly increasing across restarts (they encode
+  /// arrival order for the engines' windows).
+  RecordId first_record_id = 0;
+  /// Initial release frontier. Arrivals timestamped at or before this are
+  /// coerced forward to it (and counted), exactly like in-stream
+  /// stragglers — after recovery, no tuple may time-travel behind the
+  /// last journaled cycle.
+  Timestamp min_timestamp = std::numeric_limits<Timestamp>::min();
 };
 
 /// Observable ingest counters (all monotonically increasing except depth).
@@ -99,6 +109,10 @@ class IngestQueue {
 
   /// Total records ever accepted (stats().pushed; used as a flush fence).
   std::uint64_t PushedSoFar() const;
+
+  /// The id the next drained record will receive (journal snapshots store
+  /// this so recovery can resume the sequence).
+  RecordId NextRecordId() const;
 
   /// Approximate heap footprint of the buffered records.
   std::size_t MemoryBytes() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/geometry.h"
@@ -13,31 +14,162 @@ std::string ServiceStats::ToString() const {
   std::ostringstream os;
   os << "cycles=" << cycles << " ingested=" << records_ingested
      << " applied=" << records_applied << " shed=" << records_shed
-     << " coerced=" << records_coerced << " published=" << deltas_published
+     << " coerced=" << records_coerced
+     << " rate_limited=" << records_rate_limited
+     << " published=" << deltas_published
      << " delivered=" << deltas_delivered << " dropped=" << deltas_dropped
      << " failed_cycles=" << failed_cycles << " queue_depth=" << queue_depth
      << " sessions=" << open_sessions << " queries=" << active_queries;
+  if (journal_records > 0 || journal_bytes > 0 || journal_failures > 0) {
+    os << " journal_records=" << journal_records
+       << " journal_bytes=" << journal_bytes
+       << " journal_snapshots=" << journal_snapshots
+       << " journal_failures=" << journal_failures;
+  }
   return os.str();
 }
 
 MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
                                const ServiceOptions& options)
+    : MonitorService(std::move(engine), options, RecoveryReport{}, nullptr) {}
+
+MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
+                               const ServiceOptions& options,
+                               RecoveryReport recovery,
+                               std::unique_ptr<CycleJournalWriter> journal)
     : options_(options),
       engine_(std::move(engine)),
       dim_(engine_->dim()),
       engine_name_(engine_->name()),
+      recovery_(std::move(recovery)),
+      epoch_(std::chrono::steady_clock::now()),
       ingest_(options.ingest),
       sessions_(options.session),
-      hub_(options.hub) {
+      hub_(options.hub),
+      journal_(std::move(journal)) {
   assert(engine_ != nullptr);
+  next_query_id_ = static_cast<QueryId>(recovery_.next_query_id);
+  // A journal dir without a pre-built writer means the caller used the
+  // plain constructor: start a fresh journal (Open() is the recovery
+  // path and hands in a writer that already resumed the directory).
+  if (journal_ == nullptr && !options_.journal.dir.empty()) {
+    auto writer =
+        CycleJournalWriter::Open(options_.journal, JournalSnapshot{});
+    if (writer.ok()) {
+      journal_ = std::move(*writer);
+    } else {
+      journal_status_ = writer.status();
+      journal_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   // Install the fan-out before any query can register or any cycle run,
   // so the very first delta (a query's initial result) is routed.
   engine_->SetDeltaCallback(
       [this](const ResultDelta& delta) { hub_.Publish(delta); });
-  driver_ = std::thread([this] { DriverLoop(); });
+  AdoptRecoveredQueries();
+  if (bootstrap_error_.ok()) {
+    driver_ = std::thread([this] { DriverLoop(); });
+  }
 }
 
 MonitorService::~MonitorService() { Shutdown(); }
+
+Result<std::unique_ptr<MonitorService>> MonitorService::Open(
+    const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
+    const ServiceOptions& options) {
+  if (options.journal.dir.empty()) {
+    return Status::InvalidArgument(
+        "MonitorService::Open requires options.journal.dir; use the "
+        "constructor for an unjournaled service");
+  }
+  std::unique_ptr<MonitorEngine> engine = engine_factory();
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine factory returned null");
+  }
+  auto report = RecoveryDriver::Replay(options.journal.dir, *engine);
+  if (!report.ok()) return report.status();
+
+  ServiceOptions adjusted = options;
+  JournalSnapshot anchor;
+  anchor.next_query_id = report->next_query_id;
+  if (report->recovered) {
+    // Resume the id/timestamp sequences where the journal left off: ids
+    // must stay strictly increasing across restarts and no new tuple may
+    // time-travel behind the last journaled cycle.
+    adjusted.ingest.first_record_id = report->next_record_id;
+    adjusted.ingest.min_timestamp = report->last_cycle_ts;
+    auto engine_snap = engine->SnapshotState();
+    if (!engine_snap.ok()) return engine_snap.status();
+    anchor.last_cycle_ts = engine_snap->last_cycle;
+    anchor.window = std::move(engine_snap->window);
+    anchor.next_record_id = report->next_record_id;
+    anchor.live_queries = report->live_queries;
+  }
+  auto writer = CycleJournalWriter::Open(adjusted.journal, anchor,
+                                         /*resuming=*/true);
+  if (!writer.ok()) return writer.status();
+
+  std::unique_ptr<MonitorService> service(
+      new MonitorService(std::move(engine), adjusted, std::move(*report),
+                         std::move(*writer)));
+  if (!service->bootstrap_error_.ok()) return service->bootstrap_error_;
+  return service;
+}
+
+void MonitorService::AdoptRecoveredQueries() {
+  std::unordered_map<std::string, SessionId> by_label;
+  for (const JournaledQuery& q : recovery_.live_queries) {
+    SessionId session = 0;
+    auto it = by_label.find(q.owner_label);
+    if (it != by_label.end()) {
+      session = it->second;
+    } else {
+      Result<SessionId> opened = OpenSession(q.owner_label);
+      if (!opened.ok()) {
+        bootstrap_error_ = opened.status();
+        return;
+      }
+      session = *opened;
+      by_label.emplace(q.owner_label, session);
+    }
+    Status st = sessions_.Admit(session, q.spec.id, q.spec.k);
+    if (st.ok()) st = hub_.Bind(q.spec.id, session);
+    if (!st.ok()) {
+      bootstrap_error_ = Status(
+          st.code(), "adopting recovered query " +
+                         std::to_string(q.spec.id) + " for session '" +
+                         q.owner_label + "': " + st.message());
+      return;
+    }
+    journaled_queries_.push_back(q);
+  }
+}
+
+double MonitorService::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+template <typename AppendFn>
+Status MonitorService::JournalAppendLocked(AppendFn&& append) {
+  if (journal_ == nullptr) return Status::Ok();
+  Status st = append(*journal_);
+  // Unimplemented is the writer refusing a non-journalable input (the
+  // caller's registration is rejected, nothing was written) — the
+  // journal itself is still healthy.
+  if (!st.ok() && st.code() != StatusCode::kUnimplemented) {
+    journal_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(journal_status_mu_);
+    if (journal_status_.ok()) journal_status_ = st;
+  }
+  return st;
+}
+
+Status MonitorService::journal_status() const {
+  std::lock_guard<std::mutex> lock(journal_status_mu_);
+  return journal_status_;
+}
 
 Status MonitorService::Ingest(Point position, Timestamp arrival) {
   TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
@@ -53,10 +185,28 @@ Status MonitorService::TryIngest(Point position, Timestamp arrival) {
   return Status::FailedPrecondition("ingest queue is full");
 }
 
+Status MonitorService::Ingest(SessionId session, Point position,
+                              Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(
+      sessions_.ConsumeIngestTokens(session, 1.0, NowSeconds()));
+  return Ingest(std::move(position), arrival);
+}
+
+Status MonitorService::TryIngest(SessionId session, Point position,
+                                 Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(
+      sessions_.ConsumeIngestTokens(session, 1.0, NowSeconds()));
+  return TryIngest(std::move(position), arrival);
+}
+
 Result<SessionId> MonitorService::OpenSession(std::string label) {
   Result<SessionId> id = sessions_.Open(std::move(label));
   if (id.ok()) hub_.Attach(*id);
   return id;
+}
+
+Result<SessionId> MonitorService::FindSession(const std::string& label) const {
+  return sessions_.FindByLabel(label);
 }
 
 Status MonitorService::CloseSession(SessionId session) {
@@ -67,8 +217,18 @@ Status MonitorService::CloseSession(SessionId session) {
   for (QueryId query : *owned) {
     hub_.Unbind(query);
     std::lock_guard<std::mutex> lock(engine_mu_);
+    // Write-ahead: the termination is journaled before it is applied, so
+    // a crash in between forgets the query rather than resurrecting it.
+    JournalAppendLocked(
+        [query](CycleJournalWriter& w) { return w.AppendUnregister(query); });
     const Status st = engine_->UnregisterQuery(query);
     if (!st.ok() && first_error.ok()) first_error = st;
+    journaled_queries_.erase(
+        std::remove_if(journaled_queries_.begin(), journaled_queries_.end(),
+                       [query](const JournaledQuery& q) {
+                         return q.spec.id == query;
+                       }),
+        journaled_queries_.end());
   }
   hub_.Detach(session);
   return first_error;
@@ -77,13 +237,35 @@ Status MonitorService::CloseSession(SessionId session) {
 Result<QueryId> MonitorService::Register(SessionId session, QuerySpec spec) {
   std::lock_guard<std::mutex> control(control_mu_);
   spec.id = next_query_id_.fetch_add(1);
+  TOPKMON_RETURN_IF_ERROR(spec.Validate(dim_));
+  Result<std::string> label = sessions_.Label(session);
+  if (!label.ok()) return label.status();
   TOPKMON_RETURN_IF_ERROR(sessions_.Admit(session, spec.id, spec.k));
   // Bind before registering: the engine reports the initial result as a
   // delta synchronously from RegisterQuery.
   Status st = hub_.Bind(spec.id, session);
   if (st.ok()) {
     std::lock_guard<std::mutex> lock(engine_mu_);
-    st = engine_->RegisterQuery(spec);
+    JournaledQuery journaled{spec, std::move(*label)};
+    bool appended = false;
+    if (journal_ != nullptr) {
+      const Status js = JournalAppendLocked([&journaled](
+          CycleJournalWriter& w) { return w.AppendRegister(journaled); });
+      appended = js.ok();
+      // A spec the journal cannot encode must be refused outright — it
+      // would silently vanish on recovery. I/O failures degrade to
+      // journal_failures instead (availability over durability).
+      if (!js.ok() && js.code() == StatusCode::kUnimplemented) st = js;
+    }
+    if (st.ok()) st = engine_->RegisterQuery(spec);
+    if (st.ok()) {
+      journaled_queries_.push_back(std::move(journaled));
+    } else if (appended) {
+      // Compensate so replay unregisters what the engine refused.
+      JournalAppendLocked([&spec](CycleJournalWriter& w) {
+        return w.AppendUnregister(spec.id);
+      });
+    }
   }
   if (!st.ok()) {
     hub_.Unbind(spec.id);
@@ -104,7 +286,15 @@ Status MonitorService::Unregister(SessionId session, QueryId query) {
   }
   {
     std::lock_guard<std::mutex> lock(engine_mu_);
+    JournalAppendLocked(
+        [query](CycleJournalWriter& w) { return w.AppendUnregister(query); });
     TOPKMON_RETURN_IF_ERROR(engine_->UnregisterQuery(query));
+    journaled_queries_.erase(
+        std::remove_if(journaled_queries_.begin(), journaled_queries_.end(),
+                       [query](const JournaledQuery& q) {
+                         return q.spec.id == query;
+                       }),
+        journaled_queries_.end());
   }
   hub_.Unbind(query);
   return sessions_.Release(query);
@@ -136,6 +326,18 @@ bool MonitorService::NeedsFlush() const {
   return applied_records_ < flush_fence_;
 }
 
+Result<JournalSnapshot> MonitorService::BuildSnapshotLocked() const {
+  auto engine_snap = engine_->SnapshotState();
+  if (!engine_snap.ok()) return engine_snap.status();
+  JournalSnapshot snap;
+  snap.last_cycle_ts = engine_snap->last_cycle;
+  snap.window = std::move(engine_snap->window);
+  snap.next_record_id = ingest_.NextRecordId();
+  snap.next_query_id = next_query_id_.load();
+  snap.live_queries = journaled_queries_;
+  return snap;
+}
+
 void MonitorService::DriverLoop() {
   std::vector<Record> batch;
   Timestamp cycle_ts = 0;
@@ -159,7 +361,22 @@ void MonitorService::DriverLoop() {
     Status st;
     {
       std::lock_guard<std::mutex> lock(engine_mu_);
+      // Write-ahead: the batch is journaled before it is applied, so the
+      // journal never misses state a client may have observed.
+      JournalAppendLocked([cycle_ts, &batch](CycleJournalWriter& w) {
+        return w.AppendCycle(cycle_ts, batch);
+      });
       st = engine_->ProcessCycle(cycle_ts, batch);
+      if (journal_ != nullptr && journal_->SnapshotDue()) {
+        auto snap = BuildSnapshotLocked();
+        if (snap.ok()) {
+          JournalAppendLocked([&snap](CycleJournalWriter& w) {
+            return w.RotateWithSnapshot(*snap);
+          });
+        } else {
+          journal_failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     {
       std::lock_guard<std::mutex> lock(state_mu_);
@@ -196,6 +413,25 @@ void MonitorService::Shutdown() {
     ingest_.Close();
   }
   if (driver_.joinable()) driver_.join();
+  // With the driver parked, seal the journal: a final snapshot segment
+  // makes the next Open() replay nothing. Never after a failed bootstrap
+  // — journaled_queries_ is only partially adopted there, and rotating
+  // would garbage-collect the segment holding the full recovered state.
+  std::lock_guard<std::mutex> engine_lock(engine_mu_);
+  if (journal_ != nullptr && !journal_->closed()) {
+    if (options_.journal.snapshot_on_shutdown && bootstrap_error_.ok()) {
+      auto snap = BuildSnapshotLocked();
+      if (snap.ok()) {
+        JournalAppendLocked([&snap](CycleJournalWriter& w) {
+          return w.RotateWithSnapshot(*snap);
+        });
+      } else {
+        journal_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    JournalAppendLocked(
+        [](CycleJournalWriter& w) { return w.Close(); });
+  }
 }
 
 ServiceStats MonitorService::stats() const {
@@ -205,6 +441,7 @@ ServiceStats MonitorService::stats() const {
   out.records_ingested = ingest.pushed;
   out.records_shed = ingest.shed;
   out.records_coerced = ingest.coerced;
+  out.records_rate_limited = sessions_.stats().rate_limited;
   out.queue_depth = ingest_.depth();
   out.deltas_published = hub.published;
   out.deltas_delivered = hub.delivered;
@@ -217,6 +454,16 @@ ServiceStats MonitorService::stats() const {
     out.records_applied = applied_records_;
     out.failed_cycles = failed_cycles_;
   }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    if (journal_ != nullptr) {
+      const JournalWriterStats& js = journal_->stats();
+      out.journal_records = js.records_appended;
+      out.journal_bytes = js.bytes_written;
+      out.journal_snapshots = js.snapshots_written;
+    }
+  }
+  out.journal_failures = journal_failures_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -30,6 +30,15 @@
 // runs from the destructor. Flush() is the deterministic fence used by
 // tests and graceful drains: it blocks until every record pushed before
 // the call has been applied to the engine.
+//
+// Durability (src/journal/): with ServiceOptions::journal.dir set, the
+// driver write-ahead-journals every cycle batch — and the control plane
+// every register/unregister — before applying it, all under the engine
+// mutex so journal order equals apply order. Construct via Open() to
+// recover an existing journal on startup: the engine is rebuilt by
+// replaying the newest snapshot-anchored segment, sessions are re-created
+// under their original labels owning their recovered queries (reconnect
+// via FindSession), and journaling resumes into a fresh segment.
 
 #ifndef TOPKMON_SERVICE_MONITOR_SERVICE_H_
 #define TOPKMON_SERVICE_MONITOR_SERVICE_H_
@@ -45,6 +54,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "journal/journal_writer.h"
+#include "journal/recovery.h"
 #include "service/ingest_queue.h"
 #include "service/session.h"
 #include "service/subscription_hub.h"
@@ -56,6 +67,9 @@ struct ServiceOptions {
   IngestOptions ingest;
   SessionOptions session;
   HubOptions hub;
+  /// Durable cycle journal; journal.dir empty disables journaling. Use
+  /// MonitorService::Open() to recover an existing journal directory.
+  JournalOptions journal;
   /// Longest the driver waits for the ingest slack gate before forcing a
   /// cycle with whatever is buffered (bounds ingest->result staleness).
   std::chrono::milliseconds drain_wait{5};
@@ -68,10 +82,15 @@ struct ServiceStats {
   std::uint64_t records_applied = 0;    ///< records applied to the engine
   std::uint64_t records_shed = 0;       ///< TryIngest refusals (queue full)
   std::uint64_t records_coerced = 0;    ///< stragglers time-shifted forward
+  std::uint64_t records_rate_limited = 0;  ///< session-bucket refusals
   std::uint64_t deltas_published = 0;   ///< engine deltas entering the hub
   std::uint64_t deltas_delivered = 0;   ///< events consumed by sessions
   std::uint64_t deltas_dropped = 0;     ///< events lost to slow consumers
   std::uint64_t failed_cycles = 0;      ///< ProcessCycle errors (bug guard)
+  std::uint64_t journal_records = 0;    ///< records appended to the journal
+  std::uint64_t journal_bytes = 0;      ///< bytes written to the journal
+  std::uint64_t journal_snapshots = 0;  ///< snapshot records written
+  std::uint64_t journal_failures = 0;   ///< failed appends/rotations
   std::size_t queue_depth = 0;          ///< records waiting in ingest
   std::size_t open_sessions = 0;
   std::size_t active_queries = 0;
@@ -83,13 +102,27 @@ struct ServiceStats {
 class MonitorService {
  public:
   /// Takes ownership of `engine` (freshly constructed, no queries) and
-  /// starts the cycle-driver thread.
+  /// starts the cycle-driver thread. If options.journal.dir is set, a
+  /// fresh journal is started there; the directory must not already hold
+  /// journal segments (recover those with Open() instead) — a violation
+  /// surfaces through journal_status().
   MonitorService(std::unique_ptr<MonitorEngine> engine,
                  const ServiceOptions& options);
   ~MonitorService();
 
   MonitorService(const MonitorService&) = delete;
   MonitorService& operator=(const MonitorService&) = delete;
+
+  /// Recover-on-start factory: replays the journal in options.journal.dir
+  /// (which must be non-empty) through a fresh engine from
+  /// `engine_factory`, re-creates one session per recovered session label
+  /// owning its recovered queries (look them up with FindSession), and
+  /// returns a running service journaling into a fresh segment. An empty
+  /// or missing journal directory is a normal first boot. The recovery
+  /// outcome is in recovery().
+  static Result<std::unique_ptr<MonitorService>> Open(
+      const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
+      const ServiceOptions& options);
 
   // ---- producer API (any thread) --------------------------------------
   /// Validates and admits a tuple, blocking under backpressure.
@@ -98,11 +131,21 @@ class MonitorService {
   /// FailedPrecondition when the queue is full or the service stopped.
   Status TryIngest(Point position, Timestamp arrival);
 
+  /// Session-scoped variants: the tuple is charged against the session's
+  /// ingest token bucket (SessionOptions::ingest_rate_per_sec) and
+  /// refused with FailedPrecondition when the bucket is empty.
+  Status Ingest(SessionId session, Point position, Timestamp arrival);
+  Status TryIngest(SessionId session, Point position, Timestamp arrival);
+
   // ---- client API (any thread) ----------------------------------------
   Result<SessionId> OpenSession(std::string label);
   /// Unregisters every query the session owns, drops its subscription
   /// buffer, and closes it.
   Status CloseSession(SessionId session);
+
+  /// The oldest open session with this label — how a client re-adopts its
+  /// recovered session (and queries) after a restart.
+  Result<SessionId> FindSession(const std::string& label) const;
 
   /// Registers `spec` on behalf of `session` subject to its quotas. The
   /// spec's id field is ignored: the service assigns the returned
@@ -138,6 +181,16 @@ class MonitorService {
 
   ServiceStats stats() const;
 
+  /// The recovery outcome when this service was constructed via Open();
+  /// a default (recovered=false) report otherwise.
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  /// Ok while journaling is healthy (or disabled). A failed journal open
+  /// at construction, or the first append error, is recorded here; the
+  /// service keeps serving (availability over durability) with the gap
+  /// also counted in stats().journal_failures.
+  Status journal_status() const;
+
   /// Engine counters and memory, including the service's own buffers.
   const std::string& engine_name() const { return engine_name_; }
   EngineStats EngineCounters() const;
@@ -151,13 +204,39 @@ class MonitorService {
   void SetCycleObserver(CycleObserver observer);
 
  private:
+  /// Shared delegate of the public constructor and Open(): adopts an
+  /// already-recovered engine plus the journal writer continuing its
+  /// journal, then re-creates recovered sessions and starts the driver.
+  MonitorService(std::unique_ptr<MonitorEngine> engine,
+                 const ServiceOptions& options, RecoveryReport recovery,
+                 std::unique_ptr<CycleJournalWriter> journal);
+
   void DriverLoop();
   bool NeedsFlush() const;
+
+  /// Re-opens sessions for recovered queries (one per original label) and
+  /// binds their subscriptions; failures land in bootstrap_error_.
+  void AdoptRecoveredQueries();
+
+  /// Seconds on the service's monotonic clock (token-bucket time base).
+  double NowSeconds() const;
+
+  /// Builds a journal snapshot of the engine + live queries + id
+  /// allocators. Caller must hold engine_mu_.
+  Result<JournalSnapshot> BuildSnapshotLocked() const;
+
+  /// Appends one record via `append`, tracking failures; holds the
+  /// journal healthy/unhealthy accounting in one place. Caller must hold
+  /// engine_mu_. No-op (Ok) when journaling is off.
+  template <typename AppendFn>
+  Status JournalAppendLocked(AppendFn&& append);
 
   const ServiceOptions options_;
   std::unique_ptr<MonitorEngine> engine_;
   const int dim_;
   const std::string engine_name_;
+  const RecoveryReport recovery_;
+  const std::chrono::steady_clock::time_point epoch_;
 
   IngestQueue ingest_;
   SessionManager sessions_;
@@ -174,6 +253,19 @@ class MonitorService {
   std::mutex control_mu_;
 
   std::atomic<QueryId> next_query_id_{1};
+
+  /// Journal state. The writer and the journaled-query registry (the live
+  /// specs a snapshot must carry) are only touched under engine_mu_,
+  /// which keeps journal record order identical to engine apply order.
+  std::unique_ptr<CycleJournalWriter> journal_;
+  std::vector<JournaledQuery> journaled_queries_;  ///< registration order
+  mutable std::mutex journal_status_mu_;
+  Status journal_status_;
+  std::atomic<std::uint64_t> journal_failures_{0};
+
+  /// First error during recovered-session adoption (ctor can't fail;
+  /// Open() checks and propagates this).
+  Status bootstrap_error_;
 
   // Driver / flush coordination.
   mutable std::mutex state_mu_;

@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace topkmon {
@@ -98,6 +99,55 @@ Result<std::string> SessionManager::Label(SessionId session) const {
                             " not open");
   }
   return it->second.label;
+}
+
+Result<SessionId> SessionManager::FindByLabel(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionId best = 0;
+  bool found = false;
+  for (const auto& [id, state] : sessions_) {
+    if (state.label == label && (!found || id < best)) {
+      best = id;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no open session labeled '" + label + "'");
+  }
+  return best;
+}
+
+Status SessionManager::ConsumeIngestTokens(SessionId session, double n,
+                                           double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session " + std::to_string(session) +
+                            " not open");
+  }
+  if (options_.ingest_rate_per_sec <= 0.0) return Status::Ok();
+  SessionState& state = it->second;
+  const double burst = BurstCapacity();
+  if (!state.bucket_primed) {
+    state.tokens = burst;
+    state.last_refill = now_seconds;
+    state.bucket_primed = true;
+  } else if (now_seconds > state.last_refill) {
+    state.tokens =
+        std::min(burst, state.tokens + (now_seconds - state.last_refill) *
+                                           options_.ingest_rate_per_sec);
+    state.last_refill = now_seconds;
+  }
+  if (state.tokens < n) {
+    ++stats_.rate_limited;
+    return Status::FailedPrecondition(
+        "session " + std::to_string(session) +
+        " exceeded its ingest rate limit (" +
+        std::to_string(options_.ingest_rate_per_sec) + " records/s, burst " +
+        std::to_string(burst) + ")");
+  }
+  state.tokens -= n;
+  return Status::Ok();
 }
 
 Result<std::size_t> SessionManager::QueryCount(SessionId session) const {

@@ -37,6 +37,14 @@ struct SessionOptions {
   int max_queries_per_session = 16;  ///< live queries one client may hold
   int max_k = 128;                   ///< largest admissible result size
   std::size_t max_sessions = 4096;   ///< concurrently open sessions
+  /// Per-session ingest rate limit (token bucket), records per second.
+  /// <= 0 disables rate limiting. Only the session-scoped ingest calls
+  /// (MonitorService::Ingest/TryIngest with a SessionId) are limited;
+  /// anonymous producers bypass the bucket.
+  double ingest_rate_per_sec = 0.0;
+  /// Bucket capacity (burst size) in records; <= 0 means one second's
+  /// worth of tokens (== ingest_rate_per_sec).
+  double ingest_burst = 0.0;
 };
 
 /// Observable session-layer counters.
@@ -46,6 +54,7 @@ struct SessionStats {
   std::uint64_t queries_admitted = 0;
   std::uint64_t queries_released = 0;
   std::uint64_t quota_rejections = 0;  ///< Admit refusals (any quota)
+  std::uint64_t rate_limited = 0;      ///< ingest refusals (empty bucket)
 };
 
 /// Thread-safe registry of sessions and the queries they own.
@@ -80,6 +89,21 @@ class SessionManager {
   /// Diagnostic label given at Open; NotFound if unknown.
   Result<std::string> Label(SessionId session) const;
 
+  /// The oldest open session with this label; NotFound if none. O(open
+  /// sessions) — intended for reconnect/adoption after a restart, not the
+  /// hot path.
+  Result<SessionId> FindByLabel(const std::string& label) const;
+
+  /// Takes `n` tokens from the session's ingest bucket at time
+  /// `now_seconds` (any monotonic clock, in seconds; the caller supplies
+  /// it so tests can run on a virtual clock). Refills at
+  /// ingest_rate_per_sec up to the burst capacity. FailedPrecondition
+  /// (and counted as rate_limited) when the bucket cannot cover `n`;
+  /// NotFound for unknown sessions; always Ok when rate limiting is
+  /// disabled.
+  Status ConsumeIngestTokens(SessionId session, double n,
+                             double now_seconds);
+
   /// Live queries owned by `session`; NotFound if unknown.
   Result<std::size_t> QueryCount(SessionId session) const;
 
@@ -94,7 +118,15 @@ class SessionManager {
   struct SessionState {
     std::string label;
     std::unordered_set<QueryId> queries;
+    double tokens = 0.0;           ///< ingest bucket fill
+    double last_refill = 0.0;      ///< now_seconds of the last refill
+    bool bucket_primed = false;    ///< first consume starts a full bucket
   };
+
+  double BurstCapacity() const {
+    return options_.ingest_burst > 0.0 ? options_.ingest_burst
+                                       : options_.ingest_rate_per_sec;
+  }
 
   const SessionOptions options_;
 

@@ -47,6 +47,10 @@ class TslEngine final : public MonitorEngine {
     delta_.SetCallback(std::move(callback));
   }
   std::size_t WindowSize() const override { return window_.size(); }
+  Result<EngineSnapshot> SnapshotState() const override {
+    return EngineSnapshot{
+        last_cycle_, std::vector<Record>(window_.begin(), window_.end())};
+  }
   const EngineStats& stats() const override { return stats_; }
   MemoryBreakdown Memory() const override;
 

@@ -1,0 +1,68 @@
+// Shared helpers for the journal test suite.
+
+#ifndef TOPKMON_TESTS_JOURNAL_JOURNAL_TEST_UTIL_H_
+#define TOPKMON_TESTS_JOURNAL_JOURNAL_TEST_UTIL_H_
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace topkmon {
+namespace testing {
+
+/// A mkdtemp-backed directory removed (with its files) on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    char tmpl[] = "/tmp/topkmon_journal_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path_ = made != nullptr ? made : "";
+  }
+
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    if (DIR* d = ::opendir(path_.c_str())) {
+      while (const dirent* entry = ::readdir(d)) {
+        if (std::strcmp(entry->d_name, ".") == 0 ||
+            std::strcmp(entry->d_name, "..") == 0) {
+          continue;
+        }
+        ::unlink((path_ + "/" + entry->d_name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path_.c_str());
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  std::vector<std::string> Files() const {
+    std::vector<std::string> out;
+    if (DIR* d = ::opendir(path_.c_str())) {
+      while (const dirent* entry = ::readdir(d)) {
+        if (std::strcmp(entry->d_name, ".") == 0 ||
+            std::strcmp(entry->d_name, "..") == 0) {
+          continue;
+        }
+        out.emplace_back(entry->d_name);
+      }
+      ::closedir(d);
+    }
+    return out;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace testing
+}  // namespace topkmon
+
+#endif  // TOPKMON_TESTS_JOURNAL_JOURNAL_TEST_UTIL_H_

@@ -1,0 +1,373 @@
+#include "journal/recovery.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/brute_force_engine.h"
+#include "core/tma_engine.h"
+#include "journal/journal_reader.h"
+#include "journal/journal_writer.h"
+#include "tests/journal/journal_test_util.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+using ::topkmon::testing::MakeRandomQueries;
+using ::topkmon::testing::ScopedTempDir;
+using ::topkmon::testing::Scores;
+
+constexpr int kDim = 2;
+constexpr std::size_t kWindow = 300;
+constexpr std::size_t kBatch = 40;
+
+GridEngineOptions TmaOptions() {
+  GridEngineOptions opt;
+  opt.dim = kDim;
+  opt.window = WindowSpec::Count(kWindow);
+  opt.cell_budget = 256;
+  return opt;
+}
+
+/// Drives `engine` (and mirrors every append into `writer`, when given)
+/// through deterministic cycles [first, last], taking writer snapshots
+/// whenever due.
+void DriveCycles(MonitorEngine& engine, CycleJournalWriter* writer,
+                 RecordSource& source, Timestamp first, Timestamp last,
+                 const std::vector<JournaledQuery>& live) {
+  for (Timestamp ts = first; ts <= last; ++ts) {
+    const std::vector<Record> batch = source.NextBatch(kBatch, ts);
+    if (writer != nullptr) {
+      TOPKMON_ASSERT_OK(writer->AppendCycle(ts, batch));
+    }
+    TOPKMON_ASSERT_OK(engine.ProcessCycle(ts, batch));
+    if (writer != nullptr && writer->SnapshotDue()) {
+      auto engine_snap = engine.SnapshotState();
+      ASSERT_TRUE(engine_snap.ok()) << engine_snap.status();
+      JournalSnapshot snap;
+      snap.last_cycle_ts = engine_snap->last_cycle;
+      snap.window = std::move(engine_snap->window);
+      snap.next_record_id =
+          snap.window.empty() ? 0 : snap.window.back().id + 1;
+      snap.next_query_id = 100;
+      snap.live_queries = live;
+      TOPKMON_ASSERT_OK(writer->RotateWithSnapshot(snap));
+    }
+  }
+}
+
+std::vector<JournaledQuery> JournaledQueries(
+    const std::vector<QuerySpec>& specs) {
+  std::vector<JournaledQuery> out;
+  for (const QuerySpec& spec : specs) out.push_back({spec, "client"});
+  return out;
+}
+
+/// The acceptance scenario at engine level: run a journaled TMA engine,
+/// "crash" it mid-stream, recover into a fresh engine, and drive the
+/// post-crash stream through both the recovered engine and an
+/// uninterrupted BruteForceEngine. Top-k results must agree after every
+/// cycle, and the two delta streams must reconstruct identical results
+/// cycle-for-cycle. Exercised both with mid-stream snapshots (recovery =
+/// snapshot + tail replay) and without (recovery = full replay).
+void RunCrashRecoveryScenario(std::uint64_t snapshot_every_cycles) {
+  ScopedTempDir dir;
+  const Timestamp crash_at = 23;
+  const Timestamp end_at = 40;
+  const auto specs = MakeRandomQueries(kDim, 4, 5, 1234);
+  const std::vector<JournaledQuery> live = JournaledQueries(specs);
+
+  // Uninterrupted ground truth over the identical stream.
+  BruteForceEngine truth(kDim, WindowSpec::Count(kWindow));
+  RecordSource truth_source(MakeGenerator(Distribution::kIndependent, kDim, 5));
+  for (const QuerySpec& spec : specs) {
+    TOPKMON_ASSERT_OK(truth.RegisterQuery(spec));
+  }
+
+  // Journaled engine, crashed after `crash_at` cycles (the writer is
+  // dropped without a final snapshot, exactly like a process kill; the
+  // cycle records up to the crash are on disk).
+  {
+    JournalOptions options;
+    options.dir = dir.path();
+    options.snapshot_every_cycles = snapshot_every_cycles;
+    auto writer = CycleJournalWriter::Open(options, JournalSnapshot{});
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    TmaEngine live_engine(TmaOptions());
+    for (const JournaledQuery& q : live) {
+      TOPKMON_ASSERT_OK((*writer)->AppendRegister(q));
+      TOPKMON_ASSERT_OK(live_engine.RegisterQuery(q.spec));
+    }
+    RecordSource source(MakeGenerator(Distribution::kIndependent, kDim, 5));
+    DriveCycles(live_engine, writer->get(), source, 1, crash_at, live);
+  }
+  DriveCycles(truth, nullptr, truth_source, 1, crash_at, live);
+
+  // Recover into a fresh engine.
+  TmaEngine recovered(TmaOptions());
+  auto report = RecoveryDriver::Replay(dir.path(), recovered);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->recovered);
+  EXPECT_EQ(report->last_cycle_ts, crash_at);
+  EXPECT_EQ(report->live_queries.size(), specs.size());
+  EXPECT_FALSE(report->torn_tail);
+  EXPECT_FALSE(report->corrupt_record);
+  EXPECT_EQ(recovered.WindowSize(), truth.WindowSize());
+  if (snapshot_every_cycles > 0) {
+    // Rotation happened mid-stream: bounded replay from the last anchor.
+    EXPECT_LT(report->cycles_replayed,
+              static_cast<std::uint64_t>(crash_at));
+  } else {
+    EXPECT_EQ(report->cycles_replayed,
+              static_cast<std::uint64_t>(crash_at));
+  }
+
+  // The recovered state already answers every query like the truth does.
+  for (const QuerySpec& spec : specs) {
+    const auto got = recovered.CurrentResult(spec.id);
+    const auto want = truth.CurrentResult(spec.id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(Scores(*got), Scores(*want)) << "query " << spec.id;
+  }
+
+  // Post-crash: both engines report deltas from the same starting line.
+  std::map<QueryId, std::map<RecordId, double>> got_view;
+  std::map<QueryId, std::map<RecordId, double>> want_view;
+  auto apply = [](std::map<QueryId, std::map<RecordId, double>>& views,
+                  const ResultDelta& d) {
+    auto& view = views[d.query];
+    for (const ResultEntry& e : d.removed) view.erase(e.id);
+    for (const ResultEntry& e : d.added) view.emplace(e.id, e.score);
+  };
+  recovered.SetDeltaCallback(
+      [&](const ResultDelta& d) { apply(got_view, d); });
+  truth.SetDeltaCallback([&](const ResultDelta& d) { apply(want_view, d); });
+
+  RecordSource recovered_source(
+      MakeGenerator(Distribution::kIndependent, kDim, 5));
+  for (Timestamp ts = 1; ts <= crash_at; ++ts) {
+    recovered_source.NextBatch(kBatch, ts);  // skip to the crash point
+  }
+  for (Timestamp ts = crash_at + 1; ts <= end_at; ++ts) {
+    const std::vector<Record> batch = recovered_source.NextBatch(kBatch, ts);
+    TOPKMON_ASSERT_OK(recovered.ProcessCycle(ts, batch));
+    TOPKMON_ASSERT_OK(truth.ProcessCycle(ts, batch));
+    for (const QuerySpec& spec : specs) {
+      // Snapshot reads agree cycle-for-cycle...
+      const auto got = recovered.CurrentResult(spec.id);
+      const auto want = truth.CurrentResult(spec.id);
+      ASSERT_TRUE(got.ok() && want.ok());
+      EXPECT_EQ(Scores(*got), Scores(*want))
+          << "query " << spec.id << " at cycle " << ts;
+      // ... and so do the delta-reconstructed client views.
+      std::vector<double> got_scores, want_scores;
+      for (const auto& [id, score] : got_view[spec.id]) {
+        (void)id;
+        got_scores.push_back(score);
+      }
+      for (const auto& [id, score] : want_view[spec.id]) {
+        (void)id;
+        want_scores.push_back(score);
+      }
+      std::sort(got_scores.begin(), got_scores.end());
+      std::sort(want_scores.begin(), want_scores.end());
+      EXPECT_EQ(got_scores, want_scores)
+          << "delta views diverge for query " << spec.id << " at cycle "
+          << ts;
+    }
+  }
+}
+
+TEST(RecoveryTest, FullReplayMatchesUninterruptedRun) {
+  RunCrashRecoveryScenario(/*snapshot_every_cycles=*/0);
+}
+
+TEST(RecoveryTest, SnapshotPlusTailReplayMatchesUninterruptedRun) {
+  RunCrashRecoveryScenario(/*snapshot_every_cycles=*/7);
+}
+
+TEST(RecoveryTest, EmptyOrMissingJournalDirIsAFreshStart) {
+  ScopedTempDir dir;
+  TmaEngine engine(TmaOptions());
+  auto report = RecoveryDriver::Replay(dir.path(), engine);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->recovered);
+  EXPECT_EQ(report->next_record_id, 0u);
+  EXPECT_EQ(report->next_query_id, 1u);
+  EXPECT_EQ(engine.WindowSize(), 0u);
+
+  auto missing =
+      RecoveryDriver::Replay("/tmp/topkmon-no-such-journal-999", engine);
+  ASSERT_TRUE(missing.ok()) << missing.status();
+  EXPECT_FALSE(missing->recovered);
+}
+
+/// Writes a small journal (1-record batches, no rotation) and returns the
+/// segment path plus the number of cycles written.
+std::string WriteSmallJournal(const std::string& dir, int cycles) {
+  JournalOptions options;
+  options.dir = dir;
+  options.snapshot_every_cycles = 0;
+  auto writer = CycleJournalWriter::Open(options, JournalSnapshot{});
+  EXPECT_TRUE(writer.ok());
+  for (Timestamp ts = 1; ts <= cycles; ++ts) {
+    std::vector<Record> batch;
+    batch.emplace_back(static_cast<RecordId>(ts - 1), Point{0.5, 0.5}, ts);
+    EXPECT_TRUE((*writer)->AppendCycle(ts, batch).ok());
+  }
+  EXPECT_TRUE((*writer)->Close().ok());
+  return (*writer)->current_segment_path();
+}
+
+TEST(RecoveryTest, TornFinalRecordIsTruncatedAndThePrefixReplays) {
+  ScopedTempDir dir;
+  const std::string path = WriteSmallJournal(dir.path(), 10);
+
+  // Chop a few bytes off the end: the classic crash-mid-append tail.
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 5), 0);
+
+  TmaEngine engine(TmaOptions());
+  auto report = RecoveryDriver::Replay(dir.path(), engine);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->recovered);
+  EXPECT_TRUE(report->torn_tail);
+  EXPECT_FALSE(report->corrupt_record);
+  EXPECT_EQ(report->cycles_replayed, 9u) << "the torn 10th cycle is dropped";
+  EXPECT_EQ(report->last_cycle_ts, 9);
+  EXPECT_GT(report->tail_bytes_dropped, 0u);
+  EXPECT_EQ(engine.WindowSize(), 9u);
+}
+
+TEST(RecoveryTest, CorruptCrcMidSegmentStopsReplayAtTheDamage) {
+  ScopedTempDir dir;
+  const std::string path = WriteSmallJournal(dir.path(), 10);
+
+  // Flip one byte halfway into the file — inside some cycle record's
+  // frame, well before the last one.
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  const long target = st.st_size / 2;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, target, SEEK_SET), 0);
+    const int orig = std::fgetc(f);
+    ASSERT_NE(orig, EOF);
+    ASSERT_EQ(std::fseek(f, target, SEEK_SET), 0);
+    std::fputc(orig ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  // Independently count how many records a reader still trusts.
+  std::uint64_t good_cycles = 0;
+  {
+    auto reader = CycleJournalReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    (void)(*reader)->Next();  // anchor snapshot
+    while (true) {
+      auto outcome = (*reader)->Next();
+      if (outcome.kind != CycleJournalReader::Kind::kRecord) {
+        EXPECT_EQ(outcome.kind, CycleJournalReader::Kind::kCorrupt);
+        break;
+      }
+      ++good_cycles;
+    }
+  }
+  ASSERT_LT(good_cycles, 10u);
+
+  TmaEngine engine(TmaOptions());
+  auto report = RecoveryDriver::Replay(dir.path(), engine);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->recovered);
+  EXPECT_TRUE(report->corrupt_record);
+  EXPECT_FALSE(report->torn_tail);
+  EXPECT_EQ(report->cycles_replayed, good_cycles);
+  EXPECT_GT(report->tail_bytes_dropped, 0u);
+  EXPECT_EQ(engine.WindowSize(), good_cycles);
+}
+
+TEST(RecoveryTest, QueryLifecycleEventsReplay) {
+  ScopedTempDir dir;
+  const auto specs = MakeRandomQueries(kDim, 3, 4, 77);
+  {
+    JournalOptions options;
+    options.dir = dir.path();
+    auto writer = CycleJournalWriter::Open(options, JournalSnapshot{});
+    ASSERT_TRUE(writer.ok());
+    // Register all three, run a cycle, unregister the second.
+    for (const QuerySpec& spec : specs) {
+      TOPKMON_ASSERT_OK((*writer)->AppendRegister({spec, "alice"}));
+    }
+    std::vector<Record> batch;
+    for (RecordId id = 0; id < 20; ++id) {
+      batch.emplace_back(id, Point{0.1 * static_cast<double>(id % 10),
+                                   0.5},
+                         1);
+    }
+    TOPKMON_ASSERT_OK((*writer)->AppendCycle(1, batch));
+    TOPKMON_ASSERT_OK((*writer)->AppendUnregister(specs[1].id));
+    TOPKMON_ASSERT_OK((*writer)->Close());
+  }
+
+  TmaEngine engine(TmaOptions());
+  auto report = RecoveryDriver::Replay(dir.path(), engine);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->registers_replayed, 3u);
+  EXPECT_EQ(report->unregisters_replayed, 1u);
+  ASSERT_EQ(report->live_queries.size(), 2u);
+  EXPECT_EQ(report->live_queries[0].spec.id, specs[0].id);
+  EXPECT_EQ(report->live_queries[1].spec.id, specs[2].id);
+  EXPECT_EQ(report->next_query_id,
+            static_cast<std::uint64_t>(specs[2].id) + 1);
+  EXPECT_TRUE(engine.CurrentResult(specs[0].id).ok());
+  EXPECT_EQ(engine.CurrentResult(specs[1].id).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(engine.CurrentResult(specs[2].id).ok());
+}
+
+TEST(RecoveryTest, ReplayIntoAUsedEngineIsRefused) {
+  ScopedTempDir dir;
+  WriteSmallJournal(dir.path(), 3);
+  TmaEngine engine(TmaOptions());
+  std::vector<Record> batch;
+  batch.emplace_back(0, Point{0.5, 0.5}, 1);
+  TOPKMON_ASSERT_OK(engine.ProcessCycle(1, batch));
+  auto report = RecoveryDriver::Replay(dir.path(), engine);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, DimensionMismatchIsRefusedBeforeAnythingIsApplied) {
+  ScopedTempDir dir;
+  {
+    // A journal whose anchor snapshot carries a 2-d window record.
+    JournalOptions options;
+    options.dir = dir.path();
+    JournalSnapshot anchor;
+    anchor.last_cycle_ts = 1;
+    anchor.next_record_id = 1;
+    anchor.window.emplace_back(0, Point{0.5, 0.5}, 1);
+    auto writer = CycleJournalWriter::Open(options, anchor);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  GridEngineOptions opt = TmaOptions();
+  opt.dim = 3;
+  TmaEngine engine(opt);
+  auto report = RecoveryDriver::Replay(dir.path(), engine);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.WindowSize(), 0u);
+}
+
+}  // namespace
+}  // namespace topkmon

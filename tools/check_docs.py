@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by the CI docs job).
+
+1. Markdown link check: every relative link target in the repo's .md
+   files must exist (external http(s)/mailto links are skipped).
+2. Journal format lockstep: the version stated in
+   docs/JOURNAL_FORMAT.md must equal kJournalFormatVersion in
+   src/journal/format.h, so the byte-level spec can never silently
+   drift from the implementation.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADER_VERSION_RE = re.compile(
+    r"constexpr\s+std::uint32_t\s+kJournalFormatVersion\s*=\s*(\d+)\s*;")
+DOC_VERSION_RE = re.compile(r"\*\*Format version:\*\*\s*(\d+)")
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links():
+    errors = []
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path))
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{os.path.relpath(path, REPO)}: broken link -> {target}")
+    return errors
+
+
+def check_format_version():
+    header = os.path.join(REPO, "src", "journal", "format.h")
+    spec = os.path.join(REPO, "docs", "JOURNAL_FORMAT.md")
+    errors = []
+    try:
+        header_text = open(header, encoding="utf-8").read()
+    except OSError as e:
+        return [f"cannot read {header}: {e}"]
+    try:
+        spec_text = open(spec, encoding="utf-8").read()
+    except OSError as e:
+        return [f"cannot read {spec}: {e}"]
+    header_match = HEADER_VERSION_RE.search(header_text)
+    spec_match = DOC_VERSION_RE.search(spec_text)
+    if not header_match:
+        errors.append("src/journal/format.h: kJournalFormatVersion not found")
+    if not spec_match:
+        errors.append(
+            "docs/JOURNAL_FORMAT.md: '**Format version:** N' line not found")
+    if header_match and spec_match and header_match.group(1) != \
+            spec_match.group(1):
+        errors.append(
+            "journal format version mismatch: format.h says "
+            f"{header_match.group(1)}, JOURNAL_FORMAT.md says "
+            f"{spec_match.group(1)} — update the spec alongside the code")
+    return errors
+
+
+def main():
+    errors = check_links() + check_format_version()
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    print("docs check passed (links resolve, journal format version in "
+          "lockstep)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
