@@ -1,5 +1,6 @@
 #include "bench/common/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -141,6 +142,15 @@ void PrintPreamble(const std::string& title, const std::string& paper_ref,
 
 void PrintExpectation(const std::string& note) {
   std::printf("\npaper shape: %s\n\n", note.c_str());
+}
+
+double Percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+  return samples[idx];
 }
 
 }  // namespace bench

@@ -66,6 +66,11 @@ void PrintPreamble(const std::string& title, const std::string& paper_ref,
 /// Prints a closing note (expected qualitative shape from the paper).
 void PrintExpectation(const std::string& note);
 
+/// The p-quantile (0 <= p <= 1) of `samples` by nth_element; reorders
+/// the vector. 0.0 on empty input. One definition shared by the
+/// latency benches so their percentiles stay comparable.
+double Percentile(std::vector<double>& samples, double p);
+
 }  // namespace bench
 }  // namespace topkmon
 

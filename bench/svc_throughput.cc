@@ -38,15 +38,6 @@ struct RunResult {
   ServiceStats stats;
 };
 
-double Percentile(std::vector<double>& samples, double p) {
-  if (samples.empty()) return 0.0;
-  const std::size_t idx = std::min(
-      samples.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
-  std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
-  return samples[idx];
-}
-
 RunResult RunClients(int clients, std::size_t records_per_client,
                      std::size_t queries_per_client, int k,
                      std::size_t window) {

@@ -1,20 +1,29 @@
-// Service demo: the monitoring engines behind a multi-client service.
+// Service demo: the monitoring engines behind a multi-client service —
+// in-process, or split across processes over the binary TCP protocol.
 //
-// Spins up a MonitorService over a 2-shard TMA engine, then runs real
-// concurrency against it:
-//   * 3 producer threads stream tuples through the batching ingest queue;
-//   * 2 client sessions each register continuous top-k queries and run a
-//     subscriber thread that long-polls its delta subscription, printing
-//     every change as it arrives (sequence number, cycle, entered/left).
-// Ends with a graceful shutdown and the service-level counters.
+// Three modes (--mode=local is the default):
+//   * local  — everything in one process: 3 producer threads stream
+//     tuples through the batching ingest queue while 2 client sessions
+//     hold continuous top-k queries and long-poll their delta streams.
+//   * serve  — starts the TCP front-end on --port and blocks serving
+//     remote clients until the process is killed (or --serve_seconds
+//     elapses). Combine with --journal=DIR for a durable server that
+//     recovers sessions and queries across restarts.
+//   * client — connects to --host:--port, registers --queries top-k
+//     queries under a session labeled --label (resuming it if the
+//     server already knows the label), streams --records tuples through
+//     batched wire ingest, and prints the deltas it long-polls. Run
+//     several concurrently; re-run with the same --label to see
+//     gap-free resume (sequence numbers continue where they stopped).
 //
 // With --journal=DIR the service write-ahead-journals every cycle and
-// recovers the directory on startup: run the demo twice with the same
-// DIR and the second run prints the recovery summary, re-adopts the
-// first run's sessions by label, and continues their queries.
+// recovers the directory on startup: run twice with the same DIR and
+// the second run prints the recovery summary, re-adopts the first run's
+// sessions by label, and continues their queries.
 //
-// Flags: --producers=N --records=N --queries=N --k=N --window=N
-//        --journal=DIR --sync=none|interval|always
+// Flags: --mode=local|serve|client --host=H --port=P --label=NAME
+//        --producers=N --records=N --queries=N --k=N --window=N
+//        --serve_seconds=N --journal=DIR --sync=none|interval|always
 
 #include <atomic>
 #include <cstdio>
@@ -24,6 +33,8 @@
 
 #include "core/sharded_engine.h"
 #include "core/tma_engine.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/monitor_service.h"
 #include "stream/generators.h"
 #include "util/flags.h"
@@ -31,52 +42,18 @@
 
 using namespace topkmon;
 
-int main(int argc, char** argv) {
-  const auto flags = Flags::Parse(argc, argv);
-  if (!flags.ok()) {
-    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
-    return 1;
-  }
-  const auto producers_flag = flags->GetInt("producers", 3);
-  const auto records_flag = flags->GetInt("records", 5000);
-  const auto queries_flag = flags->GetInt("queries", 2);
-  const auto k_flag = flags->GetInt("k", 3);
-  const auto window_flag = flags->GetInt("window", 2000);
-  for (const auto* f :
-       {&producers_flag, &records_flag, &queries_flag, &k_flag,
-        &window_flag}) {
-    if (!f->ok()) {
-      std::fprintf(stderr, "%s\n", f->status().ToString().c_str());
-      return 1;
-    }
-  }
-  const auto journal_flag = flags->GetString("journal", "");
-  const auto sync_flag = flags->GetString("sync", "none");
-  if (!journal_flag.ok() || !sync_flag.ok()) {
-    std::fprintf(stderr, "bad --journal/--sync flag\n");
-    return 1;
-  }
-  const std::string journal_dir = *journal_flag;
-  const auto sync_policy = ParseSyncPolicy(*sync_flag);
-  if (!sync_policy.ok()) {
-    std::fprintf(stderr, "%s\n", sync_policy.status().ToString().c_str());
-    return 1;
-  }
-  const int producers = static_cast<int>(*producers_flag);
-  const std::size_t records = static_cast<std::size_t>(*records_flag);
-  const std::size_t queries_per_session =
-      static_cast<std::size_t>(*queries_flag);
-  const int k = static_cast<int>(*k_flag);
-  const std::size_t window = static_cast<std::size_t>(*window_flag);
+namespace {
 
-  // 1. Engine + service. The service owns the cycle-driver thread; we
-  //    never call the engine directly again. With --journal, Open()
-  //    recovers the directory first and resumes journaling.
+/// Builds the service (recovering --journal if given) shared by the
+/// local and serve modes.
+std::unique_ptr<MonitorService> MakeService(std::size_t window,
+                                            const std::string& journal_dir,
+                                            SyncPolicy sync) {
   ServiceOptions options;
   options.ingest.slack = 4;
   options.drain_wait = std::chrono::milliseconds(2);
   options.journal.dir = journal_dir;
-  options.journal.sync = *sync_policy;
+  options.journal.sync = sync;
   const auto engine_factory = [window] {
     return std::unique_ptr<MonitorEngine>(new ShardedEngine(
         2,
@@ -87,20 +64,141 @@ int main(int argc, char** argv) {
           return std::unique_ptr<MonitorEngine>(new TmaEngine(opt));
         }));
   };
-  std::unique_ptr<MonitorService> owned_service;
   if (journal_dir.empty()) {
-    owned_service =
-        std::make_unique<MonitorService>(engine_factory(), options);
-  } else {
-    auto opened = MonitorService::Open(engine_factory, options);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return std::make_unique<MonitorService>(engine_factory(), options);
+  }
+  auto opened = MonitorService::Open(engine_factory, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return nullptr;
+  }
+  std::printf("journal: %s\n", (*opened)->recovery().ToString().c_str());
+  return std::move(*opened);
+}
+
+int RunServe(std::size_t window, const std::string& journal_dir,
+             SyncPolicy sync, std::uint16_t port, long serve_seconds) {
+  auto service = MakeService(window, journal_dir, sync);
+  if (service == nullptr) return 1;
+  NetServerOptions net;
+  net.port = port;
+  TcpServer server(*service, net);
+  if (const Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u — connect with --mode=client "
+              "--port=%u (ctrl-C to stop)\n",
+              server.port(), server.port());
+  long elapsed = 0;
+  while (serve_seconds <= 0 || elapsed < serve_seconds) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    ++elapsed;
+    if (elapsed % 10 == 0) {
+      std::printf("net:     %s\nservice: %s\n",
+                  server.stats().ToString().c_str(),
+                  service->stats().ToString().c_str());
+    }
+  }
+  server.Stop();
+  service->Shutdown();
+  std::printf("net:     %s\nservice: %s\n",
+              server.stats().ToString().c_str(),
+              service->stats().ToString().c_str());
+  return 0;
+}
+
+int RunClient(const std::string& host, std::uint16_t port,
+              const std::string& label, std::size_t records,
+              std::size_t queries, int k) {
+  auto client = MonitorClient::Connect(host, port, label, /*resume=*/true);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[%s] %s session %llu\n", label.c_str(),
+              (*client)->resumed() ? "resumed" : "opened",
+              static_cast<unsigned long long>((*client)->session()));
+  Rng rng(static_cast<std::uint64_t>((*client)->session()) * 7919);
+  if (!(*client)->resumed()) {
+    for (std::size_t q = 0; q < queries; ++q) {
+      QuerySpec spec;  // the service assigns the id
+      spec.k = k;
+      spec.function = MakeRandomFunction(
+          FunctionFamily::kLinear, 2, [&rng] { return rng.Uniform(); });
+      const auto id = (*client)->Register(spec);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("[%s] registered query %u: top-%d under %s\n",
+                  label.c_str(), *id, k, spec.function->ToString().c_str());
+    }
+  }
+
+  // A second connection (same label, resumed) long-polls the deltas the
+  // ingest below triggers — the two-connection shape real dashboards use.
+  std::atomic<bool> done{false};
+  std::thread subscriber([&] {
+    auto sub = MonitorClient::Connect(host, port, label, /*resume=*/true);
+    if (!sub.ok()) return;
+    std::uint64_t printed = 0;
+    while (true) {
+      auto events = (*sub)->PollDeltas(64, std::chrono::milliseconds(50));
+      if (!events.ok()) break;
+      for (const DeltaEvent& e : *events) {
+        if (++printed <= 8) {
+          std::printf("[%s] seq=%llu t=%lld query=%u +%zu -%zu\n",
+                      label.c_str(),
+                      static_cast<unsigned long long>(e.seq),
+                      static_cast<long long>(e.delta.when), e.delta.query,
+                      e.delta.added.size(), e.delta.removed.size());
+        }
+      }
+      if (events->empty() && done.load()) break;
+    }
+    std::printf("[%s] received %llu delta events (last seq %llu)\n",
+                label.c_str(), static_cast<unsigned long long>(printed),
+                static_cast<unsigned long long>((*sub)->last_seq()));
+    (void)(*sub)->Close();
+  });
+
+  auto gen = MakeGenerator(Distribution::kClustered, 2,
+                           rng.NextUint64());
+  const Timestamp base =
+      static_cast<Timestamp>((*client)->session()) * 1000000;
+  std::size_t sent = 0;
+  while (sent < records) {
+    std::vector<Record> batch;
+    for (std::size_t i = 0; i < 256 && sent < records; ++i, ++sent) {
+      batch.emplace_back(0, gen->NextPoint(),
+                         base + static_cast<Timestamp>(sent));
+    }
+    const auto ack = (*client)->Ingest(std::move(batch));
+    if (!ack.ok()) {
+      std::fprintf(stderr, "%s\n", ack.status().ToString().c_str());
+      done.store(true);
+      subscriber.join();
       return 1;
     }
-    owned_service = std::move(*opened);
-    std::printf("journal: %s\n",
-                owned_service->recovery().ToString().c_str());
+    if (ack->rejected > 0) {
+      std::printf("[%s] %u tuples rejected: %s\n", label.c_str(),
+                  ack->rejected, ack->first_error.ToString().c_str());
+    }
   }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  done.store(true);
+  subscriber.join();
+  return (*client)->Close().ok() ? 0 : 1;
+}
+
+int RunLocal(int producers, std::size_t records,
+             std::size_t queries_per_session, int k, std::size_t window,
+             const std::string& journal_dir, SyncPolicy sync) {
+  // 1. Engine + service. The service owns the cycle-driver thread; we
+  //    never call the engine directly again.
+  auto owned_service = MakeService(window, journal_dir, sync);
+  if (owned_service == nullptr) return 1;
   MonitorService& service = *owned_service;
 
   // 2. Two client sessions, each holding continuous queries. After a
@@ -199,4 +297,67 @@ int main(int argc, char** argv) {
               service.EngineCounters().ToString().c_str());
   std::printf("memory:  %s\n", service.Memory().ToString().c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const auto mode_flag = flags->GetString("mode", "local");
+  const auto host_flag = flags->GetString("host", "127.0.0.1");
+  const auto label_flag = flags->GetString("label", "demo-client");
+  const auto port_flag = flags->GetInt("port", 4585);
+  const auto producers_flag = flags->GetInt("producers", 3);
+  const auto records_flag = flags->GetInt("records", 5000);
+  const auto queries_flag = flags->GetInt("queries", 2);
+  const auto k_flag = flags->GetInt("k", 3);
+  const auto window_flag = flags->GetInt("window", 2000);
+  const auto serve_seconds_flag = flags->GetInt("serve_seconds", 0);
+  for (const auto* f : {&producers_flag, &records_flag, &queries_flag,
+                        &k_flag, &window_flag, &port_flag,
+                        &serve_seconds_flag}) {
+    if (!f->ok()) {
+      std::fprintf(stderr, "%s\n", f->status().ToString().c_str());
+      return 1;
+    }
+  }
+  const auto journal_flag = flags->GetString("journal", "");
+  const auto sync_flag = flags->GetString("sync", "none");
+  if (!mode_flag.ok() || !host_flag.ok() || !label_flag.ok() ||
+      !journal_flag.ok() || !sync_flag.ok()) {
+    std::fprintf(stderr, "bad string flag\n");
+    return 1;
+  }
+  const auto sync_policy = ParseSyncPolicy(*sync_flag);
+  if (!sync_policy.ok()) {
+    std::fprintf(stderr, "%s\n", sync_policy.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t window = static_cast<std::size_t>(*window_flag);
+  const std::uint16_t port = static_cast<std::uint16_t>(*port_flag);
+
+  if (*mode_flag == "serve") {
+    return RunServe(window, *journal_flag, *sync_policy, port,
+                    static_cast<long>(*serve_seconds_flag));
+  }
+  if (*mode_flag == "client") {
+    return RunClient(*host_flag, port, *label_flag,
+                     static_cast<std::size_t>(*records_flag),
+                     static_cast<std::size_t>(*queries_flag),
+                     static_cast<int>(*k_flag));
+  }
+  if (*mode_flag == "local") {
+    return RunLocal(static_cast<int>(*producers_flag),
+                    static_cast<std::size_t>(*records_flag),
+                    static_cast<std::size_t>(*queries_flag),
+                    static_cast<int>(*k_flag), window, *journal_flag,
+                    *sync_policy);
+  }
+  std::fprintf(stderr, "unknown --mode '%s' (local|serve|client)\n",
+               mode_flag->c_str());
+  return 1;
 }

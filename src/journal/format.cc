@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "common/scoring.h"
+#include "journal/wire.h"
 
 namespace topkmon {
 namespace {
@@ -83,343 +83,18 @@ __attribute__((target("sse4.2"))) std::uint32_t Crc32Hardware(
 }
 #endif
 
-// ---- primitive writers ------------------------------------------------
+// ---- journal-specific composite encodings -----------------------------
 
-void PutU8(std::uint8_t v, std::string* out) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU16(std::uint16_t v, std::string* out) {
-  char b[2];
-  for (int i = 0; i < 2; ++i) b[i] = static_cast<char>(v >> (8 * i));
-  out->append(b, 2);
-}
-
-void PutU32(std::uint32_t v, std::string* out) {
-  char b[4];
-  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
-  out->append(b, 4);
-}
-
-void PutU64(std::uint64_t v, std::string* out) {
-  char b[8];
-  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
-  out->append(b, 8);
-}
-
-void PutI64(std::int64_t v, std::string* out) {
-  PutU64(static_cast<std::uint64_t>(v), out);
-}
-
-void PutF64(double v, std::string* out) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(bits, out);
-}
-
-void PutPoint(const Point& p, std::string* out) {
-  PutU8(static_cast<std::uint8_t>(p.dim()), out);
-  for (int i = 0; i < p.dim(); ++i) PutF64(p[i], out);
-}
-
-void PutUvarint(std::uint64_t v, std::string* out) {
-  char b[10];
-  std::size_t n = 0;
-  while (v >= 0x80) {
-    b[n++] = static_cast<char>(v | 0x80);
-    v >>= 7;
-  }
-  b[n++] = static_cast<char>(v);
-  out->append(b, n);
-}
-
-/// Upper bound on PutRecordSpan output (the hot-path reserve hint).
-std::size_t RecordSpanMaxBytes(std::size_t count, int dim) {
-  return 1 + 8 + 8 + count * (10 + 10 + static_cast<std::size_t>(dim) * 8);
-}
-
-/// Serializes `count` > 0 records as a span: shared dimensionality and
-/// base (id, arrival), then per record the varint deltas against the
-/// previous record plus the raw coordinates. A stream batch has
-/// consecutive ids and near-constant arrivals, so the common entry is
-/// 2 + 8·dim bytes — and every journaled byte is CRC'd and written on the
-/// cycle-append hot path, so wire compactness is throughput.
-/// Requires: uniform dimensionality, strictly increasing ids,
-/// non-decreasing arrivals (the engines' arrival-batch contract).
-void PutRecordSpan(const Record* records, std::size_t count,
-                   std::string* out) {
-  const int dim = records[0].position.dim();
-  PutU8(static_cast<std::uint8_t>(dim), out);
-  PutU64(records[0].id, out);
-  PutI64(records[0].arrival, out);
-  RecordId prev_id = records[0].id;
-  Timestamp prev_arrival = records[0].arrival;
-  const std::size_t coord_bytes = static_cast<std::size_t>(dim) * 8;
-  for (std::size_t i = 0; i < count; ++i) {
-    const Record& r = records[i];
-    PutUvarint(r.id - prev_id, out);
-    PutUvarint(static_cast<std::uint64_t>(r.arrival - prev_arrival), out);
-#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
-    out->append(reinterpret_cast<const char*>(r.position.data()),
-                coord_bytes);
-#else
-    for (int d = 0; d < dim; ++d) PutF64(r.position[d], out);
-#endif
-    prev_id = r.id;
-    prev_arrival = r.arrival;
-  }
-  (void)coord_bytes;
-}
-
-void PutString(const std::string& s, std::string* out) {
-  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
-  PutU16(static_cast<std::uint16_t>(n), out);
-  out->append(s.data(), n);
-}
-
-// Scoring-function family tags (wire values; see docs/JOURNAL_FORMAT.md).
-constexpr std::uint8_t kFnLinear = 1;
-constexpr std::uint8_t kFnProduct = 2;
-constexpr std::uint8_t kFnSumOfSquares = 3;
-
-Status PutFunction(const ScoringFunction& fn, std::string* out) {
-  if (const auto* linear = dynamic_cast<const LinearFunction*>(&fn)) {
-    PutU8(kFnLinear, out);
-    PutU8(static_cast<std::uint8_t>(linear->dim()), out);
-    for (double w : linear->weights()) PutF64(w, out);
-    PutF64(linear->bias(), out);
-    return Status::Ok();
-  }
-  if (const auto* product = dynamic_cast<const ProductFunction*>(&fn)) {
-    PutU8(kFnProduct, out);
-    PutU8(static_cast<std::uint8_t>(product->dim()), out);
-    for (double a : product->offsets()) PutF64(a, out);
-    return Status::Ok();
-  }
-  if (const auto* squares = dynamic_cast<const SumOfSquaresFunction*>(&fn)) {
-    PutU8(kFnSumOfSquares, out);
-    PutU8(static_cast<std::uint8_t>(squares->dim()), out);
-    for (double a : squares->coeffs()) PutF64(a, out);
-    return Status::Ok();
-  }
-  return Status::Unimplemented(
-      "scoring function '" + fn.ToString() +
-      "' has no journal encoding (only the linear / product / "
-      "sum-of-squares families are journalable)");
-}
-
+/// A journaled query is the shared query-spec encoding plus the owning
+/// session's diagnostic label (the recovery key for session adoption).
 Status PutQuery(const JournaledQuery& q, std::string* out) {
-  PutU32(q.spec.id, out);
-  PutU32(static_cast<std::uint32_t>(q.spec.k), out);
-  if (q.spec.function == nullptr) {
-    return Status::InvalidArgument("query spec has no scoring function");
-  }
-  TOPKMON_RETURN_IF_ERROR(PutFunction(*q.spec.function, out));
-  PutU8(q.spec.constraint.has_value() ? 1 : 0, out);
-  if (q.spec.constraint.has_value()) {
-    PutPoint(q.spec.constraint->lo(), out);
-    PutPoint(q.spec.constraint->hi(), out);
-  }
-  PutString(q.owner_label, out);
+  TOPKMON_RETURN_IF_ERROR(wire::PutQuerySpec(q.spec, out));
+  wire::PutString(q.owner_label, out);
   return Status::Ok();
 }
 
-// ---- primitive readers ------------------------------------------------
-
-/// Bounds-checked cursor over a frame body. Every Get* reports overruns
-/// through the sticky status; callers check once per record.
-class ByteReader {
- public:
-  ByteReader(const char* data, std::size_t n) : data_(data), n_(n) {}
-
-  bool ok() const { return ok_; }
-  std::size_t remaining() const { return n_ - pos_; }
-
-  std::uint8_t GetU8() {
-    if (!Require(1)) return 0;
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-
-  std::uint16_t GetU16() {
-    if (!Require(2)) return 0;
-    std::uint16_t v = 0;
-    for (int i = 0; i < 2; ++i) {
-      v = static_cast<std::uint16_t>(
-          v | (static_cast<std::uint16_t>(
-                   static_cast<std::uint8_t>(data_[pos_ + i]))
-               << (8 * i)));
-    }
-    pos_ += 2;
-    return v;
-  }
-
-  std::uint32_t GetU32() {
-    if (!Require(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  std::uint64_t GetU64() {
-    if (!Require(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
-
-  std::uint64_t GetUvarint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (shift < 64) {
-      if (!Require(1)) return 0;
-      const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
-      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) return v;
-      shift += 7;
-    }
-    ok_ = false;  // over-long varint
-    return 0;
-  }
-
-  double GetF64() {
-    const std::uint64_t bits = GetU64();
-    double v;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  Point GetPoint() {
-    const int dim = GetU8();
-    if (dim < 1 || dim > kMaxDims) {
-      ok_ = false;
-      return Point();
-    }
-    Point p(dim);
-    for (int i = 0; i < dim; ++i) p[i] = GetF64();
-    return p;
-  }
-
-  std::string GetString() {
-    const std::size_t n = GetU16();
-    if (!Require(n)) return std::string();
-    std::string s(data_ + pos_, n);
-    pos_ += n;
-    return s;
-  }
-
- private:
-  bool Require(std::size_t n) {
-    if (!ok_ || n_ - pos_ < n) {
-      ok_ = false;
-      return false;
-    }
-    return true;
-  }
-
-  const char* data_;
-  std::size_t n_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-/// Reads a record span of `count` > 0 records (see PutRecordSpan),
-/// appending to *out. Validates monotone ids within the span.
-Status GetRecordSpan(ByteReader& in, std::uint64_t count,
-                     std::vector<Record>* out) {
-  const int dim = in.GetU8();
-  if (!in.ok() || dim < 1 || dim > kMaxDims) {
-    return Status::InvalidArgument("bad record-span dimensionality");
-  }
-  // Each entry is at least 2 varint bytes + dim coordinates.
-  const std::size_t min_entry = 2 + static_cast<std::size_t>(dim) * 8;
-  if (count > in.remaining() / min_entry + 1) {
-    return Status::InvalidArgument("record count exceeds body size");
-  }
-  RecordId prev_id = in.GetU64();
-  Timestamp prev_arrival = in.GetI64();
-  out->reserve(out->size() + count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t id_delta = in.GetUvarint();
-    const std::uint64_t arrival_delta = in.GetUvarint();
-    if (i > 0 && id_delta == 0) {
-      return Status::InvalidArgument("non-increasing record id in span");
-    }
-    Point p(dim);
-    for (int d = 0; d < dim; ++d) p[d] = in.GetF64();
-    if (!in.ok()) return Status::InvalidArgument("truncated record span");
-    prev_id += id_delta;
-    prev_arrival += static_cast<Timestamp>(arrival_delta);
-    out->emplace_back(prev_id, std::move(p), prev_arrival);
-  }
-  return Status::Ok();
-}
-
-Status GetFunction(ByteReader& in,
-                   std::shared_ptr<const ScoringFunction>* out) {
-  const std::uint8_t family = in.GetU8();
-  const int dim = in.GetU8();
-  if (!in.ok() || dim < 1 || dim > kMaxDims) {
-    return Status::InvalidArgument("malformed scoring function header");
-  }
-  std::vector<double> coeffs(static_cast<std::size_t>(dim));
-  for (double& c : coeffs) c = in.GetF64();
-  if (!in.ok()) {
-    return Status::InvalidArgument("truncated scoring function");
-  }
-  switch (family) {
-    case kFnLinear: {
-      const double bias = in.GetF64();
-      if (!in.ok()) {
-        return Status::InvalidArgument("truncated linear function bias");
-      }
-      *out = std::make_shared<LinearFunction>(std::move(coeffs), bias);
-      return Status::Ok();
-    }
-    case kFnProduct:
-      *out = std::make_shared<ProductFunction>(std::move(coeffs));
-      return Status::Ok();
-    case kFnSumOfSquares:
-      *out = std::make_shared<SumOfSquaresFunction>(std::move(coeffs));
-      return Status::Ok();
-    default:
-      return Status::InvalidArgument("unknown scoring-function family tag " +
-                                     std::to_string(family));
-  }
-}
-
-Status GetQuery(ByteReader& in, JournaledQuery* out) {
-  out->spec.id = in.GetU32();
-  out->spec.k = static_cast<int>(in.GetU32());
-  TOPKMON_RETURN_IF_ERROR(GetFunction(in, &out->spec.function));
-  const std::uint8_t has_constraint = in.GetU8();
-  if (has_constraint == 1) {
-    const Point lo = in.GetPoint();
-    const Point hi = in.GetPoint();
-    if (!in.ok() || lo.dim() != hi.dim()) {
-      return Status::InvalidArgument("malformed constraint rectangle");
-    }
-    for (int i = 0; i < lo.dim(); ++i) {
-      if (lo[i] > hi[i]) {
-        return Status::InvalidArgument("inverted constraint rectangle");
-      }
-    }
-    out->spec.constraint = Rect(lo, hi);
-  } else if (has_constraint != 0) {
-    return Status::InvalidArgument("bad constraint presence byte");
-  }
+Status GetQuery(wire::ByteReader& in, JournaledQuery* out) {
+  TOPKMON_RETURN_IF_ERROR(wire::GetQuerySpec(in, &out->spec));
   out->owner_label = in.GetString();
   if (!in.ok()) return Status::InvalidArgument("truncated query record");
   return Status::Ok();
@@ -438,14 +113,14 @@ std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
 }
 
 void EncodeSegmentHeader(std::string* out) {
-  PutU64(kJournalMagic, out);
-  PutU32(kJournalFormatVersion, out);
-  PutU32(0, out);  // reserved
+  wire::PutU64(kJournalMagic, out);
+  wire::PutU32(kJournalFormatVersion, out);
+  wire::PutU32(0, out);  // reserved
 }
 
 void EncodeFrame(const std::string& body, std::string* out) {
-  PutU32(static_cast<std::uint32_t>(body.size()), out);
-  PutU32(Crc32(body.data(), body.size()), out);
+  wire::PutU32(static_cast<std::uint32_t>(body.size()), out);
+  wire::PutU32(Crc32(body.data(), body.size()), out);
   out->append(body);
 }
 
@@ -453,35 +128,38 @@ void EncodeCycleBody(Timestamp ts, const std::vector<Record>& batch,
                      std::string* out) {
   std::size_t bytes = out->size() + 1 + 8 + 4;
   if (!batch.empty()) {
-    bytes += RecordSpanMaxBytes(batch.size(), batch[0].position.dim());
+    bytes +=
+        wire::RecordSpanMaxBytes(batch.size(), batch[0].position.dim());
   }
   out->reserve(bytes);
-  PutU8(static_cast<std::uint8_t>(JournalRecordType::kCycle), out);
-  PutI64(ts, out);
-  PutU32(static_cast<std::uint32_t>(batch.size()), out);
-  if (!batch.empty()) PutRecordSpan(batch.data(), batch.size(), out);
+  wire::PutU8(static_cast<std::uint8_t>(JournalRecordType::kCycle), out);
+  wire::PutI64(ts, out);
+  wire::PutU32(static_cast<std::uint32_t>(batch.size()), out);
+  if (!batch.empty()) wire::PutRecordSpan(batch.data(), batch.size(), out);
 }
 
 Status EncodeRegisterBody(const JournaledQuery& query, std::string* out) {
   const std::size_t mark = out->size();
-  PutU8(static_cast<std::uint8_t>(JournalRecordType::kRegister), out);
+  wire::PutU8(static_cast<std::uint8_t>(JournalRecordType::kRegister), out);
   const Status st = PutQuery(query, out);
   if (!st.ok()) out->resize(mark);
   return st;
 }
 
 void EncodeUnregisterBody(QueryId id, std::string* out) {
-  PutU8(static_cast<std::uint8_t>(JournalRecordType::kUnregister), out);
-  PutU32(id, out);
+  wire::PutU8(static_cast<std::uint8_t>(JournalRecordType::kUnregister),
+              out);
+  wire::PutU32(id, out);
 }
 
 Status EncodeSnapshotBody(const JournalSnapshot& snapshot, std::string* out) {
   const std::size_t mark = out->size();
-  PutU8(static_cast<std::uint8_t>(JournalRecordType::kSnapshot), out);
-  PutI64(snapshot.last_cycle_ts, out);
-  PutU64(snapshot.next_record_id, out);
-  PutU64(snapshot.next_query_id, out);
-  PutU32(static_cast<std::uint32_t>(snapshot.live_queries.size()), out);
+  wire::PutU8(static_cast<std::uint8_t>(JournalRecordType::kSnapshot), out);
+  wire::PutI64(snapshot.last_cycle_ts, out);
+  wire::PutU64(snapshot.next_record_id, out);
+  wire::PutU64(snapshot.next_query_id, out);
+  wire::PutU32(static_cast<std::uint32_t>(snapshot.live_queries.size()),
+               out);
   for (const JournaledQuery& q : snapshot.live_queries) {
     const Status st = PutQuery(q, out);
     if (!st.ok()) {
@@ -491,19 +169,19 @@ Status EncodeSnapshotBody(const JournalSnapshot& snapshot, std::string* out) {
   }
   std::size_t bytes = out->size() + 8;
   if (!snapshot.window.empty()) {
-    bytes += RecordSpanMaxBytes(snapshot.window.size(),
-                                snapshot.window[0].position.dim());
+    bytes += wire::RecordSpanMaxBytes(snapshot.window.size(),
+                                      snapshot.window[0].position.dim());
   }
   out->reserve(bytes);
-  PutU64(snapshot.window.size(), out);
+  wire::PutU64(snapshot.window.size(), out);
   if (!snapshot.window.empty()) {
-    PutRecordSpan(snapshot.window.data(), snapshot.window.size(), out);
+    wire::PutRecordSpan(snapshot.window.data(), snapshot.window.size(), out);
   }
   return Status::Ok();
 }
 
 Status DecodeSegmentHeader(const char* data, std::size_t n) {
-  ByteReader in(data, n);
+  wire::ByteReader in(data, n);
   const std::uint64_t magic = in.GetU64();
   const std::uint32_t version = in.GetU32();
   in.GetU32();  // reserved
@@ -520,7 +198,7 @@ Status DecodeSegmentHeader(const char* data, std::size_t n) {
 }
 
 Status DecodeBody(const char* data, std::size_t n, JournalRecord* out) {
-  ByteReader in(data, n);
+  wire::ByteReader in(data, n);
   const std::uint8_t type = in.GetU8();
   if (!in.ok()) return Status::InvalidArgument("empty record body");
   switch (static_cast<JournalRecordType>(type)) {
@@ -531,7 +209,7 @@ Status DecodeBody(const char* data, std::size_t n, JournalRecord* out) {
       if (!in.ok()) return Status::InvalidArgument("truncated cycle header");
       out->batch.clear();
       if (count > 0) {
-        TOPKMON_RETURN_IF_ERROR(GetRecordSpan(in, count, &out->batch));
+        TOPKMON_RETURN_IF_ERROR(wire::GetRecordSpan(in, count, &out->batch));
       }
       if (!in.ok() || in.remaining() != 0) {
         return Status::InvalidArgument("malformed cycle batch");
@@ -576,7 +254,8 @@ Status DecodeBody(const char* data, std::size_t n, JournalRecord* out) {
       }
       snap.window.clear();
       if (count > 0) {
-        TOPKMON_RETURN_IF_ERROR(GetRecordSpan(in, count, &snap.window));
+        TOPKMON_RETURN_IF_ERROR(
+            wire::GetRecordSpan(in, count, &snap.window));
       }
       if (!in.ok() || in.remaining() != 0) {
         return Status::InvalidArgument("malformed snapshot window");

@@ -1,0 +1,257 @@
+#include "journal/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/geometry.h"
+
+namespace topkmon {
+namespace wire {
+
+void PutU8(std::uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::uint16_t v, std::string* out) {
+  char b[2];
+  for (int i = 0; i < 2; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out->append(b, 2);
+}
+
+void PutU32(std::uint32_t v, std::string* out) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out->append(b, 4);
+}
+
+void PutU64(std::uint64_t v, std::string* out) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out->append(b, 8);
+}
+
+void PutI64(std::int64_t v, std::string* out) {
+  PutU64(static_cast<std::uint64_t>(v), out);
+}
+
+void PutF64(double v, std::string* out) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+void PutPoint(const Point& p, std::string* out) {
+  PutU8(static_cast<std::uint8_t>(p.dim()), out);
+  for (int i = 0; i < p.dim(); ++i) PutF64(p[i], out);
+}
+
+void PutUvarint(std::uint64_t v, std::string* out) {
+  char b[10];
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    b[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  b[n++] = static_cast<char>(v);
+  out->append(b, n);
+}
+
+void PutString(const std::string& s, std::string* out) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+  PutU16(static_cast<std::uint16_t>(n), out);
+  out->append(s.data(), n);
+}
+
+std::size_t RecordSpanMaxBytes(std::size_t count, int dim) {
+  return 1 + 8 + 8 + count * (10 + 10 + static_cast<std::size_t>(dim) * 8);
+}
+
+void PutRecordSpan(const Record* records, std::size_t count,
+                   std::string* out) {
+  const int dim = records[0].position.dim();
+  PutU8(static_cast<std::uint8_t>(dim), out);
+  PutU64(records[0].id, out);
+  PutI64(records[0].arrival, out);
+  RecordId prev_id = records[0].id;
+  Timestamp prev_arrival = records[0].arrival;
+  const std::size_t coord_bytes = static_cast<std::size_t>(dim) * 8;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Record& r = records[i];
+    PutUvarint(r.id - prev_id, out);
+    PutUvarint(static_cast<std::uint64_t>(r.arrival - prev_arrival), out);
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    out->append(reinterpret_cast<const char*>(r.position.data()),
+                coord_bytes);
+#else
+    for (int d = 0; d < dim; ++d) PutF64(r.position[d], out);
+#endif
+    prev_id = r.id;
+    prev_arrival = r.arrival;
+  }
+  (void)coord_bytes;
+}
+
+namespace {
+
+// Scoring-function family tags (wire values; see docs/JOURNAL_FORMAT.md
+// and docs/PROTOCOL.md — both formats share this encoding).
+constexpr std::uint8_t kFnLinear = 1;
+constexpr std::uint8_t kFnProduct = 2;
+constexpr std::uint8_t kFnSumOfSquares = 3;
+
+}  // namespace
+
+Status PutFunction(const ScoringFunction& fn, std::string* out) {
+  if (const auto* linear = dynamic_cast<const LinearFunction*>(&fn)) {
+    PutU8(kFnLinear, out);
+    PutU8(static_cast<std::uint8_t>(linear->dim()), out);
+    for (double w : linear->weights()) PutF64(w, out);
+    PutF64(linear->bias(), out);
+    return Status::Ok();
+  }
+  if (const auto* product = dynamic_cast<const ProductFunction*>(&fn)) {
+    PutU8(kFnProduct, out);
+    PutU8(static_cast<std::uint8_t>(product->dim()), out);
+    for (double a : product->offsets()) PutF64(a, out);
+    return Status::Ok();
+  }
+  if (const auto* squares = dynamic_cast<const SumOfSquaresFunction*>(&fn)) {
+    PutU8(kFnSumOfSquares, out);
+    PutU8(static_cast<std::uint8_t>(squares->dim()), out);
+    for (double a : squares->coeffs()) PutF64(a, out);
+    return Status::Ok();
+  }
+  return Status::Unimplemented(
+      "scoring function '" + fn.ToString() +
+      "' has no wire encoding (only the linear / product / "
+      "sum-of-squares families are encodable)");
+}
+
+Status PutQuerySpec(const QuerySpec& spec, std::string* out) {
+  PutU32(spec.id, out);
+  PutU32(static_cast<std::uint32_t>(spec.k), out);
+  if (spec.function == nullptr) {
+    return Status::InvalidArgument("query spec has no scoring function");
+  }
+  TOPKMON_RETURN_IF_ERROR(PutFunction(*spec.function, out));
+  PutU8(spec.constraint.has_value() ? 1 : 0, out);
+  if (spec.constraint.has_value()) {
+    PutPoint(spec.constraint->lo(), out);
+    PutPoint(spec.constraint->hi(), out);
+  }
+  return Status::Ok();
+}
+
+double ByteReader::GetF64() {
+  const std::uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Point ByteReader::GetPoint() {
+  const int dim = GetU8();
+  if (dim < 1 || dim > kMaxDims) {
+    ok_ = false;
+    return Point();
+  }
+  Point p(dim);
+  for (int i = 0; i < dim; ++i) p[i] = GetF64();
+  return p;
+}
+
+Status GetRecordSpan(ByteReader& in, std::uint64_t count,
+                     std::vector<Record>* out) {
+  const int dim = in.GetU8();
+  if (!in.ok() || dim < 1 || dim > kMaxDims) {
+    return Status::InvalidArgument("bad record-span dimensionality");
+  }
+  // Each entry is at least 2 varint bytes + dim coordinates.
+  const std::size_t min_entry = 2 + static_cast<std::size_t>(dim) * 8;
+  if (count > in.remaining() / min_entry + 1) {
+    return Status::InvalidArgument("record count exceeds body size");
+  }
+  RecordId prev_id = in.GetU64();
+  Timestamp prev_arrival = in.GetI64();
+  out->reserve(out->size() + count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id_delta = in.GetUvarint();
+    const std::uint64_t arrival_delta = in.GetUvarint();
+    if (i > 0 && id_delta == 0) {
+      return Status::InvalidArgument("non-increasing record id in span");
+    }
+    Point p(dim);
+    for (int d = 0; d < dim; ++d) p[d] = in.GetF64();
+    if (!in.ok()) return Status::InvalidArgument("truncated record span");
+    prev_id += id_delta;
+    // Unsigned accumulation: deltas are attacker-controlled when this
+    // decodes network bytes, and signed overflow would be UB. Wraparound
+    // is well-defined here; semantic bounds are the caller's policy
+    // (the TCP server range-checks arrivals before admitting tuples).
+    prev_arrival = static_cast<Timestamp>(
+        static_cast<std::uint64_t>(prev_arrival) + arrival_delta);
+    out->emplace_back(prev_id, std::move(p), prev_arrival);
+  }
+  return Status::Ok();
+}
+
+Status GetFunction(ByteReader& in,
+                   std::shared_ptr<const ScoringFunction>* out) {
+  const std::uint8_t family = in.GetU8();
+  const int dim = in.GetU8();
+  if (!in.ok() || dim < 1 || dim > kMaxDims) {
+    return Status::InvalidArgument("malformed scoring function header");
+  }
+  std::vector<double> coeffs(static_cast<std::size_t>(dim));
+  for (double& c : coeffs) c = in.GetF64();
+  if (!in.ok()) {
+    return Status::InvalidArgument("truncated scoring function");
+  }
+  switch (family) {
+    case kFnLinear: {
+      const double bias = in.GetF64();
+      if (!in.ok()) {
+        return Status::InvalidArgument("truncated linear function bias");
+      }
+      *out = std::make_shared<LinearFunction>(std::move(coeffs), bias);
+      return Status::Ok();
+    }
+    case kFnProduct:
+      *out = std::make_shared<ProductFunction>(std::move(coeffs));
+      return Status::Ok();
+    case kFnSumOfSquares:
+      *out = std::make_shared<SumOfSquaresFunction>(std::move(coeffs));
+      return Status::Ok();
+    default:
+      return Status::InvalidArgument("unknown scoring-function family tag " +
+                                     std::to_string(family));
+  }
+}
+
+Status GetQuerySpec(ByteReader& in, QuerySpec* out) {
+  out->id = in.GetU32();
+  out->k = static_cast<int>(in.GetU32());
+  TOPKMON_RETURN_IF_ERROR(GetFunction(in, &out->function));
+  const std::uint8_t has_constraint = in.GetU8();
+  if (has_constraint == 1) {
+    const Point lo = in.GetPoint();
+    const Point hi = in.GetPoint();
+    if (!in.ok() || lo.dim() != hi.dim()) {
+      return Status::InvalidArgument("malformed constraint rectangle");
+    }
+    for (int i = 0; i < lo.dim(); ++i) {
+      if (lo[i] > hi[i]) {
+        return Status::InvalidArgument("inverted constraint rectangle");
+      }
+    }
+    out->constraint = Rect(lo, hi);
+  } else if (has_constraint != 0) {
+    return Status::InvalidArgument("bad constraint presence byte");
+  }
+  if (!in.ok()) return Status::InvalidArgument("truncated query spec");
+  return Status::Ok();
+}
+
+}  // namespace wire
+}  // namespace topkmon

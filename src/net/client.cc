@@ -1,0 +1,266 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace topkmon {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SetSendTimeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MonitorClient>> MonitorClient::Connect(
+    const std::string& host, std::uint16_t port, const std::string& label,
+    bool resume, const NetClientOptions& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve it (e.g. "localhost").
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &found) != 0 ||
+        found == nullptr) {
+      return Status::InvalidArgument("cannot resolve host '" + host + "'");
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+    ::freeaddrinfo(found);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status st = Errno("connect to " + host + ":" +
+                            std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetRecvTimeout(fd, options.io_timeout);
+  // Sends time out too: a wedged server with a full socket buffer must
+  // surface as an error (the send path then poisons the connection),
+  // never as an indefinite hang inside a batched Ingest.
+  SetSendTimeout(fd, options.io_timeout);
+
+  std::unique_ptr<MonitorClient> client(new MonitorClient(fd, options));
+  std::string body;
+  EncodeHello(resume, label, &body);
+  auto welcome = client->RoundTrip(body, NetMessageType::kWelcome);
+  if (!welcome.ok()) return welcome.status();
+  client->session_ = welcome->session;
+  client->resumed_ = welcome->resumed;
+  return client;
+}
+
+MonitorClient::~MonitorClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status MonitorClient::SendFrame(const std::string& body) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  std::string frame;
+  frame.reserve(kNetFrameHeaderBytes + body.size());
+  EncodeNetFrame(body, &frame);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // A failed (possibly partial) send poisons the connection, same as
+    // a failed read: retrying another request would splice its frame
+    // into the middle of this one and desync the stream.
+    const Status st = Errno("send");
+    ::close(fd_);
+    fd_ = -1;
+    inbuf_.clear();
+    return st;
+  }
+  return Status::Ok();
+}
+
+Result<NetMessage> MonitorClient::RecvMessage(
+    std::chrono::milliseconds extra_wait) {
+  if (extra_wait.count() > 0) {
+    SetRecvTimeout(fd_, options_.io_timeout + extra_wait);
+  }
+  char buf[65536];
+  while (true) {
+    const char* body = nullptr;
+    std::size_t body_len = 0;
+    std::size_t consumed = 0;
+    Status error;
+    const FrameParse parse =
+        TryParseNetFrame(inbuf_.data(), inbuf_.size(), kMaxNetFrameBytes,
+                         &body, &body_len, &consumed, &error);
+    if (parse == FrameParse::kBad) {
+      // After a framing error the stream cannot be re-synchronized.
+      ::close(fd_);
+      fd_ = -1;
+      inbuf_.clear();
+      return Status(error.code(), "server frame rejected: " +
+                                      error.message());
+    }
+    if (parse == FrameParse::kFrame) {
+      NetMessage msg;
+      const Status st = DecodeNetBody(body, body_len, &msg);
+      inbuf_.erase(0, consumed);
+      if (extra_wait.count() > 0) SetRecvTimeout(fd_, options_.io_timeout);
+      if (!st.ok()) return st;
+      return msg;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Any failed read poisons the connection: with a request already on
+    // the wire, a later retry would otherwise consume *this* request's
+    // late response as its own and desync the dialog permanently.
+    const Status st = n == 0
+                          ? Status::FailedPrecondition(
+                                "server closed the connection")
+                          : (errno == EAGAIN || errno == EWOULDBLOCK)
+                                ? Status::FailedPrecondition(
+                                      "timed out waiting for the server")
+                                : Errno("recv");
+    ::close(fd_);
+    fd_ = -1;
+    inbuf_.clear();
+    return st;
+  }
+}
+
+Result<NetMessage> MonitorClient::RoundTrip(
+    const std::string& body, NetMessageType want,
+    std::chrono::milliseconds extra_wait) {
+  TOPKMON_RETURN_IF_ERROR(SendFrame(body));
+  Result<NetMessage> response = RecvMessage(extra_wait);
+  if (!response.ok()) return response.status();
+  if (response->type == NetMessageType::kError) {
+    return Status(response->code, response->message);
+  }
+  if (response->type != want) {
+    return Status::Internal(
+        "unexpected response type " +
+        std::to_string(static_cast<int>(response->type)) + " (wanted " +
+        std::to_string(static_cast<int>(want)) + ")");
+  }
+  return response;
+}
+
+Result<MonitorClient::IngestAck> MonitorClient::Ingest(
+    std::vector<Record> tuples) {
+  if (tuples.empty()) return IngestAck{};
+  const int dim = tuples[0].position.dim();
+  for (const Record& r : tuples) {
+    if (r.position.dim() != dim) {
+      return Status::InvalidArgument(
+          "ingest batch mixes dimensionalities");
+    }
+  }
+  // The span encoding needs non-decreasing arrivals and strictly
+  // increasing ids; arrival order with a 0..n-1 ramp satisfies both.
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    tuples[i].id = static_cast<RecordId>(i);
+  }
+  std::string body;
+  EncodeIngest(tuples, &body);
+  auto ack = RoundTrip(body, NetMessageType::kIngestAck);
+  if (!ack.ok()) return ack.status();
+  IngestAck out;
+  out.accepted = ack->accepted;
+  out.rejected = ack->rejected;
+  if (ack->code != StatusCode::kOk) {
+    out.first_error = Status(ack->code, ack->message);
+  }
+  return out;
+}
+
+Result<QueryId> MonitorClient::Register(const QuerySpec& spec) {
+  std::string body;
+  TOPKMON_RETURN_IF_ERROR(EncodeRegister(spec, &body));
+  auto ack = RoundTrip(body, NetMessageType::kRegisterAck);
+  if (!ack.ok()) return ack.status();
+  return ack->query;
+}
+
+Status MonitorClient::Unregister(QueryId query) {
+  std::string body;
+  EncodeUnregister(query, &body);
+  return RoundTrip(body, NetMessageType::kUnregisterAck).status();
+}
+
+Result<std::vector<ResultEntry>> MonitorClient::CurrentResult(
+    QueryId query) {
+  std::string body;
+  EncodeSnapshotRequest(query, &body);
+  auto result = RoundTrip(body, NetMessageType::kSnapshotResult);
+  if (!result.ok()) return result.status();
+  return std::move(result->entries);
+}
+
+Result<std::vector<DeltaEvent>> MonitorClient::PollDeltas(
+    std::uint32_t max_events, std::chrono::milliseconds timeout) {
+  std::string body;
+  EncodePoll(max_events,
+             static_cast<std::uint32_t>(std::max<std::int64_t>(
+                 0, std::min<std::int64_t>(timeout.count(), 0xFFFFFFFF))),
+             &body);
+  auto deltas = RoundTrip(body, NetMessageType::kDeltas, timeout);
+  if (!deltas.ok()) return deltas.status();
+  for (const DeltaEvent& e : deltas->events) {
+    last_seq_ = std::max(last_seq_, e.seq);
+  }
+  return std::move(deltas->events);
+}
+
+Status MonitorClient::Close(bool close_session) {
+  if (fd_ < 0) return Status::Ok();
+  std::string body;
+  EncodeClose(close_session, &body);
+  const Status st = RoundTrip(body, NetMessageType::kCloseAck).status();
+  ::close(fd_);
+  fd_ = -1;
+  return st;
+}
+
+}  // namespace topkmon

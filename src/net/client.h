@@ -1,0 +1,130 @@
+// Blocking C++ client for the topkmon binary TCP protocol.
+//
+// One MonitorClient is one connection plus the session the Hello
+// handshake bound it to. The API mirrors the slice of MonitorService a
+// remote client is allowed to drive — batched ingest, query
+// registration, snapshot reads and long-polled delta subscriptions —
+// with every call a strict send-one-frame / read-one-frame round trip
+// (an Error response decodes back into the Status the service returned,
+// so remote calls fail with the same codes local ones do).
+//
+// Reconnect/resume: a client constructed with resume=true adopts the
+// oldest open session with its label, whose subscription buffer kept
+// accumulating sequence-numbered deltas while the client was away —
+// polling simply continues where the previous connection stopped, with
+// the sequence numbers proving the stream is gap-free (last_seq() is
+// maintained across calls for exactly that check).
+//
+// Thread model: a MonitorClient is NOT thread-safe; use one per thread
+// (connections are cheap, and the server multiplexes them all onto one
+// poll loop). Blocking reads carry a socket receive timeout
+// (NetClientOptions::io_timeout, applied on top of any long-poll
+// timeout) so a dead server surfaces as an error, not a hang.
+
+#ifndef TOPKMON_NET_CLIENT_H_
+#define TOPKMON_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/subscription_hub.h"
+
+namespace topkmon {
+
+struct NetClientOptions {
+  /// Per-read *and* per-send socket timeout beyond which the connection
+  /// is declared dead (and poisoned — no call can desync the dialog
+  /// afterwards). Long polls extend the read side by their own timeout
+  /// automatically.
+  std::chrono::milliseconds io_timeout{30000};
+};
+
+class MonitorClient {
+ public:
+  /// Connects, performs the Hello/Welcome handshake, and returns a
+  /// client bound to a session. With resume=true an existing session
+  /// with this label is adopted if the server has one (resumed() tells
+  /// which happened).
+  static Result<std::unique_ptr<MonitorClient>> Connect(
+      const std::string& host, std::uint16_t port, const std::string& label,
+      bool resume = true, const NetClientOptions& options = {});
+
+  /// Closes the socket. The session stays open server-side (resume
+  /// depends on it); call Close(true) first to release it explicitly.
+  ~MonitorClient();
+
+  MonitorClient(const MonitorClient&) = delete;
+  MonitorClient& operator=(const MonitorClient&) = delete;
+
+  SessionId session() const { return session_; }
+  bool resumed() const { return resumed_; }
+
+  /// Per-batch ingest outcome. A batch is not transactional: tuples are
+  /// admitted individually, so some may be accepted and others refused
+  /// (rate limit, validation); first_error carries the first refusal.
+  struct IngestAck {
+    std::uint32_t accepted = 0;
+    std::uint32_t rejected = 0;
+    Status first_error;
+  };
+
+  /// Ships one batch of (position, arrival) tuples. Record ids in
+  /// `tuples` are ignored: the batch is stably sorted by arrival and
+  /// re-identified with the 0..n-1 ramp the span encoding needs; the
+  /// service assigns real record ids at admission. An empty batch is a
+  /// no-op Ok.
+  Result<IngestAck> Ingest(std::vector<Record> tuples);
+
+  /// Registers a continuous query (spec.id is ignored) and returns the
+  /// service-assigned id. Deltas for it flow into this session's
+  /// subscription, starting with the initial result.
+  Result<QueryId> Register(const QuerySpec& spec);
+
+  Status Unregister(QueryId query);
+
+  /// Snapshot read of a query's current top-k.
+  Result<std::vector<ResultEntry>> CurrentResult(QueryId query);
+
+  /// Long-polls the session's delta subscription: blocks server-side
+  /// until events arrive or `timeout` expires (empty result = timeout).
+  /// max_events==0 lets the server pick its cap.
+  Result<std::vector<DeltaEvent>> PollDeltas(
+      std::uint32_t max_events, std::chrono::milliseconds timeout);
+
+  /// Highest delta sequence number seen by PollDeltas on this client.
+  std::uint64_t last_seq() const { return last_seq_; }
+
+  /// Graceful goodbye; with close_session the server also closes the
+  /// session (releasing its queries and delta buffer — no resume after
+  /// this). The socket is closed either way.
+  Status Close(bool close_session = false);
+
+ private:
+  MonitorClient(int fd, const NetClientOptions& options)
+      : fd_(fd), options_(options) {}
+
+  Status SendFrame(const std::string& body);
+  /// Reads exactly one frame and decodes it. `extra_wait` widens the
+  /// socket timeout for long polls.
+  Result<NetMessage> RecvMessage(std::chrono::milliseconds extra_wait);
+  /// Send + receive; kError responses become their carried Status, any
+  /// type other than `want` is an Internal error.
+  Result<NetMessage> RoundTrip(const std::string& body, NetMessageType want,
+                               std::chrono::milliseconds extra_wait =
+                                   std::chrono::milliseconds(0));
+
+  int fd_ = -1;
+  const NetClientOptions options_;
+  SessionId session_ = 0;
+  bool resumed_ = false;
+  std::uint64_t last_seq_ = 0;
+  std::string inbuf_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_NET_CLIENT_H_

@@ -1,0 +1,323 @@
+#include "net/protocol.h"
+
+#include "journal/format.h"
+#include "journal/wire.h"
+
+namespace topkmon {
+namespace {
+
+using wire::ByteReader;
+
+void PutType(NetMessageType type, std::string* out) {
+  wire::PutU8(static_cast<std::uint8_t>(type), out);
+}
+
+void PutEntries(const std::vector<ResultEntry>& entries, std::string* out) {
+  wire::PutU32(static_cast<std::uint32_t>(entries.size()), out);
+  for (const ResultEntry& e : entries) {
+    wire::PutU64(e.id, out);
+    wire::PutF64(e.score, out);
+  }
+}
+
+/// One result entry costs 16 bytes; a count prefix that promises more
+/// entries than the remaining bytes could hold is a malformed message,
+/// not an allocation request.
+Status GetEntries(ByteReader& in, std::vector<ResultEntry>* out) {
+  const std::uint32_t count = in.GetU32();
+  if (!in.ok() || count > in.remaining() / 16) {
+    return Status::InvalidArgument("entry count exceeds body size");
+  }
+  out->reserve(out->size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ResultEntry e;
+    e.id = in.GetU64();
+    e.score = in.GetF64();
+    out->push_back(e);
+  }
+  if (!in.ok()) return Status::InvalidArgument("truncated entry list");
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint8_t NetEncodeStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kAlreadyExists: return 3;
+    case StatusCode::kOutOfRange: return 4;
+    case StatusCode::kFailedPrecondition: return 5;
+    case StatusCode::kUnimplemented: return 6;
+    case StatusCode::kInternal: return 7;
+  }
+  return 7;
+}
+
+StatusCode NetDecodeStatusCode(std::uint8_t wire_value) {
+  switch (wire_value) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kAlreadyExists;
+    case 4: return StatusCode::kOutOfRange;
+    case 5: return StatusCode::kFailedPrecondition;
+    case 6: return StatusCode::kUnimplemented;
+    default: return StatusCode::kInternal;
+  }
+}
+
+void EncodeHello(bool resume, const std::string& label, std::string* out) {
+  PutType(NetMessageType::kHello, out);
+  wire::PutU32(kNetMagic, out);
+  wire::PutU32(kNetProtocolVersion, out);
+  wire::PutU8(resume ? 1 : 0, out);
+  wire::PutString(label, out);
+}
+
+void EncodeWelcome(SessionId session, bool resumed, std::string* out) {
+  PutType(NetMessageType::kWelcome, out);
+  wire::PutU64(session, out);
+  wire::PutU8(resumed ? 1 : 0, out);
+  wire::PutU32(kNetProtocolVersion, out);
+}
+
+void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
+  std::size_t bytes = out->size() + 1 + 4;
+  if (!tuples.empty()) {
+    bytes +=
+        wire::RecordSpanMaxBytes(tuples.size(), tuples[0].position.dim());
+  }
+  out->reserve(bytes);
+  PutType(NetMessageType::kIngest, out);
+  wire::PutU32(static_cast<std::uint32_t>(tuples.size()), out);
+  if (!tuples.empty()) {
+    wire::PutRecordSpan(tuples.data(), tuples.size(), out);
+  }
+}
+
+void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
+                     const Status& first_error, std::string* out) {
+  PutType(NetMessageType::kIngestAck, out);
+  wire::PutU32(accepted, out);
+  wire::PutU32(rejected, out);
+  wire::PutU8(NetEncodeStatusCode(first_error.code()), out);
+  wire::PutString(first_error.message(), out);
+}
+
+Status EncodeRegister(const QuerySpec& spec, std::string* out) {
+  const std::size_t mark = out->size();
+  PutType(NetMessageType::kRegister, out);
+  const Status st = wire::PutQuerySpec(spec, out);
+  if (!st.ok()) out->resize(mark);
+  return st;
+}
+
+void EncodeRegisterAck(QueryId query, std::string* out) {
+  PutType(NetMessageType::kRegisterAck, out);
+  wire::PutU32(query, out);
+}
+
+void EncodeUnregister(QueryId query, std::string* out) {
+  PutType(NetMessageType::kUnregister, out);
+  wire::PutU32(query, out);
+}
+
+void EncodeUnregisterAck(std::string* out) {
+  PutType(NetMessageType::kUnregisterAck, out);
+}
+
+void EncodeSnapshotRequest(QueryId query, std::string* out) {
+  PutType(NetMessageType::kSnapshot, out);
+  wire::PutU32(query, out);
+}
+
+void EncodeSnapshotResult(const std::vector<ResultEntry>& entries,
+                          std::string* out) {
+  PutType(NetMessageType::kSnapshotResult, out);
+  PutEntries(entries, out);
+}
+
+void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
+                std::string* out) {
+  PutType(NetMessageType::kPoll, out);
+  wire::PutU32(max_events, out);
+  wire::PutU32(timeout_ms, out);
+}
+
+void EncodeDeltas(const std::vector<DeltaEvent>& events, std::string* out) {
+  PutType(NetMessageType::kDeltas, out);
+  wire::PutU32(static_cast<std::uint32_t>(events.size()), out);
+  for (const DeltaEvent& e : events) {
+    wire::PutU64(e.seq, out);
+    wire::PutU32(e.delta.query, out);
+    wire::PutI64(e.delta.when, out);
+    PutEntries(e.delta.added, out);
+    PutEntries(e.delta.removed, out);
+  }
+}
+
+void EncodeClose(bool close_session, std::string* out) {
+  PutType(NetMessageType::kClose, out);
+  wire::PutU8(close_session ? 1 : 0, out);
+}
+
+void EncodeCloseAck(std::string* out) {
+  PutType(NetMessageType::kCloseAck, out);
+}
+
+void EncodeError(const Status& status, std::string* out) {
+  PutType(NetMessageType::kError, out);
+  wire::PutU8(NetEncodeStatusCode(status.code()), out);
+  wire::PutString(status.message(), out);
+}
+
+void EncodeNetFrame(const std::string& body, std::string* out) {
+  wire::PutU32(static_cast<std::uint32_t>(body.size()), out);
+  wire::PutU32(Crc32(body.data(), body.size()), out);
+  out->append(body);
+}
+
+Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
+  ByteReader in(data, n);
+  const std::uint8_t type = in.GetU8();
+  if (!in.ok()) return Status::InvalidArgument("empty message body");
+  // Trailing bytes after a well-formed payload are a dialect mismatch;
+  // every case below ends by falling through to this check.
+  auto done = [&in]() -> Status {
+    if (!in.ok() || in.remaining() != 0) {
+      return Status::InvalidArgument("malformed message payload");
+    }
+    return Status::Ok();
+  };
+  switch (static_cast<NetMessageType>(type)) {
+    case NetMessageType::kHello:
+      out->type = NetMessageType::kHello;
+      out->magic = in.GetU32();
+      out->version = in.GetU32();
+      out->resume = in.GetU8() == 1;
+      out->label = in.GetString();
+      return done();
+    case NetMessageType::kWelcome:
+      out->type = NetMessageType::kWelcome;
+      out->session = in.GetU64();
+      out->resumed = in.GetU8() == 1;
+      out->version = in.GetU32();
+      return done();
+    case NetMessageType::kIngest: {
+      out->type = NetMessageType::kIngest;
+      const std::uint32_t count = in.GetU32();
+      if (!in.ok()) return Status::InvalidArgument("truncated ingest header");
+      out->tuples.clear();
+      if (count > 0) {
+        TOPKMON_RETURN_IF_ERROR(
+            wire::GetRecordSpan(in, count, &out->tuples));
+      }
+      return done();
+    }
+    case NetMessageType::kIngestAck:
+      out->type = NetMessageType::kIngestAck;
+      out->accepted = in.GetU32();
+      out->rejected = in.GetU32();
+      out->code = NetDecodeStatusCode(in.GetU8());
+      out->message = in.GetString();
+      return done();
+    case NetMessageType::kRegister:
+      out->type = NetMessageType::kRegister;
+      TOPKMON_RETURN_IF_ERROR(wire::GetQuerySpec(in, &out->spec));
+      return done();
+    case NetMessageType::kRegisterAck:
+      out->type = NetMessageType::kRegisterAck;
+      out->query = in.GetU32();
+      return done();
+    case NetMessageType::kUnregister:
+      out->type = NetMessageType::kUnregister;
+      out->query = in.GetU32();
+      return done();
+    case NetMessageType::kUnregisterAck:
+      out->type = NetMessageType::kUnregisterAck;
+      return done();
+    case NetMessageType::kSnapshot:
+      out->type = NetMessageType::kSnapshot;
+      out->query = in.GetU32();
+      return done();
+    case NetMessageType::kSnapshotResult:
+      out->type = NetMessageType::kSnapshotResult;
+      out->entries.clear();
+      TOPKMON_RETURN_IF_ERROR(GetEntries(in, &out->entries));
+      return done();
+    case NetMessageType::kPoll:
+      out->type = NetMessageType::kPoll;
+      out->max_events = in.GetU32();
+      out->timeout_ms = in.GetU32();
+      return done();
+    case NetMessageType::kDeltas: {
+      out->type = NetMessageType::kDeltas;
+      const std::uint32_t count = in.GetU32();
+      // An event is at least seq + query + when + two empty entry lists.
+      if (!in.ok() || count > in.remaining() / 28) {
+        return Status::InvalidArgument("event count exceeds body size");
+      }
+      out->events.clear();
+      out->events.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        DeltaEvent e;
+        e.seq = in.GetU64();
+        e.delta.query = in.GetU32();
+        e.delta.when = in.GetI64();
+        TOPKMON_RETURN_IF_ERROR(GetEntries(in, &e.delta.added));
+        TOPKMON_RETURN_IF_ERROR(GetEntries(in, &e.delta.removed));
+        out->events.push_back(std::move(e));
+      }
+      return done();
+    }
+    case NetMessageType::kClose: {
+      out->type = NetMessageType::kClose;
+      const std::uint8_t flag = in.GetU8();
+      if (flag > 1) {
+        return Status::InvalidArgument("bad close-session flag");
+      }
+      out->close_session = flag == 1;
+      return done();
+    }
+    case NetMessageType::kCloseAck:
+      out->type = NetMessageType::kCloseAck;
+      return done();
+    case NetMessageType::kError:
+      out->type = NetMessageType::kError;
+      out->code = NetDecodeStatusCode(in.GetU8());
+      out->message = in.GetString();
+      return done();
+  }
+  return Status::InvalidArgument("unknown message type " +
+                                 std::to_string(type));
+}
+
+FrameParse TryParseNetFrame(const char* data, std::size_t n,
+                            std::size_t max_body, const char** body,
+                            std::size_t* body_len, std::size_t* consumed,
+                            Status* error) {
+  if (n < kNetFrameHeaderBytes) return FrameParse::kNeedMore;
+  ByteReader in(data, n);
+  const std::uint32_t len = in.GetU32();
+  const std::uint32_t crc = in.GetU32();
+  if (len > max_body) {
+    *error = Status::InvalidArgument(
+        "frame length " + std::to_string(len) + " exceeds the " +
+        std::to_string(max_body) + "-byte limit");
+    return FrameParse::kBad;
+  }
+  if (n - kNetFrameHeaderBytes < len) return FrameParse::kNeedMore;
+  const char* payload = data + kNetFrameHeaderBytes;
+  if (Crc32(payload, len) != crc) {
+    *error = Status::InvalidArgument("frame CRC mismatch");
+    return FrameParse::kBad;
+  }
+  *body = payload;
+  *body_len = len;
+  *consumed = kNetFrameHeaderBytes + len;
+  return FrameParse::kFrame;
+}
+
+}  // namespace topkmon

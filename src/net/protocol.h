@@ -1,0 +1,202 @@
+// Wire format of the binary TCP protocol in front of MonitorService.
+//
+// The protocol is a framed request/response dialog designed for batched
+// ingest from day one: the ingest message reuses the journal's
+// delta-compressed record-span encoding (src/journal/wire.h), so a batch
+// of stream tuples costs ~2 + 8·dim bytes per tuple on the wire — the
+// same bytes the server would journal. The byte-level layout is
+// specified in docs/PROTOCOL.md, kept in lockstep with this header by CI
+// (tools/check_docs.py fails when kNetProtocolVersion diverges).
+//
+// Layout summary (all integers little-endian, fixed width):
+//   frame := body_len:u32 crc32c(body):u32 body
+//   body  := type:u8 payload
+// Each direction of a connection is a plain stream of frames; there is
+// no stream-level header. Versioning rides in the Hello/Welcome exchange
+// that must open every connection: the client's Hello carries a protocol
+// magic + version, the server's Welcome answers with the session it
+// bound. After the handshake the client sends one request frame at a
+// time and reads exactly one response frame per request (the long-poll
+// request blocks server-side until deltas arrive or the poll times out).
+//
+// Session model: Hello carries a client-chosen label. With the resume
+// flag set, the server first tries to adopt the oldest open session with
+// that label (MonitorService::FindSession) — the same label adoption the
+// journal recovery path uses — so a reconnecting client keeps its
+// session's queries and its gap-free, sequence-numbered delta buffer.
+// Connections do NOT close their session on disconnect (that is what
+// makes resume work); an explicit Close request with the close-session
+// flag releases it.
+
+#ifndef TOPKMON_NET_PROTOCOL_H_
+#define TOPKMON_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "service/subscription_hub.h"
+
+namespace topkmon {
+
+/// First four bytes of every Hello payload: "TKMP" in wire order.
+inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
+
+/// Version of the message encodings below. Bump on any incompatible
+/// layout change and document the migration in docs/PROTOCOL.md (CI
+/// checks that the spec's version matches this constant).
+inline constexpr std::uint32_t kNetProtocolVersion = 1;
+
+/// Bytes of a frame prologue (body_len + crc32c).
+inline constexpr std::size_t kNetFrameHeaderBytes = 8;
+
+/// Upper bound on one frame body; a length prefix beyond this is treated
+/// as a protocol violation rather than an allocation request.
+inline constexpr std::uint32_t kMaxNetFrameBytes = 1u << 24;
+
+/// Admissible arrival-timestamp range for wire ingest. Timestamps are
+/// client-supplied, and the service's reordering frontier is shared
+/// state: an absurd arrival (say INT64_MAX) would drag the frontier
+/// forward for *every* session and overflow slack arithmetic. The
+/// server rejects out-of-range tuples per record (OutOfRange in the
+/// IngestAck) instead of admitting them.
+inline constexpr Timestamp kMaxWireArrival = Timestamp{1} << 62;
+
+/// Frame body type tags. Odd half: client -> server requests; the server
+/// answers every request with exactly one response frame (the matching
+/// ack type, or kError).
+enum class NetMessageType : std::uint8_t {
+  kHello = 1,         ///< open/resume a session (magic, version, label)
+  kWelcome = 2,       ///< session bound (id, resumed flag)
+  kIngest = 3,        ///< batched tuples (record-span encoded)
+  kIngestAck = 4,     ///< per-batch accept/reject counts + first error
+  kRegister = 5,      ///< register a continuous query (spec, id ignored)
+  kRegisterAck = 6,   ///< the service-assigned query id
+  kUnregister = 7,    ///< terminate a query
+  kUnregisterAck = 8,
+  kSnapshot = 9,      ///< read a query's current top-k
+  kSnapshotResult = 10,
+  kPoll = 11,         ///< long-poll the session's delta subscription
+  kDeltas = 12,       ///< sequence-numbered delta events (may be empty)
+  kClose = 13,        ///< end the dialog (optionally closing the session)
+  kCloseAck = 14,
+  kError = 15,        ///< request failed: status code + message
+};
+
+/// One decoded protocol message (tagged by `type`; only the members of
+/// the matching message are meaningful — mirrors JournalRecord).
+struct NetMessage {
+  NetMessageType type = NetMessageType::kError;
+
+  // kHello
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  bool resume = false;
+  std::string label;
+
+  // kWelcome
+  SessionId session = 0;
+  bool resumed = false;
+
+  // kIngest (record ids are a synthetic 0..n-1 ramp — the service
+  // assigns real ids at admission; arrivals must be non-decreasing).
+  std::vector<Record> tuples;
+
+  // kIngestAck
+  std::uint32_t accepted = 0;
+  std::uint32_t rejected = 0;
+
+  // kIngestAck (first rejection) and kError.
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  // kRegister
+  QuerySpec spec;
+
+  // kRegisterAck / kUnregister / kSnapshot
+  QueryId query = 0;
+
+  // kSnapshotResult
+  std::vector<ResultEntry> entries;
+
+  // kPoll
+  std::uint32_t max_events = 0;
+  std::uint32_t timeout_ms = 0;
+
+  // kDeltas
+  std::vector<DeltaEvent> events;
+
+  // kClose
+  bool close_session = false;
+};
+
+// ---- status codes on the wire -----------------------------------------
+
+/// Stable wire value of a StatusCode (the enum's numeric values are an
+/// internal detail; the wire contract is pinned here and in the spec).
+std::uint8_t NetEncodeStatusCode(StatusCode code);
+
+/// Inverse of NetEncodeStatusCode; unknown values map to kInternal.
+StatusCode NetDecodeStatusCode(std::uint8_t wire);
+
+// ---- encoding (append one message body to *out) -----------------------
+
+void EncodeHello(bool resume, const std::string& label, std::string* out);
+void EncodeWelcome(SessionId session, bool resumed, std::string* out);
+/// Requires tuples non-empty with uniform dimensionality, strictly
+/// increasing ids and non-decreasing arrivals (use a 0..n-1 id ramp over
+/// an arrival-sorted batch — see MonitorClient::Ingest).
+void EncodeIngest(const std::vector<Record>& tuples, std::string* out);
+void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
+                     const Status& first_error, std::string* out);
+/// Fails with Unimplemented for scoring-function families without a wire
+/// encoding; *out is unchanged on failure.
+Status EncodeRegister(const QuerySpec& spec, std::string* out);
+void EncodeRegisterAck(QueryId query, std::string* out);
+void EncodeUnregister(QueryId query, std::string* out);
+void EncodeUnregisterAck(std::string* out);
+void EncodeSnapshotRequest(QueryId query, std::string* out);
+void EncodeSnapshotResult(const std::vector<ResultEntry>& entries,
+                          std::string* out);
+void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
+                std::string* out);
+void EncodeDeltas(const std::vector<DeltaEvent>& events, std::string* out);
+void EncodeClose(bool close_session, std::string* out);
+void EncodeCloseAck(std::string* out);
+void EncodeError(const Status& status, std::string* out);
+
+/// Wraps a message body in a frame (length prefix + CRC-32C + body).
+void EncodeNetFrame(const std::string& body, std::string* out);
+
+// ---- decoding ---------------------------------------------------------
+
+/// Decodes one frame body into *out. InvalidArgument on any malformed
+/// content; the frame CRC already vouched for bit-level integrity, so a
+/// decode failure is a peer speaking a different dialect, not line noise.
+Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out);
+
+/// Outcome of scanning a receive buffer for one complete frame.
+enum class FrameParse {
+  kNeedMore,  ///< prefix of a valid frame; read more bytes
+  kFrame,     ///< a complete, CRC-verified frame was extracted
+  kBad,       ///< protocol violation (oversized length or CRC mismatch)
+};
+
+/// Tries to extract one frame from `data[0..n)`. On kFrame, *body /
+/// *body_len reference the frame body inside `data` and *consumed is the
+/// total frame size to discard. On kBad, *error describes the violation
+/// (the connection should be failed: after a framing error the stream
+/// can never be re-synchronized). `max_body` bounds the accepted body
+/// length (pass kMaxNetFrameBytes).
+FrameParse TryParseNetFrame(const char* data, std::size_t n,
+                            std::size_t max_body, const char** body,
+                            std::size_t* body_len, std::size_t* consumed,
+                            Status* error);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_NET_PROTOCOL_H_

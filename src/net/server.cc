@@ -1,0 +1,548 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+std::string NetServerStats::ToString() const {
+  std::ostringstream os;
+  os << "connections=" << open_connections
+     << " accepted=" << connections_accepted
+     << " closed=" << connections_closed
+     << " refused=" << connections_refused
+     << " frames_in=" << frames_received << " frames_out=" << frames_sent
+     << " bytes_in=" << bytes_received << " bytes_out=" << bytes_sent
+     << " ingested=" << records_ingested
+     << " protocol_errors=" << protocol_errors;
+  return os.str();
+}
+
+TcpServer::TcpServer(MonitorService& service,
+                     const NetServerOptions& options)
+    : service_(service), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = errno == EADDRINUSE
+                          ? Status::FailedPrecondition(
+                                "port " + std::to_string(options_.port) +
+                                " is already in use")
+                          : Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, options_.listen_backlog) != 0 || !SetNonBlocking(fd)) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  started_ = true;
+  stop_.store(false);
+  driver_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  stop_.store(true);
+  if (driver_.joinable()) driver_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+NetServerStats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void TcpServer::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::list<Connection>::iterator> conn_of_fd;
+  while (!stop_.load()) {
+    fds.clear();
+    conn_of_fd.clear();
+    // The listener always polls, even at the connection cap: peers
+    // beyond it get an immediate accept-and-close (a clean refusal)
+    // instead of hanging in the kernel backlog.
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      short events = 0;
+      if (!it->closing) events |= POLLIN;
+      if (!it->out.empty()) events |= POLLOUT;
+      fds.push_back({it->fd, events, 0});
+      conn_of_fd.push_back(it);
+    }
+    const int tick =
+        static_cast<int>(std::max<std::int64_t>(1, options_.poll_tick.count()));
+    const int ready = ::poll(fds.data(), fds.size(), tick);
+    if (stop_.load()) break;
+    if (ready < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) AcceptReady();
+
+    std::vector<std::list<Connection>::iterator> doomed;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < conn_of_fd.size(); ++i) {
+      auto it = conn_of_fd[i];
+      Connection& conn = *it;
+      const short revents = fds[i + 1].revents;
+      bool alive = true;
+      if (alive && (revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !conn.closing) {
+        alive = ReadReady(conn);
+      }
+      // A closing connection must never have its parked poll answered:
+      // PollDeltas would consume the session's events into a socket
+      // whose peer is (typically) gone, losing them for the resumed
+      // successor. Dropping the park leaves the events buffered.
+      if (conn.closing && conn.poll_parked) conn.poll_parked = false;
+      // A parked long-poll is answered as soon as the session's buffer
+      // has something — or its deadline passed (an empty Deltas frame is
+      // the long-poll timeout signal).
+      if (alive && conn.poll_parked &&
+          (service_.PendingDeltas(conn.session) > 0 ||
+           now >= conn.poll_deadline)) {
+        AnswerPoll(conn);
+      }
+      if (alive && options_.idle_timeout.count() > 0 &&
+          now - conn.last_activity > options_.idle_timeout) {
+        if (!conn.closing) {
+          FailConnection(conn, Status::FailedPrecondition(
+                                   "connection idle timeout"));
+        } else {
+          // The drain window for its final frames has expired too —
+          // the peer is holding the socket open without reading.
+          alive = false;
+        }
+      }
+      // A peer that requests faster than it reads is not served into
+      // unbounded memory; past the cap its socket is clearly not
+      // draining, so no error frame could be delivered either.
+      if (alive && conn.out.size() > options_.max_output_bytes) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        alive = false;
+      }
+      if (alive && !conn.out.empty()) alive = WriteReady(conn);
+      if (!alive || (conn.closing && conn.out.empty())) doomed.push_back(it);
+    }
+    for (auto it : doomed) CloseConnection(it);
+  }
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    auto next = std::next(it);
+    CloseConnection(it);
+    it = next;
+  }
+}
+
+void TcpServer::AcceptReady() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): try next tick
+    if (connections_.size() >= options_.max_connections ||
+        !SetNonBlocking(fd)) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_refused;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.emplace_back();
+    connections_.back().fd = fd;
+    connections_.back().last_activity = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+    ++stats_.open_connections;
+  }
+}
+
+bool TcpServer::ReadReady(Connection& conn) {
+  // Per-connection read budget per tick: a peer that can fill the
+  // socket faster than we parse must not pin the driver thread in this
+  // loop (starving every other connection) or grow conn.in without
+  // bound — poll() re-reports readiness next tick, which round-robins
+  // the remainder fairly.
+  std::size_t budget = std::size_t(1) << 20;
+  char buf[65536];
+  bool peer_eof = false;
+  while (budget > 0) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
+      budget -= std::min<std::size_t>(budget,
+                                      static_cast<std::size_t>(n));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the peer is done sending but may still be reading.
+      // Its final buffered requests are processed below and the
+      // responses flushed via the closing path — a client that sends
+      // Close and shutdown(SHUT_WR) still gets its CloseAck.
+      peer_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  DrainFrames(conn);
+  if (peer_eof) conn.closing = true;
+  return true;
+}
+
+void TcpServer::DrainFrames(Connection& conn) {
+  std::size_t off = 0;
+  while (!conn.closing) {
+    const char* body = nullptr;
+    std::size_t body_len = 0;
+    std::size_t consumed = 0;
+    Status error;
+    const FrameParse parse = TryParseNetFrame(
+        conn.in.data() + off, conn.in.size() - off, options_.max_frame_bytes,
+        &body, &body_len, &consumed, &error);
+    if (parse == FrameParse::kNeedMore) break;
+    if (parse == FrameParse::kBad) {
+      FailConnection(conn, error);
+      break;
+    }
+    off += consumed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_received;
+    }
+    NetMessage msg;
+    const Status st = DecodeNetBody(body, body_len, &msg);
+    if (!st.ok()) {
+      FailConnection(conn, st);
+      break;
+    }
+    HandleMessage(conn, msg);
+  }
+  conn.in.erase(0, off);
+  if (conn.closing) conn.in.clear();
+}
+
+void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
+  // A pipelined request while a long-poll is parked would interleave its
+  // response with the eventual Deltas frame; answering the poll first
+  // (with whatever is pending, possibly nothing) keeps the dialog a
+  // strict one-response-per-request sequence.
+  if (conn.poll_parked) AnswerPoll(conn);
+
+  if (!conn.hello_done && msg.type != NetMessageType::kHello) {
+    FailConnection(conn, Status::FailedPrecondition(
+                             "the first frame must be Hello"));
+    return;
+  }
+  switch (msg.type) {
+    case NetMessageType::kHello:
+      HandleHello(conn, msg);
+      return;
+    case NetMessageType::kIngest:
+      HandleIngest(conn, msg);
+      return;
+    case NetMessageType::kRegister: {
+      const Result<QueryId> id = service_.Register(conn.session, msg.spec);
+      std::string body;
+      if (id.ok()) {
+        EncodeRegisterAck(*id, &body);
+      } else {
+        EncodeError(id.status(), &body);
+      }
+      SendBody(conn, body);
+      return;
+    }
+    case NetMessageType::kUnregister: {
+      const Status st = service_.Unregister(conn.session, msg.query);
+      std::string body;
+      if (st.ok()) {
+        EncodeUnregisterAck(&body);
+      } else {
+        EncodeError(st, &body);
+      }
+      SendBody(conn, body);
+      return;
+    }
+    case NetMessageType::kSnapshot: {
+      // Scoped to the connection's session, like Unregister: another
+      // session's query ids draw the same NotFound as unknown ids, so
+      // nothing about foreign queries leaks.
+      const auto owner = service_.QueryOwner(msg.query);
+      std::string body;
+      if (!owner.ok() || *owner != conn.session) {
+        EncodeError(Status::NotFound("no query " +
+                                     std::to_string(msg.query) +
+                                     " in this session"),
+                    &body);
+      } else if (const auto result = service_.CurrentResult(msg.query);
+                 result.ok()) {
+        EncodeSnapshotResult(*result, &body);
+      } else {
+        EncodeError(result.status(), &body);
+      }
+      SendBody(conn, body);
+      return;
+    }
+    case NetMessageType::kPoll: {
+      std::size_t max = msg.max_events == 0
+                            ? options_.max_poll_events
+                            : std::min<std::size_t>(msg.max_events,
+                                                    options_.max_poll_events);
+      std::vector<DeltaEvent> events;
+      service_.PollDeltas(conn.session, max, &events);
+      if (!events.empty() || msg.timeout_ms == 0) {
+        std::string body;
+        EncodeDeltas(events, &body);
+        SendBody(conn, body);
+        return;
+      }
+      const auto timeout = std::min<std::chrono::milliseconds>(
+          std::chrono::milliseconds(msg.timeout_ms), options_.max_long_poll);
+      conn.poll_parked = true;
+      conn.poll_max = max;
+      conn.poll_deadline = std::chrono::steady_clock::now() + timeout;
+      return;
+    }
+    case NetMessageType::kClose: {
+      if (msg.close_session && conn.session != 0) {
+        service_.CloseSession(conn.session);
+      }
+      std::string body;
+      EncodeCloseAck(&body);
+      SendBody(conn, body);
+      conn.closing = true;
+      return;
+    }
+    // Response types have no business arriving at the server.
+    case NetMessageType::kWelcome:
+    case NetMessageType::kIngestAck:
+    case NetMessageType::kRegisterAck:
+    case NetMessageType::kUnregisterAck:
+    case NetMessageType::kSnapshotResult:
+    case NetMessageType::kDeltas:
+    case NetMessageType::kCloseAck:
+    case NetMessageType::kError:
+      break;
+  }
+  FailConnection(conn,
+                 Status::InvalidArgument(
+                     "message type " +
+                     std::to_string(static_cast<int>(msg.type)) +
+                     " is not a request"));
+}
+
+void TcpServer::HandleHello(Connection& conn, const NetMessage& msg) {
+  if (conn.hello_done) {
+    FailConnection(conn, Status::FailedPrecondition("duplicate Hello"));
+    return;
+  }
+  if (msg.magic != kNetMagic) {
+    FailConnection(conn,
+                   Status::InvalidArgument("bad protocol magic — not a "
+                                           "topkmon client"));
+    return;
+  }
+  if (msg.version != kNetProtocolVersion) {
+    FailConnection(conn, Status::Unimplemented(
+                             "protocol version " +
+                             std::to_string(msg.version) +
+                             " is not supported (server speaks version " +
+                             std::to_string(kNetProtocolVersion) + ")"));
+    return;
+  }
+  SessionId session = 0;
+  bool resumed = false;
+  if (msg.resume) {
+    const Result<SessionId> adopted = service_.FindSession(msg.label);
+    if (adopted.ok()) {
+      session = *adopted;
+      resumed = true;
+    }
+  }
+  if (session == 0) {
+    Result<SessionId> opened = service_.OpenSession(msg.label);
+    if (!opened.ok()) {
+      FailConnection(conn, opened.status());
+      return;
+    }
+    session = *opened;
+  }
+  if (resumed) {
+    // Evict any other connection holding a *parked long-poll* on this
+    // session — e.g. a half-open predecessor that died without a FIN.
+    // Left alone, that poll would keep consuming the session's delta
+    // events into a socket buffer nobody reads, and the resumed client
+    // would see a sequence gap the drop counters can't explain. The
+    // eviction must NOT answer the stale poll (that would consume the
+    // events); the stale peer gets an error and a close instead.
+    // Connections sharing the session *without* an outstanding poll (a
+    // producer feeding it, say) are deliberately left alone.
+    for (Connection& other : connections_) {
+      if (&other == &conn || other.session != session || other.closing ||
+          !other.poll_parked) {
+        continue;
+      }
+      other.poll_parked = false;
+      std::string eviction;
+      EncodeError(Status::FailedPrecondition(
+                      "session '" + msg.label +
+                      "' was resumed by a new connection"),
+                  &eviction);
+      SendBody(other, eviction);
+      other.closing = true;
+    }
+  }
+  conn.session = session;
+  conn.hello_done = true;
+  std::string body;
+  EncodeWelcome(session, resumed, &body);
+  SendBody(conn, body);
+}
+
+void TcpServer::HandleIngest(Connection& conn, const NetMessage& msg) {
+  std::uint32_t accepted = 0;
+  std::uint32_t rejected = 0;
+  Status first_error;
+  for (const Record& r : msg.tuples) {
+    if (r.arrival < 0 || r.arrival > kMaxWireArrival) {
+      ++rejected;
+      if (first_error.ok()) {
+        first_error = Status::OutOfRange(
+            "arrival timestamp " + std::to_string(r.arrival) +
+            " is outside the admissible wire range");
+      }
+      continue;
+    }
+    // Blocking admission: ingest backpressure is the service's flow
+    // control and the queue drains continuously, so the stall is bounded
+    // by one drain; rate-limit and validation refusals return instantly.
+    const Status st = service_.Ingest(conn.session, r.position, r.arrival);
+    if (st.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.records_ingested += accepted;
+  }
+  std::string body;
+  EncodeIngestAck(accepted, rejected, first_error, &body);
+  SendBody(conn, body);
+}
+
+void TcpServer::AnswerPoll(Connection& conn) {
+  std::vector<DeltaEvent> events;
+  service_.PollDeltas(conn.session, conn.poll_max, &events);
+  conn.poll_parked = false;
+  std::string body;
+  EncodeDeltas(events, &body);
+  SendBody(conn, body);
+}
+
+void TcpServer::SendBody(Connection& conn, const std::string& body) {
+  EncodeNetFrame(body, &conn.out);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.frames_sent;
+}
+
+void TcpServer::FailConnection(Connection& conn, const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+  }
+  if (conn.poll_parked) conn.poll_parked = false;
+  std::string body;
+  EncodeError(status, &body);
+  SendBody(conn, body);
+  conn.closing = true;
+}
+
+bool TcpServer::WriteReady(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.bytes_sent += static_cast<std::uint64_t>(n);
+      }
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void TcpServer::CloseConnection(std::list<Connection>::iterator it) {
+  ::close(it->fd);
+  connections_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+  --stats_.open_connections;
+}
+
+}  // namespace topkmon

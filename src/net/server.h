@@ -1,0 +1,169 @@
+// Poll-based multi-client TCP front-end for MonitorService.
+//
+// One driver thread multiplexes every connection with poll(2): accepts,
+// non-blocking reads into per-connection buffers, frame extraction
+// (src/net/protocol.h), request dispatch into the service, and buffered
+// non-blocking writes. Nothing a client sends can wedge the thread:
+//   * a malformed frame (oversized length, CRC mismatch) or an
+//     undecodable body fails only that connection — a best-effort error
+//     frame is queued, the connection drains its output and closes, and
+//     the violation is counted in stats().protocol_errors;
+//   * a slow-loris peer that trickles bytes simply leaves a partial
+//     frame in its buffer; the loop never blocks on any single fd;
+//   * long-polls never block the thread either — a Poll request with no
+//     pending deltas is *parked* (connection remembers max + deadline)
+//     and answered from the loop as soon as the session's subscription
+//     buffer reports pending events (MonitorService::PendingDeltas) or
+//     the deadline passes, whichever is first.
+//
+// Session mapping: the Hello/Welcome handshake binds each connection to
+// a MonitorService session — freshly opened, or adopted by label
+// (FindSession) when the client asks to resume. Disconnects leave the
+// session (and its buffered, sequence-numbered deltas) untouched, so a
+// reconnecting client continues its delta stream gap-free; an explicit
+// Close request with the close-session flag releases it.
+
+#ifndef TOPKMON_NET_SERVER_H_
+#define TOPKMON_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/protocol.h"
+#include "service/monitor_service.h"
+
+namespace topkmon {
+
+struct NetServerOptions {
+  /// IPv4 address to bind; the default serves loopback only.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 256;
+  /// Largest accepted frame body (protocol violation beyond it).
+  std::size_t max_frame_bytes = kMaxNetFrameBytes;
+  /// Poll granularity: the upper bound on how long a ready parked
+  /// long-poll waits before the loop notices its session has deltas.
+  std::chrono::milliseconds poll_tick{5};
+  /// Server-side clamp on client long-poll timeouts.
+  std::chrono::milliseconds max_long_poll{10000};
+  /// Server-side clamp on events returned per poll.
+  std::size_t max_poll_events = 4096;
+  /// Connections that send nothing for this long are reaped (slow-loris
+  /// and abandoned sockets cannot hold slots forever). Must exceed
+  /// max_long_poll — a healthy long-polling client transmits at least
+  /// once per poll round. A *closing* connection gets the same budget to
+  /// drain its final frames before it is force-closed. <= 0 disables
+  /// reaping.
+  std::chrono::milliseconds idle_timeout{60000};
+  /// Cap on un-sent response bytes buffered per connection. A peer that
+  /// requests faster than it reads (or never reads at all) would
+  /// otherwise grow server memory without bound; past the cap the
+  /// connection is dropped outright — its socket is not draining, so an
+  /// error frame could not be delivered anyway.
+  std::size_t max_output_bytes = std::size_t(4) << 20;
+};
+
+/// Observable server counters (snapshot; internally updated by the
+/// driver thread only).
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_refused = 0;  ///< over max_connections
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t protocol_errors = 0;  ///< framing/decode violations
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t records_ingested = 0;  ///< tuples accepted over the wire
+  std::size_t open_connections = 0;
+
+  std::string ToString() const;
+};
+
+/// The TCP front-end. Does not own the service; the service must outlive
+/// Stop() (which the destructor also runs).
+class TcpServer {
+ public:
+  TcpServer(MonitorService& service, const NetServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and starts the driver thread. InvalidArgument for a
+  /// bad bind address, FailedPrecondition if already started or the port
+  /// is taken.
+  Status Start();
+
+  /// Closes the listener and every connection, then joins the driver
+  /// thread. Idempotent. Sessions opened by connections stay open in the
+  /// service (they are service state, not connection state).
+  void Stop();
+
+  /// The bound TCP port (after a successful Start).
+  std::uint16_t port() const { return port_; }
+
+  NetServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;       ///< bytes received, not yet framed
+    std::string out;      ///< bytes encoded, not yet sent
+    SessionId session = 0;
+    bool hello_done = false;
+    /// Protocol violation or Close handled: flush `out`, then close.
+    bool closing = false;
+    /// Parked long-poll (see file comment).
+    bool poll_parked = false;
+    std::size_t poll_max = 0;
+    std::chrono::steady_clock::time_point poll_deadline{};
+    /// Last instant bytes arrived (idle-timeout reaping).
+    std::chrono::steady_clock::time_point last_activity{};
+  };
+
+  void Loop();
+  void AcceptReady();
+  /// Reads whatever is available; returns false when the peer is gone.
+  bool ReadReady(Connection& conn);
+  /// Extracts and dispatches every complete frame in conn.in.
+  void DrainFrames(Connection& conn);
+  void HandleMessage(Connection& conn, const NetMessage& msg);
+  void HandleHello(Connection& conn, const NetMessage& msg);
+  void HandleIngest(Connection& conn, const NetMessage& msg);
+  /// Answers a parked poll with whatever is pending (possibly nothing).
+  void AnswerPoll(Connection& conn);
+  /// Queues one response frame built from `body`.
+  void SendBody(Connection& conn, const std::string& body);
+  /// Queues an error frame and schedules the connection for close.
+  void FailConnection(Connection& conn, const Status& status);
+  /// Flushes conn.out as far as the socket allows; false when broken.
+  bool WriteReady(Connection& conn);
+  void CloseConnection(std::list<Connection>::iterator it);
+
+  MonitorService& service_;
+  const NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread driver_;
+
+  std::list<Connection> connections_;
+
+  mutable std::mutex stats_mu_;
+  NetServerStats stats_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_NET_SERVER_H_

@@ -146,9 +146,20 @@ void MonitorService::AdoptRecoveredQueries() {
 }
 
 double MonitorService::NowSeconds() const {
+  if (clock_overridden_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    if (clock_override_) return clock_override_();
+  }
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
       .count();
+}
+
+void MonitorService::SetClockForTesting(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  clock_override_ = std::move(clock);
+  clock_overridden_.store(static_cast<bool>(clock_override_),
+                          std::memory_order_release);
 }
 
 template <typename AppendFn>
@@ -306,6 +317,10 @@ Result<std::vector<ResultEntry>> MonitorService::CurrentResult(
   return engine_->CurrentResult(query);
 }
 
+Result<SessionId> MonitorService::QueryOwner(QueryId query) const {
+  return sessions_.Owner(query);
+}
+
 std::size_t MonitorService::PollDeltas(SessionId session, std::size_t max,
                                        std::vector<DeltaEvent>* out) {
   return hub_.Poll(session, max, out);
@@ -319,6 +334,10 @@ std::size_t MonitorService::WaitDeltas(SessionId session, std::size_t max,
 
 std::uint64_t MonitorService::DroppedDeltas(SessionId session) const {
   return hub_.Dropped(session);
+}
+
+std::size_t MonitorService::PendingDeltas(SessionId session) const {
+  return hub_.Depth(session);
 }
 
 bool MonitorService::NeedsFlush() const {

@@ -158,6 +158,12 @@ class MonitorService {
   /// Snapshot read of a query's current top-k (any thread).
   Result<std::vector<ResultEntry>> CurrentResult(QueryId query) const;
 
+  /// The session that owns `query`; NotFound if unknown. Front-ends use
+  /// this to scope reads to the requesting session (the TCP server
+  /// refuses snapshots of queries the connection's session does not
+  /// own, mirroring Unregister's ownership check).
+  Result<SessionId> QueryOwner(QueryId query) const;
+
   /// Moves up to `max` pending delta events for `session` into *out.
   std::size_t PollDeltas(SessionId session, std::size_t max,
                          std::vector<DeltaEvent>* out);
@@ -167,6 +173,12 @@ class MonitorService {
                          std::vector<DeltaEvent>* out);
   /// Delta events `session` has lost to buffer overflow.
   std::uint64_t DroppedDeltas(SessionId session) const;
+
+  /// Delta events currently buffered for `session` — the cheap readiness
+  /// probe a non-blocking front-end (the TCP server's poll loop) uses to
+  /// decide whether a parked long-poll can be answered without calling
+  /// PollDeltas speculatively.
+  std::size_t PendingDeltas(SessionId session) const;
 
   // ---- control / observability ----------------------------------------
   /// Blocks until every record pushed before the call has been applied to
@@ -202,6 +214,12 @@ class MonitorService {
   using CycleObserver =
       std::function<void(Timestamp, const std::vector<Record>&)>;
   void SetCycleObserver(CycleObserver observer);
+
+  /// Replaces the monotonic clock behind the session token buckets with a
+  /// caller-controlled one (seconds, monotone non-decreasing). Lets tests
+  /// drive rate limiting deterministically instead of sleeping; pass
+  /// nullptr to restore the steady clock.
+  void SetClockForTesting(std::function<double()> clock);
 
  private:
   /// Shared delegate of the public constructor and Open(): adopts an
@@ -266,6 +284,14 @@ class MonitorService {
   /// First error during recovered-session adoption (ctor can't fail;
   /// Open() checks and propagates this).
   Status bootstrap_error_;
+
+  /// Test clock override for NowSeconds. The flag is the hot-path
+  /// guard: session-scoped ingest calls NowSeconds per record, so the
+  /// production path must stay a single relaxed atomic load — the mutex
+  /// is only taken when an override is actually installed.
+  std::atomic<bool> clock_overridden_{false};
+  mutable std::mutex clock_mu_;
+  std::function<double()> clock_override_;
 
   // Driver / flush coordination.
   mutable std::mutex state_mu_;

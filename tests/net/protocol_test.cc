@@ -1,0 +1,299 @@
+// Wire-protocol unit tests: every message type round-trips through its
+// encoder and DecodeNetBody, frames round-trip through EncodeNetFrame and
+// TryParseNetFrame, and hostile inputs (truncation, bit flips, oversized
+// lengths, lying counts) decode to clean errors, never crashes or
+// over-allocations.
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/scoring.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+/// Encodes `body` as a frame and re-extracts it, asserting a clean parse.
+NetMessage RoundTrip(const std::string& body) {
+  std::string stream;
+  EncodeNetFrame(body, &stream);
+  const char* parsed_body = nullptr;
+  std::size_t body_len = 0;
+  std::size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryParseNetFrame(stream.data(), stream.size(), kMaxNetFrameBytes,
+                             &parsed_body, &body_len, &consumed, &error),
+            FrameParse::kFrame)
+      << error;
+  EXPECT_EQ(consumed, stream.size());
+  NetMessage msg;
+  const Status st = DecodeNetBody(parsed_body, body_len, &msg);
+  EXPECT_TRUE(st.ok()) << st;
+  return msg;
+}
+
+TEST(NetProtocolTest, HelloAndWelcomeRoundTrip) {
+  std::string body;
+  EncodeHello(true, "dashboard-7", &body);
+  NetMessage hello = RoundTrip(body);
+  EXPECT_EQ(hello.type, NetMessageType::kHello);
+  EXPECT_EQ(hello.magic, kNetMagic);
+  EXPECT_EQ(hello.version, kNetProtocolVersion);
+  EXPECT_TRUE(hello.resume);
+  EXPECT_EQ(hello.label, "dashboard-7");
+
+  body.clear();
+  EncodeWelcome(42, true, &body);
+  NetMessage welcome = RoundTrip(body);
+  EXPECT_EQ(welcome.type, NetMessageType::kWelcome);
+  EXPECT_EQ(welcome.session, 42u);
+  EXPECT_TRUE(welcome.resumed);
+}
+
+TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
+  std::vector<Record> tuples;
+  for (RecordId id = 0; id < 50; ++id) {
+    tuples.emplace_back(id,
+                        Point{0.01 * static_cast<double>(id), 0.5},
+                        static_cast<Timestamp>(100 + id / 7));
+  }
+  std::string body;
+  EncodeIngest(tuples, &body);
+  // Span compactness: ~2 bytes of deltas + 16 coordinate bytes per tuple
+  // after the span header — the design target for batched ingest.
+  EXPECT_LT(body.size(), 1 + 4 + 17 + tuples.size() * 20);
+  NetMessage msg = RoundTrip(body);
+  ASSERT_EQ(msg.type, NetMessageType::kIngest);
+  ASSERT_EQ(msg.tuples.size(), tuples.size());
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(msg.tuples[i].id, tuples[i].id);
+    EXPECT_EQ(msg.tuples[i].arrival, tuples[i].arrival);
+    EXPECT_EQ(msg.tuples[i].position[0], tuples[i].position[0]);
+  }
+
+  body.clear();
+  EncodeIngestAck(48, 2,
+                  Status::FailedPrecondition("session rate limit"), &body);
+  NetMessage ack = RoundTrip(body);
+  EXPECT_EQ(ack.type, NetMessageType::kIngestAck);
+  EXPECT_EQ(ack.accepted, 48u);
+  EXPECT_EQ(ack.rejected, 2u);
+  EXPECT_EQ(ack.code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ack.message, "session rate limit");
+}
+
+TEST(NetProtocolTest, RegisterRoundTripsSpecsIncludingConstraints) {
+  QuerySpec spec;
+  spec.id = 7;
+  spec.k = 12;
+  spec.function = std::make_shared<LinearFunction>(
+      std::vector<double>{0.25, -0.5, 1.0}, 0.125);
+  spec.constraint = Rect(Point{0.1, 0.2, 0.3}, Point{0.9, 0.8, 0.7});
+  std::string body;
+  TOPKMON_ASSERT_OK(EncodeRegister(spec, &body));
+  NetMessage msg = RoundTrip(body);
+  ASSERT_EQ(msg.type, NetMessageType::kRegister);
+  EXPECT_EQ(msg.spec.id, 7u);
+  EXPECT_EQ(msg.spec.k, 12);
+  ASSERT_NE(msg.spec.function, nullptr);
+  EXPECT_EQ(msg.spec.function->Score(Point{1.0, 1.0, 1.0}),
+            spec.function->Score(Point{1.0, 1.0, 1.0}));
+  ASSERT_TRUE(msg.spec.constraint.has_value());
+  EXPECT_EQ(msg.spec.constraint->lo()[2], 0.3);
+
+  body.clear();
+  EncodeRegisterAck(31, &body);
+  EXPECT_EQ(RoundTrip(body).query, 31u);
+}
+
+TEST(NetProtocolTest, SnapshotAndDeltasRoundTrip) {
+  std::string body;
+  EncodeSnapshotRequest(9, &body);
+  EXPECT_EQ(RoundTrip(body).query, 9u);
+
+  body.clear();
+  EncodeSnapshotResult({{101, 0.75}, {88, 0.5}}, &body);
+  NetMessage snap = RoundTrip(body);
+  ASSERT_EQ(snap.entries.size(), 2u);
+  EXPECT_EQ(snap.entries[0].id, 101u);
+  EXPECT_EQ(snap.entries[1].score, 0.5);
+
+  std::vector<DeltaEvent> events(2);
+  events[0].seq = 5;
+  events[0].delta.query = 3;
+  events[0].delta.when = 1234;
+  events[0].delta.added = {{7, 0.9}};
+  events[1].seq = 6;
+  events[1].delta.query = 3;
+  events[1].delta.when = 1235;
+  events[1].delta.removed = {{7, 0.9}, {8, 0.1}};
+  body.clear();
+  EncodeDeltas(events, &body);
+  NetMessage deltas = RoundTrip(body);
+  ASSERT_EQ(deltas.events.size(), 2u);
+  EXPECT_EQ(deltas.events[0].seq, 5u);
+  EXPECT_EQ(deltas.events[0].delta.added.size(), 1u);
+  EXPECT_EQ(deltas.events[1].delta.removed[1].id, 8u);
+  EXPECT_EQ(deltas.events[1].delta.when, 1235);
+}
+
+TEST(NetProtocolTest, PollCloseAndErrorRoundTrip) {
+  std::string body;
+  EncodePoll(256, 1500, &body);
+  NetMessage poll = RoundTrip(body);
+  EXPECT_EQ(poll.max_events, 256u);
+  EXPECT_EQ(poll.timeout_ms, 1500u);
+
+  body.clear();
+  EncodeClose(true, &body);
+  EXPECT_TRUE(RoundTrip(body).close_session);
+
+  body.clear();
+  EncodeError(Status::NotFound("no query 12"), &body);
+  NetMessage err = RoundTrip(body);
+  EXPECT_EQ(err.type, NetMessageType::kError);
+  EXPECT_EQ(err.code, StatusCode::kNotFound);
+  EXPECT_EQ(err.message, "no query 12");
+}
+
+TEST(NetProtocolTest, StatusCodesSurviveTheWire) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_EQ(NetDecodeStatusCode(NetEncodeStatusCode(code)), code);
+  }
+  EXPECT_EQ(NetDecodeStatusCode(255), StatusCode::kInternal);
+}
+
+TEST(NetFrameTest, PartialFramesAskForMoreBytes) {
+  std::string body;
+  EncodeHello(false, "x", &body);
+  std::string stream;
+  EncodeNetFrame(body, &stream);
+  const char* out_body = nullptr;
+  std::size_t body_len = 0;
+  std::size_t consumed = 0;
+  Status error;
+  for (std::size_t n = 0; n < stream.size(); ++n) {
+    EXPECT_EQ(TryParseNetFrame(stream.data(), n, kMaxNetFrameBytes,
+                               &out_body, &body_len, &consumed, &error),
+              FrameParse::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(NetFrameTest, EveryBitFlipIsCaughtByTheCrc) {
+  std::string body;
+  EncodeRegisterAck(1234, &body);
+  std::string pristine;
+  EncodeNetFrame(body, &pristine);
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    std::string stream = pristine;
+    stream[i] = static_cast<char>(stream[i] ^ 0x01);
+    const char* out_body = nullptr;
+    std::size_t body_len = 0;
+    std::size_t consumed = 0;
+    Status error;
+    const FrameParse parse =
+        TryParseNetFrame(stream.data(), stream.size(), kMaxNetFrameBytes,
+                         &out_body, &body_len, &consumed, &error);
+    // A flip in the length prefix may shrink the frame below the
+    // available bytes (kNeedMore) or trip the size limit (kBad); any
+    // flip that leaves a complete frame must fail the CRC — a damaged
+    // frame is never decoded.
+    if (parse == FrameParse::kFrame) {
+      ADD_FAILURE() << "bit flip at byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(NetFrameTest, OversizedLengthPrefixIsRejectedNotAllocated) {
+  std::string stream;
+  // A length prefix of ~4 GiB: must be refused via the max_body bound
+  // without ever waiting for (or allocating) that many bytes.
+  const std::uint32_t huge = 0xFFFFFF00u;
+  for (int i = 0; i < 4; ++i) {
+    stream.push_back(static_cast<char>(huge >> (8 * i)));
+  }
+  stream.append(4, '\0');  // crc
+  const char* body = nullptr;
+  std::size_t body_len = 0;
+  std::size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryParseNetFrame(stream.data(), stream.size(), kMaxNetFrameBytes,
+                             &body, &body_len, &consumed, &error),
+            FrameParse::kBad);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetProtocolTest, TruncatedBodiesDecodeToCleanErrors) {
+  std::vector<std::string> bodies;
+  bodies.emplace_back();
+  EncodeHello(true, "client", &bodies.back());
+  bodies.emplace_back();
+  {
+    std::vector<Record> tuples;
+    for (RecordId id = 0; id < 5; ++id) {
+      tuples.emplace_back(id, Point{0.5, 0.5}, 1);
+    }
+    EncodeIngest(tuples, &bodies.back());
+  }
+  bodies.emplace_back();
+  {
+    QuerySpec spec;
+    spec.k = 3;
+    spec.function =
+        std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0}, 0.0);
+    TOPKMON_ASSERT_OK(EncodeRegister(spec, &bodies.back()));
+  }
+  bodies.emplace_back();
+  {
+    std::vector<DeltaEvent> events(1);
+    events[0].seq = 1;
+    events[0].delta.added = {{1, 0.5}};
+    EncodeDeltas(events, &bodies.back());
+  }
+  for (const std::string& body : bodies) {
+    for (std::size_t n = 1; n < body.size(); ++n) {
+      NetMessage msg;
+      const Status st = DecodeNetBody(body.data(), n, &msg);
+      EXPECT_FALSE(st.ok())
+          << "truncating a " << body.size() << "-byte body to " << n
+          << " bytes decoded anyway";
+    }
+    // Trailing garbage is a dialect mismatch, also refused.
+    std::string padded = body + "x";
+    NetMessage msg;
+    EXPECT_FALSE(DecodeNetBody(padded.data(), padded.size(), &msg).ok());
+  }
+}
+
+TEST(NetProtocolTest, LyingCountsCannotDriveAllocations) {
+  // An ingest body promising 2^32-1 records in a handful of bytes.
+  std::string body;
+  body.push_back(static_cast<char>(NetMessageType::kIngest));
+  for (int i = 0; i < 4; ++i) body.push_back(static_cast<char>(0xFF));
+  body.push_back(2);  // dim
+  body.append(20, '\0');
+  NetMessage msg;
+  EXPECT_FALSE(DecodeNetBody(body.data(), body.size(), &msg).ok());
+
+  // A deltas body promising 100M events.
+  body.clear();
+  body.push_back(static_cast<char>(NetMessageType::kDeltas));
+  const std::uint32_t count = 100000000;
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<char>(count >> (8 * i)));
+  }
+  body.append(8, '\0');
+  EXPECT_FALSE(DecodeNetBody(body.data(), body.size(), &msg).ok());
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -91,15 +91,21 @@ TEST(RateLimitTest, FindByLabelReturnsTheOldestMatch) {
             StatusCode::kNotFound);
 }
 
+// The service-level bucket tests run on an injected virtual clock
+// (MonitorService::SetClockForTesting), so no wall-clock instant — not
+// even a sanitizer-slowed one — can drip tokens mid-assertion: the
+// suite is deterministic by construction, with no sleeps.
+
 TEST(RateLimitTest, ServiceIngestEnforcesTheSessionBucket) {
   ServiceOptions opt;
   opt.ingest.slack = 0;
   opt.drain_wait = std::chrono::milliseconds(1);
-  // A rate slow enough that no token drips in during the test body.
-  opt.session.ingest_rate_per_sec = 0.01;
+  opt.session.ingest_rate_per_sec = 100.0;
   opt.session.ingest_burst = 3.0;
   MonitorService service(
       std::make_unique<BruteForceEngine>(2, WindowSpec::Count(100)), opt);
+  double virtual_now = 0.0;  // frozen unless the test advances it
+  service.SetClockForTesting([&virtual_now] { return virtual_now; });
   const SessionId session = *service.OpenSession("meter");
 
   for (Timestamp ts = 1; ts <= 3; ++ts) {
@@ -118,6 +124,40 @@ TEST(RateLimitTest, ServiceIngestEnforcesTheSessionBucket) {
   // An unknown session cannot ingest at all.
   EXPECT_EQ(service.Ingest(777, Point{0.5, 0.5}, 6).code(),
             StatusCode::kNotFound);
+}
+
+TEST(RateLimitTest, ServiceBucketRefillsOnTheInjectedClock) {
+  ServiceOptions opt;
+  opt.ingest.slack = 0;
+  opt.drain_wait = std::chrono::milliseconds(1);
+  opt.session.ingest_rate_per_sec = 10.0;  // one token per 100 virtual ms
+  opt.session.ingest_burst = 2.0;
+  MonitorService service(
+      std::make_unique<BruteForceEngine>(2, WindowSpec::Count(100)), opt);
+  double virtual_now = 0.0;
+  service.SetClockForTesting([&virtual_now] { return virtual_now; });
+  const SessionId session = *service.OpenSession("meter");
+
+  // Drain the initial burst at a frozen instant.
+  TOPKMON_ASSERT_OK(service.Ingest(session, Point{0.1, 0.1}, 1));
+  TOPKMON_ASSERT_OK(service.Ingest(session, Point{0.1, 0.1}, 2));
+  EXPECT_EQ(service.Ingest(session, Point{0.1, 0.1}, 3).code(),
+            StatusCode::kFailedPrecondition);
+
+  // 150 virtual ms later exactly 1.5 tokens dripped in: one ingest
+  // passes, the next still fails.
+  virtual_now = 0.15;
+  TOPKMON_ASSERT_OK(service.Ingest(session, Point{0.1, 0.1}, 4));
+  EXPECT_EQ(service.Ingest(session, Point{0.1, 0.1}, 5).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A long virtual idle refills to the burst cap, never beyond.
+  virtual_now = 100.0;
+  TOPKMON_ASSERT_OK(service.Ingest(session, Point{0.1, 0.1}, 6));
+  TOPKMON_ASSERT_OK(service.Ingest(session, Point{0.1, 0.1}, 7));
+  EXPECT_EQ(service.Ingest(session, Point{0.1, 0.1}, 8).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.stats().records_rate_limited, 3u);
 }
 
 }  // namespace

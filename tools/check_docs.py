@@ -7,6 +7,8 @@
    docs/JOURNAL_FORMAT.md must equal kJournalFormatVersion in
    src/journal/format.h, so the byte-level spec can never silently
    drift from the implementation.
+3. Network protocol lockstep: likewise for docs/PROTOCOL.md and
+   kNetProtocolVersion in src/net/protocol.h.
 """
 
 import os
@@ -20,6 +22,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADER_VERSION_RE = re.compile(
     r"constexpr\s+std::uint32_t\s+kJournalFormatVersion\s*=\s*(\d+)\s*;")
 DOC_VERSION_RE = re.compile(r"\*\*Format version:\*\*\s*(\d+)")
+NET_HEADER_VERSION_RE = re.compile(
+    r"constexpr\s+std::uint32_t\s+kNetProtocolVersion\s*=\s*(\d+)\s*;")
+NET_DOC_VERSION_RE = re.compile(r"\*\*Protocol version:\*\*\s*(\d+)")
 
 
 def markdown_files():
@@ -49,9 +54,12 @@ def check_links():
     return errors
 
 
-def check_format_version():
-    header = os.path.join(REPO, "src", "journal", "format.h")
-    spec = os.path.join(REPO, "docs", "JOURNAL_FORMAT.md")
+def check_version_lockstep(what, header_rel, header_re, constant_name,
+                           spec_rel, spec_re, spec_line):
+    """One spec-vs-header version pin: `constant_name` in `header_rel`
+    must equal the version stated by `spec_line` in `spec_rel`."""
+    header = os.path.join(REPO, *header_rel.split("/"))
+    spec = os.path.join(REPO, *spec_rel.split("/"))
     errors = []
     try:
         header_text = open(header, encoding="utf-8").read()
@@ -61,31 +69,38 @@ def check_format_version():
         spec_text = open(spec, encoding="utf-8").read()
     except OSError as e:
         return [f"cannot read {spec}: {e}"]
-    header_match = HEADER_VERSION_RE.search(header_text)
-    spec_match = DOC_VERSION_RE.search(spec_text)
+    header_match = header_re.search(header_text)
+    spec_match = spec_re.search(spec_text)
     if not header_match:
-        errors.append("src/journal/format.h: kJournalFormatVersion not found")
+        errors.append(f"{header_rel}: {constant_name} not found")
     if not spec_match:
-        errors.append(
-            "docs/JOURNAL_FORMAT.md: '**Format version:** N' line not found")
+        errors.append(f"{spec_rel}: '{spec_line}' line not found")
     if header_match and spec_match and header_match.group(1) != \
             spec_match.group(1):
         errors.append(
-            "journal format version mismatch: format.h says "
-            f"{header_match.group(1)}, JOURNAL_FORMAT.md says "
+            f"{what} version mismatch: {header_rel} says "
+            f"{header_match.group(1)}, {spec_rel} says "
             f"{spec_match.group(1)} — update the spec alongside the code")
     return errors
 
 
 def main():
-    errors = check_links() + check_format_version()
+    errors = check_links()
+    errors += check_version_lockstep(
+        "journal format", "src/journal/format.h", HEADER_VERSION_RE,
+        "kJournalFormatVersion", "docs/JOURNAL_FORMAT.md", DOC_VERSION_RE,
+        "**Format version:** N")
+    errors += check_version_lockstep(
+        "network protocol", "src/net/protocol.h", NET_HEADER_VERSION_RE,
+        "kNetProtocolVersion", "docs/PROTOCOL.md", NET_DOC_VERSION_RE,
+        "**Protocol version:** N")
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
         return 1
-    print("docs check passed (links resolve, journal format version in "
-          "lockstep)")
+    print("docs check passed (links resolve, journal format and network "
+          "protocol versions in lockstep)")
     return 0
 
 
