@@ -1,29 +1,46 @@
 // Service demo: the monitoring engines behind a multi-client service —
 // in-process, or split across processes over the binary TCP protocol.
 //
-// Three modes (--mode=local is the default):
+// Four modes (--mode=local is the default):
 //   * local  — everything in one process: 3 producer threads stream
 //     tuples through the batching ingest queue while 2 client sessions
 //     hold continuous top-k queries and long-poll their delta streams.
 //   * serve  — starts the TCP front-end on --port and blocks serving
 //     remote clients until the process is killed (or --serve_seconds
 //     elapses). Combine with --journal=DIR for a durable server that
-//     recovers sessions and queries across restarts.
+//     recovers sessions and queries across restarts — and that
+//     followers can replicate from.
 //   * client — connects to --host:--port, registers --queries top-k
 //     queries under a session labeled --label (resuming it if the
 //     server already knows the label), streams --records tuples through
 //     batched wire ingest, and prints the deltas it long-polls. Run
 //     several concurrently; re-run with the same --label to see
 //     gap-free resume (sequence numbers continue where they stopped).
+//   * follower — warm standby: ships the journal of the leader at
+//     --host:--port into --journal=DIR (required), continuously replays
+//     it, and serves *read-only* clients on --listen (snapshots carry a
+//     staleness bound; writes are refused with a redirect). Prints the
+//     apply lag once a second. With --promote_seconds=N the follower
+//     promotes itself after N seconds — kill the leader first and watch
+//     the standby take over writes with the same sessions and queries.
 //
 // With --journal=DIR the service write-ahead-journals every cycle and
 // recovers the directory on startup: run twice with the same DIR and
 // the second run prints the recovery summary, re-adopts the first run's
 // sessions by label, and continues their queries.
 //
-// Flags: --mode=local|serve|client --host=H --port=P --label=NAME
-//        --producers=N --records=N --queries=N --k=N --window=N
-//        --serve_seconds=N --journal=DIR --sync=none|interval|always
+// Replication quickstart (three terminals):
+//   service_demo --mode=serve --journal=/tmp/leaderj --port=4585
+//   service_demo --mode=follower --journal=/tmp/replj --port=4585 \
+//                --listen=4586
+//   service_demo --mode=client --port=4585 --label=dash   # writes
+//   service_demo --mode=client --port=4586 --label=dash --records=0
+//                                       # reads the replica's stream
+//
+// Flags: --mode=local|serve|client|follower --host=H --port=P
+//        --listen=P --label=NAME --producers=N --records=N --queries=N
+//        --k=N --window=N --serve_seconds=N --promote_seconds=N
+//        --journal=DIR --sync=none|interval|always
 
 #include <atomic>
 #include <cstdio>
@@ -35,6 +52,7 @@
 #include "core/tma_engine.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "replica/follower.h"
 #include "service/monitor_service.h"
 #include "stream/generators.h"
 #include "util/flags.h"
@@ -46,15 +64,10 @@ namespace {
 
 /// Builds the service (recovering --journal if given) shared by the
 /// local and serve modes.
-std::unique_ptr<MonitorService> MakeService(std::size_t window,
-                                            const std::string& journal_dir,
-                                            SyncPolicy sync) {
-  ServiceOptions options;
-  options.ingest.slack = 4;
-  options.drain_wait = std::chrono::milliseconds(2);
-  options.journal.dir = journal_dir;
-  options.journal.sync = sync;
-  const auto engine_factory = [window] {
+/// Shared engine factory of every serving mode.
+std::function<std::unique_ptr<MonitorEngine>()> EngineFactory(
+    std::size_t window) {
+  return [window] {
     return std::unique_ptr<MonitorEngine>(new ShardedEngine(
         2,
         [window] {
@@ -64,6 +77,19 @@ std::unique_ptr<MonitorService> MakeService(std::size_t window,
           return std::unique_ptr<MonitorEngine>(new TmaEngine(opt));
         }));
   };
+}
+
+std::unique_ptr<MonitorService> MakeService(std::size_t window,
+                                            const std::string& journal_dir,
+                                            SyncPolicy sync) {
+  ServiceOptions options;
+  options.ingest.slack = 4;
+  options.drain_wait = std::chrono::milliseconds(2);
+  options.journal.dir = journal_dir;
+  options.journal.sync = sync;
+  // Leave the previous segment for attached followers to finish.
+  options.journal.retain_segment_count = 2;
+  const auto engine_factory = EngineFactory(window);
   if (journal_dir.empty()) {
     return std::make_unique<MonitorService>(engine_factory(), options);
   }
@@ -105,6 +131,80 @@ int RunServe(std::size_t window, const std::string& journal_dir,
   std::printf("net:     %s\nservice: %s\n",
               server.stats().ToString().c_str(),
               service->stats().ToString().c_str());
+  return 0;
+}
+
+int RunFollower(std::size_t window, const std::string& journal_dir,
+                const std::string& leader_host, std::uint16_t leader_port,
+                std::uint16_t listen_port, long serve_seconds,
+                long promote_seconds) {
+  if (journal_dir.empty()) {
+    std::fprintf(stderr,
+                 "--mode=follower needs --journal=DIR (the local "
+                 "directory the leader's journal is shipped into)\n");
+    return 1;
+  }
+  ServiceOptions options;
+  options.journal.dir = journal_dir;
+  ReplicaFollowerOptions fopt;
+  fopt.leader_host = leader_host;
+  fopt.leader_port = leader_port;
+  auto follower = ReplicaFollower::Open(EngineFactory(window), options,
+                                        fopt);
+  if (!follower.ok()) {
+    std::fprintf(stderr, "%s\n", follower.status().ToString().c_str());
+    return 1;
+  }
+  NetServerOptions net;
+  net.port = listen_port;
+  TcpServer server((*follower)->service(), net);
+  if (const Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "read-only follower of %s:%u serving on 127.0.0.1:%u — reads "
+      "(snapshots, delta polls) welcome; writes are redirected\n",
+      leader_host.c_str(), leader_port, server.port());
+  bool promoted = false;
+  long elapsed = 0;
+  while (serve_seconds <= 0 || elapsed < serve_seconds) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    ++elapsed;
+    if (!promoted) {
+      const ReplicaFollowerStats stats = (*follower)->stats();
+      std::printf(
+          "lag: %lld cycle-ts (applied %lld / leader %lld)  shipped %llu "
+          "bytes  segment %llu  resyncs %llu%s\n",
+          static_cast<long long>(stats.LagTs()),
+          static_cast<long long>(stats.applied_cycle_ts),
+          static_cast<long long>(stats.leader_cycle_ts),
+          static_cast<unsigned long long>(stats.bytes_shipped),
+          static_cast<unsigned long long>(stats.current_segment),
+          static_cast<unsigned long long>(stats.restarts),
+          stats.connected ? "" : "  [leader unreachable]");
+    }
+    if (!promoted && promote_seconds > 0 && elapsed >= promote_seconds) {
+      if (const Status st = (*follower)->Promote(); !st.ok()) {
+        std::fprintf(stderr, "promotion failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      promoted = true;
+      std::printf(
+          "PROMOTED: now the leader — writes accepted, journaling into "
+          "%s\n",
+          journal_dir.c_str());
+    }
+    if (elapsed % 10 == 0) {
+      std::printf("net:     %s\nservice: %s\n",
+                  server.stats().ToString().c_str(),
+                  (*follower)->service().stats().ToString().c_str());
+    }
+  }
+  server.Stop();
+  (*follower)->Stop();
+  (*follower)->service().Shutdown();
   return 0;
 }
 
@@ -317,9 +417,12 @@ int main(int argc, char** argv) {
   const auto k_flag = flags->GetInt("k", 3);
   const auto window_flag = flags->GetInt("window", 2000);
   const auto serve_seconds_flag = flags->GetInt("serve_seconds", 0);
+  const auto listen_flag = flags->GetInt("listen", 4586);
+  const auto promote_seconds_flag = flags->GetInt("promote_seconds", 0);
   for (const auto* f : {&producers_flag, &records_flag, &queries_flag,
                         &k_flag, &window_flag, &port_flag,
-                        &serve_seconds_flag}) {
+                        &serve_seconds_flag, &listen_flag,
+                        &promote_seconds_flag}) {
     if (!f->ok()) {
       std::fprintf(stderr, "%s\n", f->status().ToString().c_str());
       return 1;
@@ -350,6 +453,12 @@ int main(int argc, char** argv) {
                      static_cast<std::size_t>(*queries_flag),
                      static_cast<int>(*k_flag));
   }
+  if (*mode_flag == "follower") {
+    return RunFollower(window, *journal_flag, *host_flag, port,
+                       static_cast<std::uint16_t>(*listen_flag),
+                       static_cast<long>(*serve_seconds_flag),
+                       static_cast<long>(*promote_seconds_flag));
+  }
   if (*mode_flag == "local") {
     return RunLocal(static_cast<int>(*producers_flag),
                     static_cast<std::size_t>(*records_flag),
@@ -357,7 +466,8 @@ int main(int argc, char** argv) {
                     static_cast<int>(*k_flag), window, *journal_flag,
                     *sync_policy);
   }
-  std::fprintf(stderr, "unknown --mode '%s' (local|serve|client)\n",
+  std::fprintf(stderr,
+               "unknown --mode '%s' (local|serve|client|follower)\n",
                mode_flag->c_str());
   return 1;
 }

@@ -267,6 +267,36 @@ Status DecodeBody(const char* data, std::size_t n, JournalRecord* out) {
                                  std::to_string(type));
 }
 
+JournalFrameParse TryParseJournalFrame(const char* data, std::size_t n,
+                                       const char** body,
+                                       std::size_t* body_len,
+                                       std::size_t* consumed,
+                                       std::string* detail) {
+  if (n < kFrameHeaderBytes) return JournalFrameParse::kNeedMore;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]))
+           << (8 * i);
+    crc |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[4 + i]))
+           << (8 * i);
+  }
+  if (len == 0 || len > kMaxRecordBytes) {
+    *detail = "implausible frame length " + std::to_string(len);
+    return JournalFrameParse::kBad;
+  }
+  if (n - kFrameHeaderBytes < len) return JournalFrameParse::kNeedMore;
+  const char* payload = data + kFrameHeaderBytes;
+  if (Crc32(payload, len) != crc) {
+    *detail = "frame CRC mismatch";
+    return JournalFrameParse::kBad;
+  }
+  *body = payload;
+  *body_len = len;
+  *consumed = kFrameHeaderBytes + len;
+  return JournalFrameParse::kFrame;
+}
+
 std::string SegmentFileName(std::uint64_t index) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "segment-%012llu.wal",

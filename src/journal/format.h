@@ -121,6 +121,27 @@ Status DecodeSegmentHeader(const char* data, std::size_t n);
 /// reader; the CRC already vouched for bit-level integrity).
 Status DecodeBody(const char* data, std::size_t n, JournalRecord* out);
 
+/// Outcome of scanning an in-memory byte buffer for one journal frame.
+/// The file-based CycleJournalReader is the recovery-time reader; this is
+/// the streaming flavor the replication follower uses to apply frames as
+/// their bytes arrive off the wire (a partial frame is kNeedMore — more
+/// bytes are coming — not a torn tail).
+enum class JournalFrameParse {
+  kNeedMore,  ///< prefix of a valid frame; wait for more bytes
+  kFrame,     ///< a complete, CRC-verified frame was extracted
+  kBad,       ///< implausible length or CRC mismatch (corruption)
+};
+
+/// Tries to extract one frame from `data[0..n)`. On kFrame, *body /
+/// *body_len reference the frame body inside `data` and *consumed is the
+/// full frame size to discard (the body still needs DecodeBody). On kBad,
+/// *detail describes the damage.
+JournalFrameParse TryParseJournalFrame(const char* data, std::size_t n,
+                                       const char** body,
+                                       std::size_t* body_len,
+                                       std::size_t* consumed,
+                                       std::string* detail);
+
 /// Segment file name for index `i`: "segment-000000000042.wal".
 std::string SegmentFileName(std::uint64_t index);
 

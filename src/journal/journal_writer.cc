@@ -10,29 +10,13 @@
 #include <utility>
 
 #include "journal/journal_reader.h"
+#include "util/fs.h"
 
 namespace topkmon {
 namespace {
 
-Status ErrnoStatus(const std::string& what, int err) {
-  return Status::Internal(what + ": " + std::strerror(err));
-}
-
-/// mkdir -p for a single path (creates missing parents).
-Status MakeDirs(const std::string& dir) {
-  std::string prefix;
-  std::size_t pos = 0;
-  while (pos <= dir.size()) {
-    const std::size_t slash = dir.find('/', pos);
-    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
-    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
-    if (prefix.empty()) continue;  // leading '/'
-    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
-      return ErrnoStatus("mkdir " + prefix, errno);
-    }
-  }
-  return Status::Ok();
-}
+using fs::ErrnoStatus;
+using fs::MakeDirs;
 
 /// Writes all of `bytes` to `fd`, riding out EINTR and partial writes.
 Status WriteAllTo(int fd, const std::string& path,
@@ -141,6 +125,8 @@ Status CycleJournalWriter::OpenSegment(const JournalSnapshot& snapshot,
   segment_bytes_ = bytes.size();
   cycles_in_segment_ = 0;
   appends_since_sync_ = 0;
+  cycles_since_sync_ = 0;
+  last_sync_time_ = std::chrono::steady_clock::now();
   stats_.bytes_written += bytes.size();
   ++stats_.segments_created;
   ++stats_.snapshots_written;
@@ -158,9 +144,38 @@ Status CycleJournalWriter::WriteAll(const std::string& bytes) {
 Status CycleJournalWriter::SyncFd() {
   ++stats_.sync_calls;
   if (::fdatasync(fd_) != 0) {
+    // The tail is still only in page cache: leave the group-commit
+    // counters armed so the next append / Sync / SyncIfDue retries
+    // instead of reporting the unsynced tail durable.
     return ErrnoStatus("fdatasync " + segment_path_, errno);
   }
+  appends_since_sync_ = 0;
+  cycles_since_sync_ = 0;
+  last_sync_time_ = std::chrono::steady_clock::now();
   return Status::Ok();
+}
+
+Status CycleJournalWriter::SyncIfDue() {
+  if (closed_ || fd_ < 0 || appends_since_sync_ == 0) return Status::Ok();
+  if (options_.sync != SyncPolicy::kInterval ||
+      options_.sync_interval_ms.count() <= 0 ||
+      std::chrono::steady_clock::now() - last_sync_time_ <
+          options_.sync_interval_ms) {
+    return Status::Ok();
+  }
+  Status st = SyncFd();
+  if (!st.ok()) ++stats_.append_failures;
+  return st;
+}
+
+Status CycleJournalWriter::Sync() {
+  if (closed_ || fd_ < 0) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  if (appends_since_sync_ == 0) return Status::Ok();
+  Status st = SyncFd();
+  if (!st.ok()) ++stats_.append_failures;
+  return st;
 }
 
 Status CycleJournalWriter::SyncDir() {
@@ -175,10 +190,16 @@ Status CycleJournalWriter::SyncDir() {
 
 void CycleJournalWriter::GarbageCollect() {
   if (options_.retain_old_segments) return;
+  // Keep the newest retain_segment_count segments (the current one plus
+  // the replication horizon); everything older is superseded history.
+  const std::uint64_t keep = std::max<std::uint64_t>(
+      1, options_.retain_segment_count);
+  if (segment_index_ + 1 < keep) return;  // nothing old enough yet
+  const std::uint64_t first_kept = segment_index_ + 1 - keep;
   auto existing = ListSegments(options_.dir);
   if (!existing.ok()) return;  // best-effort
   for (const SegmentInfo& segment : *existing) {
-    if (segment.index >= segment_index_) continue;
+    if (segment.index >= first_kept) continue;
     if (::unlink(segment.path.c_str()) == 0) ++stats_.segments_deleted;
   }
 }
@@ -200,15 +221,20 @@ Status CycleJournalWriter::AppendScratchFrame(bool is_cycle) {
   Status st = WriteAll(frame_scratch_);
   if (st.ok()) {
     ++appends_since_sync_;
-    const bool sync_now =
-        options_.sync == SyncPolicy::kAlways ||
-        (options_.sync == SyncPolicy::kInterval &&
-         appends_since_sync_ >= std::max<std::uint64_t>(
-                                    1, options_.sync_every_records));
-    if (sync_now) {
-      st = SyncFd();
-      appends_since_sync_ = 0;
+    if (is_cycle) ++cycles_since_sync_;
+    bool sync_now = options_.sync == SyncPolicy::kAlways;
+    if (options_.sync == SyncPolicy::kInterval) {
+      // Group commit: whichever batching threshold trips first.
+      sync_now =
+          appends_since_sync_ >= std::max<std::uint64_t>(
+                                     1, options_.sync_every_records) ||
+          (options_.sync_interval_cycles > 0 &&
+           cycles_since_sync_ >= options_.sync_interval_cycles) ||
+          (options_.sync_interval_ms.count() > 0 &&
+           std::chrono::steady_clock::now() - last_sync_time_ >=
+               options_.sync_interval_ms);
     }
+    if (sync_now) st = SyncFd();
   }
   if (!st.ok()) {
     ++stats_.append_failures;

@@ -14,7 +14,14 @@
 //   kNone     every append reaches the kernel (write(2)); the OS decides
 //             when it reaches the platter. Crash of the process loses
 //             nothing; crash of the machine loses the page-cache tail.
-//   kInterval fdatasync every `sync_every_records` appends.
+//   kInterval group commit: fdatasync once several appends have batched
+//             up — every `sync_every_records` appends, every
+//             `sync_interval_cycles` cycle records, or once
+//             `sync_interval_ms` has elapsed since the last sync,
+//             whichever trips first (zero disables that trigger). The
+//             time trigger is checked on appends and by SyncIfDue(),
+//             which the service driver calls on idle loops so a quiet
+//             stream still bounds the unsynced window.
 //   kAlways   fdatasync after every append (group-commit-free, slowest).
 // Snapshot records are always fdatasync'd regardless of policy — they are
 // the recovery anchors.
@@ -26,6 +33,7 @@
 #ifndef TOPKMON_JOURNAL_JOURNAL_WRITER_H_
 #define TOPKMON_JOURNAL_JOURNAL_WRITER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -57,8 +65,23 @@ struct JournalOptions {
   SyncPolicy sync = SyncPolicy::kNone;
   /// fdatasync cadence under SyncPolicy::kInterval.
   std::uint64_t sync_every_records = 256;
+  /// Group-commit triggers under SyncPolicy::kInterval: also sync after
+  /// this many *cycle* records batched since the last sync, or once this
+  /// much wall time elapsed since it (0 disables either trigger). Acks
+  /// ride behind the batch: a producer that needs an explicit durability
+  /// point calls MonitorService::SyncJournal() (the Sync() barrier
+  /// below), not a sync per record.
+  std::uint64_t sync_interval_cycles = 0;
+  std::chrono::milliseconds sync_interval_ms{0};
   /// Keep superseded segments instead of deleting them after rotation.
   bool retain_old_segments = false;
+  /// How many of the newest segments survive garbage collection (>= 1;
+  /// the current segment always survives). Replicated leaders keep 2+ so
+  /// a follower at the tail of the just-sealed segment can finish
+  /// shipping it instead of paying a full snapshot resync on every
+  /// rotation (the replication horizon); ignored when
+  /// retain_old_segments keeps everything.
+  std::uint64_t retain_segment_count = 1;
   /// Write a final snapshot segment on clean service shutdown so restart
   /// recovery replays nothing.
   bool snapshot_on_shutdown = true;
@@ -108,6 +131,15 @@ class CycleJournalWriter {
   /// garbage-collects superseded segments.
   Status RotateWithSnapshot(const JournalSnapshot& snapshot);
 
+  /// Group-commit time trigger: fdatasyncs iff there are unsynced
+  /// appends and the kInterval time window (sync_interval_ms) has
+  /// elapsed. Cheap no-op otherwise; the service driver calls this on
+  /// idle loops so a stream that goes quiet still gets its tail synced.
+  Status SyncIfDue();
+
+  /// Unconditional durability barrier: fdatasyncs any unsynced appends.
+  Status Sync();
+
   /// fdatasyncs and closes the current segment. Idempotent; appends after
   /// Close fail with FailedPrecondition.
   Status Close();
@@ -143,6 +175,8 @@ class CycleJournalWriter {
   std::size_t segment_bytes_ = 0;       ///< bytes written to current segment
   std::uint64_t cycles_in_segment_ = 0;
   std::uint64_t appends_since_sync_ = 0;
+  std::uint64_t cycles_since_sync_ = 0;
+  std::chrono::steady_clock::time_point last_sync_time_{};
   bool closed_ = false;
   JournalWriterStats stats_;
 };

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
 
 #include "journal/journal_reader.h"
 
@@ -49,6 +49,106 @@ std::string RecoveryReport::ToString() const {
   return os.str();
 }
 
+JournalApplier::JournalApplier(MonitorEngine& engine, Hooks hooks)
+    : engine_(engine), hooks_(std::move(hooks)) {
+  if (!hooks_.register_query) {
+    hooks_.register_query = [this](const JournaledQuery& q) {
+      return engine_.RegisterQuery(q.spec);
+    };
+  }
+  if (!hooks_.unregister_query) {
+    hooks_.unregister_query = [this](QueryId id) {
+      return engine_.UnregisterQuery(id);
+    };
+  }
+}
+
+void JournalApplier::RegisterOne(const JournaledQuery& query) {
+  const Status st = hooks_.register_query(query);
+  if (!st.ok()) {
+    ++apply_rejections_;
+    return;
+  }
+  live_index_[query.spec.id] = live_.size();
+  live_.push_back(query);
+}
+
+void JournalApplier::UnregisterOne(QueryId id) {
+  const Status st = hooks_.unregister_query(id);
+  auto it = live_index_.find(id);
+  if (it != live_index_.end()) {
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(it->second));
+    live_index_.clear();
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      live_index_[live_[i].spec.id] = i;
+    }
+  }
+  if (!st.ok()) ++apply_rejections_;
+}
+
+Status JournalApplier::ApplyAnchor(JournalSnapshot anchor) {
+  if (engine_.WindowSize() != 0) {
+    return Status::FailedPrecondition(
+        "anchor replay requires a freshly constructed engine");
+  }
+  TOPKMON_RETURN_IF_ERROR(CheckDims(anchor, engine_));
+
+  // Restore the window image first, then the live query set: each
+  // query's initial result is recomputed over the restored window,
+  // exactly as at its original registration.
+  EngineSnapshot image;
+  image.last_cycle = anchor.last_cycle_ts;
+  image.window = std::move(anchor.window);
+  TOPKMON_RETURN_IF_ERROR(engine_.RestoreState(image));
+  for (const JournaledQuery& q : anchor.live_queries) RegisterOne(q);
+
+  records_applied_ = 1;  // the anchor snapshot
+  last_cycle_ts_ = anchor.last_cycle_ts;
+  next_record_id_ = anchor.next_record_id;
+  next_query_id_ = anchor.next_query_id;
+  return Status::Ok();
+}
+
+Status JournalApplier::Apply(const JournalRecord& record) {
+  switch (record.type) {
+    case JournalRecordType::kCycle: {
+      const Status st = engine_.ProcessCycle(record.cycle_ts, record.batch);
+      if (!st.ok()) {
+        return Status::Internal(
+            "journal replay diverged at cycle ts=" +
+            std::to_string(record.cycle_ts) + ": " + st.ToString() +
+            " (was this journal written by a differently configured "
+            "engine?)");
+      }
+      ++cycles_applied_;
+      last_cycle_ts_ = record.cycle_ts;
+      if (!record.batch.empty()) {
+        next_record_id_ =
+            std::max(next_record_id_, record.batch.back().id + 1);
+      }
+      break;
+    }
+    case JournalRecordType::kRegister:
+      RegisterOne(record.query);
+      ++registers_applied_;
+      next_query_id_ = std::max(
+          next_query_id_,
+          static_cast<std::uint64_t>(record.query.spec.id) + 1);
+      break;
+    case JournalRecordType::kUnregister:
+      UnregisterOne(record.unregistered);
+      ++unregisters_applied_;
+      break;
+    case JournalRecordType::kSnapshot:
+      // A later segment's anchor snapshot describes exactly the state
+      // this applier already reached by replaying the records before it
+      // — skip it (continuous followers cross segment boundaries here).
+      break;
+  }
+  ++records_applied_;
+  return Status::Ok();
+}
+
 Result<RecoveryReport> RecoveryDriver::Replay(const std::string& dir,
                                               MonitorEngine& engine) {
   RecoveryReport report;
@@ -84,52 +184,11 @@ Result<RecoveryReport> RecoveryDriver::Replay(const std::string& dir,
     return report;
   }
 
-  if (engine.WindowSize() != 0) {
-    return Status::FailedPrecondition(
-        "recovery requires a freshly constructed engine");
-  }
-  TOPKMON_RETURN_IF_ERROR(CheckDims(anchor, engine));
-
-  // 1. Restore the window image, then the live query set (each query's
-  //    initial result is recomputed over the restored window, exactly as
-  //    at its original registration).
-  EngineSnapshot image;
-  image.last_cycle = anchor.last_cycle_ts;
-  image.window = std::move(anchor.window);
-  TOPKMON_RETURN_IF_ERROR(engine.RestoreState(image));
-
-  std::vector<JournaledQuery> live;
-  std::unordered_map<QueryId, std::size_t> live_index;
-  auto register_query = [&](const JournaledQuery& q) {
-    const Status st = engine.RegisterQuery(q.spec);
-    if (!st.ok()) {
-      ++report.apply_rejections;
-      return;
-    }
-    live_index[q.spec.id] = live.size();
-    live.push_back(q);
-  };
-  auto unregister_query = [&](QueryId id) {
-    const Status st = engine.UnregisterQuery(id);
-    auto it = live_index.find(id);
-    if (it != live_index.end()) {
-      live.erase(live.begin() + static_cast<std::ptrdiff_t>(it->second));
-      live_index.clear();
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        live_index[live[i].spec.id] = i;
-      }
-    }
-    if (!st.ok()) ++report.apply_rejections;
-  };
-  for (const JournaledQuery& q : anchor.live_queries) register_query(q);
-
+  JournalApplier applier(engine);
+  TOPKMON_RETURN_IF_ERROR(applier.ApplyAnchor(std::move(anchor)));
   report.recovered = true;
-  report.records_replayed = 1;  // the anchor snapshot
-  report.last_cycle_ts = anchor.last_cycle_ts;
-  report.next_record_id = anchor.next_record_id;
-  report.next_query_id = anchor.next_query_id;
 
-  // 2. Replay everything the original process applied after the anchor.
+  // Replay everything the original process applied after the anchor.
   while (true) {
     CycleJournalReader::Outcome outcome = reader->Next();
     if (outcome.kind == CycleJournalReader::Kind::kEnd) break;
@@ -148,45 +207,18 @@ Result<RecoveryReport> RecoveryDriver::Replay(const std::string& dir,
       report.tail_detail = outcome.detail;
       break;
     }
-    JournalRecord& record = outcome.record;
-    switch (record.type) {
-      case JournalRecordType::kCycle: {
-        const Status st = engine.ProcessCycle(record.cycle_ts, record.batch);
-        if (!st.ok()) {
-          return Status::Internal(
-              "journal replay diverged at cycle ts=" +
-              std::to_string(record.cycle_ts) + ": " + st.ToString() +
-              " (was this journal written by a differently configured "
-              "engine?)");
-        }
-        ++report.cycles_replayed;
-        report.last_cycle_ts = record.cycle_ts;
-        if (!record.batch.empty()) {
-          report.next_record_id =
-              std::max(report.next_record_id, record.batch.back().id + 1);
-        }
-        break;
-      }
-      case JournalRecordType::kRegister:
-        register_query(record.query);
-        ++report.registers_replayed;
-        report.next_query_id = std::max(
-            report.next_query_id,
-            static_cast<std::uint64_t>(record.query.spec.id) + 1);
-        break;
-      case JournalRecordType::kUnregister:
-        unregister_query(record.unregistered);
-        ++report.unregisters_replayed;
-        break;
-      case JournalRecordType::kSnapshot:
-        // Snapshots only anchor segments; mid-segment ones are not
-        // written. Tolerate and skip if a future version interleaves them.
-        break;
-    }
-    ++report.records_replayed;
+    TOPKMON_RETURN_IF_ERROR(applier.Apply(outcome.record));
   }
 
-  report.live_queries = std::move(live);
+  report.cycles_replayed = applier.cycles_applied();
+  report.records_replayed = applier.records_applied();
+  report.registers_replayed = applier.registers_applied();
+  report.unregisters_replayed = applier.unregisters_applied();
+  report.apply_rejections = applier.apply_rejections();
+  report.last_cycle_ts = applier.last_cycle_ts();
+  report.next_record_id = applier.next_record_id();
+  report.next_query_id = applier.next_query_id();
+  report.live_queries = applier.live_queries();
   report.window_size = engine.WindowSize();
   return report;
 }

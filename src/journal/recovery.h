@@ -21,7 +21,9 @@
 #define TOPKMON_JOURNAL_RECOVERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -64,6 +66,69 @@ struct RecoveryReport {
   std::vector<JournaledQuery> live_queries;
 
   std::string ToString() const;
+};
+
+/// Applies journal records to an engine in order, keeping the replay
+/// bookkeeping (live query set, id resume points, counters) that both
+/// crash recovery and the replication follower need. RecoveryDriver runs
+/// one applier over one segment at startup; a follower keeps one alive
+/// and feeds it records continuously as journal bytes arrive from the
+/// leader.
+class JournalApplier {
+ public:
+  /// Query-lifetime hooks. By default the applier registers/unregisters
+  /// straight on the engine; a service-level owner overrides them to
+  /// route the event through its session/subscription bookkeeping (the
+  /// hook owns calling the engine then). A non-OK return is counted as
+  /// an apply rejection — exactly how the original process treated the
+  /// same refusal — never as a replay failure.
+  struct Hooks {
+    std::function<Status(const JournaledQuery&)> register_query;
+    std::function<Status(QueryId)> unregister_query;
+  };
+
+  explicit JournalApplier(MonitorEngine& engine, Hooks hooks = {});
+
+  /// Restores the anchor snapshot into the engine (which must be freshly
+  /// constructed) and registers its live queries. Takes the anchor by
+  /// value so the window image (the dominant allocation) moves instead
+  /// of copying. Fails on dimensionality mismatches and restore errors.
+  Status ApplyAnchor(JournalSnapshot anchor);
+
+  /// Applies one post-anchor record. kSnapshot records are skipped (a
+  /// later segment's anchor describes state this applier already holds).
+  /// Fails only on a cycle the engine refuses — state divergence, always
+  /// a configuration bug.
+  Status Apply(const JournalRecord& record);
+
+  // ---- replay bookkeeping ---------------------------------------------
+  Timestamp last_cycle_ts() const { return last_cycle_ts_; }
+  RecordId next_record_id() const { return next_record_id_; }
+  std::uint64_t next_query_id() const { return next_query_id_; }
+  std::uint64_t cycles_applied() const { return cycles_applied_; }
+  std::uint64_t records_applied() const { return records_applied_; }
+  std::uint64_t registers_applied() const { return registers_applied_; }
+  std::uint64_t unregisters_applied() const { return unregisters_applied_; }
+  std::uint64_t apply_rejections() const { return apply_rejections_; }
+  /// Queries live right now, in registration order.
+  const std::vector<JournaledQuery>& live_queries() const { return live_; }
+
+ private:
+  void RegisterOne(const JournaledQuery& query);
+  void UnregisterOne(QueryId id);
+
+  MonitorEngine& engine_;
+  Hooks hooks_;
+  std::vector<JournaledQuery> live_;
+  std::unordered_map<QueryId, std::size_t> live_index_;
+  Timestamp last_cycle_ts_ = 0;
+  RecordId next_record_id_ = 0;
+  std::uint64_t next_query_id_ = 1;
+  std::uint64_t cycles_applied_ = 0;
+  std::uint64_t records_applied_ = 0;
+  std::uint64_t registers_applied_ = 0;
+  std::uint64_t unregisters_applied_ = 0;
+  std::uint64_t apply_rejections_ = 0;
 };
 
 /// Replays the journal in `dir` into `engine`.

@@ -148,6 +148,12 @@ class ByteReader {
 
   std::string GetString() {
     const std::size_t n = GetU16();
+    return GetBytes(n);
+  }
+
+  /// Raw byte run of caller-known length (the replication chunk payload
+  /// — one memcpy, not a per-byte loop).
+  std::string GetBytes(std::size_t n) {
     if (!Require(n)) return std::string();
     std::string s(data_ + pos_, n);
     pos_ += n;

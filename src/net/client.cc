@@ -79,6 +79,7 @@ Result<std::unique_ptr<MonitorClient>> MonitorClient::Connect(
   if (!welcome.ok()) return welcome.status();
   client->session_ = welcome->session;
   client->resumed_ = welcome->resumed;
+  client->server_role_ = welcome->role;
   return client;
 }
 
@@ -229,13 +230,52 @@ Status MonitorClient::Unregister(QueryId query) {
   return RoundTrip(body, NetMessageType::kUnregisterAck).status();
 }
 
+Result<std::vector<RegisterOutcome>> MonitorClient::RegisterBatch(
+    const std::vector<QuerySpec>& specs) {
+  std::string body;
+  TOPKMON_RETURN_IF_ERROR(EncodeRegisterBatch(specs, &body));
+  auto ack = RoundTrip(body, NetMessageType::kRegisterBatchAck);
+  if (!ack.ok()) return ack.status();
+  if (ack->outcomes.size() != specs.size()) {
+    return Status::Internal("register-batch ack carries " +
+                            std::to_string(ack->outcomes.size()) +
+                            " outcomes for " +
+                            std::to_string(specs.size()) + " specs");
+  }
+  return std::move(ack->outcomes);
+}
+
 Result<std::vector<ResultEntry>> MonitorClient::CurrentResult(
     QueryId query) {
   std::string body;
   EncodeSnapshotRequest(query, &body);
   auto result = RoundTrip(body, NetMessageType::kSnapshotResult);
   if (!result.ok()) return result.status();
+  snapshot_as_of_ = result->as_of;
+  snapshot_stale_by_ = result->stale_by;
   return std::move(result->entries);
+}
+
+Result<ShipChunk> MonitorClient::ReplFetch(std::uint64_t segment,
+                                           std::uint64_t offset,
+                                           std::uint32_t max_bytes,
+                                           std::chrono::milliseconds wait) {
+  std::string body;
+  EncodeReplFetch(segment, offset, max_bytes,
+                  static_cast<std::uint32_t>(std::max<std::int64_t>(
+                      0, std::min<std::int64_t>(wait.count(), 0xFFFFFFFF))),
+                  &body);
+  auto reply = RoundTrip(body, NetMessageType::kReplChunk, wait);
+  if (!reply.ok()) return reply.status();
+  leader_cycle_ts_ = std::max(leader_cycle_ts_, reply->leader_cycle_ts);
+  ShipChunk chunk;
+  chunk.segment = reply->segment;
+  chunk.offset = reply->offset;
+  chunk.sealed = reply->sealed;
+  chunk.restart = reply->restart;
+  chunk.next_segment = reply->next_segment;
+  chunk.data = std::move(reply->data);
+  return chunk;
 }
 
 Result<std::vector<DeltaEvent>> MonitorClient::PollDeltas(

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "replica/shipper.h"
 #include "service/subscription_hub.h"
 
 namespace topkmon {
@@ -62,6 +63,9 @@ class MonitorClient {
 
   SessionId session() const { return session_; }
   bool resumed() const { return resumed_; }
+  /// True when the Welcome announced a read-only replication follower
+  /// (writes will be refused with a redirect-to-leader status).
+  bool server_is_follower() const { return server_role_ == 1; }
 
   /// Per-batch ingest outcome. A batch is not transactional: tuples are
   /// admitted individually, so some may be accepted and others refused
@@ -86,8 +90,32 @@ class MonitorClient {
 
   Status Unregister(QueryId query);
 
-  /// Snapshot read of a query's current top-k.
+  /// Registers several queries in one frame (one round trip instead of
+  /// N) — how a batch of subscriptions is (re-)announced cheaply, e.g.
+  /// after failing over to a promoted follower. Outcomes are per query:
+  /// a refused spec does not fail its siblings.
+  Result<std::vector<RegisterOutcome>> RegisterBatch(
+      const std::vector<QuerySpec>& specs);
+
+  /// Snapshot read of a query's current top-k. `snapshot_as_of()` /
+  /// `snapshot_stale_by()` report the freshness of the last snapshot: a
+  /// follower answers with the timestamp of its last applied cycle and a
+  /// bound on how far that lags the leader (a leader reports 0 lag).
   Result<std::vector<ResultEntry>> CurrentResult(QueryId query);
+  Timestamp snapshot_as_of() const { return snapshot_as_of_; }
+  Timestamp snapshot_stale_by() const { return snapshot_stale_by_; }
+
+  /// Replication fetch (follower internals; see docs/REPLICATION.md):
+  /// raw journal bytes of `segment` from `offset`. Blocks server-side up
+  /// to `wait` when the journal has nothing new. max_bytes==0 lets the
+  /// server pick its cap.
+  Result<ShipChunk> ReplFetch(std::uint64_t segment, std::uint64_t offset,
+                              std::uint32_t max_bytes,
+                              std::chrono::milliseconds wait);
+
+  /// The leader's last applied cycle timestamp as of the last ReplFetch
+  /// answer — the follower's staleness reference.
+  Timestamp leader_cycle_ts() const { return leader_cycle_ts_; }
 
   /// Long-polls the session's delta subscription: blocks server-side
   /// until events arrive or `timeout` expires (empty result = timeout).
@@ -121,7 +149,11 @@ class MonitorClient {
   const NetClientOptions options_;
   SessionId session_ = 0;
   bool resumed_ = false;
+  std::uint8_t server_role_ = 0;
   std::uint64_t last_seq_ = 0;
+  Timestamp snapshot_as_of_ = 0;
+  Timestamp snapshot_stale_by_ = 0;
+  Timestamp leader_cycle_ts_ = 0;
   std::string inbuf_;
 };
 

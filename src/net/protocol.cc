@@ -76,11 +76,13 @@ void EncodeHello(bool resume, const std::string& label, std::string* out) {
   wire::PutString(label, out);
 }
 
-void EncodeWelcome(SessionId session, bool resumed, std::string* out) {
+void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
+                   std::string* out) {
   PutType(NetMessageType::kWelcome, out);
   wire::PutU64(session, out);
   wire::PutU8(resumed ? 1 : 0, out);
   wire::PutU32(kNetProtocolVersion, out);
+  wire::PutU8(role, out);
 }
 
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
@@ -134,8 +136,11 @@ void EncodeSnapshotRequest(QueryId query, std::string* out) {
 }
 
 void EncodeSnapshotResult(const std::vector<ResultEntry>& entries,
+                          Timestamp as_of, Timestamp stale_by,
                           std::string* out) {
   PutType(NetMessageType::kSnapshotResult, out);
+  wire::PutI64(as_of, out);
+  wire::PutI64(stale_by, out);
   PutEntries(entries, out);
 }
 
@@ -173,6 +178,64 @@ void EncodeError(const Status& status, std::string* out) {
   wire::PutString(status.message(), out);
 }
 
+Status EncodeRegisterBatch(const std::vector<QuerySpec>& specs,
+                           std::string* out) {
+  if (specs.empty() || specs.size() > kMaxRegisterBatch) {
+    return Status::InvalidArgument(
+        "RegisterBatch carries 1.." + std::to_string(kMaxRegisterBatch) +
+        " specs, not " + std::to_string(specs.size()));
+  }
+  const std::size_t mark = out->size();
+  PutType(NetMessageType::kRegisterBatch, out);
+  wire::PutU32(static_cast<std::uint32_t>(specs.size()), out);
+  for (const QuerySpec& spec : specs) {
+    const Status st = wire::PutQuerySpec(spec, out);
+    if (!st.ok()) {
+      out->resize(mark);
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+void EncodeRegisterBatchAck(const std::vector<RegisterOutcome>& outcomes,
+                            std::string* out) {
+  PutType(NetMessageType::kRegisterBatchAck, out);
+  wire::PutU32(static_cast<std::uint32_t>(outcomes.size()), out);
+  for (const RegisterOutcome& o : outcomes) {
+    wire::PutU8(NetEncodeStatusCode(o.code), out);
+    wire::PutU32(o.query, out);
+    wire::PutString(o.message, out);
+  }
+}
+
+void EncodeReplFetch(std::uint64_t segment, std::uint64_t offset,
+                     std::uint32_t max_bytes, std::uint32_t wait_ms,
+                     std::string* out) {
+  PutType(NetMessageType::kReplFetch, out);
+  wire::PutU64(segment, out);
+  wire::PutU64(offset, out);
+  wire::PutU32(max_bytes, out);
+  wire::PutU32(wait_ms, out);
+}
+
+void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
+                     bool sealed, bool restart, std::uint64_t next_segment,
+                     Timestamp leader_cycle_ts, const std::string& data,
+                     std::string* out) {
+  out->reserve(out->size() + 40 + data.size());
+  PutType(NetMessageType::kReplChunk, out);
+  wire::PutU64(segment, out);
+  wire::PutU64(offset, out);
+  wire::PutU8(static_cast<std::uint8_t>((sealed ? 1 : 0) |
+                                        (restart ? 2 : 0)),
+              out);
+  wire::PutU64(next_segment, out);
+  wire::PutI64(leader_cycle_ts, out);
+  wire::PutU32(static_cast<std::uint32_t>(data.size()), out);
+  out->append(data);
+}
+
 void EncodeNetFrame(const std::string& body, std::string* out) {
   wire::PutU32(static_cast<std::uint32_t>(body.size()), out);
   wire::PutU32(Crc32(body.data(), body.size()), out);
@@ -204,6 +267,7 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->session = in.GetU64();
       out->resumed = in.GetU8() == 1;
       out->version = in.GetU32();
+      out->role = in.GetU8();
       return done();
     case NetMessageType::kIngest: {
       out->type = NetMessageType::kIngest;
@@ -244,6 +308,8 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       return done();
     case NetMessageType::kSnapshotResult:
       out->type = NetMessageType::kSnapshotResult;
+      out->as_of = in.GetI64();
+      out->stale_by = in.GetI64();
       out->entries.clear();
       TOPKMON_RETURN_IF_ERROR(GetEntries(in, &out->entries));
       return done();
@@ -289,6 +355,66 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->code = NetDecodeStatusCode(in.GetU8());
       out->message = in.GetString();
       return done();
+    case NetMessageType::kRegisterBatch: {
+      out->type = NetMessageType::kRegisterBatch;
+      const std::uint32_t count = in.GetU32();
+      // A spec is at least id + k + function header + constraint flag (11
+      // bytes); a count promising more is malformed, not an allocation.
+      if (!in.ok() || count == 0 || count > kMaxRegisterBatch ||
+          count > in.remaining() / 11) {
+        return Status::InvalidArgument("bad register-batch count");
+      }
+      out->specs.clear();
+      out->specs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        QuerySpec spec;
+        TOPKMON_RETURN_IF_ERROR(wire::GetQuerySpec(in, &spec));
+        out->specs.push_back(std::move(spec));
+      }
+      return done();
+    }
+    case NetMessageType::kRegisterBatchAck: {
+      out->type = NetMessageType::kRegisterBatchAck;
+      const std::uint32_t count = in.GetU32();
+      // An outcome is at least code + query + empty string (7 bytes).
+      if (!in.ok() || count > in.remaining() / 7) {
+        return Status::InvalidArgument("bad register-batch-ack count");
+      }
+      out->outcomes.clear();
+      out->outcomes.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        RegisterOutcome o;
+        o.code = NetDecodeStatusCode(in.GetU8());
+        o.query = in.GetU32();
+        o.message = in.GetString();
+        out->outcomes.push_back(std::move(o));
+      }
+      return done();
+    }
+    case NetMessageType::kReplFetch:
+      out->type = NetMessageType::kReplFetch;
+      out->segment = in.GetU64();
+      out->offset = in.GetU64();
+      out->max_bytes = in.GetU32();
+      out->timeout_ms = in.GetU32();
+      return done();
+    case NetMessageType::kReplChunk: {
+      out->type = NetMessageType::kReplChunk;
+      out->segment = in.GetU64();
+      out->offset = in.GetU64();
+      const std::uint8_t flags = in.GetU8();
+      if (flags > 3) return Status::InvalidArgument("bad chunk flags");
+      out->sealed = (flags & 1) != 0;
+      out->restart = (flags & 2) != 0;
+      out->next_segment = in.GetU64();
+      out->leader_cycle_ts = in.GetI64();
+      const std::uint32_t len = in.GetU32();
+      if (!in.ok() || len > in.remaining()) {
+        return Status::InvalidArgument("chunk length exceeds body size");
+      }
+      out->data = in.GetBytes(len);
+      return done();
+    }
   }
   return Status::InvalidArgument("unknown message type " +
                                  std::to_string(type));

@@ -49,7 +49,13 @@ inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
 /// Version of the message encodings below. Bump on any incompatible
 /// layout change and document the migration in docs/PROTOCOL.md (CI
 /// checks that the spec's version matches this constant).
-inline constexpr std::uint32_t kNetProtocolVersion = 1;
+///
+/// v2: Welcome carries the server's role (leader/follower), SnapshotResult
+/// carries the as-of cycle timestamp and a staleness bound, and the
+/// replication (ReplFetch/ReplChunk) and batched-registration
+/// (RegisterBatch/RegisterBatchAck) messages were added — see
+/// docs/REPLICATION.md.
+inline constexpr std::uint32_t kNetProtocolVersion = 2;
 
 /// Bytes of a frame prologue (body_len + crc32c).
 inline constexpr std::size_t kNetFrameHeaderBytes = 8;
@@ -85,6 +91,24 @@ enum class NetMessageType : std::uint8_t {
   kClose = 13,        ///< end the dialog (optionally closing the session)
   kCloseAck = 14,
   kError = 15,        ///< request failed: status code + message
+  kRegisterBatch = 16,     ///< register N queries in one frame
+  kRegisterBatchAck = 17,  ///< per-query outcome (status + assigned id)
+  kReplFetch = 18,    ///< replication: journal bytes at (segment, offset)
+  kReplChunk = 19,    ///< raw journal bytes + shipping metadata
+};
+
+/// Maximum queries in one RegisterBatch (bounds the work a single frame
+/// can demand of the control plane).
+inline constexpr std::uint32_t kMaxRegisterBatch = 1024;
+
+/// Server-side clamp on bytes returned per ReplChunk.
+inline constexpr std::uint32_t kMaxReplChunkBytes = 1u << 20;
+
+/// One query's outcome inside a RegisterBatchAck.
+struct RegisterOutcome {
+  StatusCode code = StatusCode::kOk;
+  QueryId query = 0;    ///< service-assigned id; valid iff code == kOk
+  std::string message;  ///< refusal detail; empty on success
 };
 
 /// One decoded protocol message (tagged by `type`; only the members of
@@ -101,6 +125,7 @@ struct NetMessage {
   // kWelcome
   SessionId session = 0;
   bool resumed = false;
+  std::uint8_t role = 0;  ///< 0 leader, 1 read-only follower
 
   // kIngest (record ids are a synthetic 0..n-1 ramp — the service
   // assigns real ids at admission; arrivals must be non-decreasing).
@@ -120,8 +145,12 @@ struct NetMessage {
   // kRegisterAck / kUnregister / kSnapshot
   QueryId query = 0;
 
-  // kSnapshotResult
+  // kSnapshotResult. as_of is the timestamp of the last cycle applied to
+  // the answering engine; stale_by bounds how far that lags the leader
+  // (always 0 from a leader).
   std::vector<ResultEntry> entries;
+  Timestamp as_of = 0;
+  Timestamp stale_by = 0;
 
   // kPoll
   std::uint32_t max_events = 0;
@@ -132,6 +161,26 @@ struct NetMessage {
 
   // kClose
   bool close_session = false;
+
+  // kRegisterBatch / kRegisterBatchAck
+  std::vector<QuerySpec> specs;
+  std::vector<RegisterOutcome> outcomes;
+
+  // kReplFetch (segment/offset name the next unshipped journal byte;
+  // max_bytes caps the reply; timeout_ms is the long-poll wait when the
+  // journal has nothing new) and kReplChunk (raw journal-file bytes of
+  // `segment` starting at `offset`; `sealed` marks the segment complete
+  // with `next_segment` following it; `restart` means the requested
+  // segment is gone — wipe and re-ship from `next_segment`;
+  // leader_cycle_ts is the leader's apply progress for lag accounting).
+  std::uint64_t segment = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t max_bytes = 0;
+  bool sealed = false;
+  bool restart = false;
+  std::uint64_t next_segment = 0;
+  Timestamp leader_cycle_ts = 0;
+  std::string data;
 };
 
 // ---- status codes on the wire -----------------------------------------
@@ -146,7 +195,8 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire);
 // ---- encoding (append one message body to *out) -----------------------
 
 void EncodeHello(bool resume, const std::string& label, std::string* out);
-void EncodeWelcome(SessionId session, bool resumed, std::string* out);
+void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
+                   std::string* out);
 /// Requires tuples non-empty with uniform dimensionality, strictly
 /// increasing ids and non-decreasing arrivals (use a 0..n-1 id ramp over
 /// an arrival-sorted batch — see MonitorClient::Ingest).
@@ -161,6 +211,7 @@ void EncodeUnregister(QueryId query, std::string* out);
 void EncodeUnregisterAck(std::string* out);
 void EncodeSnapshotRequest(QueryId query, std::string* out);
 void EncodeSnapshotResult(const std::vector<ResultEntry>& entries,
+                          Timestamp as_of, Timestamp stale_by,
                           std::string* out);
 void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
                 std::string* out);
@@ -168,6 +219,20 @@ void EncodeDeltas(const std::vector<DeltaEvent>& events, std::string* out);
 void EncodeClose(bool close_session, std::string* out);
 void EncodeCloseAck(std::string* out);
 void EncodeError(const Status& status, std::string* out);
+/// Fails with Unimplemented when any spec's scoring function has no wire
+/// encoding, or InvalidArgument on an empty/oversized batch; *out is
+/// unchanged on failure.
+Status EncodeRegisterBatch(const std::vector<QuerySpec>& specs,
+                           std::string* out);
+void EncodeRegisterBatchAck(const std::vector<RegisterOutcome>& outcomes,
+                            std::string* out);
+void EncodeReplFetch(std::uint64_t segment, std::uint64_t offset,
+                     std::uint32_t max_bytes, std::uint32_t wait_ms,
+                     std::string* out);
+void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
+                     bool sealed, bool restart, std::uint64_t next_segment,
+                     Timestamp leader_cycle_ts, const std::string& data,
+                     std::string* out);
 
 /// Wraps a message body in a frame (length prefix + CRC-32C + body).
 void EncodeNetFrame(const std::string& body, std::string* out);

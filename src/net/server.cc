@@ -38,12 +38,20 @@ std::string NetServerStats::ToString() const {
      << " bytes_in=" << bytes_received << " bytes_out=" << bytes_sent
      << " ingested=" << records_ingested
      << " protocol_errors=" << protocol_errors;
+  if (repl_chunks_sent > 0) {
+    os << " repl_chunks=" << repl_chunks_sent
+       << " repl_bytes=" << repl_bytes_shipped;
+  }
   return os.str();
 }
 
 TcpServer::TcpServer(MonitorService& service,
                      const NetServerOptions& options)
-    : service_(service), options_(options) {}
+    : service_(service), options_(options) {
+  if (!service_.journal_dir().empty()) {
+    shipper_ = std::make_unique<JournalShipper>(service_.journal_dir());
+  }
+}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -156,6 +164,15 @@ void TcpServer::Loop() {
           (service_.PendingDeltas(conn.session) > 0 ||
            now >= conn.poll_deadline)) {
         AnswerPoll(conn);
+      }
+      // A parked replication fetch wakes on journal growth (any append
+      // bumps JournalProgress) or its deadline — the empty chunk is the
+      // fetch's long-poll timeout signal.
+      if (conn.closing && conn.fetch_parked) conn.fetch_parked = false;
+      if (alive && conn.fetch_parked &&
+          (service_.JournalProgress() != conn.fetch_progress ||
+           now >= conn.fetch_deadline)) {
+        AnswerFetch(conn);
       }
       if (alive && options_.idle_timeout.count() > 0 &&
           now - conn.last_activity > options_.idle_timeout) {
@@ -284,8 +301,9 @@ void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
   // A pipelined request while a long-poll is parked would interleave its
   // response with the eventual Deltas frame; answering the poll first
   // (with whatever is pending, possibly nothing) keeps the dialog a
-  // strict one-response-per-request sequence.
+  // strict one-response-per-request sequence. Parked fetches likewise.
   if (conn.poll_parked) AnswerPoll(conn);
+  if (conn.fetch_parked) AnswerFetch(conn);
 
   if (!conn.hello_done && msg.type != NetMessageType::kHello) {
     FailConnection(conn, Status::FailedPrecondition(
@@ -334,13 +352,23 @@ void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
                     &body);
       } else if (const auto result = service_.CurrentResult(msg.query);
                  result.ok()) {
-        EncodeSnapshotResult(*result, &body);
+        // The as-of timestamp and staleness bound make follower reads
+        // honest: a replica answers with how far it may lag the leader.
+        const ReplicationInfo repl = service_.replication();
+        EncodeSnapshotResult(*result, repl.applied_cycle_ts,
+                             repl.StaleBy(), &body);
       } else {
         EncodeError(result.status(), &body);
       }
       SendBody(conn, body);
       return;
     }
+    case NetMessageType::kRegisterBatch:
+      HandleRegisterBatch(conn, msg);
+      return;
+    case NetMessageType::kReplFetch:
+      HandleReplFetch(conn, msg);
+      return;
     case NetMessageType::kPoll: {
       std::size_t max = msg.max_events == 0
                             ? options_.max_poll_events
@@ -380,6 +408,8 @@ void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
     case NetMessageType::kDeltas:
     case NetMessageType::kCloseAck:
     case NetMessageType::kError:
+    case NetMessageType::kRegisterBatchAck:
+    case NetMessageType::kReplChunk:
       break;
   }
   FailConnection(conn,
@@ -453,7 +483,97 @@ void TcpServer::HandleHello(Connection& conn, const NetMessage& msg) {
   conn.session = session;
   conn.hello_done = true;
   std::string body;
-  EncodeWelcome(session, resumed, &body);
+  EncodeWelcome(session, resumed,
+                static_cast<std::uint8_t>(service_.role()), &body);
+  SendBody(conn, body);
+}
+
+void TcpServer::HandleRegisterBatch(Connection& conn,
+                                    const NetMessage& msg) {
+  // Per-query outcomes, not a transaction: each spec is admitted
+  // independently, exactly as if it had arrived in its own Register.
+  std::vector<RegisterOutcome> outcomes;
+  outcomes.reserve(msg.specs.size());
+  for (const QuerySpec& spec : msg.specs) {
+    RegisterOutcome o;
+    const Result<QueryId> id = service_.Register(conn.session, spec);
+    if (id.ok()) {
+      o.query = *id;
+    } else {
+      o.code = id.status().code();
+      o.message = id.status().message();
+    }
+    outcomes.push_back(std::move(o));
+  }
+  std::string body;
+  EncodeRegisterBatchAck(outcomes, &body);
+  SendBody(conn, body);
+}
+
+void TcpServer::HandleReplFetch(Connection& conn, const NetMessage& msg) {
+  if (shipper_ == nullptr) {
+    std::string body;
+    EncodeError(Status::FailedPrecondition(
+                    "this server does not journal; nothing to replicate"),
+                &body);
+    SendBody(conn, body);
+    return;
+  }
+  const std::uint64_t progress = service_.JournalProgress();
+  const std::uint32_t max_bytes =
+      std::min<std::uint32_t>(msg.max_bytes == 0 ? kMaxReplChunkBytes
+                                                 : msg.max_bytes,
+                              kMaxReplChunkBytes);
+  auto chunk = shipper_->Read(msg.segment, msg.offset, max_bytes);
+  if (!chunk.ok()) {
+    std::string body;
+    EncodeError(chunk.status(), &body);
+    SendBody(conn, body);
+    return;
+  }
+  if (chunk->data.empty() && !chunk->sealed && !chunk->restart &&
+      msg.timeout_ms > 0) {
+    // Nothing new: park like a long-poll, wake on journal growth.
+    const auto timeout = std::min<std::chrono::milliseconds>(
+        std::chrono::milliseconds(msg.timeout_ms), options_.max_long_poll);
+    conn.fetch_parked = true;
+    conn.fetch_segment = msg.segment;
+    conn.fetch_offset = msg.offset;
+    conn.fetch_max_bytes = max_bytes;
+    conn.fetch_progress = progress;
+    conn.fetch_deadline = std::chrono::steady_clock::now() + timeout;
+    return;
+  }
+  std::string body;
+  EncodeReplChunk(chunk->segment, chunk->offset, chunk->sealed,
+                  chunk->restart, chunk->next_segment,
+                  service_.replication().applied_cycle_ts, chunk->data,
+                  &body);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.repl_chunks_sent;
+    stats_.repl_bytes_shipped += chunk->data.size();
+  }
+  SendBody(conn, body);
+}
+
+void TcpServer::AnswerFetch(Connection& conn) {
+  conn.fetch_parked = false;
+  auto chunk =
+      shipper_->Read(conn.fetch_segment, conn.fetch_offset,
+                     conn.fetch_max_bytes);
+  std::string body;
+  if (!chunk.ok()) {
+    EncodeError(chunk.status(), &body);
+  } else {
+    EncodeReplChunk(chunk->segment, chunk->offset, chunk->sealed,
+                    chunk->restart, chunk->next_segment,
+                    service_.replication().applied_cycle_ts, chunk->data,
+                    &body);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.repl_chunks_sent;
+    stats_.repl_bytes_shipped += chunk->data.size();
+  }
   SendBody(conn, body);
 }
 
@@ -512,6 +632,7 @@ void TcpServer::FailConnection(Connection& conn, const Status& status) {
     ++stats_.protocol_errors;
   }
   if (conn.poll_parked) conn.poll_parked = false;
+  if (conn.fetch_parked) conn.fetch_parked = false;
   std::string body;
   EncodeError(status, &body);
   SendBody(conn, body);

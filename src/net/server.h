@@ -22,6 +22,15 @@
 // session (and its buffered, sequence-numbered deltas) untouched, so a
 // reconnecting client continues its delta stream gap-free; an explicit
 // Close request with the close-session flag releases it.
+//
+// Replication: when the service journals, the server also answers
+// ReplFetch requests — raw journal byte ranges served through a
+// JournalShipper (src/replica/shipper.h) — so any follower can attach to
+// the same port clients use. A fetch that finds nothing new is *parked*
+// exactly like a long-poll and answered as soon as the service's journal
+// progress counter moves (MonitorService::JournalProgress) or its
+// deadline passes; shipping therefore adds no polling load and never
+// blocks the driver thread on follower speed.
 
 #ifndef TOPKMON_NET_SERVER_H_
 #define TOPKMON_NET_SERVER_H_
@@ -30,11 +39,13 @@
 #include <chrono>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "net/protocol.h"
+#include "replica/shipper.h"
 #include "service/monitor_service.h"
 
 namespace topkmon {
@@ -83,6 +94,8 @@ struct NetServerStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t records_ingested = 0;  ///< tuples accepted over the wire
+  std::uint64_t repl_chunks_sent = 0;  ///< answered replication fetches
+  std::uint64_t repl_bytes_shipped = 0;  ///< journal bytes shipped
   std::size_t open_connections = 0;
 
   std::string ToString() const;
@@ -126,6 +139,14 @@ class TcpServer {
     bool poll_parked = false;
     std::size_t poll_max = 0;
     std::chrono::steady_clock::time_point poll_deadline{};
+    /// Parked replication fetch: answered when the journal progress
+    /// counter moves past fetch_progress or the deadline passes.
+    bool fetch_parked = false;
+    std::uint64_t fetch_segment = 0;
+    std::uint64_t fetch_offset = 0;
+    std::uint32_t fetch_max_bytes = 0;
+    std::uint64_t fetch_progress = 0;
+    std::chrono::steady_clock::time_point fetch_deadline{};
     /// Last instant bytes arrived (idle-timeout reaping).
     std::chrono::steady_clock::time_point last_activity{};
   };
@@ -139,8 +160,12 @@ class TcpServer {
   void HandleMessage(Connection& conn, const NetMessage& msg);
   void HandleHello(Connection& conn, const NetMessage& msg);
   void HandleIngest(Connection& conn, const NetMessage& msg);
+  void HandleRegisterBatch(Connection& conn, const NetMessage& msg);
+  void HandleReplFetch(Connection& conn, const NetMessage& msg);
   /// Answers a parked poll with whatever is pending (possibly nothing).
   void AnswerPoll(Connection& conn);
+  /// Answers a parked replication fetch with whatever the journal holds.
+  void AnswerFetch(Connection& conn);
   /// Queues one response frame built from `body`.
   void SendBody(Connection& conn, const std::string& body);
   /// Queues an error frame and schedules the connection for close.
@@ -151,6 +176,8 @@ class TcpServer {
 
   MonitorService& service_;
   const NetServerOptions options_;
+  /// Serves ReplFetch when the service journals (null otherwise).
+  std::unique_ptr<JournalShipper> shipper_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -1,0 +1,453 @@
+#include "replica/follower.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "journal/format.h"
+#include "journal/journal_reader.h"
+#include "util/fs.h"
+
+namespace topkmon {
+
+using fs::ErrnoStatus;
+
+ReplicaFollower::ReplicaFollower(std::unique_ptr<MonitorService> service,
+                                 ReplicaFollowerOptions options,
+                                 std::string journal_dir)
+    : service_(std::move(service)),
+      options_(std::move(options)),
+      journal_dir_(std::move(journal_dir)) {}
+
+ReplicaFollower::~ReplicaFollower() { Stop(); }
+
+Result<std::unique_ptr<ReplicaFollower>> ReplicaFollower::Open(
+    const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
+    const ServiceOptions& service_options,
+    const ReplicaFollowerOptions& options) {
+  if (service_options.journal.dir.empty()) {
+    return Status::InvalidArgument(
+        "a follower needs options.journal.dir — the local directory the "
+        "leader's journal is shipped into");
+  }
+  auto service = MonitorService::OpenFollower(
+      engine_factory, service_options,
+      options.leader_host + ":" + std::to_string(options.leader_port));
+  if (!service.ok()) return service.status();
+  std::unique_ptr<ReplicaFollower> follower(new ReplicaFollower(
+      std::move(*service), options, service_options.journal.dir));
+  TOPKMON_RETURN_IF_ERROR(follower->Bootstrap());
+  follower->pump_ = std::thread([raw = follower.get()] { raw->PumpLoop(); });
+  return follower;
+}
+
+Status ReplicaFollower::Bootstrap() {
+  TOPKMON_RETURN_IF_ERROR(fs::MakeDirs(journal_dir_));
+  auto segments = ListSegments(journal_dir_);
+  if (!segments.ok()) return segments.status();
+
+  // Resume from the newest locally shipped segment whose anchor snapshot
+  // is intact — the same selection rule RecoveryDriver uses. Newer
+  // segments without a usable anchor (ship stopped mid-anchor) and all
+  // older segments are deleted; they are only ever prefixes of what the
+  // leader still has or superseded history.
+  std::unique_ptr<CycleJournalReader> reader;
+  std::string chosen_path;
+  std::uint64_t chosen_index = 0;
+  JournalSnapshot anchor;
+  for (auto it = segments->rbegin(); it != segments->rend(); ++it) {
+    auto candidate = CycleJournalReader::Open(it->path);
+    if (!candidate.ok()) continue;
+    CycleJournalReader::Outcome first = (*candidate)->Next();
+    if (first.kind != CycleJournalReader::Kind::kRecord ||
+        first.record.type != JournalRecordType::kSnapshot) {
+      continue;
+    }
+    reader = std::move(*candidate);
+    chosen_path = it->path;
+    chosen_index = it->index;
+    anchor = std::move(first.record.snapshot);
+    break;
+  }
+  if (reader == nullptr) {
+    // Nothing usable on disk: clean slate; the first fetch (segment 0)
+    // either hits the leader's live segment 0 or draws a restart
+    // pointing at the leader's oldest segment.
+    WipeLocalSegments();
+    segment_ = 0;
+    shipped_ = 0;
+    header_done_ = false;
+    anchor_done_ = false;
+    apply_anchor_ = true;
+    return Status::Ok();
+  }
+
+  TOPKMON_RETURN_IF_ERROR(service_->ApplyReplicatedAnchor(std::move(anchor)));
+  bool corrupt = false;
+  while (true) {
+    CycleJournalReader::Outcome outcome = reader->Next();
+    if (outcome.kind == CycleJournalReader::Kind::kEnd ||
+        outcome.kind == CycleJournalReader::Kind::kTorn) {
+      break;  // a torn tail is just an unfinished ship — truncate below
+    }
+    if (outcome.kind == CycleJournalReader::Kind::kIoError) {
+      return Status::Internal("I/O error reading " + chosen_path + ": " +
+                              outcome.detail);
+    }
+    if (outcome.kind == CycleJournalReader::Kind::kCorrupt) {
+      corrupt = true;
+      break;
+    }
+    TOPKMON_RETURN_IF_ERROR(service_->ApplyReplicated(outcome.record));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.records_applied;
+    }
+  }
+  const std::uint64_t good_end = reader->offset();
+  reader.reset();
+  if (corrupt) {
+    // Locally damaged bytes: drop everything and resync from the leader
+    // (the pump's first fetch of segment 0 resolves the real start).
+    TOPKMON_RETURN_IF_ERROR(service_->ResetFollowerState());
+    WipeLocalSegments();
+    segment_ = 0;
+    shipped_ = 0;
+    header_done_ = false;
+    anchor_done_ = false;
+    apply_anchor_ = true;
+    return Status::Ok();
+  }
+  WipeLocalSegments(chosen_index);
+  if (::truncate(chosen_path.c_str(), static_cast<off_t>(good_end)) != 0) {
+    return ErrnoStatus("truncate " + chosen_path, errno);
+  }
+  segment_ = chosen_index;
+  shipped_ = good_end;
+  header_done_ = true;
+  anchor_done_ = true;
+  apply_anchor_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.current_segment = segment_;
+  stats_.shipped_offset = shipped_;
+  return Status::Ok();
+}
+
+void ReplicaFollower::WipeLocalSegments(std::uint64_t keep) {
+  auto segments = ListSegments(journal_dir_);
+  if (!segments.ok()) return;  // best-effort
+  for (const SegmentInfo& info : *segments) {
+    if (info.index == keep) continue;
+    ::unlink(info.path.c_str());
+  }
+}
+
+Status ReplicaFollower::PersistChunk(const std::string& data) {
+  if (segment_fd_ < 0) {
+    const std::string path =
+        journal_dir_ + "/" + SegmentFileName(segment_);
+    // Shipping a segment from offset 0 starts its local file fresh:
+    // truncation (not append) makes resync immune to a same-index file
+    // a best-effort wipe failed to unlink.
+    const int fresh = shipped_ == 0 ? O_TRUNC : O_APPEND;
+    segment_fd_ = ::open(path.c_str(),
+                         O_CREAT | O_WRONLY | fresh | O_CLOEXEC, 0666);
+    if (segment_fd_ < 0) return ErrnoStatus("open " + path, errno);
+  }
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(segment_fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      // Discard any partial bytes this chunk managed to land: the retry
+      // re-appends the whole chunk at shipped_, and the local file must
+      // stay a byte-identical leader prefix.
+      (void)::ftruncate(segment_fd_, static_cast<off_t>(shipped_));
+      return ErrnoStatus("write shipped segment", err);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void ReplicaFollower::CloseSegmentFile(bool sync) {
+  if (segment_fd_ < 0) return;
+  if (sync) ::fdatasync(segment_fd_);
+  ::close(segment_fd_);
+  segment_fd_ = -1;
+}
+
+Status ReplicaFollower::ResyncFrom(std::uint64_t segment) {
+  // Reset the service first: if the fresh engine cannot be built,
+  // nothing has been wiped and the cursor is unchanged — the caller
+  // backs off and the next chunk triggers the resync again, instead of
+  // fetching mid-segment bytes into a dir that lost its files.
+  TOPKMON_RETURN_IF_ERROR(service_->ResetFollowerState());
+  CloseSegmentFile(/*sync=*/false);
+  WipeLocalSegments();
+  segment_ = segment;
+  shipped_ = 0;
+  buffer_.clear();
+  header_done_ = false;
+  anchor_done_ = false;
+  apply_anchor_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.restarts;
+  stats_.current_segment = segment_;
+  stats_.shipped_offset = 0;
+  return Status::Ok();
+}
+
+bool ReplicaFollower::ApplyBuffered(std::string* error) {
+  std::size_t off = 0;
+  bool ok = true;
+  while (true) {
+    if (!header_done_) {
+      if (buffer_.size() - off < kSegmentHeaderBytes) break;
+      const Status st =
+          DecodeSegmentHeader(buffer_.data() + off, kSegmentHeaderBytes);
+      if (!st.ok()) {
+        *error = st.message();
+        ok = false;
+        break;
+      }
+      off += kSegmentHeaderBytes;
+      header_done_ = true;
+    }
+    const char* body = nullptr;
+    std::size_t body_len = 0;
+    std::size_t consumed = 0;
+    std::string detail;
+    const JournalFrameParse parse =
+        TryParseJournalFrame(buffer_.data() + off, buffer_.size() - off,
+                             &body, &body_len, &consumed, &detail);
+    if (parse == JournalFrameParse::kNeedMore) break;
+    if (parse == JournalFrameParse::kBad) {
+      *error = detail;
+      ok = false;
+      break;
+    }
+    JournalRecord record;
+    Status st = DecodeBody(body, body_len, &record);
+    if (!st.ok()) {
+      *error = st.message();
+      ok = false;
+      break;
+    }
+    if (!anchor_done_) {
+      if (record.type != JournalRecordType::kSnapshot) {
+        *error = "segment does not start with a snapshot record";
+        ok = false;
+        break;
+      }
+      if (apply_anchor_) {
+        st = service_->ApplyReplicatedAnchor(std::move(record.snapshot));
+        if (!st.ok()) {
+          *error = st.message();
+          ok = false;
+          break;
+        }
+      }
+      // A skipped anchor describes exactly the state continuous replay
+      // already reached crossing the segment boundary.
+      anchor_done_ = true;
+    } else {
+      st = service_->ApplyReplicated(record);
+      if (!st.ok()) {
+        // Divergence (the engine refused a replicated cycle): the only
+        // safe recovery is a full resync from a leader snapshot.
+        *error = st.message();
+        ok = false;
+        break;
+      }
+    }
+    off += consumed;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.records_applied;
+  }
+  buffer_.erase(0, off);
+  return ok;
+}
+
+void ReplicaFollower::Backoff(std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait_for(lock, wait, [this] { return stop_.load(); });
+}
+
+void ReplicaFollower::PumpLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (client_ == nullptr) {
+      // Resume by label: reconnects (and follower restarts) re-adopt the
+      // one leader-side session this follower owns instead of leaking a
+      // fresh session per attempt into the leader's session limit.
+      auto connected = MonitorClient::Connect(
+          options_.leader_host, options_.leader_port, options_.label,
+          /*resume=*/true, options_.client);
+      if (!connected.ok()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++stats_.fetch_errors;
+        stats_.connected = false;
+        lock.unlock();
+        Backoff(options_.reconnect_backoff);
+        continue;
+      }
+      client_ = std::move(*connected);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.connected = true;
+    }
+    auto chunk = client_->ReplFetch(segment_, shipped_,
+                                    options_.fetch_bytes,
+                                    options_.fetch_wait);
+    if (!chunk.ok()) {
+      // Leader unreachable (or restarting): keep serving reads, retry.
+      client_.reset();
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.fetch_errors;
+      stats_.connected = false;
+      lock.unlock();
+      Backoff(options_.reconnect_backoff);
+      continue;
+    }
+    service_->SetLeaderProgress(client_->leader_cycle_ts());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.chunks_received;
+      stats_.bytes_shipped += chunk->data.size();
+    }
+    if (chunk->restart) {
+      // The leader garbage-collected past us (or the journal was
+      // replaced): wipe and catch up from a fresh snapshot anchor.
+      if (!ResyncFrom(chunk->next_segment).ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.fetch_errors;
+        }
+        Backoff(options_.reconnect_backoff);
+      }
+      continue;
+    }
+    if (!chunk->data.empty()) {
+      // Persist before apply: a follower restart resumes from its disk.
+      if (const Status st = PersistChunk(chunk->data); !st.ok()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++stats_.fetch_errors;
+        lock.unlock();
+        Backoff(options_.reconnect_backoff);
+        continue;
+      }
+      shipped_ += chunk->data.size();
+      // Chained replication: a follower of *this* follower parks its
+      // fetches against our service's progress counter.
+      service_->NoteJournalGrowth();
+      buffer_.append(chunk->data);
+      std::string error;
+      if (!ApplyBuffered(&error)) {
+        // Damaged or diverged shipped bytes: full resync from the start
+        // of this segment (its anchor makes that complete). A failed
+        // resync mutated nothing — the next apply failure re-triggers
+        // it after the backoff.
+        if (!ResyncFrom(segment_).ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.fetch_errors;
+        }
+        Backoff(options_.reconnect_backoff);
+        continue;
+      }
+    }
+    const bool tail_chasing =
+        !chunk->sealed && chunk->data.size() < options_.fetch_bytes;
+    if (chunk->sealed) {
+      if (!buffer_.empty() || !anchor_done_) {
+        // A sealed segment must end on a frame boundary; a dangling
+        // partial frame means the shipped copy is damaged.
+        if (!ResyncFrom(segment_).ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.fetch_errors;
+        }
+        Backoff(options_.reconnect_backoff);
+        continue;
+      }
+      // Segment complete: sync it (it is now a local recovery anchor),
+      // drop the ones before it, and continue into the next. Its anchor
+      // snapshot is skipped — replay already holds that exact state.
+      CloseSegmentFile(/*sync=*/true);
+      const std::uint64_t finished = segment_;
+      segment_ = chunk->next_segment;
+      shipped_ = 0;
+      header_done_ = false;
+      anchor_done_ = false;
+      apply_anchor_ = false;
+      WipeLocalSegments(finished);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.segments_completed;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.current_segment = segment_;
+      stats_.shipped_offset = shipped_;
+    }
+    if (tail_chasing && options_.fetch_interval.count() > 0) {
+      Backoff(options_.fetch_interval);
+    }
+  }
+  CloseSegmentFile(/*sync=*/true);
+  client_.reset();
+}
+
+ReplicaFollowerStats ReplicaFollower::stats() const {
+  ReplicaFollowerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  const ReplicationInfo info = service_->replication();
+  out.applied_cycle_ts = info.applied_cycle_ts;
+  out.leader_cycle_ts = info.leader_cycle_ts;
+  return out;
+}
+
+Status ReplicaFollower::WaitForCycleTs(Timestamp ts,
+                                       std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (service_->replication().applied_cycle_ts < ts) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::FailedPrecondition(
+          "follower did not reach cycle ts " + std::to_string(ts) +
+          " within the timeout (applied ts " +
+          std::to_string(service_->replication().applied_cycle_ts) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::Ok();
+}
+
+void ReplicaFollower::Stop() {
+  stop_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  std::thread pump;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    pump = std::move(pump_);
+  }
+  if (pump.joinable()) pump.join();
+}
+
+Status ReplicaFollower::Promote() {
+  Stop();
+  // Any partial frame in buffer_ is simply un-applied prefix bytes; the
+  // promotion snapshot anchors a fresh segment, so the torn local tail
+  // is superseded, exactly like a crash tail on recovery.
+  return service_->Promote();
+}
+
+}  // namespace topkmon

@@ -1,0 +1,191 @@
+// ReplicaFollower — warm-standby daemon: ships the leader's journal and
+// continuously replays it into a read-only MonitorService.
+//
+// One follower owns one MonitorService in follower role (engine fed by
+// replay, writes refused with a redirect) plus a pump thread that drives
+// the replication loop against the leader's TCP server:
+//
+//   ReplFetch (segment, offset) ──► leader TcpServer / JournalShipper
+//        ▲                                   │ raw journal bytes
+//        │                                   ▼
+//   local journal dir  ◄── append ── chunk ── parse complete frames
+//   (byte-identical leader prefix)            │ CycleJournalReader logic,
+//                                             ▼ in-memory (format.h)
+//                              MonitorService::ApplyReplicated
+//                              (engine + sessions + delta fan-out)
+//
+// Guarantees and behaviors:
+//   * Bytes are persisted to the local journal directory *before* they
+//     are applied, so a follower restart resumes from its own disk
+//     (Open replays the newest locally-anchored segment exactly like
+//     crash recovery — RecoveryDriver's selection rule — truncates any
+//     torn tail, and continues fetching from that offset).
+//   * A chunk ending mid-frame (the leader's live tail) just waits for
+//     the rest: partial frames are never applied, so a torn leader tail
+//     can at worst delay the follower, not corrupt it.
+//   * `sealed` chunks advance to the next segment; its anchor snapshot
+//     is skipped (the follower already holds exactly that state).
+//   * `restart` (the leader garbage-collected past us, or was replaced)
+//     wipes the local directory, resets the service to a fresh engine
+//     (sessions and their delta buffers survive) and re-ships from the
+//     leader's oldest segment — whose anchor snapshot is a complete
+//     catch-up. Slow followers therefore never stall the leader; they
+//     pay with a full resync.
+//   * The leader being down is not fatal: fetches fail, the follower
+//     keeps serving reads at its last applied state, and the pump
+//     reconnects with backoff until Stop() or Promote().
+//
+// Promote() stops the pump and turns the service into a leader in place
+// (MonitorService::Promote): journaling resumes over the shipped
+// directory and writes are accepted — the manual failover path.
+
+#ifndef TOPKMON_REPLICA_FOLLOWER_H_
+#define TOPKMON_REPLICA_FOLLOWER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "service/monitor_service.h"
+
+namespace topkmon {
+
+struct ReplicaFollowerOptions {
+  std::string leader_host = "127.0.0.1";
+  std::uint16_t leader_port = 0;
+  /// Session label of the fetch connection on the leader (diagnostics).
+  std::string label = "replica";
+  /// Bytes requested per fetch (server clamps to kMaxReplChunkBytes).
+  std::uint32_t fetch_bytes = 256u << 10;
+  /// Server-side long-poll per fetch when the journal has nothing new.
+  std::chrono::milliseconds fetch_wait{200};
+  /// Pacing while tail-chasing: when a chunk comes back *partial* (the
+  /// follower is at the live tail, not catching up), wait this long
+  /// before the next fetch instead of hammering the leader with a
+  /// round trip per appended cycle — each fetch costs the leader's
+  /// poll thread fixed work, and at the tail that fixed cost would
+  /// otherwise dominate (measured in bench/replica_lag). Full chunks
+  /// (catch-up, bandwidth-bound) are never paced. Bounds steady-state
+  /// apply lag from below; 0 disables pacing.
+  std::chrono::milliseconds fetch_interval{2};
+  /// Backoff between reconnect attempts while the leader is unreachable.
+  std::chrono::milliseconds reconnect_backoff{200};
+  NetClientOptions client;
+};
+
+/// Pump-thread counters (snapshot; see also service().replication()).
+struct ReplicaFollowerStats {
+  std::uint64_t chunks_received = 0;
+  std::uint64_t bytes_shipped = 0;     ///< journal bytes received
+  std::uint64_t records_applied = 0;   ///< journal records replayed live
+  std::uint64_t segments_completed = 0;
+  std::uint64_t restarts = 0;          ///< full resyncs (leader GC'd past us)
+  std::uint64_t fetch_errors = 0;      ///< failed fetches / reconnects
+  std::uint64_t current_segment = 0;
+  std::uint64_t shipped_offset = 0;    ///< bytes of current segment on disk
+  Timestamp applied_cycle_ts = 0;
+  Timestamp leader_cycle_ts = 0;
+  bool connected = false;
+
+  /// Cycle-timestamp apply lag (leader progress minus ours) — the same
+  /// staleness formula follower reads carry on the wire.
+  Timestamp LagTs() const {
+    ReplicationInfo info;
+    info.applied_cycle_ts = applied_cycle_ts;
+    info.leader_cycle_ts = leader_cycle_ts;
+    return info.StaleBy();
+  }
+};
+
+class ReplicaFollower {
+ public:
+  /// Builds the follower service (engine from `engine_factory`),
+  /// bootstraps it from any journal already shipped into
+  /// `service_options.journal.dir` (required non-empty — it is the local
+  /// ship target), and starts the pump thread against the leader.
+  static Result<std::unique_ptr<ReplicaFollower>> Open(
+      const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
+      const ServiceOptions& service_options,
+      const ReplicaFollowerOptions& options);
+
+  ~ReplicaFollower();
+
+  ReplicaFollower(const ReplicaFollower&) = delete;
+  ReplicaFollower& operator=(const ReplicaFollower&) = delete;
+
+  /// The follower-mode service: read it (FindSession, CurrentResult,
+  /// delta polls) or front it with its own TcpServer for remote readers.
+  MonitorService& service() { return *service_; }
+  const MonitorService& service() const { return *service_; }
+
+  ReplicaFollowerStats stats() const;
+
+  /// Blocks until the follower has applied a cycle at or past `ts`, or
+  /// `timeout` passes (FailedPrecondition). The test/ops barrier for
+  /// "caught up to the leader's cycle X".
+  Status WaitForCycleTs(Timestamp ts, std::chrono::milliseconds timeout);
+
+  /// Stops the pump thread (idempotent; the service keeps serving reads
+  /// at its last applied state).
+  void Stop();
+
+  /// Failover: stops the pump, then promotes the service to leader in
+  /// place. After Ok, service() accepts writes and journals into the
+  /// shipped directory. The follower object is done (pump stays stopped).
+  Status Promote();
+
+ private:
+  ReplicaFollower(std::unique_ptr<MonitorService> service,
+                  ReplicaFollowerOptions options, std::string journal_dir);
+
+  /// Replays any locally shipped journal into the fresh service and
+  /// positions the ship cursor; called once before the pump starts.
+  Status Bootstrap();
+
+  void PumpLoop();
+  /// Applies every complete frame buffered for the current segment.
+  /// Returns false on corruption (caller resyncs).
+  bool ApplyBuffered(std::string* error);
+  /// Appends chunk bytes to the current local segment file.
+  Status PersistChunk(const std::string& data);
+  void CloseSegmentFile(bool sync);
+  /// Deletes every local segment except `keep` (default: delete all).
+  void WipeLocalSegments(std::uint64_t keep = ~std::uint64_t{0});
+  /// Full resync: wipe local state and restart shipping at `segment`.
+  Status ResyncFrom(std::uint64_t segment);
+  /// Interruptible sleep (wakes early on Stop).
+  void Backoff(std::chrono::milliseconds wait);
+
+  std::unique_ptr<MonitorService> service_;
+  const ReplicaFollowerOptions options_;
+  const std::string journal_dir_;
+
+  // Pump-thread state (only touched by the pump and, before it starts,
+  // by Bootstrap).
+  std::unique_ptr<MonitorClient> client_;
+  std::uint64_t segment_ = 0;        ///< segment being shipped
+  std::uint64_t shipped_ = 0;        ///< bytes of it on local disk
+  std::string buffer_;               ///< received, not yet applied
+  bool header_done_ = false;         ///< 16-byte segment header consumed
+  bool anchor_done_ = false;         ///< leading snapshot record consumed
+  bool apply_anchor_ = true;         ///< apply (bootstrap/resync) vs skip
+  int segment_fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  ReplicaFollowerStats stats_;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  ///< pump joined
+  std::thread pump_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_REPLICA_FOLLOWER_H_

@@ -1,0 +1,104 @@
+#include "replica/shipper.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "journal/format.h"
+#include "journal/journal_reader.h"
+#include "util/fs.h"
+
+namespace topkmon {
+
+Result<ShipChunk> JournalShipper::Read(std::uint64_t segment,
+                                       std::uint64_t offset,
+                                       std::uint32_t max_bytes) const {
+  ShipChunk chunk;
+  chunk.segment = segment;
+  chunk.offset = offset;
+
+  auto segments = ListSegments(dir_);
+  if (!segments.ok()) return segments.status();
+  if (segments->empty()) return chunk;  // nothing journaled yet
+
+  bool have_requested = false;
+  bool have_newer = false;
+  std::uint64_t next_after = 0;
+  for (const SegmentInfo& info : *segments) {
+    if (info.index == segment) have_requested = true;
+    if (info.index > segment && (!have_newer || info.index < next_after)) {
+      have_newer = true;
+      next_after = info.index;
+    }
+  }
+  if (!have_requested) {
+    // The requested segment is gone (GC past a slow follower) or never
+    // existed here (journal replaced / follower ahead). Either way the
+    // only sound resume point is the oldest segment we do have — its
+    // anchor snapshot makes the restart a complete catch-up.
+    chunk.restart = true;
+    chunk.next_segment = segments->front().index;
+    return chunk;
+  }
+
+  const std::string path = dir_ + "/" + SegmentFileName(segment);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      // Deleted between the listing and the open: same as not listed.
+      chunk.restart = true;
+      chunk.next_segment = have_newer ? next_after : segment;
+      return chunk;
+    }
+    return fs::ErrnoStatus("open " + path, errno);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status err = fs::ErrnoStatus("fstat " + path, errno);
+    ::close(fd);
+    return err;
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (offset > size) {
+    // The follower believes it has more of this segment than exists —
+    // the journal was replaced under the same index. Full restart.
+    ::close(fd);
+    chunk.restart = true;
+    chunk.next_segment = segments->front().index;
+    return chunk;
+  }
+  const std::uint32_t want = std::min<std::uint32_t>(
+      max_bytes, static_cast<std::uint32_t>(
+                     std::min<std::uint64_t>(size - offset, 1u << 30)));
+  if (want > 0) {
+    chunk.data.resize(want);
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n =
+          ::pread(fd, &chunk.data[got], want - got,
+                  static_cast<off_t>(offset + got));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status err = fs::ErrnoStatus("pread " + path, errno);
+        ::close(fd);
+        return err;
+      }
+      if (n == 0) break;  // concurrently truncated? serve what we got
+      got += static_cast<std::size_t>(n);
+    }
+    chunk.data.resize(got);
+  }
+  ::close(fd);
+  // A higher-indexed segment seals this one: no append will ever land
+  // here again, so reaching `size` means the follower can move on.
+  if (have_newer && offset + chunk.data.size() == size) {
+    chunk.sealed = true;
+    chunk.next_segment = next_after;
+  }
+  return chunk;
+}
+
+}  // namespace topkmon

@@ -128,6 +128,20 @@ RecordId IngestQueue::NextRecordId() const {
   return next_id_;
 }
 
+Status IngestQueue::ResumeSequences(RecordId next_record_id,
+                                    Timestamp min_timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::FailedPrecondition("ingest queue is closed");
+  if (!heap_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot re-seed sequences with records buffered");
+  }
+  next_id_ = next_record_id;
+  frontier_ = std::max(frontier_, min_timestamp);
+  max_seen_ = std::max(max_seen_, min_timestamp);
+  return Status::Ok();
+}
+
 std::size_t IngestQueue::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return heap_.capacity() * sizeof(Pending);

@@ -114,6 +114,14 @@ class IngestQueue {
   /// this so recovery can resume the sequence).
   RecordId NextRecordId() const;
 
+  /// Re-seeds the id/timestamp sequences of an *empty* queue — the
+  /// promotion path: a replication follower built its state by replay
+  /// (nothing ever pushed), and on promotion new ingest must continue the
+  /// leader's record ids and never time-travel behind the last replayed
+  /// cycle. FailedPrecondition while records are buffered or the queue is
+  /// closed.
+  Status ResumeSequences(RecordId next_record_id, Timestamp min_timestamp);
+
   /// Approximate heap footprint of the buffered records.
   std::size_t MemoryBytes() const;
 

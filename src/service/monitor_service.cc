@@ -36,7 +36,8 @@ MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
 MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
                                const ServiceOptions& options,
                                RecoveryReport recovery,
-                               std::unique_ptr<CycleJournalWriter> journal)
+                               std::unique_ptr<CycleJournalWriter> journal,
+                               ServiceRole role)
     : options_(options),
       engine_(std::move(engine)),
       dim_(engine_->dim()),
@@ -46,13 +47,21 @@ MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
       ingest_(options.ingest),
       sessions_(options.session),
       hub_(options.hub),
+      role_(role),
       journal_(std::move(journal)) {
   assert(engine_ != nullptr);
   next_query_id_ = static_cast<QueryId>(recovery_.next_query_id);
+  applied_cycle_ts_.store(recovery_.last_cycle_ts,
+                          std::memory_order_release);
+  leader_cycle_ts_.store(recovery_.last_cycle_ts,
+                         std::memory_order_release);
   // A journal dir without a pre-built writer means the caller used the
   // plain constructor: start a fresh journal (Open() is the recovery
-  // path and hands in a writer that already resumed the directory).
-  if (journal_ == nullptr && !options_.journal.dir.empty()) {
+  // path and hands in a writer that already resumed the directory). A
+  // follower never writes its journal dir — the ReplicaFollower ships
+  // leader bytes into it, and Promote() opens the writer.
+  if (role == ServiceRole::kLeader && journal_ == nullptr &&
+      !options_.journal.dir.empty()) {
     auto writer =
         CycleJournalWriter::Open(options_.journal, JournalSnapshot{});
     if (writer.ok()) {
@@ -67,7 +76,9 @@ MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
   engine_->SetDeltaCallback(
       [this](const ResultDelta& delta) { hub_.Publish(delta); });
   AdoptRecoveredQueries();
-  if (bootstrap_error_.ok()) {
+  if (role == ServiceRole::kFollower) {
+    applier_ = std::make_unique<JournalApplier>(*engine_, FollowerHooks());
+  } else if (bootstrap_error_.ok()) {
     driver_ = std::thread([this] { DriverLoop(); });
   }
 }
@@ -113,6 +124,26 @@ Result<std::unique_ptr<MonitorService>> MonitorService::Open(
       new MonitorService(std::move(engine), adjusted, std::move(*report),
                          std::move(*writer)));
   if (!service->bootstrap_error_.ok()) return service->bootstrap_error_;
+  return service;
+}
+
+Result<std::unique_ptr<MonitorService>> MonitorService::OpenFollower(
+    const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
+    const ServiceOptions& options, std::string leader_endpoint) {
+  if (!engine_factory) {
+    return Status::InvalidArgument("engine factory is empty");
+  }
+  std::unique_ptr<MonitorEngine> engine = engine_factory();
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine factory returned null");
+  }
+  std::unique_ptr<MonitorService> service(new MonitorService(
+      std::move(engine), options, RecoveryReport{}, nullptr,
+      ServiceRole::kFollower));
+  // Safe post-ctor: a follower starts no driver thread, and nothing can
+  // feed ApplyReplicated before this function returns the service.
+  service->engine_factory_ = engine_factory;
+  service->leader_endpoint_ = std::move(leader_endpoint);
   return service;
 }
 
@@ -165,6 +196,7 @@ void MonitorService::SetClockForTesting(std::function<double()> clock) {
 template <typename AppendFn>
 Status MonitorService::JournalAppendLocked(AppendFn&& append) {
   if (journal_ == nullptr) return Status::Ok();
+  const std::uint64_t bytes_before = journal_->stats().bytes_written;
   Status st = append(*journal_);
   // Unimplemented is the writer refusing a non-journalable input (the
   // caller's registration is rejected, nothing was written) — the
@@ -174,7 +206,18 @@ Status MonitorService::JournalAppendLocked(AppendFn&& append) {
     std::lock_guard<std::mutex> lock(journal_status_mu_);
     if (journal_status_.ok()) journal_status_ = st;
   }
+  if (journal_->stats().bytes_written != bytes_before) {
+    // Wakes parked replication fetches: the journal grew.
+    journal_progress_.fetch_add(1, std::memory_order_release);
+  }
   return st;
+}
+
+Status MonitorService::SyncJournal() {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (journal_ == nullptr) return Status::Ok();
+  return JournalAppendLocked(
+      [](CycleJournalWriter& w) { return w.Sync(); });
 }
 
 Status MonitorService::journal_status() const {
@@ -182,12 +225,25 @@ Status MonitorService::journal_status() const {
   return journal_status_;
 }
 
+Status MonitorService::RefuseIfFollower() const {
+  if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
+    return Status::Ok();
+  }
+  std::string detail = "service is a read-only replication follower";
+  if (!leader_endpoint_.empty()) {
+    detail += " (redirect writes to the leader at " + leader_endpoint_ + ")";
+  }
+  return Status::FailedPrecondition(std::move(detail));
+}
+
 Status MonitorService::Ingest(Point position, Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
   TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
   return ingest_.Push(std::move(position), arrival);
 }
 
 Status MonitorService::TryIngest(Point position, Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
   TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
   if (ingest_.TryPush(std::move(position), arrival)) return Status::Ok();
   if (ingest_.closed()) {
@@ -198,6 +254,7 @@ Status MonitorService::TryIngest(Point position, Timestamp arrival) {
 
 Status MonitorService::Ingest(SessionId session, Point position,
                               Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
   TOPKMON_RETURN_IF_ERROR(
       sessions_.ConsumeIngestTokens(session, 1.0, NowSeconds()));
   return Ingest(std::move(position), arrival);
@@ -205,6 +262,7 @@ Status MonitorService::Ingest(SessionId session, Point position,
 
 Status MonitorService::TryIngest(SessionId session, Point position,
                                  Timestamp arrival) {
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
   TOPKMON_RETURN_IF_ERROR(
       sessions_.ConsumeIngestTokens(session, 1.0, NowSeconds()));
   return TryIngest(std::move(position), arrival);
@@ -222,6 +280,19 @@ Result<SessionId> MonitorService::FindSession(const std::string& label) const {
 
 Status MonitorService::CloseSession(SessionId session) {
   std::lock_guard<std::mutex> control(control_mu_);
+  // A follower session that owns queries owns *replicated* ones (clients
+  // cannot register here), and closing it would unregister them locally
+  // and silently diverge from the leader — refuse. A reader session that
+  // owns nothing is pure local state; short-lived follower readers must
+  // be able to release theirs or they pile into the session limit.
+  // control_mu_ serializes this check against replicated registrations.
+  if (role_.load(std::memory_order_acquire) == ServiceRole::kFollower) {
+    const auto owned = sessions_.QueryCount(session);
+    if (!owned.ok()) return owned.status();
+    if (*owned > 0) {
+      TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
+    }
+  }
   Result<std::vector<QueryId>> owned = sessions_.Close(session);
   if (!owned.ok()) return owned.status();
   Status first_error;
@@ -246,6 +317,7 @@ Status MonitorService::CloseSession(SessionId session) {
 }
 
 Result<QueryId> MonitorService::Register(SessionId session, QuerySpec spec) {
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
   std::lock_guard<std::mutex> control(control_mu_);
   spec.id = next_query_id_.fetch_add(1);
   TOPKMON_RETURN_IF_ERROR(spec.Validate(dim_));
@@ -287,6 +359,7 @@ Result<QueryId> MonitorService::Register(SessionId session, QuerySpec spec) {
 }
 
 Status MonitorService::Unregister(SessionId session, QueryId query) {
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
   std::lock_guard<std::mutex> control(control_mu_);
   Result<SessionId> owner = sessions_.Owner(query);
   if (!owner.ok()) return owner.status();
@@ -319,6 +392,171 @@ Result<std::vector<ResultEntry>> MonitorService::CurrentResult(
 
 Result<SessionId> MonitorService::QueryOwner(QueryId query) const {
   return sessions_.Owner(query);
+}
+
+JournalApplier::Hooks MonitorService::FollowerHooks() {
+  JournalApplier::Hooks hooks;
+  // Both hooks run with control_mu_ + engine_mu_ held by the apply path.
+  hooks.register_query = [this](const JournaledQuery& q) -> Status {
+    // Session adoption by owner label, exactly like recovery: the oldest
+    // open session with the leader-side label owns the replica of its
+    // queries, so a follower client resuming that label reads them.
+    SessionId session = 0;
+    if (const auto found = sessions_.FindByLabel(q.owner_label);
+        found.ok()) {
+      session = *found;
+    } else {
+      auto opened = sessions_.Open(q.owner_label);
+      if (!opened.ok()) return opened.status();
+      hub_.Attach(*opened);
+      session = *opened;
+    }
+    TOPKMON_RETURN_IF_ERROR(sessions_.Admit(session, q.spec.id, q.spec.k));
+    Status st = hub_.Bind(q.spec.id, session);
+    // Bind before the engine call so the initial-result delta routes.
+    if (st.ok()) {
+      st = engine_->RegisterQuery(q.spec);
+      if (!st.ok()) hub_.Unbind(q.spec.id);
+    }
+    if (!st.ok()) sessions_.Release(q.spec.id);
+    return st;
+  };
+  hooks.unregister_query = [this](QueryId id) -> Status {
+    const Status st = engine_->UnregisterQuery(id);
+    hub_.Unbind(id);
+    sessions_.Release(id);
+    return st;
+  };
+  return hooks;
+}
+
+Status MonitorService::ApplyReplicatedAnchor(JournalSnapshot anchor) {
+  if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
+    return Status::FailedPrecondition(
+        "ApplyReplicatedAnchor on a leader service");
+  }
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  TOPKMON_RETURN_IF_ERROR(applier_->ApplyAnchor(std::move(anchor)));
+  applied_cycle_ts_.store(applier_->last_cycle_ts(),
+                          std::memory_order_release);
+  return Status::Ok();
+}
+
+Status MonitorService::ApplyReplicated(const JournalRecord& record) {
+  if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
+    return Status::FailedPrecondition("ApplyReplicated on a leader service");
+  }
+  if (record.type == JournalRecordType::kCycle) {
+    CycleObserver observer;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      observer = observer_;
+    }
+    // Same seam the driver offers: tests replay the observed cycles into
+    // a reference engine for ground truth.
+    if (observer) observer(record.cycle_ts, record.batch);
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      st = applier_->Apply(record);
+      if (st.ok()) {
+        applied_cycle_ts_.store(applier_->last_cycle_ts(),
+                                std::memory_order_release);
+      }
+    }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (st.ok()) {
+      applied_records_ += record.batch.size();
+      ++cycles_;
+    } else {
+      ++failed_cycles_;
+    }
+    return st;
+  }
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return applier_->Apply(record);
+}
+
+Status MonitorService::ResetFollowerState() {
+  if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
+    return Status::FailedPrecondition("ResetFollowerState on a leader");
+  }
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  std::unique_ptr<MonitorEngine> fresh = engine_factory_();
+  if (fresh == nullptr) {
+    return Status::Internal("engine factory returned null on resync");
+  }
+  if (fresh->dim() != dim_) {
+    return Status::FailedPrecondition(
+        "resync engine dimensionality changed");
+  }
+  // Drop every replicated query binding; sessions (and buffered deltas)
+  // survive so attached subscribers keep their streams across the
+  // resync — the new anchor re-registers the live set under the same
+  // labels and ids.
+  for (const JournaledQuery& q : applier_->live_queries()) {
+    hub_.Unbind(q.spec.id);
+    sessions_.Release(q.spec.id);
+  }
+  engine_ = std::move(fresh);
+  engine_->SetDeltaCallback(
+      [this](const ResultDelta& delta) { hub_.Publish(delta); });
+  applier_ = std::make_unique<JournalApplier>(*engine_, FollowerHooks());
+  applied_cycle_ts_.store(0, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status MonitorService::Promote() {
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
+    return Status::FailedPrecondition("service is already a leader");
+  }
+  // Seal replay bookkeeping into the service's own sequences: new ingest
+  // continues the leader's record ids and cannot time-travel behind the
+  // last replayed cycle; new registrations continue the query-id space.
+  journaled_queries_ = applier_->live_queries();
+  next_query_id_ = static_cast<QueryId>(applier_->next_query_id());
+  TOPKMON_RETURN_IF_ERROR(ingest_.ResumeSequences(
+      applier_->next_record_id(), applier_->last_cycle_ts()));
+  if (!options_.journal.dir.empty()) {
+    auto snap = BuildSnapshotLocked();
+    if (!snap.ok()) return snap.status();
+    auto writer = CycleJournalWriter::Open(options_.journal, *snap,
+                                           /*resuming=*/true);
+    if (!writer.ok()) return writer.status();
+    journal_ = std::move(*writer);
+    journal_progress_.fetch_add(1, std::memory_order_release);
+  }
+  role_.store(ServiceRole::kLeader, std::memory_order_release);
+  driver_ = std::thread([this] { DriverLoop(); });
+  return Status::Ok();
+}
+
+ReplicationInfo MonitorService::replication() const {
+  ReplicationInfo info;
+  info.role = role_.load(std::memory_order_acquire);
+  info.applied_cycle_ts = applied_cycle_ts_.load(std::memory_order_acquire);
+  info.leader_cycle_ts =
+      info.role == ServiceRole::kLeader
+          ? info.applied_cycle_ts
+          : std::max(info.applied_cycle_ts,
+                     leader_cycle_ts_.load(std::memory_order_acquire));
+  info.leader_endpoint = leader_endpoint_;
+  return info;
+}
+
+void MonitorService::SetLeaderProgress(Timestamp leader_cycle_ts) {
+  // Monotone max: chunks can arrive with an unchanged leader timestamp.
+  Timestamp seen = leader_cycle_ts_.load(std::memory_order_relaxed);
+  while (seen < leader_cycle_ts &&
+         !leader_cycle_ts_.compare_exchange_weak(
+             seen, leader_cycle_ts, std::memory_order_release,
+             std::memory_order_relaxed)) {
+  }
 }
 
 std::size_t MonitorService::PollDeltas(SessionId session, std::size_t max,
@@ -367,6 +605,15 @@ void MonitorService::DriverLoop() {
                            /*flush_all=*/NeedsFlush());
     if (n == 0) {
       if (ingest_.closed() && ingest_.depth() == 0) break;
+      // Idle loop: let the group-commit time trigger push any unsynced
+      // tail to the platter even though no append will run for a while.
+      {
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        if (journal_ != nullptr) {
+          JournalAppendLocked(
+              [](CycleJournalWriter& w) { return w.SyncIfDue(); });
+        }
+      }
       // A flush fence may already be satisfied (fence raced a drain).
       flush_cv_.notify_all();
       continue;
@@ -386,6 +633,9 @@ void MonitorService::DriverLoop() {
         return w.AppendCycle(cycle_ts, batch);
       });
       st = engine_->ProcessCycle(cycle_ts, batch);
+      if (st.ok()) {
+        applied_cycle_ts_.store(cycle_ts, std::memory_order_release);
+      }
       if (journal_ != nullptr && journal_->SnapshotDue()) {
         auto snap = BuildSnapshotLocked();
         if (snap.ok()) {

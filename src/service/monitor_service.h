@@ -39,6 +39,19 @@
 // replaying the newest snapshot-anchored segment, sessions are re-created
 // under their original labels owning their recovered queries (reconnect
 // via FindSession), and journaling resumes into a fresh segment.
+//
+// Replication (src/replica/): OpenFollower() builds a *read-only* service
+// whose engine is fed by journal replay instead of the ingest driver: a
+// ReplicaFollower ships the leader's journal bytes into a local directory
+// and pushes each decoded record through ApplyReplicated(), which routes
+// query registrations through the same session/label adoption recovery
+// uses — so follower clients resume their leader-side session labels and
+// read snapshots and delta streams from replayed state. Writes (Ingest,
+// Register, Unregister, CloseSession) are refused with a
+// redirect-to-leader FailedPrecondition. Promote() turns the follower
+// into a leader in place: id/timestamp sequences resume from the replay
+// bookkeeping, journaling re-opens over the shipped directory, and the
+// cycle driver starts.
 
 #ifndef TOPKMON_SERVICE_MONITOR_SERVICE_H_
 #define TOPKMON_SERVICE_MONITOR_SERVICE_H_
@@ -98,6 +111,33 @@ struct ServiceStats {
   std::string ToString() const;
 };
 
+/// Whether this service accepts writes or mirrors a leader.
+enum class ServiceRole : std::uint8_t {
+  kLeader = 0,    ///< accepts ingest and query registration
+  kFollower = 1,  ///< read-only: state arrives via ApplyReplicated
+};
+
+/// Replication observability (role, apply progress, leader progress).
+/// Reading it costs three atomics — it sits on the snapshot-serving hot
+/// path (cycle counts live in stats(), which does lock).
+struct ReplicationInfo {
+  ServiceRole role = ServiceRole::kLeader;
+  /// Timestamp of the last cycle applied to this engine.
+  Timestamp applied_cycle_ts = 0;
+  /// The leader's last known cycle timestamp (== applied_cycle_ts on a
+  /// leader; on a follower, refreshed from every shipped chunk). The
+  /// difference is the staleness bound surfaced in follower reads.
+  Timestamp leader_cycle_ts = 0;
+  /// Where writes belong when this service is a follower.
+  std::string leader_endpoint;
+
+  Timestamp StaleBy() const {
+    return leader_cycle_ts > applied_cycle_ts
+               ? leader_cycle_ts - applied_cycle_ts
+               : 0;
+  }
+};
+
 /// Thread-safe multi-client continuous-query service over one engine.
 class MonitorService {
  public:
@@ -123,6 +163,17 @@ class MonitorService {
   static Result<std::unique_ptr<MonitorService>> Open(
       const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
       const ServiceOptions& options);
+
+  /// Read-only warm-standby factory: the returned service has no cycle
+  /// driver and refuses writes; its engine is fed exclusively through
+  /// ApplyReplicated* (normally by a ReplicaFollower, src/replica/).
+  /// options.journal.dir names the *local* directory the follower ships
+  /// the leader's journal into — no writer is opened on it until
+  /// Promote(). `leader_endpoint` ("host:port") is surfaced in the
+  /// redirect status of refused writes and in replication().
+  static Result<std::unique_ptr<MonitorService>> OpenFollower(
+      const std::function<std::unique_ptr<MonitorEngine>()>& engine_factory,
+      const ServiceOptions& options, std::string leader_endpoint);
 
   // ---- producer API (any thread) --------------------------------------
   /// Validates and admits a tuple, blocking under backpressure.
@@ -180,6 +231,65 @@ class MonitorService {
   /// PollDeltas speculatively.
   std::size_t PendingDeltas(SessionId session) const;
 
+  // ---- replication (follower role; see src/replica/) ------------------
+  /// Restores a segment-anchor snapshot into the (fresh) engine and
+  /// registers its live queries through session/label adoption. The
+  /// follower's bootstrap step; FailedPrecondition on a leader.
+  Status ApplyReplicatedAnchor(JournalSnapshot anchor);
+
+  /// Applies one replicated journal record: cycles run through the
+  /// engine (delta subscribers see the changes), register/unregister
+  /// route through session adoption by owner label exactly like journal
+  /// recovery. FailedPrecondition on a leader.
+  Status ApplyReplicated(const JournalRecord& record);
+
+  /// Full-resync reset: drops every replicated query binding and swaps
+  /// in a fresh engine from the follower's factory. Sessions (and their
+  /// delta buffers) survive, so attached subscribers keep their streams;
+  /// the follower re-applies from a new anchor afterwards.
+  Status ResetFollowerState();
+
+  /// Manual promotion: turns this follower into a leader in place. The
+  /// caller must have stopped feeding ApplyReplicated first (the
+  /// ReplicaFollower's Promote does). Ingest id/timestamp sequences
+  /// resume from the replay bookkeeping, a journal writer re-opens over
+  /// options.journal.dir (resuming the shipped segments with a fresh
+  /// snapshot-anchored segment), and the cycle driver starts. After Ok,
+  /// writes are accepted.
+  Status Promote();
+
+  ServiceRole role() const {
+    return role_.load(std::memory_order_acquire);
+  }
+
+  /// Role + apply/leader cycle progress (the staleness bound follower
+  /// reads carry).
+  ReplicationInfo replication() const;
+
+  /// Follower-side: records the leader's cycle progress as learned from
+  /// the last shipped chunk (feeds replication().leader_cycle_ts).
+  void SetLeaderProgress(Timestamp leader_cycle_ts);
+
+  /// Monotone counter bumped on every journal append/rotation — the
+  /// cheap "did the journal grow" probe the TCP server's parked
+  /// replication fetches poll, mirroring PendingDeltas for long-polls.
+  std::uint64_t JournalProgress() const {
+    return journal_progress_.load(std::memory_order_acquire);
+  }
+
+  /// Records out-of-band journal growth. On a follower the journal dir
+  /// grows through the ReplicaFollower's ship path, not this service's
+  /// writer; the pump calls this after persisting a chunk so a *chained*
+  /// follower's parked fetch on this node wakes immediately instead of
+  /// at its long-poll deadline.
+  void NoteJournalGrowth() {
+    journal_progress_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// The journal directory this service writes (leader) or ships into
+  /// (follower); empty when journaling is off.
+  const std::string& journal_dir() const { return options_.journal.dir; }
+
   // ---- control / observability ----------------------------------------
   /// Blocks until every record pushed before the call has been applied to
   /// the engine (forces the slack gate open). FailedPrecondition after
@@ -196,6 +306,13 @@ class MonitorService {
   /// The recovery outcome when this service was constructed via Open();
   /// a default (recovered=false) report otherwise.
   const RecoveryReport& recovery() const { return recovery_; }
+
+  /// Durability barrier: fdatasyncs any journal appends the sync policy
+  /// has not pushed to the platter yet (the group-commit ack point —
+  /// Flush() only fences engine *apply*, never durability). Ok when
+  /// journaling is off or nothing is pending; FailedPrecondition after
+  /// the journal is sealed by Shutdown.
+  Status SyncJournal();
 
   /// Ok while journaling is healthy (or disabled). A failed journal open
   /// at construction, or the first append error, is recorded here; the
@@ -222,15 +339,25 @@ class MonitorService {
   void SetClockForTesting(std::function<double()> clock);
 
  private:
-  /// Shared delegate of the public constructor and Open(): adopts an
-  /// already-recovered engine plus the journal writer continuing its
-  /// journal, then re-creates recovered sessions and starts the driver.
+  /// Shared delegate of the public constructor, Open() and
+  /// OpenFollower(): adopts an already-recovered engine plus the journal
+  /// writer continuing its journal, then re-creates recovered sessions
+  /// and (leader role) starts the driver.
   MonitorService(std::unique_ptr<MonitorEngine> engine,
                  const ServiceOptions& options, RecoveryReport recovery,
-                 std::unique_ptr<CycleJournalWriter> journal);
+                 std::unique_ptr<CycleJournalWriter> journal,
+                 ServiceRole role = ServiceRole::kLeader);
 
   void DriverLoop();
   bool NeedsFlush() const;
+
+  /// The redirect status follower-mode writes draw; Ok on a leader.
+  Status RefuseIfFollower() const;
+
+  /// Applier hooks routing replicated query lifetime events through
+  /// session adoption + hub binding. Caller holds control_mu_ and
+  /// engine_mu_ during applier calls.
+  JournalApplier::Hooks FollowerHooks();
 
   /// Re-opens sessions for recovered queries (one per original label) and
   /// binds their subscriptions; failures land in bootstrap_error_.
@@ -271,6 +398,18 @@ class MonitorService {
   std::mutex control_mu_;
 
   std::atomic<QueryId> next_query_id_{1};
+
+  /// Replication state. role_ flips exactly once (Promote). The applier
+  /// and its bookkeeping are only touched under engine_mu_; the progress
+  /// timestamps are atomics so reads (snapshot staleness, parked fetch
+  /// probes) never take the engine lock.
+  std::atomic<ServiceRole> role_{ServiceRole::kLeader};
+  std::function<std::unique_ptr<MonitorEngine>()> engine_factory_;
+  std::string leader_endpoint_;
+  std::unique_ptr<JournalApplier> applier_;
+  std::atomic<Timestamp> applied_cycle_ts_{0};
+  std::atomic<Timestamp> leader_cycle_ts_{0};
+  std::atomic<std::uint64_t> journal_progress_{0};
 
   /// Journal state. The writer and the journaled-query registry (the live
   /// specs a snapshot must carry) are only touched under engine_mu_,

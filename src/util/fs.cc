@@ -1,0 +1,32 @@
+#include "util/fs.h"
+
+#include <errno.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstring>
+
+namespace topkmon {
+namespace fs {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::Internal(what + ": " + std::strerror(err));
+}
+
+Status MakeDirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir " + prefix, errno);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fs
+}  // namespace topkmon

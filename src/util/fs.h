@@ -1,0 +1,26 @@
+// Tiny filesystem helpers shared by the disk-touching layers (journal
+// writer, replication follower): errno-to-Status conversion and a
+// mkdir -p. One home so the two sides of journal shipping can never
+// drift on directory-creation semantics.
+
+#ifndef TOPKMON_UTIL_FS_H_
+#define TOPKMON_UTIL_FS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace topkmon {
+namespace fs {
+
+/// Internal-status wrapper of an errno: "what: strerror(err)".
+Status ErrnoStatus(const std::string& what, int err);
+
+/// mkdir -p: creates `dir` and any missing parents (0777 & ~umask).
+/// Existing directories are fine; any other failure is an error.
+Status MakeDirs(const std::string& dir);
+
+}  // namespace fs
+}  // namespace topkmon
+
+#endif  // TOPKMON_UTIL_FS_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "journal/journal_reader.h"
@@ -108,6 +110,77 @@ TEST(JournalIoTest, RotationAnchorsNewSegmentsAndCollectsOldOnes) {
   EXPECT_EQ(first.record.snapshot.last_cycle_ts, 2);
   ASSERT_EQ(first.record.snapshot.window.size(), 1u);
   EXPECT_EQ((*writer)->stats().segments_deleted, 1u);
+}
+
+TEST(JournalIoTest, GroupCommitSyncsOnCycleCountAndOnTheTimeTrigger) {
+  ScopedTempDir dir;
+  JournalOptions options;
+  options.dir = dir.path();
+  options.sync = SyncPolicy::kInterval;
+  options.sync_every_records = 1000;  // never trips in this test
+  options.sync_interval_cycles = 4;   // the group-commit batch size
+  auto writer = CycleJournalWriter::Open(options, JournalSnapshot{});
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const std::uint64_t base = (*writer)->stats().sync_calls;  // anchor sync
+
+  // 8 cycles at 4 cycles per group commit: exactly 2 syncs.
+  for (Timestamp ts = 1; ts <= 8; ++ts) {
+    ASSERT_TRUE((*writer)
+                    ->AppendCycle(ts, OneRecordBatch(
+                                          static_cast<RecordId>(ts), ts))
+                    .ok());
+  }
+  EXPECT_EQ((*writer)->stats().sync_calls, base + 2);
+
+  // Non-cycle records ride along in the batch without forcing a sync.
+  ASSERT_TRUE((*writer)->AppendRegister(LinearQuery(1, "alice")).ok());
+  EXPECT_EQ((*writer)->stats().sync_calls, base + 2);
+
+  // The explicit barrier flushes the partial batch; a second call is a
+  // no-op because nothing is unsynced.
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->stats().sync_calls, base + 3);
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->stats().sync_calls, base + 3);
+
+  // Time trigger: with an elapsed interval, the idle-path SyncIfDue
+  // syncs pending appends — and only pending ones.
+  ASSERT_TRUE((*writer)->SyncIfDue().ok());
+  EXPECT_EQ((*writer)->stats().sync_calls, base + 3) << "nothing pending";
+  auto timed = options;
+  timed.sync_interval_cycles = 0;
+  timed.sync_interval_ms = std::chrono::milliseconds(1);
+  ScopedTempDir dir2;
+  timed.dir = dir2.path();
+  auto writer2 = CycleJournalWriter::Open(timed, JournalSnapshot{});
+  ASSERT_TRUE(writer2.ok()) << writer2.status();
+  const std::uint64_t base2 = (*writer2)->stats().sync_calls;
+  ASSERT_TRUE((*writer2)->AppendRegister(LinearQuery(1, "bob")).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE((*writer2)->SyncIfDue().ok());
+  EXPECT_EQ((*writer2)->stats().sync_calls, base2 + 1);
+  ASSERT_TRUE((*writer2)->Close().ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(JournalIoTest, RetainSegmentCountKeepsAReplicationHorizon) {
+  ScopedTempDir dir;
+  JournalOptions options;
+  options.dir = dir.path();
+  options.retain_segment_count = 2;
+  auto writer = CycleJournalWriter::Open(options, JournalSnapshot{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendCycle(1, OneRecordBatch(0, 1)).ok());
+  ASSERT_TRUE((*writer)->RotateWithSnapshot(JournalSnapshot{}).ok());
+  auto segments = ListSegments(dir.path());
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments->size(), 2u) << "previous segment survives";
+  ASSERT_TRUE((*writer)->RotateWithSnapshot(JournalSnapshot{}).ok());
+  segments = ListSegments(dir.path());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 2u);
+  EXPECT_EQ(segments->front().index, 1u) << "only the oldest is collected";
+  ASSERT_TRUE((*writer)->Close().ok());
 }
 
 TEST(JournalIoTest, RetainOldSegmentsKeepsHistory) {

@@ -47,11 +47,12 @@ TEST(NetProtocolTest, HelloAndWelcomeRoundTrip) {
   EXPECT_EQ(hello.label, "dashboard-7");
 
   body.clear();
-  EncodeWelcome(42, true, &body);
+  EncodeWelcome(42, true, /*role=*/1, &body);
   NetMessage welcome = RoundTrip(body);
   EXPECT_EQ(welcome.type, NetMessageType::kWelcome);
   EXPECT_EQ(welcome.session, 42u);
   EXPECT_TRUE(welcome.resumed);
+  EXPECT_EQ(welcome.role, 1);
 }
 
 TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
@@ -116,11 +117,14 @@ TEST(NetProtocolTest, SnapshotAndDeltasRoundTrip) {
   EXPECT_EQ(RoundTrip(body).query, 9u);
 
   body.clear();
-  EncodeSnapshotResult({{101, 0.75}, {88, 0.5}}, &body);
+  EncodeSnapshotResult({{101, 0.75}, {88, 0.5}}, /*as_of=*/777,
+                       /*stale_by=*/3, &body);
   NetMessage snap = RoundTrip(body);
   ASSERT_EQ(snap.entries.size(), 2u);
   EXPECT_EQ(snap.entries[0].id, 101u);
   EXPECT_EQ(snap.entries[1].score, 0.5);
+  EXPECT_EQ(snap.as_of, 777);
+  EXPECT_EQ(snap.stale_by, 3);
 
   std::vector<DeltaEvent> events(2);
   events[0].seq = 5;

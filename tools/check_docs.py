@@ -9,6 +9,9 @@
    drift from the implementation.
 3. Network protocol lockstep: likewise for docs/PROTOCOL.md and
    kNetProtocolVersion in src/net/protocol.h.
+4. Replication lockstep: docs/REPLICATION.md specifies the replication
+   frames, which are part of the network protocol — it must state the
+   same kNetProtocolVersion.
 """
 
 import os
@@ -94,13 +97,18 @@ def main():
         "network protocol", "src/net/protocol.h", NET_HEADER_VERSION_RE,
         "kNetProtocolVersion", "docs/PROTOCOL.md", NET_DOC_VERSION_RE,
         "**Protocol version:** N")
+    errors += check_version_lockstep(
+        "replication protocol", "src/net/protocol.h",
+        NET_HEADER_VERSION_RE, "kNetProtocolVersion",
+        "docs/REPLICATION.md", NET_DOC_VERSION_RE,
+        "**Protocol version:** N")
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
         return 1
-    print("docs check passed (links resolve, journal format and network "
-          "protocol versions in lockstep)")
+    print("docs check passed (links resolve; journal format, network "
+          "protocol and replication spec versions in lockstep)")
     return 0
 
 
