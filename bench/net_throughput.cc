@@ -134,10 +134,11 @@ RunResult RunInProcessBaseline(std::size_t records, std::size_t window) {
 }
 
 RunResult RunWireClients(int clients, std::size_t records_per_client,
-                         std::size_t window) {
+                         std::size_t window, std::size_t server_threads) {
   auto service = MakeService(window);
   NetServerOptions server_opt;
   server_opt.poll_tick = std::chrono::milliseconds(1);
+  server_opt.server_threads = server_threads;
   TcpServer server(*service, server_opt);
   if (!server.Start().ok()) std::abort();
   const std::uint16_t port = server.port();
@@ -218,8 +219,24 @@ RunResult RunWireClients(int clients, std::size_t records_per_client,
           push_wall[static_cast<std::size_t>(ts)] = pushed_at;
           batch.emplace_back(0, gen->NextPoint(), ts);
         }
-        const auto ack = (*client)->Ingest(std::move(batch));
-        if (!ack.ok() || ack->rejected != 0) std::abort();
+        // Hint-paced ingest (protocol v3): a RESOURCE_EXHAUSTED
+        // refusal means the queue filled mid-batch; the accepted tuples
+        // are the batch prefix, so back off by the hint and resend the
+        // suffix instead of aborting.
+        std::size_t off = 0;
+        while (off < batch.size()) {
+          std::vector<Record> part(
+              batch.begin() + static_cast<long>(off), batch.end());
+          const auto ack = (*client)->Ingest(std::move(part));
+          if (!ack.ok()) std::abort();
+          off += ack->accepted;
+          if (ack->rejected == 0) break;
+          if (ack->first_error.code() != StatusCode::kResourceExhausted) {
+            std::abort();
+          }
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(100 + 4u * ack->queue_hint));
+        }
         sent += n;
       }
       (void)(*client)->Close(/*close_session=*/false);
@@ -266,11 +283,11 @@ int Main() {
       records_per_client, window, kQueriesPerClient, kK, kWireBatch,
       ScaleName(scale));
 
-  TablePrinter table({"transport", "clients", "ingest [rec/s]", "wall [s]",
-                      "p50 lat [ms]", "p99 lat [ms]", "delta events",
-                      "cycles"});
+  TablePrinter table({"transport", "srv thr", "clients",
+                      "ingest [rec/s]", "wall [s]", "p50 lat [ms]",
+                      "p99 lat [ms]", "delta events", "cycles"});
   const RunResult base = RunInProcessBaseline(records_per_client, window);
-  table.AddRow({"in-process", TablePrinter::Int(1),
+  table.AddRow({"in-process", "-", TablePrinter::Int(1),
                 TablePrinter::Num(base.throughput, 5),
                 TablePrinter::Num(base.wall_seconds, 4),
                 TablePrinter::Num(base.p50_ms, 4),
@@ -280,9 +297,26 @@ int Main() {
   RunResult wire1;
   for (int clients : {1, 2, 4, 8}) {
     const RunResult r =
-        RunWireClients(clients, records_per_client, window);
+        RunWireClients(clients, records_per_client, window,
+                       /*server_threads=*/1);
     if (clients == 1) wire1 = r;
-    table.AddRow({"tcp", TablePrinter::Int(clients),
+    table.AddRow({"tcp", TablePrinter::Int(1), TablePrinter::Int(clients),
+                  TablePrinter::Num(r.throughput, 5),
+                  TablePrinter::Num(r.wall_seconds, 4),
+                  TablePrinter::Num(r.p50_ms, 4),
+                  TablePrinter::Num(r.p99_ms, 4),
+                  TablePrinter::Int(static_cast<std::int64_t>(r.events)),
+                  TablePrinter::Int(static_cast<std::int64_t>(r.cycles))});
+  }
+  // The --server_threads sweep: fixed 4-client load, 1 -> 2 -> 4 poll
+  // loops. With spare cores this is the aggregate-ingest scaling row
+  // set recorded in bench/README.md; on a starved box it shows the
+  // sharding costs nothing when there is nothing to parallelize.
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const RunResult r =
+        RunWireClients(4, records_per_client, window, threads);
+    table.AddRow({"tcp", TablePrinter::Int(static_cast<int>(threads)),
+                  TablePrinter::Int(4),
                   TablePrinter::Num(r.throughput, 5),
                   TablePrinter::Num(r.wall_seconds, 4),
                   TablePrinter::Num(r.p50_ms, 4),

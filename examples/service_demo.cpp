@@ -40,7 +40,9 @@
 // Flags: --mode=local|serve|client|follower --host=H --port=P
 //        --listen=P --label=NAME --producers=N --records=N --queries=N
 //        --k=N --window=N --serve_seconds=N --promote_seconds=N
-//        --journal=DIR --sync=none|interval|always
+//        --journal=DIR --sync=none|interval|always --server_threads=N
+//        (0 = min(4, cores); with >= 2 threads and a journal, the last
+//        poll loop is dedicated to replication fetches)
 
 #include <atomic>
 #include <cstdio>
@@ -103,19 +105,25 @@ std::unique_ptr<MonitorService> MakeService(std::size_t window,
 }
 
 int RunServe(std::size_t window, const std::string& journal_dir,
-             SyncPolicy sync, std::uint16_t port, long serve_seconds) {
+             SyncPolicy sync, std::uint16_t port, long serve_seconds,
+             std::size_t server_threads) {
   auto service = MakeService(window, journal_dir, sync);
   if (service == nullptr) return 1;
   NetServerOptions net;
   net.port = port;
+  net.server_threads = server_threads;
   TcpServer server(*service, net);
   if (const Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%u — connect with --mode=client "
-              "--port=%u (ctrl-C to stop)\n",
-              server.port(), server.port());
+  std::printf("serving on 127.0.0.1:%u with %zu poll loop(s)%s — "
+              "connect with --mode=client --port=%u (ctrl-C to stop)\n",
+              server.port(), server.loop_count(),
+              server.replication_loop() < server.loop_count()
+                  ? " (last one dedicated to replication)"
+                  : "",
+              server.port());
   long elapsed = 0;
   while (serve_seconds <= 0 || elapsed < serve_seconds) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
@@ -137,7 +145,7 @@ int RunServe(std::size_t window, const std::string& journal_dir,
 int RunFollower(std::size_t window, const std::string& journal_dir,
                 const std::string& leader_host, std::uint16_t leader_port,
                 std::uint16_t listen_port, long serve_seconds,
-                long promote_seconds) {
+                long promote_seconds, std::size_t server_threads) {
   if (journal_dir.empty()) {
     std::fprintf(stderr,
                  "--mode=follower needs --journal=DIR (the local "
@@ -157,6 +165,7 @@ int RunFollower(std::size_t window, const std::string& journal_dir,
   }
   NetServerOptions net;
   net.port = listen_port;
+  net.server_threads = server_threads;
   TcpServer server((*follower)->service(), net);
   if (const Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -274,16 +283,30 @@ int RunClient(const std::string& host, std::uint16_t port,
       batch.emplace_back(0, gen->NextPoint(),
                          base + static_cast<Timestamp>(sent));
     }
-    const auto ack = (*client)->Ingest(std::move(batch));
-    if (!ack.ok()) {
-      std::fprintf(stderr, "%s\n", ack.status().ToString().c_str());
-      done.store(true);
-      subscriber.join();
-      return 1;
-    }
-    if (ack->rejected > 0) {
+    // Hint-paced ingest: a RESOURCE_EXHAUSTED refusal means the server's
+    // queue filled mid-batch — the accepted tuples are the batch prefix,
+    // so back off (scaled by the queue hint) and resend the suffix.
+    std::size_t offset = 0;
+    while (offset < batch.size()) {
+      std::vector<Record> part(batch.begin() + static_cast<long>(offset),
+                               batch.end());
+      const auto ack = (*client)->Ingest(std::move(part));
+      if (!ack.ok()) {
+        std::fprintf(stderr, "%s\n", ack.status().ToString().c_str());
+        done.store(true);
+        subscriber.join();
+        return 1;
+      }
+      offset += ack->accepted;
+      if (ack->rejected == 0) break;
+      if (ack->first_error.code() == StatusCode::kResourceExhausted) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + ack->queue_hint / 32));
+        continue;
+      }
       std::printf("[%s] %u tuples rejected: %s\n", label.c_str(),
                   ack->rejected, ack->first_error.ToString().c_str());
+      break;
     }
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
@@ -419,10 +442,11 @@ int main(int argc, char** argv) {
   const auto serve_seconds_flag = flags->GetInt("serve_seconds", 0);
   const auto listen_flag = flags->GetInt("listen", 4586);
   const auto promote_seconds_flag = flags->GetInt("promote_seconds", 0);
+  const auto server_threads_flag = flags->GetInt("server_threads", 0);
   for (const auto* f : {&producers_flag, &records_flag, &queries_flag,
                         &k_flag, &window_flag, &port_flag,
                         &serve_seconds_flag, &listen_flag,
-                        &promote_seconds_flag}) {
+                        &promote_seconds_flag, &server_threads_flag}) {
     if (!f->ok()) {
       std::fprintf(stderr, "%s\n", f->status().ToString().c_str());
       return 1;
@@ -445,7 +469,8 @@ int main(int argc, char** argv) {
 
   if (*mode_flag == "serve") {
     return RunServe(window, *journal_flag, *sync_policy, port,
-                    static_cast<long>(*serve_seconds_flag));
+                    static_cast<long>(*serve_seconds_flag),
+                    static_cast<std::size_t>(*server_threads_flag));
   }
   if (*mode_flag == "client") {
     return RunClient(*host_flag, port, *label_flag,
@@ -457,7 +482,8 @@ int main(int argc, char** argv) {
     return RunFollower(window, *journal_flag, *host_flag, port,
                        static_cast<std::uint16_t>(*listen_flag),
                        static_cast<long>(*serve_seconds_flag),
-                       static_cast<long>(*promote_seconds_flag));
+                       static_cast<long>(*promote_seconds_flag),
+                       static_cast<std::size_t>(*server_threads_flag));
   }
   if (*mode_flag == "local") {
     return RunLocal(static_cast<int>(*producers_flag),

@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented,     ///< feature combination not supported (e.g. SMA on
                       ///< update streams, Section 7 of the paper)
   kInternal,          ///< invariant violation; indicates a library bug
+  kResourceExhausted, ///< a bounded buffer is full; retry after backing
+                      ///< off (the ingest backpressure signal)
 };
 
 /// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -68,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

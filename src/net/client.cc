@@ -210,6 +210,8 @@ Result<MonitorClient::IngestAck> MonitorClient::Ingest(
   IngestAck out;
   out.accepted = ack->accepted;
   out.rejected = ack->rejected;
+  out.queue_hint = ack->queue_hint;
+  last_ingest_hint_ = ack->queue_hint;
   if (ack->code != StatusCode::kOk) {
     out.first_error = Status(ack->code, ack->message);
   }

@@ -74,6 +74,14 @@ class MonitorClient {
     std::uint32_t accepted = 0;
     std::uint32_t rejected = 0;
     Status first_error;
+    /// Server backpressure hint (protocol v3): 0 while the server's
+    /// ingest queue is healthy, else its fullness scaled into 1..255.
+    /// Producers should self-pace as it rises; a RESOURCE_EXHAUSTED
+    /// first_error means the queue filled mid-batch — tuples are
+    /// admitted in arrival order, so when every rejection in the ack is
+    /// that refusal, the accepted tuples are exactly the sorted batch's
+    /// prefix and the producer retries the suffix after backing off.
+    std::uint8_t queue_hint = 0;
   };
 
   /// Ships one batch of (position, arrival) tuples. Record ids in
@@ -126,6 +134,10 @@ class MonitorClient {
   /// Highest delta sequence number seen by PollDeltas on this client.
   std::uint64_t last_seq() const { return last_seq_; }
 
+  /// The queue_hint of the most recent IngestAck — the server's standing
+  /// backpressure signal for pacing loops that batch fire-and-forget.
+  std::uint8_t last_ingest_hint() const { return last_ingest_hint_; }
+
   /// Graceful goodbye; with close_session the server also closes the
   /// session (releasing its queries and delta buffer — no resume after
   /// this). The socket is closed either way.
@@ -151,6 +163,7 @@ class MonitorClient {
   bool resumed_ = false;
   std::uint8_t server_role_ = 0;
   std::uint64_t last_seq_ = 0;
+  std::uint8_t last_ingest_hint_ = 0;
   Timestamp snapshot_as_of_ = 0;
   Timestamp snapshot_stale_by_ = 0;
   Timestamp leader_cycle_ts_ = 0;

@@ -51,6 +51,7 @@ std::uint8_t NetEncodeStatusCode(StatusCode code) {
     case StatusCode::kFailedPrecondition: return 5;
     case StatusCode::kUnimplemented: return 6;
     case StatusCode::kInternal: return 7;
+    case StatusCode::kResourceExhausted: return 8;
   }
   return 7;
 }
@@ -64,6 +65,7 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire_value) {
     case 4: return StatusCode::kOutOfRange;
     case 5: return StatusCode::kFailedPrecondition;
     case 6: return StatusCode::kUnimplemented;
+    case 8: return StatusCode::kResourceExhausted;
     default: return StatusCode::kInternal;
   }
 }
@@ -100,12 +102,14 @@ void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
 }
 
 void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
-                     const Status& first_error, std::string* out) {
+                     const Status& first_error, std::uint8_t queue_hint,
+                     std::string* out) {
   PutType(NetMessageType::kIngestAck, out);
   wire::PutU32(accepted, out);
   wire::PutU32(rejected, out);
   wire::PutU8(NetEncodeStatusCode(first_error.code()), out);
   wire::PutString(first_error.message(), out);
+  wire::PutU8(queue_hint, out);
 }
 
 Status EncodeRegister(const QuerySpec& spec, std::string* out) {
@@ -286,6 +290,7 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->rejected = in.GetU32();
       out->code = NetDecodeStatusCode(in.GetU8());
       out->message = in.GetString();
+      out->queue_hint = in.GetU8();
       return done();
     case NetMessageType::kRegister:
       out->type = NetMessageType::kRegister;

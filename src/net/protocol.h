@@ -55,7 +55,13 @@ inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
 /// replication (ReplFetch/ReplChunk) and batched-registration
 /// (RegisterBatch/RegisterBatchAck) messages were added — see
 /// docs/REPLICATION.md.
-inline constexpr std::uint32_t kNetProtocolVersion = 2;
+///
+/// v3: IngestAck carries a trailing queue_hint byte — the server's
+/// backpressure signal (0 healthy, 1..255 = ingest-queue fullness past
+/// the high-water mark) — and the RESOURCE_EXHAUSTED status code (wire
+/// value 8) was added for queue-full refusals, which no longer block
+/// the server's poll loop. See docs/OPERATIONS.md for producer pacing.
+inline constexpr std::uint32_t kNetProtocolVersion = 3;
 
 /// Bytes of a frame prologue (body_len + crc32c).
 inline constexpr std::size_t kNetFrameHeaderBytes = 8;
@@ -134,6 +140,10 @@ struct NetMessage {
   // kIngestAck
   std::uint32_t accepted = 0;
   std::uint32_t rejected = 0;
+  /// Backpressure hint (v3): 0 while the server's ingest queue is below
+  /// its high-water mark, else fullness scaled into 1..255. Producers
+  /// should self-pace when it rises (see docs/OPERATIONS.md).
+  std::uint8_t queue_hint = 0;
 
   // kIngestAck (first rejection) and kError.
   StatusCode code = StatusCode::kOk;
@@ -202,7 +212,8 @@ void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
 /// an arrival-sorted batch — see MonitorClient::Ingest).
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out);
 void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
-                     const Status& first_error, std::string* out);
+                     const Status& first_error, std::uint8_t queue_hint,
+                     std::string* out);
 /// Fails with Unimplemented for scoring-function families without a wire
 /// encoding; *out is unchanged on failure.
 Status EncodeRegister(const QuerySpec& spec, std::string* out);

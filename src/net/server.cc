@@ -38,6 +38,12 @@ std::string NetServerStats::ToString() const {
      << " bytes_in=" << bytes_received << " bytes_out=" << bytes_sent
      << " ingested=" << records_ingested
      << " protocol_errors=" << protocol_errors;
+  if (records_backpressured > 0) {
+    os << " backpressured=" << records_backpressured;
+  }
+  if (connections_migrated > 0) {
+    os << " migrated=" << connections_migrated;
+  }
   if (repl_chunks_sent > 0) {
     os << " repl_chunks=" << repl_chunks_sent
        << " repl_bytes=" << repl_bytes_shipped;
@@ -93,17 +99,89 @@ Status TcpServer::Start() {
     ::close(fd);
     return st;
   }
+
+  // Resolve the loop topology: N independent poll loops, and — when
+  // there is a journal to ship and at least two loops — the last loop
+  // dedicated to replication fetches.
+  std::size_t threads = options_.server_threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<std::size_t>(4, hw == 0 ? 1 : hw);
+  }
+  loops_.clear();
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto loop = std::make_unique<PollLoop>();
+    loop->index = i;
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0 || !SetNonBlocking(pipe_fds[0]) ||
+        !SetNonBlocking(pipe_fds[1])) {
+      const Status st = Errno("wakeup pipe");
+      if (pipe_fds[0] >= 0) ::close(pipe_fds[0]);
+      if (pipe_fds[1] >= 0) ::close(pipe_fds[1]);
+      for (auto& l : loops_) {
+        ::close(l->wake_rd);
+        ::close(l->wake_wr);
+      }
+      loops_.clear();
+      ::close(fd);
+      return st;
+    }
+    loop->wake_rd = pipe_fds[0];
+    loop->wake_wr = pipe_fds[1];
+    loops_.push_back(std::move(loop));
+  }
+  const bool dedicate = shipper_ != nullptr && threads >= 2;
+  client_loops_ = dedicate ? threads - 1 : threads;
+  repl_loop_ = dedicate ? threads - 1 : threads;
+  next_loop_ = 0;
+
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   started_ = true;
   stop_.store(false);
-  driver_ = std::thread([this] { Loop(); });
+  // Parked-wakeup path: the service pokes every loop's pipe whenever
+  // deltas are published or the journal grows, so parked long-polls and
+  // fetches are answered promptly regardless of which loop owns them.
+  listener_id_ = service_.AddProgressListener([this] { WakeAll(); });
+  for (auto& loop : loops_) {
+    PollLoop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { LoopRun(*raw); });
+  }
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
   return Status::Ok();
 }
 
 void TcpServer::Stop() {
   stop_.store(true);
-  if (driver_.joinable()) driver_.join();
+  if (listener_id_ != 0) {
+    service_.RemoveProgressListener(listener_id_);
+    listener_id_ = 0;
+  }
+  WakeAll();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Handoffs that raced shutdown (acceptor -> loop, or a migration into
+  // a loop that had already exited) are drained here, after every
+  // thread is parked, so no fd can leak.
+  for (auto& loop : loops_) {
+    std::vector<Connection> leftover;
+    {
+      std::lock_guard<std::mutex> lock(loop->handoff_mu);
+      leftover.swap(loop->handoff);
+    }
+    for (Connection& conn : leftover) {
+      ::close(conn.fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_closed;
+      --stats_.open_connections;
+    }
+    if (loop->wake_rd >= 0) ::close(loop->wake_rd);
+    if (loop->wake_wr >= 0) ::close(loop->wake_wr);
+    loop->wake_rd = loop->wake_wr = -1;
+  }
+  loops_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -116,32 +194,134 @@ NetServerStats TcpServer::stats() const {
   return stats_;
 }
 
-void TcpServer::Loop() {
+void TcpServer::Wake(PollLoop& loop) {
+  bool expected = false;
+  if (!loop.wake_pending.compare_exchange_strong(expected, true)) return;
+  const char byte = 1;
+  // A full pipe means a wake is already deliverable; the poll tick
+  // bounds the delay of the (theoretical) lost-wake race either way.
+  (void)!::write(loop.wake_wr, &byte, 1);
+}
+
+void TcpServer::WakeAll() {
+  for (auto& loop : loops_) Wake(*loop);
+}
+
+void TcpServer::HandOff(PollLoop& target, Connection&& conn) {
+  conn.migrate = false;
+  {
+    std::lock_guard<std::mutex> lock(target.handoff_mu);
+    target.handoff.push_back(std::move(conn));
+  }
+  Wake(target);
+}
+
+void TcpServer::AcceptorLoop() {
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  const int tick =
+      static_cast<int>(std::max<std::int64_t>(1, options_.poll_tick.count()));
+  while (!stop_.load()) {
+    const int ready = ::poll(&pfd, 1, tick);
+    if (stop_.load()) break;
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN (or transient error): next round
+      std::size_t open = 0;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        open = stats_.open_connections;
+      }
+      // Peers beyond the cap get an immediate accept-and-close (a clean
+      // refusal) instead of hanging in the kernel backlog.
+      if (open >= options_.max_connections || !SetNonBlocking(fd)) {
+        ::close(fd);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_refused;
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Connection conn;
+      conn.fd = fd;
+      conn.last_activity = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_accepted;
+        ++stats_.open_connections;
+      }
+      // Fresh connections round-robin over the client-facing loops; the
+      // dedicated replication loop (if any) only receives migrations.
+      PollLoop& target = *loops_[next_loop_ % client_loops_];
+      ++next_loop_;
+      HandOff(target, std::move(conn));
+    }
+  }
+}
+
+void TcpServer::AdoptHandoffs(PollLoop& loop) {
+  std::vector<Connection> adopted;
+  {
+    std::lock_guard<std::mutex> lock(loop.handoff_mu);
+    if (loop.handoff.empty()) return;
+    adopted.swap(loop.handoff);
+  }
+  for (Connection& handed : adopted) {
+    loop.connections.push_back(std::move(handed));
+    Connection& conn = loop.connections.back();
+    // A migrated connection arrives carrying the unserved frame that
+    // triggered the move (and possibly more pipelined after it).
+    if (!conn.in.empty() && !conn.closing) {
+      DrainFrames(loop, conn);
+    }
+    if (conn.eof_pending) {
+      // The peer had half-closed behind the migration: its final
+      // frames are handled now, so the closing path (flush, then
+      // close) proceeds exactly as on an unmigrated connection.
+      conn.eof_pending = false;
+      conn.closing = true;
+      conn.in.clear();
+    }
+  }
+}
+
+void TcpServer::LoopRun(PollLoop& loop) {
   std::vector<pollfd> fds;
   std::vector<std::list<Connection>::iterator> conn_of_fd;
+  const int tick =
+      static_cast<int>(std::max<std::int64_t>(1, options_.poll_tick.count()));
   while (!stop_.load()) {
+    AdoptHandoffs(loop);
     fds.clear();
     conn_of_fd.clear();
-    // The listener always polls, even at the connection cap: peers
-    // beyond it get an immediate accept-and-close (a clean refusal)
-    // instead of hanging in the kernel backlog.
-    fds.push_back({listen_fd_, POLLIN, 0});
-    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    fds.push_back({loop.wake_rd, POLLIN, 0});
+    for (auto it = loop.connections.begin(); it != loop.connections.end();
+         ++it) {
       short events = 0;
       if (!it->closing) events |= POLLIN;
       if (!it->out.empty()) events |= POLLOUT;
       fds.push_back({it->fd, events, 0});
       conn_of_fd.push_back(it);
     }
-    const int tick =
-        static_cast<int>(std::max<std::int64_t>(1, options_.poll_tick.count()));
     const int ready = ::poll(fds.data(), fds.size(), tick);
     if (stop_.load()) break;
     if (ready < 0 && errno != EINTR) break;
-
-    if (fds[0].revents & POLLIN) AcceptReady();
+    if (fds[0].revents & POLLIN) {
+      // Drain first, clear the flag after. A Wake racing the drain may
+      // have its byte consumed here while its CAS left the flag set —
+      // clearing afterwards guarantees the flag can never be left true
+      // with an empty pipe (which would suppress every future wakeup);
+      // the racer's work is picked up this very iteration (handoffs at
+      // the top of the next one), so the race costs at most one tick.
+      char buf[256];
+      while (::read(loop.wake_rd, buf, sizeof(buf)) > 0) {
+      }
+      loop.wake_pending.store(false);
+    }
 
     std::vector<std::list<Connection>::iterator> doomed;
+    std::vector<std::list<Connection>::iterator> migrants;
     const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < conn_of_fd.size(); ++i) {
       auto it = conn_of_fd[i];
@@ -150,7 +330,14 @@ void TcpServer::Loop() {
       bool alive = true;
       if (alive && (revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
           !conn.closing) {
-        alive = ReadReady(conn);
+        alive = ReadReady(loop, conn);
+      }
+      // A connection that issued its first ReplFetch moves to the
+      // dedicated replication loop with its buffers; the frame itself
+      // is still in conn.in and is served after adoption.
+      if (alive && conn.migrate && !conn.closing) {
+        migrants.push_back(it);
+        continue;
       }
       // A closing connection must never have its parked poll answered:
       // PollDeltas would consume the session's events into a socket
@@ -158,11 +345,17 @@ void TcpServer::Loop() {
       // successor. Dropping the park leaves the events buffered.
       if (conn.closing && conn.poll_parked) conn.poll_parked = false;
       // A parked long-poll is answered as soon as the session's buffer
-      // has something — or its deadline passed (an empty Deltas frame is
-      // the long-poll timeout signal).
+      // has something — or its deadline passed (an empty Deltas frame
+      // is the long-poll timeout signal) — or a newer connection
+      // resumed the session (possibly on another loop; the bumped
+      // epoch makes AnswerPoll evict instead of answer, from here, the
+      // holder's own loop — no cross-loop connection state is touched,
+      // and the epoch re-check inside AnswerPoll is atomic with the
+      // consumption).
       if (alive && conn.poll_parked &&
           (service_.PendingDeltas(conn.session) > 0 ||
-           now >= conn.poll_deadline)) {
+           now >= conn.poll_deadline ||
+           ResumeEpoch(conn.session) != conn.poll_epoch)) {
         AnswerPoll(conn);
       }
       // A parked replication fetch wakes on journal growth (any append
@@ -196,43 +389,29 @@ void TcpServer::Loop() {
       if (alive && !conn.out.empty()) alive = WriteReady(conn);
       if (!alive || (conn.closing && conn.out.empty())) doomed.push_back(it);
     }
-    for (auto it : doomed) CloseConnection(it);
+    for (auto it : doomed) CloseConnection(loop, it);
+    for (auto it : migrants) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_migrated;
+      }
+      HandOff(*loops_[repl_loop_], std::move(*it));
+      loop.connections.erase(it);
+    }
   }
-  for (auto it = connections_.begin(); it != connections_.end();) {
+  for (auto it = loop.connections.begin(); it != loop.connections.end();) {
     auto next = std::next(it);
-    CloseConnection(it);
+    CloseConnection(loop, it);
     it = next;
   }
 }
 
-void TcpServer::AcceptReady() {
-  while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN (or transient error): try next tick
-    if (connections_.size() >= options_.max_connections ||
-        !SetNonBlocking(fd)) {
-      ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_refused;
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_.emplace_back();
-    connections_.back().fd = fd;
-    connections_.back().last_activity = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_accepted;
-    ++stats_.open_connections;
-  }
-}
-
-bool TcpServer::ReadReady(Connection& conn) {
+bool TcpServer::ReadReady(PollLoop& loop, Connection& conn) {
   // Per-connection read budget per tick: a peer that can fill the
-  // socket faster than we parse must not pin the driver thread in this
-  // loop (starving every other connection) or grow conn.in without
-  // bound — poll() re-reports readiness next tick, which round-robins
-  // the remainder fairly.
+  // socket faster than we parse must not pin its poll loop in this
+  // inner loop (starving the loop's other connections) or grow conn.in
+  // without bound — poll() re-reports readiness next tick, which
+  // round-robins the remainder fairly.
   std::size_t budget = std::size_t(1) << 20;
   char buf[65536];
   bool peer_eof = false;
@@ -260,14 +439,22 @@ bool TcpServer::ReadReady(Connection& conn) {
     if (errno == EINTR) continue;
     return false;
   }
-  DrainFrames(conn);
-  if (peer_eof) conn.closing = true;
+  DrainFrames(loop, conn);
+  if (peer_eof) {
+    // A half-close racing a pending migration must not drop the carried
+    // frame: the close is deferred until the target loop served it.
+    if (conn.migrate) {
+      conn.eof_pending = true;
+    } else {
+      conn.closing = true;
+    }
+  }
   return true;
 }
 
-void TcpServer::DrainFrames(Connection& conn) {
+void TcpServer::DrainFrames(PollLoop& loop, Connection& conn) {
   std::size_t off = 0;
-  while (!conn.closing) {
+  while (!conn.closing && !conn.migrate) {
     const char* body = nullptr;
     std::size_t body_len = 0;
     std::size_t consumed = 0;
@@ -280,29 +467,44 @@ void TcpServer::DrainFrames(Connection& conn) {
       FailConnection(conn, error);
       break;
     }
-    off += consumed;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.frames_received;
-    }
     NetMessage msg;
     const Status st = DecodeNetBody(body, body_len, &msg);
     if (!st.ok()) {
       FailConnection(conn, st);
       break;
     }
-    HandleMessage(conn, msg);
+    // Replication fetches are served from the dedicated loop: leave the
+    // frame unconsumed and flag the connection for migration — the
+    // target loop re-parses it after adoption.
+    if (msg.type == NetMessageType::kReplFetch && conn.hello_done &&
+        repl_loop_ < loops_.size() && loop.index != repl_loop_) {
+      conn.migrate = true;
+      break;
+    }
+    off += consumed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_received;
+    }
+    HandleMessage(loop, conn, msg);
   }
   conn.in.erase(0, off);
   if (conn.closing) conn.in.clear();
 }
 
-void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
+void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
+                              const NetMessage& msg) {
   // A pipelined request while a long-poll is parked would interleave its
   // response with the eventual Deltas frame; answering the poll first
   // (with whatever is pending, possibly nothing) keeps the dialog a
   // strict one-response-per-request sequence. Parked fetches likewise.
-  if (conn.poll_parked) AnswerPoll(conn);
+  // An evicted poll (stale resume epoch) is never answered — AnswerPoll
+  // closes the whole connection instead, and the new request dies with
+  // it.
+  if (conn.poll_parked) {
+    AnswerPoll(conn);
+    if (conn.closing) return;
+  }
   if (conn.fetch_parked) AnswerFetch(conn);
 
   if (!conn.hello_done && msg.type != NetMessageType::kHello) {
@@ -312,7 +514,7 @@ void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
   }
   switch (msg.type) {
     case NetMessageType::kHello:
-      HandleHello(conn, msg);
+      HandleHello(loop, conn, msg);
       return;
     case NetMessageType::kIngest:
       HandleIngest(conn, msg);
@@ -387,11 +589,13 @@ void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
       conn.poll_parked = true;
       conn.poll_max = max;
       conn.poll_deadline = std::chrono::steady_clock::now() + timeout;
+      conn.poll_epoch = ResumeEpoch(conn.session);
       return;
     }
     case NetMessageType::kClose: {
       if (msg.close_session && conn.session != 0) {
         service_.CloseSession(conn.session);
+        ForgetResumeEpoch(conn.session);
       }
       std::string body;
       EncodeCloseAck(&body);
@@ -419,7 +623,9 @@ void TcpServer::HandleMessage(Connection& conn, const NetMessage& msg) {
                      " is not a request"));
 }
 
-void TcpServer::HandleHello(Connection& conn, const NetMessage& msg) {
+void TcpServer::HandleHello(PollLoop& loop, Connection& conn,
+                            const NetMessage& msg) {
+  (void)loop;
   if (conn.hello_done) {
     FailConnection(conn, Status::FailedPrecondition("duplicate Hello"));
     return;
@@ -461,24 +667,15 @@ void TcpServer::HandleHello(Connection& conn, const NetMessage& msg) {
     // Left alone, that poll would keep consuming the session's delta
     // events into a socket buffer nobody reads, and the resumed client
     // would see a sequence gap the drop counters can't explain. The
-    // eviction must NOT answer the stale poll (that would consume the
-    // events); the stale peer gets an error and a close instead.
+    // eviction is epoch-based so it works across loops without touching
+    // another loop's connections: the epoch is bumped *before* this
+    // Welcome is queued, every loop refuses to answer a parked poll
+    // whose recorded epoch is stale, and each stale holder is failed by
+    // its own loop at its next tick (the WakeAll makes that prompt).
     // Connections sharing the session *without* an outstanding poll (a
     // producer feeding it, say) are deliberately left alone.
-    for (Connection& other : connections_) {
-      if (&other == &conn || other.session != session || other.closing ||
-          !other.poll_parked) {
-        continue;
-      }
-      other.poll_parked = false;
-      std::string eviction;
-      EncodeError(Status::FailedPrecondition(
-                      "session '" + msg.label +
-                      "' was resumed by a new connection"),
-                  &eviction);
-      SendBody(other, eviction);
-      other.closing = true;
-    }
+    BumpResumeEpoch(session);
+    WakeAll();
   }
   conn.session = session;
   conn.hello_done = true;
@@ -580,8 +777,18 @@ void TcpServer::AnswerFetch(Connection& conn) {
 void TcpServer::HandleIngest(Connection& conn, const NetMessage& msg) {
   std::uint32_t accepted = 0;
   std::uint32_t rejected = 0;
+  std::uint64_t backpressured = 0;
   Status first_error;
+  bool queue_full = false;
   for (const Record& r : msg.tuples) {
+    if (queue_full) {
+      // The queue filled mid-batch: everything later in the batch would
+      // bounce off the same wall (admission is in arrival order), so
+      // skip the calls and report the suffix rejected wholesale.
+      ++rejected;
+      ++backpressured;
+      continue;
+    }
     if (r.arrival < 0 || r.arrival > kMaxWireArrival) {
       ++rejected;
       if (first_error.ok()) {
@@ -591,33 +798,77 @@ void TcpServer::HandleIngest(Connection& conn, const NetMessage& msg) {
       }
       continue;
     }
-    // Blocking admission: ingest backpressure is the service's flow
-    // control and the queue drains continuously, so the stall is bounded
-    // by one drain; rate-limit and validation refusals return instantly.
-    const Status st = service_.Ingest(conn.session, r.position, r.arrival);
+    // Non-blocking admission: a full ingest queue must never stall this
+    // poll loop (every other connection on it would stall too). The
+    // refusal is RESOURCE_EXHAUSTED and the ack's queue_hint tells the
+    // producer to self-pace; rate-limit and validation refusals are
+    // per-record as before.
+    const Status st = service_.TryIngest(conn.session, r.position,
+                                         r.arrival);
     if (st.ok()) {
       ++accepted;
-    } else {
-      ++rejected;
-      if (first_error.ok()) first_error = st;
+      continue;
     }
+    ++rejected;
+    if (st.code() == StatusCode::kResourceExhausted) {
+      queue_full = true;
+      ++backpressured;
+    }
+    if (first_error.ok()) first_error = st;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.records_ingested += accepted;
+    stats_.records_backpressured += backpressured;
   }
   std::string body;
-  EncodeIngestAck(accepted, rejected, first_error, &body);
+  EncodeIngestAck(accepted, rejected, first_error,
+                  service_.IngestPressure(), &body);
   SendBody(conn, body);
 }
 
 void TcpServer::AnswerPoll(Connection& conn) {
+  // The epoch re-check and the delta consumption are one critical
+  // section with BumpResumeEpoch: once a resuming Hello has bumped the
+  // epoch (which it does before its Welcome is queued), no stale
+  // parked poll can reach PollDeltas — checking outside the lock would
+  // leave a window where a concurrent resume loses buffered events to
+  // the dead predecessor.
   std::vector<DeltaEvent> events;
-  service_.PollDeltas(conn.session, conn.poll_max, &events);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(resume_mu_);
+    const auto it = resume_epoch_.find(conn.session);
+    const std::uint64_t epoch =
+        it == resume_epoch_.end() ? 0 : it->second;
+    if (epoch != conn.poll_epoch) {
+      evicted = true;
+    } else {
+      service_.PollDeltas(conn.session, conn.poll_max, &events);
+    }
+  }
   conn.poll_parked = false;
+  if (evicted) {
+    EvictConnection(conn);
+    return;
+  }
   std::string body;
   EncodeDeltas(events, &body);
   SendBody(conn, body);
+}
+
+void TcpServer::EvictConnection(Connection& conn) {
+  // Not a protocol violation (the peer did nothing wrong — a newer
+  // connection adopted its session), so stats().protocol_errors stays
+  // untouched, unlike FailConnection.
+  conn.poll_parked = false;
+  conn.fetch_parked = false;
+  std::string body;
+  EncodeError(Status::FailedPrecondition(
+                  "session was resumed by a new connection"),
+              &body);
+  SendBody(conn, body);
+  conn.closing = true;
 }
 
 void TcpServer::SendBody(Connection& conn, const std::string& body) {
@@ -658,12 +909,29 @@ bool TcpServer::WriteReady(Connection& conn) {
   return true;
 }
 
-void TcpServer::CloseConnection(std::list<Connection>::iterator it) {
+void TcpServer::CloseConnection(PollLoop& loop,
+                                std::list<Connection>::iterator it) {
   ::close(it->fd);
-  connections_.erase(it);
+  loop.connections.erase(it);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.connections_closed;
   --stats_.open_connections;
+}
+
+std::uint64_t TcpServer::ResumeEpoch(SessionId session) const {
+  std::lock_guard<std::mutex> lock(resume_mu_);
+  const auto it = resume_epoch_.find(session);
+  return it == resume_epoch_.end() ? 0 : it->second;
+}
+
+void TcpServer::BumpResumeEpoch(SessionId session) {
+  std::lock_guard<std::mutex> lock(resume_mu_);
+  ++resume_epoch_[session];
+}
+
+void TcpServer::ForgetResumeEpoch(SessionId session) {
+  std::lock_guard<std::mutex> lock(resume_mu_);
+  resume_epoch_.erase(session);
 }
 
 }  // namespace topkmon

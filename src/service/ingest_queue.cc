@@ -113,6 +113,15 @@ std::size_t IngestQueue::depth() const {
   return heap_.size();
 }
 
+std::uint8_t IngestQueue::Pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t depth = heap_.size();
+  if (options_.capacity == 0 || depth * 2 < options_.capacity) return 0;
+  const std::size_t scaled = (depth * 255) / options_.capacity;
+  return static_cast<std::uint8_t>(
+      std::min<std::size_t>(255, std::max<std::size_t>(1, scaled)));
+}
+
 IngestStats IngestQueue::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

@@ -105,6 +105,13 @@ class IngestQueue {
   /// Records currently buffered.
   std::size_t depth() const;
 
+  /// Backpressure hint for producers: 0 while the buffer sits below the
+  /// high-water mark (half of capacity), otherwise the fullness scaled
+  /// into 1..255 (255 = at capacity). Front-ends ship it to remote
+  /// producers (the IngestAck queue_hint byte) so they self-pace instead
+  /// of the server blocking on a full queue.
+  std::uint8_t Pressure() const;
+
   IngestStats stats() const;
 
   /// Total records ever accepted (stats().pushed; used as a flush fence).

@@ -249,7 +249,10 @@ Status MonitorService::TryIngest(Point position, Timestamp arrival) {
   if (ingest_.closed()) {
     return Status::FailedPrecondition("ingest queue is closed");
   }
-  return Status::FailedPrecondition("ingest queue is full");
+  // The distinguished backpressure code: callers (and remote producers,
+  // via the IngestAck queue_hint) back off and retry instead of
+  // treating this as a hard failure.
+  return Status::ResourceExhausted("ingest queue is full");
 }
 
 Status MonitorService::Ingest(SessionId session, Point position,
@@ -465,13 +468,18 @@ Status MonitorService::ApplyReplicated(const JournalRecord& record) {
                                 std::memory_order_release);
       }
     }
-    std::lock_guard<std::mutex> lock(state_mu_);
-    if (st.ok()) {
-      applied_records_ += record.batch.size();
-      ++cycles_;
-    } else {
-      ++failed_cycles_;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (st.ok()) {
+        applied_records_ += record.batch.size();
+        ++cycles_;
+      } else {
+        ++failed_cycles_;
+      }
     }
+    // The replayed cycle may have published deltas into the hub: wake
+    // any front-end with parked long-polls on this follower.
+    if (st.ok()) NotifyProgress();
     return st;
   }
   std::lock_guard<std::mutex> control(control_mu_);
@@ -578,6 +586,39 @@ std::size_t MonitorService::PendingDeltas(SessionId session) const {
   return hub_.Depth(session);
 }
 
+void MonitorService::NoteJournalGrowth() {
+  journal_progress_.fetch_add(1, std::memory_order_release);
+  NotifyProgress();
+}
+
+std::uint64_t MonitorService::AddProgressListener(
+    std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  const std::uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void MonitorService::RemoveProgressListener(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      listeners_.end());
+}
+
+void MonitorService::NotifyProgress() {
+  // Listeners are cheap by contract (a pipe write), so they run under
+  // the lock — which also guarantees RemoveProgressListener returns
+  // only after any in-flight invocation of the removed listener.
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  for (const auto& [id, fn] : listeners_) fn();
+}
+
+std::uint8_t MonitorService::IngestPressure() const {
+  return ingest_.Pressure();
+}
+
 bool MonitorService::NeedsFlush() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return applied_records_ < flush_fence_;
@@ -656,6 +697,9 @@ void MonitorService::DriverLoop() {
       if (!st.ok()) ++failed_cycles_;
     }
     flush_cv_.notify_all();
+    // The cycle may have published deltas and grown the journal: wake
+    // front-end poll loops holding parked long-polls or fetches.
+    NotifyProgress();
   }
   {
     std::lock_guard<std::mutex> lock(state_mu_);

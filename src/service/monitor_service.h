@@ -281,10 +281,25 @@ class MonitorService {
   /// grows through the ReplicaFollower's ship path, not this service's
   /// writer; the pump calls this after persisting a chunk so a *chained*
   /// follower's parked fetch on this node wakes immediately instead of
-  /// at its long-poll deadline.
-  void NoteJournalGrowth() {
-    journal_progress_.fetch_add(1, std::memory_order_release);
-  }
+  /// at its long-poll deadline. Fires the progress listeners.
+  void NoteJournalGrowth();
+
+  /// Registers a callback fired from the driver / replication-apply
+  /// threads whenever delta events may have been published or the
+  /// journal grew — the cross-thread wakeup a poll-based front-end uses
+  /// to answer parked long-polls and replication fetches promptly
+  /// instead of waiting out its poll tick. Listeners run with an
+  /// internal lock held and must be cheap and reentrancy-free (write a
+  /// byte to a pipe; never call back into the service). Returns an id
+  /// for RemoveProgressListener.
+  std::uint64_t AddProgressListener(std::function<void()> listener);
+  void RemoveProgressListener(std::uint64_t id);
+
+  /// Backpressure probe: 0 while the ingest queue sits below its
+  /// high-water mark, else its fullness scaled into 1..255 (255 = at
+  /// capacity). Surfaced to remote producers as the IngestAck
+  /// queue_hint byte (protocol v3) so they self-pace.
+  std::uint8_t IngestPressure() const;
 
   /// The journal directory this service writes (leader) or ships into
   /// (follower); empty when journaling is off.
@@ -351,6 +366,9 @@ class MonitorService {
   void DriverLoop();
   bool NeedsFlush() const;
 
+  /// Fires every registered progress listener (see AddProgressListener).
+  void NotifyProgress();
+
   /// The redirect status follower-mode writes draw; Ok on a leader.
   Status RefuseIfFollower() const;
 
@@ -410,6 +428,13 @@ class MonitorService {
   std::atomic<Timestamp> applied_cycle_ts_{0};
   std::atomic<Timestamp> leader_cycle_ts_{0};
   std::atomic<std::uint64_t> journal_progress_{0};
+
+  /// Progress listeners (parked-wakeup hooks for front-ends). Guarded by
+  /// its own mutex; never acquired while holding engine_mu_ callbacks
+  /// back into the service (listeners must not re-enter).
+  mutable std::mutex listeners_mu_;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> listeners_;
+  std::uint64_t next_listener_id_ = 1;
 
   /// Journal state. The writer and the journaled-query registry (the live
   /// specs a snapshot must carry) are only touched under engine_mu_,

@@ -26,6 +26,7 @@
 #include "core/tma_engine.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "tests/net/net_test_util.h"
 #include "tests/test_util.h"
 
 namespace topkmon {
@@ -76,9 +77,7 @@ TEST(NetEndToEndTest, TcpClientsSeeGapFreeDeltasMatchingBruteForce) {
         journal.emplace_back(ts, b);
       });
 
-  NetServerOptions server_opt;
-  server_opt.poll_tick = std::chrono::milliseconds(1);
-  TcpServer server(service, server_opt);
+  TcpServer server(service, testing::TestServerOptions());
   TOPKMON_ASSERT_OK(server.Start());
   const std::uint16_t port = server.port();
 
@@ -236,9 +235,7 @@ TEST(NetEndToEndTest, ResumeEvictsAStaleParkedPollButNotProducers) {
   MonitorService service(
       std::make_unique<BruteForceEngine>(kDim, WindowSpec::Count(100)),
       opt);
-  NetServerOptions server_opt;
-  server_opt.poll_tick = std::chrono::milliseconds(1);
-  TcpServer server(service, server_opt);
+  TcpServer server(service, testing::TestServerOptions());
   TOPKMON_ASSERT_OK(server.Start());
 
   auto stale = MonitorClient::Connect("127.0.0.1", server.port(), "dash",
@@ -294,7 +291,7 @@ TEST(NetEndToEndTest, CloseSessionReleasesQueriesAndForgetsTheLabel) {
   MonitorService service(
       std::make_unique<BruteForceEngine>(kDim, WindowSpec::Count(100)),
       ServiceOptions{});
-  TcpServer server(service, NetServerOptions{});
+  TcpServer server(service, testing::TestServerOptions());
   TOPKMON_ASSERT_OK(server.Start());
 
   auto client = MonitorClient::Connect("127.0.0.1", server.port(),

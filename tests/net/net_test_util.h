@@ -1,0 +1,31 @@
+// Shared server construction for the net/replica test tiers.
+
+#ifndef TOPKMON_TESTS_NET_NET_TEST_UTIL_H_
+#define TOPKMON_TESTS_NET_NET_TEST_UTIL_H_
+
+#include <chrono>
+#include <cstdlib>
+
+#include "net/server.h"
+
+namespace topkmon {
+namespace testing {
+
+/// Fast-tick server options for tests. TOPKMON_SERVER_THREADS (if set)
+/// overrides the poll-loop count, which is how CI re-runs the whole
+/// net/replica tier multi-threaded (e.g. under TSan with 4 loops)
+/// without a parallel test matrix in the sources.
+inline NetServerOptions TestServerOptions() {
+  NetServerOptions opt;
+  opt.poll_tick = std::chrono::milliseconds(1);
+  if (const char* env = std::getenv("TOPKMON_SERVER_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) opt.server_threads = static_cast<std::size_t>(n);
+  }
+  return opt;
+}
+
+}  // namespace testing
+}  // namespace topkmon
+
+#endif  // TOPKMON_TESTS_NET_NET_TEST_UTIL_H_

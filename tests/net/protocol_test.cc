@@ -78,13 +78,24 @@ TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
 
   body.clear();
   EncodeIngestAck(48, 2,
-                  Status::FailedPrecondition("session rate limit"), &body);
+                  Status::FailedPrecondition("session rate limit"),
+                  /*queue_hint=*/0, &body);
   NetMessage ack = RoundTrip(body);
   EXPECT_EQ(ack.type, NetMessageType::kIngestAck);
   EXPECT_EQ(ack.accepted, 48u);
   EXPECT_EQ(ack.rejected, 2u);
   EXPECT_EQ(ack.code, StatusCode::kFailedPrecondition);
   EXPECT_EQ(ack.message, "session rate limit");
+  EXPECT_EQ(ack.queue_hint, 0);
+
+  // The v3 backpressure byte roundtrips, including the saturated value.
+  body.clear();
+  EncodeIngestAck(7, 9, Status::ResourceExhausted("ingest queue is full"),
+                  /*queue_hint=*/255, &body);
+  NetMessage pressured = RoundTrip(body);
+  EXPECT_EQ(pressured.type, NetMessageType::kIngestAck);
+  EXPECT_EQ(pressured.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(pressured.queue_hint, 255);
 }
 
 TEST(NetProtocolTest, RegisterRoundTripsSpecsIncludingConstraints) {

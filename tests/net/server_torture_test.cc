@@ -22,6 +22,7 @@
 #include "core/brute_force_engine.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "tests/net/net_test_util.h"
 #include "tests/test_util.h"
 
 namespace topkmon {
@@ -36,11 +37,7 @@ ServiceOptions FastOptions() {
   return opt;
 }
 
-NetServerOptions FastServer() {
-  NetServerOptions opt;
-  opt.poll_tick = std::chrono::milliseconds(1);
-  return opt;
-}
+NetServerOptions FastServer() { return testing::TestServerOptions(); }
 
 /// A raw TCP connection to the server under test, for speaking broken
 /// protocol on purpose.

@@ -30,6 +30,7 @@
 #include "net/server.h"
 #include "replica/follower.h"
 #include "tests/journal/journal_test_util.h"
+#include "tests/net/net_test_util.h"
 #include "tests/test_util.h"
 
 namespace topkmon {
@@ -89,8 +90,7 @@ TEST(ReplicaPromotionE2eTest, PromotedFollowerMatchesBruteForceMidKill) {
   leader_opt.journal.snapshot_every_cycles = 0;
   auto leader = MonitorService::Open(MakeShardedTma, leader_opt);
   ASSERT_TRUE(leader.ok()) << leader.status();
-  NetServerOptions net;
-  net.poll_tick = std::chrono::milliseconds(1);
+  const NetServerOptions net = testing::TestServerOptions();
   auto leader_server = std::make_unique<TcpServer>(**leader, net);
   TOPKMON_ASSERT_OK(leader_server->Start());
 

@@ -26,6 +26,7 @@
 #include "service/monitor_service.h"
 #include "stream/generators.h"
 #include "tests/journal/journal_test_util.h"
+#include "tests/net/net_test_util.h"
 #include "tests/test_util.h"
 
 namespace topkmon {
@@ -317,6 +318,57 @@ TEST(ReplicaFollowerServiceTest, ReplayRoutesDeltasAndPromoteAcceptsWrites) {
   (*reopened)->Shutdown();
 }
 
+// Regression: the follower-mode CloseSession refusal must not outlive
+// Promote(). The refusal is keyed on the *current* role (checked at call
+// time, not latched per session), so pre-promotion sessions — readers
+// owning nothing and owners of replicated queries alike — close normally
+// once the service is a leader, and closing the owner unregisters its
+// queries like any leader-side close.
+TEST(ReplicaFollowerServiceTest, CloseSessionWorksAfterPromote) {
+  ScopedTempDir dir;
+  ServiceOptions opt;
+  opt.journal.dir = dir.path() + "/repl";
+  auto follower = MonitorService::OpenFollower(BruteFactory(100), opt,
+                                               "leader:1");
+  ASSERT_TRUE(follower.ok()) << follower.status();
+  MonitorService& svc = **follower;
+
+  JournalRecord reg;
+  reg.type = JournalRecordType::kRegister;
+  reg.query.spec = MakeRandomQueries(kDim, 1, 3, 5)[0];
+  reg.query.spec.id = 7;
+  reg.query.owner_label = "dash";
+  TOPKMON_ASSERT_OK(svc.ApplyReplicated(reg));
+  JournalRecord cycle;
+  cycle.type = JournalRecordType::kCycle;
+  cycle.cycle_ts = 1;
+  cycle.batch = MakeBatch(0, 8, 1);
+  TOPKMON_ASSERT_OK(svc.ApplyReplicated(cycle));
+
+  const auto owner = svc.FindSession("dash");
+  ASSERT_TRUE(owner.ok()) << owner.status();
+  const auto reader = svc.OpenSession("pre-promotion-reader");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  // Pre-promotion: the query-owning session draws the redirect.
+  EXPECT_EQ(svc.CloseSession(*owner).code(),
+            StatusCode::kFailedPrecondition);
+
+  TOPKMON_ASSERT_OK(svc.Promote());
+  EXPECT_EQ(svc.role(), ServiceRole::kLeader);
+
+  // Post-promotion both pre-promotion sessions close cleanly...
+  TOPKMON_EXPECT_OK(svc.CloseSession(*reader));
+  TOPKMON_EXPECT_OK(svc.CloseSession(*owner));
+  // ...the owner's replicated query went with it, and the labels are
+  // free for fresh sessions again.
+  EXPECT_EQ(svc.CurrentResult(7).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(svc.FindSession("dash").ok());
+  EXPECT_FALSE(svc.FindSession("pre-promotion-reader").ok());
+  TOPKMON_ASSERT_OK(svc.journal_status());
+  svc.Shutdown();
+}
+
 // ---- live follower edge cases ------------------------------------------
 
 struct Leader {
@@ -338,9 +390,8 @@ struct Leader {
     auto opened = MonitorService::Open(BruteFactory(window), opt);
     if (!opened.ok()) std::abort();
     service = std::move(*opened);
-    NetServerOptions net;
-    net.poll_tick = std::chrono::milliseconds(1);
-    server = std::make_unique<TcpServer>(*service, net);
+    server = std::make_unique<TcpServer>(*service,
+                                         testing::TestServerOptions());
     if (!server->Start().ok()) std::abort();
   }
 };
@@ -422,9 +473,7 @@ TEST(ReplicaFollowerTest, MirrorsLeaderThroughTinyChunksAndServesReads) {
 
   // Reads over the wire: Welcome announces the follower role, snapshots
   // carry the staleness fields, writes draw the redirect.
-  NetServerOptions net;
-  net.poll_tick = std::chrono::milliseconds(1);
-  TcpServer fserver((*follower)->service(), net);
+  TcpServer fserver((*follower)->service(), testing::TestServerOptions());
   TOPKMON_ASSERT_OK(fserver.Start());
   auto reader = MonitorClient::Connect("127.0.0.1", fserver.port(), "dash",
                                        /*resume=*/true);

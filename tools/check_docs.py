@@ -3,15 +3,22 @@
 
 1. Markdown link check: every relative link target in the repo's .md
    files must exist (external http(s)/mailto links are skipped).
-2. Journal format lockstep: the version stated in
+2. Anchor check: every intra-doc fragment link across docs/*.md —
+   `#section` within a file or `OTHER.md#section` across files — must
+   resolve to a real heading of the target file (GitHub slug rules), so
+   a renamed section can never leave dangling cross-references behind.
+3. Journal format lockstep: the version stated in
    docs/JOURNAL_FORMAT.md must equal kJournalFormatVersion in
    src/journal/format.h, so the byte-level spec can never silently
    drift from the implementation.
-3. Network protocol lockstep: likewise for docs/PROTOCOL.md and
+4. Network protocol lockstep: likewise for docs/PROTOCOL.md and
    kNetProtocolVersion in src/net/protocol.h.
-4. Replication lockstep: docs/REPLICATION.md specifies the replication
+5. Replication lockstep: docs/REPLICATION.md specifies the replication
    frames, which are part of the network protocol — it must state the
    same kNetProtocolVersion.
+6. Operations lockstep: docs/OPERATIONS.md (the operator's manual)
+   references both the protocol and the journal format; it must state
+   both versions, matching the same headers.
 """
 
 import os
@@ -38,22 +45,60 @@ def markdown_files():
                 yield os.path.join(root, name)
 
 
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading):
+    """The anchor GitHub generates for a heading: lowercase, punctuation
+    stripped (hyphens/underscores survive), spaces become hyphens."""
+    text = re.sub(r"[`*_\[\]()]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path, cache={}):
+    if path not in cache:
+        try:
+            text = open(path, encoding="utf-8").read()
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        slugs = set()
+        counts = {}
+        for heading in HEADING_RE.findall(text):
+            slug = github_slug(heading)
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
 def check_links():
     errors = []
     for path in markdown_files():
         with open(path, encoding="utf-8") as f:
             text = f.read()
         for target in LINK_RE.findall(text):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            target_path = target.split("#", 1)[0]
-            if not target_path:
-                continue
-            resolved = os.path.normpath(
+            target_path, _, fragment = target.partition("#")
+            resolved = (os.path.normpath(
                 os.path.join(os.path.dirname(path), target_path))
+                        if target_path else path)
             if not os.path.exists(resolved):
                 errors.append(
                     f"{os.path.relpath(path, REPO)}: broken link -> {target}")
+                continue
+            # Fragments are only checkable against markdown headings; a
+            # fragment into a non-.md file (e.g. source) is skipped.
+            if fragment and resolved.endswith(".md"):
+                if fragment.lower() not in heading_slugs(resolved):
+                    errors.append(
+                        f"{os.path.relpath(path, REPO)}: dangling anchor "
+                        f"-> {target} (no heading '#{fragment}' in "
+                        f"{os.path.relpath(resolved, REPO)})")
     return errors
 
 
@@ -102,13 +147,26 @@ def main():
         NET_HEADER_VERSION_RE, "kNetProtocolVersion",
         "docs/REPLICATION.md", NET_DOC_VERSION_RE,
         "**Protocol version:** N")
+    # The operator's manual cites both wire contracts; CI keeps it honest
+    # against the same headers the specs are pinned to.
+    errors += check_version_lockstep(
+        "operations manual (protocol)", "src/net/protocol.h",
+        NET_HEADER_VERSION_RE, "kNetProtocolVersion",
+        "docs/OPERATIONS.md", NET_DOC_VERSION_RE,
+        "**Protocol version:** N")
+    errors += check_version_lockstep(
+        "operations manual (journal format)", "src/journal/format.h",
+        HEADER_VERSION_RE, "kJournalFormatVersion",
+        "docs/OPERATIONS.md", DOC_VERSION_RE,
+        "**Format version:** N")
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
         return 1
-    print("docs check passed (links resolve; journal format, network "
-          "protocol and replication spec versions in lockstep)")
+    print("docs check passed (links and intra-doc anchors resolve; "
+          "journal format, network protocol, replication and operations "
+          "versions in lockstep)")
     return 0
 
 
