@@ -1,9 +1,11 @@
 #include "bench/common/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "core/brute_force_engine.h"
 #include "core/sma_engine.h"
@@ -142,6 +144,136 @@ void PrintPreamble(const std::string& title, const std::string& paper_ref,
 
 void PrintExpectation(const std::string& note) {
   std::printf("\npaper shape: %s\n\n", note.c_str());
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+BenchResultWriter::BenchResultWriter(std::string name)
+    : name_(std::move(name)) {
+  for (const char c : name_) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) {
+      std::fprintf(stderr, "bench json: invalid name '%s'\n", name_.c_str());
+      std::abort();
+    }
+  }
+}
+
+void BenchResultWriter::Config(const std::string& key,
+                               const std::string& value) {
+  config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void BenchResultWriter::Config(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+BenchResultWriter::Row& BenchResultWriter::AddRow(const std::string& label) {
+  rows_.push_back(Row{label, {}, {}});
+  return rows_.back();
+}
+
+std::string BenchResultWriter::path() const {
+  const char* dir = std::getenv("TOPKMON_BENCH_JSON_DIR");
+  std::string out = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  if (out.back() != '/') out += '/';
+  return out + "BENCH_" + name_ + ".json";
+}
+
+bool BenchResultWriter::Write() const {
+  std::string json = "{\n  \"name\": \"" + JsonEscape(name_) + "\",\n";
+  json += "  \"scale\": \"" + std::string(ScaleName(GetScale())) + "\",\n";
+  json += "  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "\n    \"" + JsonEscape(config_[i].first) +
+            "\": " + config_[i].second;
+  }
+  json += config_.empty() ? "},\n" : "\n  },\n";
+  json += "  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    if (r > 0) json += ",";
+    json += "\n    {\"label\": \"" + JsonEscape(row.label) + "\"";
+    json += ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : row.metrics) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + JsonEscape(key) + "\": " + JsonNumber(value);
+    }
+    json += "}";
+    if (!row.tags.empty()) {
+      json += ", \"tags\": {";
+      first = true;
+      for (const auto& [key, value] : row.tags) {
+        if (!first) json += ", ";
+        first = false;
+        json += "\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+      }
+      json += "}";
+    }
+    json += "}";
+  }
+  json += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  const std::string file = path();
+  std::FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s for writing\n",
+                 file.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "bench json: short write to %s\n", file.c_str());
+    return false;
+  }
+  std::printf("bench json: wrote %s\n", file.c_str());
+  return true;
 }
 
 double Percentile(std::vector<double>& samples, double p) {

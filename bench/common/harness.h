@@ -15,6 +15,7 @@
 #ifndef TOPKMON_BENCH_COMMON_HARNESS_H_
 #define TOPKMON_BENCH_COMMON_HARNESS_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,47 @@ void PrintExpectation(const std::string& note);
 /// the vector. 0.0 on empty input. One definition shared by the
 /// latency benches so their percentiles stay comparable.
 double Percentile(std::vector<double>& samples, double p);
+
+/// Machine-readable bench output alongside the human tables.
+///
+/// Collects a flat config plus labelled rows of numeric metrics and
+/// writes `BENCH_<name>.json` into $TOPKMON_BENCH_JSON_DIR (or the
+/// working directory when unset). CI runs the benches at smoke scale and
+/// validates every emitted file with tools/check_bench_json.py, so a
+/// bench that silently produces garbage numbers fails the build instead
+/// of polluting bench/results/. Non-finite metrics are serialized as
+/// JSON `null` — faithfully recorded, rejected by the validator.
+class BenchResultWriter {
+ public:
+  /// `name` keys the output file; it must be a [A-Za-z0-9_]+ slug.
+  explicit BenchResultWriter(std::string name);
+
+  /// Records one workload-level parameter (window size, k, ...).
+  void Config(const std::string& key, const std::string& value);
+  void Config(const std::string& key, double value);
+
+  /// One measured configuration: a label plus its metrics. Tags carry
+  /// non-numeric dimensions (engine name, transport, ...).
+  struct Row {
+    std::string label;
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::string> tags;
+  };
+  Row& AddRow(const std::string& label);
+
+  /// Serializes and writes the file; returns false (with a stderr
+  /// diagnostic) when the file cannot be written. Safe to call once at
+  /// the end of main — benches do not treat a failed write as fatal.
+  bool Write() const;
+
+  /// The output path Write() will use.
+  std::string path() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;  // pre-encoded
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace topkmon

@@ -286,7 +286,28 @@ int Main() {
   TablePrinter table({"transport", "srv thr", "clients",
                       "ingest [rec/s]", "wall [s]", "p50 lat [ms]",
                       "p99 lat [ms]", "delta events", "cycles"});
+  BenchResultWriter json("net_throughput");
+  json.Config("records_per_client", static_cast<double>(records_per_client));
+  json.Config("window", static_cast<double>(window));
+  json.Config("queries_per_client", static_cast<double>(kQueriesPerClient));
+  json.Config("k", static_cast<double>(kK));
+  json.Config("wire_batch", static_cast<double>(kWireBatch));
+  auto record_row = [&json](const std::string& label, const RunResult& r,
+                            const std::string& transport, int threads,
+                            int clients) {
+    BenchResultWriter::Row& row = json.AddRow(label);
+    row.tags["transport"] = transport;
+    row.metrics["server_threads"] = threads;
+    row.metrics["clients"] = clients;
+    row.metrics["ingest_rec_per_s"] = r.throughput;
+    row.metrics["wall_s"] = r.wall_seconds;
+    row.metrics["p50_latency_ms"] = r.p50_ms;
+    row.metrics["p99_latency_ms"] = r.p99_ms;
+    row.metrics["delta_events"] = static_cast<double>(r.events);
+    row.metrics["cycles"] = static_cast<double>(r.cycles);
+  };
   const RunResult base = RunInProcessBaseline(records_per_client, window);
+  record_row("in-process", base, "in-process", 0, 1);
   table.AddRow({"in-process", "-", TablePrinter::Int(1),
                 TablePrinter::Num(base.throughput, 5),
                 TablePrinter::Num(base.wall_seconds, 4),
@@ -300,6 +321,8 @@ int Main() {
         RunWireClients(clients, records_per_client, window,
                        /*server_threads=*/1);
     if (clients == 1) wire1 = r;
+    record_row("tcp-1thr-" + std::to_string(clients) + "cli", r, "tcp", 1,
+               clients);
     table.AddRow({"tcp", TablePrinter::Int(1), TablePrinter::Int(clients),
                   TablePrinter::Num(r.throughput, 5),
                   TablePrinter::Num(r.wall_seconds, 4),
@@ -315,6 +338,8 @@ int Main() {
   for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
     const RunResult r =
         RunWireClients(4, records_per_client, window, threads);
+    record_row("tcp-" + std::to_string(threads) + "thr-4cli", r, "tcp",
+               static_cast<int>(threads), 4);
     table.AddRow({"tcp", TablePrinter::Int(static_cast<int>(threads)),
                   TablePrinter::Int(4),
                   TablePrinter::Num(r.throughput, 5),
@@ -325,6 +350,7 @@ int Main() {
                   TablePrinter::Int(static_cast<std::int64_t>(r.cycles))});
   }
   table.Print(std::cout);
+  json.Write();
   std::printf(
       "\nwire/in-process single-client ingest ratio: %.2f (target: >= "
       "0.50)\n",

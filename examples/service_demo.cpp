@@ -1,7 +1,7 @@
 // Service demo: the monitoring engines behind a multi-client service —
 // in-process, or split across processes over the binary TCP protocol.
 //
-// Four modes (--mode=local is the default):
+// Five modes (--mode=local is the default):
 //   * local  — everything in one process: 3 producer threads stream
 //     tuples through the batching ingest queue while 2 client sessions
 //     hold continuous top-k queries and long-poll their delta streams.
@@ -16,6 +16,14 @@
 //     batched wire ingest, and prints the deltas it long-polls. Run
 //     several concurrently; re-run with the same --label to see
 //     gap-free resume (sequence numbers continue where they stopped).
+//   * cluster — the horizontal tier in one process: --partitions
+//     independent leaders (each behind a real TCP socket, each
+//     announcing its partition index as the Welcome server_tag), a
+//     routed producer per --producers thread hash-splitting its tuples
+//     across the partitions, and a subscriber router that merges the
+//     per-partition delta streams into one gap-free sequence and
+//     k-merges the per-partition top-k into the global answer. With
+//     --journal=DIR each partition journals under DIR/p<i>.
 //   * follower — warm standby: ships the journal of the leader at
 //     --host:--port into --journal=DIR (required), continuously replays
 //     it, and serves *read-only* clients on --listen (snapshots carry a
@@ -37,12 +45,15 @@
 //   service_demo --mode=client --port=4586 --label=dash --records=0
 //                                       # reads the replica's stream
 //
-// Flags: --mode=local|serve|client|follower --host=H --port=P
+// Flags: --mode=local|serve|client|follower|cluster --host=H --port=P
 //        --listen=P --label=NAME --producers=N --records=N --queries=N
 //        --k=N --window=N --serve_seconds=N --promote_seconds=N
 //        --journal=DIR --sync=none|interval|always --server_threads=N
 //        (0 = min(4, cores); with >= 2 threads and a journal, the last
 //        poll loop is dedicated to replication fetches)
+//        --partitions=N (cluster mode) --server_tag=I (serve mode: the
+//        operator-assigned partition index announced in Welcome when
+//        this server is one leader of a cluster; see docs/CLUSTER.md)
 
 #include <atomic>
 #include <cstdio>
@@ -50,6 +61,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/local_cluster.h"
+#include "cluster/router.h"
 #include "core/sharded_engine.h"
 #include "core/tma_engine.h"
 #include "net/client.h"
@@ -106,16 +119,21 @@ std::unique_ptr<MonitorService> MakeService(std::size_t window,
 
 int RunServe(std::size_t window, const std::string& journal_dir,
              SyncPolicy sync, std::uint16_t port, long serve_seconds,
-             std::size_t server_threads) {
+             std::size_t server_threads, std::uint32_t server_tag) {
   auto service = MakeService(window, journal_dir, sync);
   if (service == nullptr) return 1;
   NetServerOptions net;
   net.port = port;
   net.server_threads = server_threads;
+  net.server_tag = server_tag;
   TcpServer server(*service, net);
   if (const Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
+  }
+  if (server_tag != kNoServerTag) {
+    std::printf("cluster partition %u — routers will refuse this server "
+                "at any other index of their endpoint list\n", server_tag);
   }
   std::printf("serving on 127.0.0.1:%u with %zu poll loop(s)%s — "
               "connect with --mode=client --port=%u (ctrl-C to stop)\n",
@@ -315,6 +333,183 @@ int RunClient(const std::string& host, std::uint16_t port,
   return (*client)->Close().ok() ? 0 : 1;
 }
 
+int RunCluster(std::size_t partitions, int producers, std::size_t records,
+               std::size_t queries, int k, std::size_t window,
+               const std::string& journal_dir, SyncPolicy sync) {
+  // 1. The cluster: N independent leaders in this process, each with its
+  //    own engine, driver and (optionally) journal under DIR/p<i>, each
+  //    behind a real TCP socket announcing its partition index.
+  LocalClusterOptions copt;
+  copt.partitions = partitions;
+  copt.engine_factory = EngineFactory(window);
+  copt.service.ingest.slack = 4;
+  copt.service.drain_wait = std::chrono::milliseconds(2);
+  copt.service.journal.dir = journal_dir;
+  copt.service.journal.sync = sync;
+  auto cluster = LocalCluster::Start(copt);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+  const PartitionMap& map = (*cluster)->map();
+  std::printf("cluster: %zu partitions up —", partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    std::printf(" %s", map.Describe(i).c_str());
+  }
+  std::printf("%s\n", journal_dir.empty()
+                          ? ""
+                          : "  (journaling per partition)");
+
+  // 2. The subscriber router owns the queries and the merged stream.
+  //    Register scatters each spec to every partition; the per-partition
+  //    delta streams merge into one gap-free sequence below.
+  auto sub = ClusterRouter::Connect(map, "dash");
+  if (!sub.ok()) {
+    std::fprintf(stderr, "%s\n", sub.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(2024);
+  std::vector<QueryId> qids;
+  for (std::size_t q = 0; q < queries; ++q) {
+    QuerySpec spec;  // the router assigns the global id
+    spec.k = k;
+    spec.function = MakeRandomFunction(
+        FunctionFamily::kLinear, 2, [&rng] { return rng.Uniform(); });
+    const auto id = (*sub)->Register(spec);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    qids.push_back(*id);
+    std::printf("[dash] registered global query %u on all %zu "
+                "partitions: top-%d under %s\n",
+                *id, partitions, k, spec.function->ToString().c_str());
+  }
+
+  // 3. The subscriber thread drains the merged stream while producers
+  //    run. It owns the router exclusively until joined (routers, like
+  //    clients, are single-threaded).
+  std::atomic<bool> done{false};
+  std::uint64_t printed = 0;
+  std::thread subscriber([&] {
+    while (true) {
+      const auto events =
+          (*sub)->PollDeltas(256, std::chrono::milliseconds(20));
+      if (!events.ok()) break;
+      for (const DeltaEvent& e : *events) {
+        if (++printed <= 8) {
+          std::printf("[dash] seq=%llu t=%lld query=%u +%zu -%zu "
+                      "(as_of %lld)\n",
+                      static_cast<unsigned long long>(e.seq),
+                      static_cast<long long>(e.delta.when), e.delta.query,
+                      e.delta.added.size(), e.delta.removed.size(),
+                      static_cast<long long>((*sub)->deltas_as_of()));
+        }
+      }
+      if (events->empty() && done.load()) break;
+    }
+  });
+
+  // 4. Routed producers: every thread dials its own router and assigns
+  //    its own object ids — ownership (splitmix64(id) mod N) is computed
+  //    client-side, so each batch splits into per-partition sub-batches
+  //    with per-partition backpressure pacing.
+  std::atomic<Timestamp> clock{1};
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> workers;
+  const std::size_t per_producer =
+      records / static_cast<std::size_t>(producers > 0 ? producers : 1);
+  for (int p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      auto feed = ClusterRouter::Connect(
+          map, "feed-" + std::to_string(p));
+      if (!feed.ok()) {
+        std::fprintf(stderr, "%s\n", feed.status().ToString().c_str());
+        return;
+      }
+      auto gen = MakeGenerator(Distribution::kClustered, 2,
+                               77 + static_cast<std::uint64_t>(p));
+      std::size_t sent = 0;
+      while (sent < per_producer) {
+        std::vector<Record> batch;
+        for (std::size_t i = 0; i < 256 && sent < per_producer;
+             ++i, ++sent) {
+          batch.emplace_back(next_id.fetch_add(1), gen->NextPoint(),
+                             clock.fetch_add(1));
+        }
+        const auto report = (*feed)->Ingest(batch);
+        if (!report.ok()) {
+          std::fprintf(stderr, "%s\n",
+                       report.status().ToString().c_str());
+          return;
+        }
+        accepted.fetch_add(report->accepted);
+        if (report->rejected != 0) {
+          rejected.fetch_add(report->rejected);
+          std::printf("[feed-%d] %llu tuples rejected: %s\n", p,
+                      static_cast<unsigned long long>(report->rejected),
+                      report->first_error.ToString().c_str());
+        }
+      }
+      (void)(*feed)->Close();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  // 5. Fence every partition (all accepted records applied, all deltas
+  //    published), let the subscriber drain, then flush the merge's
+  //    buffered tail — Finalize is safe exactly because the cluster is
+  //    quiescent here.
+  if (const Status st = (*cluster)->FlushAll(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  done.store(true);
+  subscriber.join();
+  const std::size_t tail = (*sub)->FinalizeDeltas().size();
+  std::printf("[dash] merged %llu delta events gap-free (+%zu finalized "
+              "from the frontier buffer), as_of %lld, %llu partition "
+              "restarts\n",
+              static_cast<unsigned long long>((*sub)->merged_events()),
+              tail, static_cast<long long>((*sub)->deltas_as_of()),
+              static_cast<unsigned long long>(
+                  (*sub)->partition_restarts()));
+  std::printf("ingest: %llu accepted / %llu rejected across %zu "
+              "partitions\n",
+              static_cast<unsigned long long>(accepted.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              partitions);
+
+  // 6. The global answer: per-partition top-k gathered and k-merged
+  //    under namespaced ids; as_of is the min across partitions.
+  for (const QueryId q : qids) {
+    const auto result = (*sub)->CurrentResult(q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query %u global top-%d (as_of %lld, stale_by %lld):",
+                q, k, static_cast<long long>((*sub)->snapshot_as_of()),
+                static_cast<long long>((*sub)->snapshot_stale_by()));
+    for (const ResultEntry& e : *result) {
+      std::printf(" %llu=%.4f", static_cast<unsigned long long>(e.id),
+                  e.score);
+    }
+    std::printf("\n");
+  }
+  for (std::size_t i = 0; i < partitions; ++i) {
+    if (MonitorService* svc = (*cluster)->service(i)) {
+      std::printf("p%zu: %s\n", i, svc->stats().ToString().c_str());
+    }
+  }
+  (void)(*sub)->Close();
+  (*cluster)->Stop();
+  return 0;
+}
+
 int RunLocal(int producers, std::size_t records,
              std::size_t queries_per_session, int k, std::size_t window,
              const std::string& journal_dir, SyncPolicy sync) {
@@ -443,10 +638,14 @@ int main(int argc, char** argv) {
   const auto listen_flag = flags->GetInt("listen", 4586);
   const auto promote_seconds_flag = flags->GetInt("promote_seconds", 0);
   const auto server_threads_flag = flags->GetInt("server_threads", 0);
+  const auto partitions_flag = flags->GetInt("partitions", 3);
+  // -1 = untagged (standalone); 0..N-1 = this server's partition index.
+  const auto server_tag_flag = flags->GetInt("server_tag", -1);
   for (const auto* f : {&producers_flag, &records_flag, &queries_flag,
                         &k_flag, &window_flag, &port_flag,
                         &serve_seconds_flag, &listen_flag,
-                        &promote_seconds_flag, &server_threads_flag}) {
+                        &promote_seconds_flag, &server_threads_flag,
+                        &partitions_flag, &server_tag_flag}) {
     if (!f->ok()) {
       std::fprintf(stderr, "%s\n", f->status().ToString().c_str());
       return 1;
@@ -470,7 +669,22 @@ int main(int argc, char** argv) {
   if (*mode_flag == "serve") {
     return RunServe(window, *journal_flag, *sync_policy, port,
                     static_cast<long>(*serve_seconds_flag),
-                    static_cast<std::size_t>(*server_threads_flag));
+                    static_cast<std::size_t>(*server_threads_flag),
+                    *server_tag_flag < 0
+                        ? kNoServerTag
+                        : static_cast<std::uint32_t>(*server_tag_flag));
+  }
+  if (*mode_flag == "cluster") {
+    if (*partitions_flag < 1) {
+      std::fprintf(stderr, "--partitions must be >= 1\n");
+      return 1;
+    }
+    return RunCluster(static_cast<std::size_t>(*partitions_flag),
+                      static_cast<int>(*producers_flag),
+                      static_cast<std::size_t>(*records_flag),
+                      static_cast<std::size_t>(*queries_flag),
+                      static_cast<int>(*k_flag), window, *journal_flag,
+                      *sync_policy);
   }
   if (*mode_flag == "client") {
     return RunClient(*host_flag, port, *label_flag,
@@ -492,8 +706,9 @@ int main(int argc, char** argv) {
                     static_cast<int>(*k_flag), window, *journal_flag,
                     *sync_policy);
   }
-  std::fprintf(stderr,
-               "unknown --mode '%s' (local|serve|client|follower)\n",
-               mode_flag->c_str());
+  std::fprintf(
+      stderr,
+      "unknown --mode '%s' (local|serve|client|follower|cluster)\n",
+      mode_flag->c_str());
   return 1;
 }

@@ -1,0 +1,222 @@
+#include "cluster/delta_mux.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "cluster/topk_merge.h"
+
+namespace topkmon {
+namespace {
+
+constexpr Timestamp kNoProgress = std::numeric_limits<Timestamp>::min();
+
+}  // namespace
+
+DeltaMultiplexer::DeltaMultiplexer(std::size_t partitions)
+    : partitions_(partitions),
+      parts_(partitions),
+      last_merged_when_(kNoProgress) {
+  for (PartitionState& p : parts_) p.progress = kNoProgress;
+}
+
+Status DeltaMultiplexer::AddQuery(QueryId query, int k) {
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(k));
+  }
+  auto [it, inserted] = queries_.emplace(query, QueryState{});
+  if (!inserted) {
+    return Status::AlreadyExists("query " + std::to_string(query) +
+                                 " is already multiplexed");
+  }
+  it->second.k = k;
+  it->second.views.resize(partitions_);
+  return Status::Ok();
+}
+
+Status DeltaMultiplexer::RemoveQuery(QueryId query) {
+  if (queries_.erase(query) == 0) {
+    return Status::NotFound("query " + std::to_string(query) +
+                            " is not multiplexed");
+  }
+  return Status::Ok();
+}
+
+Status DeltaMultiplexer::OnPartitionEvents(
+    std::size_t partition, const std::vector<DeltaEvent>& events,
+    Timestamp as_of, bool maybe_truncated) {
+  if (partition >= partitions_) {
+    return Status::InvalidArgument("partition " + std::to_string(partition) +
+                                   " out of range");
+  }
+  PartitionState& part = parts_[partition];
+  for (const DeltaEvent& event : events) {
+    if (part.seen_any && event.seq <= part.last_seq) {
+      // Sequence regression: the partition restarted and its recovered
+      // service re-published from a fresh session buffer. Everything we
+      // buffered but had not merged is superseded by the incoming full
+      // baseline, and the per-partition views must be rebuilt from it.
+      ++restarts_;
+      part.buffered.clear();
+      for (auto& [qid, qs] : queries_) {
+        (void)qid;
+        qs.views[partition].clear();
+      }
+    } else if (part.seen_any && event.seq != part.last_seq + 1) {
+      return Status::Internal(
+          "partition " + std::to_string(partition) +
+          " delta stream gap: expected seq " +
+          std::to_string(part.last_seq + 1) + ", got " +
+          std::to_string(event.seq) +
+          " (server-side subscription buffer overflowed)");
+    }
+    part.seen_any = true;
+    part.last_seq = event.seq;
+
+    Pending pending;
+    pending.when = event.delta.when;
+    pending.delta.query = event.delta.query;
+    pending.delta.when = event.delta.when;
+    pending.delta.added.reserve(event.delta.added.size());
+    for (const ResultEntry& e : event.delta.added) {
+      pending.delta.added.push_back(ResultEntry{
+          NamespaceRecordId(e.id, partition, partitions_), e.score});
+    }
+    pending.delta.removed.reserve(event.delta.removed.size());
+    for (const ResultEntry& e : event.delta.removed) {
+      pending.delta.removed.push_back(ResultEntry{
+          NamespaceRecordId(e.id, partition, partitions_), e.score});
+    }
+    part.buffered.push_back(std::move(pending));
+  }
+
+  // Advance the partition frontier. An untruncated answer proves every
+  // event below the server-sampled as_of is in hand; a truncated one
+  // only proves it for timestamps below the last delivered event (the
+  // stream is when-ordered, but the cut may have split that timestamp).
+  Timestamp advance = kNoProgress;
+  if (!maybe_truncated) {
+    advance = as_of;
+  } else if (!events.empty()) {
+    advance = events.back().delta.when;
+  }
+  part.progress = std::max(part.progress, advance);
+  return Status::Ok();
+}
+
+Timestamp DeltaMultiplexer::as_of() const {
+  Timestamp frontier = std::numeric_limits<Timestamp>::max();
+  for (const PartitionState& p : parts_) {
+    frontier = std::min(frontier, p.progress);
+  }
+  return frontier;
+}
+
+std::size_t DeltaMultiplexer::buffered_events() const {
+  std::size_t n = 0;
+  for (const PartitionState& p : parts_) n += p.buffered.size();
+  return n;
+}
+
+std::vector<ResultEntry> DeltaMultiplexer::CurrentView(QueryId query) const {
+  auto it = queries_.find(query);
+  if (it == queries_.end()) return {};
+  return it->second.merged;
+}
+
+void DeltaMultiplexer::Drain(std::vector<DeltaEvent>* out) {
+  DrainBelow(as_of(), out);
+}
+
+void DeltaMultiplexer::Finalize(std::vector<DeltaEvent>* out) {
+  DrainBelow(std::numeric_limits<Timestamp>::max(), out);
+}
+
+void DeltaMultiplexer::DrainBelow(Timestamp frontier,
+                                  std::vector<DeltaEvent>* out) {
+  // Collect every finalized pending, keyed for a deterministic apply
+  // order: timestamp groups ascending, partitions within a group in
+  // index order, each partition's own events in arrival order (deques
+  // are when-ordered, so front-popping preserves it).
+  struct Item {
+    Timestamp when;
+    std::size_t partition;
+    std::size_t arrival;
+    ResultDelta delta;
+  };
+  std::vector<Item> items;
+  for (std::size_t p = 0; p < partitions_; ++p) {
+    std::deque<Pending>& buffered = parts_[p].buffered;
+    std::size_t arrival = 0;
+    while (!buffered.empty() && buffered.front().when < frontier) {
+      items.push_back(Item{buffered.front().when, p, arrival++,
+                           std::move(buffered.front().delta)});
+      buffered.pop_front();
+    }
+  }
+  if (items.empty()) return;
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.partition != b.partition) return a.partition < b.partition;
+    return a.arrival < b.arrival;
+  });
+
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const Timestamp group_when = items[i].when;
+    std::set<QueryId> touched;
+    for (; i < items.size() && items[i].when == group_when; ++i) {
+      auto qit = queries_.find(items[i].delta.query);
+      if (qit == queries_.end()) continue;  // unregistered mid-stream
+      std::map<RecordId, double>& view =
+          qit->second.views[items[i].partition];
+      for (const ResultEntry& e : items[i].delta.removed) view.erase(e.id);
+      for (const ResultEntry& e : items[i].delta.added) view[e.id] = e.score;
+      touched.insert(qit->first);
+    }
+
+    // One merged event per touched query per timestamp group: k-merge
+    // the per-partition contributions, diff against the last merged
+    // view. The emitted timestamp is clamped monotone — it can only
+    // regress after a partition-restart re-baseline.
+    for (QueryId qid : touched) {
+      QueryState& qs = queries_[qid];
+      std::vector<std::vector<ResultEntry>> lists(partitions_);
+      for (std::size_t p = 0; p < partitions_; ++p) {
+        lists[p].reserve(qs.views[p].size());
+        for (const auto& [id, score] : qs.views[p]) {
+          lists[p].push_back(ResultEntry{id, score});
+        }
+        std::sort(lists[p].begin(), lists[p].end(), ResultOrder);
+      }
+      std::vector<ResultEntry> merged = MergeTopK(lists, qs.k);
+
+      ResultDelta delta;
+      delta.query = qid;
+      delta.when = std::max(group_when, last_merged_when_);
+      for (const ResultEntry& e : merged) {
+        if (std::none_of(qs.merged.begin(), qs.merged.end(),
+                         [&](const ResultEntry& o) { return o.id == e.id; })) {
+          delta.added.push_back(e);
+        }
+      }
+      for (const ResultEntry& e : qs.merged) {
+        if (std::none_of(merged.begin(), merged.end(),
+                         [&](const ResultEntry& o) { return o.id == e.id; })) {
+          delta.removed.push_back(e);
+        }
+      }
+      if (delta.added.empty() && delta.removed.empty()) continue;
+      last_merged_when_ = delta.when;
+      qs.merged = std::move(merged);
+      DeltaEvent event;
+      event.seq = ++merged_seq_;
+      event.delta = std::move(delta);
+      out->push_back(std::move(event));
+    }
+  }
+}
+
+}  // namespace topkmon

@@ -1,0 +1,140 @@
+// Merges N per-partition delta streams into one gap-free client view.
+//
+// Each partition is an independent MonitorService leader running its own
+// cycles at its own pace; its session delta stream is gap-free and
+// sequence-numbered *per partition*. The multiplexer reconstructs one
+// coherent global stream from them without gaps or reordering artifacts:
+//
+//   1. Per-partition events are buffered, never applied immediately: a
+//      cycle timestamp t is only *final* for partition p once p's
+//      progress frontier has moved strictly past t (cycle timestamps may
+//      repeat — two queue drains can both cycle at ts t — so "frontier
+//      == t" is not enough).
+//   2. The progress frontier comes from the Deltas as_of field
+//      (protocol v4), which the server samples BEFORE draining the
+//      session buffer: every event at when < as_of is either in that
+//      answer or was delivered earlier. When an answer was possibly
+//      truncated by the poll's max_events, the frontier only advances to
+//      the last delivered event's timestamp instead.
+//   3. The merge frontier is min over partitions of the progress
+//      frontier. Every buffered timestamp strictly below it is complete
+//      across ALL partitions; those groups are applied in timestamp
+//      order, each producing at most one merged event per query (the
+//      diff of consecutive global k-merges), with a router-assigned
+//      contiguous global sequence number.
+//
+// The cluster-level as_of is the same min — the staleness-honest answer
+// to "how current is this merged view".
+//
+// Restart semantics: a partition that crashed and recovered re-publishes
+// its delta stream from sequence 1 with a fresh full-result baseline
+// (the in-memory session buffer does not survive recovery). The
+// multiplexer detects the sequence regression, resets that partition's
+// contribution, and re-baselines from the incoming events — the MERGED
+// stream stays gap-free and monotone (its timestamps are clamped to the
+// last merged group), though events the dead partition published between
+// the last poll and the crash are gone; docs/CLUSTER.md spells out the
+// resulting guarantee.
+//
+// Thread model: not thread-safe; owned and driven by one ClusterRouter
+// (which is itself single-threaded, like MonitorClient).
+
+#ifndef TOPKMON_CLUSTER_DELTA_MUX_H_
+#define TOPKMON_CLUSTER_DELTA_MUX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/delta.h"
+#include "service/subscription_hub.h"
+
+namespace topkmon {
+
+class DeltaMultiplexer {
+ public:
+  explicit DeltaMultiplexer(std::size_t partitions);
+
+  /// Starts merging a query. `query` is the GLOBAL query id (the
+  /// router's namespace); `k` caps the merged view. Fails on duplicates.
+  Status AddQuery(QueryId query, int k);
+
+  /// Stops merging a query; buffered events for it are discarded as
+  /// they surface.
+  Status RemoveQuery(QueryId query);
+
+  /// Feeds one partition's poll answer. Events must carry GLOBAL query
+  /// ids (the router translates before calling; events for unknown ids
+  /// are skipped — an unregister may race buffered history) and
+  /// PARTITION-LOCAL record ids (namespacing happens here). `as_of` is
+  /// the answer's v4 frontier; `maybe_truncated` is true when the
+  /// answer hit the poll's max_events, in which case only the delivered
+  /// events' timestamps advance the frontier. Returns Internal on a
+  /// per-partition sequence gap (dropped events — the subscription
+  /// buffer overflowed server-side).
+  Status OnPartitionEvents(std::size_t partition,
+                           const std::vector<DeltaEvent>& events,
+                           Timestamp as_of, bool maybe_truncated);
+
+  /// Appends every merged event that became final to *out (merged
+  /// events carry contiguous seq numbers starting at 1 and namespaced
+  /// record ids).
+  void Drain(std::vector<DeltaEvent>* out);
+
+  /// Quiescent flush: merges ALL buffered events regardless of the
+  /// frontier. Only correct when the caller knows no more input is
+  /// coming (every partition flushed and polled to empty) — the e2e
+  /// teardown and bench epilogue, not steady-state operation.
+  void Finalize(std::vector<DeltaEvent>* out);
+
+  /// The merged view's staleness-honest frontier: min over partitions
+  /// of the per-partition progress (INT64_MIN until every partition has
+  /// answered at least one poll).
+  Timestamp as_of() const;
+
+  /// The current merged top-k of a query (what the delta stream has
+  /// built so far; empty if unknown). Entry ids are namespaced.
+  std::vector<ResultEntry> CurrentView(QueryId query) const;
+
+  std::uint64_t merged_events() const { return merged_seq_; }
+  std::uint64_t partition_restarts() const { return restarts_; }
+  std::size_t buffered_events() const;
+
+ private:
+  struct Pending {
+    Timestamp when = 0;
+    ResultDelta delta;  ///< global query id, namespaced record ids
+  };
+
+  struct PartitionState {
+    bool seen_any = false;
+    std::uint64_t last_seq = 0;
+    Timestamp progress;  ///< every event with when < progress is in hand
+    std::deque<Pending> buffered;
+  };
+
+  struct QueryState {
+    int k = 0;
+    /// Per-partition current top-k contribution (id -> score).
+    std::vector<std::map<RecordId, double>> views;
+    /// Last emitted merged top-k, in ResultOrder.
+    std::vector<ResultEntry> merged;
+  };
+
+  /// Applies and emits every buffered group with when < `frontier`.
+  void DrainBelow(Timestamp frontier, std::vector<DeltaEvent>* out);
+
+  const std::size_t partitions_;
+  std::vector<PartitionState> parts_;
+  std::map<QueryId, QueryState> queries_;
+  std::uint64_t merged_seq_ = 0;
+  std::uint64_t restarts_ = 0;
+  Timestamp last_merged_when_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CLUSTER_DELTA_MUX_H_

@@ -1,0 +1,153 @@
+#include "cluster/local_cluster.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace topkmon {
+
+LocalCluster::~LocalCluster() { Stop(); }
+
+ServiceOptions LocalCluster::NodeServiceOptions(std::size_t i) const {
+  ServiceOptions service = options_.service;
+  if (!service.journal.dir.empty()) {
+    service.journal.dir += "/p" + std::to_string(i);
+  }
+  return service;
+}
+
+NetServerOptions LocalCluster::NodeServerOptions(std::size_t i,
+                                                 std::uint16_t port) const {
+  NetServerOptions net = options_.net;
+  net.port = port;
+  net.server_tag = static_cast<std::uint32_t>(i);
+  return net;
+}
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
+    const LocalClusterOptions& options) {
+  if (options.partitions == 0 || options.partitions > 256) {
+    return Status::InvalidArgument("a cluster runs 1..256 partitions, got " +
+                                   std::to_string(options.partitions));
+  }
+  if (!options.engine_factory) {
+    return Status::InvalidArgument("engine_factory is required");
+  }
+  if (options.net.port != 0) {
+    return Status::InvalidArgument(
+        "partitions bind ephemeral ports; set net.port = 0 and read the "
+        "map() back");
+  }
+  std::unique_ptr<LocalCluster> cluster(new LocalCluster(options));
+  std::vector<PartitionEndpoint> endpoints;
+  for (std::size_t i = 0; i < options.partitions; ++i) {
+    Node node;
+    const ServiceOptions service_options = cluster->NodeServiceOptions(i);
+    node.journal_dir = service_options.journal.dir;
+    if (node.journal_dir.empty()) {
+      node.service = std::make_unique<MonitorService>(
+          options.engine_factory(), service_options);
+    } else {
+      // Open() so a pre-existing journal (a cluster restarted in place)
+      // recovers instead of erroring; a missing directory is first boot.
+      Result<std::unique_ptr<MonitorService>> opened =
+          MonitorService::Open(options.engine_factory, service_options);
+      if (!opened.ok()) {
+        return Status(opened.status().code(),
+                      "partition " + std::to_string(i) +
+                          " failed to open: " + opened.status().message());
+      }
+      node.service = std::move(*opened);
+    }
+    node.server = std::make_unique<TcpServer>(
+        *node.service, cluster->NodeServerOptions(i, /*port=*/0));
+    const Status started = node.server->Start();
+    if (!started.ok()) {
+      return Status(started.code(),
+                    "partition " + std::to_string(i) +
+                        " failed to start: " + started.message());
+    }
+    node.port = node.server->port();
+    endpoints.push_back(
+        PartitionEndpoint{options.net.bind_address, node.port});
+    cluster->nodes_.push_back(std::move(node));
+  }
+  Result<PartitionMap> map = PartitionMap::Create(std::move(endpoints));
+  if (!map.ok()) return map.status();
+  cluster->map_.emplace(std::move(*map));
+  return cluster;
+}
+
+Status LocalCluster::FlushAll() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].service) continue;
+    TOPKMON_RETURN_IF_ERROR(nodes_[i].service->Flush());
+  }
+  return Status::Ok();
+}
+
+Status LocalCluster::StopPartition(std::size_t i) {
+  if (i >= nodes_.size()) {
+    return Status::InvalidArgument("partition " + std::to_string(i) +
+                                   " out of range");
+  }
+  Node& node = nodes_[i];
+  if (node.server) {
+    node.server->Stop();
+    node.server.reset();
+  }
+  if (node.service) {
+    node.service->Shutdown();
+    node.service.reset();
+  }
+  return Status::Ok();
+}
+
+Status LocalCluster::RestartPartition(std::size_t i) {
+  if (i >= nodes_.size()) {
+    return Status::InvalidArgument("partition " + std::to_string(i) +
+                                   " out of range");
+  }
+  Node& node = nodes_[i];
+  if (node.service || node.server) {
+    return Status::FailedPrecondition("partition " + std::to_string(i) +
+                                      " is already running");
+  }
+  if (node.journal_dir.empty()) {
+    return Status::FailedPrecondition(
+        "partition " + std::to_string(i) +
+        " has no journal to recover from (cluster started without "
+        "journaling)");
+  }
+  Result<std::unique_ptr<MonitorService>> opened =
+      MonitorService::Open(options_.engine_factory, NodeServiceOptions(i));
+  if (!opened.ok()) return opened.status();
+  auto server = std::make_unique<TcpServer>(
+      **opened, NodeServerOptions(i, node.port));
+  // The original port may sit in the kernel's release pipeline for a
+  // moment after StopPartition even with SO_REUSEADDR (a racing accept
+  // can hold it); retry briefly rather than fail the recovery.
+  Status started = server->Start();
+  for (int attempt = 0; !started.ok() && attempt < 50; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    started = server->Start();
+  }
+  if (!started.ok()) {
+    (*opened)->Shutdown();
+    return Status(started.code(), "partition " + std::to_string(i) +
+                                      " could not rebind port " +
+                                      std::to_string(node.port) + ": " +
+                                      started.message());
+  }
+  node.service = std::move(*opened);
+  node.server = std::move(server);
+  return Status::Ok();
+}
+
+void LocalCluster::Stop() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    (void)StopPartition(i);
+  }
+}
+
+}  // namespace topkmon

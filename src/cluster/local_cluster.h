@@ -1,0 +1,116 @@
+// In-process N-partition cluster harness.
+//
+// Spins up N fully independent MonitorService leaders — each with its
+// own engine, its own cycle driver, its own journal directory
+// (<journal root>/p<i>) and its own TcpServer announcing the partition
+// index as the Welcome server_tag — and hands back the PartitionMap a
+// ClusterRouter needs to talk to them. This is the deployment shape
+// docs/CLUSTER.md describes, compressed into one process: the partitions
+// share nothing but the address space, every byte between router and
+// partition crosses a real TCP socket, and killing/restarting a
+// partition exercises the same journal-recovery path a crashed host
+// would.
+//
+// Used by tests/cluster/, bench/cluster_scaling and the service demo's
+// --mode=cluster; production deployments run one topkmon_serve per
+// partition on real hosts with the same map instead.
+
+#ifndef TOPKMON_CLUSTER_LOCAL_CLUSTER_H_
+#define TOPKMON_CLUSTER_LOCAL_CLUSTER_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/partition_map.h"
+#include "net/server.h"
+#include "service/monitor_service.h"
+
+namespace topkmon {
+
+struct LocalClusterOptions {
+  std::size_t partitions = 3;
+  /// Builds each partition's (fresh, query-free) engine. Required.
+  std::function<std::unique_ptr<MonitorEngine>()> engine_factory;
+  /// Per-partition service configuration. journal.dir, when set, is the
+  /// cluster's journal ROOT: partition i journals under
+  /// "<dir>/p<i>" (and recovers from it on RestartPartition). Empty
+  /// disables journaling — and with it, partition restart.
+  ServiceOptions service;
+  /// Per-partition TCP options. port must be 0 (each partition binds its
+  /// own ephemeral port, published through map()); server_tag is
+  /// overwritten with the partition index.
+  NetServerOptions net;
+};
+
+class LocalCluster {
+ public:
+  /// Starts every partition; fails (and tears down the partial cluster)
+  /// if any bind or recovery fails.
+  static Result<std::unique_ptr<LocalCluster>> Start(
+      const LocalClusterOptions& options);
+
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// The endpoint list routers connect with (fixed for the cluster's
+  /// lifetime — a restarted partition rebinds its original port).
+  const PartitionMap& map() const { return *map_; }
+
+  std::size_t partitions() const { return nodes_.size(); }
+
+  /// Partition i's service, for observers and stats — nullptr while the
+  /// partition is stopped.
+  MonitorService* service(std::size_t i) {
+    return i < nodes_.size() ? nodes_[i].service.get() : nullptr;
+  }
+
+  /// Flushes every running partition (the cross-partition ingest fence:
+  /// afterwards every record accepted so far is applied and its deltas
+  /// published).
+  Status FlushAll();
+
+  /// Kills one partition: TCP listener down, service shut down and
+  /// destroyed. Connected routers see transport errors; the journal
+  /// stays on disk for RestartPartition. Idempotent.
+  Status StopPartition(std::size_t i);
+
+  /// Brings a stopped partition back: journal recovery via
+  /// MonitorService::Open (sessions re-created under their labels, so
+  /// routers resume), then a fresh TcpServer on the ORIGINAL port.
+  /// FailedPrecondition without journaling or while the partition runs.
+  Status RestartPartition(std::size_t i);
+
+  /// Stops everything. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  struct Node {
+    std::unique_ptr<MonitorService> service;
+    std::unique_ptr<TcpServer> server;
+    std::uint16_t port = 0;
+    std::string journal_dir;  ///< empty when journaling is off
+  };
+
+  explicit LocalCluster(const LocalClusterOptions& options)
+      : options_(options) {}
+
+  /// Builds node i's service options (journal dir fanned out per
+  /// partition) and server options (tag = i, port = `port`).
+  ServiceOptions NodeServiceOptions(std::size_t i) const;
+  NetServerOptions NodeServerOptions(std::size_t i,
+                                     std::uint16_t port) const;
+
+  LocalClusterOptions options_;
+  std::vector<Node> nodes_;
+  std::optional<PartitionMap> map_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CLUSTER_LOCAL_CLUSTER_H_

@@ -1,0 +1,75 @@
+#include "cluster/partition_map.h"
+
+#include <cstdlib>
+
+namespace topkmon {
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix so sequential object ids
+/// land on uncorrelated partitions.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<PartitionMap> PartitionMap::Create(
+    std::vector<PartitionEndpoint> endpoints) {
+  if (endpoints.empty() || endpoints.size() > 256) {
+    return Status::InvalidArgument(
+        "a partition map holds 1..256 endpoints, got " +
+        std::to_string(endpoints.size()));
+  }
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (endpoints[i].host.empty()) {
+      return Status::InvalidArgument("partition " + std::to_string(i) +
+                                     " has an empty host");
+    }
+    if (endpoints[i].port == 0) {
+      return Status::InvalidArgument("partition " + std::to_string(i) +
+                                     " has port 0");
+    }
+  }
+  return PartitionMap(std::move(endpoints));
+}
+
+Result<PartitionMap> PartitionMap::Parse(const std::string& spec) {
+  std::vector<PartitionEndpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      return Status::InvalidArgument("bad partition endpoint '" + item +
+                                     "' (want host:port)");
+    }
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(item.c_str() + colon + 1,
+                                            &end, 10);
+    if (end == nullptr || *end != '\0' || port == 0 || port > 0xFFFF) {
+      return Status::InvalidArgument("bad port in partition endpoint '" +
+                                     item + "'");
+    }
+    endpoints.push_back(PartitionEndpoint{
+        item.substr(0, colon), static_cast<std::uint16_t>(port)});
+    start = comma + 1;
+  }
+  return Create(std::move(endpoints));
+}
+
+std::size_t PartitionMap::OwnerOf(RecordId id) const {
+  return static_cast<std::size_t>(Mix64(id) % endpoints_.size());
+}
+
+std::string PartitionMap::Describe(std::size_t i) const {
+  return "partition " + std::to_string(i) + " at " + endpoints_[i].host +
+         ":" + std::to_string(endpoints_[i].port);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,71 @@
+// Static partition map of a topkmon cluster.
+//
+// A cluster (docs/CLUSTER.md) is N independent MonitorService leaders —
+// each with its own journal directory, its own replication chain and its
+// own TCP endpoint — plus client-side routers that split the work:
+// ingest is hash-routed by the caller's object id to exactly one
+// partition, while query registration and reads scatter to all
+// partitions and gather. The map is static configuration: every router
+// and every operator tool must agree on the same ordered endpoint list,
+// because the partition index IS the routing key space (OwnerOf) and the
+// record-id namespace (NamespaceRecordId in topk_merge.h).
+//
+// Hash routing uses a splitmix64 finalizer over the caller's object id
+// so adjacent ids scatter uniformly; grid-region (locality-aware)
+// assignment is a possible later refinement, which is why the map owns
+// the policy rather than callers hashing ad hoc.
+
+#ifndef TOPKMON_CLUSTER_PARTITION_MAP_H_
+#define TOPKMON_CLUSTER_PARTITION_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+
+namespace topkmon {
+
+/// One partition's TCP endpoint.
+struct PartitionEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Immutable ordered list of partition endpoints; the index in the list
+/// is the partition id every protocol artifact (Welcome server_tag,
+/// namespaced record ids) refers to.
+class PartitionMap {
+ public:
+  /// Requires 1..256 endpoints with non-empty hosts and non-zero ports.
+  static Result<PartitionMap> Create(std::vector<PartitionEndpoint> endpoints);
+
+  /// Parses "host:port,host:port,..." (the CLI / config syntax).
+  static Result<PartitionMap> Parse(const std::string& spec);
+
+  std::size_t partitions() const { return endpoints_.size(); }
+  const PartitionEndpoint& endpoint(std::size_t i) const {
+    return endpoints_[i];
+  }
+
+  /// The partition owning object id `id`: splitmix64(id) % partitions().
+  /// Every router must use this — a disagreeing producer would split one
+  /// object's records across partitions.
+  std::size_t OwnerOf(RecordId id) const;
+
+  /// "partition 2 at 127.0.0.1:4010" — the phrasing used in Unavailable
+  /// errors so operators can find the dead endpoint without a lookup.
+  std::string Describe(std::size_t i) const;
+
+ private:
+  explicit PartitionMap(std::vector<PartitionEndpoint> endpoints)
+      : endpoints_(std::move(endpoints)) {}
+
+  std::vector<PartitionEndpoint> endpoints_;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CLUSTER_PARTITION_MAP_H_

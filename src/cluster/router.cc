@@ -1,0 +1,349 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "cluster/topk_merge.h"
+
+namespace topkmon {
+
+ClusterRouter::ClusterRouter(PartitionMap map, std::string label,
+                             const ClusterRouterOptions& options)
+    : map_(std::move(map)),
+      label_(std::move(label)),
+      options_(options),
+      clients_(map_.partitions()),
+      resumed_(map_.partitions(), false),
+      local_to_global_(map_.partitions()),
+      mux_(map_.partitions()) {}
+
+ClusterRouter::~ClusterRouter() = default;
+
+namespace {
+
+std::string SessionLabel(const std::string& label, std::size_t partition) {
+  return label + "#p" + std::to_string(partition);
+}
+
+/// Dials one partition and verifies its announced identity against the
+/// map — a mis-ordered endpoint list must fail loudly, not scramble the
+/// record-id namespace.
+Result<std::unique_ptr<MonitorClient>> DialPartition(
+    const PartitionMap& map, std::size_t p, const std::string& label,
+    bool resume, const NetClientOptions& net) {
+  Result<std::unique_ptr<MonitorClient>> client = MonitorClient::Connect(
+      map.endpoint(p).host, map.endpoint(p).port, SessionLabel(label, p),
+      resume, net);
+  if (!client.ok()) {
+    return Status::Unavailable(map.Describe(p) + " is unreachable: " +
+                               client.status().message());
+  }
+  const std::uint32_t tag = (*client)->server_tag();
+  if (tag != p) {
+    return Status::InvalidArgument(
+        "partition map mismatch: " + map.Describe(p) + " announced " +
+        (tag == kNoServerTag ? std::string("no server tag")
+                             : "server tag " + std::to_string(tag)) +
+        ", expected " + std::to_string(p) +
+        " (endpoint list out of order, or pointing at the wrong server?)");
+  }
+  return client;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ClusterRouter>> ClusterRouter::Connect(
+    PartitionMap map, const std::string& label, bool resume,
+    const ClusterRouterOptions& options) {
+  std::unique_ptr<ClusterRouter> router(
+      new ClusterRouter(std::move(map), label, options));
+  for (std::size_t p = 0; p < router->map_.partitions(); ++p) {
+    Result<std::unique_ptr<MonitorClient>> client = DialPartition(
+        router->map_, p, router->label_, resume, options.net);
+    if (!client.ok()) return client.status();
+    router->resumed_[p] = (*client)->resumed();
+    router->clients_[p] = std::move(*client);
+  }
+  return router;
+}
+
+Status ClusterRouter::Reconnect(std::size_t partition) {
+  if (partition >= map_.partitions()) {
+    return Status::InvalidArgument("partition " + std::to_string(partition) +
+                                   " out of range");
+  }
+  clients_[partition].reset();
+  Result<std::unique_ptr<MonitorClient>> client = DialPartition(
+      map_, partition, label_, /*resume=*/true, options_.net);
+  if (!client.ok()) return client.status();
+  resumed_[partition] = (*client)->resumed();
+  clients_[partition] = std::move(*client);
+  return Status::Ok();
+}
+
+Status ClusterRouter::Down(std::size_t p, const std::string& detail) const {
+  return Status::Unavailable(detail + ": " + map_.Describe(p) +
+                             " is down; Reconnect(" + std::to_string(p) +
+                             ") once the partition recovers");
+}
+
+Status ClusterRouter::MarkDown(std::size_t p, const Status& cause) {
+  clients_[p].reset();
+  return Status::Unavailable(map_.Describe(p) +
+                             " failed mid-call and was marked down: " +
+                             cause.message());
+}
+
+Status ClusterRouter::IngestPartition(std::size_t p,
+                                      std::vector<Record> batch,
+                                      IngestReport* report) {
+  // The client re-sorts (stably, by arrival) before shipping, and a
+  // RESOURCE_EXHAUSTED ack's accepted count is a prefix of THAT order —
+  // sort here so "resend the suffix" indexes the same sequence.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.arrival < b.arrival;
+                   });
+  std::size_t off = 0;
+  int retries = options_.max_ingest_retries;
+  while (off < batch.size()) {
+    Result<MonitorClient::IngestAck> ack = clients_[p]->Ingest(
+        std::vector<Record>(batch.begin() + static_cast<std::ptrdiff_t>(off),
+                            batch.end()));
+    if (!ack.ok()) {
+      const Status down = clients_[p]->connected()
+                              ? ack.status()
+                              : MarkDown(p, ack.status());
+      report->rejected += batch.size() - off;
+      if (report->first_error.ok()) report->first_error = down;
+      return Status::Ok();  // isolation: other partitions still ingest
+    }
+    report->accepted += ack->accepted;
+    off += ack->accepted;
+    if (ack->rejected == 0) return Status::Ok();
+    if (ack->first_error.code() != StatusCode::kResourceExhausted) {
+      // Per-tuple refusals (validation etc.): the server judged the
+      // whole batch, nothing left to resend.
+      report->rejected += ack->rejected;
+      if (report->first_error.ok()) report->first_error = ack->first_error;
+      return Status::Ok();
+    }
+    // Queue filled mid-batch: the accepted tuples are the sorted prefix;
+    // back off proportionally to the server's fullness hint and resend
+    // the rest (the pacing idiom from docs/OPERATIONS.md).
+    if (--retries < 0) {
+      report->rejected += batch.size() - off;
+      if (report->first_error.ok()) report->first_error = ack->first_error;
+      return Status::Ok();
+    }
+    ++report->pacing_retries;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(100 + 4 * ack->queue_hint));
+  }
+  return Status::Ok();
+}
+
+Result<ClusterRouter::IngestReport> ClusterRouter::Ingest(
+    const std::vector<Record>& tuples) {
+  std::vector<std::vector<Record>> split(map_.partitions());
+  for (const Record& r : tuples) {
+    split[map_.OwnerOf(r.id)].push_back(r);
+  }
+  IngestReport report;
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    if (split[p].empty()) continue;
+    if (!clients_[p]) {
+      report.rejected += split[p].size();
+      if (report.first_error.ok()) {
+        report.first_error = Down(p, "cannot ingest " +
+                                         std::to_string(split[p].size()) +
+                                         " tuple(s)");
+      }
+      continue;
+    }
+    TOPKMON_RETURN_IF_ERROR(
+        IngestPartition(p, std::move(split[p]), &report));
+  }
+  return report;
+}
+
+Status ClusterRouter::RegisterEverywhere(const QuerySpec& spec,
+                                         std::vector<QueryId>* locals) {
+  locals->clear();
+  auto rollback = [&]() {
+    for (std::size_t q = 0; q < locals->size(); ++q) {
+      if (clients_[q] && clients_[q]->connected()) {
+        (void)clients_[q]->Unregister((*locals)[q]);
+      }
+    }
+    locals->clear();
+  };
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    if (!clients_[p]) {
+      rollback();
+      return Down(p, "cannot register query");
+    }
+    Result<QueryId> local = clients_[p]->Register(spec);
+    if (!local.ok()) {
+      const Status st = clients_[p]->connected()
+                            ? local.status()
+                            : MarkDown(p, local.status());
+      rollback();
+      return st;
+    }
+    locals->push_back(*local);
+  }
+  return Status::Ok();
+}
+
+Result<QueryId> ClusterRouter::Register(const QuerySpec& spec) {
+  std::vector<QueryId> locals;
+  TOPKMON_RETURN_IF_ERROR(RegisterEverywhere(spec, &locals));
+  const QueryId global = next_global_qid_++;
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    local_to_global_[p][locals[p]] = global;
+  }
+  queries_[global] = GlobalQuery{std::move(locals), spec.k};
+  TOPKMON_RETURN_IF_ERROR(mux_.AddQuery(global, spec.k));
+  return global;
+}
+
+Result<std::vector<RegisterOutcome>> ClusterRouter::RegisterBatch(
+    const std::vector<QuerySpec>& specs) {
+  std::vector<RegisterOutcome> out(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    Result<QueryId> global = Register(specs[s]);
+    if (global.ok()) {
+      out[s] = RegisterOutcome{StatusCode::kOk, *global, ""};
+    } else {
+      out[s] = RegisterOutcome{global.status().code(), 0,
+                               global.status().message()};
+    }
+  }
+  return out;
+}
+
+Status ClusterRouter::Unregister(QueryId query) {
+  auto it = queries_.find(query);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(query) +
+                            " is not registered on this router");
+  }
+  // All partitions must be reachable up front — a partial unregister
+  // keeps the mapping so the caller can simply retry after Reconnect
+  // (the per-partition retry tolerates NOT_FOUND from partitions that
+  // already dropped the query).
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    if (!clients_[p]) {
+      return Down(p, "cannot unregister query " + std::to_string(query));
+    }
+  }
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    const Status st = clients_[p]->Unregister(it->second.locals[p]);
+    if (st.ok() || st.code() == StatusCode::kNotFound) continue;
+    return clients_[p]->connected() ? st : MarkDown(p, st);
+  }
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    local_to_global_[p].erase(it->second.locals[p]);
+  }
+  queries_.erase(it);
+  (void)mux_.RemoveQuery(query);
+  return Status::Ok();
+}
+
+Result<std::vector<ResultEntry>> ClusterRouter::CurrentResult(
+    QueryId query) {
+  auto it = queries_.find(query);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(query) +
+                            " is not registered on this router");
+  }
+  std::vector<std::vector<ResultEntry>> lists(map_.partitions());
+  Timestamp as_of = std::numeric_limits<Timestamp>::max();
+  Timestamp stale_by = 0;
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    if (!clients_[p]) {
+      return Down(p, "cannot read query " + std::to_string(query));
+    }
+    Result<std::vector<ResultEntry>> local =
+        clients_[p]->CurrentResult(it->second.locals[p]);
+    if (!local.ok()) {
+      return clients_[p]->connected() ? local.status()
+                                      : MarkDown(p, local.status());
+    }
+    lists[p].reserve(local->size());
+    for (const ResultEntry& e : *local) {
+      lists[p].push_back(ResultEntry{
+          NamespaceRecordId(e.id, p, map_.partitions()), e.score});
+    }
+    as_of = std::min(as_of, clients_[p]->snapshot_as_of());
+    stale_by = std::max(stale_by, clients_[p]->snapshot_stale_by());
+  }
+  snapshot_as_of_ = as_of;
+  snapshot_stale_by_ = stale_by;
+  return MergeTopK(lists, it->second.k);
+}
+
+Result<std::vector<DeltaEvent>> ClusterRouter::PollDeltas(
+    std::uint32_t max_events_per_partition,
+    std::chrono::milliseconds timeout) {
+  if (max_events_per_partition == 0) {
+    return Status::InvalidArgument(
+        "the router needs an explicit per-partition event cap to detect "
+        "truncated answers");
+  }
+  bool first_live = true;
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    if (!clients_[p]) continue;  // frontier stalls at its last answer
+    Result<std::vector<DeltaEvent>> events = clients_[p]->PollDeltas(
+        max_events_per_partition,
+        first_live ? timeout : std::chrono::milliseconds(0));
+    if (!events.ok()) {
+      if (!clients_[p]->connected()) {
+        (void)MarkDown(p, events.status());  // others still poll
+        continue;
+      }
+      return events.status();
+    }
+    first_live = false;
+    // Translate local query ids to the router's namespace. Events for
+    // unknown local ids (an unregister racing buffered history) keep
+    // their slot with the never-assigned global id 0 — dropping them
+    // would punch a hole in the per-partition sequence the multiplexer
+    // checks; it skips id 0 at apply time instead.
+    std::vector<DeltaEvent> translated = std::move(*events);
+    for (DeltaEvent& event : translated) {
+      auto g = local_to_global_[p].find(event.delta.query);
+      event.delta.query = g == local_to_global_[p].end() ? 0 : g->second;
+    }
+    const bool maybe_truncated =
+        translated.size() >= max_events_per_partition;
+    TOPKMON_RETURN_IF_ERROR(mux_.OnPartitionEvents(
+        p, translated, clients_[p]->deltas_as_of(), maybe_truncated));
+  }
+  std::vector<DeltaEvent> merged;
+  mux_.Drain(&merged);
+  return merged;
+}
+
+std::vector<DeltaEvent> ClusterRouter::FinalizeDeltas() {
+  std::vector<DeltaEvent> merged;
+  mux_.Finalize(&merged);
+  return merged;
+}
+
+Status ClusterRouter::Close(bool close_session) {
+  Status first = Status::Ok();
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    if (!clients_[p]) continue;
+    const Status st = clients_[p]->Close(close_session);
+    if (!st.ok() && first.ok()) first = st;
+    clients_[p].reset();
+  }
+  return first;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,192 @@
+// Client-side scatter-gather router over a partitioned cluster.
+//
+// A ClusterRouter speaks to every partition of a static PartitionMap
+// through one MonitorClient each and presents the MonitorClient surface
+// for the whole cluster:
+//
+//   * Ingest hash-splits the batch by the CALLER's object ids
+//     (PartitionMap::OwnerOf) and ships each sub-batch to its owning
+//     partition, self-pacing per partition on RESOURCE_EXHAUSTED with
+//     the queue_hint backoff-and-resend-suffix protocol. A dead
+//     partition only loses its own tuples — the healthy partitions'
+//     sub-batches still flow (failure isolation).
+//   * Register / RegisterBatch / Unregister scatter to ALL partitions.
+//     The router assigns the global query id and keeps the global<->
+//     per-partition local id mapping; a partial registration is rolled
+//     back so a query either exists everywhere or nowhere.
+//   * CurrentResult gathers every partition's top-k and k-merges them
+//     (topk_merge.h) under namespaced record ids; the snapshot's as_of
+//     is the MIN across partitions (staleness-honest: the merged answer
+//     is only as fresh as its stalest contributor).
+//   * PollDeltas polls every partition's subscription and feeds a
+//     DeltaMultiplexer, returning the gap-free merged stream.
+//
+// Partition failures surface as StatusCode::kUnavailable with the
+// endpoint spelled out (PartitionMap::Describe); the failed partition is
+// marked down and every later call on it short-circuits to the same
+// Unavailable until Reconnect(p) succeeds. Reconnecting resumes the
+// per-partition session by label, and the multiplexer absorbs the
+// resulting stream resumption (or restart re-baseline) without gaps in
+// the merged sequence.
+//
+// Thread model: like MonitorClient, a ClusterRouter is NOT thread-safe;
+// use one per thread. Session labels are derived per partition as
+// "<label>#p<i>", so two routers sharing a label share sessions.
+
+#ifndef TOPKMON_CLUSTER_ROUTER_H_
+#define TOPKMON_CLUSTER_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/delta_mux.h"
+#include "cluster/partition_map.h"
+#include "net/client.h"
+
+namespace topkmon {
+
+struct ClusterRouterOptions {
+  NetClientOptions net;
+  /// Pacing retries per partition sub-batch before Ingest gives up on a
+  /// persistently full queue.
+  int max_ingest_retries = 1000;
+};
+
+class ClusterRouter {
+ public:
+  /// Connects to every partition (session label "<label>#p<i>",
+  /// resume-by-label semantics as in MonitorClient::Connect) and
+  /// verifies each Welcome's server_tag matches the partition index —
+  /// a mis-wired map (two routers disagreeing on endpoint order) is a
+  /// data-corruption bug this check turns into a connect error.
+  static Result<std::unique_ptr<ClusterRouter>> Connect(
+      PartitionMap map, const std::string& label, bool resume = true,
+      const ClusterRouterOptions& options = {});
+
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  const PartitionMap& map() const { return map_; }
+  bool partition_up(std::size_t p) const { return clients_[p] != nullptr; }
+  /// True iff partition p's session was adopted rather than created.
+  bool resumed(std::size_t p) const { return resumed_[p]; }
+
+  /// Cluster-wide ingest outcome (sums of the per-partition acks).
+  struct IngestReport {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t pacing_retries = 0;
+    Status first_error;  ///< first per-tuple or per-partition refusal
+  };
+
+  /// Hash-routes `tuples` by their CALLER-assigned ids and ships each
+  /// sub-batch to its owner, pacing on backpressure. Tuples owned by a
+  /// down partition are counted rejected (first_error = Unavailable
+  /// naming the endpoint) without disturbing the other partitions.
+  Result<IngestReport> Ingest(const std::vector<Record>& tuples);
+
+  /// Registers `spec` on EVERY partition and returns the router-assigned
+  /// global query id. All-or-nothing: a refusal or dead partition rolls
+  /// back the partial registration and nothing is tracked.
+  Result<QueryId> Register(const QuerySpec& spec);
+
+  /// Batched scatter registration; outcomes are per spec, each
+  /// all-or-nothing as in Register.
+  Result<std::vector<RegisterOutcome>> RegisterBatch(
+      const std::vector<QuerySpec>& specs);
+
+  /// Unregisters everywhere. Requires every partition up (a dead one
+  /// returns Unavailable and leaves the query tracked for a retry).
+  Status Unregister(QueryId query);
+
+  /// Merged snapshot of a query's global top-k (namespaced ids);
+  /// snapshot_as_of() is the min across partitions, snapshot_stale_by()
+  /// the max.
+  Result<std::vector<ResultEntry>> CurrentResult(QueryId query);
+  Timestamp snapshot_as_of() const { return snapshot_as_of_; }
+  Timestamp snapshot_stale_by() const { return snapshot_stale_by_; }
+
+  /// Polls every live partition (each up to `max_events_per_partition`,
+  /// waiting up to `timeout` on the FIRST live partition only — later
+  /// ones poll non-blocking-ish with a zero timeout so one quiet
+  /// partition cannot stall the others' freshness), feeds the merged
+  /// stream, and returns the events that became final. Dead partitions
+  /// are skipped: the merge frontier simply stops advancing past their
+  /// last answer until Reconnect(p).
+  Result<std::vector<DeltaEvent>> PollDeltas(
+      std::uint32_t max_events_per_partition,
+      std::chrono::milliseconds timeout);
+
+  /// Quiescent flush of the merged stream (DeltaMultiplexer::Finalize);
+  /// call only after every partition has been flushed and polled dry.
+  std::vector<DeltaEvent> FinalizeDeltas();
+
+  /// Merged-stream frontier (min partition progress).
+  Timestamp deltas_as_of() const { return mux_.as_of(); }
+  std::uint64_t merged_events() const { return mux_.merged_events(); }
+  std::uint64_t partition_restarts() const {
+    return mux_.partition_restarts();
+  }
+
+  /// Re-dials a down (or up — the old connection is discarded)
+  /// partition, resuming its session by label. The delta multiplexer
+  /// absorbs the resumed stream; if the partition itself restarted in
+  /// between, the stream re-baselines (partition_restarts() ticks).
+  Status Reconnect(std::size_t partition);
+
+  /// Closes every live connection; with close_session the per-partition
+  /// sessions are released too (no resume afterwards).
+  Status Close(bool close_session = false);
+
+ private:
+  ClusterRouter(PartitionMap map, std::string label,
+                const ClusterRouterOptions& options);
+
+  /// The standing Unavailable for a down partition.
+  Status Down(std::size_t p, const std::string& detail) const;
+
+  /// Marks p down after a transport error and returns the Unavailable
+  /// wrapping it.
+  Status MarkDown(std::size_t p, const Status& cause);
+
+  /// Paced ingest of one partition's sub-batch (sorted by arrival).
+  Status IngestPartition(std::size_t p, std::vector<Record> batch,
+                         IngestReport* report);
+
+  /// One spec registered on all partitions, with rollback. On success
+  /// appends the per-partition local ids to *locals.
+  Status RegisterEverywhere(const QuerySpec& spec,
+                            std::vector<QueryId>* locals);
+
+  const PartitionMap map_;
+  const std::string label_;
+  const ClusterRouterOptions options_;
+  std::vector<std::unique_ptr<MonitorClient>> clients_;
+  std::vector<bool> resumed_;
+
+  /// One globally-registered query: its local id on each partition
+  /// (index = partition) plus the merge cardinality.
+  struct GlobalQuery {
+    std::vector<QueryId> locals;
+    int k = 0;
+  };
+
+  QueryId next_global_qid_ = 1;  ///< 0 stays a never-assigned sentinel
+  std::map<QueryId, GlobalQuery> queries_;
+  /// per partition: local qid -> global qid (delta translation).
+  std::vector<std::map<QueryId, QueryId>> local_to_global_;
+
+  DeltaMultiplexer mux_;
+  Timestamp snapshot_as_of_ = 0;
+  Timestamp snapshot_stale_by_ = 0;
+};
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_CLUSTER_ROUTER_H_

@@ -1,0 +1,54 @@
+#include "cluster/topk_merge.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace topkmon {
+namespace {
+
+/// One list head in the refine loop: the entry plus where it came from.
+struct Head {
+  ResultEntry entry;
+  std::size_t list = 0;
+  std::size_t next = 0;  ///< index of the entry after this one in `list`
+};
+
+/// Heap order: worst head on top (std::priority_queue pops the largest,
+/// so "a < b" must mean "a is a worse result than b" — the inverse of
+/// ResultOrder, which sorts best-first).
+struct WorseHead {
+  bool operator()(const Head& a, const Head& b) const {
+    return ResultOrder(b.entry, a.entry);
+  }
+};
+
+}  // namespace
+
+std::vector<ResultEntry> MergeTopK(
+    const std::vector<std::vector<ResultEntry>>& per_partition, int k) {
+  std::vector<ResultEntry> out;
+  if (k <= 0) return out;
+  out.reserve(static_cast<std::size_t>(k));
+  // Seed with each list's best entry; every unseen entry of list L is
+  // bounded by L's head (the lists are sorted), so the best head bounds
+  // everything unconsumed — popping it is always safe (the threshold
+  // argument), and k pops produce the global top-k.
+  std::priority_queue<Head, std::vector<Head>, WorseHead> heads;
+  for (std::size_t l = 0; l < per_partition.size(); ++l) {
+    if (!per_partition[l].empty()) {
+      heads.push(Head{per_partition[l][0], l, 1});
+    }
+  }
+  while (!heads.empty() && static_cast<int>(out.size()) < k) {
+    Head best = heads.top();
+    heads.pop();
+    out.push_back(best.entry);
+    const std::vector<ResultEntry>& list = per_partition[best.list];
+    if (best.next < list.size()) {
+      heads.push(Head{list[best.next], best.list, best.next + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace topkmon

@@ -58,6 +58,14 @@ class ScoringFunction {
   /// Human-readable formula, e.g. "0.31*x1 + 0.82*x2".
   virtual std::string ToString() const = 0;
 
+  /// Whether the function is monotone per dimension over the whole unit
+  /// workspace, as `direction(i)` reports. The grid engines' maxscore
+  /// bounds (BestCorner / MaxScore) are only valid when this holds; the
+  /// piecewise-monotone wrapper (core/piecewise.h) overrides this to
+  /// false, and engines that rely on corner bounds refuse such functions
+  /// at registration.
+  virtual bool IsMonotone() const { return true; }
+
   /// The corner of `r` that maximizes this function: the hi corner on
   /// increasing dimensions and the lo corner on decreasing ones.
   Point BestCorner(const Rect& r) const;

@@ -29,6 +29,9 @@ enum class StatusCode {
   kInternal,          ///< invariant violation; indicates a library bug
   kResourceExhausted, ///< a bounded buffer is full; retry after backing
                       ///< off (the ingest backpressure signal)
+  kUnavailable,       ///< the serving endpoint is unreachable (e.g. a
+                      ///< cluster partition is down); retry after it
+                      ///< recovers — other partitions keep serving
 };
 
 /// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -73,6 +76,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

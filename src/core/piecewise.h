@@ -36,6 +36,48 @@ struct MonotonePiece {
   std::shared_ptr<const ScoringFunction> function;
 };
 
+/// A piecewise-monotone preference function as a first-class
+/// ScoringFunction: the value at `p` is the value of the first piece
+/// whose domain contains `p` (and -infinity outside every piece, so
+/// uncovered records can never outrank covered ones).
+///
+/// IsMonotone() is false — the global function has no per-dimension
+/// direction — so the grid engines (TMA/SMA) and TSL refuse it at
+/// registration; evaluate it either on BruteForce (which only needs
+/// Score) or decomposed into constrained sub-queries via
+/// PiecewiseTopKQuery. Being a ScoringFunction gives it a wire/journal
+/// encoding (family tag 4, journal format v2): a piecewise query
+/// registered against a journaling service survives recovery.
+class PiecewiseFunction final : public ScoringFunction {
+ public:
+  /// Validates and wraps `pieces`: 1..255 pieces, uniform dimensionality
+  /// across functions and domains, no nested piecewise functions (the
+  /// wire encoding is deliberately one level deep — flatten instead).
+  static Result<std::shared_ptr<const PiecewiseFunction>> Create(
+      std::vector<MonotonePiece> pieces);
+
+  int dim() const override { return dim_; }
+  double Score(const Point& p) const override;
+  /// Per-piece directions conflict by definition; reported as increasing
+  /// for API completeness. Consumers must check IsMonotone() before
+  /// trusting directions — corner bounds derived from them are invalid.
+  Monotonicity direction(int) const override {
+    return Monotonicity::kIncreasing;
+  }
+  bool IsMonotone() const override { return false; }
+  std::unique_ptr<ScoringFunction> Clone() const override;
+  std::string ToString() const override;
+
+  const std::vector<MonotonePiece>& pieces() const { return pieces_; }
+
+ private:
+  PiecewiseFunction(std::vector<MonotonePiece> pieces, int dim)
+      : pieces_(std::move(pieces)), dim_(dim) {}
+
+  std::vector<MonotonePiece> pieces_;
+  int dim_;
+};
+
 /// A continuous top-k query with a piecewise-monotone preference
 /// function, evaluated as one constrained sub-query per piece.
 ///

@@ -20,6 +20,13 @@ SmaEngine::SmaEngine(const GridEngineOptions& options)
 
 Status SmaEngine::RegisterQuery(const QuerySpec& spec) {
   TOPKMON_RETURN_IF_ERROR(spec.Validate(dim()));
+  if (!spec.function->IsMonotone()) {
+    return Status::Unimplemented(
+        "SMA requires a per-dimension monotone scoring function; "
+        "decompose '" + spec.function->ToString() +
+        "' into constrained monotone sub-queries (core/piecewise.h) or "
+        "register it on the BruteForce engine");
+  }
   if (queries_.count(spec.id) > 0) {
     return Status::AlreadyExists("query id " + std::to_string(spec.id) +
                                  " already registered");

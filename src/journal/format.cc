@@ -188,10 +188,13 @@ Status DecodeSegmentHeader(const char* data, std::size_t n) {
   if (!in.ok() || magic != kJournalMagic) {
     return Status::InvalidArgument("not a topkmon journal segment");
   }
-  if (version != kJournalFormatVersion) {
+  // Older versions are forward-readable: v1 encodings are a strict
+  // subset of v2 (v2 only added the piecewise scoring-function tag), so
+  // any version up to the current one is accepted.
+  if (version == 0 || version > kJournalFormatVersion) {
     return Status::Unimplemented(
         "journal format version " + std::to_string(version) +
-        " is not supported (this build reads version " +
+        " is not supported (this build reads versions 1.." +
         std::to_string(kJournalFormatVersion) + ")");
   }
   return Status::Ok();

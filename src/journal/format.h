@@ -37,7 +37,12 @@ inline constexpr std::uint64_t kJournalMagic = 0x314C4E524A4D4B54ull;
 /// Version of the record encodings below. Bump on any incompatible layout
 /// change and document the migration in docs/JOURNAL_FORMAT.md (CI checks
 /// that the spec's version matches this constant).
-inline constexpr std::uint32_t kJournalFormatVersion = 1;
+///
+/// v2: the piecewise-monotone scoring-function family (wire tag 4) became
+/// journalable. Every v1 byte sequence is also valid v2, so this build
+/// still reads v1 segments; v2 segments containing a piecewise register
+/// record are refused by v1 builds (unknown family tag).
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
 
 /// Bytes of the segment header (magic + version + reserved).
 inline constexpr std::size_t kSegmentHeaderBytes = 16;
@@ -103,7 +108,8 @@ void EncodeFrame(const std::string& body, std::string* out);
 
 /// Body builders (type byte + payload). EncodeRegisterBody fails with
 /// Unimplemented for scoring-function types the journal cannot encode
-/// (only the Linear / Product / SumOfSquares families are journalable).
+/// (the Linear / Product / SumOfSquares / Piecewise families are
+/// journalable).
 void EncodeCycleBody(Timestamp ts, const std::vector<Record>& batch,
                      std::string* out);
 Status EncodeRegisterBody(const JournaledQuery& query, std::string* out);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/geometry.h"
+#include "core/piecewise.h"
 
 namespace topkmon {
 namespace wire {
@@ -99,6 +100,7 @@ namespace {
 constexpr std::uint8_t kFnLinear = 1;
 constexpr std::uint8_t kFnProduct = 2;
 constexpr std::uint8_t kFnSumOfSquares = 3;
+constexpr std::uint8_t kFnPiecewise = 4;  // journal format v2 / protocol v4
 
 }  // namespace
 
@@ -122,10 +124,23 @@ Status PutFunction(const ScoringFunction& fn, std::string* out) {
     for (double a : squares->coeffs()) PutF64(a, out);
     return Status::Ok();
   }
+  if (const auto* piecewise = dynamic_cast<const PiecewiseFunction*>(&fn)) {
+    PutU8(kFnPiecewise, out);
+    PutU8(static_cast<std::uint8_t>(piecewise->dim()), out);
+    PutU8(static_cast<std::uint8_t>(piecewise->pieces().size()), out);
+    for (const MonotonePiece& piece : piecewise->pieces()) {
+      PutPoint(piece.domain.lo(), out);
+      PutPoint(piece.domain.hi(), out);
+      // PiecewiseFunction::Create bans nested pieces, so this recursion
+      // is one level deep and the inner call cannot hit this branch.
+      TOPKMON_RETURN_IF_ERROR(PutFunction(*piece.function, out));
+    }
+    return Status::Ok();
+  }
   return Status::Unimplemented(
       "scoring function '" + fn.ToString() +
       "' has no wire encoding (only the linear / product / "
-      "sum-of-squares families are encodable)");
+      "sum-of-squares / piecewise families are encodable)");
 }
 
 Status PutQuerySpec(const QuerySpec& spec, std::string* out) {
@@ -196,6 +211,21 @@ Status GetRecordSpan(ByteReader& in, std::uint64_t count,
   return Status::Ok();
 }
 
+namespace {
+
+/// Reads the `dim` raw f64 coefficients shared by the linear / product /
+/// sum-of-squares payloads.
+Status GetCoefficients(ByteReader& in, int dim, std::vector<double>* out) {
+  out->resize(static_cast<std::size_t>(dim));
+  for (double& c : *out) c = in.GetF64();
+  if (!in.ok()) {
+    return Status::InvalidArgument("truncated scoring function");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status GetFunction(ByteReader& in,
                    std::shared_ptr<const ScoringFunction>* out) {
   const std::uint8_t family = in.GetU8();
@@ -203,13 +233,10 @@ Status GetFunction(ByteReader& in,
   if (!in.ok() || dim < 1 || dim > kMaxDims) {
     return Status::InvalidArgument("malformed scoring function header");
   }
-  std::vector<double> coeffs(static_cast<std::size_t>(dim));
-  for (double& c : coeffs) c = in.GetF64();
-  if (!in.ok()) {
-    return Status::InvalidArgument("truncated scoring function");
-  }
+  std::vector<double> coeffs;
   switch (family) {
     case kFnLinear: {
+      TOPKMON_RETURN_IF_ERROR(GetCoefficients(in, dim, &coeffs));
       const double bias = in.GetF64();
       if (!in.ok()) {
         return Status::InvalidArgument("truncated linear function bias");
@@ -218,11 +245,49 @@ Status GetFunction(ByteReader& in,
       return Status::Ok();
     }
     case kFnProduct:
+      TOPKMON_RETURN_IF_ERROR(GetCoefficients(in, dim, &coeffs));
       *out = std::make_shared<ProductFunction>(std::move(coeffs));
       return Status::Ok();
     case kFnSumOfSquares:
+      TOPKMON_RETURN_IF_ERROR(GetCoefficients(in, dim, &coeffs));
       *out = std::make_shared<SumOfSquaresFunction>(std::move(coeffs));
       return Status::Ok();
+    case kFnPiecewise: {
+      const int count = in.GetU8();
+      if (!in.ok() || count < 1) {
+        return Status::InvalidArgument("bad piecewise piece count");
+      }
+      std::vector<MonotonePiece> pieces;
+      pieces.reserve(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        const Point lo = in.GetPoint();
+        const Point hi = in.GetPoint();
+        if (!in.ok() || lo.dim() != dim || hi.dim() != dim) {
+          return Status::InvalidArgument("malformed piecewise domain");
+        }
+        for (int d = 0; d < dim; ++d) {
+          if (lo[d] > hi[d]) {
+            return Status::InvalidArgument("inverted piecewise domain");
+          }
+        }
+        std::shared_ptr<const ScoringFunction> inner;
+        TOPKMON_RETURN_IF_ERROR(GetFunction(in, &inner));
+        // A nested piecewise tag in the inner slot is a dialect
+        // violation (the encoder never emits one); refusing it here
+        // also bounds the recursion depth against hostile bytes.
+        if (dynamic_cast<const PiecewiseFunction*>(inner.get()) != nullptr) {
+          return Status::InvalidArgument("nested piecewise function");
+        }
+        pieces.push_back(MonotonePiece{Rect(lo, hi), std::move(inner)});
+      }
+      auto built = PiecewiseFunction::Create(std::move(pieces));
+      if (!built.ok()) {
+        return Status::InvalidArgument("malformed piecewise function: " +
+                                       built.status().message());
+      }
+      *out = std::move(built).value();
+      return Status::Ok();
+    }
     default:
       return Status::InvalidArgument("unknown scoring-function family tag " +
                                      std::to_string(family));

@@ -64,9 +64,11 @@ std::size_t RecordSpanMaxBytes(std::size_t count, int dim);
 void PutRecordSpan(const Record* records, std::size_t count,
                    std::string* out);
 
-/// Scoring-function encoding (family tag + coefficients). Fails with
-/// Unimplemented for families without a wire encoding (only Linear /
-/// Product / SumOfSquares are encodable).
+/// Scoring-function encoding (family tag + payload). Linear / Product /
+/// SumOfSquares encode as dim coefficients; Piecewise (tag 4, journal
+/// format v2) encodes a piece count followed by per-piece domain corners
+/// and the inner monotone function. Fails with Unimplemented for
+/// function types without a wire encoding.
 Status PutFunction(const ScoringFunction& fn, std::string* out);
 
 /// Full query spec: id:u32 k:u32 function constraint-presence:u8

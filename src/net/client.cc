@@ -80,6 +80,7 @@ Result<std::unique_ptr<MonitorClient>> MonitorClient::Connect(
   client->session_ = welcome->session;
   client->resumed_ = welcome->resumed;
   client->server_role_ = welcome->role;
+  client->server_tag_ = welcome->server_tag;
   return client;
 }
 
@@ -289,6 +290,7 @@ Result<std::vector<DeltaEvent>> MonitorClient::PollDeltas(
              &body);
   auto deltas = RoundTrip(body, NetMessageType::kDeltas, timeout);
   if (!deltas.ok()) return deltas.status();
+  deltas_as_of_ = deltas->as_of;
   for (const DeltaEvent& e : deltas->events) {
     last_seq_ = std::max(last_seq_, e.seq);
   }

@@ -66,6 +66,18 @@ class MonitorClient {
   /// True when the Welcome announced a read-only replication follower
   /// (writes will be refused with a redirect-to-leader status).
   bool server_is_follower() const { return server_role_ == 1; }
+  /// The server's operator-assigned identity from the Welcome (v4): the
+  /// cluster partition index, or kNoServerTag on a standalone server.
+  /// The cluster router checks this against its partition map before
+  /// trusting a connection.
+  std::uint32_t server_tag() const { return server_tag_; }
+
+  /// False once a transport error (send/recv failure, timeout, framing
+  /// error) has poisoned the connection — every later call fails until
+  /// the caller re-Connects. Lets the cluster router tell a dead
+  /// partition apart from an ordinary service refusal, which leaves the
+  /// connection healthy.
+  bool connected() const { return fd_ >= 0; }
 
   /// Per-batch ingest outcome. A batch is not transactional: tuples are
   /// admitted individually, so some may be accepted and others refused
@@ -134,6 +146,13 @@ class MonitorClient {
   /// Highest delta sequence number seen by PollDeltas on this client.
   std::uint64_t last_seq() const { return last_seq_; }
 
+  /// The as_of frontier of the last Deltas answer (v4): the server
+  /// engine's applied-cycle timestamp sampled before that answer's
+  /// events were drained, i.e. every event at or before this timestamp
+  /// has now been delivered to this session (barring truncation by
+  /// max_events — see DeltaMultiplexer for the truncation rule).
+  Timestamp deltas_as_of() const { return deltas_as_of_; }
+
   /// The queue_hint of the most recent IngestAck — the server's standing
   /// backpressure signal for pacing loops that batch fire-and-forget.
   std::uint8_t last_ingest_hint() const { return last_ingest_hint_; }
@@ -162,7 +181,9 @@ class MonitorClient {
   SessionId session_ = 0;
   bool resumed_ = false;
   std::uint8_t server_role_ = 0;
+  std::uint32_t server_tag_ = kNoServerTag;
   std::uint64_t last_seq_ = 0;
+  Timestamp deltas_as_of_ = 0;
   std::uint8_t last_ingest_hint_ = 0;
   Timestamp snapshot_as_of_ = 0;
   Timestamp snapshot_stale_by_ = 0;

@@ -52,6 +52,7 @@ std::uint8_t NetEncodeStatusCode(StatusCode code) {
     case StatusCode::kUnimplemented: return 6;
     case StatusCode::kInternal: return 7;
     case StatusCode::kResourceExhausted: return 8;
+    case StatusCode::kUnavailable: return 9;
   }
   return 7;
 }
@@ -66,6 +67,7 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire_value) {
     case 5: return StatusCode::kFailedPrecondition;
     case 6: return StatusCode::kUnimplemented;
     case 8: return StatusCode::kResourceExhausted;
+    case 9: return StatusCode::kUnavailable;
     default: return StatusCode::kInternal;
   }
 }
@@ -79,12 +81,13 @@ void EncodeHello(bool resume, const std::string& label, std::string* out) {
 }
 
 void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
-                   std::string* out) {
+                   std::uint32_t server_tag, std::string* out) {
   PutType(NetMessageType::kWelcome, out);
   wire::PutU64(session, out);
   wire::PutU8(resumed ? 1 : 0, out);
   wire::PutU32(kNetProtocolVersion, out);
   wire::PutU8(role, out);
+  wire::PutU32(server_tag, out);
 }
 
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
@@ -155,8 +158,10 @@ void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
   wire::PutU32(timeout_ms, out);
 }
 
-void EncodeDeltas(const std::vector<DeltaEvent>& events, std::string* out) {
+void EncodeDeltas(const std::vector<DeltaEvent>& events, Timestamp as_of,
+                  std::string* out) {
   PutType(NetMessageType::kDeltas, out);
+  wire::PutI64(as_of, out);
   wire::PutU32(static_cast<std::uint32_t>(events.size()), out);
   for (const DeltaEvent& e : events) {
     wire::PutU64(e.seq, out);
@@ -272,6 +277,7 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->resumed = in.GetU8() == 1;
       out->version = in.GetU32();
       out->role = in.GetU8();
+      out->server_tag = in.GetU32();
       return done();
     case NetMessageType::kIngest: {
       out->type = NetMessageType::kIngest;
@@ -325,6 +331,7 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       return done();
     case NetMessageType::kDeltas: {
       out->type = NetMessageType::kDeltas;
+      out->as_of = in.GetI64();
       const std::uint32_t count = in.GetU32();
       // An event is at least seq + query + when + two empty entry lists.
       if (!in.ok() || count > in.remaining() / 28) {

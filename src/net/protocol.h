@@ -61,7 +61,22 @@ inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
 /// the high-water mark) — and the RESOURCE_EXHAUSTED status code (wire
 /// value 8) was added for queue-full refusals, which no longer block
 /// the server's poll loop. See docs/OPERATIONS.md for producer pacing.
-inline constexpr std::uint32_t kNetProtocolVersion = 3;
+///
+/// v4 (the cluster tier, docs/CLUSTER.md): Welcome carries a trailing
+/// server_tag (the operator-assigned partition index, kNoServerTag when
+/// unset) so a router can verify it dialed the partition it meant;
+/// Deltas carries a trailing as_of timestamp — the answering engine's
+/// applied-cycle frontier sampled BEFORE the delta buffer was drained —
+/// which is what lets a delta multiplexer merge N per-partition streams
+/// without gaps; the UNAVAILABLE status code (wire value 9) was added
+/// for requests routed to an unreachable partition; and the piecewise
+/// scoring-function family (wire tag 4) became encodable in
+/// Register/RegisterBatch specs.
+inline constexpr std::uint32_t kNetProtocolVersion = 4;
+
+/// Welcome server_tag value meaning "no tag configured" (a standalone,
+/// un-clustered server).
+inline constexpr std::uint32_t kNoServerTag = 0xFFFFFFFFu;
 
 /// Bytes of a frame prologue (body_len + crc32c).
 inline constexpr std::size_t kNetFrameHeaderBytes = 8;
@@ -132,6 +147,9 @@ struct NetMessage {
   SessionId session = 0;
   bool resumed = false;
   std::uint8_t role = 0;  ///< 0 leader, 1 read-only follower
+  /// v4: operator-assigned identity of the answering server (the cluster
+  /// partition index); kNoServerTag on a standalone server.
+  std::uint32_t server_tag = kNoServerTag;
 
   // kIngest (record ids are a synthetic 0..n-1 ramp — the service
   // assigns real ids at admission; arrivals must be non-decreasing).
@@ -155,9 +173,11 @@ struct NetMessage {
   // kRegisterAck / kUnregister / kSnapshot
   QueryId query = 0;
 
-  // kSnapshotResult. as_of is the timestamp of the last cycle applied to
-  // the answering engine; stale_by bounds how far that lags the leader
-  // (always 0 from a leader).
+  // kSnapshotResult and kDeltas (v4). as_of is the timestamp of the last
+  // cycle applied to the answering engine — for kDeltas, sampled before
+  // the delta buffer was drained, so every event up to that frontier is
+  // either in this answer or was delivered earlier; stale_by bounds how
+  // far the engine lags the leader (always 0 from a leader).
   std::vector<ResultEntry> entries;
   Timestamp as_of = 0;
   Timestamp stale_by = 0;
@@ -206,7 +226,7 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire);
 
 void EncodeHello(bool resume, const std::string& label, std::string* out);
 void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
-                   std::string* out);
+                   std::uint32_t server_tag, std::string* out);
 /// Requires tuples non-empty with uniform dimensionality, strictly
 /// increasing ids and non-decreasing arrivals (use a 0..n-1 id ramp over
 /// an arrival-sorted batch — see MonitorClient::Ingest).
@@ -226,7 +246,11 @@ void EncodeSnapshotResult(const std::vector<ResultEntry>& entries,
                           std::string* out);
 void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
                 std::string* out);
-void EncodeDeltas(const std::vector<DeltaEvent>& events, std::string* out);
+/// `as_of` must be sampled from the answering engine BEFORE the events
+/// were drained from the subscription buffer (see the NetMessage field
+/// comment — the ordering is what makes the frontier trustworthy).
+void EncodeDeltas(const std::vector<DeltaEvent>& events, Timestamp as_of,
+                  std::string* out);
 void EncodeClose(bool close_session, std::string* out);
 void EncodeCloseAck(std::string* out);
 void EncodeError(const Status& status, std::string* out);

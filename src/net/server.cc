@@ -576,11 +576,16 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
                             ? options_.max_poll_events
                             : std::min<std::size_t>(msg.max_events,
                                                     options_.max_poll_events);
+      // The as_of frontier must be sampled BEFORE draining the buffer:
+      // a cycle completing between the drain and a later sample would
+      // advance the frontier past events that are not in this answer,
+      // and a delta multiplexer trusting it would merge prematurely.
+      const Timestamp as_of = service_.replication().applied_cycle_ts;
       std::vector<DeltaEvent> events;
       service_.PollDeltas(conn.session, max, &events);
       if (!events.empty() || msg.timeout_ms == 0) {
         std::string body;
-        EncodeDeltas(events, &body);
+        EncodeDeltas(events, as_of, &body);
         SendBody(conn, body);
         return;
       }
@@ -681,7 +686,8 @@ void TcpServer::HandleHello(PollLoop& loop, Connection& conn,
   conn.hello_done = true;
   std::string body;
   EncodeWelcome(session, resumed,
-                static_cast<std::uint8_t>(service_.role()), &body);
+                static_cast<std::uint8_t>(service_.role()),
+                options_.server_tag, &body);
   SendBody(conn, body);
 }
 
@@ -836,6 +842,8 @@ void TcpServer::AnswerPoll(Connection& conn) {
   // the dead predecessor.
   std::vector<DeltaEvent> events;
   bool evicted = false;
+  // Sampled before the drain — see the kPoll immediate path.
+  const Timestamp as_of = service_.replication().applied_cycle_ts;
   {
     std::lock_guard<std::mutex> lock(resume_mu_);
     const auto it = resume_epoch_.find(conn.session);
@@ -853,7 +861,7 @@ void TcpServer::AnswerPoll(Connection& conn) {
     return;
   }
   std::string body;
-  EncodeDeltas(events, &body);
+  EncodeDeltas(events, as_of, &body);
   SendBody(conn, body);
 }
 

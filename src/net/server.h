@@ -122,6 +122,10 @@ struct NetServerOptions {
   /// connection is dropped outright — its socket is not draining, so an
   /// error frame could not be delivered anyway.
   std::size_t max_output_bytes = std::size_t(4) << 20;
+  /// Operator-assigned identity echoed in every Welcome (v4) — the
+  /// cluster partition index, so a router can verify it dialed the
+  /// partition it meant. kNoServerTag (the default) means standalone.
+  std::uint32_t server_tag = 0xFFFFFFFFu;
 };
 
 /// Observable server counters (snapshot; aggregated across loops under

@@ -12,6 +12,11 @@ TslEngine::TslEngine(const TslOptions& options)
 
 Status TslEngine::RegisterQuery(const QuerySpec& spec) {
   TOPKMON_RETURN_IF_ERROR(spec.Validate(dim_));
+  if (!spec.function->IsMonotone()) {
+    return Status::Unimplemented(
+        "TSL requires a per-dimension monotone scoring function; "
+        "register piecewise-monotone functions on the BruteForce engine");
+  }
   if (spec.constraint.has_value()) {
     return Status::Unimplemented(
         "TSL baseline does not support constrained queries");

@@ -1,0 +1,220 @@
+// DeltaMultiplexer: frontier discipline, gap detection, restart
+// re-baselining — the transport-free heart of the cluster router.
+
+#include "cluster/delta_mux.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/topk_merge.h"
+
+namespace topkmon {
+namespace {
+
+DeltaEvent Ev(std::uint64_t seq, QueryId query, Timestamp when,
+              std::vector<ResultEntry> added,
+              std::vector<ResultEntry> removed = {}) {
+  DeltaEvent e;
+  e.seq = seq;
+  e.delta.query = query;
+  e.delta.when = when;
+  e.delta.added = std::move(added);
+  e.delta.removed = std::move(removed);
+  return e;
+}
+
+TEST(ClusterDeltaMuxTest, NothingMergesUntilEveryPartitionReports) {
+  DeltaMultiplexer mux(2);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(1, 1, 5, {{40, 0.4}})}, 5, false).ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  // Partition 1 has never answered: its progress is unknown, so even
+  // timestamp 5 from partition 0 must wait.
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(mux.OnPartitionEvents(1, {}, 6, false).ok());
+  ASSERT_TRUE(mux.OnPartitionEvents(0, {}, 6, false).ok());
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[0].delta.when, 5);
+  ASSERT_EQ(out[0].delta.added.size(), 1u);
+  EXPECT_EQ(out[0].delta.added[0].id, NamespaceRecordId(40, 0, 2));
+}
+
+TEST(ClusterDeltaMuxTest, EqualTimestampIsNotFinal) {
+  // Cycle timestamps may repeat: as_of == t does NOT close t. Only a
+  // frontier strictly past t releases it.
+  DeltaMultiplexer mux(2);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(1, 1, 5, {{40, 0.4}})}, 5, false).ok());
+  ASSERT_TRUE(mux.OnPartitionEvents(1, {}, 5, false).ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  EXPECT_TRUE(out.empty()) << "timestamp 5 merged while still open";
+  EXPECT_EQ(mux.as_of(), 5);
+  // A second cycle at the SAME timestamp arrives after the first drain
+  // attempt — exactly the hazard the strict rule guards against.
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(2, 1, 5, {{42, 0.6}})}, 6, false).ok());
+  ASSERT_TRUE(mux.OnPartitionEvents(1, {}, 6, false).ok());
+  mux.Drain(&out);
+  // Both same-timestamp cycles coalesce into ONE merged event.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].delta.added.size(), 2u);
+}
+
+TEST(ClusterDeltaMuxTest, MergedStreamIsContiguousAndKMerged) {
+  DeltaMultiplexer mux(2);
+  ASSERT_TRUE(mux.AddQuery(7, 2).ok());
+  // Partition 0 contributes scores 0.9/0.1; partition 1 contributes 0.5.
+  ASSERT_TRUE(mux.OnPartitionEvents(
+                     0, {Ev(1, 7, 1, {{10, 0.9}, {11, 0.1}})}, 2, false)
+                  .ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(1, {Ev(1, 7, 1, {{20, 0.5}})}, 2, false).ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 1u);
+  const auto view = mux.CurrentView(7);
+  ASSERT_EQ(view.size(), 2u);  // k=2: global best two across partitions
+  EXPECT_EQ(view[0].id, NamespaceRecordId(10, 0, 2));
+  EXPECT_EQ(view[1].id, NamespaceRecordId(20, 1, 2));
+
+  // Partition 1's 0.5 record leaves; partition 0's 0.1 record takes the
+  // second slot.
+  ASSERT_TRUE(mux.OnPartitionEvents(
+                     1, {Ev(2, 7, 3, {}, {{20, 0.5}})}, 4, false)
+                  .ok());
+  ASSERT_TRUE(mux.OnPartitionEvents(0, {}, 4, false).ok());
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].seq, 2u);
+  EXPECT_EQ(out[1].delta.when, 3);
+  ASSERT_EQ(out[1].delta.added.size(), 1u);
+  EXPECT_EQ(out[1].delta.added[0].id, NamespaceRecordId(11, 0, 2));
+  ASSERT_EQ(out[1].delta.removed.size(), 1u);
+  EXPECT_EQ(out[1].delta.removed[0].id, NamespaceRecordId(20, 1, 2));
+}
+
+TEST(ClusterDeltaMuxTest, TruncatedAnswersAdvanceOnlyToDeliveredEvents) {
+  DeltaMultiplexer mux(1);
+  ASSERT_TRUE(mux.AddQuery(1, 4).ok());
+  // A truncated poll delivered events through when=7 while claiming
+  // as_of=9: the cut may have split timestamp 7, so only 7 is proven
+  // complete-exclusive — nothing at 7 may merge yet.
+  ASSERT_TRUE(mux.OnPartitionEvents(
+                     0, {Ev(1, 1, 6, {{1, 0.1}}), Ev(2, 1, 7, {{2, 0.2}})},
+                     9, true)
+                  .ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].delta.when, 6);
+  EXPECT_EQ(mux.as_of(), 7);
+  // The follow-up poll is not truncated: as_of now counts.
+  ASSERT_TRUE(mux.OnPartitionEvents(0, {}, 9, false).ok());
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].delta.when, 7);
+  EXPECT_EQ(mux.as_of(), 9);
+}
+
+TEST(ClusterDeltaMuxTest, SequenceGapIsAnError) {
+  DeltaMultiplexer mux(1);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(1, 1, 1, {{1, 0.1}})}, 1, false).ok());
+  const Status gap =
+      mux.OnPartitionEvents(0, {Ev(3, 1, 2, {{2, 0.2}})}, 2, false);
+  EXPECT_EQ(gap.code(), StatusCode::kInternal);
+  EXPECT_NE(gap.message().find("gap"), std::string::npos) << gap;
+}
+
+TEST(ClusterDeltaMuxTest, SequenceRegressionRebaselinesThePartition) {
+  DeltaMultiplexer mux(2);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  ASSERT_TRUE(mux.OnPartitionEvents(
+                     0, {Ev(1, 1, 1, {{10, 0.9}}), Ev(2, 1, 2, {{11, 0.8}})},
+                     3, false)
+                  .ok());
+  ASSERT_TRUE(mux.OnPartitionEvents(1, {}, 3, false).ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(mux.partition_restarts(), 0u);
+
+  // Partition 0 restarts: its stream begins again at seq 1 with a full
+  // current-result baseline (record 11 survived recovery, 10 did not).
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(1, 1, 4, {{11, 0.8}})}, 5, false).ok());
+  EXPECT_EQ(mux.partition_restarts(), 1u);
+  ASSERT_TRUE(mux.OnPartitionEvents(1, {}, 5, false).ok());
+  mux.Drain(&out);
+  // The merged stream stays contiguous across the restart and now shows
+  // record 10 gone.
+  std::uint64_t expected_seq = 1;
+  for (const DeltaEvent& e : out) EXPECT_EQ(e.seq, expected_seq++);
+  const auto view = mux.CurrentView(1);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].id, NamespaceRecordId(11, 0, 2));
+}
+
+TEST(ClusterDeltaMuxTest, UnknownQueriesAreSkippedNotFatal) {
+  DeltaMultiplexer mux(1);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  // Query id 0 is the router's "unregistered" sentinel: the event must
+  // still count for sequence tracking but produce no merged output.
+  ASSERT_TRUE(mux.OnPartitionEvents(
+                     0, {Ev(1, 0, 1, {{5, 0.5}}), Ev(2, 1, 1, {{6, 0.6}})},
+                     2, false)
+                  .ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].delta.query, 1u);
+}
+
+TEST(ClusterDeltaMuxTest, RemoveQueryDropsItsStream) {
+  DeltaMultiplexer mux(1);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(1, 1, 1, {{5, 0.5}})}, 1, false).ok());
+  ASSERT_TRUE(mux.RemoveQuery(1).ok());
+  EXPECT_EQ(mux.RemoveQuery(1).code(), StatusCode::kNotFound);
+  std::vector<DeltaEvent> out;
+  mux.Finalize(&out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ClusterDeltaMuxTest, FinalizeFlushesTheOpenFrontier) {
+  DeltaMultiplexer mux(2);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(0, {Ev(1, 1, 9, {{1, 0.9}})}, 9, false).ok());
+  ASSERT_TRUE(
+      mux.OnPartitionEvents(1, {Ev(1, 1, 9, {{2, 0.8}})}, 9, false).ok());
+  std::vector<DeltaEvent> out;
+  mux.Drain(&out);
+  EXPECT_TRUE(out.empty());  // 9 is still open
+  mux.Finalize(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].delta.added.size(), 2u);
+  EXPECT_EQ(mux.buffered_events(), 0u);
+}
+
+TEST(ClusterDeltaMuxTest, AddQueryValidation) {
+  DeltaMultiplexer mux(1);
+  EXPECT_EQ(mux.AddQuery(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(mux.AddQuery(1, 2).ok());
+  EXPECT_EQ(mux.AddQuery(1, 2).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(mux.OnPartitionEvents(9, {}, 1, false).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace topkmon

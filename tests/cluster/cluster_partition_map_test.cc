@@ -1,0 +1,82 @@
+// PartitionMap: parsing, validation, and the ownership hash contract.
+
+#include "cluster/partition_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace topkmon {
+namespace {
+
+TEST(ClusterPartitionMapTest, ParsesAnEndpointList) {
+  const auto map = PartitionMap::Parse("127.0.0.1:4001,10.9.8.7:4002");
+  ASSERT_TRUE(map.ok()) << map.status();
+  ASSERT_EQ(map->partitions(), 2u);
+  EXPECT_EQ(map->endpoint(0).host, "127.0.0.1");
+  EXPECT_EQ(map->endpoint(0).port, 4001);
+  EXPECT_EQ(map->endpoint(1).host, "10.9.8.7");
+  EXPECT_EQ(map->endpoint(1).port, 4002);
+  EXPECT_EQ(map->Describe(1), "partition 1 at 10.9.8.7:4002");
+}
+
+TEST(ClusterPartitionMapTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "nocolon", "host:", ":4001", "host:0", "host:99999",
+        "host:12x", "ok:4001,,ok:4002"}) {
+    EXPECT_EQ(PartitionMap::Parse(bad).status().code(),
+              StatusCode::kInvalidArgument)
+        << "'" << bad << "' should not parse";
+  }
+}
+
+TEST(ClusterPartitionMapTest, RejectsBadEndpointLists) {
+  EXPECT_EQ(PartitionMap::Create({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PartitionMap::Create(std::vector<PartitionEndpoint>(
+                               257, PartitionEndpoint{"h", 1}))
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(PartitionMap::Create({PartitionEndpoint{"", 4001}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PartitionMap::Create({PartitionEndpoint{"h", 0}}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterPartitionMapTest, OwnershipIsDeterministicInRangeAndCovering) {
+  const auto a = PartitionMap::Parse("a:1,b:2,c:3");
+  const auto b = PartitionMap::Parse("x:7,y:8,z:9");
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::set<std::size_t> hit;
+  for (RecordId id = 0; id < 1000; ++id) {
+    const std::size_t owner = a->OwnerOf(id);
+    ASSERT_LT(owner, a->partitions());
+    // Ownership depends only on (id, partition count) — every producer
+    // and router agrees no matter which hosts the map names.
+    EXPECT_EQ(owner, b->OwnerOf(id)) << "id " << id;
+    hit.insert(owner);
+  }
+  // The splitmix64 mix must spread even a tiny dense id range.
+  EXPECT_EQ(hit.size(), a->partitions());
+}
+
+TEST(ClusterPartitionMapTest, AdjacentIdsScatter) {
+  const auto map = PartitionMap::Parse("a:1,b:2,c:3,d:4");
+  ASSERT_TRUE(map.ok());
+  // Sequential ids must not all land on one partition (a modulo without
+  // mixing would stripe them 0,1,2,3,0,...; a broken mix would clump).
+  std::size_t same_as_previous = 0;
+  for (RecordId id = 1; id < 256; ++id) {
+    if (map->OwnerOf(id) == map->OwnerOf(id - 1)) ++same_as_previous;
+  }
+  EXPECT_GT(same_as_previous, 20u);   // ~64 expected for 4 partitions
+  EXPECT_LT(same_as_previous, 130u);  // not striped, not clumped
+}
+
+}  // namespace
+}  // namespace topkmon

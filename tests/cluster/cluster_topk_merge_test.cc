@@ -1,0 +1,99 @@
+// MergeTopK: the scatter-gather k-merge against a sort-everything oracle.
+
+#include "cluster/topk_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+std::vector<ResultEntry> Oracle(
+    const std::vector<std::vector<ResultEntry>>& lists, int k) {
+  std::vector<ResultEntry> all;
+  for (const auto& l : lists) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end(), ResultOrder);
+  if (static_cast<int>(all.size()) > k) {
+    all.resize(static_cast<std::size_t>(k));
+  }
+  return all;
+}
+
+TEST(ClusterTopKMergeTest, NamespacedIdsAreUniqueAndReversible) {
+  std::set<RecordId> seen;
+  for (RecordId local = 0; local < 100; ++local) {
+    for (std::size_t p = 0; p < 5; ++p) {
+      const RecordId global = NamespaceRecordId(local, p, 5);
+      EXPECT_TRUE(seen.insert(global).second)
+          << "collision at local " << local << " partition " << p;
+      EXPECT_EQ(global % 5, p);
+      EXPECT_EQ(global / 5, local);
+    }
+  }
+}
+
+TEST(ClusterTopKMergeTest, HandlesEmptyInputsAndNonPositiveK) {
+  EXPECT_TRUE(MergeTopK({}, 5).empty());
+  EXPECT_TRUE(MergeTopK({{}, {}}, 5).empty());
+  EXPECT_TRUE(MergeTopK({{ResultEntry{1, 1.0}}}, 0).empty());
+  EXPECT_TRUE(MergeTopK({{ResultEntry{1, 1.0}}}, -3).empty());
+}
+
+TEST(ClusterTopKMergeTest, PicksTheGlobalBestAcrossLists) {
+  const std::vector<std::vector<ResultEntry>> lists = {
+      {{10, 0.9}, {13, 0.5}, {16, 0.1}},
+      {{11, 0.8}, {14, 0.7}},
+      {},
+      {{12, 0.6}},
+  };
+  const auto merged = MergeTopK(lists, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 10u);
+  EXPECT_EQ(merged[1].id, 11u);
+  EXPECT_EQ(merged[2].id, 14u);
+  EXPECT_EQ(merged[3].id, 12u);
+}
+
+TEST(ClusterTopKMergeTest, ShortInputsReturnEverything) {
+  const auto merged =
+      MergeTopK({{{1, 0.3}}, {{2, 0.4}}}, 10);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].id, 2u);
+  EXPECT_EQ(merged[1].id, 1u);
+}
+
+TEST(ClusterTopKMergeTest, TiesFollowResultOrder) {
+  // Equal scores rank by descending id — the same rule every engine
+  // applies, so the merged view is deterministic.
+  const auto merged = MergeTopK({{{5, 1.0}}, {{9, 1.0}}, {{7, 1.0}}}, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 9u);
+  EXPECT_EQ(merged[1].id, 7u);
+  EXPECT_EQ(merged[2].id, 5u);
+}
+
+TEST(ClusterTopKMergeTest, AgreesWithTheOracleOnRandomInputs) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> score(0.0, 1.0);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t partitions = 1 + rng() % 6;
+    std::vector<std::vector<ResultEntry>> lists(partitions);
+    RecordId next_id = 0;
+    for (auto& l : lists) {
+      const std::size_t n = rng() % 8;
+      for (std::size_t i = 0; i < n; ++i) {
+        l.push_back(ResultEntry{next_id++, score(rng)});
+      }
+      std::sort(l.begin(), l.end(), ResultOrder);
+    }
+    const int k = static_cast<int>(rng() % 10);
+    EXPECT_EQ(MergeTopK(lists, k), Oracle(lists, k)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -168,9 +168,29 @@ TEST(JournalFormatTest, SegmentFileNamesRoundtrip) {
   EXPECT_FALSE(ParseSegmentFileName("segment-000000000042.wal.bak", &index));
 }
 
-TEST(JournalFormatTest, FormatVersionIsOne) {
-  // docs/JOURNAL_FORMAT.md documents version 1; CI cross-checks the two.
-  EXPECT_EQ(kJournalFormatVersion, 1u);
+TEST(JournalFormatTest, FormatVersionIsTwo) {
+  // docs/JOURNAL_FORMAT.md documents version 2; CI cross-checks the two.
+  EXPECT_EQ(kJournalFormatVersion, 2u);
+}
+
+TEST(JournalFormatTest, VersionOneSegmentsRemainReadable) {
+  // v1 encodings are a strict subset of v2 (v2 only added the piecewise
+  // scoring-function tag), so a v1 header must still be accepted while
+  // future versions and version 0 are refused.
+  std::string header;
+  EncodeSegmentHeader(&header);
+  ASSERT_EQ(header.size(), kSegmentHeaderBytes);
+  std::string v1 = header;
+  v1[8] = 1;  // version:u32 little-endian at offset 8
+  EXPECT_TRUE(DecodeSegmentHeader(v1.data(), v1.size()).ok());
+  std::string v0 = header;
+  v0[8] = 0;
+  EXPECT_EQ(DecodeSegmentHeader(v0.data(), v0.size()).code(),
+            StatusCode::kUnimplemented);
+  std::string v9 = header;
+  v9[8] = 9;
+  EXPECT_EQ(DecodeSegmentHeader(v9.data(), v9.size()).code(),
+            StatusCode::kUnimplemented);
 }
 
 }  // namespace

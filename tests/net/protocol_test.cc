@@ -47,12 +47,18 @@ TEST(NetProtocolTest, HelloAndWelcomeRoundTrip) {
   EXPECT_EQ(hello.label, "dashboard-7");
 
   body.clear();
-  EncodeWelcome(42, true, /*role=*/1, &body);
+  EncodeWelcome(42, true, /*role=*/1, /*server_tag=*/7, &body);
   NetMessage welcome = RoundTrip(body);
   EXPECT_EQ(welcome.type, NetMessageType::kWelcome);
   EXPECT_EQ(welcome.session, 42u);
   EXPECT_TRUE(welcome.resumed);
   EXPECT_EQ(welcome.role, 1);
+  EXPECT_EQ(welcome.server_tag, 7u);
+
+  // An untagged (standalone) server answers with the sentinel.
+  body.clear();
+  EncodeWelcome(43, false, /*role=*/0, kNoServerTag, &body);
+  EXPECT_EQ(RoundTrip(body).server_tag, kNoServerTag);
 }
 
 TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
@@ -147,13 +153,14 @@ TEST(NetProtocolTest, SnapshotAndDeltasRoundTrip) {
   events[1].delta.when = 1235;
   events[1].delta.removed = {{7, 0.9}, {8, 0.1}};
   body.clear();
-  EncodeDeltas(events, &body);
+  EncodeDeltas(events, /*as_of=*/1235, &body);
   NetMessage deltas = RoundTrip(body);
   ASSERT_EQ(deltas.events.size(), 2u);
   EXPECT_EQ(deltas.events[0].seq, 5u);
   EXPECT_EQ(deltas.events[0].delta.added.size(), 1u);
   EXPECT_EQ(deltas.events[1].delta.removed[1].id, 8u);
   EXPECT_EQ(deltas.events[1].delta.when, 1235);
+  EXPECT_EQ(deltas.as_of, 1235);
 }
 
 TEST(NetProtocolTest, PollCloseAndErrorRoundTrip) {
@@ -180,7 +187,8 @@ TEST(NetProtocolTest, StatusCodesSurviveTheWire) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kResourceExhausted,
+        StatusCode::kUnavailable}) {
     EXPECT_EQ(NetDecodeStatusCode(NetEncodeStatusCode(code)), code);
   }
   EXPECT_EQ(NetDecodeStatusCode(255), StatusCode::kInternal);
@@ -272,7 +280,7 @@ TEST(NetProtocolTest, TruncatedBodiesDecodeToCleanErrors) {
     std::vector<DeltaEvent> events(1);
     events[0].seq = 1;
     events[0].delta.added = {{1, 0.5}};
-    EncodeDeltas(events, &bodies.back());
+    EncodeDeltas(events, /*as_of=*/99, &bodies.back());
   }
   for (const std::string& body : bodies) {
     for (std::size_t n = 1; n < body.size(); ++n) {
@@ -302,6 +310,7 @@ TEST(NetProtocolTest, LyingCountsCannotDriveAllocations) {
   // A deltas body promising 100M events.
   body.clear();
   body.push_back(static_cast<char>(NetMessageType::kDeltas));
+  body.append(8, '\0');  // as_of (v4)
   const std::uint32_t count = 100000000;
   for (int i = 0; i < 4; ++i) {
     body.push_back(static_cast<char>(count >> (8 * i)));

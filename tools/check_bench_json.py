@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable bench output (run by the CI bench-smoke
+job).
+
+Every benchmark that emits a BENCH_<name>.json (via the harness's
+BenchResultWriter) must produce a file this script accepts:
+
+  {
+    "name":   "<slug>",          matches the file name BENCH_<slug>.json
+    "scale":  "smoke|default|paper",
+    "config": { "<key>": <number or string>, ... },
+    "rows": [
+      { "label":   "<non-empty>",
+        "metrics": { "<key>": <finite number>, ... },   at least one
+        "tags":    { "<key>": "<string>", ... } },      optional
+      ...                                               at least one row
+    ]
+  }
+
+Non-finite metrics are serialized as JSON null by the writer and
+rejected here: a bench whose measurement went wrong (0/0 throughput,
+an empty latency vector feeding a percentile, ...) fails CI instead of
+committing garbage to bench/results/.
+
+Usage: check_bench_json.py FILE.json [FILE.json ...]
+Exits non-zero if any file is malformed; prints one line per problem.
+"""
+
+import json
+import math
+import os
+import re
+import sys
+
+SLUG_RE = re.compile(r"^[A-Za-z0-9_]+$")
+SCALES = {"smoke", "default", "paper"}
+
+
+def fail(path, message, problems):
+    problems.append(f"{path}: {message}")
+
+
+def check_metrics(path, label, metrics, problems):
+    if not isinstance(metrics, dict) or not metrics:
+        fail(path, f"row '{label}': 'metrics' must be a non-empty object",
+             problems)
+        return
+    for key, value in metrics.items():
+        if not isinstance(key, str) or not key:
+            fail(path, f"row '{label}': metric keys must be non-empty "
+                 "strings", problems)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail(path, f"row '{label}': metric '{key}' is not a number "
+                 f"(got {value!r})", problems)
+        elif not math.isfinite(value):
+            fail(path, f"row '{label}': metric '{key}' is not finite",
+                 problems)
+
+
+def check_file(path, problems):
+    base = os.path.basename(path)
+    match = re.fullmatch(r"BENCH_([A-Za-z0-9_]+)\.json", base)
+    if match is None:
+        fail(path, "file name must be BENCH_<slug>.json", problems)
+        return
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(path, f"unreadable or invalid JSON: {err}", problems)
+        return
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object", problems)
+        return
+
+    name = doc.get("name")
+    if not isinstance(name, str) or not SLUG_RE.fullmatch(name or ""):
+        fail(path, f"'name' must be a [A-Za-z0-9_]+ slug (got {name!r})",
+             problems)
+    elif name != match.group(1):
+        fail(path, f"'name' ({name}) does not match the file name", problems)
+
+    scale = doc.get("scale")
+    if scale not in SCALES:
+        fail(path, f"'scale' must be one of {sorted(SCALES)} "
+             f"(got {scale!r})", problems)
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(path, "'config' must be an object", problems)
+    else:
+        for key, value in config.items():
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float, str)):
+                fail(path, f"config '{key}' must be a number or string",
+                     problems)
+            elif isinstance(value, (int, float)) and not math.isfinite(value):
+                fail(path, f"config '{key}' is not finite", problems)
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(path, "'rows' must be a non-empty array", problems)
+        return
+    labels = set()
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(path, f"row {i} must be an object", problems)
+            continue
+        label = row.get("label")
+        if not isinstance(label, str) or not label:
+            fail(path, f"row {i}: 'label' must be a non-empty string",
+                 problems)
+            label = f"<row {i}>"
+        elif label in labels:
+            fail(path, f"duplicate row label '{label}'", problems)
+        labels.add(label)
+        check_metrics(path, label, row.get("metrics"), problems)
+        tags = row.get("tags", {})
+        if not isinstance(tags, dict) or any(
+                not isinstance(v, str) for v in tags.values()):
+            fail(path, f"row '{label}': 'tags' must map strings to strings",
+                 problems)
+        unknown = set(row) - {"label", "metrics", "tags"}
+        if unknown:
+            fail(path, f"row '{label}': unknown keys {sorted(unknown)}",
+                 problems)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py FILE.json [FILE.json ...]",
+              file=sys.stderr)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        check_file(path, problems)
+    for problem in problems:
+        print(f"BENCH JSON ERROR: {problem}")
+    if problems:
+        print(f"{len(problems)} problem(s) in {len(argv) - 1} file(s)")
+        return 1
+    print(f"bench json OK: {len(argv) - 1} file(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -159,14 +159,21 @@ def main():
         HEADER_VERSION_RE, "kJournalFormatVersion",
         "docs/OPERATIONS.md", DOC_VERSION_RE,
         "**Format version:** N")
+    # The cluster tier builds on v4 wire features (Deltas as_of, Welcome
+    # server_tag, UNAVAILABLE); its spec pins the same protocol version.
+    errors += check_version_lockstep(
+        "cluster spec (protocol)", "src/net/protocol.h",
+        NET_HEADER_VERSION_RE, "kNetProtocolVersion",
+        "docs/CLUSTER.md", NET_DOC_VERSION_RE,
+        "**Protocol version:** N")
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
         return 1
     print("docs check passed (links and intra-doc anchors resolve; "
-          "journal format, network protocol, replication and operations "
-          "versions in lockstep)")
+          "journal format, network protocol, replication, operations "
+          "and cluster versions in lockstep)")
     return 0
 
 
