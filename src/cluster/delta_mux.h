@@ -13,9 +13,10 @@
 //   2. The progress frontier comes from the Deltas as_of field
 //      (protocol v4), which the server samples BEFORE draining the
 //      session buffer: every event at when < as_of is either in that
-//      answer or was delivered earlier. When an answer was possibly
-//      truncated by the poll's max_events, the frontier only advances to
-//      the last delivered event's timestamp instead.
+//      answer or was delivered earlier. When the server flagged the
+//      answer truncated (cut at the poll's effective cap with events
+//      still buffered), the frontier only advances to the last
+//      delivered event's timestamp instead.
 //   3. The merge frontier is min over partitions of the progress
 //      frontier. Every buffered timestamp strictly below it is complete
 //      across ALL partitions; those groups are applied in timestamp
@@ -70,8 +71,9 @@ class DeltaMultiplexer {
   /// ids (the router translates before calling; events for unknown ids
   /// are skipped — an unregister may race buffered history) and
   /// PARTITION-LOCAL record ids (namespacing happens here). `as_of` is
-  /// the answer's v4 frontier; `maybe_truncated` is true when the
-  /// answer hit the poll's max_events, in which case only the delivered
+  /// the answer's v4 frontier; `maybe_truncated` is the answer's v4
+  /// truncated flag (events remained buffered server-side), in which
+  /// case only the delivered
   /// events' timestamps advance the frontier. Returns Internal on a
   /// per-partition sequence gap (dropped events — the subscription
   /// buffer overflowed server-side).

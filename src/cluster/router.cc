@@ -175,8 +175,14 @@ Status ClusterRouter::RegisterEverywhere(const QuerySpec& spec,
   locals->clear();
   auto rollback = [&]() {
     for (std::size_t q = 0; q < locals->size(); ++q) {
-      if (clients_[q] && clients_[q]->connected()) {
-        (void)clients_[q]->Unregister((*locals)[q]);
+      if (!clients_[q] || !clients_[q]->connected()) continue;
+      const Status st = clients_[q]->Unregister((*locals)[q]);
+      // A transport failure here orphans the registration server-side
+      // (see the Register contract in router.h); what must not happen
+      // is the router keeping a client it can no longer trust — mark
+      // the partition down like any other mid-call failure.
+      if (!st.ok() && !clients_[q]->connected()) {
+        (void)MarkDown(q, st);
       }
     }
     locals->clear();
@@ -290,11 +296,6 @@ Result<std::vector<ResultEntry>> ClusterRouter::CurrentResult(
 Result<std::vector<DeltaEvent>> ClusterRouter::PollDeltas(
     std::uint32_t max_events_per_partition,
     std::chrono::milliseconds timeout) {
-  if (max_events_per_partition == 0) {
-    return Status::InvalidArgument(
-        "the router needs an explicit per-partition event cap to detect "
-        "truncated answers");
-  }
   bool first_live = true;
   for (std::size_t p = 0; p < map_.partitions(); ++p) {
     if (!clients_[p]) continue;  // frontier stalls at its last answer
@@ -319,10 +320,12 @@ Result<std::vector<DeltaEvent>> ClusterRouter::PollDeltas(
       auto g = local_to_global_[p].find(event.delta.query);
       event.delta.query = g == local_to_global_[p].end() ? 0 : g->second;
     }
-    const bool maybe_truncated =
-        translated.size() >= max_events_per_partition;
-    TOPKMON_RETURN_IF_ERROR(mux_.OnPartitionEvents(
-        p, translated, clients_[p]->deltas_as_of(), maybe_truncated));
+    // The server reports truncation explicitly (v4), so this stays
+    // honest even when the binding cap was the server's own
+    // max_poll_events clamp rather than max_events_per_partition.
+    TOPKMON_RETURN_IF_ERROR(
+        mux_.OnPartitionEvents(p, translated, clients_[p]->deltas_as_of(),
+                               clients_[p]->deltas_truncated()));
   }
   std::vector<DeltaEvent> merged;
   mux_.Drain(&merged);

@@ -93,7 +93,12 @@ class ClusterRouter {
 
   /// Registers `spec` on EVERY partition and returns the router-assigned
   /// global query id. All-or-nothing: a refusal or dead partition rolls
-  /// back the partial registration and nothing is tracked.
+  /// back the partial registration and nothing is tracked. A partition
+  /// whose rollback Unregister itself fails in transport is marked down
+  /// (so the connection state stays honest), and its registration may
+  /// linger server-side until the session is closed or resumed — the
+  /// router never reuses a local id it did not track, so a leaked
+  /// registration only consumes a server-side query slot.
   Result<QueryId> Register(const QuerySpec& spec);
 
   /// Batched scatter registration; outcomes are per spec, each
@@ -112,8 +117,11 @@ class ClusterRouter {
   Timestamp snapshot_as_of() const { return snapshot_as_of_; }
   Timestamp snapshot_stale_by() const { return snapshot_stale_by_; }
 
-  /// Polls every live partition (each up to `max_events_per_partition`,
-  /// waiting up to `timeout` on the FIRST live partition only — later
+  /// Polls every live partition (each up to `max_events_per_partition`;
+  /// 0 lets each server pick its own cap — truncation is reported by
+  /// the server either way, so the merge frontier stays honest no
+  /// matter which cap binds — waiting up to `timeout` on the FIRST live
+  /// partition only — later
   /// ones poll non-blocking-ish with a zero timeout so one quiet
   /// partition cannot stall the others' freshness), feeds the merged
   /// stream, and returns the events that became final. Dead partitions

@@ -224,14 +224,23 @@ Status GetCoefficients(ByteReader& in, int dim, std::vector<double>* out) {
   return Status::Ok();
 }
 
-}  // namespace
-
-Status GetFunction(ByteReader& in,
-                   std::shared_ptr<const ScoringFunction>* out) {
+/// `allow_piecewise` is false for the inner slots of a piecewise payload:
+/// the family tag is rejected BEFORE any recursive parse, so hostile
+/// bytes can nest at most one level deep no matter what follows the tag
+/// (a post-parse check would let a piecewise-in-piecewise chain recurse
+/// once per ~21 input bytes and overflow the stack on a 16MB frame).
+Status GetFunctionImpl(ByteReader& in,
+                       std::shared_ptr<const ScoringFunction>* out,
+                       bool allow_piecewise) {
   const std::uint8_t family = in.GetU8();
   const int dim = in.GetU8();
   if (!in.ok() || dim < 1 || dim > kMaxDims) {
     return Status::InvalidArgument("malformed scoring function header");
+  }
+  if (family == kFnPiecewise && !allow_piecewise) {
+    // Also a dialect violation: the encoder never emits a nested
+    // piecewise function.
+    return Status::InvalidArgument("nested piecewise function");
   }
   std::vector<double> coeffs;
   switch (family) {
@@ -271,13 +280,8 @@ Status GetFunction(ByteReader& in,
           }
         }
         std::shared_ptr<const ScoringFunction> inner;
-        TOPKMON_RETURN_IF_ERROR(GetFunction(in, &inner));
-        // A nested piecewise tag in the inner slot is a dialect
-        // violation (the encoder never emits one); refusing it here
-        // also bounds the recursion depth against hostile bytes.
-        if (dynamic_cast<const PiecewiseFunction*>(inner.get()) != nullptr) {
-          return Status::InvalidArgument("nested piecewise function");
-        }
+        TOPKMON_RETURN_IF_ERROR(
+            GetFunctionImpl(in, &inner, /*allow_piecewise=*/false));
         pieces.push_back(MonotonePiece{Rect(lo, hi), std::move(inner)});
       }
       auto built = PiecewiseFunction::Create(std::move(pieces));
@@ -292,6 +296,13 @@ Status GetFunction(ByteReader& in,
       return Status::InvalidArgument("unknown scoring-function family tag " +
                                      std::to_string(family));
   }
+}
+
+}  // namespace
+
+Status GetFunction(ByteReader& in,
+                   std::shared_ptr<const ScoringFunction>* out) {
+  return GetFunctionImpl(in, out, /*allow_piecewise=*/true);
 }
 
 Status GetQuerySpec(ByteReader& in, QuerySpec* out) {

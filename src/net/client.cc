@@ -291,6 +291,7 @@ Result<std::vector<DeltaEvent>> MonitorClient::PollDeltas(
   auto deltas = RoundTrip(body, NetMessageType::kDeltas, timeout);
   if (!deltas.ok()) return deltas.status();
   deltas_as_of_ = deltas->as_of;
+  deltas_truncated_ = deltas->truncated;
   for (const DeltaEvent& e : deltas->events) {
     last_seq_ = std::max(last_seq_, e.seq);
   }

@@ -149,9 +149,15 @@ class MonitorClient {
   /// The as_of frontier of the last Deltas answer (v4): the server
   /// engine's applied-cycle timestamp sampled before that answer's
   /// events were drained, i.e. every event at or before this timestamp
-  /// has now been delivered to this session (barring truncation by
-  /// max_events — see DeltaMultiplexer for the truncation rule).
+  /// has now been delivered to this session — unless that answer was
+  /// truncated (below; see DeltaMultiplexer for the truncation rule).
   Timestamp deltas_as_of() const { return deltas_as_of_; }
+
+  /// True when the last Deltas answer was cut at the poll's effective
+  /// cap with events still buffered server-side (v4 truncated flag —
+  /// the server reports this, so it holds even when the server's own
+  /// max_poll_events clamp was the binding cap).
+  bool deltas_truncated() const { return deltas_truncated_; }
 
   /// The queue_hint of the most recent IngestAck — the server's standing
   /// backpressure signal for pacing loops that batch fire-and-forget.
@@ -184,6 +190,7 @@ class MonitorClient {
   std::uint32_t server_tag_ = kNoServerTag;
   std::uint64_t last_seq_ = 0;
   Timestamp deltas_as_of_ = 0;
+  bool deltas_truncated_ = false;
   std::uint8_t last_ingest_hint_ = 0;
   Timestamp snapshot_as_of_ = 0;
   Timestamp snapshot_stale_by_ = 0;

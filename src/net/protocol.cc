@@ -159,9 +159,10 @@ void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
 }
 
 void EncodeDeltas(const std::vector<DeltaEvent>& events, Timestamp as_of,
-                  std::string* out) {
+                  bool truncated, std::string* out) {
   PutType(NetMessageType::kDeltas, out);
   wire::PutI64(as_of, out);
+  wire::PutU8(truncated ? 1 : 0, out);
   wire::PutU32(static_cast<std::uint32_t>(events.size()), out);
   for (const DeltaEvent& e : events) {
     wire::PutU64(e.seq, out);
@@ -332,6 +333,11 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
     case NetMessageType::kDeltas: {
       out->type = NetMessageType::kDeltas;
       out->as_of = in.GetI64();
+      const std::uint8_t truncated = in.GetU8();
+      if (!in.ok() || truncated > 1) {
+        return Status::InvalidArgument("bad deltas truncated flag");
+      }
+      out->truncated = truncated == 1;
       const std::uint32_t count = in.GetU32();
       // An event is at least seq + query + when + two empty entry lists.
       if (!in.ok() || count > in.remaining() / 28) {

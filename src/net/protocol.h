@@ -65,10 +65,13 @@ inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
 /// v4 (the cluster tier, docs/CLUSTER.md): Welcome carries a trailing
 /// server_tag (the operator-assigned partition index, kNoServerTag when
 /// unset) so a router can verify it dialed the partition it meant;
-/// Deltas carries a trailing as_of timestamp — the answering engine's
+/// Deltas carries a leading as_of timestamp — the answering engine's
 /// applied-cycle frontier sampled BEFORE the delta buffer was drained —
-/// which is what lets a delta multiplexer merge N per-partition streams
-/// without gaps; the UNAVAILABLE status code (wire value 9) was added
+/// plus a truncated flag (events remained buffered after the answer was
+/// cut at the poll's cap), which together are what let a delta
+/// multiplexer merge N per-partition streams without gaps without
+/// guessing the server's cap; the UNAVAILABLE status code (wire value
+/// 9) was added
 /// for requests routed to an unreachable partition; and the piecewise
 /// scoring-function family (wire tag 4) became encodable in
 /// Register/RegisterBatch specs.
@@ -188,6 +191,10 @@ struct NetMessage {
 
   // kDeltas
   std::vector<DeltaEvent> events;
+  /// v4: the answer was cut at the poll's effective cap with events
+  /// still buffered server-side — the frontier must not advance past
+  /// the last delivered event (see DeltaMultiplexer).
+  bool truncated = false;
 
   // kClose
   bool close_session = false;
@@ -249,8 +256,10 @@ void EncodePoll(std::uint32_t max_events, std::uint32_t timeout_ms,
 /// `as_of` must be sampled from the answering engine BEFORE the events
 /// were drained from the subscription buffer (see the NetMessage field
 /// comment — the ordering is what makes the frontier trustworthy).
+/// `truncated` must be true when events remained buffered after the
+/// drain (the answer hit the poll's effective cap).
 void EncodeDeltas(const std::vector<DeltaEvent>& events, Timestamp as_of,
-                  std::string* out);
+                  bool truncated, std::string* out);
 void EncodeClose(bool close_session, std::string* out);
 void EncodeCloseAck(std::string* out);
 void EncodeError(const Status& status, std::string* out);

@@ -584,8 +584,14 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
       std::vector<DeltaEvent> events;
       service_.PollDeltas(conn.session, max, &events);
       if (!events.empty() || msg.timeout_ms == 0) {
+        // Sampled after the drain: anything still buffered is an event
+        // this answer could not carry, so the client's frontier must
+        // not run ahead of the delivered tail. (Events arriving between
+        // the drain and this probe flag a spurious truncation, which
+        // only delays a multiplexer's merge by one poll — safe.)
+        const bool truncated = service_.PendingDeltas(conn.session) > 0;
         std::string body;
-        EncodeDeltas(events, as_of, &body);
+        EncodeDeltas(events, as_of, truncated, &body);
         SendBody(conn, body);
         return;
       }
@@ -860,8 +866,11 @@ void TcpServer::AnswerPoll(Connection& conn) {
     EvictConnection(conn);
     return;
   }
+  // Post-drain probe — see the kPoll immediate path for why a spurious
+  // true (a racing publish) is safe.
+  const bool truncated = service_.PendingDeltas(conn.session) > 0;
   std::string body;
-  EncodeDeltas(events, as_of, &body);
+  EncodeDeltas(events, as_of, truncated, &body);
   SendBody(conn, body);
 }
 

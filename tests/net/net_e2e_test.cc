@@ -287,6 +287,65 @@ TEST(NetEndToEndTest, ResumeEvictsAStaleParkedPollButNotProducers) {
   service.Shutdown();
 }
 
+// The v4 truncated flag must be server-reported truth, not a client
+// guess: when the server's own max_poll_events clamp — which the client
+// cannot see — is the binding cap, a cut answer still says so, and the
+// flag clears once the buffer drains.
+TEST(NetEndToEndTest, TruncatedPollsReportTheServerSideFlag) {
+  ServiceOptions opt;
+  opt.ingest.slack = 0;
+  opt.drain_wait = std::chrono::milliseconds(1);
+  MonitorService service(
+      std::make_unique<BruteForceEngine>(kDim, WindowSpec::Count(100)),
+      opt);
+  NetServerOptions server_opt = testing::TestServerOptions();
+  server_opt.max_poll_events = 1;  // the server clamp, invisible on the wire
+  TcpServer server(service, server_opt);
+  TOPKMON_ASSERT_OK(server.Start());
+
+  auto client = MonitorClient::Connect("127.0.0.1", server.port(), "sub",
+                                       /*resume=*/false);
+  ASSERT_TRUE(client.ok()) << client.status();
+  QuerySpec spec;
+  spec.k = 2;
+  spec.function =
+      std::make_shared<LinearFunction>(std::vector<double>{1.0, 1.0}, 0.0);
+  const auto query = (*client)->Register(spec);
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  // Four single-record cycles, each shifting the top-2: four buffered
+  // delta events for the session.
+  for (Timestamp ts = 1; ts <= 4; ++ts) {
+    std::vector<Record> batch;
+    const double coord = 0.2 * static_cast<double>(ts);
+    batch.emplace_back(0, Point{coord, coord}, ts);
+    const auto ack = (*client)->Ingest(std::move(batch));
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    TOPKMON_ASSERT_OK(service.Flush());
+  }
+
+  // The client asks for 512; the server clamps at 1 and must confess
+  // the cut. Draining polls stay truncated until the buffer empties.
+  std::size_t total = 0;
+  bool saw_truncated = false;
+  for (int i = 0; i < 16; ++i) {
+    const auto events =
+        (*client)->PollDeltas(512, std::chrono::milliseconds(0));
+    ASSERT_TRUE(events.ok()) << events.status();
+    if (events->empty()) break;
+    EXPECT_LE(events->size(), 1u);
+    total += events->size();
+    if ((*client)->deltas_truncated()) saw_truncated = true;
+  }
+  EXPECT_GE(total, 2u);
+  EXPECT_TRUE(saw_truncated)
+      << "a poll cut at the server's clamp never reported truncation";
+  // The final (empty) answer proved the stream drained.
+  EXPECT_FALSE((*client)->deltas_truncated());
+  server.Stop();
+  service.Shutdown();
+}
+
 TEST(NetEndToEndTest, CloseSessionReleasesQueriesAndForgetsTheLabel) {
   MonitorService service(
       std::make_unique<BruteForceEngine>(kDim, WindowSpec::Count(100)),

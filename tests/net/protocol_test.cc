@@ -153,7 +153,7 @@ TEST(NetProtocolTest, SnapshotAndDeltasRoundTrip) {
   events[1].delta.when = 1235;
   events[1].delta.removed = {{7, 0.9}, {8, 0.1}};
   body.clear();
-  EncodeDeltas(events, /*as_of=*/1235, &body);
+  EncodeDeltas(events, /*as_of=*/1235, /*truncated=*/false, &body);
   NetMessage deltas = RoundTrip(body);
   ASSERT_EQ(deltas.events.size(), 2u);
   EXPECT_EQ(deltas.events[0].seq, 5u);
@@ -161,6 +161,16 @@ TEST(NetProtocolTest, SnapshotAndDeltasRoundTrip) {
   EXPECT_EQ(deltas.events[1].delta.removed[1].id, 8u);
   EXPECT_EQ(deltas.events[1].delta.when, 1235);
   EXPECT_EQ(deltas.as_of, 1235);
+  EXPECT_FALSE(deltas.truncated);
+
+  // The v4 truncated flag survives the wire; values past 1 are a
+  // dialect violation, not silently truthy.
+  body.clear();
+  EncodeDeltas(events, /*as_of=*/1235, /*truncated=*/true, &body);
+  EXPECT_TRUE(RoundTrip(body).truncated);
+  body[1 + 8] = 2;  // the flag byte follows the type byte and as_of
+  NetMessage bad;
+  EXPECT_FALSE(DecodeNetBody(body.data(), body.size(), &bad).ok());
 }
 
 TEST(NetProtocolTest, PollCloseAndErrorRoundTrip) {
@@ -280,7 +290,7 @@ TEST(NetProtocolTest, TruncatedBodiesDecodeToCleanErrors) {
     std::vector<DeltaEvent> events(1);
     events[0].seq = 1;
     events[0].delta.added = {{1, 0.5}};
-    EncodeDeltas(events, /*as_of=*/99, &bodies.back());
+    EncodeDeltas(events, /*as_of=*/99, /*truncated=*/false, &bodies.back());
   }
   for (const std::string& body : bodies) {
     for (std::size_t n = 1; n < body.size(); ++n) {
@@ -311,12 +321,41 @@ TEST(NetProtocolTest, LyingCountsCannotDriveAllocations) {
   body.clear();
   body.push_back(static_cast<char>(NetMessageType::kDeltas));
   body.append(8, '\0');  // as_of (v4)
+  body.push_back(0);     // truncated flag (v4)
   const std::uint32_t count = 100000000;
   for (int i = 0; i < 4; ++i) {
     body.push_back(static_cast<char>(count >> (8 * i)));
   }
   body.append(8, '\0');
   EXPECT_FALSE(DecodeNetBody(body.data(), body.size(), &msg).ok());
+}
+
+TEST(NetProtocolTest, DeeplyNestedPiecewiseCannotOverflowTheStack) {
+  // A Register body whose scoring function nests piecewise-inside-
+  // piecewise ~200k levels deep (~21 bytes per level, well under the
+  // 16 MiB frame cap). The decoder must reject the nested family tag
+  // BEFORE recursing into it — a post-parse check would recurse once
+  // per level and smash the stack long before the first rejection.
+  std::string body;
+  body.push_back(static_cast<char>(NetMessageType::kRegister));
+  body.append(4, '\0');  // spec id
+  body.append(4, '\0');  // k
+  const auto put_f64 = [&](double) { body.append(8, '\0'); };
+  for (int level = 0; level < 200000; ++level) {
+    body.push_back(4);  // family: piecewise
+    body.push_back(1);  // dim
+    body.push_back(1);  // piece count
+    body.push_back(1);  // lo point dim
+    put_f64(0.0);
+    body.push_back(1);  // hi point dim
+    put_f64(1.0);
+    // ... followed by the piece's inner function: the next level.
+  }
+  NetMessage msg;
+  const Status st = DecodeNetBody(body.data(), body.size(), &msg);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("nested piecewise"), std::string::npos) << st;
 }
 
 }  // namespace
