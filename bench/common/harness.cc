@@ -11,6 +11,7 @@
 #include "core/sma_engine.h"
 #include "core/tma_engine.h"
 #include "tsl/tsl_engine.h"
+#include "util/stats.h"
 
 namespace topkmon {
 namespace bench {
@@ -283,6 +284,100 @@ double Percentile(std::vector<double>& samples, double p) {
       static_cast<std::size_t>(p * static_cast<double>(samples.size())));
   std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
   return samples[idx];
+}
+
+void PrintWorkloadRegistry() {
+  std::printf("registered workloads (--workload=<name>):\n");
+  WorkloadOptions probe;
+  for (const WorkloadInfo& info : ListWorkloads()) {
+    std::printf("  %-18s %s\n", info.name.c_str(),
+                info.description.c_str());
+    const auto workload = MakeWorkload(info.name, probe);
+    if (!workload.ok()) continue;
+    for (const WorkloadParam& p : (*workload)->Params()) {
+      std::printf("    --workload-param=%s=<v>  %s (default %g)\n",
+                  p.name.c_str(), p.description.c_str(), p.value);
+    }
+  }
+}
+
+WorkloadSelection ParseWorkloadFlags(int argc, char** argv) {
+  WorkloadSelection sel;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workload=", 0) == 0) {
+      sel.name = arg.substr(std::strlen("--workload="));
+      if (sel.name == "list" || sel.name == "help") {
+        PrintWorkloadRegistry();
+        std::exit(0);
+      }
+      sel.requested = true;
+    } else if (arg.rfind("--workload-seed=", 0) == 0) {
+      sel.options.seed =
+          std::strtoull(arg.c_str() + std::strlen("--workload-seed="),
+                        nullptr, 10);
+    } else if (arg.rfind("--workload-param=", 0) == 0) {
+      const std::string kv = arg.substr(std::strlen("--workload-param="));
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "bad --workload-param '%s' (want key=value)\n",
+                     kv.c_str());
+        std::exit(2);
+      }
+      sel.options.params[kv.substr(0, eq)] =
+          std::strtod(kv.c_str() + eq + 1, nullptr);
+    }
+  }
+  if (sel.requested) {
+    // Validate the selection eagerly so a typo fails before the bench
+    // spends minutes on its baseline sweep.
+    const auto workload = MakeWorkload(sel.name, sel.options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
+  return sel;
+}
+
+NamedWorkloadRun RunNamedWorkload(MonitorEngine& engine,
+                                  const std::string& name,
+                                  const WorkloadOptions& options,
+                                  std::size_t cycles) {
+  auto workload = MakeWorkload(name, options);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "bench workload '%s' failed: %s\n", name.c_str(),
+                 workload.status().ToString().c_str());
+    std::abort();
+  }
+  NamedWorkloadRun run;
+  Stopwatch watch;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const WorkloadStep step = (*workload)->NextStep();
+    for (const QueryEvent& ev : step.query_events) {
+      Status st = ev.kind == QueryEvent::kRegister
+                      ? engine.RegisterQuery(ev.spec)
+                      : engine.UnregisterQuery(ev.id);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bench workload '%s' query event failed: %s\n",
+                     name.c_str(), st.ToString().c_str());
+        std::abort();
+      }
+      ++(ev.kind == QueryEvent::kRegister ? run.registers
+                                          : run.unregisters);
+    }
+    const Status st = engine.ProcessCycle(step.now, step.arrivals);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench workload '%s' cycle failed: %s\n",
+                   name.c_str(), st.ToString().c_str());
+      std::abort();
+    }
+    ++run.cycles;
+    run.records += step.arrivals.size();
+  }
+  run.seconds = watch.ElapsedSeconds();
+  return run;
 }
 
 }  // namespace bench

@@ -23,6 +23,7 @@
 #include "core/engine.h"
 #include "core/simulation.h"
 #include "util/table_printer.h"
+#include "workload/workload.h"
 
 namespace topkmon {
 namespace bench {
@@ -71,6 +72,43 @@ void PrintExpectation(const std::string& note);
 /// the vector. 0.0 on empty input. One definition shared by the
 /// latency benches so their percentiles stay comparable.
 double Percentile(std::vector<double>& samples, double p);
+
+/// A named-workload selection parsed from argv. Benches that can drive
+/// their engines from src/workload/ call ParseWorkloadFlags and, when
+/// `requested`, replay the named generator instead of (or alongside)
+/// the Table 1 stream.
+struct WorkloadSelection {
+  bool requested = false;  ///< a --workload=<name> flag was present
+  std::string name;
+  WorkloadOptions options;  ///< seed/k/mean_batch defaults + overrides
+};
+
+/// Parses `--workload=<name>`, `--workload-seed=<n>` and repeated
+/// `--workload-param=<key>=<value>` flags. `--workload=list` prints the
+/// registry with each workload's parameter listing and exits(0);
+/// malformed flags print a diagnostic and exit(2). Unrelated flags are
+/// ignored so benches can layer their own parsing on top.
+WorkloadSelection ParseWorkloadFlags(int argc, char** argv);
+
+/// Prints every registered workload name, description and parameters.
+void PrintWorkloadRegistry();
+
+/// Counters from replaying a named workload through an engine.
+struct NamedWorkloadRun {
+  double seconds = 0.0;      ///< wall time inside ProcessCycle + events
+  std::size_t cycles = 0;
+  std::size_t records = 0;
+  std::size_t registers = 0;
+  std::size_t unregisters = 0;
+};
+
+/// Drives `engine` through `cycles` steps of the named workload,
+/// applying its query register/unregister schedule in-stream. Aborts
+/// with a diagnostic on Status errors, like RunEngine.
+NamedWorkloadRun RunNamedWorkload(MonitorEngine& engine,
+                                  const std::string& name,
+                                  const WorkloadOptions& options,
+                                  std::size_t cycles);
 
 /// Machine-readable bench output alongside the human tables.
 ///

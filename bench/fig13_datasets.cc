@@ -18,7 +18,8 @@ namespace topkmon {
 namespace bench {
 namespace {
 
-void Summarize(Distribution dist, std::size_t n, TablePrinter* table) {
+void Summarize(Distribution dist, std::size_t n, TablePrinter* table,
+               BenchResultWriter* json) {
   auto gen = MakeGenerator(dist, 2, 13);
   double sx = 0, sy = 0, sxy = 0, sxx = 0, syy = 0;
   constexpr int kGrid = 16;
@@ -44,6 +45,11 @@ void Summarize(Distribution dist, std::size_t n, TablePrinter* table) {
   table->AddRow({DistributionName(dist), TablePrinter::Num(mx, 3),
                  TablePrinter::Num(my, 3), TablePrinter::Num(corr, 3),
                  TablePrinter::Num(mx + my, 3)});
+  BenchResultWriter::Row& row = json->AddRow(DistributionName(dist));
+  row.metrics["mean_x1"] = mx;
+  row.metrics["mean_x2"] = my;
+  row.metrics["corr"] = corr;
+  row.metrics["mean_sum"] = mx + my;
 
   std::printf("\n%s density (d=2, %zu points; darker = denser):\n",
               DistributionName(dist), n);
@@ -70,12 +76,15 @@ int Main() {
   base.dim = 2;
   PrintPreamble("Figure 13: dataset shapes",
                 "Figure 13 of Mouratidis et al., SIGMOD 2006", base);
+  BenchResultWriter json("fig13_datasets");
+  json.Config("points", static_cast<double>(n));
   TablePrinter table(
       {"dist", "mean_x1", "mean_x2", "corr(x1,x2)", "mean_sum"});
-  Summarize(Distribution::kIndependent, n, &table);
-  Summarize(Distribution::kAntiCorrelated, n, &table);
+  Summarize(Distribution::kIndependent, n, &table, &json);
+  Summarize(Distribution::kAntiCorrelated, n, &table, &json);
   std::printf("\n");
   table.Print(std::cout);
+  json.Write();
   PrintExpectation(
       "IND fills the unit square uniformly (corr ~ 0); ANT concentrates in "
       "a band around the anti-diagonal with strongly negative correlation "

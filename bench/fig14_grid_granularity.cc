@@ -25,6 +25,10 @@ int Main() {
                                         ? std::vector<int>{5, 9, 12, 15}
                                         : std::vector<int>{5, 6, 7, 8, 9, 10,
                                                            11, 12, 13, 14, 15};
+  BenchResultWriter json("fig14_grid_granularity");
+  json.Config("dim", static_cast<double>(spec.dim));
+  json.Config("window", static_cast<double>(spec.window_size));
+  json.Config("queries", static_cast<double>(spec.num_queries));
   TablePrinter table({"cells/axis", "total cells", "TMA time [s]",
                       "SMA time [s]", "TMA space [MiB]", "SMA space [MiB]"});
   for (int m : per_axis) {
@@ -38,8 +42,17 @@ int Main() {
                   TablePrinter::Num(sma.monitor_seconds, 4),
                   TablePrinter::Num(tma.memory.TotalMiB(), 4),
                   TablePrinter::Num(sma.memory.TotalMiB(), 4)});
+    BenchResultWriter::Row& row =
+        json.AddRow(std::to_string(m) + "^4");
+    row.metrics["cells_per_axis"] = static_cast<double>(m);
+    row.metrics["total_cells"] = static_cast<double>(budget);
+    row.metrics["tma_seconds"] = tma.monitor_seconds;
+    row.metrics["sma_seconds"] = sma.monitor_seconds;
+    row.metrics["tma_mib"] = tma.memory.TotalMiB();
+    row.metrics["sma_mib"] = sma.memory.TotalMiB();
   }
   table.Print(std::cout);
+  json.Write();
   PrintExpectation(
       "U-shaped running time with the minimum near 12^4 cells for both "
       "TMA and SMA; space grows with granularity (book-keeping), and SMA "

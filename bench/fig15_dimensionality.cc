@@ -20,6 +20,9 @@ int Main() {
   PrintPreamble("Figure 15: CPU time vs dimensionality",
                 "Figure 15(a)+(b) of Mouratidis et al., SIGMOD 2006", base);
 
+  BenchResultWriter json("fig15_dimensionality");
+  json.Config("window", static_cast<double>(base.window_size));
+  json.Config("queries", static_cast<double>(base.num_queries));
   for (Distribution dist :
        {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
     std::printf("--- %s ---\n", DistributionName(dist));
@@ -39,10 +42,18 @@ int Main() {
            TablePrinter::Num(tsl.monitor_seconds / sma.monitor_seconds, 3),
            TablePrinter::Num(tma.monitor_seconds / sma.monitor_seconds,
                              3)});
+      BenchResultWriter::Row& row = json.AddRow(
+          std::string(DistributionName(dist)) + "/d" + std::to_string(d));
+      row.tags["dist"] = DistributionName(dist);
+      row.metrics["dim"] = static_cast<double>(d);
+      row.metrics["tsl_seconds"] = tsl.monitor_seconds;
+      row.metrics["tma_seconds"] = tma.monitor_seconds;
+      row.metrics["sma_seconds"] = sma.monitor_seconds;
     }
     table.Print(std::cout);
     std::printf("\n");
   }
+  json.Write();
   PrintExpectation(
       "cost increases with d for every method; TSL >> TMA > SMA "
       "throughout (TMA/TSL gap of roughly an order of magnitude); ANT "

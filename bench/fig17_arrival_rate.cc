@@ -23,6 +23,9 @@ int Main() {
 
   // Paper rates: 1K, 5K, 10K, 50K, 100K of N=1M (0.1% .. 10%).
   const std::vector<double> rate_fractions = {0.001, 0.005, 0.01, 0.05, 0.1};
+  BenchResultWriter json("fig17_arrival_rate");
+  json.Config("dim", static_cast<double>(base.dim));
+  json.Config("window", static_cast<double>(base.window_size));
   for (Distribution dist :
        {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
     std::printf("--- %s ---\n", DistributionName(dist));
@@ -46,10 +49,21 @@ int Main() {
            TablePrinter::Num(sma.monitor_seconds, 4),
            TablePrinter::Num(tma.monitor_seconds / sma.monitor_seconds,
                              3)});
+      BenchResultWriter::Row& row =
+          json.AddRow(std::string(DistributionName(dist)) + "/r" +
+                      std::to_string(spec.arrivals_per_cycle));
+      row.tags["dist"] = DistributionName(dist);
+      row.metrics["arrivals_per_cycle"] =
+          static_cast<double>(spec.arrivals_per_cycle);
+      row.metrics["rate_fraction"] = fraction;
+      row.metrics["tsl_seconds"] = tsl.monitor_seconds;
+      row.metrics["tma_seconds"] = tma.monitor_seconds;
+      row.metrics["sma_seconds"] = sma.monitor_seconds;
     }
     table.Print(std::cout);
     std::printf("\n");
   }
+  json.Write();
   PrintExpectation(
       "cost increases with r for TMA and SMA (verifying the Section 6 "
       "analysis); both beat TSL at every rate; SMA's edge over TMA is "

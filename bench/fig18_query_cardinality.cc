@@ -19,6 +19,9 @@ int Main() {
 
   // Paper Q values relative to the default 1K: 0.1x, 0.5x, 1x, 2x, 5x.
   const std::vector<double> q_multipliers = {0.1, 0.5, 1.0, 2.0, 5.0};
+  BenchResultWriter json("fig18_query_cardinality");
+  json.Config("dim", static_cast<double>(base.dim));
+  json.Config("window", static_cast<double>(base.window_size));
   for (Distribution dist :
        {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
     std::printf("--- %s ---\n", DistributionName(dist));
@@ -39,10 +42,19 @@ int Main() {
            TablePrinter::Num(sma.monitor_seconds, 4),
            TablePrinter::Num(tsl.monitor_seconds / sma.monitor_seconds,
                              3)});
+      BenchResultWriter::Row& row =
+          json.AddRow(std::string(DistributionName(dist)) + "/Q" +
+                      std::to_string(spec.num_queries));
+      row.tags["dist"] = DistributionName(dist);
+      row.metrics["queries"] = static_cast<double>(spec.num_queries);
+      row.metrics["tsl_seconds"] = tsl.monitor_seconds;
+      row.metrics["tma_seconds"] = tma.monitor_seconds;
+      row.metrics["sma_seconds"] = sma.monitor_seconds;
     }
     table.Print(std::cout);
     std::printf("\n");
   }
+  json.Write();
   PrintExpectation(
       "near-linear growth in Q for every method; relative performance "
       "unchanged (TSL >> TMA > SMA).");

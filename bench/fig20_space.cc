@@ -23,6 +23,10 @@ int Main() {
                 "Figure 20(a)+(b) of Mouratidis et al., SIGMOD 2006", base);
 
   const std::vector<int> ks = {1, 5, 10, 20, 50, 100};
+  BenchResultWriter json("fig20_space");
+  json.Config("dim", static_cast<double>(base.dim));
+  json.Config("window", static_cast<double>(base.window_size));
+  json.Config("queries", static_cast<double>(base.num_queries));
   for (Distribution dist :
        {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
     std::printf("--- %s ---\n", DistributionName(dist));
@@ -50,10 +54,22 @@ int Main() {
                                  (1024.0 * 1024.0),
                              4),
            TablePrinter::Num(grid_mib, 4)});
+      BenchResultWriter::Row& row = json.AddRow(
+          std::string(DistributionName(dist)) + "/k" + std::to_string(k));
+      row.tags["dist"] = DistributionName(dist);
+      row.metrics["k"] = static_cast<double>(k);
+      row.metrics["tsl_mib"] = tsl.memory.TotalMiB();
+      row.metrics["tma_mib"] = tma.memory.TotalMiB();
+      row.metrics["sma_mib"] = sma.memory.TotalMiB();
+      row.metrics["tsl_sorted_lists_mib"] =
+          static_cast<double>(tsl.memory.Bytes("sorted_lists")) /
+          (1024.0 * 1024.0);
+      row.metrics["grid_mib"] = grid_mib;
     }
     table.Print(std::cout);
     std::printf("\n");
   }
+  json.Write();
   PrintExpectation(
       "TSL consumes the most space (d sorted lists over the window); TMA "
       "and SMA grow mildly with k (influence lists + result state) with "

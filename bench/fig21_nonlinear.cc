@@ -14,7 +14,8 @@ namespace bench {
 namespace {
 
 void RunFamily(const WorkloadSpec& base, FunctionFamily family,
-               const char* label) {
+               const char* label, const char* family_slug,
+               BenchResultWriter* json) {
   std::printf("=== %s ===\n", label);
   for (Distribution dist :
        {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
@@ -34,6 +35,15 @@ void RunFamily(const WorkloadSpec& base, FunctionFamily family,
            TablePrinter::Num(sma.monitor_seconds, 4),
            TablePrinter::Num(tsl.monitor_seconds / sma.monitor_seconds,
                              3)});
+      BenchResultWriter::Row& row =
+          json->AddRow(std::string(family_slug) + "/" +
+                       DistributionName(dist) + "/d" + std::to_string(d));
+      row.tags["family"] = family_slug;
+      row.tags["dist"] = DistributionName(dist);
+      row.metrics["dim"] = static_cast<double>(d);
+      row.metrics["tsl_seconds"] = tsl.monitor_seconds;
+      row.metrics["tma_seconds"] = tma.monitor_seconds;
+      row.metrics["sma_seconds"] = sma.monitor_seconds;
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -45,10 +55,15 @@ int Main() {
   WorkloadSpec base = BaselineSpec(scale);
   PrintPreamble("Figure 21: CPU time vs d for non-linear functions",
                 "Figure 21(a)-(d) of Mouratidis et al., SIGMOD 2006", base);
+  BenchResultWriter json("fig21_nonlinear");
+  json.Config("window", static_cast<double>(base.window_size));
+  json.Config("queries", static_cast<double>(base.num_queries));
   RunFamily(base, FunctionFamily::kProduct,
-            "Figure 21(a)/(b): f(p) = prod(a_i + x_i)");
+            "Figure 21(a)/(b): f(p) = prod(a_i + x_i)", "product", &json);
   RunFamily(base, FunctionFamily::kSumOfSquares,
-            "Figure 21(c)/(d): f(p) = sum a_i * x_i^2");
+            "Figure 21(c)/(d): f(p) = sum a_i * x_i^2", "sum_of_squares",
+            &json);
+  json.Write();
   PrintExpectation(
       "same relative ordering as the linear case (Figure 15): TSL >> TMA "
       "> SMA across dimensionalities and both distributions, illustrating "

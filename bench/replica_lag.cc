@@ -248,6 +248,33 @@ int Main() {
   const RunResult alone = best_of(Config::kJournaled);
   const RunResult attached = best_of(Config::kAttached);
 
+  BenchResultWriter json("replica_lag");
+  json.Config("records", static_cast<double>(records));
+  json.Config("window", static_cast<double>(window));
+  json.Config("queries", static_cast<double>(kQueries));
+  json.Config("k", static_cast<double>(kK));
+  json.Config("wire_batch", static_cast<double>(kWireBatch));
+  json.AddRow("wire-no-journal").metrics["ingest_rec_per_s"] =
+      baseline.throughput;
+  json.AddRow("journaled-leader").metrics["ingest_rec_per_s"] =
+      alone.throughput;
+  {
+    BenchResultWriter::Row& row = json.AddRow("journaled-plus-follower");
+    row.metrics["ingest_rec_per_s"] = attached.throughput;
+    row.metrics["lag_p50_ts"] = attached.lag_p50_ts;
+    row.metrics["lag_max_ts"] = attached.lag_max_ts;
+    row.metrics["drain_ms"] = attached.drain_ms;
+    row.metrics["segments_completed"] =
+        static_cast<double>(attached.segments_completed);
+    row.metrics["resyncs"] = static_cast<double>(attached.restarts);
+    row.metrics["shipped_mib"] =
+        static_cast<double>(attached.bytes_shipped) / (1024.0 * 1024.0);
+    row.metrics["vs_baseline"] =
+        baseline.throughput > 0.0
+            ? attached.throughput / baseline.throughput
+            : 0.0;
+  }
+
   TablePrinter table({"configuration", "ingest [rec/s]", "lag p50 [ts]",
                       "lag max [ts]", "drain [ms]", "segments", "resyncs",
                       "shipped [MiB]"});
@@ -270,6 +297,7 @@ int Main() {
            static_cast<double>(attached.bytes_shipped) / (1024.0 * 1024.0),
            4)});
   table.Print(std::cout);
+  json.Write();
 
   const long cores = ::sysconf(_SC_NPROCESSORS_ONLN);
   std::printf(

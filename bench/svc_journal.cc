@@ -242,6 +242,14 @@ int Main() {
       config.records, kBatchSize, config.window, config.queries, config.k,
       ScaleName(scale));
 
+  BenchResultWriter json("svc_journal");
+  json.Config("records", static_cast<double>(config.records));
+  json.Config("batch", static_cast<double>(kBatchSize));
+  json.Config("window", static_cast<double>(config.window));
+  json.Config("queries", static_cast<double>(config.queries));
+  json.Config("k", static_cast<double>(config.k));
+  json.Config("engine", "TMA");
+
   struct Variant {
     const char* label;
     SyncPolicy sync;
@@ -280,6 +288,8 @@ int Main() {
   pipeline_table.AddRow({"no journal (baseline)",
                          TablePrinter::Num(baseline.throughput, 5), "-",
                          "-", "-"});
+  json.AddRow("pipeline/no-journal").metrics["ingest_rec_per_s"] =
+      baseline.throughput;
   std::vector<std::pair<std::string, std::string>> journals;  // label, dir
   for (const Variant& v : variants) {
     PipelineRun best;
@@ -308,6 +318,13 @@ int Main() {
          TablePrinter::Num(
              static_cast<double>(best.journal_bytes) / (1024.0 * 1024.0), 4),
          TablePrinter::Int(static_cast<std::int64_t>(best.snapshots))});
+    BenchResultWriter::Row& row =
+        json.AddRow(std::string("pipeline/") + v.label);
+    row.metrics["ingest_rec_per_s"] = best.throughput;
+    row.metrics["overhead_pct"] = overhead;
+    row.metrics["journal_mib"] =
+        static_cast<double>(best.journal_bytes) / (1024.0 * 1024.0);
+    row.metrics["snapshots"] = static_cast<double>(best.snapshots);
     journals.emplace_back(v.label, best.dir);
   }
   pipeline_table.Print(std::cout);
@@ -328,6 +345,13 @@ int Main() {
        TablePrinter::Num(100.0 * (svc_base - svc_journaled) / svc_base,
                          3)});
   service_table.Print(std::cout);
+  json.AddRow("service/no-journal").metrics["ingest_rec_per_s"] = svc_base;
+  {
+    BenchResultWriter::Row& row = json.AddRow("service/journal-sync-none");
+    row.metrics["ingest_rec_per_s"] = svc_journaled;
+    row.metrics["overhead_pct"] =
+        100.0 * (svc_base - svc_journaled) / svc_base;
+  }
 
   std::printf("\nRecovery (replay each journal into a fresh TMA engine):\n");
   TablePrinter recovery_table(
@@ -338,9 +362,15 @@ int Main() {
         {label, TablePrinter::Num(run.seconds * 1e3, 4),
          TablePrinter::Int(static_cast<std::int64_t>(run.cycles_replayed)),
          TablePrinter::Int(static_cast<std::int64_t>(run.window))});
+    BenchResultWriter::Row& row = json.AddRow("recovery/" + label);
+    row.metrics["recover_ms"] = run.seconds * 1e3;
+    row.metrics["cycles_replayed"] =
+        static_cast<double>(run.cycles_replayed);
+    row.metrics["window"] = static_cast<double>(run.window);
     RemoveDirRecursive(dir);
   }
   recovery_table.Print(std::cout);
+  json.Write();
 
   PrintExpectation(
       "service-level ingest throughput regresses well under 15% at the "

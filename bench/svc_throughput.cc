@@ -155,6 +155,13 @@ int Main() {
       "scale=%s\n\n",
       records_per_client, window, queries_per_client, k, ScaleName(scale));
 
+  BenchResultWriter json("svc_throughput");
+  json.Config("records_per_client", static_cast<double>(records_per_client));
+  json.Config("window", static_cast<double>(window));
+  json.Config("queries_per_client",
+              static_cast<double>(queries_per_client));
+  json.Config("k", static_cast<double>(k));
+
   TablePrinter table({"clients", "ingest [rec/s]", "wall [s]",
                       "p50 lat [ms]", "p99 lat [ms]", "delta events",
                       "cycles", "dropped"});
@@ -162,6 +169,17 @@ int Main() {
     const RunResult r =
         RunClients(clients, records_per_client, queries_per_client, k,
                    window);
+    BenchResultWriter::Row& row =
+        json.AddRow("clients-" + std::to_string(clients));
+    row.metrics["clients"] = static_cast<double>(clients);
+    row.metrics["ingest_rec_per_s"] = r.throughput;
+    row.metrics["wall_s"] = r.wall_seconds;
+    row.metrics["p50_lat_ms"] = r.p50_ms;
+    row.metrics["p99_lat_ms"] = r.p99_ms;
+    row.metrics["delta_events"] = static_cast<double>(r.events);
+    row.metrics["cycles"] = static_cast<double>(r.stats.cycles);
+    row.metrics["deltas_dropped"] =
+        static_cast<double>(r.stats.deltas_dropped);
     table.AddRow({TablePrinter::Int(clients),
                   TablePrinter::Num(r.throughput, 5),
                   TablePrinter::Num(r.wall_seconds, 4),
@@ -174,6 +192,7 @@ int Main() {
                       r.stats.deltas_dropped))});
   }
   table.Print(std::cout);
+  json.Write();
   PrintExpectation(
       "ingest throughput stays roughly flat as clients grow (the shared "
       "engine is the bottleneck, batching amortizes it) while p99 "

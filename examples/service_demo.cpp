@@ -45,6 +45,14 @@
 //   service_demo --mode=client --port=4586 --label=dash --records=0
 //                                       # reads the replica's stream
 //
+// With --workload=NAME (local mode) the demo is driven by a named
+// generator from the workload registry instead of the built-in random
+// queries and clustered producers: the workload schedules the query
+// register/unregister mix and the per-cycle arrival batches, and the
+// service ingests them through the same pipeline. --workload=list
+// prints every registered name with its tunable parameters (see
+// docs/WORKLOADS.md).
+//
 // Flags: --mode=local|serve|client|follower|cluster --host=H --port=P
 //        --listen=P --label=NAME --producers=N --records=N --queries=N
 //        --k=N --window=N --serve_seconds=N --promote_seconds=N
@@ -54,9 +62,11 @@
 //        --partitions=N (cluster mode) --server_tag=I (serve mode: the
 //        operator-assigned partition index announced in Welcome when
 //        this server is one leader of a cluster; see docs/CLUSTER.md)
+//        --workload=NAME|list --workload_seed=S (local mode)
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -72,6 +82,7 @@
 #include "stream/generators.h"
 #include "util/flags.h"
 #include "util/rng.h"
+#include "workload/workload.h"
 
 using namespace topkmon;
 
@@ -510,6 +521,162 @@ int RunCluster(std::size_t partitions, int producers, std::size_t records,
   return 0;
 }
 
+int PrintWorkloads() {
+  std::printf("named workloads (--workload=NAME):\n");
+  for (const WorkloadInfo& info : ListWorkloads()) {
+    std::printf("  %-18s %s\n", info.name.c_str(),
+                info.description.c_str());
+    const auto workload = MakeWorkload(info.name, WorkloadOptions{});
+    if (!workload.ok()) continue;
+    for (const WorkloadParam& p : (*workload)->Params()) {
+      std::printf("      %s=%g  (%s)\n", p.name.c_str(), p.value,
+                  p.description.c_str());
+    }
+  }
+  return 0;
+}
+
+int RunWorkloadDriven(const std::string& name, std::uint64_t seed,
+                      std::size_t records, std::size_t queries, int k,
+                      std::size_t window, const std::string& journal_dir,
+                      SyncPolicy sync) {
+  WorkloadOptions wopt;
+  wopt.dim = 2;
+  wopt.seed = seed;
+  wopt.k = k;
+  wopt.num_queries = queries;
+  auto workload = MakeWorkload(name, wopt);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  auto owned_service = MakeService(window, journal_dir, sync);
+  if (owned_service == nullptr) return 1;
+  MonitorService& service = *owned_service;
+
+  // One session owns every workload-scheduled query. After a journal
+  // recovery the session is adopted by label and keeps the previous
+  // run's queries alongside the ones this run registers.
+  SessionId session;
+  if (const auto adopted = service.FindSession(name); adopted.ok()) {
+    std::printf("[%s] adopted recovered session %llu\n", name.c_str(),
+                static_cast<unsigned long long>(*adopted));
+    session = *adopted;
+  } else {
+    const auto opened = service.OpenSession(name);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    session = *opened;
+  }
+
+  std::atomic<bool> done{false};
+  std::thread subscriber([&service, &done, &name, session] {
+    std::uint64_t printed = 0;
+    std::vector<DeltaEvent> events;
+    while (true) {
+      events.clear();
+      const std::size_t n = service.WaitDeltas(
+          session, 64, std::chrono::milliseconds(20), &events);
+      for (const DeltaEvent& e : events) {
+        if (++printed <= 8) {
+          std::printf("[%s] seq=%llu t=%lld query=%u +%zu -%zu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(e.seq),
+                      static_cast<long long>(e.delta.when), e.delta.query,
+                      e.delta.added.size(), e.delta.removed.size());
+        }
+      }
+      if (n == 0 && done.load()) break;
+    }
+    std::printf("[%s] received %llu delta events (%llu dropped)\n",
+                name.c_str(), static_cast<unsigned long long>(printed),
+                static_cast<unsigned long long>(
+                    service.DroppedDeltas(session)));
+  });
+
+  // The service assigns its own query ids, so workload-scheduled
+  // unregisters are translated through this map.
+  std::map<QueryId, QueryId> id_map;
+  std::size_t sent = 0;
+  std::size_t registered = 0;
+  std::size_t unregistered = 0;
+  while (sent < records) {
+    const WorkloadStep step = (*workload)->NextStep();
+    for (const QueryEvent& ev : step.query_events) {
+      if (ev.kind == QueryEvent::kRegister) {
+        QuerySpec spec = ev.spec;
+        spec.id = 0;  // the service assigns the id
+        const auto id = service.Register(session, spec);
+        if (!id.ok()) {
+          std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+          done.store(true);
+          subscriber.join();
+          return 1;
+        }
+        id_map[ev.id] = *id;
+        ++registered;
+        if (registered <= 8) {
+          std::printf("[%s] cycle %llu: registered query %u: top-%d "
+                      "under %s\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(step.cycle), *id,
+                      spec.k, spec.function->ToString().c_str());
+        }
+      } else {
+        const auto it = id_map.find(ev.id);
+        if (it == id_map.end()) continue;  // registered before recovery
+        if (const Status st = service.Unregister(session, it->second);
+            !st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        }
+        id_map.erase(it);
+        ++unregistered;
+      }
+    }
+    for (const Record& r : step.arrivals) {
+      if (const Status st = service.Ingest(r.position, r.arrival);
+          !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        done.store(true);
+        subscriber.join();
+        return 1;
+      }
+      ++sent;
+    }
+  }
+
+  if (const Status st = service.Flush(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  service.Shutdown();
+  done.store(true);
+  subscriber.join();
+
+  std::printf("\nworkload '%s' (seed %llu): %zu records, %zu queries "
+              "registered, %zu unregistered, %zu live\n",
+              name.c_str(), static_cast<unsigned long long>(seed), sent,
+              registered, unregistered, id_map.size());
+  std::size_t shown = 0;
+  for (const auto& [workload_id, service_id] : id_map) {
+    if (++shown > 4) break;
+    const auto result = service.CurrentResult(service_id);
+    if (!result.ok()) continue;
+    std::printf("query %u top-%d:", service_id, k);
+    for (const ResultEntry& e : *result) {
+      std::printf(" %llu=%.4f", static_cast<unsigned long long>(e.id),
+                  e.score);
+    }
+    std::printf("\n");
+  }
+  std::printf("service: %s\n", service.stats().ToString().c_str());
+  std::printf("engine:  %s over %s\n", service.engine_name().c_str(),
+              service.EngineCounters().ToString().c_str());
+  return 0;
+}
+
 int RunLocal(int producers, std::size_t records,
              std::size_t queries_per_session, int k, std::size_t window,
              const std::string& journal_dir, SyncPolicy sync) {
@@ -653,10 +820,16 @@ int main(int argc, char** argv) {
   }
   const auto journal_flag = flags->GetString("journal", "");
   const auto sync_flag = flags->GetString("sync", "none");
+  const auto workload_flag = flags->GetString("workload", "");
+  const auto workload_seed_flag = flags->GetInt("workload_seed", 42);
   if (!mode_flag.ok() || !host_flag.ok() || !label_flag.ok() ||
-      !journal_flag.ok() || !sync_flag.ok()) {
+      !journal_flag.ok() || !sync_flag.ok() || !workload_flag.ok() ||
+      !workload_seed_flag.ok()) {
     std::fprintf(stderr, "bad string flag\n");
     return 1;
+  }
+  if (*workload_flag == "list" || *workload_flag == "help") {
+    return PrintWorkloads();
   }
   const auto sync_policy = ParseSyncPolicy(*sync_flag);
   if (!sync_policy.ok()) {
@@ -698,6 +871,14 @@ int main(int argc, char** argv) {
                        static_cast<long>(*serve_seconds_flag),
                        static_cast<long>(*promote_seconds_flag),
                        static_cast<std::size_t>(*server_threads_flag));
+  }
+  if (*mode_flag == "local" && !workload_flag->empty()) {
+    return RunWorkloadDriven(
+        *workload_flag,
+        static_cast<std::uint64_t>(*workload_seed_flag),
+        static_cast<std::size_t>(*records_flag),
+        static_cast<std::size_t>(*queries_flag),
+        static_cast<int>(*k_flag), window, *journal_flag, *sync_policy);
   }
   if (*mode_flag == "local") {
     return RunLocal(static_cast<int>(*producers_flag),

@@ -1,6 +1,9 @@
 #include "core/brute_force_engine.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "core/piecewise_router.h"
 
 namespace topkmon {
 
@@ -12,6 +15,13 @@ BruteForceEngine::BruteForceEngine(int dim, const WindowSpec& window)
 
 Status BruteForceEngine::RegisterQuery(const QuerySpec& spec) {
   TOPKMON_RETURN_IF_ERROR(spec.Validate(dim_));
+  if (IsInternalQueryId(spec.id)) {
+    // BruteForce never decomposes, but the reserved range is refused
+    // uniformly so callers observe one id-space contract per engine.
+    return Status::InvalidArgument(
+        "query id " + std::to_string(spec.id) +
+        " is in the range reserved for engine-internal sub-queries");
+  }
   if (queries_.count(spec.id) > 0) {
     return Status::AlreadyExists("query id " + std::to_string(spec.id) +
                                  " already registered");
@@ -61,7 +71,13 @@ void BruteForceEngine::Recompute(QueryState& state) {
       continue;
     }
     ++stats_.points_scored;
-    top.Consider(p.id, state.spec.function->Score(p.position));
+    const double score = state.spec.function->Score(p.position);
+    // A record scoring -infinity lies outside every piece of a piecewise
+    // function: it is unrankable and excluded from the result entirely,
+    // matching the decomposed evaluation on the grid engines (which never
+    // see uncovered records at all).
+    if (score == -std::numeric_limits<double>::infinity()) continue;
+    top.Consider(p.id, score);
   }
   state.result = top.entries();
 }

@@ -3,12 +3,14 @@
 // The paper's future-work direction (Section 9): "a function with finite
 // and analytically computable local maxima could be evaluated with a
 // proper partitioning of the space into sub-domains where it is
-// monotone." This header implements exactly that on top of any engine
-// with constrained-query support (TMA, SMA): the caller supplies the
-// partition — a set of axis-parallel sub-domains, each with a monotone
-// function that agrees with the global preference function on that
-// sub-domain — and PiecewiseTopKQuery registers one constrained sub-query
-// per piece and merges their results into the global top-k.
+// monotone." This header implements exactly that: the caller supplies
+// the partition — a set of axis-parallel sub-domains, each with a
+// monotone function that agrees with the global preference function on
+// that sub-domain. Since PR 7 the engines perform the decomposition
+// themselves (core/piecewise_router.h): registering a QuerySpec whose
+// function is a PiecewiseFunction works on every engine. The explicit
+// PiecewiseTopKQuery helper below predates that and remains for callers
+// that want the sub-queries under their own ids.
 //
 // Example: f(p) = x2 - |x1 - 0.5| is not monotone in x1, but splits into
 //   piece 1: x1 in [0, 0.5], f = x1 - 0.5 + x2   (increasing, increasing)
@@ -38,16 +40,19 @@ struct MonotonePiece {
 
 /// A piecewise-monotone preference function as a first-class
 /// ScoringFunction: the value at `p` is the value of the first piece
-/// whose domain contains `p` (and -infinity outside every piece, so
-/// uncovered records can never outrank covered ones).
+/// whose domain contains `p`, and -infinity outside every piece —
+/// uncovered records are unrankable and excluded from results entirely
+/// (BruteForce skips -infinity scores; the decomposed engines never see
+/// uncovered records at all).
 ///
 /// IsMonotone() is false — the global function has no per-dimension
-/// direction — so the grid engines (TMA/SMA) and TSL refuse it at
-/// registration; evaluate it either on BruteForce (which only needs
-/// Score) or decomposed into constrained sub-queries via
-/// PiecewiseTopKQuery. Being a ScoringFunction gives it a wire/journal
-/// encoding (family tag 4, journal format v2): a piecewise query
-/// registered against a journaling service survives recovery.
+/// direction — but every engine accepts it at registration: TMA, SMA
+/// and TSL decompose it internally into one constrained monotone
+/// sub-query per piece (core/piecewise_router.h), ShardedEngine
+/// forwards to its inner engines, and BruteForce evaluates Score
+/// directly. Being a ScoringFunction gives it a wire/journal encoding
+/// (family tag 4, journal format v2): a piecewise query registered
+/// against a journaling service survives recovery.
 class PiecewiseFunction final : public ScoringFunction {
  public:
   /// Validates and wraps `pieces`: 1..255 pieces, uniform dimensionality

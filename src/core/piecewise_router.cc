@@ -1,0 +1,61 @@
+#include "core/piecewise_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace topkmon {
+
+std::optional<Rect> IntersectRects(const Rect& a, const Rect& b) {
+  assert(a.dim() == b.dim());
+  Point lo(a.dim());
+  Point hi(a.dim());
+  for (int i = 0; i < a.dim(); ++i) {
+    lo[i] = std::max(a.lo()[i], b.lo()[i]);
+    hi[i] = std::min(a.hi()[i], b.hi()[i]);
+    if (lo[i] > hi[i]) return std::nullopt;
+  }
+  return Rect(lo, hi);
+}
+
+Result<std::vector<QuerySpec>> DecomposePiecewise(const QuerySpec& spec,
+                                                  const PiecewiseFunction& fn,
+                                                  QueryId* next_id) {
+  const Rect base = spec.constraint.has_value()
+                        ? *spec.constraint
+                        : Rect::UnitSpace(fn.dim());
+  std::vector<QuerySpec> subs;
+  subs.reserve(fn.pieces().size());
+  for (std::size_t i = 0; i < fn.pieces().size(); ++i) {
+    const MonotonePiece& piece = fn.pieces()[i];
+    if (!piece.function->IsMonotone()) {
+      return Status::InvalidArgument(
+          "piecewise piece " + std::to_string(i) +
+          " has a non-monotone function; pieces must be monotone");
+    }
+    const std::optional<Rect> clipped = IntersectRects(piece.domain, base);
+    if (!clipped.has_value()) continue;  // piece misses the constraint
+    QuerySpec sub;
+    sub.id = (*next_id)++;
+    sub.k = spec.k;
+    sub.function = piece.function;
+    sub.constraint = *clipped;
+    subs.push_back(std::move(sub));
+  }
+  return subs;
+}
+
+std::vector<ResultEntry> MergePiecewiseTopK(int k,
+                                            std::vector<ResultEntry> merged) {
+  std::sort(merged.begin(), merged.end(), ResultOrder);
+  std::vector<ResultEntry> result;
+  result.reserve(std::min(merged.size(), static_cast<std::size_t>(k)));
+  for (const ResultEntry& e : merged) {
+    if (!result.empty() && result.back().id == e.id) continue;
+    result.push_back(e);
+    if (static_cast<int>(result.size()) == k) break;
+  }
+  return result;
+}
+
+}  // namespace topkmon

@@ -20,25 +20,75 @@ SmaEngine::SmaEngine(const GridEngineOptions& options)
 
 Status SmaEngine::RegisterQuery(const QuerySpec& spec) {
   TOPKMON_RETURN_IF_ERROR(spec.Validate(dim()));
-  if (!spec.function->IsMonotone()) {
-    return Status::Unimplemented(
-        "SMA requires a per-dimension monotone scoring function; "
-        "decompose '" + spec.function->ToString() +
-        "' into constrained monotone sub-queries (core/piecewise.h) or "
-        "register it on the BruteForce engine");
+  if (IsInternalQueryId(spec.id)) {
+    return Status::InvalidArgument(
+        "query id " + std::to_string(spec.id) +
+        " is in the range reserved for engine-internal sub-queries");
   }
-  if (queries_.count(spec.id) > 0) {
+  if (queries_.count(spec.id) > 0 || piecewise_.count(spec.id) > 0) {
     return Status::AlreadyExists("query id " + std::to_string(spec.id) +
                                  " already registered");
   }
+  if (!spec.function->IsMonotone()) {
+    const auto* fn =
+        dynamic_cast<const PiecewiseFunction*>(spec.function.get());
+    if (fn == nullptr) {
+      return Status::Unimplemented(
+          "SMA requires a per-dimension monotone or piecewise-monotone "
+          "scoring function; got '" + spec.function->ToString() + "'");
+    }
+    return RegisterPiecewise(spec, *fn);
+  }
+  return RegisterMonotone(spec, /*report_delta=*/true);
+}
+
+Status SmaEngine::RegisterMonotone(const QuerySpec& spec, bool report_delta) {
   auto [it, inserted] = queries_.emplace(spec.id, QueryState(spec));
   ++stats_.initial_computations;
   RecomputeFromScratch(spec.id, it->second);
-  delta_.Report(spec.id, last_cycle_, it->second.skyband.TopK());
+  if (report_delta) {
+    delta_.Report(spec.id, last_cycle_, it->second.skyband.TopK());
+  }
+  return Status::Ok();
+}
+
+Status SmaEngine::RegisterPiecewise(const QuerySpec& spec,
+                                    const PiecewiseFunction& fn) {
+  Result<std::vector<QuerySpec>> subs =
+      DecomposePiecewise(spec, fn, &next_internal_id_);
+  if (!subs.ok()) return subs.status();
+  PiecewiseBook book;
+  book.k = spec.k;
+  book.subs.reserve(subs->size());
+  for (const QuerySpec& sub : *subs) {
+    const Status st = RegisterMonotone(sub, /*report_delta=*/false);
+    if (!st.ok()) {
+      for (QueryId sid : book.subs) (void)RemoveMonotone(sid);
+      return st;
+    }
+    book.subs.push_back(sub.id);
+  }
+  auto [it, inserted] = piecewise_.emplace(spec.id, std::move(book));
+  delta_.Report(spec.id, last_cycle_, MergedPiecewise(it->second));
   return Status::Ok();
 }
 
 Status SmaEngine::UnregisterQuery(QueryId id) {
+  auto pit = piecewise_.find(id);
+  if (pit != piecewise_.end()) {
+    for (QueryId sid : pit->second.subs) (void)RemoveMonotone(sid);
+    piecewise_.erase(pit);
+    delta_.Forget(id);
+    return Status::Ok();
+  }
+  if (IsInternalQueryId(id)) {
+    return Status::NotFound("query id " + std::to_string(id) +
+                            " not registered");
+  }
+  return RemoveMonotone(id);
+}
+
+Status SmaEngine::RemoveMonotone(QueryId id) {
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound("query id " + std::to_string(id) +
@@ -106,7 +156,11 @@ Status SmaEngine::ProcessCycle(Timestamp now,
   last_cycle_ = now;
   if (delta_.enabled()) {
     for (const auto& [qid, state] : queries_) {
+      if (IsInternalQueryId(qid)) continue;  // only parents are reported
       delta_.Report(qid, now, state.skyband.TopK());
+    }
+    for (const auto& [pid, book] : piecewise_) {
+      delta_.Report(pid, now, MergedPiecewise(book));
     }
   }
   stats_.maintenance_seconds += watch.ElapsedSeconds();
@@ -131,12 +185,24 @@ void SmaEngine::RecomputeFromScratch(QueryId id, QueryState& state) {
 }
 
 Result<std::vector<ResultEntry>> SmaEngine::CurrentResult(QueryId id) const {
+  auto pit = piecewise_.find(id);
+  if (pit != piecewise_.end()) return MergedPiecewise(pit->second);
   auto it = queries_.find(id);
-  if (it == queries_.end()) {
+  if (it == queries_.end() || IsInternalQueryId(id)) {
     return Status::NotFound("query id " + std::to_string(id) +
                             " not registered");
   }
   return it->second.skyband.TopK();
+}
+
+std::vector<ResultEntry> SmaEngine::MergedPiecewise(
+    const PiecewiseBook& book) const {
+  std::vector<ResultEntry> merged;
+  for (QueryId sid : book.subs) {
+    const std::vector<ResultEntry> entries = queries_.at(sid).skyband.TopK();
+    merged.insert(merged.end(), entries.begin(), entries.end());
+  }
+  return MergePiecewiseTopK(book.k, std::move(merged));
 }
 
 MemoryBreakdown SmaEngine::Memory() const {

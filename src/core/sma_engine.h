@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/piecewise_router.h"
 #include "core/skyband.h"
 #include "core/tma_engine.h"  // GridEngineOptions
 #include "core/topk_compute.h"
@@ -68,12 +69,22 @@ class SmaEngine final : public MonitorEngine {
 
   void RecomputeFromScratch(QueryId id, QueryState& state);
 
+  /// Pre-validated registration body; internal piecewise sub-queries
+  /// skip the delta report (only the parent's merged result is visible).
+  Status RegisterMonotone(const QuerySpec& spec, bool report_delta);
+  Status RemoveMonotone(QueryId id);
+  Status RegisterPiecewise(const QuerySpec& spec,
+                           const PiecewiseFunction& fn);
+  std::vector<ResultEntry> MergedPiecewise(const PiecewiseBook& book) const;
+
   const Record& Lookup(RecordId id) const { return window_.Get(id); }
 
   Grid grid_;
   SlidingWindow window_;
   TraversalScratch scratch_;
   std::unordered_map<QueryId, QueryState> queries_;
+  std::unordered_map<QueryId, PiecewiseBook> piecewise_;
+  QueryId next_internal_id_ = kInternalQueryIdBase;
   EngineStats stats_;
   DeltaTracker delta_;
   Timestamp last_cycle_ = 0;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/piecewise_router.h"
 #include "core/topk_compute.h"
 #include "grid/cell_traversal.h"
 #include "grid/grid.h"
@@ -87,6 +88,18 @@ class TmaEngine final : public MonitorEngine {
   void HandleArrival(const Record& p);
   void HandleExpiry(const Record& p);
 
+  /// The pre-validated registration body (shared by external monotone
+  /// queries and internal piecewise sub-queries, which skip the delta
+  /// report — only the parent's merged result is ever reported).
+  Status RegisterMonotone(const QuerySpec& spec, bool report_delta);
+  /// Removes one entry from the query table (internal or external).
+  Status RemoveMonotone(QueryId id);
+  /// Decomposes a piecewise-monotone spec into internal constrained
+  /// sub-queries (core/piecewise_router.h) and records the parent book.
+  Status RegisterPiecewise(const QuerySpec& spec,
+                           const PiecewiseFunction& fn);
+  std::vector<ResultEntry> MergedPiecewise(const PiecewiseBook& book) const;
+
   const Record& Lookup(RecordId id) const { return window_.Get(id); }
 
   bool arrivals_first_;
@@ -94,6 +107,8 @@ class TmaEngine final : public MonitorEngine {
   SlidingWindow window_;
   TraversalScratch scratch_;
   std::unordered_map<QueryId, QueryState> queries_;
+  std::unordered_map<QueryId, PiecewiseBook> piecewise_;
+  QueryId next_internal_id_ = kInternalQueryIdBase;
   EngineStats stats_;
   DeltaTracker delta_;
   Timestamp last_cycle_ = 0;

@@ -6,7 +6,8 @@ namespace topkmon {
 
 TaResult RunThresholdAlgorithm(const SortedAttributeLists& lists,
                                const ScoringFunction& f, int k,
-                               const TaRecordAccessor& records) {
+                               const TaRecordAccessor& records,
+                               const Rect* constraint) {
   assert(k >= 1);
   assert(f.dim() == lists.dim());
   TaResult out;
@@ -40,6 +41,9 @@ TaResult RunThresholdAlgorithm(const SortedAttributeLists& lists,
       if (!seen.insert(id).second) continue;  // already resolved
       ++out.random_accesses;
       const Record& record = records(id);
+      if (constraint != nullptr && !constraint->Contains(record.position)) {
+        continue;  // resolved but outside the constraint region
+      }
       const double score = f.Score(record.position);
       if (!top.full() || score >= top.KthScore()) top.Consider(id, score);
     }

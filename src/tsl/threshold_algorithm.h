@@ -36,10 +36,15 @@ using TaRecordAccessor = std::function<const Record&(RecordId)>;
 
 /// Runs TA for monotone function `f`, returning the top `k` records among
 /// those indexed in `lists`. Returns fewer than k entries when the lists
-/// hold fewer records.
+/// hold fewer records. When `constraint` is non-null, only records inside
+/// the constraint rectangle are candidates: out-of-region records still
+/// cost a sorted (and first-seen random) access — they occupy the shared
+/// attribute lists — but never enter the result, and the threshold tau
+/// remains a valid upper bound on every unseen in-region record.
 TaResult RunThresholdAlgorithm(const SortedAttributeLists& lists,
                                const ScoringFunction& f, int k,
-                               const TaRecordAccessor& records);
+                               const TaRecordAccessor& records,
+                               const Rect* constraint = nullptr);
 
 }  // namespace topkmon
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/piecewise_router.h"
 #include "stream/sliding_window.h"
 #include "tsl/sorted_lists.h"
 #include "tsl/threshold_algorithm.h"
@@ -71,11 +72,21 @@ class TslEngine final : public MonitorEngine {
 
   void Refill(QueryState& state);
 
+  /// Pre-validated registration body; internal piecewise sub-queries
+  /// skip the delta report (only the parent's merged result is visible).
+  Status RegisterMonotone(const QuerySpec& spec, bool report_delta);
+  Status RemoveMonotone(QueryId id);
+  Status RegisterPiecewise(const QuerySpec& spec,
+                           const PiecewiseFunction& fn);
+  std::vector<ResultEntry> MergedPiecewise(const PiecewiseBook& book) const;
+
   int dim_;
   int kmax_override_;
   SlidingWindow window_;
   SortedAttributeLists lists_;
   std::unordered_map<QueryId, QueryState> queries_;
+  std::unordered_map<QueryId, PiecewiseBook> piecewise_;
+  QueryId next_internal_id_ = kInternalQueryIdBase;
   EngineStats stats_;
   DeltaTracker delta_;
   Timestamp last_cycle_ = 0;

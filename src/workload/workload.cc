@@ -1,0 +1,622 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/geometry.h"
+#include "common/scoring.h"
+#include "util/rng.h"
+
+namespace topkmon {
+namespace {
+
+// FNV-1a over the workload name, so each workload's RNG stream is
+// decorrelated from every other workload built from the same seed.
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double Clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+// Triangle wave with period 1 mapping phase to [0, 1] (0 at integer
+// phases, 1 at half phases). Used instead of a sinusoid so the diurnal
+// schedule involves no libm transcendentals — the emitted sequence is
+// bit-identical across platforms.
+double Triangle(double phase) {
+  const double t = phase - std::floor(phase);
+  return t < 0.5 ? 2.0 * t : 2.0 * (1.0 - t);
+}
+
+// Zipf sampler over ranks [0, n): P(r) proportional to 1/(r+1)^s,
+// sampled by CDF inversion.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_.push_back(total);
+    }
+  }
+  std::size_t Sample(Rng& rng) const {
+    const double u = rng.Uniform() * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return std::min(static_cast<std::size_t>(it - cdf_.begin()),
+                    cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Shared machinery: id allocation, the live-query roster, timestamp
+// clamping (the engine Append contract requires globally non-decreasing
+// arrival timestamps even when a workload backdates), and the
+// self-describing parameter table.
+class WorkloadBase : public Workload {
+ public:
+  WorkloadBase(std::string name, std::string description,
+               const WorkloadOptions& opt)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        opt_(opt),
+        rng_(opt.seed ^ HashName(name_)),
+        now_(opt.start) {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& description() const override { return description_; }
+  int dim() const override { return opt_.dim; }
+  std::vector<WorkloadParam> Params() const override { return declared_; }
+
+  WorkloadStep NextStep() override {
+    WorkloadStep step;
+    step.cycle = cycle_;
+    step.now = now_;
+    if (cycle_ == 0) EmitInitialQueries(step);
+    EmitCycle(step);
+    ++cycle_;
+    now_ += opt_.tick > 0 ? opt_.tick : 1;
+    return step;
+  }
+
+ protected:
+  /// Declares a parameter (call from the constructor, in display order)
+  /// and resolves its value against the options override map.
+  double Param(const std::string& key, double def,
+               const std::string& description) {
+    double value = def;
+    const auto it = opt_.params.find(key);
+    if (it != opt_.params.end()) value = it->second;
+    declared_.push_back(WorkloadParam{key, description, value});
+    return value;
+  }
+
+  /// Per-workload record batch and churn for one cycle.
+  virtual void EmitCycle(WorkloadStep& step) = 0;
+
+  /// Initial query mix; defaults to num_queries random linear queries.
+  virtual void EmitInitialQueries(WorkloadStep& step) {
+    for (std::size_t i = 0; i < opt_.num_queries; ++i) {
+      step.query_events.push_back(RegisterEvent(MakeQuery()));
+    }
+  }
+
+  /// A fresh random linear top-k query, optionally constrained.
+  QuerySpec MakeQuery(std::optional<Rect> constraint = {}) {
+    QuerySpec spec;
+    spec.id = next_query_id_++;
+    spec.k = opt_.k;
+    spec.function = MakeRandomFunction(FunctionFamily::kLinear, opt_.dim,
+                                       [this] { return rng_.Uniform(); });
+    spec.constraint = std::move(constraint);
+    live_.push_back(spec.id);
+    return spec;
+  }
+
+  QueryEvent RegisterEvent(QuerySpec spec) {
+    QueryEvent ev;
+    ev.kind = QueryEvent::kRegister;
+    ev.id = spec.id;
+    ev.spec = std::move(spec);
+    return ev;
+  }
+
+  /// Unregisters a uniformly random live query; no-op when none live.
+  void EmitUnregister(WorkloadStep& step) {
+    if (live_.empty()) return;
+    const std::size_t idx =
+        static_cast<std::size_t>(rng_.UniformInt(live_.size()));
+    QueryEvent ev;
+    ev.kind = QueryEvent::kUnregister;
+    ev.id = live_[idx];
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(idx));
+    step.query_events.push_back(std::move(ev));
+  }
+
+  /// Appends one record at `pos`. A negative `ts_hint` means "the
+  /// cycle's timestamp"; backdated hints are clamped so the emitted
+  /// stream stays non-decreasing.
+  void EmitRecord(WorkloadStep& step, Point pos, Timestamp ts_hint = -1) {
+    Timestamp ts = ts_hint < 0 ? step.now : ts_hint;
+    if (ts > step.now) ts = step.now;
+    if (ts < last_ts_) ts = last_ts_;
+    last_ts_ = ts;
+    step.arrivals.emplace_back(next_record_id_++, std::move(pos), ts);
+  }
+
+  Point UniformPoint(Rng& rng) {
+    Point p(opt_.dim);
+    for (int i = 0; i < opt_.dim; ++i) p[i] = rng.Uniform();
+    return p;
+  }
+
+  Point JitteredPoint(Rng& rng, const Point& center, double spread) {
+    Point p(opt_.dim);
+    for (int i = 0; i < opt_.dim; ++i) {
+      p[i] = Clamp01(center[i] + rng.Gaussian(0.0, spread));
+    }
+    return p;
+  }
+
+  /// An axis-aligned box of half-width `extent` around `center`,
+  /// clipped to the unit workspace.
+  Rect BoxAround(const Point& center, double extent) const {
+    Point lo(opt_.dim);
+    Point hi(opt_.dim);
+    for (int i = 0; i < opt_.dim; ++i) {
+      lo[i] = Clamp01(center[i] - extent);
+      hi[i] = Clamp01(center[i] + extent);
+    }
+    return Rect(lo, hi);
+  }
+
+  const std::string name_;
+  const std::string description_;
+  const WorkloadOptions opt_;
+  Rng rng_;
+  std::uint64_t cycle_ = 0;
+  Timestamp now_;
+  Timestamp last_ts_ = 0;
+  RecordId next_record_id_ = 1;
+  QueryId next_query_id_ = 1;
+  std::vector<QueryId> live_;
+  std::vector<WorkloadParam> declared_;
+};
+
+// uniform — the paper's IND baseline: constant rate, static query set.
+class UniformWorkload final : public WorkloadBase {
+ public:
+  explicit UniformWorkload(const WorkloadOptions& opt)
+      : WorkloadBase("uniform",
+                     "constant-rate IND records with a static query mix",
+                     opt) {}
+
+ protected:
+  void EmitCycle(WorkloadStep& step) override {
+    for (std::size_t i = 0; i < opt_.mean_batch; ++i) {
+      EmitRecord(step, UniformPoint(rng_));
+    }
+  }
+};
+
+// zipfian-keys — record positions cluster around hot spots whose
+// popularity follows a zipf law (key skew).
+class ZipfianKeysWorkload final : public WorkloadBase {
+ public:
+  explicit ZipfianKeysWorkload(const WorkloadOptions& opt)
+      : WorkloadBase("zipfian-keys",
+                     "record positions zipf-clustered around hot spots",
+                     opt),
+        skew_(Param("skew", 1.1, "zipf exponent of hot-spot popularity")),
+        spread_(Param("spread", 0.04, "per-axis stddev around a hot spot")),
+        hot_spots_(std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   Param("hot-spots", 16, "number of hot spots")))),
+        zipf_(hot_spots_, skew_) {
+    Rng centers(opt.seed ^ HashName("zipfian-keys/centers"));
+    centers_.reserve(hot_spots_);
+    for (std::size_t i = 0; i < hot_spots_; ++i) {
+      centers_.push_back(UniformPoint(centers));
+    }
+  }
+
+ protected:
+  void EmitCycle(WorkloadStep& step) override {
+    for (std::size_t i = 0; i < opt_.mean_batch; ++i) {
+      const std::size_t r = zipf_.Sample(rng_);
+      EmitRecord(step, JitteredPoint(rng_, centers_[r], spread_));
+    }
+  }
+
+ private:
+  const double skew_;
+  const double spread_;
+  const std::size_t hot_spots_;
+  ZipfSampler zipf_;
+  std::vector<Point> centers_;
+};
+
+// zipfian-queries — uniform records, but the query population focuses
+// zipf-weighted constraint regions on a few hot areas of the workspace.
+class ZipfianQueriesWorkload final : public WorkloadBase {
+ public:
+  explicit ZipfianQueriesWorkload(const WorkloadOptions& opt)
+      : WorkloadBase(
+            "zipfian-queries",
+            "uniform records; query regions zipf-focused on hot spots",
+            opt),
+        skew_(Param("skew", 1.2, "zipf exponent of region popularity")),
+        extent_(Param("extent", 0.2, "constraint-box half-width")),
+        churn_(Param("churn", 0.1,
+                     "per-cycle probability of replacing one query")),
+        regions_(std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   Param("regions", 8, "number of hot regions")))),
+        zipf_(regions_, skew_) {
+    Rng centers(opt.seed ^ HashName("zipfian-queries/centers"));
+    centers_.reserve(regions_);
+    for (std::size_t i = 0; i < regions_; ++i) {
+      centers_.push_back(UniformPoint(centers));
+    }
+  }
+
+ protected:
+  void EmitInitialQueries(WorkloadStep& step) override {
+    for (std::size_t i = 0; i < opt_.num_queries; ++i) {
+      step.query_events.push_back(RegisterEvent(MakeHotQuery()));
+    }
+  }
+
+  void EmitCycle(WorkloadStep& step) override {
+    if (cycle_ > 0 && rng_.Uniform() < churn_) {
+      EmitUnregister(step);
+      step.query_events.push_back(RegisterEvent(MakeHotQuery()));
+    }
+    for (std::size_t i = 0; i < opt_.mean_batch; ++i) {
+      EmitRecord(step, UniformPoint(rng_));
+    }
+  }
+
+ private:
+  QuerySpec MakeHotQuery() {
+    const std::size_t r = zipf_.Sample(rng_);
+    return MakeQuery(BoxAround(centers_[r], extent_));
+  }
+
+  const double skew_;
+  const double extent_;
+  const double churn_;
+  const std::size_t regions_;
+  ZipfSampler zipf_;
+  std::vector<Point> centers_;
+};
+
+// bursty — a two-state Markov chain modulates the batch size between a
+// quiet trickle and heavy bursts around the configured mean.
+class BurstyWorkload final : public WorkloadBase {
+ public:
+  explicit BurstyWorkload(const WorkloadOptions& opt)
+      : WorkloadBase("bursty",
+                     "two-state Markov-modulated arrival bursts", opt),
+        burst_factor_(
+            Param("burst-factor", 8.0, "batch multiplier while bursting")),
+        quiet_factor_(
+            Param("quiet-factor", 0.25, "batch multiplier while quiet")),
+        p_enter_(Param("p-enter-burst", 0.08,
+                       "per-cycle probability quiet -> burst")),
+        p_exit_(Param("p-exit-burst", 0.3,
+                      "per-cycle probability burst -> quiet")) {}
+
+ protected:
+  void EmitCycle(WorkloadStep& step) override {
+    bursting_ = bursting_ ? rng_.Uniform() >= p_exit_
+                          : rng_.Uniform() < p_enter_;
+    const double factor = bursting_ ? burst_factor_ : quiet_factor_;
+    const std::size_t n = static_cast<std::size_t>(
+        static_cast<double>(opt_.mean_batch) * factor);
+    for (std::size_t i = 0; i < n; ++i) {
+      EmitRecord(step, UniformPoint(rng_));
+    }
+  }
+
+ private:
+  const double burst_factor_;
+  const double quiet_factor_;
+  const double p_enter_;
+  const double p_exit_;
+  bool bursting_ = false;
+};
+
+// diurnal — the arrival rate follows a day/night triangle wave and the
+// data's hot spot drifts across the workspace over the simulated day.
+class DiurnalWorkload final : public WorkloadBase {
+ public:
+  explicit DiurnalWorkload(const WorkloadOptions& opt)
+      : WorkloadBase(
+            "diurnal",
+            "day/night arrival-rate wave with a drifting hot spot", opt),
+        period_(std::max(1.0, Param("period", 96.0,
+                                    "cycles per simulated day"))),
+        amplitude_(Param("amplitude", 0.9,
+                         "rate swing around the mean, in [0, 1]")),
+        drift_(Param("drift", 0.35, "hot-spot drift radius")),
+        spread_(Param("spread", 0.08, "per-axis stddev around the spot")),
+        hot_share_(Param("hot-share", 0.5,
+                         "fraction of records drawn near the hot spot")) {}
+
+ protected:
+  void EmitCycle(WorkloadStep& step) override {
+    const double phase = static_cast<double>(cycle_) / period_;
+    const double rate =
+        1.0 - amplitude_ + 2.0 * amplitude_ * Triangle(phase);
+    const std::size_t n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(opt_.mean_batch) * rate));
+    Point center(opt_.dim);
+    for (int i = 0; i < opt_.dim; ++i) {
+      // Each axis drifts on its own phase-shifted triangle path.
+      const double offset =
+          2.0 * Triangle(phase + 0.25 * static_cast<double>(i)) - 1.0;
+      center[i] = Clamp01(0.5 + drift_ * offset);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_.Uniform() < hot_share_) {
+        EmitRecord(step, JitteredPoint(rng_, center, spread_));
+      } else {
+        EmitRecord(step, UniformPoint(rng_));
+      }
+    }
+  }
+
+ private:
+  const double period_;
+  const double amplitude_;
+  const double drift_;
+  const double spread_;
+  const double hot_share_;
+};
+
+// query-churn — the record stream is calm; the query table is not.
+class QueryChurnWorkload final : public WorkloadBase {
+ public:
+  explicit QueryChurnWorkload(const WorkloadOptions& opt)
+      : WorkloadBase("query-churn",
+                     "continuous query replacement with occasional storms",
+                     opt),
+        churn_(Param("churn", 0.6,
+                     "per-cycle probability of replacing one query")),
+        storm_(Param("storm", 0.04,
+                     "per-cycle probability of replacing half the set")) {}
+
+ protected:
+  void EmitCycle(WorkloadStep& step) override {
+    if (cycle_ > 0) {
+      if (rng_.Uniform() < storm_) {
+        const std::size_t half = std::max<std::size_t>(1, live_.size() / 2);
+        for (std::size_t i = 0; i < half; ++i) ReplaceOne(step);
+      } else if (rng_.Uniform() < churn_) {
+        ReplaceOne(step);
+      }
+    }
+    for (std::size_t i = 0; i < opt_.mean_batch; ++i) {
+      EmitRecord(step, UniformPoint(rng_));
+    }
+  }
+
+ private:
+  void ReplaceOne(WorkloadStep& step) {
+    EmitUnregister(step);
+    step.query_events.push_back(RegisterEvent(MakeQuery()));
+  }
+
+  const double churn_;
+  const double storm_;
+};
+
+// multi-tenant — traffic is a zipf-weighted blend of tenants, each with
+// its own data cluster and a query population constrained to its slice
+// of the workspace.
+class MultiTenantWorkload final : public WorkloadBase {
+ public:
+  explicit MultiTenantWorkload(const WorkloadOptions& opt)
+      : WorkloadBase(
+            "multi-tenant",
+            "zipf-weighted tenants with per-tenant regions and queries",
+            opt),
+        tenants_(std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   Param("tenants", 4, "number of tenants")))),
+        skew_(Param("skew", 1.0, "zipf exponent of tenant traffic share")),
+        spread_(Param("spread", 0.06,
+                      "per-axis stddev around a tenant's cluster")),
+        extent_(Param("extent", 0.25, "tenant-region half-width")),
+        zipf_(tenants_, skew_) {
+    Rng centers(opt.seed ^ HashName("multi-tenant/centers"));
+    centers_.reserve(tenants_);
+    for (std::size_t i = 0; i < tenants_; ++i) {
+      centers_.push_back(UniformPoint(centers));
+    }
+  }
+
+ protected:
+  void EmitInitialQueries(WorkloadStep& step) override {
+    for (std::size_t i = 0; i < opt_.num_queries; ++i) {
+      const Point& center = centers_[i % tenants_];
+      step.query_events.push_back(
+          RegisterEvent(MakeQuery(BoxAround(center, extent_))));
+    }
+  }
+
+  void EmitCycle(WorkloadStep& step) override {
+    for (std::size_t i = 0; i < opt_.mean_batch; ++i) {
+      const std::size_t tenant = zipf_.Sample(rng_);
+      EmitRecord(step, JitteredPoint(rng_, centers_[tenant], spread_));
+    }
+  }
+
+ private:
+  const std::size_t tenants_;
+  const double skew_;
+  const double spread_;
+  const double extent_;
+  ZipfSampler zipf_;
+  std::vector<Point> centers_;
+};
+
+// adversarial-slack — positions snapped onto grid/piece boundary
+// lattices (score ties, cell-edge membership) and timestamps backdated
+// up to `slack` ticks (late data hugging the eviction edge).
+class AdversarialSlackWorkload final : public WorkloadBase {
+ public:
+  explicit AdversarialSlackWorkload(const WorkloadOptions& opt)
+      : WorkloadBase(
+            "adversarial-slack",
+            "boundary-snapped positions with slack-backdated timestamps",
+            opt),
+        slack_(std::max(0.0, Param("slack", 4.0,
+                                   "max timestamp backdating, in ticks"))),
+        snap_(Param("snap", 0.5,
+                    "probability a coordinate snaps to the lattice")),
+        lattice_(std::max(1.0, Param("lattice", 12.0,
+                                     "boundary lattice resolution"))) {}
+
+ protected:
+  void EmitCycle(WorkloadStep& step) override {
+    const auto slack = static_cast<std::uint64_t>(slack_);
+    for (std::size_t i = 0; i < opt_.mean_batch; ++i) {
+      Point p(opt_.dim);
+      for (int axis = 0; axis < opt_.dim; ++axis) {
+        if (rng_.Uniform() < snap_) {
+          // Lattice points {0, 1/L, ..., 1}: grid-cell edges, and the
+          // piece boundary 0.5 whenever L is even.
+          const double cell = std::floor(rng_.Uniform() * (lattice_ + 1.0));
+          p[axis] = Clamp01(cell / lattice_);
+        } else {
+          p[axis] = rng_.Uniform();
+        }
+      }
+      const Timestamp backdate =
+          slack == 0 ? 0
+                     : static_cast<Timestamp>(rng_.UniformInt(slack + 1));
+      EmitRecord(step, std::move(p), step.now - backdate);
+    }
+  }
+
+ private:
+  const double slack_;
+  const double snap_;
+  const double lattice_;
+};
+
+using Factory = std::unique_ptr<Workload> (*)(const WorkloadOptions&);
+
+template <typename W>
+std::unique_ptr<Workload> Make(const WorkloadOptions& opt) {
+  return std::make_unique<W>(opt);
+}
+
+struct RegistryEntry {
+  const char* name;
+  const char* description;
+  Factory factory;
+};
+
+// The registered taxonomy. tools/check_docs.py parses the names between
+// these markers and requires each one to be documented (as a section
+// anchor) in docs/WORKLOADS.md — adding a workload without docs fails
+// CI.
+// workload-registry-begin
+constexpr RegistryEntry kRegistry[] = {
+    {"uniform", "constant-rate IND records with a static query mix",
+     Make<UniformWorkload>},
+    {"zipfian-keys", "record positions zipf-clustered around hot spots",
+     Make<ZipfianKeysWorkload>},
+    {"zipfian-queries",
+     "uniform records; query regions zipf-focused on hot spots",
+     Make<ZipfianQueriesWorkload>},
+    {"bursty", "two-state Markov-modulated arrival bursts",
+     Make<BurstyWorkload>},
+    {"diurnal", "day/night arrival-rate wave with a drifting hot spot",
+     Make<DiurnalWorkload>},
+    {"query-churn", "continuous query replacement with occasional storms",
+     Make<QueryChurnWorkload>},
+    {"multi-tenant",
+     "zipf-weighted tenants with per-tenant regions and queries",
+     Make<MultiTenantWorkload>},
+    {"adversarial-slack",
+     "boundary-snapped positions with slack-backdated timestamps",
+     Make<AdversarialSlackWorkload>},
+};
+// workload-registry-end
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& ListWorkloads() {
+  static const std::vector<WorkloadInfo>* infos = [] {
+    auto* v = new std::vector<WorkloadInfo>();
+    for (const RegistryEntry& e : kRegistry) {
+      v->push_back(WorkloadInfo{e.name, e.description});
+    }
+    return v;
+  }();
+  return *infos;
+}
+
+Result<std::unique_ptr<Workload>> MakeWorkload(
+    const std::string& name, const WorkloadOptions& options) {
+  if (options.dim < 1 || options.dim > kMaxDims) {
+    return Status::InvalidArgument(
+        "workload dim must be in [1, " + std::to_string(kMaxDims) +
+        "], got " + std::to_string(options.dim));
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("workload k must be >= 1, got " +
+                                   std::to_string(options.k));
+  }
+  const RegistryEntry* entry = nullptr;
+  for (const RegistryEntry& e : kRegistry) {
+    if (name == e.name) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    std::string known;
+    for (const RegistryEntry& e : kRegistry) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    return Status::InvalidArgument("unknown workload '" + name +
+                                   "'; registered: " + known);
+  }
+  std::unique_ptr<Workload> workload = entry->factory(options);
+  // Reject overrides the workload never declared — a typoed knob should
+  // fail loudly, not silently fall back to the default behavior.
+  const std::vector<WorkloadParam> declared = workload->Params();
+  for (const auto& [key, value] : options.params) {
+    (void)value;
+    const bool known =
+        std::any_of(declared.begin(), declared.end(),
+                    [&key](const WorkloadParam& p) { return p.name == key; });
+    if (!known) {
+      std::string names;
+      for (const WorkloadParam& p : declared) {
+        if (!names.empty()) names += ", ";
+        names += p.name;
+      }
+      return Status::InvalidArgument(
+          "workload '" + name + "' has no parameter '" + key +
+          "'; declared: " + (names.empty() ? "(none)" : names));
+    }
+  }
+  return workload;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,108 @@
+// Named, seed-deterministic workload generators.
+//
+// The paper's evaluation (Section 8) drives every experiment from one
+// synthetic stream shape; a production monitoring service sees far more
+// texture — skewed keys, focused query populations, bursty and diurnal
+// arrival rates, query churn, multi-tenant blends, adversarial
+// timestamps. This library packages those scenarios behind one
+// interface so the fuzz tier, the benches and the demo all draw from
+// the same generators: a workload is selected by name, parameterized by
+// WorkloadOptions, and emits per-cycle record batches, query
+// register/unregister mixes and arrival-time schedules. The same name,
+// options and seed always produce a byte-identical step sequence.
+//
+// The registered names (see ListWorkloads() and docs/WORKLOADS.md):
+// uniform, zipfian-keys, zipfian-queries, bursty, diurnal, query-churn,
+// multi-tenant, adversarial-slack.
+
+#ifndef TOPKMON_WORKLOAD_WORKLOAD_H_
+#define TOPKMON_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/record.h"
+#include "common/status.h"
+#include "core/query.h"
+
+namespace topkmon {
+
+/// Options common to every named workload. Workload-specific knobs ride
+/// in `params`; each workload's Params() listing names them with their
+/// defaults, and MakeWorkload rejects keys the workload never declared.
+struct WorkloadOptions {
+  int dim = 2;
+  std::uint64_t seed = 42;
+  /// Result size of generated queries.
+  int k = 10;
+  /// Mean arrivals per cycle; rate-modulating workloads scale around it.
+  std::size_t mean_batch = 64;
+  /// Steady-state number of live queries.
+  std::size_t num_queries = 8;
+  /// Timestamp of the first cycle and the per-cycle advance.
+  Timestamp start = 1;
+  Timestamp tick = 1;
+  /// Workload-specific parameter overrides by name.
+  std::map<std::string, double> params;
+};
+
+/// One resolved workload parameter, for self-describing listings.
+struct WorkloadParam {
+  std::string name;
+  std::string description;
+  double value = 0.0;
+};
+
+/// A query register/unregister event scheduled by the workload. A
+/// consumer applies the cycle's events before processing its arrivals.
+struct QueryEvent {
+  enum Kind { kRegister, kUnregister };
+  Kind kind = kRegister;
+  QuerySpec spec;  ///< kRegister: the full spec (id already assigned)
+  QueryId id = 0;  ///< the query id (both kinds)
+};
+
+/// One cycle of a workload. Record ids are strictly increasing and
+/// arrival timestamps non-decreasing across steps (the engine Append
+/// contract), with every position inside the unit workspace.
+struct WorkloadStep {
+  std::uint64_t cycle = 0;
+  Timestamp now = 0;
+  std::vector<Record> arrivals;
+  std::vector<QueryEvent> query_events;
+};
+
+/// A named, seed-deterministic workload generator.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual const std::string& name() const = 0;
+  virtual const std::string& description() const = 0;
+  virtual int dim() const = 0;
+  /// Generates the next cycle.
+  virtual WorkloadStep NextStep() = 0;
+  /// The workload's parameters with their resolved values.
+  virtual std::vector<WorkloadParam> Params() const = 0;
+};
+
+/// Registry metadata for ListWorkloads().
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Every registered workload name with its one-line description.
+const std::vector<WorkloadInfo>& ListWorkloads();
+
+/// Instantiates a workload by registry name. Unknown names, invalid
+/// options and `params` keys the workload never declared all return
+/// InvalidArgument naming the valid choices.
+Result<std::unique_ptr<Workload>> MakeWorkload(const std::string& name,
+                                               const WorkloadOptions& options);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_WORKLOAD_WORKLOAD_H_

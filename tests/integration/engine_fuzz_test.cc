@@ -6,7 +6,11 @@
 // expiry step), query registration and query termination — and replays
 // the identical sequence through TMA, SMA, TSL and a 2-shard
 // ShardedEngine, checking every live query's result score multiset
-// against BruteForceEngine after every cycle.
+// against BruteForceEngine after every cycle. Registrations mix
+// monotone and piecewise-monotone specs, so the engines' internal
+// piece decomposition is fuzzed under the same interleavings. A second
+// tier replays every named workload from src/workload/ — skewed keys,
+// bursts, churn, adversarial timestamps — through the same engine set.
 //
 // Every op is self-contained (cycles carry their own point seed, and
 // registrations their own query seed), so a failing sequence can be
@@ -22,20 +26,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/brute_force_engine.h"
+#include "core/piecewise.h"
 #include "core/sharded_engine.h"
 #include "core/sma_engine.h"
 #include "core/tma_engine.h"
 #include "tests/test_util.h"
 #include "tsl/tsl_engine.h"
 #include "util/rng.h"
+#include "workload/workload.h"
 
 namespace topkmon {
 namespace {
@@ -53,6 +61,7 @@ struct FuzzOp {
   QueryId query = 0;              ///< kRegister / kUnregister target
   int k = 0;                      ///< kRegister
   std::uint64_t query_seed = 0;   ///< kRegister: function seed
+  bool piecewise = false;         ///< kRegister: piecewise-monotone spec
 };
 
 std::string OpToString(const FuzzOp& op) {
@@ -63,7 +72,8 @@ std::string OpToString(const FuzzOp& op) {
       break;
     case FuzzOp::kRegister:
       os << "register q=" << op.query << " k=" << op.k
-         << " qseed=" << op.query_seed;
+         << " qseed=" << op.query_seed
+         << (op.piecewise ? " piecewise=1" : "");
       break;
     case FuzzOp::kUnregister:
       os << "unregister q=" << op.query;
@@ -97,6 +107,10 @@ std::vector<FuzzOp> GenerateOps(std::uint64_t seed, std::size_t steps) {
       op.query = next_query++;
       op.k = 1 + static_cast<int>(rng.Uniform() * 8);
       op.query_seed = rng.NextUint64();
+      // Roughly a third of registrations carry a piecewise-monotone
+      // spec, so every interleaving shape also runs through the
+      // engines' internal piece decomposition.
+      op.piecewise = rng.Uniform() < 0.35;
       live.push_back(op.query);
     } else if (roll < 0.30 && !live.empty()) {
       op.kind = FuzzOp::kUnregister;
@@ -119,10 +133,48 @@ std::vector<FuzzOp> GenerateOps(std::uint64_t seed, std::size_t steps) {
   return ops;
 }
 
+/// A random piecewise-monotone function: the unit space tiled into
+/// 2..4 slabs along a random axis at random cut points, each slab with
+/// its own monotone linear function. Cut points are random uniform
+/// doubles, so stream records never land exactly on a piece boundary —
+/// the decomposed engines and BruteForce see identical scores.
+std::shared_ptr<const ScoringFunction> PiecewiseFor(std::uint64_t seed) {
+  Rng rng(seed);
+  const int axis = static_cast<int>(rng.UniformInt(kDim));
+  const std::size_t num_pieces = 2 + rng.UniformInt(3);
+  std::vector<double> cuts = {0.0};
+  for (std::size_t i = 0; i + 1 < num_pieces; ++i) {
+    cuts.push_back(rng.Uniform());
+  }
+  cuts.push_back(1.0);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<MonotonePiece> pieces;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    Point lo(kDim);
+    Point hi(kDim);
+    for (int d = 0; d < kDim; ++d) {
+      lo[d] = d == axis ? cuts[i] : 0.0;
+      hi[d] = d == axis ? cuts[i + 1] : 1.0;
+    }
+    MonotonePiece piece;
+    piece.domain = Rect(lo, hi);
+    piece.function = MakeRandomFunction(FunctionFamily::kLinear, kDim,
+                                        [&rng] { return rng.Uniform(); });
+    pieces.push_back(std::move(piece));
+  }
+  auto fn = PiecewiseFunction::Create(std::move(pieces));
+  EXPECT_TRUE(fn.ok());
+  return *fn;
+}
+
 QuerySpec SpecFor(const FuzzOp& op) {
   QuerySpec spec;
   spec.id = op.query;
   spec.k = op.k;
+  if (op.piecewise) {
+    spec.function = PiecewiseFor(op.query_seed);
+    return spec;
+  }
   Rng rng(op.query_seed);
   spec.function = MakeRandomFunction(FunctionFamily::kLinear, kDim,
                                      [&rng] { return rng.Uniform(); });
@@ -289,6 +341,86 @@ TEST(EngineFuzzTest, RandomInterleavingsAgreeWithBruteForce) {
   const std::size_t steps = StepCount();
   for (const std::uint64_t seed : SeedSet()) {
     FuzzOneSeed(seed, steps);
+  }
+}
+
+/// Drives the full engine set through `steps` cycles of one named
+/// workload, applying its query register/unregister schedule, and
+/// differential-checks every live query against BruteForce after each
+/// cycle. Workload queries are monotone (possibly constrained), so
+/// score multisets must match bitwise.
+void FuzzWorkload(const std::string& name, std::size_t steps) {
+  WorkloadOptions wopt;
+  wopt.dim = kDim;
+  wopt.seed = 20060626;
+  wopt.k = 5;
+  wopt.mean_batch = 24;
+  wopt.num_queries = kMaxLiveQueries;
+  auto workload = MakeWorkload(name, wopt);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  BruteForceEngine brute(kDim, WindowSpec::Count(kWindow));
+  GridEngineOptions grid;
+  grid.dim = kDim;
+  grid.window = WindowSpec::Count(kWindow);
+  grid.cell_budget = 128;
+  TmaEngine tma(grid);
+  SmaEngine sma(grid);
+  TslOptions tsl_opt;
+  tsl_opt.dim = kDim;
+  tsl_opt.window = WindowSpec::Count(kWindow);
+  TslEngine tsl(tsl_opt);
+  ShardedEngine sharded(2, [&grid] {
+    return std::unique_ptr<MonitorEngine>(new TmaEngine(grid));
+  });
+  std::vector<MonitorEngine*> engines = {&tma, &sma, &tsl, &sharded};
+
+  std::set<QueryId> live;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const WorkloadStep step = (*workload)->NextStep();
+    for (const QueryEvent& ev : step.query_events) {
+      if (ev.kind == QueryEvent::kRegister) {
+        ASSERT_TRUE(brute.RegisterQuery(ev.spec).ok());
+        for (MonitorEngine* e : engines) {
+          ASSERT_TRUE(e->RegisterQuery(ev.spec).ok()) << e->name();
+        }
+        live.insert(ev.id);
+      } else {
+        ASSERT_TRUE(brute.UnregisterQuery(ev.id).ok());
+        for (MonitorEngine* e : engines) {
+          ASSERT_TRUE(e->UnregisterQuery(ev.id).ok()) << e->name();
+        }
+        live.erase(ev.id);
+      }
+    }
+    ASSERT_TRUE(brute.ProcessCycle(step.now, step.arrivals).ok());
+    for (MonitorEngine* e : engines) {
+      ASSERT_TRUE(e->ProcessCycle(step.now, step.arrivals).ok())
+          << e->name();
+    }
+    for (const QueryId id : live) {
+      const auto want = brute.CurrentResult(id);
+      ASSERT_TRUE(want.ok());
+      for (MonitorEngine* e : engines) {
+        const auto got = e->CurrentResult(id);
+        ASSERT_TRUE(got.ok()) << e->name();
+        ASSERT_EQ(Scores(*got), Scores(*want))
+            << "engine " << e->name() << " diverged on workload '" << name
+            << "' query " << id << " at cycle " << s;
+      }
+    }
+  }
+}
+
+TEST(EngineFuzzTest, NamedWorkloadsAgreeWithBruteForce) {
+  // TOPKMON_FUZZ_WORKLOAD narrows the run to one registry name (CI fans
+  // out one sanitizer job per workload); unset covers the registry.
+  const char* only = std::getenv("TOPKMON_FUZZ_WORKLOAD");
+  const std::size_t steps = StepCount();
+  for (const WorkloadInfo& info : ListWorkloads()) {
+    if (only != nullptr && info.name != only) continue;
+    SCOPED_TRACE(info.name);
+    FuzzWorkload(info.name, steps);
   }
 }
 

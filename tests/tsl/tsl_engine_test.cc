@@ -36,11 +36,27 @@ TEST(TslEngineTest, NameAndBasicErrors) {
             StatusCode::kAlreadyExists);
 }
 
-TEST(TslEngineTest, ConstrainedQueriesUnsupported) {
-  TslEngine engine(SmallOptions(2, 100));
-  QuerySpec q = LinearQuery(1, 2, {1.0, 1.0});
-  q.constraint = Rect::UnitSpace(2);
-  EXPECT_EQ(engine.RegisterQuery(q).code(), StatusCode::kUnimplemented);
+TEST(TslEngineTest, ConstrainedQueriesMatchBruteForce) {
+  // Constraint support landed with the piecewise decomposition (PR 7):
+  // probes skip out-of-region records and the TA refill filters at
+  // resolve time. Pin against BruteForce on a churning stream.
+  const WindowSpec window = WindowSpec::Count(120);
+  TslEngine engine(SmallOptions(2, 120));
+  BruteForceEngine brute(2, window);
+  QuerySpec q = LinearQuery(1, 4, {1.0, 1.0});
+  q.constraint = Rect(Point({0.2, 0.3}), Point({0.7, 0.9}));
+  TOPKMON_ASSERT_OK(engine.RegisterQuery(q));
+  TOPKMON_ASSERT_OK(brute.RegisterQuery(q));
+  RecordSource source(MakeGenerator(Distribution::kIndependent, 2, 17));
+  for (Timestamp now = 1; now <= 8; ++now) {
+    const std::vector<Record> batch = source.NextBatch(40, now);
+    TOPKMON_ASSERT_OK(engine.ProcessCycle(now, batch));
+    TOPKMON_ASSERT_OK(brute.ProcessCycle(now, batch));
+    const auto got = engine.CurrentResult(1);
+    const auto want = brute.CurrentResult(1);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(testing::Scores(*got), testing::Scores(*want)) << now;
+  }
 }
 
 TEST(TslEngineTest, InitialComputationUsesTa) {

@@ -1,0 +1,259 @@
+// The named-workload library (PR 7): registry coverage, option
+// validation, sane emission bounds for every registered name, and the
+// core contract — same name + options + seed produces a byte-identical
+// step sequence.
+
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/brute_force_engine.h"
+#include "core/tma_engine.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+WorkloadOptions SmallOptions(std::uint64_t seed = 42) {
+  WorkloadOptions opt;
+  opt.dim = 2;
+  opt.seed = seed;
+  opt.k = 4;
+  opt.mean_batch = 24;
+  opt.num_queries = 5;
+  return opt;
+}
+
+std::vector<WorkloadStep> Drain(Workload& w, int steps) {
+  std::vector<WorkloadStep> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) out.push_back(w.NextStep());
+  return out;
+}
+
+/// Bitwise step equality: record ids, coordinates and timestamps, plus
+/// the query-event schedule (specs compared by rendered function and by
+/// exact scores on deterministic probe points).
+void ExpectStepsIdentical(const std::vector<WorkloadStep>& a,
+                          const std::vector<WorkloadStep>& b, int dim) {
+  ASSERT_EQ(a.size(), b.size());
+  const std::vector<Point> probes = {Point{0.125, 0.875}, Point{0.5, 0.5},
+                                     Point{0.9375, 0.0625}};
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    SCOPED_TRACE("step " + std::to_string(s));
+    EXPECT_EQ(a[s].cycle, b[s].cycle);
+    EXPECT_EQ(a[s].now, b[s].now);
+    ASSERT_EQ(a[s].arrivals.size(), b[s].arrivals.size());
+    for (std::size_t i = 0; i < a[s].arrivals.size(); ++i) {
+      const Record& ra = a[s].arrivals[i];
+      const Record& rb = b[s].arrivals[i];
+      ASSERT_EQ(ra.id, rb.id);
+      ASSERT_EQ(ra.arrival, rb.arrival);
+      for (int d = 0; d < dim; ++d) {
+        ASSERT_EQ(ra.position[d], rb.position[d]) << "record " << ra.id;
+      }
+    }
+    ASSERT_EQ(a[s].query_events.size(), b[s].query_events.size());
+    for (std::size_t i = 0; i < a[s].query_events.size(); ++i) {
+      const QueryEvent& ea = a[s].query_events[i];
+      const QueryEvent& eb = b[s].query_events[i];
+      ASSERT_EQ(ea.kind, eb.kind);
+      ASSERT_EQ(ea.id, eb.id);
+      if (ea.kind != QueryEvent::kRegister) continue;
+      ASSERT_EQ(ea.spec.k, eb.spec.k);
+      ASSERT_EQ(ea.spec.constraint.has_value(),
+                eb.spec.constraint.has_value());
+      ASSERT_EQ(ea.spec.function->ToString(), eb.spec.function->ToString());
+      for (const Point& p : probes) {
+        ASSERT_EQ(ea.spec.function->Score(p), eb.spec.function->Score(p));
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, RegistryListsAtLeastEightDistinctNames) {
+  const auto& infos = ListWorkloads();
+  EXPECT_GE(infos.size(), 8u);
+  std::set<std::string> names;
+  for (const WorkloadInfo& info : infos) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    names.insert(info.name);
+  }
+  EXPECT_EQ(names.size(), infos.size()) << "duplicate registry names";
+  for (const char* expected :
+       {"uniform", "zipfian-keys", "zipfian-queries", "bursty", "diurnal",
+        "query-churn", "multi-tenant", "adversarial-slack"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(WorkloadTest, EveryNameConstructsAndEmitsSaneBounds) {
+  const WorkloadOptions opt = SmallOptions();
+  for (const WorkloadInfo& info : ListWorkloads()) {
+    SCOPED_TRACE(info.name);
+    auto workload = MakeWorkload(info.name, opt);
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    EXPECT_EQ((*workload)->name(), info.name);
+    EXPECT_EQ((*workload)->dim(), opt.dim);
+    for (const WorkloadParam& p : (*workload)->Params()) {
+      EXPECT_FALSE(p.name.empty());
+      EXPECT_FALSE(p.description.empty()) << p.name;
+    }
+    RecordId last_id = 0;
+    Timestamp last_ts = 0;
+    std::set<QueryId> live;
+    std::size_t total_arrivals = 0;
+    const int kSteps = 40;
+    for (int s = 0; s < kSteps; ++s) {
+      const WorkloadStep step = (*workload)->NextStep();
+      EXPECT_EQ(step.cycle, static_cast<std::uint64_t>(s));
+      for (const QueryEvent& ev : step.query_events) {
+        if (ev.kind == QueryEvent::kRegister) {
+          EXPECT_FALSE(live.count(ev.id)) << "re-registered id " << ev.id;
+          TOPKMON_EXPECT_OK(ev.spec.Validate(opt.dim));
+          EXPECT_EQ(ev.spec.id, ev.id);
+          live.insert(ev.id);
+        } else {
+          EXPECT_TRUE(live.count(ev.id)) << "unregistered unknown " << ev.id;
+          live.erase(ev.id);
+        }
+      }
+      for (const Record& r : step.arrivals) {
+        EXPECT_GT(r.id, last_id) << "record ids not strictly increasing";
+        last_id = r.id;
+        EXPECT_GE(r.arrival, last_ts) << "timestamps regressed";
+        EXPECT_LE(r.arrival, step.now) << "timestamp from the future";
+        last_ts = r.arrival;
+        ASSERT_EQ(r.position.dim(), opt.dim);
+        for (int d = 0; d < opt.dim; ++d) {
+          EXPECT_GE(r.position[d], 0.0);
+          EXPECT_LE(r.position[d], 1.0);
+        }
+      }
+      total_arrivals += step.arrivals.size();
+    }
+    // Every workload produces traffic around the configured mean: at
+    // least a trickle, at most the burst ceiling.
+    EXPECT_GE(total_arrivals, static_cast<std::size_t>(kSteps));
+    EXPECT_LE(total_arrivals, opt.mean_batch * kSteps * 16);
+    EXPECT_FALSE(live.empty()) << "workload ended with no live queries";
+  }
+}
+
+TEST(WorkloadTest, SameNameAndSeedIsByteIdentical) {
+  const WorkloadOptions opt = SmallOptions(1234);
+  for (const WorkloadInfo& info : ListWorkloads()) {
+    SCOPED_TRACE(info.name);
+    auto a = MakeWorkload(info.name, opt);
+    auto b = MakeWorkload(info.name, opt);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectStepsIdentical(Drain(**a, 30), Drain(**b, 30), opt.dim);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiverge) {
+  auto a = MakeWorkload("uniform", SmallOptions(1));
+  auto b = MakeWorkload("uniform", SmallOptions(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  const WorkloadStep sa = (*a)->NextStep();
+  const WorkloadStep sb = (*b)->NextStep();
+  ASSERT_FALSE(sa.arrivals.empty());
+  ASSERT_EQ(sa.arrivals.size(), sb.arrivals.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < sa.arrivals.size() && !any_difference; ++i) {
+    for (int d = 0; d < 2; ++d) {
+      if (sa.arrivals[i].position[d] != sb.arrivals[i].position[d]) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(WorkloadTest, InvalidSelectionsAreRejectedWithGuidance) {
+  const WorkloadOptions opt = SmallOptions();
+  const auto unknown = MakeWorkload("no-such-workload", opt);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // The error names the registered workloads.
+  EXPECT_NE(unknown.status().ToString().find("uniform"), std::string::npos);
+
+  WorkloadOptions bad_dim = opt;
+  bad_dim.dim = 0;
+  EXPECT_FALSE(MakeWorkload("uniform", bad_dim).ok());
+  WorkloadOptions bad_k = opt;
+  bad_k.k = 0;
+  EXPECT_FALSE(MakeWorkload("uniform", bad_k).ok());
+
+  WorkloadOptions typo = opt;
+  typo.params["burst-factr"] = 2.0;
+  const auto rejected = MakeWorkload("bursty", typo);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().ToString().find("burst-factor"),
+            std::string::npos)
+      << "error should list the declared parameters";
+}
+
+TEST(WorkloadTest, DeclaredParamOverridesApply) {
+  WorkloadOptions opt = SmallOptions();
+  opt.params["burst-factor"] = 3.5;
+  auto workload = MakeWorkload("bursty", opt);
+  ASSERT_TRUE(workload.ok());
+  bool found = false;
+  for (const WorkloadParam& p : (*workload)->Params()) {
+    if (p.name == "burst-factor") {
+      found = true;
+      EXPECT_EQ(p.value, 3.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadTest, StepsDriveEnginesInLockstep) {
+  // The emitted streams must satisfy the engine Append contract even
+  // for the adversarial workloads, and the engines must agree on them.
+  for (const char* name : {"zipfian-queries", "adversarial-slack"}) {
+    SCOPED_TRACE(name);
+    auto workload = MakeWorkload(name, SmallOptions(7));
+    ASSERT_TRUE(workload.ok());
+    const WindowSpec window = WindowSpec::Count(150);
+    BruteForceEngine brute(2, window);
+    GridEngineOptions grid;
+    grid.dim = 2;
+    grid.window = window;
+    grid.cell_budget = 144;
+    TmaEngine tma(grid);
+    std::set<QueryId> live;
+    for (int s = 0; s < 25; ++s) {
+      const WorkloadStep step = (*workload)->NextStep();
+      for (const QueryEvent& ev : step.query_events) {
+        if (ev.kind == QueryEvent::kRegister) {
+          TOPKMON_ASSERT_OK(brute.RegisterQuery(ev.spec));
+          TOPKMON_ASSERT_OK(tma.RegisterQuery(ev.spec));
+          live.insert(ev.id);
+        } else {
+          TOPKMON_ASSERT_OK(brute.UnregisterQuery(ev.id));
+          TOPKMON_ASSERT_OK(tma.UnregisterQuery(ev.id));
+          live.erase(ev.id);
+        }
+      }
+      TOPKMON_ASSERT_OK(brute.ProcessCycle(step.now, step.arrivals));
+      TOPKMON_ASSERT_OK(tma.ProcessCycle(step.now, step.arrivals));
+      for (const QueryId id : live) {
+        const auto want = brute.CurrentResult(id);
+        const auto got = tma.CurrentResult(id);
+        ASSERT_TRUE(want.ok() && got.ok());
+        EXPECT_EQ(testing::Scores(*got), testing::Scores(*want))
+            << "query " << id << " step " << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -19,6 +19,11 @@
 6. Operations lockstep: docs/OPERATIONS.md (the operator's manual)
    references both the protocol and the journal format; it must state
    both versions, matching the same headers.
+7. Workload registry lockstep: every workload name registered between
+   the `// workload-registry-begin` / `-end` markers in
+   src/workload/workload.cc must have its own heading in
+   docs/WORKLOADS.md, so a new generator can never ship undocumented
+   (and a renamed one can never leave a stale section behind).
 """
 
 import os
@@ -132,6 +137,51 @@ def check_version_lockstep(what, header_rel, header_re, constant_name,
     return errors
 
 
+WORKLOAD_NAME_RE = re.compile(r'^\s*\{"([a-z0-9-]+)"', re.MULTILINE)
+
+
+def check_workload_registry():
+    """Every name registered in src/workload/workload.cc has a heading
+    in docs/WORKLOADS.md, and no documented heading is unregistered."""
+    source = os.path.join(REPO, "src", "workload", "workload.cc")
+    doc = os.path.join(REPO, "docs", "WORKLOADS.md")
+    errors = []
+    try:
+        text = open(source, encoding="utf-8").read()
+    except OSError as e:
+        return [f"cannot read {source}: {e}"]
+    begin = text.find("// workload-registry-begin")
+    end = text.find("// workload-registry-end")
+    if begin < 0 or end < 0 or end <= begin:
+        return [f"src/workload/workload.cc: workload-registry-begin/-end "
+                "markers not found"]
+    names = WORKLOAD_NAME_RE.findall(text[begin:end])
+    if not names:
+        return ["src/workload/workload.cc: no names parsed between the "
+                "registry markers"]
+    doc_headings = heading_slugs(doc)
+    if not doc_headings:
+        return [f"cannot read {doc} (or it has no headings)"]
+    for name in names:
+        if github_slug(name) not in doc_headings:
+            errors.append(
+                f"docs/WORKLOADS.md: registered workload '{name}' has no "
+                "heading — document it alongside the registration")
+    # Level-2 headings that look like workload names but are not
+    # registered are stale sections from a rename or removal.
+    documented = {
+        github_slug(h)
+        for h in HEADING_RE.findall(open(doc, encoding="utf-8").read())
+    }
+    registered = {github_slug(n) for n in names}
+    known_prose = {"named-workloads", "selecting-a-workload"}
+    for slug in sorted(documented - registered - known_prose):
+        errors.append(
+            f"docs/WORKLOADS.md: heading '{slug}' matches no registered "
+            "workload — remove the stale section or register the name")
+    return errors
+
+
 def main():
     errors = check_links()
     errors += check_version_lockstep(
@@ -166,6 +216,7 @@ def main():
         NET_HEADER_VERSION_RE, "kNetProtocolVersion",
         "docs/CLUSTER.md", NET_DOC_VERSION_RE,
         "**Protocol version:** N")
+    errors += check_workload_registry()
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
@@ -173,7 +224,8 @@ def main():
         return 1
     print("docs check passed (links and intra-doc anchors resolve; "
           "journal format, network protocol, replication, operations "
-          "and cluster versions in lockstep)")
+          "and cluster versions in lockstep; workload registry "
+          "documented)")
     return 0
 
 
