@@ -69,7 +69,7 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
     }
     node.port = node.server->port();
     endpoints.push_back(
-        PartitionEndpoint{options.net.bind_address, node.port});
+        PartitionEndpoint{options.net.bind_address, node.port, {}});
     cluster->nodes_.push_back(std::move(node));
   }
   Result<PartitionMap> map = PartitionMap::Create(std::move(endpoints));

@@ -32,17 +32,20 @@ Result<PartitionMap> PartitionMap::Create(
       return Status::InvalidArgument("partition " + std::to_string(i) +
                                      " has port 0");
     }
+    for (const PartitionEndpoint& replica : endpoints[i].replicas) {
+      if (replica.host.empty() || replica.port == 0) {
+        return Status::InvalidArgument(
+            "partition " + std::to_string(i) +
+            " has a malformed replica endpoint");
+      }
+    }
   }
   return PartitionMap(std::move(endpoints));
 }
 
 Result<PartitionMap> PartitionMap::Parse(const std::string& spec) {
-  std::vector<PartitionEndpoint> endpoints;
-  std::size_t start = 0;
-  while (start <= spec.size()) {
-    std::size_t comma = spec.find(',', start);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string item = spec.substr(start, comma - start);
+  const auto parse_one =
+      [](const std::string& item) -> Result<PartitionEndpoint> {
     const std::size_t colon = item.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
         colon + 1 == item.size()) {
@@ -56,8 +59,35 @@ Result<PartitionMap> PartitionMap::Parse(const std::string& spec) {
       return Status::InvalidArgument("bad port in partition endpoint '" +
                                      item + "'");
     }
-    endpoints.push_back(PartitionEndpoint{
-        item.substr(0, colon), static_cast<std::uint16_t>(port)});
+    return PartitionEndpoint{item.substr(0, colon),
+                             static_cast<std::uint16_t>(port),
+                             {}};
+  };
+  std::vector<PartitionEndpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    // "leader:port|standby:port|..." — the '|' tail is the partition's
+    // failover replica set.
+    std::size_t piece_start = 0;
+    PartitionEndpoint partition;
+    bool first = true;
+    while (piece_start <= item.size()) {
+      std::size_t bar = item.find('|', piece_start);
+      if (bar == std::string::npos) bar = item.size();
+      auto parsed = parse_one(item.substr(piece_start, bar - piece_start));
+      if (!parsed.ok()) return parsed.status();
+      if (first) {
+        partition = std::move(*parsed);
+        first = false;
+      } else {
+        partition.replicas.push_back(std::move(*parsed));
+      }
+      piece_start = bar + 1;
+    }
+    endpoints.push_back(std::move(partition));
     start = comma + 1;
   }
   return Create(std::move(endpoints));

@@ -28,10 +28,15 @@
 
 namespace topkmon {
 
-/// One partition's TCP endpoint.
+/// One partition's TCP endpoint, plus the standby replicas of its
+/// replication group (v5). `replicas` lists where the router looks for
+/// the new leader when this endpoint answers FENCED or dies — the order
+/// is plain configuration, probes decide who actually leads. Nested
+/// replicas-of-replicas are not a thing; inner lists stay empty.
 struct PartitionEndpoint {
   std::string host;
   std::uint16_t port = 0;
+  std::vector<PartitionEndpoint> replicas;
 };
 
 /// Immutable ordered list of partition endpoints; the index in the list
@@ -42,7 +47,11 @@ class PartitionMap {
   /// Requires 1..256 endpoints with non-empty hosts and non-zero ports.
   static Result<PartitionMap> Create(std::vector<PartitionEndpoint> endpoints);
 
-  /// Parses "host:port,host:port,..." (the CLI / config syntax).
+  /// Parses "host:port,host:port,..." (the CLI / config syntax). Each
+  /// partition may name failover replicas with '|':
+  /// "host:port|standby:port|standby2:port,next-partition:port" — the
+  /// first endpoint is the presumed leader, the rest are where the
+  /// router re-resolves after a failover.
   static Result<PartitionMap> Parse(const std::string& spec);
 
   std::size_t partitions() const { return endpoints_.size(); }

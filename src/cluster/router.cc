@@ -18,7 +18,12 @@ ClusterRouter::ClusterRouter(PartitionMap map, std::string label,
       clients_(map_.partitions()),
       resumed_(map_.partitions(), false),
       local_to_global_(map_.partitions()),
-      mux_(map_.partitions()) {}
+      mux_(map_.partitions()) {
+  active_.reserve(map_.partitions());
+  for (std::size_t p = 0; p < map_.partitions(); ++p) {
+    active_.push_back(map_.endpoint(p));
+  }
+}
 
 ClusterRouter::~ClusterRouter() = default;
 
@@ -28,23 +33,27 @@ std::string SessionLabel(const std::string& label, std::size_t partition) {
   return label + "#p" + std::to_string(partition);
 }
 
-/// Dials one partition and verifies its announced identity against the
-/// map — a mis-ordered endpoint list must fail loudly, not scramble the
-/// record-id namespace.
+/// Dials one partition endpoint and verifies its announced identity
+/// against the map — a mis-ordered endpoint list must fail loudly, not
+/// scramble the record-id namespace. Replica endpoints carry the same
+/// server tag as their partition's primary, so the check holds across
+/// failovers too.
 Result<std::unique_ptr<MonitorClient>> DialPartition(
-    const PartitionMap& map, std::size_t p, const std::string& label,
+    const PartitionEndpoint& ep, std::size_t p, const std::string& label,
     bool resume, const NetClientOptions& net) {
   Result<std::unique_ptr<MonitorClient>> client = MonitorClient::Connect(
-      map.endpoint(p).host, map.endpoint(p).port, SessionLabel(label, p),
-      resume, net);
+      ep.host, ep.port, SessionLabel(label, p), resume, net);
   if (!client.ok()) {
-    return Status::Unavailable(map.Describe(p) + " is unreachable: " +
+    return Status::Unavailable("partition " + std::to_string(p) + " at " +
+                               ep.host + ":" + std::to_string(ep.port) +
+                               " is unreachable: " +
                                client.status().message());
   }
   const std::uint32_t tag = (*client)->server_tag();
   if (tag != p) {
     return Status::InvalidArgument(
-        "partition map mismatch: " + map.Describe(p) + " announced " +
+        "partition map mismatch: partition " + std::to_string(p) + " at " +
+        ep.host + ":" + std::to_string(ep.port) + " announced " +
         (tag == kNoServerTag ? std::string("no server tag")
                              : "server tag " + std::to_string(tag)) +
         ", expected " + std::to_string(p) +
@@ -62,7 +71,7 @@ Result<std::unique_ptr<ClusterRouter>> ClusterRouter::Connect(
       new ClusterRouter(std::move(map), label, options));
   for (std::size_t p = 0; p < router->map_.partitions(); ++p) {
     Result<std::unique_ptr<MonitorClient>> client = DialPartition(
-        router->map_, p, router->label_, resume, options.net);
+        router->active_[p], p, router->label_, resume, options.net);
     if (!client.ok()) return client.status();
     router->resumed_[p] = (*client)->resumed();
     router->clients_[p] = std::move(*client);
@@ -77,10 +86,58 @@ Status ClusterRouter::Reconnect(std::size_t partition) {
   }
   clients_[partition].reset();
   Result<std::unique_ptr<MonitorClient>> client = DialPartition(
-      map_, partition, label_, /*resume=*/true, options_.net);
+      active_[partition], partition, label_, /*resume=*/true, options_.net);
   if (!client.ok()) return client.status();
   resumed_[partition] = (*client)->resumed();
   clients_[partition] = std::move(*client);
+  return Status::Ok();
+}
+
+Status ClusterRouter::ReResolve(std::size_t partition) {
+  if (partition >= map_.partitions()) {
+    return Status::InvalidArgument("partition " + std::to_string(partition) +
+                                   " out of range");
+  }
+  // Probe the configured primary and every replica; keep the connection
+  // to the highest-epoch leader (several may claim the role briefly —
+  // a deposed leader that has not yet fenced loses on epoch).
+  std::vector<PartitionEndpoint> candidates;
+  candidates.push_back(map_.endpoint(partition));
+  for (const PartitionEndpoint& r : map_.endpoint(partition).replicas) {
+    candidates.push_back(r);
+  }
+  std::unique_ptr<MonitorClient> best;
+  PartitionEndpoint best_ep;
+  std::uint64_t best_epoch = 0;
+  for (const PartitionEndpoint& cand : candidates) {
+    Result<std::unique_ptr<MonitorClient>> client = DialPartition(
+        cand, partition, label_, /*resume=*/true, options_.net);
+    if (!client.ok()) continue;
+    const auto status = (*client)->GetStatus();
+    if (!status.ok() || status->role != 0 /* leader */) {
+      (void)(*client)->Close(/*close_session=*/false);
+      continue;
+    }
+    if (best == nullptr || status->fencing_epoch > best_epoch) {
+      if (best != nullptr) (void)best->Close(/*close_session=*/false);
+      best = std::move(*client);
+      best_ep = cand;
+      best_epoch = status->fencing_epoch;
+    } else {
+      (void)(*client)->Close(/*close_session=*/false);
+    }
+  }
+  if (best == nullptr) {
+    clients_[partition].reset();
+    return Status::Unavailable(
+        "no live leader for " + map_.Describe(partition) +
+        " or any of its replicas (failover still electing?); retry "
+        "ReResolve(" + std::to_string(partition) + ")");
+  }
+  best_ep.replicas.clear();  // active_ tracks a single dial target
+  active_[partition] = std::move(best_ep);
+  resumed_[partition] = best->resumed();
+  clients_[partition] = std::move(best);
   return Status::Ok();
 }
 
@@ -124,6 +181,21 @@ Status ClusterRouter::IngestPartition(std::size_t p,
     report->accepted += ack->accepted;
     off += ack->accepted;
     if (ack->rejected == 0) return Status::Ok();
+    if (ack->first_error.code() == StatusCode::kFenced) {
+      // The partition's leader was deposed mid-stream (v5): find the
+      // promoted replica and resend the unaccepted suffix there — a
+      // fenced leader admits nothing, so `off` already marks exactly
+      // what still needs to land.
+      const Status re = ReResolve(p);
+      if (!re.ok() || --retries < 0) {
+        report->rejected += batch.size() - off;
+        if (report->first_error.ok()) {
+          report->first_error = re.ok() ? ack->first_error : re;
+        }
+        return Status::Ok();
+      }
+      continue;
+    }
     if (ack->first_error.code() != StatusCode::kResourceExhausted) {
       // Per-tuple refusals (validation etc.): the server judged the
       // whole batch, nothing left to resend.
@@ -193,6 +265,12 @@ Status ClusterRouter::RegisterEverywhere(const QuerySpec& spec,
       return Down(p, "cannot register query");
     }
     Result<QueryId> local = clients_[p]->Register(spec);
+    if (!local.ok() && local.status().code() == StatusCode::kFenced &&
+        ReResolve(p).ok()) {
+      // Deposed leader: the promoted replica replayed the same journal,
+      // so registering there continues the same local-id sequence.
+      local = clients_[p]->Register(spec);
+    }
     if (!local.ok()) {
       const Status st = clients_[p]->connected()
                             ? local.status()
@@ -248,7 +326,10 @@ Status ClusterRouter::Unregister(QueryId query) {
     }
   }
   for (std::size_t p = 0; p < map_.partitions(); ++p) {
-    const Status st = clients_[p]->Unregister(it->second.locals[p]);
+    Status st = clients_[p]->Unregister(it->second.locals[p]);
+    if (st.code() == StatusCode::kFenced && ReResolve(p).ok()) {
+      st = clients_[p]->Unregister(it->second.locals[p]);
+    }
     if (st.ok() || st.code() == StatusCode::kNotFound) continue;
     return clients_[p]->connected() ? st : MarkDown(p, st);
   }

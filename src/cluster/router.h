@@ -146,7 +146,24 @@ class ClusterRouter {
   /// partition, resuming its session by label. The delta multiplexer
   /// absorbs the resumed stream; if the partition itself restarted in
   /// between, the stream re-baselines (partition_restarts() ticks).
+  /// Dials the partition's *current* endpoint — after a ReResolve this
+  /// is the promoted replica, not the map's configured primary.
   Status Reconnect(std::size_t partition);
+
+  /// Leader re-resolution (v5): probes the partition's configured
+  /// endpoint and every replica (PartitionEndpoint::replicas), adopts
+  /// the one answering as a leader with the highest fencing epoch, and
+  /// reconnects the partition's session there. Called automatically
+  /// when a write bounces with FENCED (the old leader was deposed);
+  /// callable directly after an orchestrated failover. Fails Unavailable
+  /// when no probed endpoint currently leads (election still running).
+  Status ReResolve(std::size_t partition);
+
+  /// The endpoint partition p's connection currently targets (the map's
+  /// primary until a ReResolve moves it).
+  const PartitionEndpoint& active_endpoint(std::size_t p) const {
+    return active_[p];
+  }
 
   /// Closes every live connection; with close_session the per-partition
   /// sessions are released too (no resume afterwards).
@@ -177,6 +194,8 @@ class ClusterRouter {
   const ClusterRouterOptions options_;
   std::vector<std::unique_ptr<MonitorClient>> clients_;
   std::vector<bool> resumed_;
+  /// Current dial target per partition (primary until ReResolve).
+  std::vector<PartitionEndpoint> active_;
 
   /// One globally-registered query: its local id on each partition
   /// (index = partition) plus the merge cardinality.

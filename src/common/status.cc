@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kFenced:
+      return "FENCED";
   }
   return "UNKNOWN";
 }

@@ -32,6 +32,9 @@ enum class StatusCode {
   kUnavailable,       ///< the serving endpoint is unreachable (e.g. a
                       ///< cluster partition is down); retry after it
                       ///< recovers — other partitions keep serving
+  kFenced,            ///< the server's leader lease lapsed or a higher
+                      ///< fencing epoch exists; writes are permanently
+                      ///< refused here — re-resolve to the new leader
 };
 
 /// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -79,6 +82,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Fenced(std::string msg) {
+    return Status(StatusCode::kFenced, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace topkmon {
 namespace {
@@ -81,6 +82,7 @@ Result<std::unique_ptr<MonitorClient>> MonitorClient::Connect(
   client->resumed_ = welcome->resumed;
   client->server_role_ = welcome->role;
   client->server_tag_ = welcome->server_tag;
+  client->fencing_epoch_ = welcome->fencing_epoch;
   return client;
 }
 
@@ -213,6 +215,7 @@ Result<MonitorClient::IngestAck> MonitorClient::Ingest(
   out.rejected = ack->rejected;
   out.queue_hint = ack->queue_hint;
   last_ingest_hint_ = ack->queue_hint;
+  fencing_epoch_ = std::max(fencing_epoch_, ack->fencing_epoch);
   if (ack->code != StatusCode::kOk) {
     out.first_error = Status(ack->code, ack->message);
   }
@@ -271,6 +274,7 @@ Result<ShipChunk> MonitorClient::ReplFetch(std::uint64_t segment,
   auto reply = RoundTrip(body, NetMessageType::kReplChunk, wait);
   if (!reply.ok()) return reply.status();
   leader_cycle_ts_ = std::max(leader_cycle_ts_, reply->leader_cycle_ts);
+  fencing_epoch_ = std::max(fencing_epoch_, reply->fencing_epoch);
   ShipChunk chunk;
   chunk.segment = reply->segment;
   chunk.offset = reply->offset;
@@ -296,6 +300,40 @@ Result<std::vector<DeltaEvent>> MonitorClient::PollDeltas(
     last_seq_ = std::max(last_seq_, e.seq);
   }
   return std::move(deltas->events);
+}
+
+Result<MonitorClient::ServerStatus> MonitorClient::GetStatus() {
+  std::string body;
+  EncodeStatusRequest(&body);
+  auto info = RoundTrip(body, NetMessageType::kStatusInfo);
+  if (!info.ok()) return info.status();
+  fencing_epoch_ = std::max(fencing_epoch_, info->fencing_epoch);
+  ServerStatus out;
+  out.role = info->role;
+  out.fencing_epoch = info->fencing_epoch;
+  out.applied_cycle_ts = info->as_of;
+  out.journal_segment = info->segment;
+  out.journal_offset = info->offset;
+  return out;
+}
+
+Status MonitorClient::WaitForAsOf(QueryId query, Timestamp target,
+                                  std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    auto result = CurrentResult(query);
+    if (!result.ok()) return result.status();
+    if (snapshot_as_of_ >= target) return Status::Ok();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable(
+          "server as-of frontier " + std::to_string(snapshot_as_of_) +
+          " did not reach " + std::to_string(target) + " within " +
+          std::to_string(timeout.count()) + "ms");
+    }
+    // The frontier advances one replication cycle at a time; a short
+    // sleep keeps the poll from hammering the snapshot path.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
 }
 
 Status MonitorClient::Close(bool close_session) {

@@ -72,6 +72,13 @@ class MonitorClient {
   /// trusting a connection.
   std::uint32_t server_tag() const { return server_tag_; }
 
+  /// Highest fencing epoch this client has observed (v5) — carried on
+  /// Welcome, IngestAck, ReplChunk and StatusInfo. A jump above the
+  /// epoch a leader connection was established at means that leader has
+  /// been deposed; routers re-resolve on the FENCED refusal itself, but
+  /// this accessor lets them compare candidate leaders by term.
+  std::uint64_t fencing_epoch() const { return fencing_epoch_; }
+
   /// False once a transport error (send/recv failure, timeout, framing
   /// error) has poisoned the connection — every later call fails until
   /// the caller re-Connects. Lets the cluster router tell a dead
@@ -137,6 +144,31 @@ class MonitorClient {
   /// answer — the follower's staleness reference.
   Timestamp leader_cycle_ts() const { return leader_cycle_ts_; }
 
+  /// One Status/StatusInfo probe answer (v5): the peer's role, fencing
+  /// epoch, applied cycle frontier, and local journal end. Electing
+  /// followers rank each other on (applied_cycle_ts, journal position);
+  /// operators use it as a cheap liveness/role check.
+  struct ServerStatus {
+    std::uint8_t role = 0;  ///< 0 = leader, 1 = follower
+    std::uint64_t fencing_epoch = 0;
+    Timestamp applied_cycle_ts = 0;
+    std::uint64_t journal_segment = 0;
+    std::uint64_t journal_offset = 0;
+  };
+
+  /// Probes the server's replication status (v5). Cheap and read-only:
+  /// safe to call in election loops at sub-second cadence.
+  Result<ServerStatus> GetStatus();
+
+  /// Read-your-writes wait (v5): polls `query`'s snapshot until the
+  /// server's as-of frontier reaches `target` (e.g. the leader frontier
+  /// another client observed after its write) or `timeout` passes
+  /// (DEADLINE_EXCEEDED). On Ok, the last CurrentResult this client
+  /// issues here — and every later one against the same server — is
+  /// guaranteed to reflect all cycles up to `target`.
+  Status WaitForAsOf(QueryId query, Timestamp target,
+                     std::chrono::milliseconds timeout);
+
   /// Long-polls the session's delta subscription: blocks server-side
   /// until events arrive or `timeout` expires (empty result = timeout).
   /// max_events==0 lets the server pick its cap.
@@ -188,6 +220,7 @@ class MonitorClient {
   bool resumed_ = false;
   std::uint8_t server_role_ = 0;
   std::uint32_t server_tag_ = kNoServerTag;
+  std::uint64_t fencing_epoch_ = 0;
   std::uint64_t last_seq_ = 0;
   Timestamp deltas_as_of_ = 0;
   bool deltas_truncated_ = false;

@@ -53,6 +53,7 @@ std::uint8_t NetEncodeStatusCode(StatusCode code) {
     case StatusCode::kInternal: return 7;
     case StatusCode::kResourceExhausted: return 8;
     case StatusCode::kUnavailable: return 9;
+    case StatusCode::kFenced: return 10;
   }
   return 7;
 }
@@ -68,6 +69,7 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire_value) {
     case 6: return StatusCode::kUnimplemented;
     case 8: return StatusCode::kResourceExhausted;
     case 9: return StatusCode::kUnavailable;
+    case 10: return StatusCode::kFenced;
     default: return StatusCode::kInternal;
   }
 }
@@ -81,13 +83,15 @@ void EncodeHello(bool resume, const std::string& label, std::string* out) {
 }
 
 void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
-                   std::uint32_t server_tag, std::string* out) {
+                   std::uint32_t server_tag, std::uint64_t fencing_epoch,
+                   std::string* out) {
   PutType(NetMessageType::kWelcome, out);
   wire::PutU64(session, out);
   wire::PutU8(resumed ? 1 : 0, out);
   wire::PutU32(kNetProtocolVersion, out);
   wire::PutU8(role, out);
   wire::PutU32(server_tag, out);
+  wire::PutU64(fencing_epoch, out);
 }
 
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
@@ -106,13 +110,14 @@ void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
 
 void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
                      const Status& first_error, std::uint8_t queue_hint,
-                     std::string* out) {
+                     std::uint64_t fencing_epoch, std::string* out) {
   PutType(NetMessageType::kIngestAck, out);
   wire::PutU32(accepted, out);
   wire::PutU32(rejected, out);
   wire::PutU8(NetEncodeStatusCode(first_error.code()), out);
   wire::PutString(first_error.message(), out);
   wire::PutU8(queue_hint, out);
+  wire::PutU64(fencing_epoch, out);
 }
 
 Status EncodeRegister(const QuerySpec& spec, std::string* out) {
@@ -232,8 +237,8 @@ void EncodeReplFetch(std::uint64_t segment, std::uint64_t offset,
 void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
                      bool sealed, bool restart, std::uint64_t next_segment,
                      Timestamp leader_cycle_ts, const std::string& data,
-                     std::string* out) {
-  out->reserve(out->size() + 40 + data.size());
+                     std::uint64_t fencing_epoch, std::string* out) {
+  out->reserve(out->size() + 48 + data.size());
   PutType(NetMessageType::kReplChunk, out);
   wire::PutU64(segment, out);
   wire::PutU64(offset, out);
@@ -244,6 +249,22 @@ void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
   wire::PutI64(leader_cycle_ts, out);
   wire::PutU32(static_cast<std::uint32_t>(data.size()), out);
   out->append(data);
+  wire::PutU64(fencing_epoch, out);
+}
+
+void EncodeStatusRequest(std::string* out) {
+  PutType(NetMessageType::kStatus, out);
+}
+
+void EncodeStatusInfo(std::uint8_t role, std::uint64_t fencing_epoch,
+                      Timestamp applied_cycle_ts, std::uint64_t segment,
+                      std::uint64_t offset, std::string* out) {
+  PutType(NetMessageType::kStatusInfo, out);
+  wire::PutU8(role, out);
+  wire::PutU64(fencing_epoch, out);
+  wire::PutI64(applied_cycle_ts, out);
+  wire::PutU64(segment, out);
+  wire::PutU64(offset, out);
 }
 
 void EncodeNetFrame(const std::string& body, std::string* out) {
@@ -279,6 +300,7 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->version = in.GetU32();
       out->role = in.GetU8();
       out->server_tag = in.GetU32();
+      out->fencing_epoch = in.GetU64();
       return done();
     case NetMessageType::kIngest: {
       out->type = NetMessageType::kIngest;
@@ -298,6 +320,7 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->code = NetDecodeStatusCode(in.GetU8());
       out->message = in.GetString();
       out->queue_hint = in.GetU8();
+      out->fencing_epoch = in.GetU64();
       return done();
     case NetMessageType::kRegister:
       out->type = NetMessageType::kRegister;
@@ -431,8 +454,20 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
         return Status::InvalidArgument("chunk length exceeds body size");
       }
       out->data = in.GetBytes(len);
+      out->fencing_epoch = in.GetU64();
       return done();
     }
+    case NetMessageType::kStatus:
+      out->type = NetMessageType::kStatus;
+      return done();
+    case NetMessageType::kStatusInfo:
+      out->type = NetMessageType::kStatusInfo;
+      out->role = in.GetU8();
+      out->fencing_epoch = in.GetU64();
+      out->as_of = in.GetI64();
+      out->segment = in.GetU64();
+      out->offset = in.GetU64();
+      return done();
   }
   return Status::InvalidArgument("unknown message type " +
                                  std::to_string(type));

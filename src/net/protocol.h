@@ -75,7 +75,17 @@ inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
 /// for requests routed to an unreachable partition; and the piecewise
 /// scoring-function family (wire tag 4) became encodable in
 /// Register/RegisterBatch specs.
-inline constexpr std::uint32_t kNetProtocolVersion = 4;
+///
+/// v5 (automatic failover, docs/REPLICATION.md): Welcome, IngestAck and
+/// ReplChunk carry a trailing fencing_epoch (u64) — the monotone lease
+/// epoch of the answering server's replication group — so clients and
+/// the cluster router can detect a deposed leader the moment it answers;
+/// the FENCED status code (wire value 10) was added for writes refused
+/// by a server whose lease lapsed or that observed a higher epoch; and
+/// the Status/StatusInfo message pair (types 20/21) was added so
+/// followers can poll each other's role, epoch and applied-journal
+/// position during a leader election.
+inline constexpr std::uint32_t kNetProtocolVersion = 5;
 
 /// Welcome server_tag value meaning "no tag configured" (a standalone,
 /// un-clustered server).
@@ -119,6 +129,9 @@ enum class NetMessageType : std::uint8_t {
   kRegisterBatchAck = 17,  ///< per-query outcome (status + assigned id)
   kReplFetch = 18,    ///< replication: journal bytes at (segment, offset)
   kReplChunk = 19,    ///< raw journal bytes + shipping metadata
+  kStatus = 20,       ///< v5: poll the server's role/epoch/progress
+  kStatusInfo = 21,   ///< v5: role, fencing epoch, applied frontier,
+                      ///< journal write position
 };
 
 /// Maximum queries in one RegisterBatch (bounds the work a single frame
@@ -218,6 +231,18 @@ struct NetMessage {
   std::uint64_t next_segment = 0;
   Timestamp leader_cycle_ts = 0;
   std::string data;
+
+  // kWelcome / kIngestAck / kReplChunk / kStatusInfo (v5): the fencing
+  // epoch of the answering server's replication group. Monotone across
+  // failovers; a client that has seen epoch E treats any server
+  // answering with a lower epoch as deposed. 0 on servers that never
+  // enabled leases.
+  std::uint64_t fencing_epoch = 0;
+
+  // kStatusInfo (v5) additionally reuses `role` (0 leader, 1 follower),
+  // `as_of` (the applied-cycle frontier) and `segment`/`offset` (the
+  // journal write position: on a leader the next unwritten byte, on a
+  // follower the next unapplied shipped byte) — the election inputs.
 };
 
 // ---- status codes on the wire -----------------------------------------
@@ -233,14 +258,15 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire);
 
 void EncodeHello(bool resume, const std::string& label, std::string* out);
 void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
-                   std::uint32_t server_tag, std::string* out);
+                   std::uint32_t server_tag, std::uint64_t fencing_epoch,
+                   std::string* out);
 /// Requires tuples non-empty with uniform dimensionality, strictly
 /// increasing ids and non-decreasing arrivals (use a 0..n-1 id ramp over
 /// an arrival-sorted batch — see MonitorClient::Ingest).
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out);
 void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
                      const Status& first_error, std::uint8_t queue_hint,
-                     std::string* out);
+                     std::uint64_t fencing_epoch, std::string* out);
 /// Fails with Unimplemented for scoring-function families without a wire
 /// encoding; *out is unchanged on failure.
 Status EncodeRegister(const QuerySpec& spec, std::string* out);
@@ -276,7 +302,11 @@ void EncodeReplFetch(std::uint64_t segment, std::uint64_t offset,
 void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
                      bool sealed, bool restart, std::uint64_t next_segment,
                      Timestamp leader_cycle_ts, const std::string& data,
-                     std::string* out);
+                     std::uint64_t fencing_epoch, std::string* out);
+void EncodeStatusRequest(std::string* out);
+void EncodeStatusInfo(std::uint8_t role, std::uint64_t fencing_epoch,
+                      Timestamp applied_cycle_ts, std::uint64_t segment,
+                      std::uint64_t offset, std::string* out);
 
 /// Wraps a message body in a frame (length prefix + CRC-32C + body).
 void EncodeNetFrame(const std::string& body, std::string* out);

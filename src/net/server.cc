@@ -603,6 +603,26 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
       conn.poll_epoch = ResumeEpoch(conn.session);
       return;
     }
+    case NetMessageType::kStatus: {
+      // Election probe (v5): role, fencing epoch, applied frontier and
+      // the local journal end, so a candidate follower can compare how
+      // caught-up its peers are without replaying anything.
+      const ReplicationInfo repl = service_.replication();
+      std::uint64_t segment = 0;
+      std::uint64_t offset = 0;
+      if (shipper_ != nullptr) {
+        // Best effort: an unreadable journal dir answers (0, 0) rather
+        // than failing the probe — the applied frontier still carries
+        // the election.
+        (void)shipper_->End(&segment, &offset);
+      }
+      std::string body;
+      EncodeStatusInfo(static_cast<std::uint8_t>(repl.role),
+                       repl.fencing_epoch, repl.applied_cycle_ts, segment,
+                       offset, &body);
+      SendBody(conn, body);
+      return;
+    }
     case NetMessageType::kClose: {
       if (msg.close_session && conn.session != 0) {
         service_.CloseSession(conn.session);
@@ -625,6 +645,7 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
     case NetMessageType::kError:
     case NetMessageType::kRegisterBatchAck:
     case NetMessageType::kReplChunk:
+    case NetMessageType::kStatusInfo:
       break;
   }
   FailConnection(conn,
@@ -693,7 +714,7 @@ void TcpServer::HandleHello(PollLoop& loop, Connection& conn,
   std::string body;
   EncodeWelcome(session, resumed,
                 static_cast<std::uint8_t>(service_.role()),
-                options_.server_tag, &body);
+                options_.server_tag, service_.fencing_epoch(), &body);
   SendBody(conn, body);
 }
 
@@ -720,6 +741,10 @@ void TcpServer::HandleRegisterBatch(Connection& conn,
 }
 
 void TcpServer::HandleReplFetch(Connection& conn, const NetMessage& msg) {
+  // A follower pulling journal bytes IS the leader's lease renewal —
+  // no separate heartbeat message exists. Renewed on arrival, not on
+  // answer: a parked empty fetch still proves the follower is alive.
+  service_.NoteFollowerContact();
   if (shipper_ == nullptr) {
     std::string body;
     EncodeError(Status::FailedPrecondition(
@@ -757,7 +782,7 @@ void TcpServer::HandleReplFetch(Connection& conn, const NetMessage& msg) {
   EncodeReplChunk(chunk->segment, chunk->offset, chunk->sealed,
                   chunk->restart, chunk->next_segment,
                   service_.replication().applied_cycle_ts, chunk->data,
-                  &body);
+                  service_.fencing_epoch(), &body);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.repl_chunks_sent;
@@ -778,7 +803,7 @@ void TcpServer::AnswerFetch(Connection& conn) {
     EncodeReplChunk(chunk->segment, chunk->offset, chunk->sealed,
                     chunk->restart, chunk->next_segment,
                     service_.replication().applied_cycle_ts, chunk->data,
-                    &body);
+                    service_.fencing_epoch(), &body);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.repl_chunks_sent;
     stats_.repl_bytes_shipped += chunk->data.size();
@@ -835,7 +860,8 @@ void TcpServer::HandleIngest(Connection& conn, const NetMessage& msg) {
   }
   std::string body;
   EncodeIngestAck(accepted, rejected, first_error,
-                  service_.IngestPressure(), &body);
+                  service_.IngestPressure(), service_.fencing_epoch(),
+                  &body);
   SendBody(conn, body);
 }
 

@@ -22,7 +22,9 @@ ReplicaFollower::ReplicaFollower(std::unique_ptr<MonitorService> service,
                                  std::string journal_dir)
     : service_(std::move(service)),
       options_(std::move(options)),
-      journal_dir_(std::move(journal_dir)) {}
+      journal_dir_(std::move(journal_dir)),
+      leader_host_(options_.leader_host),
+      leader_port_(options_.leader_port) {}
 
 ReplicaFollower::~ReplicaFollower() { Stop(); }
 
@@ -132,6 +134,10 @@ Status ReplicaFollower::Bootstrap() {
   header_done_ = true;
   anchor_done_ = true;
   apply_anchor_ = false;
+  // These bytes predate this process — they may include a deposed
+  // leader's unshipped tail. The first connect verifies the leader's
+  // fencing epoch before fetching past them (see PumpLoop).
+  resumed_from_disk_ = true;
   std::lock_guard<std::mutex> lock(mu_);
   stats_.current_segment = segment_;
   stats_.shipped_offset = shipped_;
@@ -279,17 +285,34 @@ bool ReplicaFollower::ApplyBuffered(std::string* error) {
 
 void ReplicaFollower::Backoff(std::chrono::milliseconds wait) {
   std::unique_lock<std::mutex> lock(mu_);
-  stop_cv_.wait_for(lock, wait, [this] { return stop_.load(); });
+  stop_cv_.wait_for(lock, wait,
+                    [this] { return stop_.load() || retarget_; });
 }
 
 void ReplicaFollower::PumpLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
+    std::string host;
+    std::uint16_t port = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      host = leader_host_;
+      port = leader_port_;
+      if (retarget_) {
+        // The connection in hand points at a deposed leader; drop it
+        // and fetch from the new one. The ship cursor survives — the
+        // new leader's journal is a byte-superset of everything this
+        // follower applied (it was elected for being longest), so the
+        // fetch either continues in place or draws a restart.
+        retarget_ = false;
+        client_.reset();
+      }
+    }
     if (client_ == nullptr) {
       // Resume by label: reconnects (and follower restarts) re-adopt the
       // one leader-side session this follower owns instead of leaking a
       // fresh session per attempt into the leader's session limit.
       auto connected = MonitorClient::Connect(
-          options_.leader_host, options_.leader_port, options_.label,
+          host, port, options_.label,
           /*resume=*/true, options_.client);
       if (!connected.ok()) {
         std::unique_lock<std::mutex> lock(mu_);
@@ -300,8 +323,36 @@ void ReplicaFollower::PumpLoop() {
         continue;
       }
       client_ = std::move(*connected);
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.connected = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.connected = true;
+      }
+      if (resumed_from_disk_) {
+        resumed_from_disk_ = false;
+        if (client_->fencing_epoch() > service_->fencing_epoch()) {
+          // The journal we resumed from was written under an older
+          // fencing epoch than the leader serves — a deposed leader's
+          // directory rejoining after a failover. Its unshipped tail
+          // occupies the same (segment, offset) coordinates the new
+          // leader filled with its own term's records, so continuing
+          // byte-wise could silently splice two histories. Wipe and
+          // re-ship from scratch; the leader's oldest anchor is a
+          // complete catch-up.
+          if (const Status st = ResyncFrom(0); !st.ok()) {
+            // Nothing was wiped (ResyncFrom resets the service first);
+            // re-arm the guard and retry — fetching suspect bytes is
+            // never an acceptable fallback.
+            resumed_from_disk_ = true;
+            client_.reset();
+            std::unique_lock<std::mutex> lock(mu_);
+            ++stats_.fetch_errors;
+            stats_.connected = false;
+            lock.unlock();
+            Backoff(options_.reconnect_backoff);
+            continue;
+          }
+        }
+      }
     }
     auto chunk = client_->ReplFetch(segment_, shipped_,
                                     options_.fetch_bytes,
@@ -317,10 +368,26 @@ void ReplicaFollower::PumpLoop() {
       continue;
     }
     service_->SetLeaderProgress(client_->leader_cycle_ts());
+    // Adopt the chunk's fencing epoch (v5): this is how a follower
+    // learns a failover happened, and how a restarted old leader —
+    // rejoining as a follower — durably records that its own old term
+    // is over. A failed persist is treated like a fetch error: backing
+    // off and retrying is safer than applying bytes whose epoch we
+    // could not record.
+    if (const Status st =
+            service_->ObserveFencingEpoch(client_->fencing_epoch());
+        !st.ok()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.fetch_errors;
+      lock.unlock();
+      Backoff(options_.reconnect_backoff);
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.chunks_received;
       stats_.bytes_shipped += chunk->data.size();
+      stats_.last_fetch_ok = std::chrono::steady_clock::now();
     }
     if (chunk->restart) {
       // The leader garbage-collected past us (or the journal was
@@ -448,6 +515,32 @@ Status ReplicaFollower::Promote() {
   // promotion snapshot anchors a fresh segment, so the torn local tail
   // is superseded, exactly like a crash tail on recovery.
   return service_->Promote();
+}
+
+Status ReplicaFollower::Promote(std::uint64_t new_epoch) {
+  Stop();
+  return service_->Promote(new_epoch);
+}
+
+void ReplicaFollower::SetLeader(const std::string& host,
+                                std::uint16_t port) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (host == leader_host_ && port == leader_port_) return;
+    leader_host_ = host;
+    leader_port_ = port;
+    retarget_ = true;
+  }
+  service_->SetLeaderEndpoint(host + ":" + std::to_string(port));
+  // Wake the pump if it is backing off between reconnect attempts; an
+  // in-flight long-poll fetch is not interrupted, so the re-target
+  // takes effect within one fetch_wait at most.
+  stop_cv_.notify_all();
+}
+
+std::string ReplicaFollower::leader_endpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leader_host_ + ":" + std::to_string(leader_port_);
 }
 
 }  // namespace topkmon

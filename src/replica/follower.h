@@ -93,6 +93,12 @@ struct ReplicaFollowerStats {
   Timestamp applied_cycle_ts = 0;
   Timestamp leader_cycle_ts = 0;
   bool connected = false;
+  /// Steady-clock instant of the last *successful* fetch (including
+  /// empty long-poll answers — they still prove the leader is alive).
+  /// Zero (epoch of the steady clock) until the first success. The
+  /// failover agent's liveness probe: a leader is presumed dead once
+  /// this stalls past the election timeout.
+  std::chrono::steady_clock::time_point last_fetch_ok{};
 
   /// Cycle-timestamp apply lag (leader progress minus ours) — the same
   /// staleness formula follower reads carry on the wire.
@@ -141,6 +147,22 @@ class ReplicaFollower {
   /// shipped directory. The follower object is done (pump stays stopped).
   Status Promote();
 
+  /// Election promotion (v5): like Promote(), but names the new fencing
+  /// epoch — must exceed every epoch this follower has observed from
+  /// shipped chunks. The failover agent calls this with the epoch it
+  /// won the election at.
+  Status Promote(std::uint64_t new_epoch);
+
+  /// Re-targets the pump at a different leader (v5 failover: a sibling
+  /// follower won the election). The current connection is abandoned
+  /// and the next fetch goes to `host:port`; the service's
+  /// redirect-to-leader endpoint is updated in the same breath. Safe
+  /// from any thread, including while the pump is mid-fetch.
+  void SetLeader(const std::string& host, std::uint16_t port);
+
+  /// Where the pump currently fetches from ("host:port").
+  std::string leader_endpoint() const;
+
  private:
   ReplicaFollower(std::unique_ptr<MonitorService> service,
                   ReplicaFollowerOptions options, std::string journal_dir);
@@ -167,6 +189,12 @@ class ReplicaFollower {
   const ReplicaFollowerOptions options_;
   const std::string journal_dir_;
 
+  // Re-targetable leader endpoint (guarded by mu_). retarget_ tells the
+  // pump its current connection points at a deposed leader.
+  std::string leader_host_;
+  std::uint16_t leader_port_ = 0;
+  bool retarget_ = false;
+
   // Pump-thread state (only touched by the pump and, before it starts,
   // by Bootstrap).
   std::unique_ptr<MonitorClient> client_;
@@ -176,6 +204,17 @@ class ReplicaFollower {
   bool header_done_ = false;         ///< 16-byte segment header consumed
   bool anchor_done_ = false;         ///< leading snapshot record consumed
   bool apply_anchor_ = true;         ///< apply (bootstrap/resync) vs skip
+  /// Set when Bootstrap resumed from pre-existing local bytes; armed
+  /// until the first successful connect. Bytes this process shipped
+  /// itself are always a prefix of the elected leader's journal, but
+  /// bytes inherited from disk may have been written by a deposed
+  /// leader past the ship point — same (segment, offset) coordinates,
+  /// different content. If the first leader we reach serves a fencing
+  /// epoch newer than the one our journal dir was written under, the
+  /// local tail is suspect and we full-resync instead of continuing
+  /// byte-wise (the shipper cannot detect divergence at offsets that
+  /// still fit inside its segment).
+  bool resumed_from_disk_ = false;
   int segment_fd_ = -1;
 
   mutable std::mutex mu_;

@@ -1,0 +1,99 @@
+// Leader lease + fencing-epoch primitives for automatic failover.
+//
+// The replication tier's failure model (docs/REPLICATION.md): one
+// journaled leader, N followers pulling journal bytes over ReplFetch.
+// The lease rides that existing traffic — every fetch a follower makes
+// IS a lease renewal, so a leader that can still reach its followers
+// keeps its lease without any extra protocol, and a leader cut off from
+// all of them watches the lease run out and fences itself. Elections
+// are follower-driven (src/replica/failover.h); the epoch is the
+// fencing token that makes the handoff safe:
+//
+//   - Every leadership term has a fencing epoch, monotone across
+//     failovers, persisted in an EPOCH file next to the journal
+//     segments (the journal byte format itself is untouched).
+//   - A promoting follower bumps the epoch; the old leader — paused,
+//     partitioned, or restarted — refuses every write with FENCED the
+//     moment its lease lapses or it observes a higher epoch, whichever
+//     comes first. Observation is sticky: once deposed, always deposed.
+//
+// Timing uses the same injectable clock as MonitorService
+// (SetClockForTesting), so lease-expiry tests are deterministic.
+
+#ifndef TOPKMON_REPLICA_LEASE_H_
+#define TOPKMON_REPLICA_LEASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace topkmon {
+
+/// Leader-lease configuration (ServiceOptions::lease). Leases are
+/// opt-in: a default-constructed options struct disables them and the
+/// service behaves exactly as before v5 (epoch pinned at 0, writes
+/// never fenced).
+struct LeaseOptions {
+  /// Master switch. When false the service neither tracks renewals nor
+  /// fences writes.
+  bool enabled = false;
+  /// Seconds of follower silence after which the leader self-fences.
+  /// An electing follower must wait strictly longer than this before
+  /// self-promoting (FailoverOptions::election_timeout_seconds), so the
+  /// old leader is provably fenced before the new one accepts a write.
+  double duration_seconds = 2.0;
+};
+
+/// Thread-safe renewal clock for a leader's lease. The server's poll
+/// loops renew it on every follower fetch; the write path checks
+/// Expired() against the service clock. No internal locking beyond the
+/// atomics — callers never need a consistent multi-field view.
+class FencingLease {
+ public:
+  explicit FencingLease(double duration_seconds)
+      : duration_seconds_(duration_seconds) {}
+
+  /// Arms the lease: the grace period starts at `now`, so a freshly
+  /// promoted or restarted leader is not instantly expired while its
+  /// followers re-target.
+  void Start(double now) {
+    last_renewal_.store(now, std::memory_order_relaxed);
+  }
+
+  /// Records follower contact (a ReplFetch served). Monotone: a stale
+  /// renewal never moves the clock backwards.
+  void Renew(double now) {
+    double prev = last_renewal_.load(std::memory_order_relaxed);
+    while (prev < now && !last_renewal_.compare_exchange_weak(
+                             prev, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  bool Expired(double now) const {
+    return now - last_renewal_.load(std::memory_order_relaxed) >
+           duration_seconds_;
+  }
+
+  double duration_seconds() const { return duration_seconds_; }
+
+ private:
+  const double duration_seconds_;
+  std::atomic<double> last_renewal_{0.0};
+};
+
+/// Reads the persisted fencing epoch from `dir`'s EPOCH file. A missing
+/// file is epoch 0 (a group that never failed over); a present but
+/// unparsable file is an error — better to refuse startup than to
+/// resurrect a deposed leader at a stale epoch.
+Result<std::uint64_t> ReadFencingEpoch(const std::string& dir);
+
+/// Durably persists `epoch` into `dir`/EPOCH (write-temp, fsync,
+/// rename, fsync dir) — the same crash discipline as journal sealing.
+/// Must complete before a promoted leader accepts its first write.
+Status WriteFencingEpoch(const std::string& dir, std::uint64_t epoch);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_REPLICA_LEASE_H_

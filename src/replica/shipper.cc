@@ -101,4 +101,28 @@ Result<ShipChunk> JournalShipper::Read(std::uint64_t segment,
   return chunk;
 }
 
+Status JournalShipper::End(std::uint64_t* segment,
+                           std::uint64_t* offset) const {
+  *segment = 0;
+  *offset = 0;
+  auto segments = ListSegments(dir_);
+  if (!segments.ok()) return segments.status();
+  if (segments->empty()) return Status::Ok();
+  const SegmentInfo& last = segments->back();
+  const std::string path = dir_ + "/" + SegmentFileName(last.index);
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    // Rotated away between the listing and the stat; report the new
+    // segment at zero — the caller only needs a monotone lower bound.
+    if (errno == ENOENT) {
+      *segment = last.index;
+      return Status::Ok();
+    }
+    return fs::ErrnoStatus("stat " + path, errno);
+  }
+  *segment = last.index;
+  *offset = static_cast<std::uint64_t>(st.st_size);
+  return Status::Ok();
+}
+
 }  // namespace topkmon

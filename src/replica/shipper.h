@@ -58,6 +58,12 @@ class JournalShipper {
   Result<ShipChunk> Read(std::uint64_t segment, std::uint64_t offset,
                          std::uint32_t max_bytes) const;
 
+  /// Current end of the journal: the highest segment index and its byte
+  /// size. (0, 0) when nothing is journaled yet. Electing followers
+  /// compare this (via StatusInfo) to break ties between candidates
+  /// whose applied cycle frontiers are equal.
+  Status End(std::uint64_t* segment, std::uint64_t* offset) const;
+
   const std::string& dir() const { return dir_; }
 
  private:

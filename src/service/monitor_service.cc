@@ -71,6 +71,25 @@ MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
       journal_failures_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // Adopt the persisted fencing epoch before serving: a restarted old
+  // leader must come back at the epoch it was deposed at (or its own
+  // last term), never at 0. A corrupt EPOCH file is recorded like a
+  // journal fault; the service serves at epoch 0 with the gap visible.
+  if (!options_.journal.dir.empty()) {
+    auto epoch = ReadFencingEpoch(options_.journal.dir);
+    if (epoch.ok()) {
+      fencing_epoch_.store(*epoch, std::memory_order_release);
+    } else {
+      journal_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (journal_status_.ok()) journal_status_ = epoch.status();
+    }
+  }
+  if (options_.lease.enabled) {
+    lease_ = std::make_unique<FencingLease>(options_.lease.duration_seconds);
+    // Arm from construction so a leader booted with no follower attached
+    // yet has the full lease duration to acquire one.
+    lease_->Start(NowSeconds());
+  }
   // Install the fan-out before any query can register or any cycle run,
   // so the very first delta (a query's initial result) is routed.
   engine_->SetDeltaCallback(
@@ -187,10 +206,16 @@ double MonitorService::NowSeconds() const {
 }
 
 void MonitorService::SetClockForTesting(std::function<double()> clock) {
-  std::lock_guard<std::mutex> lock(clock_mu_);
-  clock_override_ = std::move(clock);
-  clock_overridden_.store(static_cast<bool>(clock_override_),
-                          std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    clock_override_ = std::move(clock);
+    clock_overridden_.store(static_cast<bool>(clock_override_),
+                            std::memory_order_release);
+  }
+  // Re-arm the lease on the new time base: its last renewal was recorded
+  // on the old clock and mixing bases would make expiry arithmetic
+  // meaningless mid-test.
+  if (lease_ != nullptr) lease_->Start(NowSeconds());
 }
 
 template <typename AppendFn>
@@ -230,20 +255,82 @@ Status MonitorService::RefuseIfFollower() const {
     return Status::Ok();
   }
   std::string detail = "service is a read-only replication follower";
-  if (!leader_endpoint_.empty()) {
-    detail += " (redirect writes to the leader at " + leader_endpoint_ + ")";
+  {
+    std::lock_guard<std::mutex> lock(leader_endpoint_mu_);
+    if (!leader_endpoint_.empty()) {
+      detail +=
+          " (redirect writes to the leader at " + leader_endpoint_ + ")";
+    }
   }
   return Status::FailedPrecondition(std::move(detail));
 }
 
+Status MonitorService::RefuseIfFenced() {
+  if (role_.load(std::memory_order_acquire) != ServiceRole::kLeader) {
+    return Status::Ok();
+  }
+  // Even a leader running without a lease (a promoted replica whose
+  // operator opted out of self-fencing) honors the fenced_ latch: once a
+  // higher epoch was observed, a newer leader exists somewhere.
+  if (!fenced_.load(std::memory_order_acquire)) {
+    if (lease_ == nullptr || !lease_->Expired(NowSeconds())) {
+      return Status::Ok();
+    }
+    // Latch: a late follower fetch renewing the lease after this point
+    // must not resurrect the term — a new leader may already exist.
+    fenced_.store(true, std::memory_order_release);
+  }
+  return Status::Fenced(
+      "leader lease lapsed (fencing epoch " +
+      std::to_string(fencing_epoch_.load(std::memory_order_acquire)) +
+      "); writes are refused here — re-resolve to the current leader");
+}
+
+void MonitorService::NoteFollowerContact() {
+  if (lease_ == nullptr ||
+      role_.load(std::memory_order_acquire) != ServiceRole::kLeader ||
+      fenced_.load(std::memory_order_acquire)) {
+    return;
+  }
+  lease_->Renew(NowSeconds());
+}
+
+Status MonitorService::ObserveFencingEpoch(std::uint64_t epoch) {
+  std::uint64_t seen = fencing_epoch_.load(std::memory_order_acquire);
+  bool raised = false;
+  while (epoch > seen) {
+    if (fencing_epoch_.compare_exchange_weak(seen, epoch,
+                                             std::memory_order_acq_rel)) {
+      raised = true;
+      break;
+    }
+  }
+  if (!raised) return Status::Ok();
+  if (role_.load(std::memory_order_acquire) == ServiceRole::kLeader) {
+    // A higher epoch is proof of a completed election: this leader is
+    // deposed regardless of what its lease clock says.
+    fenced_.store(true, std::memory_order_release);
+  }
+  if (!options_.journal.dir.empty()) {
+    // Persist so a restart cannot come back believing in the old term.
+    // Single-writer in practice (the follower pump / failover agent);
+    // the write is atomic (temp + rename) either way.
+    TOPKMON_RETURN_IF_ERROR(
+        WriteFencingEpoch(options_.journal.dir, epoch));
+  }
+  return Status::Ok();
+}
+
 Status MonitorService::Ingest(Point position, Timestamp arrival) {
   TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFenced());
   TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
   return ingest_.Push(std::move(position), arrival);
 }
 
 Status MonitorService::TryIngest(Point position, Timestamp arrival) {
   TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFenced());
   TOPKMON_RETURN_IF_ERROR(ValidatePoint(position, dim_));
   if (ingest_.TryPush(std::move(position), arrival)) return Status::Ok();
   if (ingest_.closed()) {
@@ -296,6 +383,14 @@ Status MonitorService::CloseSession(SessionId session) {
       TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
     }
   }
+  // Same shape on a fenced leader: closing a query-owning session would
+  // journal unregisters under a deposed term. Query-less sessions stay
+  // closable — they are pure local state.
+  if (Status fenced = RefuseIfFenced(); !fenced.ok()) {
+    const auto owned = sessions_.QueryCount(session);
+    if (!owned.ok()) return owned.status();
+    if (*owned > 0) return fenced;
+  }
   Result<std::vector<QueryId>> owned = sessions_.Close(session);
   if (!owned.ok()) return owned.status();
   Status first_error;
@@ -321,6 +416,7 @@ Status MonitorService::CloseSession(SessionId session) {
 
 Result<QueryId> MonitorService::Register(SessionId session, QuerySpec spec) {
   TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFenced());
   std::lock_guard<std::mutex> control(control_mu_);
   spec.id = next_query_id_.fetch_add(1);
   TOPKMON_RETURN_IF_ERROR(spec.Validate(dim_));
@@ -363,6 +459,7 @@ Result<QueryId> MonitorService::Register(SessionId session, QuerySpec spec) {
 
 Status MonitorService::Unregister(SessionId session, QueryId query) {
   TOPKMON_RETURN_IF_ERROR(RefuseIfFollower());
+  TOPKMON_RETURN_IF_ERROR(RefuseIfFenced());
   std::lock_guard<std::mutex> control(control_mu_);
   Result<SessionId> owner = sessions_.Owner(query);
   if (!owner.ok()) return owner.status();
@@ -472,6 +569,7 @@ Status MonitorService::ApplyReplicated(const JournalRecord& record) {
       std::lock_guard<std::mutex> lock(state_mu_);
       if (st.ok()) {
         applied_records_ += record.batch.size();
+        replicated_records_ += record.batch.size();
         ++cycles_;
       } else {
         ++failed_cycles_;
@@ -518,10 +616,27 @@ Status MonitorService::ResetFollowerState() {
 }
 
 Status MonitorService::Promote() {
+  return Promote(fencing_epoch_.load(std::memory_order_acquire) + 1);
+}
+
+Status MonitorService::Promote(std::uint64_t new_epoch) {
   std::lock_guard<std::mutex> control(control_mu_);
   std::lock_guard<std::mutex> lock(engine_mu_);
   if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
     return Status::FailedPrecondition("service is already a leader");
+  }
+  if (new_epoch <= fencing_epoch_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "promotion epoch " + std::to_string(new_epoch) +
+        " does not exceed the highest observed epoch " +
+        std::to_string(fencing_epoch_.load(std::memory_order_acquire)));
+  }
+  if (!options_.journal.dir.empty()) {
+    // Fencing before serving: the new term must be durable before any
+    // write can be accepted under it, or a crash-and-restart could
+    // resurrect this node at the deposed leader's epoch.
+    TOPKMON_RETURN_IF_ERROR(
+        WriteFencingEpoch(options_.journal.dir, new_epoch));
   }
   // Seal replay bookkeeping into the service's own sequences: new ingest
   // continues the leader's record ids and cannot time-travel behind the
@@ -539,6 +654,9 @@ Status MonitorService::Promote() {
     journal_ = std::move(*writer);
     journal_progress_.fetch_add(1, std::memory_order_release);
   }
+  fencing_epoch_.store(new_epoch, std::memory_order_release);
+  fenced_.store(false, std::memory_order_release);
+  if (lease_ != nullptr) lease_->Start(NowSeconds());
   role_.store(ServiceRole::kLeader, std::memory_order_release);
   driver_ = std::thread([this] { DriverLoop(); });
   return Status::Ok();
@@ -553,8 +671,17 @@ ReplicationInfo MonitorService::replication() const {
           ? info.applied_cycle_ts
           : std::max(info.applied_cycle_ts,
                      leader_cycle_ts_.load(std::memory_order_acquire));
-  info.leader_endpoint = leader_endpoint_;
+  {
+    std::lock_guard<std::mutex> lock(leader_endpoint_mu_);
+    info.leader_endpoint = leader_endpoint_;
+  }
+  info.fencing_epoch = fencing_epoch_.load(std::memory_order_acquire);
   return info;
+}
+
+void MonitorService::SetLeaderEndpoint(std::string endpoint) {
+  std::lock_guard<std::mutex> lock(leader_endpoint_mu_);
+  leader_endpoint_ = std::move(endpoint);
 }
 
 void MonitorService::SetLeaderProgress(Timestamp leader_cycle_ts) {
@@ -621,7 +748,7 @@ std::uint8_t MonitorService::IngestPressure() const {
 
 bool MonitorService::NeedsFlush() const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return applied_records_ < flush_fence_;
+  return applied_records_ - replicated_records_ < flush_fence_;
 }
 
 Result<JournalSnapshot> MonitorService::BuildSnapshotLocked() const {
@@ -712,10 +839,14 @@ Status MonitorService::Flush() {
   const std::uint64_t fence = ingest_.PushedSoFar();
   std::unique_lock<std::mutex> lock(state_mu_);
   flush_fence_ = std::max(flush_fence_, fence);
+  // Records applied via replication never passed through the ingest
+  // queue, so they must not satisfy a fence counted in queue pushes — a
+  // promoted leader's replicated history would otherwise cover any
+  // fence and Flush() would return before its first own write applied.
   flush_cv_.wait(lock, [this, fence] {
-    return stopped_ || applied_records_ >= fence;
+    return stopped_ || applied_records_ - replicated_records_ >= fence;
   });
-  if (applied_records_ >= fence) return Status::Ok();
+  if (applied_records_ - replicated_records_ >= fence) return Status::Ok();
   return Status::FailedPrecondition("service stopped before flush finished");
 }
 

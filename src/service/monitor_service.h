@@ -69,6 +69,7 @@
 #include "core/engine.h"
 #include "journal/journal_writer.h"
 #include "journal/recovery.h"
+#include "replica/lease.h"
 #include "service/ingest_queue.h"
 #include "service/session.h"
 #include "service/subscription_hub.h"
@@ -83,6 +84,11 @@ struct ServiceOptions {
   /// Durable cycle journal; journal.dir empty disables journaling. Use
   /// MonitorService::Open() to recover an existing journal directory.
   JournalOptions journal;
+  /// Leader lease for automatic failover (src/replica/lease.h).
+  /// Disabled by default: a standalone leader never fences itself. When
+  /// enabled, follower fetches renew the lease (NoteFollowerContact)
+  /// and writes are refused with FENCED once it lapses.
+  LeaseOptions lease;
   /// Longest the driver waits for the ingest slack gate before forcing a
   /// cycle with whatever is buffered (bounds ingest->result staleness).
   std::chrono::milliseconds drain_wait{5};
@@ -130,6 +136,9 @@ struct ReplicationInfo {
   Timestamp leader_cycle_ts = 0;
   /// Where writes belong when this service is a follower.
   std::string leader_endpoint;
+  /// The fencing epoch of this service's replication group (v5); 0 when
+  /// leases were never enabled and no failover ever happened.
+  std::uint64_t fencing_epoch = 0;
 
   Timestamp StaleBy() const {
     return leader_cycle_ts > applied_cycle_ts
@@ -258,9 +267,46 @@ class MonitorService {
   /// writes are accepted.
   Status Promote();
 
+  /// Election promotion: like Promote(), but the caller names the new
+  /// fencing epoch, which must exceed the highest epoch this service has
+  /// observed. The epoch is durably persisted (EPOCH file in the journal
+  /// dir) *before* the role flips, so a crash mid-promotion can never
+  /// produce a leader serving at a stale epoch. Promote() delegates here
+  /// with observed+1.
+  Status Promote(std::uint64_t new_epoch);
+
   ServiceRole role() const {
     return role_.load(std::memory_order_acquire);
   }
+
+  // ---- leader lease / fencing (v5; see src/replica/lease.h) -----------
+  /// The highest fencing epoch this service has adopted or observed.
+  std::uint64_t fencing_epoch() const {
+    return fencing_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Whether a lease was configured (ServiceOptions::lease.enabled).
+  bool lease_enabled() const { return lease_ != nullptr; }
+
+  /// True once this leader has fenced itself (lease lapsed or a higher
+  /// epoch was observed). Sticky; always false on followers and on
+  /// services without a lease.
+  bool IsFenced() const {
+    return fenced_.load(std::memory_order_acquire);
+  }
+
+  /// Records follower contact (the TCP server calls this per ReplFetch
+  /// served): renews the leader lease. A fenced leader stays fenced —
+  /// late follower traffic must not resurrect a deposed leader.
+  void NoteFollowerContact();
+
+  /// Adopts `epoch` if it exceeds the highest epoch seen so far,
+  /// persisting it next to the journal. A *leader* observing a higher
+  /// epoch has provably been deposed and fences itself immediately
+  /// (without waiting for the lease to lapse). Called by the follower
+  /// pump with every shipped chunk's epoch and by the failover agent
+  /// with election results.
+  Status ObserveFencingEpoch(std::uint64_t epoch);
 
   /// Role + apply/leader cycle progress (the staleness bound follower
   /// reads carry).
@@ -269,6 +315,11 @@ class MonitorService {
   /// Follower-side: records the leader's cycle progress as learned from
   /// the last shipped chunk (feeds replication().leader_cycle_ts).
   void SetLeaderProgress(Timestamp leader_cycle_ts);
+
+  /// Follower re-targeting after a failover: updates the leader
+  /// endpoint surfaced in write-refusal redirects and replication(), so
+  /// clients bounced off this follower are pointed at the *new* leader.
+  void SetLeaderEndpoint(std::string endpoint);
 
   /// Monotone counter bumped on every journal append/rotation — the
   /// cheap "did the journal grow" probe the TCP server's parked
@@ -372,6 +423,12 @@ class MonitorService {
   /// The redirect status follower-mode writes draw; Ok on a leader.
   Status RefuseIfFollower() const;
 
+  /// FENCED refusal for writes on a leader whose lease lapsed or that
+  /// observed a higher epoch; Ok on followers and lease-less services.
+  /// Expiry latches fenced_ (sticky), so the check is at most one clock
+  /// read past the first refusal.
+  Status RefuseIfFenced();
+
   /// Applier hooks routing replicated query lifetime events through
   /// session adoption + hub binding. Caller holds control_mu_ and
   /// engine_mu_ during applier calls.
@@ -423,11 +480,23 @@ class MonitorService {
   /// probes) never take the engine lock.
   std::atomic<ServiceRole> role_{ServiceRole::kLeader};
   std::function<std::unique_ptr<MonitorEngine>()> engine_factory_;
+  /// Guarded by leader_endpoint_mu_: rewritten by SetLeaderEndpoint when
+  /// a failover re-targets this follower, read on every refused write.
+  mutable std::mutex leader_endpoint_mu_;
   std::string leader_endpoint_;
   std::unique_ptr<JournalApplier> applier_;
   std::atomic<Timestamp> applied_cycle_ts_{0};
   std::atomic<Timestamp> leader_cycle_ts_{0};
   std::atomic<std::uint64_t> journal_progress_{0};
+
+  /// Lease + fencing state (v5). lease_ is only constructed when
+  /// options.lease.enabled; fencing_epoch_ is a monotone max across
+  /// Promote() and ObserveFencingEpoch(); fenced_ latches true when
+  /// this leader's lease lapses or a higher epoch appears, and only
+  /// Promote(new_epoch) clears it.
+  std::unique_ptr<FencingLease> lease_;
+  std::atomic<std::uint64_t> fencing_epoch_{0};
+  std::atomic<bool> fenced_{false};
 
   /// Progress listeners (parked-wakeup hooks for front-ends). Guarded by
   /// its own mutex; never acquired while holding engine_mu_ callbacks
@@ -462,6 +531,12 @@ class MonitorService {
   std::condition_variable flush_cv_;
   CycleObserver observer_;
   std::uint64_t applied_records_ = 0;
+  /// Of applied_records_, how many arrived via replication rather than
+  /// the ingest queue. Flush() fences queue drains against queue pushes,
+  /// so on a promoted leader the replicated majority must be excluded —
+  /// otherwise the fence is trivially satisfied and Flush() returns
+  /// before the first post-promotion write is applied.
+  std::uint64_t replicated_records_ = 0;
   std::uint64_t flush_fence_ = 0;  ///< drain at least this many pushes
   std::uint64_t cycles_ = 0;
   std::uint64_t failed_cycles_ = 0;

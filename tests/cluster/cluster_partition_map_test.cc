@@ -35,16 +35,16 @@ TEST(ClusterPartitionMapTest, RejectsBadEndpointLists) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(
       PartitionMap::Create(std::vector<PartitionEndpoint>(
-                               257, PartitionEndpoint{"h", 1}))
+                               257, PartitionEndpoint{"h", 1, {}}))
           .status()
           .code(),
       StatusCode::kInvalidArgument);
-  EXPECT_EQ(PartitionMap::Create({PartitionEndpoint{"", 4001}})
+  EXPECT_EQ(PartitionMap::Create({PartitionEndpoint{"", 4001, {}}})
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      PartitionMap::Create({PartitionEndpoint{"h", 0}}).status().code(),
+      PartitionMap::Create({PartitionEndpoint{"h", 0, {}}}).status().code(),
       StatusCode::kInvalidArgument);
 }
 

@@ -47,18 +47,24 @@ TEST(NetProtocolTest, HelloAndWelcomeRoundTrip) {
   EXPECT_EQ(hello.label, "dashboard-7");
 
   body.clear();
-  EncodeWelcome(42, true, /*role=*/1, /*server_tag=*/7, &body);
+  EncodeWelcome(42, true, /*role=*/1, /*server_tag=*/7,
+                /*fencing_epoch=*/3, &body);
   NetMessage welcome = RoundTrip(body);
   EXPECT_EQ(welcome.type, NetMessageType::kWelcome);
   EXPECT_EQ(welcome.session, 42u);
   EXPECT_TRUE(welcome.resumed);
   EXPECT_EQ(welcome.role, 1);
   EXPECT_EQ(welcome.server_tag, 7u);
+  EXPECT_EQ(welcome.fencing_epoch, 3u);
 
-  // An untagged (standalone) server answers with the sentinel.
+  // An untagged (standalone) server answers with the sentinel; a group
+  // that never failed over carries epoch 0.
   body.clear();
-  EncodeWelcome(43, false, /*role=*/0, kNoServerTag, &body);
-  EXPECT_EQ(RoundTrip(body).server_tag, kNoServerTag);
+  EncodeWelcome(43, false, /*role=*/0, kNoServerTag, /*fencing_epoch=*/0,
+                &body);
+  NetMessage plain = RoundTrip(body);
+  EXPECT_EQ(plain.server_tag, kNoServerTag);
+  EXPECT_EQ(plain.fencing_epoch, 0u);
 }
 
 TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
@@ -85,7 +91,7 @@ TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
   body.clear();
   EncodeIngestAck(48, 2,
                   Status::FailedPrecondition("session rate limit"),
-                  /*queue_hint=*/0, &body);
+                  /*queue_hint=*/0, /*fencing_epoch=*/0, &body);
   NetMessage ack = RoundTrip(body);
   EXPECT_EQ(ack.type, NetMessageType::kIngestAck);
   EXPECT_EQ(ack.accepted, 48u);
@@ -93,15 +99,45 @@ TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
   EXPECT_EQ(ack.code, StatusCode::kFailedPrecondition);
   EXPECT_EQ(ack.message, "session rate limit");
   EXPECT_EQ(ack.queue_hint, 0);
+  EXPECT_EQ(ack.fencing_epoch, 0u);
 
-  // The v3 backpressure byte roundtrips, including the saturated value.
+  // The v3 backpressure byte roundtrips, including the saturated value;
+  // the v5 fencing epoch rides along.
   body.clear();
   EncodeIngestAck(7, 9, Status::ResourceExhausted("ingest queue is full"),
-                  /*queue_hint=*/255, &body);
+                  /*queue_hint=*/255, /*fencing_epoch=*/12, &body);
   NetMessage pressured = RoundTrip(body);
   EXPECT_EQ(pressured.type, NetMessageType::kIngestAck);
   EXPECT_EQ(pressured.code, StatusCode::kResourceExhausted);
   EXPECT_EQ(pressured.queue_hint, 255);
+  EXPECT_EQ(pressured.fencing_epoch, 12u);
+
+  // A FENCED refusal (v5) round-trips its dedicated wire status code.
+  body.clear();
+  EncodeIngestAck(0, 9, Status::Fenced("leader lease lapsed"),
+                  /*queue_hint=*/0, /*fencing_epoch=*/13, &body);
+  NetMessage fenced = RoundTrip(body);
+  EXPECT_EQ(fenced.code, StatusCode::kFenced);
+  EXPECT_EQ(fenced.fencing_epoch, 13u);
+}
+
+TEST(NetProtocolTest, StatusProbeRoundTripsRoleEpochAndJournalEnd) {
+  std::string body;
+  EncodeStatusRequest(&body);
+  NetMessage request = RoundTrip(body);
+  EXPECT_EQ(request.type, NetMessageType::kStatus);
+
+  body.clear();
+  EncodeStatusInfo(/*role=*/1, /*fencing_epoch=*/9,
+                   /*applied_cycle_ts=*/777, /*segment=*/4,
+                   /*offset=*/65536, &body);
+  NetMessage info = RoundTrip(body);
+  EXPECT_EQ(info.type, NetMessageType::kStatusInfo);
+  EXPECT_EQ(info.role, 1);
+  EXPECT_EQ(info.fencing_epoch, 9u);
+  EXPECT_EQ(info.as_of, 777);
+  EXPECT_EQ(info.segment, 4u);
+  EXPECT_EQ(info.offset, 65536u);
 }
 
 TEST(NetProtocolTest, RegisterRoundTripsSpecsIncludingConstraints) {
