@@ -114,7 +114,9 @@ Status ClusterRouter::ReResolve(std::size_t partition) {
         cand, partition, label_, /*resume=*/true, options_.net);
     if (!client.ok()) continue;
     const auto status = (*client)->GetStatus();
-    if (!status.ok() || status->role != 0 /* leader */) {
+    // A fenced node still reports role 0 (leader) — the latch, not the
+    // role, says whether its claim is already dead.
+    if (!status.ok() || status->role != 0 /* leader */ || status->fenced) {
       (void)(*client)->Close(/*close_session=*/false);
       continue;
     }

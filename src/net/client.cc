@@ -314,6 +314,7 @@ Result<MonitorClient::ServerStatus> MonitorClient::GetStatus() {
   out.applied_cycle_ts = info->as_of;
   out.journal_segment = info->segment;
   out.journal_offset = info->offset;
+  out.fenced = info->fenced;
   return out;
 }
 

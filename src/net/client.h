@@ -154,6 +154,9 @@ class MonitorClient {
     Timestamp applied_cycle_ts = 0;
     std::uint64_t journal_segment = 0;
     std::uint64_t journal_offset = 0;
+    /// A deposed leader still reports role 0; this latch is the truth.
+    /// Fenced peers must not be adopted as leaders or routed writes.
+    bool fenced = false;
   };
 
   /// Probes the server's replication status (v5). Cheap and read-only:

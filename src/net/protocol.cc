@@ -84,14 +84,16 @@ void EncodeHello(bool resume, const std::string& label, std::string* out) {
 
 void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
                    std::uint32_t server_tag, std::uint64_t fencing_epoch,
-                   std::string* out) {
+                   std::uint32_t wire_version, std::string* out) {
   PutType(NetMessageType::kWelcome, out);
   wire::PutU64(session, out);
   wire::PutU8(resumed ? 1 : 0, out);
-  wire::PutU32(kNetProtocolVersion, out);
+  // Echo the negotiated version, not ours: a v4 client reads back the
+  // dialect this connection actually speaks.
+  wire::PutU32(wire_version, out);
   wire::PutU8(role, out);
   wire::PutU32(server_tag, out);
-  wire::PutU64(fencing_epoch, out);
+  if (wire_version >= 5) wire::PutU64(fencing_epoch, out);
 }
 
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
@@ -110,14 +112,15 @@ void EncodeIngest(const std::vector<Record>& tuples, std::string* out) {
 
 void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
                      const Status& first_error, std::uint8_t queue_hint,
-                     std::uint64_t fencing_epoch, std::string* out) {
+                     std::uint64_t fencing_epoch,
+                     std::uint32_t wire_version, std::string* out) {
   PutType(NetMessageType::kIngestAck, out);
   wire::PutU32(accepted, out);
   wire::PutU32(rejected, out);
   wire::PutU8(NetEncodeStatusCode(first_error.code()), out);
   wire::PutString(first_error.message(), out);
   wire::PutU8(queue_hint, out);
-  wire::PutU64(fencing_epoch, out);
+  if (wire_version >= 5) wire::PutU64(fencing_epoch, out);
 }
 
 Status EncodeRegister(const QuerySpec& spec, std::string* out) {
@@ -237,7 +240,8 @@ void EncodeReplFetch(std::uint64_t segment, std::uint64_t offset,
 void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
                      bool sealed, bool restart, std::uint64_t next_segment,
                      Timestamp leader_cycle_ts, const std::string& data,
-                     std::uint64_t fencing_epoch, std::string* out) {
+                     std::uint64_t fencing_epoch,
+                     std::uint32_t wire_version, std::string* out) {
   out->reserve(out->size() + 48 + data.size());
   PutType(NetMessageType::kReplChunk, out);
   wire::PutU64(segment, out);
@@ -249,7 +253,7 @@ void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
   wire::PutI64(leader_cycle_ts, out);
   wire::PutU32(static_cast<std::uint32_t>(data.size()), out);
   out->append(data);
-  wire::PutU64(fencing_epoch, out);
+  if (wire_version >= 5) wire::PutU64(fencing_epoch, out);
 }
 
 void EncodeStatusRequest(std::string* out) {
@@ -258,13 +262,14 @@ void EncodeStatusRequest(std::string* out) {
 
 void EncodeStatusInfo(std::uint8_t role, std::uint64_t fencing_epoch,
                       Timestamp applied_cycle_ts, std::uint64_t segment,
-                      std::uint64_t offset, std::string* out) {
+                      std::uint64_t offset, bool fenced, std::string* out) {
   PutType(NetMessageType::kStatusInfo, out);
   wire::PutU8(role, out);
   wire::PutU64(fencing_epoch, out);
   wire::PutI64(applied_cycle_ts, out);
   wire::PutU64(segment, out);
   wire::PutU64(offset, out);
+  wire::PutU8(fenced ? 1 : 0, out);
 }
 
 void EncodeNetFrame(const std::string& body, std::string* out) {
@@ -300,7 +305,9 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->version = in.GetU32();
       out->role = in.GetU8();
       out->server_tag = in.GetU32();
-      out->fencing_epoch = in.GetU64();
+      // Trailing epoch appeared in v5; a v4 Welcome simply ends here.
+      out->fencing_epoch = 0;
+      if (in.ok() && in.remaining() > 0) out->fencing_epoch = in.GetU64();
       return done();
     case NetMessageType::kIngest: {
       out->type = NetMessageType::kIngest;
@@ -320,7 +327,9 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
       out->code = NetDecodeStatusCode(in.GetU8());
       out->message = in.GetString();
       out->queue_hint = in.GetU8();
-      out->fencing_epoch = in.GetU64();
+      // Trailing epoch appeared in v5; a v4 ack simply ends here.
+      out->fencing_epoch = 0;
+      if (in.ok() && in.remaining() > 0) out->fencing_epoch = in.GetU64();
       return done();
     case NetMessageType::kRegister:
       out->type = NetMessageType::kRegister;
@@ -454,20 +463,28 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
         return Status::InvalidArgument("chunk length exceeds body size");
       }
       out->data = in.GetBytes(len);
-      out->fencing_epoch = in.GetU64();
+      // Trailing epoch appeared in v5; a v4 chunk simply ends here.
+      out->fencing_epoch = 0;
+      if (in.ok() && in.remaining() > 0) out->fencing_epoch = in.GetU64();
       return done();
     }
     case NetMessageType::kStatus:
       out->type = NetMessageType::kStatus;
       return done();
-    case NetMessageType::kStatusInfo:
+    case NetMessageType::kStatusInfo: {
       out->type = NetMessageType::kStatusInfo;
       out->role = in.GetU8();
       out->fencing_epoch = in.GetU64();
       out->as_of = in.GetI64();
       out->segment = in.GetU64();
       out->offset = in.GetU64();
+      const std::uint8_t fenced = in.GetU8();
+      if (!in.ok() || fenced > 1) {
+        return Status::InvalidArgument("bad status fenced flag");
+      }
+      out->fenced = fenced == 1;
       return done();
+    }
   }
   return Status::InvalidArgument("unknown message type " +
                                  std::to_string(type));

@@ -83,9 +83,20 @@ inline constexpr std::uint32_t kNetMagic = 0x504D4B54u;
 /// the FENCED status code (wire value 10) was added for writes refused
 /// by a server whose lease lapsed or that observed a higher epoch; and
 /// the Status/StatusInfo message pair (types 20/21) was added so
-/// followers can poll each other's role, epoch and applied-journal
-/// position during a leader election.
+/// followers can poll each other's role, epoch, fenced latch and
+/// applied-journal position during a leader election.
+///
+/// v4 compatibility (rolling upgrades): the trailing fencing_epoch is
+/// the ONLY layout difference between v4 and v5 bodies, so the decoder
+/// accepts those three messages with the field absent (defaulting to
+/// epoch 0) and the server accepts Hello version 4, answering that
+/// connection with v4-shaped bodies (encoders take the negotiated
+/// wire_version). Upgrade a replication group leader-first: a v5 leader
+/// serves v4 followers until each is restarted on v5.
 inline constexpr std::uint32_t kNetProtocolVersion = 5;
+
+/// Oldest protocol version a v5 server still speaks (see above).
+inline constexpr std::uint32_t kMinNetProtocolVersion = 4;
 
 /// Welcome server_tag value meaning "no tag configured" (a standalone,
 /// un-clustered server).
@@ -236,13 +247,19 @@ struct NetMessage {
   // epoch of the answering server's replication group. Monotone across
   // failovers; a client that has seen epoch E treats any server
   // answering with a lower epoch as deposed. 0 on servers that never
-  // enabled leases.
+  // enabled leases — and on v4 peers, whose bodies simply end before
+  // the field (the decoder accepts both shapes).
   std::uint64_t fencing_epoch = 0;
 
   // kStatusInfo (v5) additionally reuses `role` (0 leader, 1 follower),
   // `as_of` (the applied-cycle frontier) and `segment`/`offset` (the
   // journal write position: on a leader the next unwritten byte, on a
   // follower the next unapplied shipped byte) — the election inputs.
+  /// kStatusInfo (v5): the answering server's fenced latch. A fenced
+  /// leader still reports role 0 (it never demotes in place), so this
+  /// is what lets electing followers and the cluster router skip a
+  /// deposed leader instead of adopting it.
+  bool fenced = false;
 };
 
 // ---- status codes on the wire -----------------------------------------
@@ -257,16 +274,20 @@ StatusCode NetDecodeStatusCode(std::uint8_t wire);
 // ---- encoding (append one message body to *out) -----------------------
 
 void EncodeHello(bool resume, const std::string& label, std::string* out);
+/// `wire_version` is the version negotiated in the Hello/Welcome
+/// exchange (the server echoes the client's accepted version): bodies
+/// encoded for a v4 peer omit the trailing fencing_epoch.
 void EncodeWelcome(SessionId session, bool resumed, std::uint8_t role,
                    std::uint32_t server_tag, std::uint64_t fencing_epoch,
-                   std::string* out);
+                   std::uint32_t wire_version, std::string* out);
 /// Requires tuples non-empty with uniform dimensionality, strictly
 /// increasing ids and non-decreasing arrivals (use a 0..n-1 id ramp over
 /// an arrival-sorted batch — see MonitorClient::Ingest).
 void EncodeIngest(const std::vector<Record>& tuples, std::string* out);
 void EncodeIngestAck(std::uint32_t accepted, std::uint32_t rejected,
                      const Status& first_error, std::uint8_t queue_hint,
-                     std::uint64_t fencing_epoch, std::string* out);
+                     std::uint64_t fencing_epoch,
+                     std::uint32_t wire_version, std::string* out);
 /// Fails with Unimplemented for scoring-function families without a wire
 /// encoding; *out is unchanged on failure.
 Status EncodeRegister(const QuerySpec& spec, std::string* out);
@@ -302,11 +323,12 @@ void EncodeReplFetch(std::uint64_t segment, std::uint64_t offset,
 void EncodeReplChunk(std::uint64_t segment, std::uint64_t offset,
                      bool sealed, bool restart, std::uint64_t next_segment,
                      Timestamp leader_cycle_ts, const std::string& data,
-                     std::uint64_t fencing_epoch, std::string* out);
+                     std::uint64_t fencing_epoch,
+                     std::uint32_t wire_version, std::string* out);
 void EncodeStatusRequest(std::string* out);
 void EncodeStatusInfo(std::uint8_t role, std::uint64_t fencing_epoch,
                       Timestamp applied_cycle_ts, std::uint64_t segment,
-                      std::uint64_t offset, std::string* out);
+                      std::uint64_t offset, bool fenced, std::string* out);
 
 /// Wraps a message body in a frame (length prefix + CRC-32C + body).
 void EncodeNetFrame(const std::string& body, std::string* out);

@@ -617,9 +617,12 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
         (void)shipper_->End(&segment, &offset);
       }
       std::string body;
+      // The fenced latch rides along because `repl.role` alone lies
+      // about a deposed leader: it still says kLeader after a higher
+      // epoch fenced it. Probing followers must not adopt such a node.
       EncodeStatusInfo(static_cast<std::uint8_t>(repl.role),
                        repl.fencing_epoch, repl.applied_cycle_ts, segment,
-                       offset, &body);
+                       offset, service_.IsFenced(), &body);
       SendBody(conn, body);
       return;
     }
@@ -668,14 +671,19 @@ void TcpServer::HandleHello(PollLoop& loop, Connection& conn,
                                            "topkmon client"));
     return;
   }
-  if (msg.version != kNetProtocolVersion) {
+  if (msg.version < kMinNetProtocolVersion ||
+      msg.version > kNetProtocolVersion) {
     FailConnection(conn, Status::Unimplemented(
                              "protocol version " +
                              std::to_string(msg.version) +
-                             " is not supported (server speaks version " +
+                             " is not supported (server speaks versions " +
+                             std::to_string(kMinNetProtocolVersion) + ".." +
                              std::to_string(kNetProtocolVersion) + ")"));
     return;
   }
+  // Rolling-upgrade path: a v4 peer gets v4-shaped replies (no trailing
+  // fencing epochs) for the life of this connection.
+  conn.wire_version = msg.version;
   SessionId session = 0;
   bool resumed = false;
   if (msg.resume) {
@@ -714,7 +722,8 @@ void TcpServer::HandleHello(PollLoop& loop, Connection& conn,
   std::string body;
   EncodeWelcome(session, resumed,
                 static_cast<std::uint8_t>(service_.role()),
-                options_.server_tag, service_.fencing_epoch(), &body);
+                options_.server_tag, service_.fencing_epoch(),
+                conn.wire_version, &body);
   SendBody(conn, body);
 }
 
@@ -745,6 +754,19 @@ void TcpServer::HandleReplFetch(Connection& conn, const NetMessage& msg) {
   // no separate heartbeat message exists. Renewed on arrival, not on
   // answer: a parked empty fetch still proves the follower is alive.
   service_.NoteFollowerContact();
+  if (service_.IsFenced()) {
+    // A deposed leader must not keep feeding a follower whose pump
+    // would otherwise never stall: the refusal makes the follower's
+    // fetches fail, its election timer fires, and it finds the real
+    // leader. Serving stale journal here would pin the follower to a
+    // node whose epoch has already lost.
+    std::string body;
+    EncodeError(Status::Fenced("leader fenced by a higher epoch; "
+                               "re-resolve the leader"),
+                &body);
+    SendBody(conn, body);
+    return;
+  }
   if (shipper_ == nullptr) {
     std::string body;
     EncodeError(Status::FailedPrecondition(
@@ -782,7 +804,7 @@ void TcpServer::HandleReplFetch(Connection& conn, const NetMessage& msg) {
   EncodeReplChunk(chunk->segment, chunk->offset, chunk->sealed,
                   chunk->restart, chunk->next_segment,
                   service_.replication().applied_cycle_ts, chunk->data,
-                  service_.fencing_epoch(), &body);
+                  service_.fencing_epoch(), conn.wire_version, &body);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.repl_chunks_sent;
@@ -793,17 +815,26 @@ void TcpServer::HandleReplFetch(Connection& conn, const NetMessage& msg) {
 
 void TcpServer::AnswerFetch(Connection& conn) {
   conn.fetch_parked = false;
+  std::string body;
+  if (service_.IsFenced()) {
+    // Fenced while this fetch was parked — same refusal as the
+    // immediate path in HandleReplFetch.
+    EncodeError(Status::Fenced("leader fenced by a higher epoch; "
+                               "re-resolve the leader"),
+                &body);
+    SendBody(conn, body);
+    return;
+  }
   auto chunk =
       shipper_->Read(conn.fetch_segment, conn.fetch_offset,
                      conn.fetch_max_bytes);
-  std::string body;
   if (!chunk.ok()) {
     EncodeError(chunk.status(), &body);
   } else {
     EncodeReplChunk(chunk->segment, chunk->offset, chunk->sealed,
                     chunk->restart, chunk->next_segment,
                     service_.replication().applied_cycle_ts, chunk->data,
-                    service_.fencing_epoch(), &body);
+                    service_.fencing_epoch(), conn.wire_version, &body);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.repl_chunks_sent;
     stats_.repl_bytes_shipped += chunk->data.size();
@@ -861,7 +892,7 @@ void TcpServer::HandleIngest(Connection& conn, const NetMessage& msg) {
   std::string body;
   EncodeIngestAck(accepted, rejected, first_error,
                   service_.IngestPressure(), service_.fencing_epoch(),
-                  &body);
+                  conn.wire_version, &body);
   SendBody(conn, body);
 }
 

@@ -188,6 +188,10 @@ class TcpServer {
     std::string out;      ///< bytes encoded, not yet sent
     SessionId session = 0;
     bool hello_done = false;
+    /// Dialect negotiated at Hello: the client's version, clamped into
+    /// [kMinNetProtocolVersion, kNetProtocolVersion]. Every reply on
+    /// this connection is shaped for it.
+    std::uint32_t wire_version = kNetProtocolVersion;
     /// Protocol violation or Close handled: flush `out`, then close.
     bool closing = false;
     /// First ReplFetch seen on a non-dedicated loop: move to repl_loop_.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "replica/lease.h"
+
 namespace topkmon {
 namespace {
 
@@ -37,11 +39,16 @@ FailoverAgent::FailoverAgent(ReplicaFollower* follower,
 FailoverAgent::~FailoverAgent() { Stop(); }
 
 void FailoverAgent::Stop() {
-  stop_.store(true, std::memory_order_release);
-  stop_cv_.notify_all();
   std::thread joinable;
   {
+    // The store must happen under mu_: SleepFor evaluates its predicate
+    // under the same lock, so a waiter that just saw stop_ false is
+    // still inside wait_for and cannot miss the notify — storing
+    // outside the lock could slip the notification between its
+    // predicate check and its block, stalling Stop() a full backoff.
     std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+    stop_cv_.notify_all();
     if (joined_) return;
     joined_ = true;
     joinable = std::move(thread_);
@@ -63,6 +70,24 @@ bool FailoverAgent::SleepFor(std::chrono::milliseconds wait) {
   std::unique_lock<std::mutex> lock(mu_);
   stop_cv_.wait_for(lock, wait, [this] { return stop_.load(); });
   return !stop_.load(std::memory_order_acquire);
+}
+
+std::uint8_t FailoverAgent::SelfRank() const {
+  // Position of self in the sorted full membership (self + peers). The
+  // configuration is static and — when symmetric across nodes — yields
+  // a distinct rank per node, which is what makes minted epochs
+  // node-unique (see lease.h): two candidates that failed to probe each
+  // other may both promote, but never at the same epoch.
+  std::vector<std::string> members = options_.peers;
+  members.push_back(options_.self_endpoint);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()),
+                members.end());
+  const auto it =
+      std::find(members.begin(), members.end(), options_.self_endpoint);
+  const auto index = static_cast<std::size_t>(it - members.begin());
+  return static_cast<std::uint8_t>(std::min<std::size_t>(
+      index, kOperatorFencingRank - 1));
 }
 
 bool FailoverAgent::Outranks(const Candidate& a, const Candidate& b) {
@@ -152,6 +177,13 @@ bool FailoverAgent::RunElection() {
         continue;
       }
       max_epoch = std::max(max_epoch, status->fencing_epoch);
+      if (status->fenced) {
+        // A fenced leader is a deposed one: it refuses writes, cannot
+        // promote again, and must be neither adopted as a leader nor
+        // ranked as a candidate. Its epoch still raised max_epoch
+        // above, so our mint outranks its dead term.
+        continue;
+      }
       if (status->role == static_cast<std::uint8_t>(ServiceRole::kLeader)) {
         // Someone already won (or the probed node was a leader all
         // along). Prefer the highest-epoch leader if several answer —
@@ -181,7 +213,8 @@ bool FailoverAgent::RunElection() {
     }
 
     if (winner.endpoint == options_.self_endpoint) {
-      const Status st = follower_->Promote(max_epoch + 1);
+      const Status st =
+          follower_->Promote(MintFencingEpoch(max_epoch, SelfRank()));
       if (st.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         stats_.promoted = true;

@@ -15,9 +15,16 @@
 //             deterministic tie-break. Probes also discover an already
 //             promoted sibling, which short-circuits the round.
 //   promote:  the winner self-promotes through ReplicaFollower::Promote
-//             with the highest epoch observed anywhere plus one — the
-//             fencing token that makes the old leader's late writes
-//             refusable (src/replica/lease.h).
+//             with a fencing epoch minted from the highest epoch
+//             observed anywhere (MintFencingEpoch in lease.h: next
+//             generation, low byte = this node's rank in the sorted
+//             configured membership). The rank makes minted epochs
+//             node-unique: two candidates that fail to probe each other
+//             (symmetric partition, probe timeout) may both promote,
+//             but at DIFFERENT epochs, so the strict greater-than
+//             arbitration everywhere still settles on one of them and
+//             the split heals. This requires every node to be
+//             configured with the same member set (self + peers).
 //   adopt:    losers back off and re-probe; when the winner shows up as
 //             a leader they re-target their pump at it (SetLeader). A
 //             winner that died mid-election simply stops answering
@@ -122,6 +129,9 @@ class FailoverAgent {
   /// position, then smallest endpoint. Total order — every candidate
   /// set has exactly one winner, no matter who computes it.
   static bool Outranks(const Candidate& a, const Candidate& b);
+  /// This node's position in the sorted configured membership (self +
+  /// peers) — the node-unique low byte of every epoch this agent mints.
+  std::uint8_t SelfRank() const;
   /// Interruptible sleep; returns false if stopped meanwhile.
   bool SleepFor(std::chrono::milliseconds wait);
 

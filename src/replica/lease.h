@@ -83,6 +83,46 @@ class FencingLease {
   std::atomic<double> last_renewal_{0.0};
 };
 
+// ---- epoch minting ----------------------------------------------------
+//
+// Minted epochs are node-unique by construction: the low byte of every
+// epoch is the minting node's rank, the high bits a monotone
+// generation. Two candidates that cannot see each other (symmetric
+// partition, probe timeouts) may both win their own election round —
+// with a bare max+1 mint they would settle on the SAME epoch, and the
+// strictly-greater-than arbitration everywhere (ObserveFencingEpoch,
+// router re-resolution, election leader adoption) could then never pick
+// between them: an undetectable, unhealing split brain. Distinct ranks
+// make the minted epochs distinct, so the split stays inside the
+// documented lease-window tradeoff and heals the moment arbitration
+// sees both terms. Ranks come from the statically configured membership
+// (FailoverOptions::self_endpoint + peers, sorted), so they are stable
+// across rounds and identical on every node as long as every node is
+// configured with the same member set.
+
+/// Bits of a fencing epoch that carry the minting node's rank.
+inline constexpr unsigned kFencingRankBits = 8;
+
+/// Reserved rank for operator-driven promotions (MonitorService::
+/// Promote() with no epoch). Election agents clamp their ranks below
+/// this, so a manual promotion can never collide with an automatic one.
+inline constexpr std::uint8_t kOperatorFencingRank = 0xFF;
+
+/// The generation (monotone failover counter) of an epoch.
+constexpr std::uint64_t FencingEpochGeneration(std::uint64_t epoch) {
+  return epoch >> kFencingRankBits;
+}
+
+/// Mints the epoch of the next generation after `observed`, tagged with
+/// the minter's rank. Strictly greater than `observed` for any rank, so
+/// Promote()'s monotonicity check always passes; distinct ranks yield
+/// distinct epochs no matter what each minter observed.
+constexpr std::uint64_t MintFencingEpoch(std::uint64_t observed,
+                                         std::uint8_t rank) {
+  return ((FencingEpochGeneration(observed) + 1) << kFencingRankBits) |
+         rank;
+}
+
 /// Reads the persisted fencing epoch from `dir`'s EPOCH file. A missing
 /// file is epoch 0 (a group that never failed over); a present but
 /// unparsable file is an error — better to refuse startup than to

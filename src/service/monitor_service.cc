@@ -296,28 +296,33 @@ void MonitorService::NoteFollowerContact() {
 }
 
 Status MonitorService::ObserveFencingEpoch(std::uint64_t epoch) {
-  std::uint64_t seen = fencing_epoch_.load(std::memory_order_acquire);
-  bool raised = false;
-  while (epoch > seen) {
-    if (fencing_epoch_.compare_exchange_weak(seen, epoch,
-                                             std::memory_order_acq_rel)) {
-      raised = true;
-      break;
-    }
+  if (epoch <= fencing_epoch_.load(std::memory_order_acquire)) {
+    return Status::Ok();
   }
-  if (!raised) return Status::Ok();
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (epoch <= fencing_epoch_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
   if (role_.load(std::memory_order_acquire) == ServiceRole::kLeader) {
     // A higher epoch is proof of a completed election: this leader is
-    // deposed regardless of what its lease clock says.
+    // deposed regardless of what its lease clock says. Latched before
+    // the persist — in-memory deposition needs no durability, and a
+    // failed persist must not leave a provably deposed leader serving.
     fenced_.store(true, std::memory_order_release);
   }
   if (!options_.journal.dir.empty()) {
-    // Persist so a restart cannot come back believing in the old term.
-    // Single-writer in practice (the follower pump / failover agent);
-    // the write is atomic (temp + rename) either way.
+    // Persist BEFORE publishing the raised epoch: were the in-memory
+    // epoch raised first, a failed persist would make every retry of
+    // this call a no-op (epoch <= seen above) and the epoch would never
+    // reach disk — a crashed-and-restarted deposed leader could then
+    // come back believing in its old term, exactly what the EPOCH file
+    // exists to prevent. Callers treat a failure here as retryable (the
+    // follower pump backs off and calls again), and the unpublished
+    // epoch makes that retry do real work.
     TOPKMON_RETURN_IF_ERROR(
         WriteFencingEpoch(options_.journal.dir, epoch));
   }
+  fencing_epoch_.store(epoch, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -616,12 +621,21 @@ Status MonitorService::ResetFollowerState() {
 }
 
 Status MonitorService::Promote() {
-  return Promote(fencing_epoch_.load(std::memory_order_acquire) + 1);
+  // Operator promotions mint with the reserved operator rank, so a
+  // manual Promote() racing an automatic election can never settle on
+  // the same epoch as an agent-minted one (see lease.h).
+  return Promote(
+      MintFencingEpoch(fencing_epoch_.load(std::memory_order_acquire),
+                       kOperatorFencingRank));
 }
 
 Status MonitorService::Promote(std::uint64_t new_epoch) {
   std::lock_guard<std::mutex> control(control_mu_);
   std::lock_guard<std::mutex> lock(engine_mu_);
+  // Serializes the epoch persist/publish against ObserveFencingEpoch
+  // (the pump is stopped before Promote in practice, but a late
+  // observation must not interleave between our persist and store).
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
   if (role_.load(std::memory_order_acquire) != ServiceRole::kFollower) {
     return Status::FailedPrecondition("service is already a leader");
   }

@@ -272,7 +272,8 @@ class MonitorService {
   /// observed. The epoch is durably persisted (EPOCH file in the journal
   /// dir) *before* the role flips, so a crash mid-promotion can never
   /// produce a leader serving at a stale epoch. Promote() delegates here
-  /// with observed+1.
+  /// with MintFencingEpoch(observed, kOperatorFencingRank) — see lease.h
+  /// for why minted epochs carry the minter's rank.
   Status Promote(std::uint64_t new_epoch);
 
   ServiceRole role() const {
@@ -289,8 +290,9 @@ class MonitorService {
   bool lease_enabled() const { return lease_ != nullptr; }
 
   /// True once this leader has fenced itself (lease lapsed or a higher
-  /// epoch was observed). Sticky; always false on followers and on
-  /// services without a lease.
+  /// epoch was observed — the latter fences even lease-less leaders).
+  /// Sticky; always false on followers. The Status probe ships this
+  /// latch because role() keeps answering kLeader after deposition.
   bool IsFenced() const {
     return fenced_.load(std::memory_order_acquire);
   }
@@ -493,8 +495,12 @@ class MonitorService {
   /// options.lease.enabled; fencing_epoch_ is a monotone max across
   /// Promote() and ObserveFencingEpoch(); fenced_ latches true when
   /// this leader's lease lapses or a higher epoch appears, and only
-  /// Promote(new_epoch) clears it.
+  /// Promote(new_epoch) clears it. epoch_mu_ serializes the
+  /// persist-then-publish of a raised epoch (the EPOCH file must be
+  /// durable before the in-memory epoch moves — a failed persist stays
+  /// retryable); readers of fencing_epoch_ never take it.
   std::unique_ptr<FencingLease> lease_;
+  mutable std::mutex epoch_mu_;
   std::atomic<std::uint64_t> fencing_epoch_{0};
   std::atomic<bool> fenced_{false};
 

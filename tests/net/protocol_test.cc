@@ -48,7 +48,7 @@ TEST(NetProtocolTest, HelloAndWelcomeRoundTrip) {
 
   body.clear();
   EncodeWelcome(42, true, /*role=*/1, /*server_tag=*/7,
-                /*fencing_epoch=*/3, &body);
+                /*fencing_epoch=*/3, kNetProtocolVersion, &body);
   NetMessage welcome = RoundTrip(body);
   EXPECT_EQ(welcome.type, NetMessageType::kWelcome);
   EXPECT_EQ(welcome.session, 42u);
@@ -61,10 +61,46 @@ TEST(NetProtocolTest, HelloAndWelcomeRoundTrip) {
   // that never failed over carries epoch 0.
   body.clear();
   EncodeWelcome(43, false, /*role=*/0, kNoServerTag, /*fencing_epoch=*/0,
-                &body);
+                kNetProtocolVersion, &body);
   NetMessage plain = RoundTrip(body);
   EXPECT_EQ(plain.server_tag, kNoServerTag);
   EXPECT_EQ(plain.fencing_epoch, 0u);
+}
+
+TEST(NetProtocolTest, V4ShapedRepliesDecodeWithEpochZero) {
+  // A v4 connection gets replies without the trailing fencing epoch;
+  // a v5 decoder accepts them and defaults the epoch to 0. The echoed
+  // Welcome version carries the negotiated dialect.
+  std::string body;
+  EncodeWelcome(42, false, /*role=*/0, /*server_tag=*/7,
+                /*fencing_epoch=*/99, /*wire_version=*/4, &body);
+  NetMessage welcome = RoundTrip(body);
+  EXPECT_EQ(welcome.version, 4u);
+  EXPECT_EQ(welcome.fencing_epoch, 0u);  // not shipped at v4
+
+  body.clear();
+  EncodeIngestAck(5, 0, Status::Ok(), /*queue_hint=*/0,
+                  /*fencing_epoch=*/99, /*wire_version=*/4, &body);
+  NetMessage ack = RoundTrip(body);
+  EXPECT_EQ(ack.accepted, 5u);
+  EXPECT_EQ(ack.fencing_epoch, 0u);
+
+  body.clear();
+  EncodeReplChunk(/*segment=*/2, /*offset=*/64, /*sealed=*/false,
+                  /*restart=*/false, /*next_segment=*/0,
+                  /*leader_cycle_ts=*/123, "abc", /*fencing_epoch=*/99,
+                  /*wire_version=*/4, &body);
+  NetMessage chunk = RoundTrip(body);
+  EXPECT_EQ(chunk.data, "abc");
+  EXPECT_EQ(chunk.fencing_epoch, 0u);
+
+  // A partial trailing epoch (1..7 bytes) is still malformed, not a
+  // quietly truncated v4 body.
+  body.clear();
+  EncodeWelcome(42, false, 0, 7, 99, kNetProtocolVersion, &body);
+  body.resize(body.size() - 3);
+  NetMessage out;
+  EXPECT_FALSE(DecodeNetBody(body.data(), body.size(), &out).ok());
 }
 
 TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
@@ -91,7 +127,8 @@ TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
   body.clear();
   EncodeIngestAck(48, 2,
                   Status::FailedPrecondition("session rate limit"),
-                  /*queue_hint=*/0, /*fencing_epoch=*/0, &body);
+                  /*queue_hint=*/0, /*fencing_epoch=*/0,
+                  kNetProtocolVersion, &body);
   NetMessage ack = RoundTrip(body);
   EXPECT_EQ(ack.type, NetMessageType::kIngestAck);
   EXPECT_EQ(ack.accepted, 48u);
@@ -105,7 +142,8 @@ TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
   // the v5 fencing epoch rides along.
   body.clear();
   EncodeIngestAck(7, 9, Status::ResourceExhausted("ingest queue is full"),
-                  /*queue_hint=*/255, /*fencing_epoch=*/12, &body);
+                  /*queue_hint=*/255, /*fencing_epoch=*/12,
+                  kNetProtocolVersion, &body);
   NetMessage pressured = RoundTrip(body);
   EXPECT_EQ(pressured.type, NetMessageType::kIngestAck);
   EXPECT_EQ(pressured.code, StatusCode::kResourceExhausted);
@@ -115,7 +153,8 @@ TEST(NetProtocolTest, IngestBatchRoundTripsThroughTheSpanEncoding) {
   // A FENCED refusal (v5) round-trips its dedicated wire status code.
   body.clear();
   EncodeIngestAck(0, 9, Status::Fenced("leader lease lapsed"),
-                  /*queue_hint=*/0, /*fencing_epoch=*/13, &body);
+                  /*queue_hint=*/0, /*fencing_epoch=*/13,
+                  kNetProtocolVersion, &body);
   NetMessage fenced = RoundTrip(body);
   EXPECT_EQ(fenced.code, StatusCode::kFenced);
   EXPECT_EQ(fenced.fencing_epoch, 13u);
@@ -130,7 +169,7 @@ TEST(NetProtocolTest, StatusProbeRoundTripsRoleEpochAndJournalEnd) {
   body.clear();
   EncodeStatusInfo(/*role=*/1, /*fencing_epoch=*/9,
                    /*applied_cycle_ts=*/777, /*segment=*/4,
-                   /*offset=*/65536, &body);
+                   /*offset=*/65536, /*fenced=*/false, &body);
   NetMessage info = RoundTrip(body);
   EXPECT_EQ(info.type, NetMessageType::kStatusInfo);
   EXPECT_EQ(info.role, 1);
@@ -138,6 +177,23 @@ TEST(NetProtocolTest, StatusProbeRoundTripsRoleEpochAndJournalEnd) {
   EXPECT_EQ(info.as_of, 777);
   EXPECT_EQ(info.segment, 4u);
   EXPECT_EQ(info.offset, 65536u);
+  EXPECT_FALSE(info.fenced);
+
+  // The fenced latch rides last: a deposed leader still reports role 0,
+  // so the flag — not the role — is what probing followers trust.
+  body.clear();
+  EncodeStatusInfo(/*role=*/0, /*fencing_epoch=*/256,
+                   /*applied_cycle_ts=*/777, /*segment=*/4,
+                   /*offset=*/65536, /*fenced=*/true, &body);
+  NetMessage deposed = RoundTrip(body);
+  EXPECT_EQ(deposed.role, 0);
+  EXPECT_TRUE(deposed.fenced);
+
+  // Any value beyond 0/1 in the flag byte is a malformed body.
+  std::string junk = body;
+  junk.back() = 2;
+  NetMessage out;
+  EXPECT_FALSE(DecodeNetBody(junk.data(), junk.size(), &out).ok());
 }
 
 TEST(NetProtocolTest, RegisterRoundTripsSpecsIncludingConstraints) {

@@ -200,6 +200,50 @@ TEST_F(ServerTortureTest, WrongVersionAndWrongMagicAreRefused) {
   ExpectServerHealthy(*service_, server_->port(), "after-version");
 }
 
+TEST_F(ServerTortureTest, PreviousVersionHelloNegotiatesItsDialect) {
+  // Rolling-upgrade compatibility: a v4 peer (the fencing-epoch-less
+  // dialect) is accepted, its Welcome echoes the negotiated version,
+  // and every reply is shaped for v4 — no trailing epoch bytes a v4
+  // decoder would choke on. The v5 decoder reads the same bytes with
+  // the epoch defaulting to 0.
+  std::string body;
+  EncodeHello(false, "legacy-v4", &body);
+  body[5] = 4;  // version field (after type + magic), little-endian
+  std::string stream;
+  EncodeNetFrame(body, &stream);
+  body.clear();
+  EncodeStatusRequest(&body);
+  EncodeNetFrame(body, &stream);
+  RawPeer peer(server_->port());
+  ASSERT_TRUE(peer.connected());
+  peer.Send(stream);
+  const std::string answer = peer.ReadToEof();
+
+  const char* frame = nullptr;
+  std::size_t frame_len = 0;
+  std::size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryParseNetFrame(answer.data(), answer.size(),
+                             kMaxNetFrameBytes, &frame, &frame_len,
+                             &consumed, &error),
+            FrameParse::kFrame)
+      << error;
+  NetMessage welcome;
+  TOPKMON_ASSERT_OK(DecodeNetBody(frame, frame_len, &welcome));
+  ASSERT_EQ(welcome.type, NetMessageType::kWelcome);
+  EXPECT_EQ(welcome.version, 4u);
+  EXPECT_EQ(welcome.fencing_epoch, 0u);  // absent on the wire at v4
+  ASSERT_EQ(TryParseNetFrame(answer.data() + consumed,
+                             answer.size() - consumed, kMaxNetFrameBytes,
+                             &frame, &frame_len, &consumed, &error),
+            FrameParse::kFrame)
+      << error;
+  NetMessage info;
+  TOPKMON_ASSERT_OK(DecodeNetBody(frame, frame_len, &info));
+  EXPECT_EQ(info.type, NetMessageType::kStatusInfo);
+  ExpectServerHealthy(*service_, server_->port(), "after-v4-peer");
+}
+
 TEST_F(ServerTortureTest, OversizedLengthPrefixIsAFramingViolation) {
   std::string stream;
   const std::uint32_t huge = 0x7FFFFFFFu;

@@ -38,6 +38,7 @@
 #include "net/server.h"
 #include "replica/failover.h"
 #include "replica/follower.h"
+#include "replica/lease.h"
 #include "tests/journal/journal_test_util.h"
 #include "tests/net/net_test_util.h"
 #include "tests/test_util.h"
@@ -211,6 +212,14 @@ struct Group {
   }
 };
 
+/// The epoch `winner` mints in the group's FIRST election (everyone
+/// still at epoch 0): next generation tagged with the winner's rank in
+/// the sorted two-member set.
+std::uint64_t ExpectedFirstEpoch(const std::string& winner,
+                                 const std::string& other) {
+  return MintFencingEpoch(0, winner < other ? 0 : 1);
+}
+
 bool WaitUntil(const std::function<bool()>& done,
                std::chrono::seconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -247,7 +256,9 @@ TEST(ReplicaElectionTest, LongestAppliedJournalWinsAndLoserCatchesUp) {
   ASSERT_TRUE(WaitUntil([&] { return agent_a.promoted(); },
                         std::chrono::seconds(30)));
   EXPECT_EQ((*g.a)->service().role(), ServiceRole::kLeader);
-  EXPECT_EQ((*g.a)->service().fencing_epoch(), 1u);
+  const std::uint64_t epoch_a =
+      ExpectedFirstEpoch(g.endpoint_a(), g.endpoint_b());
+  EXPECT_EQ((*g.a)->service().fencing_epoch(), epoch_a);
   // The shorter one adopts the winner and re-targets its pump at it.
   ASSERT_TRUE(WaitUntil(
       [&] { return agent_b.stats().leaders_adopted >= 1; },
@@ -269,7 +280,7 @@ TEST(ReplicaElectionTest, LongestAppliedJournalWinsAndLoserCatchesUp) {
   const Timestamp ts3 = (*g.a)->service().replication().applied_cycle_ts;
   TOPKMON_ASSERT_OK((*g.b)->WaitForCycleTs(ts3, std::chrono::seconds(30)));
   EXPECT_TRUE(WaitUntil(
-      [&] { return (*g.b)->service().fencing_epoch() == 1u; },
+      [&] { return (*g.b)->service().fencing_epoch() == epoch_a; },
       std::chrono::seconds(10)));
   for (const QuerySpec& spec : g.registered) {
     const auto a_view = (*g.a)->service().CurrentResult(spec.id);
@@ -324,12 +335,70 @@ TEST(ReplicaElectionTest, EqualFrontiersBreakTiesBySmallestEndpoint) {
                         std::chrono::seconds(30)));
   EXPECT_FALSE(loser.promoted());
   EXPECT_EQ(winner_node.service().role(), ServiceRole::kLeader);
-  EXPECT_EQ(winner_node.service().fencing_epoch(), 1u);
+  // The tie winner is the smallest endpoint, i.e. rank 0.
+  const std::uint64_t winner_epoch = MintFencingEpoch(0, 0);
+  EXPECT_EQ(winner_node.service().fencing_epoch(), winner_epoch);
   EXPECT_EQ(loser_node.service().role(), ServiceRole::kFollower);
   EXPECT_EQ(loser_node.leader_endpoint(), expected_winner);
   EXPECT_TRUE(WaitUntil(
-      [&] { return loser_node.service().fencing_epoch() == 1u; },
+      [&] { return loser_node.service().fencing_epoch() == winner_epoch; },
       std::chrono::seconds(10)));
+  agent_a.Stop();
+  agent_b.Stop();
+  g.Shutdown();
+}
+
+TEST(ReplicaElectionTest, SymmetricPartitionMintsDistinctEpochsAndHeals) {
+  // Worst-case split: the leader dies AND the two standbys cannot probe
+  // each other. Each agent sees itself as the only candidate and
+  // promotes — split-brain is unavoidable under a lease-based design,
+  // but the minted epochs must DIFFER (rank-tagged generations), so the
+  // strict greater-than arbitration deposes exactly one of the two
+  // once connectivity returns.
+  Group g;
+  g.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  g.RegisterQueries();
+  const Timestamp ts1 = g.IngestAcked(100, 7);
+  TOPKMON_ASSERT_OK((*g.a)->WaitForCycleTs(ts1, std::chrono::seconds(30)));
+  TOPKMON_ASSERT_OK((*g.b)->WaitForCycleTs(ts1, std::chrono::seconds(30)));
+
+  g.leader_server->Stop();
+  g.a_server->Stop();  // A and B cannot reach each other's probes
+  g.b_server->Stop();
+  FailoverAgent agent_a(g.a->get(),
+                        g.AgentOptions(g.endpoint_a(), g.endpoint_b()));
+  FailoverAgent agent_b(g.b->get(),
+                        g.AgentOptions(g.endpoint_b(), g.endpoint_a()));
+  ASSERT_TRUE(WaitUntil(
+      [&] { return agent_a.promoted() && agent_b.promoted(); },
+      std::chrono::seconds(30)));
+
+  // Both are leaders — but at node-unique epochs: same generation,
+  // different rank byte.
+  const std::uint64_t epoch_a = (*g.a)->service().fencing_epoch();
+  const std::uint64_t epoch_b = (*g.b)->service().fencing_epoch();
+  EXPECT_NE(epoch_a, epoch_b);
+  EXPECT_EQ(FencingEpochGeneration(epoch_a), FencingEpochGeneration(epoch_b));
+  EXPECT_EQ(epoch_a, ExpectedFirstEpoch(g.endpoint_a(), g.endpoint_b()));
+  EXPECT_EQ(epoch_b, ExpectedFirstEpoch(g.endpoint_b(), g.endpoint_a()));
+
+  // The partition heals: each side learns of the other's epoch (in
+  // production via probes, chunks, or router re-resolution). The lower
+  // epoch fences itself and refuses writes; the higher one is immune to
+  // the lower's stale claim and keeps serving.
+  MonitorService& lower =
+      epoch_a < epoch_b ? (*g.a)->service() : (*g.b)->service();
+  MonitorService& higher =
+      epoch_a < epoch_b ? (*g.b)->service() : (*g.a)->service();
+  TOPKMON_ASSERT_OK(higher.ObserveFencingEpoch(std::min(epoch_a, epoch_b)));
+  EXPECT_FALSE(higher.IsFenced());
+  TOPKMON_ASSERT_OK(lower.ObserveFencingEpoch(std::max(epoch_a, epoch_b)));
+  EXPECT_TRUE(lower.IsFenced());
+  auto gen = MakeGenerator(Distribution::kClustered, kDim, 9);
+  EXPECT_EQ(lower.Ingest(gen->NextPoint(), g.clock.fetch_add(1)).code(),
+            StatusCode::kFenced);
+  TOPKMON_ASSERT_OK(higher.Ingest(gen->NextPoint(), g.clock.fetch_add(1)));
   agent_a.Stop();
   agent_b.Stop();
   g.Shutdown();
@@ -372,7 +441,8 @@ TEST(ReplicaElectionTest, DeadWinnerMidElectionSecondCandidateTakesOver) {
   ASSERT_TRUE(WaitUntil([&] { return agent_b.promoted(); },
                         std::chrono::seconds(30)));
   EXPECT_EQ((*g.b)->service().role(), ServiceRole::kLeader);
-  EXPECT_EQ((*g.b)->service().fencing_epoch(), 1u);
+  EXPECT_EQ((*g.b)->service().fencing_epoch(),
+            ExpectedFirstEpoch(g.endpoint_b(), g.endpoint_a()));
   EXPECT_GE(agent_b.stats().probes_failed, 1u);
   EXPECT_GE(agent_b.stats().rounds, 2u);
   // The new leader accepts writes immediately.

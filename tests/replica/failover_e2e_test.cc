@@ -231,11 +231,13 @@ TEST(ReplicaFailoverE2eTest, UnattendedFailoverMatchesBruteForceMidKill) {
   ASSERT_TRUE(agent.promoted()) << "no unattended promotion within 30s";
   EXPECT_EQ((*follower)->service().role(), ServiceRole::kLeader);
   EXPECT_GE(agent.stats().elections_started, 1u);
-  // First failover of the group: epoch 0 -> 1, durably.
-  EXPECT_EQ((*follower)->service().fencing_epoch(), 1u);
+  // First failover of the group, won by the lone configured standby
+  // (rank 0): epoch 0 -> generation 1 | rank 0, durably.
+  const std::uint64_t promoted_epoch = MintFencingEpoch(0, 0);
+  EXPECT_EQ((*follower)->service().fencing_epoch(), promoted_epoch);
   const auto epoch_on_disk = ReadFencingEpoch(fsvc.journal.dir);
   ASSERT_TRUE(epoch_on_disk.ok()) << epoch_on_disk.status();
-  EXPECT_EQ(*epoch_on_disk, 1u);
+  EXPECT_EQ(*epoch_on_disk, promoted_epoch);
   const std::size_t cycles_at_promotion = [&] {
     std::lock_guard<std::mutex> lock(cycles_mu);
     return cycles.size();
@@ -258,7 +260,7 @@ TEST(ReplicaFailoverE2eTest, UnattendedFailoverMatchesBruteForceMidKill) {
   EXPECT_TRUE((*dash)->resumed());
   EXPECT_FALSE((*dash)->server_is_follower());
   // v5: the client adopted the promoted node's epoch from its Welcome.
-  EXPECT_EQ((*dash)->fencing_epoch(), 1u);
+  EXPECT_EQ((*dash)->fencing_epoch(), promoted_epoch);
   std::vector<DeltaEvent> received;
   auto drain = [&dash, &received] {
     while (true) {

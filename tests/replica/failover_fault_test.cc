@@ -21,6 +21,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -148,6 +150,30 @@ TEST(ReplicaFailoverFaultTest, SplitBrainFencesDeposedLeaderAndRejoins) {
     EXPECT_TRUE((*leader)->IsFenced());
   }
 
+  // A probe of the deposed leader tells the truth: the role still says
+  // leader (it never flips on fencing), but the fenced latch rides the
+  // StatusInfo answer — so electing followers and the cluster router
+  // know not to adopt this node. Journal fetches are refused with
+  // FENCED for the same reason: a pump stuck here must stall into its
+  // own election instead of following a dead term.
+  {
+    TcpServer deposed_server(**leader, net);
+    TOPKMON_ASSERT_OK(deposed_server.Start());
+    auto probe = MonitorClient::Connect("127.0.0.1", deposed_server.port(),
+                                        "probe", /*resume=*/false);
+    ASSERT_TRUE(probe.ok()) << probe.status();
+    const auto status = (*probe)->GetStatus();
+    ASSERT_TRUE(status.ok()) << status.status();
+    EXPECT_EQ(status->role, 0);  // still claims leader...
+    EXPECT_TRUE(status->fenced);  // ...but the latch says deposed
+    const auto fetch =
+        (*probe)->ReplFetch(0, 0, 0, std::chrono::milliseconds(0));
+    ASSERT_FALSE(fetch.ok());
+    EXPECT_EQ(fetch.status().code(), StatusCode::kFenced) << fetch.status();
+    TOPKMON_ASSERT_OK((*probe)->Close(/*close_session=*/false));
+    deposed_server.Stop();
+  }
+
   // ---- the standby self-promotes, unattended --------------------------
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
@@ -156,7 +182,10 @@ TEST(ReplicaFailoverFaultTest, SplitBrainFencesDeposedLeaderAndRejoins) {
   }
   ASSERT_TRUE(agent.promoted()) << "no unattended promotion within 30s";
   EXPECT_EQ((*follower)->service().role(), ServiceRole::kLeader);
-  EXPECT_EQ((*follower)->service().fencing_epoch(), 1u);
+  // A lone standby (no peers configured) ranks 0 in its one-member
+  // set: first minted epoch = generation 1, rank 0.
+  const std::uint64_t promoted_epoch = MintFencingEpoch(0, 0);
+  EXPECT_EQ((*follower)->service().fencing_epoch(), promoted_epoch);
 
   // No acked record lost: the promoted node applied exactly the acked
   // history (the fenced attempts above are absent — they were refused,
@@ -179,7 +208,7 @@ TEST(ReplicaFailoverFaultTest, SplitBrainFencesDeposedLeaderAndRejoins) {
     auto client = MonitorClient::Connect(
         "127.0.0.1", follower_server.port(), "writer", /*resume=*/true);
     ASSERT_TRUE(client.ok()) << client.status();
-    EXPECT_EQ((*client)->fencing_epoch(), 1u);
+    EXPECT_EQ((*client)->fencing_epoch(), promoted_epoch);
     auto gen = MakeGenerator(Distribution::kIndependent, kDim, 13);
     std::uint64_t sent = 0;
     while (sent < kNewTerm) {
@@ -219,7 +248,7 @@ TEST(ReplicaFailoverFaultTest, SplitBrainFencesDeposedLeaderAndRejoins) {
   // segment into its journal — a segment the group never shipped, whose
   // index collides with the new leader's post-promotion segment. The
   // rejoin MUST NOT splice those divergent bytes: the first connect sees
-  // the leader's epoch (1) outrank the epoch its journal was written
+  // the leader's epoch outrank the epoch its journal was written
   // under (0) and full-resyncs instead of continuing byte-wise.
   EXPECT_GE((*rejoined)->stats().restarts, 1u);
   // It converged onto the new term's history...
@@ -236,20 +265,57 @@ TEST(ReplicaFailoverFaultTest, SplitBrainFencesDeposedLeaderAndRejoins) {
   // restart cannot resurrect it at its old term.
   const auto observe_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while ((*rejoined)->service().fencing_epoch() < 1u &&
+  while ((*rejoined)->service().fencing_epoch() < promoted_epoch &&
          std::chrono::steady_clock::now() < observe_deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  EXPECT_EQ((*rejoined)->service().fencing_epoch(), 1u);
+  EXPECT_EQ((*rejoined)->service().fencing_epoch(), promoted_epoch);
   const auto epoch_on_disk = ReadFencingEpoch(leader_opt.journal.dir);
   ASSERT_TRUE(epoch_on_disk.ok()) << epoch_on_disk.status();
-  EXPECT_EQ(*epoch_on_disk, 1u);
+  EXPECT_EQ(*epoch_on_disk, promoted_epoch);
 
   (*rejoined)->Stop();
   (*rejoined)->service().Shutdown();
   follower_server.Stop();
   agent.Stop();
   (*follower)->service().Shutdown();
+}
+
+TEST(ReplicaFailoverFaultTest, EpochPersistFailureKeepsRetriesEffective) {
+  // A failed EPOCH write must NOT publish the raised epoch in memory:
+  // were it published, every retry would short-circuit on the
+  // "already seen" fast path and the epoch would never reach disk — a
+  // restarted deposed leader could then resurrect its old term. The
+  // fault here is the journal directory replaced by a plain file (the
+  // EPOCH writer cannot re-create it, unlike a merely missing dir);
+  // healing it makes the retried call do the real work.
+  ScopedTempDir dir;
+  ServiceOptions opt;
+  opt.drain_wait = std::chrono::milliseconds(2);
+  opt.journal.dir = dir.path() + "/node";
+  opt.journal.snapshot_every_cycles = 0;
+  auto svc = MonitorService::Open(MakeEngine, opt);
+  ASSERT_TRUE(svc.ok()) << svc.status();
+
+  std::filesystem::remove_all(opt.journal.dir);
+  { std::ofstream(opt.journal.dir) << "not a directory"; }
+  const std::uint64_t epoch = MintFencingEpoch(0, kOperatorFencingRank);
+  const Status failed = (*svc)->ObserveFencingEpoch(epoch);
+  EXPECT_FALSE(failed.ok()) << "persist into a missing dir should fail";
+  // Unpublished: the next call must not be a no-op.
+  EXPECT_EQ((*svc)->fencing_epoch(), 0u);
+  // But the deposition itself is latched — a provably deposed leader
+  // must not keep serving just because its disk is broken.
+  EXPECT_TRUE((*svc)->IsFenced());
+
+  std::filesystem::remove(opt.journal.dir);
+  std::filesystem::create_directories(opt.journal.dir);
+  TOPKMON_ASSERT_OK((*svc)->ObserveFencingEpoch(epoch));
+  EXPECT_EQ((*svc)->fencing_epoch(), epoch);
+  const auto on_disk = ReadFencingEpoch(opt.journal.dir);
+  ASSERT_TRUE(on_disk.ok()) << on_disk.status();
+  EXPECT_EQ(*on_disk, epoch);
+  (*svc)->Shutdown();
 }
 
 }  // namespace
