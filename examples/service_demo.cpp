@@ -63,13 +63,24 @@
 //        operator-assigned partition index announced in Welcome when
 //        this server is one leader of a cluster; see docs/CLUSTER.md)
 //        --workload=NAME|list --workload_seed=S (local mode)
+//        --admin_port=P (serve/follower modes: read-only HTTP admin
+//        plane on 127.0.0.1:P — /metrics, /statusz, /healthz; 0 binds
+//        an ephemeral port, omit to disable; see docs/ADMIN.md)
+//        --dump_metrics (prints every metric name a full node — leader,
+//        TCP server, replica follower, failover agent — registers, one
+//        per line, and exits; tools/check_metrics.py diffs this against
+//        the docs/ADMIN.md catalog)
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
+
+#include <stdlib.h>
 
 #include "cluster/local_cluster.h"
 #include "cluster/router.h"
@@ -77,6 +88,8 @@
 #include "core/tma_engine.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "replica/failover.h"
 #include "replica/follower.h"
 #include "service/monitor_service.h"
 #include "stream/generators.h"
@@ -107,7 +120,8 @@ std::function<std::unique_ptr<MonitorEngine>()> EngineFactory(
 
 std::unique_ptr<MonitorService> MakeService(std::size_t window,
                                             const std::string& journal_dir,
-                                            SyncPolicy sync) {
+                                            SyncPolicy sync,
+                                            long admin_port = -1) {
   ServiceOptions options;
   options.ingest.slack = 4;
   options.drain_wait = std::chrono::milliseconds(2);
@@ -115,6 +129,10 @@ std::unique_ptr<MonitorService> MakeService(std::size_t window,
   options.journal.sync = sync;
   // Leave the previous segment for attached followers to finish.
   options.journal.retain_segment_count = 2;
+  if (admin_port >= 0) {
+    options.admin.enabled = true;
+    options.admin.port = static_cast<std::uint16_t>(admin_port);
+  }
   const auto engine_factory = EngineFactory(window);
   if (journal_dir.empty()) {
     return std::make_unique<MonitorService>(engine_factory(), options);
@@ -128,10 +146,62 @@ std::unique_ptr<MonitorService> MakeService(std::size_t window,
   return std::move(*opened);
 }
 
+/// First unlabeled sample named `name` in a scrape, or 0 — the demo's
+/// summary lines only need the node-wide series.
+double SampleValue(const MetricsSnapshot& snap, const char* name) {
+  for (const MetricSample& s : snap.samples) {
+    if (s.name == name && s.labels.empty()) return s.value;
+  }
+  return 0.0;
+}
+
+/// Announces the admin plane (if the service managed to bind it) right
+/// after startup, so operators can copy-paste the scrape URL.
+void PrintAdminEndpoint(const MonitorService& service) {
+  if (service.admin_port() != 0) {
+    std::printf("admin:   http://127.0.0.1:%u/metrics (also /statusz, "
+                "/healthz)\n",
+                service.admin_port());
+  } else if (!service.admin_status().ok()) {
+    std::fprintf(stderr, "admin plane disabled: %s\n",
+                 service.admin_status().ToString().c_str());
+  }
+}
+
+/// The periodic serve-mode summary, sourced from the metrics registry —
+/// the same numbers a /metrics scrape sees, proving the registry is the
+/// one place the node's health lives. `interval` is the seconds since
+/// `last_ingested` was sampled.
+void PrintStatsLine(MonitorService& service, std::uint64_t* last_ingested,
+                    long interval) {
+  const MetricsSnapshot snap = service.metrics().Snapshot();
+  const auto ingested = static_cast<std::uint64_t>(
+      SampleValue(snap, "topkmon_records_ingested_total"));
+  const double rate =
+      interval > 0
+          ? static_cast<double>(ingested - *last_ingested) /
+                static_cast<double>(interval)
+          : 0.0;
+  *last_ingested = ingested;
+  std::printf(
+      "stats:   %.0f rec/s  queue depth %.0f (pressure %.0f)  "
+      "sessions %.0f  staleness %.0f  %s epoch %.0f\n",
+      rate, SampleValue(snap, "topkmon_ingest_queue_depth"),
+      SampleValue(snap, "topkmon_ingest_queue_pressure"),
+      SampleValue(snap, "topkmon_open_sessions"),
+      SampleValue(snap, "topkmon_replication_staleness"),
+      SampleValue(snap, "topkmon_fenced") != 0.0
+          ? "FENCED"
+          : SampleValue(snap, "topkmon_is_leader") != 0.0 ? "leader"
+                                                          : "follower",
+      SampleValue(snap, "topkmon_fencing_epoch"));
+}
+
 int RunServe(std::size_t window, const std::string& journal_dir,
              SyncPolicy sync, std::uint16_t port, long serve_seconds,
-             std::size_t server_threads, std::uint32_t server_tag) {
-  auto service = MakeService(window, journal_dir, sync);
+             std::size_t server_threads, std::uint32_t server_tag,
+             long admin_port) {
+  auto service = MakeService(window, journal_dir, sync, admin_port);
   if (service == nullptr) return 1;
   NetServerOptions net;
   net.port = port;
@@ -153,14 +223,14 @@ int RunServe(std::size_t window, const std::string& journal_dir,
                   ? " (last one dedicated to replication)"
                   : "",
               server.port());
+  PrintAdminEndpoint(*service);
   long elapsed = 0;
+  std::uint64_t last_ingested = 0;
   while (serve_seconds <= 0 || elapsed < serve_seconds) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
     ++elapsed;
     if (elapsed % 10 == 0) {
-      std::printf("net:     %s\nservice: %s\n",
-                  server.stats().ToString().c_str(),
-                  service->stats().ToString().c_str());
+      PrintStatsLine(*service, &last_ingested, /*interval=*/10);
     }
   }
   server.Stop();
@@ -174,7 +244,8 @@ int RunServe(std::size_t window, const std::string& journal_dir,
 int RunFollower(std::size_t window, const std::string& journal_dir,
                 const std::string& leader_host, std::uint16_t leader_port,
                 std::uint16_t listen_port, long serve_seconds,
-                long promote_seconds, std::size_t server_threads) {
+                long promote_seconds, std::size_t server_threads,
+                long admin_port) {
   if (journal_dir.empty()) {
     std::fprintf(stderr,
                  "--mode=follower needs --journal=DIR (the local "
@@ -183,6 +254,10 @@ int RunFollower(std::size_t window, const std::string& journal_dir,
   }
   ServiceOptions options;
   options.journal.dir = journal_dir;
+  if (admin_port >= 0) {
+    options.admin.enabled = true;
+    options.admin.port = static_cast<std::uint16_t>(admin_port);
+  }
   ReplicaFollowerOptions fopt;
   fopt.leader_host = leader_host;
   fopt.leader_port = leader_port;
@@ -204,8 +279,10 @@ int RunFollower(std::size_t window, const std::string& journal_dir,
       "read-only follower of %s:%u serving on 127.0.0.1:%u — reads "
       "(snapshots, delta polls) welcome; writes are redirected\n",
       leader_host.c_str(), leader_port, server.port());
+  PrintAdminEndpoint((*follower)->service());
   bool promoted = false;
   long elapsed = 0;
+  std::uint64_t last_ingested = 0;
   while (serve_seconds <= 0 || elapsed < serve_seconds) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
     ++elapsed;
@@ -235,9 +312,8 @@ int RunFollower(std::size_t window, const std::string& journal_dir,
           journal_dir.c_str());
     }
     if (elapsed % 10 == 0) {
-      std::printf("net:     %s\nservice: %s\n",
-                  server.stats().ToString().c_str(),
-                  (*follower)->service().stats().ToString().c_str());
+      PrintStatsLine((*follower)->service(), &last_ingested,
+                     /*interval=*/10);
     }
   }
   server.Stop();
@@ -784,6 +860,86 @@ int RunLocal(int producers, std::size_t records,
   return 0;
 }
 
+/// --dump_metrics: boots the fullest node shape this binary can build —
+/// a journaled leader behind a TcpServer, a replica follower shipping
+/// from it, and a failover agent riding the follower — snapshots both
+/// services' registries and prints the union of registered metric
+/// names, one per line, sorted. tools/check_metrics.py diffs this list
+/// against the docs/ADMIN.md catalog, so a metric added in code
+/// without a catalog row (or vice versa) fails CI.
+int DumpMetrics() {
+  char leader_tmpl[] = "/tmp/topkmon_dump_leader_XXXXXX";
+  char replica_tmpl[] = "/tmp/topkmon_dump_replica_XXXXXX";
+  if (::mkdtemp(leader_tmpl) == nullptr ||
+      ::mkdtemp(replica_tmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string leader_dir = leader_tmpl;
+  const std::string replica_dir = replica_tmpl;
+  int rc = 1;
+  {
+    ServiceOptions lopt;
+    lopt.journal.dir = leader_dir;
+    auto leader = MonitorService::Open(EngineFactory(500), lopt);
+    if (!leader.ok()) {
+      std::fprintf(stderr, "%s\n", leader.status().ToString().c_str());
+      return 1;
+    }
+    NetServerOptions net;
+    net.port = 0;
+    TcpServer server(**leader, net);
+    if (const Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    ServiceOptions fopt_service;
+    fopt_service.journal.dir = replica_dir;
+    ReplicaFollowerOptions fopt;
+    fopt.leader_host = "127.0.0.1";
+    fopt.leader_port = server.port();
+    auto follower =
+        ReplicaFollower::Open(EngineFactory(500), fopt_service, fopt);
+    if (!follower.ok()) {
+      std::fprintf(stderr, "%s\n", follower.status().ToString().c_str());
+      server.Stop();
+      (*leader)->Shutdown();
+      return 1;
+    }
+    {
+      // The agent only needs to *register* its metrics; a day-long
+      // election timeout keeps it from ever probing.
+      FailoverOptions agent_options;
+      agent_options.self_endpoint = "127.0.0.1:1";
+      agent_options.election_timeout = std::chrono::hours(24);
+      FailoverAgent agent(follower->get(), agent_options);
+
+      std::set<std::string> names;
+      for (const MetricsSnapshot& snap :
+           {(*leader)->metrics().Snapshot(),
+            (*follower)->service().metrics().Snapshot()}) {
+        for (const MetricSample& s : snap.samples) names.insert(s.name);
+      }
+      for (const std::string& name : names) {
+        std::printf("%s\n", name.c_str());
+      }
+      agent.Stop();
+    }
+    (*follower)->Stop();
+    (*follower)->service().Shutdown();
+    server.Stop();
+    (*leader)->Shutdown();
+    rc = 0;
+  }
+  for (const std::string& dir : {leader_dir, replica_dir}) {
+    const std::string cmd = "rm -rf '" + dir + "'";
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "warning: failed to clean %s\n", dir.c_str());
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -808,15 +964,25 @@ int main(int argc, char** argv) {
   const auto partitions_flag = flags->GetInt("partitions", 3);
   // -1 = untagged (standalone); 0..N-1 = this server's partition index.
   const auto server_tag_flag = flags->GetInt("server_tag", -1);
+  // -1 = admin plane off; 0 = ephemeral port; >0 = fixed port.
+  const auto admin_port_flag = flags->GetInt("admin_port", -1);
   for (const auto* f : {&producers_flag, &records_flag, &queries_flag,
                         &k_flag, &window_flag, &port_flag,
                         &serve_seconds_flag, &listen_flag,
                         &promote_seconds_flag, &server_threads_flag,
-                        &partitions_flag, &server_tag_flag}) {
+                        &partitions_flag, &server_tag_flag,
+                        &admin_port_flag}) {
     if (!f->ok()) {
       std::fprintf(stderr, "%s\n", f->status().ToString().c_str());
       return 1;
     }
+  }
+  if (*admin_port_flag > 65535) {
+    std::fprintf(stderr,
+                 "INVALID_ARGUMENT: flag --admin_port expects a port in "
+                 "[0, 65535], got %d\n",
+                 *admin_port_flag);
+    return 1;
   }
   const auto journal_flag = flags->GetString("journal", "");
   const auto sync_flag = flags->GetString("sync", "none");
@@ -831,6 +997,13 @@ int main(int argc, char** argv) {
   if (*workload_flag == "list" || *workload_flag == "help") {
     return PrintWorkloads();
   }
+  const auto dump_metrics_flag = flags->GetBool("dump_metrics", false);
+  if (!dump_metrics_flag.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 dump_metrics_flag.status().ToString().c_str());
+    return 1;
+  }
+  if (*dump_metrics_flag) return DumpMetrics();
   const auto sync_policy = ParseSyncPolicy(*sync_flag);
   if (!sync_policy.ok()) {
     std::fprintf(stderr, "%s\n", sync_policy.status().ToString().c_str());
@@ -845,7 +1018,8 @@ int main(int argc, char** argv) {
                     static_cast<std::size_t>(*server_threads_flag),
                     *server_tag_flag < 0
                         ? kNoServerTag
-                        : static_cast<std::uint32_t>(*server_tag_flag));
+                        : static_cast<std::uint32_t>(*server_tag_flag),
+                    static_cast<long>(*admin_port_flag));
   }
   if (*mode_flag == "cluster") {
     if (*partitions_flag < 1) {
@@ -870,7 +1044,8 @@ int main(int argc, char** argv) {
                        static_cast<std::uint16_t>(*listen_flag),
                        static_cast<long>(*serve_seconds_flag),
                        static_cast<long>(*promote_seconds_flag),
-                       static_cast<std::size_t>(*server_threads_flag));
+                       static_cast<std::size_t>(*server_threads_flag),
+                       static_cast<long>(*admin_port_flag));
   }
   if (*mode_flag == "local" && !workload_flag->empty()) {
     return RunWorkloadDriven(

@@ -13,6 +13,10 @@ ServiceOptions LocalCluster::NodeServiceOptions(std::size_t i) const {
   if (!service.journal.dir.empty()) {
     service.journal.dir += "/p" + std::to_string(i);
   }
+  // One admin endpoint per partition: a fixed port cannot be shared by
+  // N in-process nodes, so each binds ephemeral and publishes it
+  // through LocalCluster::admin_port(i).
+  service.admin.port = 0;
   return service;
 }
 

@@ -70,6 +70,17 @@ class LocalCluster {
     return i < nodes_.size() ? nodes_[i].service.get() : nullptr;
   }
 
+  /// Partition i's admin (HTTP introspection) port — 0 while the
+  /// partition is stopped or when options.service.admin.enabled is
+  /// false. Every partition binds its own ephemeral admin port
+  /// (options.service.admin.port is forced to 0, like net.port), so a
+  /// scraper walks the cluster by asking each partition.
+  std::uint16_t admin_port(std::size_t i) const {
+    return i < nodes_.size() && nodes_[i].service != nullptr
+               ? nodes_[i].service->admin_port()
+               : 0;
+  }
+
   /// Flushes every running partition (the cross-partition ingest fence:
   /// afterwards every record accepted so far is applied and its deltas
   /// published).

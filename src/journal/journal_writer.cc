@@ -143,7 +143,12 @@ Status CycleJournalWriter::WriteAll(const std::string& bytes) {
 
 Status CycleJournalWriter::SyncFd() {
   ++stats_.sync_calls;
-  if (::fdatasync(fd_) != 0) {
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = ::fdatasync(fd_);
+  if (fsync_histogram_ != nullptr) {
+    fsync_histogram_->Record(std::chrono::steady_clock::now() - start);
+  }
+  if (rc != 0) {
     // The tail is still only in page cache: leave the group-commit
     // counters armed so the next append / Sync / SyncIfDue retries
     // instead of reporting the unsynced tail durable.

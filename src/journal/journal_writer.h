@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "journal/format.h"
+#include "obs/metrics.h"
 
 namespace topkmon {
 
@@ -144,6 +145,15 @@ class CycleJournalWriter {
   /// Close fail with FailedPrecondition.
   Status Close();
 
+  /// Admin-plane instrumentation: every fdatasync this writer issues is
+  /// timed into `histogram` (the service registers it as
+  /// topkmon_journal_fsync_latency_seconds). The histogram must outlive
+  /// the writer; nullptr (the default) disables timing. Like every
+  /// other writer call, externally serialized by the owner.
+  void set_fsync_histogram(LatencyHistogram* histogram) {
+    fsync_histogram_ = histogram;
+  }
+
   bool closed() const { return closed_; }
   const JournalWriterStats& stats() const { return stats_; }
   const std::string& current_segment_path() const { return segment_path_; }
@@ -178,6 +188,7 @@ class CycleJournalWriter {
   std::uint64_t cycles_since_sync_ = 0;
   std::chrono::steady_clock::time_point last_sync_time_{};
   bool closed_ = false;
+  LatencyHistogram* fsync_histogram_ = nullptr;
   JournalWriterStats stats_;
 };
 

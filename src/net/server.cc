@@ -143,6 +143,13 @@ Status TcpServer::Start() {
   // deltas are published or the journal grows, so parked long-polls and
   // fetches are answered promptly regardless of which loop owns them.
   listener_id_ = service_.AddProgressListener([this] { WakeAll(); });
+  // Admin plane: the server's counters and per-loop gauges join the
+  // service's scrape and its /statusz document for as long as the
+  // server runs (Stop deregisters both before touching loops_).
+  sampler_id_ = service_.metrics().AddSampler(
+      [this](MetricSink& sink) { SampleNetMetrics(sink); });
+  section_id_ =
+      service_.AddStatsSection("net", [this] { return StatsSection(); });
   for (auto& loop : loops_) {
     PollLoop* raw = loop.get();
     raw->thread = std::thread([this, raw] { LoopRun(*raw); });
@@ -156,6 +163,16 @@ void TcpServer::Stop() {
   if (listener_id_ != 0) {
     service_.RemoveProgressListener(listener_id_);
     listener_id_ = 0;
+  }
+  // Deregister from the admin plane before any loop state is torn
+  // down; both removals block until an in-flight scrape is done here.
+  if (sampler_id_ != 0) {
+    service_.metrics().RemoveSampler(sampler_id_);
+    sampler_id_ = 0;
+  }
+  if (section_id_ != 0) {
+    service_.RemoveStatsSection(section_id_);
+    section_id_ = 0;
   }
   WakeAll();
   if (acceptor_.joinable()) acceptor_.join();
@@ -192,6 +209,105 @@ void TcpServer::Stop() {
 NetServerStats TcpServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+void TcpServer::SampleNetMetrics(MetricSink& sink) const {
+  const NetServerStats s = stats();
+  sink.AddCounter("topkmon_net_connections_accepted_total",
+                  "Client connections accepted",
+                  static_cast<double>(s.connections_accepted));
+  sink.AddCounter("topkmon_net_connections_closed_total",
+                  "Client connections closed",
+                  static_cast<double>(s.connections_closed));
+  sink.AddCounter("topkmon_net_connections_refused_total",
+                  "Connections refused over max_connections",
+                  static_cast<double>(s.connections_refused));
+  sink.AddCounter("topkmon_net_connections_migrated_total",
+                  "Connections migrated to the replication loop",
+                  static_cast<double>(s.connections_migrated));
+  sink.AddCounter("topkmon_net_frames_received_total",
+                  "Protocol frames received",
+                  static_cast<double>(s.frames_received));
+  sink.AddCounter("topkmon_net_frames_sent_total", "Protocol frames sent",
+                  static_cast<double>(s.frames_sent));
+  sink.AddCounter("topkmon_net_protocol_errors_total",
+                  "Framing/decode violations (each fails its connection)",
+                  static_cast<double>(s.protocol_errors));
+  sink.AddCounter("topkmon_net_bytes_received_total",
+                  "Bytes received from clients",
+                  static_cast<double>(s.bytes_received));
+  sink.AddCounter("topkmon_net_bytes_sent_total", "Bytes sent to clients",
+                  static_cast<double>(s.bytes_sent));
+  sink.AddCounter("topkmon_net_records_ingested_total",
+                  "Tuples accepted over the wire",
+                  static_cast<double>(s.records_ingested));
+  sink.AddCounter("topkmon_net_records_backpressured_total",
+                  "Wire tuples refused with the ingest queue full",
+                  static_cast<double>(s.records_backpressured));
+  sink.AddCounter("topkmon_net_repl_chunks_sent_total",
+                  "Replication fetches answered",
+                  static_cast<double>(s.repl_chunks_sent));
+  sink.AddCounter("topkmon_net_repl_bytes_shipped_total",
+                  "Journal bytes shipped to followers",
+                  static_cast<double>(s.repl_bytes_shipped));
+  sink.AddGauge("topkmon_net_open_connections", "Open client connections",
+                static_cast<double>(s.open_connections));
+  for (const auto& loop : loops_) {
+    const MetricLabels labels = {{"loop", std::to_string(loop->index)}};
+    sink.AddGauge(
+        "topkmon_net_loop_connections",
+        "Connections owned by this poll loop",
+        static_cast<double>(
+            loop->gauge_connections.load(std::memory_order_relaxed)),
+        labels);
+    sink.AddGauge(
+        "topkmon_net_loop_parked_polls",
+        "Long-polls parked on this poll loop",
+        static_cast<double>(
+            loop->gauge_parked_polls.load(std::memory_order_relaxed)),
+        labels);
+    sink.AddGauge(
+        "topkmon_net_loop_parked_fetches",
+        "Replication fetches parked on this poll loop",
+        static_cast<double>(
+            loop->gauge_parked_fetches.load(std::memory_order_relaxed)),
+        labels);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> TcpServer::StatsSection()
+    const {
+  const NetServerStats s = stats();
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("open_connections",
+                    std::to_string(s.open_connections));
+  rows.emplace_back("accepted", std::to_string(s.connections_accepted));
+  rows.emplace_back("refused", std::to_string(s.connections_refused));
+  rows.emplace_back("migrated", std::to_string(s.connections_migrated));
+  rows.emplace_back("frames_received", std::to_string(s.frames_received));
+  rows.emplace_back("frames_sent", std::to_string(s.frames_sent));
+  rows.emplace_back("protocol_errors",
+                    std::to_string(s.protocol_errors));
+  rows.emplace_back("records_ingested",
+                    std::to_string(s.records_ingested));
+  rows.emplace_back("records_backpressured",
+                    std::to_string(s.records_backpressured));
+  rows.emplace_back("repl_chunks_sent",
+                    std::to_string(s.repl_chunks_sent));
+  for (const auto& loop : loops_) {
+    rows.emplace_back(
+        "loop" + std::to_string(loop->index),
+        "conns=" +
+            std::to_string(
+                loop->gauge_connections.load(std::memory_order_relaxed)) +
+            " parked_polls=" +
+            std::to_string(
+                loop->gauge_parked_polls.load(std::memory_order_relaxed)) +
+            " parked_fetches=" +
+            std::to_string(loop->gauge_parked_fetches.load(
+                std::memory_order_relaxed)));
+  }
+  return rows;
 }
 
 void TcpServer::Wake(PollLoop& loop) {
@@ -296,6 +412,8 @@ void TcpServer::LoopRun(PollLoop& loop) {
     fds.clear();
     conn_of_fd.clear();
     fds.push_back({loop.wake_rd, POLLIN, 0});
+    std::size_t parked_polls = 0;
+    std::size_t parked_fetches = 0;
     for (auto it = loop.connections.begin(); it != loop.connections.end();
          ++it) {
       short events = 0;
@@ -303,7 +421,15 @@ void TcpServer::LoopRun(PollLoop& loop) {
       if (!it->out.empty()) events |= POLLOUT;
       fds.push_back({it->fd, events, 0});
       conn_of_fd.push_back(it);
+      if (it->poll_parked) ++parked_polls;
+      if (it->fetch_parked) ++parked_fetches;
     }
+    // Per-loop admin gauges ride the poll-set build (no extra pass).
+    loop.gauge_connections.store(loop.connections.size(),
+                                 std::memory_order_relaxed);
+    loop.gauge_parked_polls.store(parked_polls, std::memory_order_relaxed);
+    loop.gauge_parked_fetches.store(parked_fetches,
+                                    std::memory_order_relaxed);
     const int ready = ::poll(fds.data(), fds.size(), tick);
     if (stop_.load()) break;
     if (ready < 0 && errno != EINTR) break;

@@ -230,6 +230,12 @@ class TcpServer {
     std::mutex handoff_mu;
     std::vector<Connection> handoff;  ///< accepted / migrated, not yet owned
     std::list<Connection> connections;  ///< loop-thread private
+    /// Admin-plane gauges, refreshed by the loop thread once per tick
+    /// during the poll-set build (free — the iteration happens anyway)
+    /// and read by the metrics sampler with {loop="i"} labels.
+    std::atomic<std::size_t> gauge_connections{0};
+    std::atomic<std::size_t> gauge_parked_polls{0};
+    std::atomic<std::size_t> gauge_parked_fetches{0};
     std::thread thread;
   };
 
@@ -277,6 +283,14 @@ class TcpServer {
   bool WriteReady(Connection& conn);
   void CloseConnection(PollLoop& loop, std::list<Connection>::iterator it);
 
+  /// Bridges the aggregate NetServerStats counters and the per-loop
+  /// gauges into a metrics scrape (registered on the service's registry
+  /// by Start, removed by Stop).
+  void SampleNetMetrics(MetricSink& sink) const;
+  /// The "net" section one MonitorService::stats() / /statusz call
+  /// carries (registered by Start, removed by Stop).
+  std::vector<std::pair<std::string, std::string>> StatsSection() const;
+
   /// Current resume epoch of a session (0 until first resumed).
   std::uint64_t ResumeEpoch(SessionId session) const;
   /// Bumps the epoch — called by a resuming Hello *before* its Welcome
@@ -304,6 +318,11 @@ class TcpServer {
   std::size_t next_loop_ = 0;
   /// Progress-listener registration on the service (0 = none).
   std::uint64_t listener_id_ = 0;
+  /// Admin-plane registrations on the service (0 = none). Removed
+  /// before loops_ is torn down: RemoveSampler / RemoveStatsSection
+  /// block until no in-flight scrape still reads this server.
+  std::uint64_t sampler_id_ = 0;
+  std::uint64_t section_id_ = 0;
 
   /// Resume epochs (see Connection::poll_epoch). Touched by every loop,
   /// but only on Hello-resume, park and the per-tick parked check.

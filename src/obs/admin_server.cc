@@ -1,0 +1,299 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+AdminHttpServer::AdminHttpServer(const AdminServerOptions& options)
+    : options_(options) {}
+
+AdminHttpServer::~AdminHttpServer() { Stop(); }
+
+void AdminHttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status AdminHttpServer::Start() {
+  if (started_) return Status::FailedPrecondition("admin server started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad admin bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::FailedPrecondition(status.message());
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    const Status status = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    const Status status = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  const Status nb = SetNonBlocking(listen_fd_);
+  if (!nb.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return nb;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void AdminHttpServer::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (Connection& conn : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  connections_.clear();
+  started_ = false;
+}
+
+void AdminHttpServer::Loop() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Connection& conn : connections_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+
+    const int timeout_ms =
+        static_cast<int>(options_.poll_tick.count() > 0
+                             ? options_.poll_tick.count()
+                             : 1);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (ready < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) AcceptReady();
+
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t i = 1;
+    for (auto it = connections_.begin(); it != connections_.end(); ++i) {
+      Connection& conn = *it;
+      bool alive = true;
+      const short revents = i < fds.size() ? fds[i].revents : 0;
+      if (revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (revents & (POLLIN | POLLHUP))) alive = ReadReady(conn);
+      if (alive && !conn.out.empty() && (revents & POLLOUT)) {
+        alive = WriteReady(conn);
+      }
+      // A fully flushed response is the end of the HTTP/1.0 exchange.
+      if (alive && conn.responding && conn.out.empty()) alive = false;
+      // Slow-loris / abandoned sockets: reap when idle mid-request.
+      if (alive && options_.idle_timeout.count() > 0 &&
+          now - conn.last_activity > options_.idle_timeout) {
+        alive = false;
+      }
+      if (alive) {
+        ++it;
+      } else {
+        ::close(conn.fd);
+        it = connections_.erase(it);
+      }
+    }
+  }
+}
+
+void AdminHttpServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing pending
+    if (connections_.size() >= options_.max_connections ||
+        !SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.last_activity = std::chrono::steady_clock::now();
+    connections_.push_back(std::move(conn));
+  }
+}
+
+bool AdminHttpServer::ReadReady(Connection& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.last_activity = std::chrono::steady_clock::now();
+      if (conn.responding) continue;  // pipelined extra bytes: ignore
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      if (conn.in.find("\r\n\r\n") != std::string::npos ||
+          conn.in.find("\n\n") != std::string::npos) {
+        AnswerRequest(conn);
+      } else if (conn.in.size() > options_.max_request_bytes) {
+        AdminResponse response;
+        response.status = 431;
+        response.body = "request too large\n";
+        QueueResponse(conn, response);
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-closed. If a response is queued let it flush; an
+      // abrupt disconnect mid-request just ends the connection.
+      return conn.responding && !conn.out.empty();
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+void AdminHttpServer::AnswerRequest(Connection& conn) {
+  const std::size_t line_end = conn.in.find('\n');
+  std::string line =
+      line_end == std::string::npos ? conn.in : conn.in.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  AdminResponse response;
+  if (sp1 == std::string::npos || sp1 == 0) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+    QueueResponse(conn, response);
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = sp2 == std::string::npos
+                           ? line.substr(sp1 + 1)
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  if (method != "GET") {
+    response.status = 405;
+    response.body = "read-only admin plane: GET only\n";
+    QueueResponse(conn, response);
+    return;
+  }
+  if (target.empty() || target[0] != '/') {
+    response.status = 400;
+    response.body = "malformed request target\n";
+    QueueResponse(conn, response);
+    return;
+  }
+
+  const auto it = handlers_.find(target);
+  if (it == handlers_.end()) {
+    response.status = 404;
+    response.body = "unknown path; try /metrics /statusz /healthz\n";
+    QueueResponse(conn, response);
+    return;
+  }
+  QueueResponse(conn, it->second());
+}
+
+void AdminHttpServer::QueueResponse(Connection& conn,
+                                    const AdminResponse& response) {
+  conn.responding = true;
+  conn.in.clear();
+  conn.out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+             StatusText(response.status) +
+             "\r\nContent-Type: " + response.content_type +
+             "\r\nContent-Length: " + std::to_string(response.body.size()) +
+             "\r\nConnection: close\r\n\r\n" +
+             response.body;
+  // Opportunistic flush: most responses fit the socket buffer, so the
+  // common scrape completes without waiting for the next poll tick.
+  WriteReady(conn);
+}
+
+bool AdminHttpServer::WriteReady(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+  return true;
+}
+
+}  // namespace topkmon

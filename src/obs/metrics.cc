@@ -1,0 +1,295 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace topkmon {
+namespace {
+
+/// Shortest round-trippable rendering ("%.17g" is exact but ugly; "%g"
+/// is what Prometheus client libraries emit for bucket bounds).
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string LabelBlock(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Label block with `le` appended (histogram bucket series).
+std::string LabelBlockWithLe(const MetricLabels& labels,
+                             const std::string& le) {
+  std::string out = "{";
+  for (const auto& label : labels) {
+    out += label.first;
+    out += "=\"";
+    out += label.second;
+    out += "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void MetricSink::AddCounter(const std::string& name, const std::string& help,
+                            double value, MetricLabels labels) {
+  MetricSample sample;
+  sample.name = name;
+  sample.help = help;
+  sample.kind = MetricKind::kCounter;
+  sample.labels = std::move(labels);
+  sample.value = value;
+  samples_.push_back(std::move(sample));
+}
+
+void MetricSink::AddGauge(const std::string& name, const std::string& help,
+                          double value, MetricLabels labels) {
+  MetricSample sample;
+  sample.name = name;
+  sample.help = help;
+  sample.kind = MetricKind::kGauge;
+  sample.labels = std::move(labels);
+  sample.value = value;
+  samples_.push_back(std::move(sample));
+}
+
+MetricCounter* MetricsRegistry::RegisterCounter(std::string name,
+                                                std::string help,
+                                                MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  instruments_.push_back(Instrument{std::move(name), std::move(help),
+                                    MetricKind::kCounter, std::move(labels),
+                                    std::make_unique<MetricCounter>(), nullptr,
+                                    nullptr});
+  return instruments_.back().counter.get();
+}
+
+MetricGauge* MetricsRegistry::RegisterGauge(std::string name,
+                                            std::string help,
+                                            MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  instruments_.push_back(Instrument{std::move(name), std::move(help),
+                                    MetricKind::kGauge, std::move(labels),
+                                    nullptr, std::make_unique<MetricGauge>(),
+                                    nullptr});
+  return instruments_.back().gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::RegisterHistogram(std::string name,
+                                                     std::string help,
+                                                     MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  instruments_.push_back(Instrument{std::move(name), std::move(help),
+                                    MetricKind::kHistogram, std::move(labels),
+                                    nullptr, nullptr,
+                                    std::make_unique<LatencyHistogram>()});
+  return instruments_.back().histogram.get();
+}
+
+std::uint64_t MetricsRegistry::AddSampler(
+    std::function<void(MetricSink&)> sampler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_sampler_id_++;
+  samplers_.emplace_back(id, std::move(sampler));
+  return id;
+}
+
+void MetricsRegistry::RemoveSampler(std::uint64_t id) {
+  // mu_ is held across sampler invocation in Snapshot(), so acquiring
+  // it here is the barrier that makes removal safe: once we hold the
+  // lock no snapshot is mid-call into the sampler being removed.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = samplers_.begin(); it != samplers_.end(); ++it) {
+    if (it->first == id) {
+      samplers_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& instrument : instruments_) {
+    MetricSample sample;
+    sample.name = instrument.name;
+    sample.help = instrument.help;
+    sample.kind = instrument.kind;
+    sample.labels = instrument.labels;
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(instrument.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = static_cast<double>(instrument.gauge->Value());
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram& h = *instrument.histogram;
+        std::uint64_t running = 0;
+        sample.cumulative_buckets.reserve(LatencyHistogram::kFiniteBuckets);
+        for (int i = 0; i < LatencyHistogram::kFiniteBuckets; ++i) {
+          running += h.BucketCount(i);
+          sample.cumulative_buckets.push_back(running);
+        }
+        sample.count = running + h.BucketCount(LatencyHistogram::kFiniteBuckets);
+        sample.sum_seconds = static_cast<double>(h.SumMicros()) * 1e-6;
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  MetricSink sink;
+  for (const auto& sampler : samplers_) sampler.second(sink);
+  for (auto& sample : sink.samples_) {
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  // Group samples of the same metric name under one HELP/TYPE block
+  // (required by the exposition format when labeled series share a
+  // name), preserving first-appearance order.
+  std::vector<std::string> order;
+  for (const auto& sample : samples) {
+    bool seen = false;
+    for (const auto& name : order) {
+      if (name == sample.name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) order.push_back(sample.name);
+  }
+
+  std::string out;
+  for (const auto& name : order) {
+    bool block_started = false;
+    for (const auto& sample : samples) {
+      if (sample.name != name) continue;
+      if (!block_started) {
+        out += "# HELP " + name + " " + sample.help + "\n";
+        out += "# TYPE " + name + " ";
+        out += MetricKindName(sample.kind);
+        out += "\n";
+        block_started = true;
+      }
+      if (sample.kind == MetricKind::kHistogram) {
+        for (int i = 0; i < LatencyHistogram::kFiniteBuckets; ++i) {
+          const double le_seconds =
+              static_cast<double>(LatencyHistogram::BucketBoundMicros(i)) *
+              1e-6;
+          out += name + "_bucket" +
+                 LabelBlockWithLe(sample.labels, FormatDouble(le_seconds)) +
+                 " " + std::to_string(sample.cumulative_buckets[i]) + "\n";
+        }
+        out += name + "_bucket" + LabelBlockWithLe(sample.labels, "+Inf") +
+               " " + std::to_string(sample.count) + "\n";
+        out += name + "_sum" + LabelBlock(sample.labels) + " " +
+               FormatDouble(sample.sum_seconds) + "\n";
+        out += name + "_count" + LabelBlock(sample.labels) + " " +
+               std::to_string(sample.count) + "\n";
+      } else {
+        out += name + LabelBlock(sample.labels) + " " +
+               FormatDouble(sample.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& sample = samples[i];
+    if (i) out += ",";
+    out += "{\"name\":\"" + JsonEscape(sample.name) + "\",\"kind\":\"";
+    out += MetricKindName(sample.kind);
+    out += "\",\"labels\":{";
+    for (std::size_t j = 0; j < sample.labels.size(); ++j) {
+      if (j) out += ",";
+      out += "\"" + JsonEscape(sample.labels[j].first) + "\":\"" +
+             JsonEscape(sample.labels[j].second) + "\"";
+    }
+    out += "}";
+    if (sample.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(sample.count);
+      out += ",\"sum_seconds\":" + FormatDouble(sample.sum_seconds);
+      out += ",\"buckets\":[";
+      for (int b = 0; b < LatencyHistogram::kFiniteBuckets; ++b) {
+        if (b) out += ",";
+        const double le_seconds =
+            static_cast<double>(LatencyHistogram::BucketBoundMicros(b)) * 1e-6;
+        out += "{\"le\":" + FormatDouble(le_seconds) +
+               ",\"count\":" + std::to_string(sample.cumulative_buckets[b]) +
+               "}";
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + FormatDouble(sample.value);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace topkmon

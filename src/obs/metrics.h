@@ -1,0 +1,232 @@
+// MetricsRegistry — the admin plane's metric store (src/obs/).
+//
+// One registry per node (MonitorService owns it) holds two kinds of
+// instruments:
+//
+//   * Owned hot-path instruments: MetricCounter / MetricGauge (one
+//     relaxed atomic each) and LatencyHistogram (fixed power-of-two
+//     microsecond buckets, one relaxed fetch_add per Record) — cheap
+//     enough to live on the ingest/publish/fsync paths. Register once,
+//     keep the returned pointer, never unregister (instrument lifetime
+//     == registry lifetime, which is the service's lifetime).
+//
+//   * Samplers: callbacks invoked only at Snapshot() (i.e. scrape) time
+//     that bridge the existing per-component stats structs
+//     (ServiceStats, NetServerStats, FailoverStats, ...) into metric
+//     samples without adding any hot-path cost. Samplers are removable
+//     (AddSampler returns an id) because their owners — TcpServer,
+//     FailoverAgent, ReplicaFollower — can stop before the service
+//     does; RemoveSampler blocks until any in-flight Snapshot() is done
+//     with the callback, so removal makes the captured object safe to
+//     destroy.
+//
+// Snapshot() renders to both wire shapes the admin endpoints serve:
+// Prometheus text exposition (/metrics) and structured JSON (/statusz
+// embeds it). Metric names follow Prometheus conventions: `_total`
+// suffix on counters, `_seconds` on latency histograms (bucket bounds
+// are converted from microseconds), labels for per-instance series
+// (e.g. {loop="2"}). docs/ADMIN.md catalogs every name; CI
+// (tools/check_metrics.py) keeps the catalog equal to what a live
+// service actually registers.
+
+#ifndef TOPKMON_OBS_METRICS_H_
+#define TOPKMON_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace topkmon {
+
+/// Label set of one metric series, in render order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone counter; one relaxed atomic, safe from any thread.
+class MetricCounter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value; one relaxed atomic, safe from any thread.
+class MetricGauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram with power-of-two microsecond bounds:
+/// bucket i counts samples <= 2^i microseconds (i in [0, 26], so the
+/// finite range spans 1us .. ~67s), plus one +Inf bucket. Record() is a
+/// single relaxed fetch_add — no locks, no allocation — so it sits on
+/// the cycle-publish / delta-delivery / fsync hot paths.
+class LatencyHistogram {
+ public:
+  static constexpr int kFiniteBuckets = 27;
+
+  /// Upper bound of finite bucket i, in microseconds (1 << i).
+  static std::uint64_t BucketBoundMicros(int i) {
+    return std::uint64_t{1} << i;
+  }
+
+  void RecordMicros(std::uint64_t micros) {
+    int bucket = kFiniteBuckets;  // +Inf unless a finite bound covers it
+    for (int i = 0; i < kFiniteBuckets; ++i) {
+      if (micros <= BucketBoundMicros(i)) {
+        bucket = i;
+        break;
+      }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  void Record(std::chrono::nanoseconds elapsed) {
+    if (elapsed.count() < 0) elapsed = std::chrono::nanoseconds::zero();
+    RecordMicros(static_cast<std::uint64_t>(elapsed.count()) / 1000u);
+  }
+
+  /// Per-bucket (NON-cumulative) count; i == kFiniteBuckets is +Inf.
+  std::uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t Count() const {
+    std::uint64_t total = 0;
+    for (int i = 0; i <= kFiniteBuckets; ++i) total += BucketCount(i);
+    return total;
+  }
+  std::uint64_t SumMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kFiniteBuckets + 1] = {};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+const char* MetricKindName(MetricKind kind);
+
+/// One rendered series at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  MetricLabels labels;
+  /// Counter / gauge value.
+  double value = 0.0;
+  /// Histogram: cumulative counts per finite bucket (index i counts
+  /// samples <= BucketBoundMicros(i)); count is the +Inf total.
+  std::vector<std::uint64_t> cumulative_buckets;
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+};
+
+/// What a sampler callback writes into: bridged samples appended after
+/// the registry's owned instruments.
+class MetricSink {
+ public:
+  void AddCounter(const std::string& name, const std::string& help,
+                  double value, MetricLabels labels = {});
+  void AddGauge(const std::string& name, const std::string& help,
+                double value, MetricLabels labels = {});
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<MetricSample> samples_;
+};
+
+/// Scrape-time snapshot with both admin-plane renderings.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Prometheus text exposition format (one # HELP / # TYPE block per
+  /// metric name, samples grouped under it; histogram buckets are
+  /// cumulative with `le` in seconds).
+  std::string ToPrometheus() const;
+
+  /// {"metrics": [...]} — the same samples as structured JSON.
+  std::string ToJson() const;
+};
+
+/// Thread-safe instrument registry + scrape entry point.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument registration. The returned pointer is owned by the
+  /// registry and stays valid for its whole lifetime. Name + label-set
+  /// pairs should be unique (the parser round-trip test enforces it).
+  MetricCounter* RegisterCounter(std::string name, std::string help,
+                                 MetricLabels labels = {});
+  MetricGauge* RegisterGauge(std::string name, std::string help,
+                             MetricLabels labels = {});
+  LatencyHistogram* RegisterHistogram(std::string name, std::string help,
+                                      MetricLabels labels = {});
+
+  /// Bridging: `sampler` runs inside every Snapshot() call. Returns an
+  /// id for RemoveSampler, which blocks until no snapshot is mid-call —
+  /// after it returns, whatever the callback captured may be destroyed.
+  std::uint64_t AddSampler(std::function<void(MetricSink&)> sampler);
+  void RemoveSampler(std::uint64_t id);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    MetricLabels labels;
+    // Exactly one of these is set, matching `kind`.
+    std::unique_ptr<MetricCounter> counter;
+    std::unique_ptr<MetricGauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  /// deque: instrument addresses must survive later registrations.
+  std::deque<Instrument> instruments_;
+  std::vector<std::pair<std::uint64_t, std::function<void(MetricSink&)>>>
+      samplers_;
+  std::uint64_t next_sampler_id_ = 1;
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control bytes) for
+/// the admin plane's hand-rendered documents.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace topkmon
+
+#endif  // TOPKMON_OBS_METRICS_H_

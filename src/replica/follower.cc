@@ -44,7 +44,15 @@ Result<std::unique_ptr<ReplicaFollower>> ReplicaFollower::Open(
   std::unique_ptr<ReplicaFollower> follower(new ReplicaFollower(
       std::move(*service), options, service_options.journal.dir));
   TOPKMON_RETURN_IF_ERROR(follower->Bootstrap());
-  follower->pump_ = std::thread([raw = follower.get()] { raw->PumpLoop(); });
+  // Admin plane: the pump's counters and apply lag join the follower
+  // service's scrape and /statusz for as long as the pump can run
+  // (Stop deregisters both).
+  ReplicaFollower* raw = follower.get();
+  follower->sampler_id_ = raw->service_->metrics().AddSampler(
+      [raw](MetricSink& sink) { raw->SampleReplicaMetrics(sink); });
+  follower->section_id_ = raw->service_->AddStatsSection(
+      "replica", [raw] { return raw->StatsSection(); });
+  follower->pump_ = std::thread([raw] { raw->PumpLoop(); });
   return follower;
 }
 
@@ -481,6 +489,60 @@ ReplicaFollowerStats ReplicaFollower::stats() const {
   return out;
 }
 
+void ReplicaFollower::SampleReplicaMetrics(MetricSink& sink) const {
+  const ReplicaFollowerStats s = stats();
+  sink.AddCounter("topkmon_replica_chunks_received_total",
+                  "Replication chunks received from the leader",
+                  static_cast<double>(s.chunks_received));
+  sink.AddCounter("topkmon_replica_bytes_shipped_total",
+                  "Journal bytes shipped from the leader",
+                  static_cast<double>(s.bytes_shipped));
+  sink.AddCounter("topkmon_replica_records_applied_total",
+                  "Journal records replayed into the local engine",
+                  static_cast<double>(s.records_applied));
+  sink.AddCounter("topkmon_replica_segments_completed_total",
+                  "Shipped segments sealed and advanced past",
+                  static_cast<double>(s.segments_completed));
+  sink.AddCounter("topkmon_replica_restarts_total",
+                  "Full resyncs (leader garbage-collected past us)",
+                  static_cast<double>(s.restarts));
+  sink.AddCounter("topkmon_replica_fetch_errors_total",
+                  "Failed fetches and reconnect attempts",
+                  static_cast<double>(s.fetch_errors));
+  sink.AddGauge("topkmon_replica_connected",
+                "1 while the pump holds a live leader connection",
+                s.connected ? 1.0 : 0.0);
+  sink.AddGauge("topkmon_replica_current_segment",
+                "Journal segment currently being shipped",
+                static_cast<double>(s.current_segment));
+  sink.AddGauge("topkmon_replica_shipped_offset",
+                "Bytes of the current segment on local disk",
+                static_cast<double>(s.shipped_offset));
+  sink.AddGauge("topkmon_replica_apply_lag",
+                "Leader cycle timestamp minus applied cycle timestamp",
+                static_cast<double>(s.LagTs()));
+}
+
+std::vector<std::pair<std::string, std::string>>
+ReplicaFollower::StatsSection() const {
+  const ReplicaFollowerStats s = stats();
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("connected", s.connected ? "1" : "0");
+  rows.emplace_back("apply_lag", std::to_string(s.LagTs()));
+  rows.emplace_back("applied_cycle_ts",
+                    std::to_string(s.applied_cycle_ts));
+  rows.emplace_back("leader_cycle_ts", std::to_string(s.leader_cycle_ts));
+  rows.emplace_back("current_segment",
+                    std::to_string(s.current_segment));
+  rows.emplace_back("shipped_offset", std::to_string(s.shipped_offset));
+  rows.emplace_back("chunks_received",
+                    std::to_string(s.chunks_received));
+  rows.emplace_back("restarts", std::to_string(s.restarts));
+  rows.emplace_back("fetch_errors", std::to_string(s.fetch_errors));
+  rows.emplace_back("leader", leader_endpoint());
+  return rows;
+}
+
 Status ReplicaFollower::WaitForCycleTs(Timestamp ts,
                                        std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -507,6 +569,17 @@ void ReplicaFollower::Stop() {
     pump = std::move(pump_);
   }
   if (pump.joinable()) pump.join();
+  // First Stop only (later calls returned above). Outside mu_: the
+  // sampler/provider take mu_, and both removals block until any
+  // in-flight scrape is done with this object.
+  if (sampler_id_ != 0) {
+    service_->metrics().RemoveSampler(sampler_id_);
+    sampler_id_ = 0;
+  }
+  if (section_id_ != 0) {
+    service_->RemoveStatsSection(section_id_);
+    section_id_ = 0;
+  }
 }
 
 Status ReplicaFollower::Promote() {

@@ -185,6 +185,12 @@ class ReplicaFollower {
   /// Interruptible sleep (wakes early on Stop).
   void Backoff(std::chrono::milliseconds wait);
 
+  /// Bridges pump counters + apply lag into the service's metric scrape
+  /// (registered by Open, removed by Stop).
+  void SampleReplicaMetrics(MetricSink& sink) const;
+  /// The "replica" section the service's stats() / /statusz carries.
+  std::vector<std::pair<std::string, std::string>> StatsSection() const;
+
   std::unique_ptr<MonitorService> service_;
   const ReplicaFollowerOptions options_;
   const std::string journal_dir_;
@@ -222,6 +228,11 @@ class ReplicaFollower {
   ReplicaFollowerStats stats_;
   std::atomic<bool> stop_{false};
   bool stopped_ = false;  ///< pump joined
+  /// Admin-plane registrations on the owned service (0 = none).
+  /// Removed by the first Stop(), outside mu_ — the sampler/provider
+  /// take mu_ themselves, so removing under it would deadlock.
+  std::uint64_t sampler_id_ = 0;
+  std::uint64_t section_id_ = 0;
   std::thread pump_;
 };
 

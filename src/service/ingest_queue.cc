@@ -18,7 +18,8 @@ IngestQueue::IngestQueue(const IngestOptions& options) : options_(options) {
 }
 
 void IngestQueue::PushLocked(Point&& position, Timestamp arrival) {
-  heap_.push_back(Pending{arrival, push_seq_++, std::move(position)});
+  heap_.push_back(Pending{arrival, push_seq_++, std::move(position),
+                          std::chrono::steady_clock::now()});
   std::push_heap(heap_.begin(), heap_.end(), Later());
   max_seen_ = std::max(max_seen_, arrival);
   ++stats_.pushed;
@@ -55,10 +56,10 @@ bool IngestQueue::ReleasableLocked() const {
   return heap_.front().arrival + options_.slack <= max_seen_;
 }
 
-std::size_t IngestQueue::DrainBatch(std::vector<Record>* out,
-                                    Timestamp* cycle_ts,
-                                    std::chrono::milliseconds max_wait,
-                                    bool flush_all) {
+std::size_t IngestQueue::DrainBatch(
+    std::vector<Record>* out, Timestamp* cycle_ts,
+    std::chrono::milliseconds max_wait, bool flush_all,
+    std::chrono::steady_clock::time_point* oldest_push) {
   std::unique_lock<std::mutex> lock(mu_);
   if (!flush_all && !closed_ && !ReleasableLocked()) {
     drain_cv_.wait_for(lock, max_wait,
@@ -83,6 +84,10 @@ std::size_t IngestQueue::DrainBatch(std::vector<Record>* out,
       ++stats_.coerced;
     }
     frontier_ = p.arrival;
+    if (oldest_push != nullptr &&
+        (released == 0 || p.pushed_at < *oldest_push)) {
+      *oldest_push = p.pushed_at;
+    }
     out->emplace_back(next_id_++, std::move(p.position), p.arrival);
     ++released;
   }

@@ -91,10 +91,16 @@ class IngestQueue {
   /// `max_wait` for the slack gate to clear; on timeout (or when
   /// `flush_all` is set, or after Close) everything buffered is released.
   /// Returns the number of records appended; 0 with closed() true and an
-  /// empty buffer means the stream is fully drained.
+  /// empty buffer means the stream is fully drained. When
+  /// `oldest_push` is non-null and records were released, it receives
+  /// the earliest Push() wall instant among them — the driver times
+  /// (publish instant − oldest push) into the ingest→publish latency
+  /// histogram, so one sample per cycle records the batch's worst case.
   std::size_t DrainBatch(std::vector<Record>* out, Timestamp* cycle_ts,
                          std::chrono::milliseconds max_wait,
-                         bool flush_all = false);
+                         bool flush_all = false,
+                         std::chrono::steady_clock::time_point* oldest_push =
+                             nullptr);
 
   /// Permanently closes the queue: subsequent pushes fail, blocked
   /// producers wake, and DrainBatch releases the remaining buffer.
@@ -137,6 +143,8 @@ class IngestQueue {
     Timestamp arrival;
     std::uint64_t seq;  ///< push order; ties on arrival keep FIFO order
     Point position;
+    /// Wall instant of the Push (ingest→publish latency measurement).
+    std::chrono::steady_clock::time_point pushed_at;
   };
   /// Max-heap comparator inverted to pop the smallest (arrival, seq).
   struct Later {

@@ -26,6 +26,12 @@ std::string ServiceStats::ToString() const {
        << " journal_snapshots=" << journal_snapshots
        << " journal_failures=" << journal_failures;
   }
+  for (const auto& [name, rows] : sections) {
+    os << " | " << name << ":";
+    for (const auto& [key, value] : rows) {
+      os << " " << key << "=" << value;
+    }
+  }
   return os.str();
 }
 
@@ -90,6 +96,10 @@ MonitorService::MonitorService(std::unique_ptr<MonitorEngine> engine,
     // yet has the full lease duration to acquire one.
     lease_->Start(NowSeconds());
   }
+  // Instruments (and the admin endpoint) come up before the fan-out is
+  // installed and before the driver starts: the delivery histogram must
+  // be in place when the first delta is published.
+  SetupObservability();
   // Install the fan-out before any query can register or any cycle run,
   // so the very first delta (a query's initial result) is routed.
   engine_->SetDeltaCallback(
@@ -666,6 +676,9 @@ Status MonitorService::Promote(std::uint64_t new_epoch) {
                                            /*resuming=*/true);
     if (!writer.ok()) return writer.status();
     journal_ = std::move(*writer);
+    // The promoted writer is a new object: re-inject the fsync
+    // histogram the follower-role service never had a writer for.
+    journal_->set_fsync_histogram(journal_fsync_hist_);
     journal_progress_.fetch_add(1, std::memory_order_release);
   }
   fencing_epoch_.store(new_epoch, std::memory_order_release);
@@ -782,9 +795,10 @@ void MonitorService::DriverLoop() {
   Timestamp cycle_ts = 0;
   while (true) {
     batch.clear();
+    std::chrono::steady_clock::time_point oldest_push{};
     const std::size_t n =
         ingest_.DrainBatch(&batch, &cycle_ts, options_.drain_wait,
-                           /*flush_all=*/NeedsFlush());
+                           /*flush_all=*/NeedsFlush(), &oldest_push);
     if (n == 0) {
       if (ingest_.closed() && ingest_.depth() == 0) break;
       // Idle loop: let the group-commit time trigger push any unsynced
@@ -829,6 +843,14 @@ void MonitorService::DriverLoop() {
         }
       }
     }
+    // The cycle's deltas were published inside ProcessCycle (the delta
+    // callback runs synchronously): the batch's oldest record has now
+    // completed the ingest->publish span. One sample per cycle, the
+    // per-batch worst case.
+    if (st.ok() && ingest_publish_hist_ != nullptr) {
+      ingest_publish_hist_->Record(std::chrono::steady_clock::now() -
+                                   oldest_push);
+    }
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       applied_records_ += n;
@@ -866,6 +888,9 @@ Status MonitorService::Flush() {
 
 void MonitorService::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
+  // Admin first: its handlers read the service, so the introspection
+  // thread must be parked before any component starts tearing down.
+  if (admin_ != nullptr) admin_->Stop();
   if (!shutdown_requested_) {
     shutdown_requested_ = true;
     ingest_.Close();
@@ -892,7 +917,7 @@ void MonitorService::Shutdown() {
   }
 }
 
-ServiceStats MonitorService::stats() const {
+ServiceStats MonitorService::CoreStats() const {
   ServiceStats out;
   const IngestStats ingest = ingest_.stats();
   const HubStats hub = hub_.stats();
@@ -923,6 +948,245 @@ ServiceStats MonitorService::stats() const {
   }
   out.journal_failures = journal_failures_.load(std::memory_order_relaxed);
   return out;
+}
+
+ServiceStats MonitorService::stats() const {
+  ServiceStats out = CoreStats();
+  std::lock_guard<std::mutex> lock(sections_mu_);
+  for (const auto& [id, name, provider] : sections_) {
+    (void)id;
+    out.sections.emplace_back(name, provider());
+  }
+  return out;
+}
+
+std::uint64_t MonitorService::AddStatsSection(std::string name,
+                                              StatsSectionProvider provider) {
+  std::lock_guard<std::mutex> lock(sections_mu_);
+  const std::uint64_t id = next_section_id_++;
+  sections_.emplace_back(id, std::move(name), std::move(provider));
+  return id;
+}
+
+void MonitorService::RemoveStatsSection(std::uint64_t id) {
+  // sections_mu_ is held while providers run (stats()), so acquiring it
+  // here is the barrier that makes captured objects safe to destroy.
+  std::lock_guard<std::mutex> lock(sections_mu_);
+  sections_.erase(
+      std::remove_if(sections_.begin(), sections_.end(),
+                     [id](const auto& entry) {
+                       return std::get<0>(entry) == id;
+                     }),
+      sections_.end());
+}
+
+std::uint16_t MonitorService::admin_port() const {
+  return admin_ != nullptr ? admin_->port() : 0;
+}
+
+Status MonitorService::admin_status() const { return admin_status_; }
+
+void MonitorService::SetupObservability() {
+  ingest_publish_hist_ = metrics_.RegisterHistogram(
+      "topkmon_ingest_publish_latency_seconds",
+      "Time from a record entering the ingest queue to its cycle's "
+      "deltas being published (one sample per cycle: the batch's oldest "
+      "record, i.e. the worst case)");
+  delta_delivery_hist_ = metrics_.RegisterHistogram(
+      "topkmon_delta_delivery_latency_seconds",
+      "Time from a delta event being published to a session polling it "
+      "out of its subscription buffer");
+  journal_fsync_hist_ = metrics_.RegisterHistogram(
+      "topkmon_journal_fsync_latency_seconds",
+      "Wall time of journal fdatasync calls (the group-commit ack "
+      "point)");
+  hub_.SetDeliveryHistogram(delta_delivery_hist_);
+  if (journal_ != nullptr) {
+    journal_->set_fsync_histogram(journal_fsync_hist_);
+  }
+  metrics_.AddSampler(
+      [this](MetricSink& sink) { SampleServiceMetrics(sink); });
+  if (options_.admin.enabled) {
+    admin_ = std::make_unique<AdminHttpServer>(options_.admin);
+    admin_->Handle("/metrics", [this] { return ServeMetrics(); });
+    admin_->Handle("/statusz", [this] { return ServeStatusz(); });
+    admin_->Handle("/healthz", [this] { return ServeHealthz(); });
+    admin_status_ = admin_->Start();
+    // Best-effort: a node whose admin port is taken still serves data.
+    if (!admin_status_.ok()) admin_.reset();
+  }
+}
+
+void MonitorService::SampleServiceMetrics(MetricSink& sink) const {
+  const ServiceStats s = CoreStats();
+  sink.AddCounter("topkmon_cycles_total", "Engine cycles driven",
+                  static_cast<double>(s.cycles));
+  sink.AddCounter("topkmon_records_ingested_total",
+                  "Records accepted by the ingest queue",
+                  static_cast<double>(s.records_ingested));
+  sink.AddCounter("topkmon_records_applied_total",
+                  "Records applied to the engine",
+                  static_cast<double>(s.records_applied));
+  sink.AddCounter("topkmon_records_shed_total",
+                  "TryIngest refusals with the queue full",
+                  static_cast<double>(s.records_shed));
+  sink.AddCounter("topkmon_records_coerced_total",
+                  "Straggler records time-shifted to the frontier",
+                  static_cast<double>(s.records_coerced));
+  sink.AddCounter("topkmon_records_rate_limited_total",
+                  "Session token-bucket ingest refusals",
+                  static_cast<double>(s.records_rate_limited));
+  sink.AddCounter("topkmon_deltas_published_total",
+                  "Engine deltas entering the subscription hub",
+                  static_cast<double>(s.deltas_published));
+  sink.AddCounter("topkmon_deltas_delivered_total",
+                  "Delta events consumed by sessions",
+                  static_cast<double>(s.deltas_delivered));
+  sink.AddCounter("topkmon_deltas_dropped_total",
+                  "Delta events lost to slow consumers",
+                  static_cast<double>(s.deltas_dropped));
+  sink.AddCounter("topkmon_failed_cycles_total",
+                  "ProcessCycle errors (bug guard)",
+                  static_cast<double>(s.failed_cycles));
+  sink.AddCounter("topkmon_journal_records_total",
+                  "Records appended to the cycle journal",
+                  static_cast<double>(s.journal_records));
+  sink.AddCounter("topkmon_journal_bytes_total",
+                  "Bytes written to the cycle journal",
+                  static_cast<double>(s.journal_bytes));
+  sink.AddCounter("topkmon_journal_snapshots_total",
+                  "Snapshot records written to the journal",
+                  static_cast<double>(s.journal_snapshots));
+  sink.AddCounter("topkmon_journal_failures_total",
+                  "Failed journal appends or rotations",
+                  static_cast<double>(s.journal_failures));
+  sink.AddGauge("topkmon_ingest_queue_depth",
+                "Records waiting in the ingest queue",
+                static_cast<double>(s.queue_depth));
+  sink.AddGauge("topkmon_ingest_queue_pressure",
+                "Backpressure byte surfaced to producers (0 calm, "
+                "1..255 above the high-water mark)",
+                static_cast<double>(IngestPressure()));
+  sink.AddGauge("topkmon_open_sessions", "Currently open sessions",
+                static_cast<double>(s.open_sessions));
+  sink.AddGauge("topkmon_active_queries",
+                "Live continuous queries across all sessions",
+                static_cast<double>(s.active_queries));
+  const ReplicationInfo repl = replication();
+  sink.AddGauge("topkmon_is_leader",
+                "1 when this service accepts writes, 0 on a follower",
+                repl.role == ServiceRole::kLeader ? 1.0 : 0.0);
+  sink.AddGauge("topkmon_fenced",
+                "1 once this leader has fenced itself (deposed)",
+                IsFenced() ? 1.0 : 0.0);
+  sink.AddGauge("topkmon_fencing_epoch",
+                "Highest fencing epoch adopted or observed",
+                static_cast<double>(repl.fencing_epoch));
+  sink.AddGauge("topkmon_applied_cycle_timestamp",
+                "Timestamp of the last cycle applied to this engine",
+                static_cast<double>(repl.applied_cycle_ts));
+  sink.AddGauge("topkmon_replication_staleness",
+                "Leader cycle timestamp minus applied cycle timestamp "
+                "(0 on a leader)",
+                static_cast<double>(repl.StaleBy()));
+  sink.AddGauge("topkmon_journal_healthy",
+                "1 while journaling is healthy or disabled",
+                journal_status().ok() ? 1.0 : 0.0);
+}
+
+AdminResponse MonitorService::ServeMetrics() const {
+  AdminResponse r;
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = metrics_.Snapshot().ToPrometheus();
+  return r;
+}
+
+AdminResponse MonitorService::ServeStatusz() const {
+  const ServiceStats s = stats();
+  const ReplicationInfo repl = replication();
+  const Status js = journal_status();
+  std::ostringstream os;
+  os << "{\"role\":\""
+     << (repl.role == ServiceRole::kFollower ? "follower" : "leader")
+     << "\",\"fenced\":" << (IsFenced() ? "true" : "false")
+     << ",\"fencing_epoch\":" << repl.fencing_epoch
+     << ",\"lease_enabled\":" << (lease_enabled() ? "true" : "false")
+     << ",\"leader_endpoint\":\"" << JsonEscape(repl.leader_endpoint)
+     << "\"";
+  os << ",\"replication\":{\"applied_cycle_ts\":" << repl.applied_cycle_ts
+     << ",\"leader_cycle_ts\":" << repl.leader_cycle_ts
+     << ",\"stale_by\":" << repl.StaleBy() << "}";
+  os << ",\"service\":{\"cycles\":" << s.cycles
+     << ",\"records_ingested\":" << s.records_ingested
+     << ",\"records_applied\":" << s.records_applied
+     << ",\"records_shed\":" << s.records_shed
+     << ",\"records_coerced\":" << s.records_coerced
+     << ",\"records_rate_limited\":" << s.records_rate_limited
+     << ",\"deltas_published\":" << s.deltas_published
+     << ",\"deltas_delivered\":" << s.deltas_delivered
+     << ",\"deltas_dropped\":" << s.deltas_dropped
+     << ",\"failed_cycles\":" << s.failed_cycles << "}";
+  os << ",\"ingest\":{\"queue_depth\":" << s.queue_depth
+     << ",\"queue_capacity\":" << options_.ingest.capacity
+     << ",\"pressure\":" << static_cast<unsigned>(IngestPressure()) << "}";
+  os << ",\"journal\":{\"dir\":\"" << JsonEscape(options_.journal.dir)
+     << "\",\"healthy\":" << (js.ok() ? "true" : "false")
+     << ",\"status\":\"" << JsonEscape(js.ok() ? "ok" : js.message())
+     << "\",\"records\":" << s.journal_records
+     << ",\"bytes\":" << s.journal_bytes
+     << ",\"snapshots\":" << s.journal_snapshots
+     << ",\"failures\":" << s.journal_failures << "}";
+  os << ",\"sessions\":[";
+  bool first = true;
+  for (const SessionInfo& info : sessions_.List()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << info.id << ",\"label\":\""
+       << JsonEscape(info.label) << "\",\"queries\":" << info.queries
+       << ",\"pending_deltas\":" << hub_.Depth(info.id)
+       << ",\"dropped_deltas\":" << hub_.Dropped(info.id) << "}";
+  }
+  os << "]";
+  os << ",\"sections\":{";
+  first = true;
+  for (const auto& [name, rows] : s.sections) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":{";
+    bool first_row = true;
+    for (const auto& [key, value] : rows) {
+      if (!first_row) os << ",";
+      first_row = false;
+      os << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+         << "\"";
+    }
+    os << "}";
+  }
+  os << "}}";
+  AdminResponse r;
+  r.content_type = "application/json";
+  r.body = os.str();
+  return r;
+}
+
+AdminResponse MonitorService::ServeHealthz() const {
+  AdminResponse r;
+  if (role() == ServiceRole::kFollower) {
+    r.body = "follower-ok\n";
+    return r;
+  }
+  // A lapsed lease degrades health even before a refused write latches
+  // fenced_ — the probe must not depend on write traffic to notice.
+  const bool degraded =
+      IsFenced() || (lease_ != nullptr && lease_->Expired(NowSeconds()));
+  if (degraded) {
+    r.status = 503;
+    r.body = "fenced-degraded (fencing epoch " +
+             std::to_string(fencing_epoch()) + ")\n";
+  } else {
+    r.body = "leader-ok\n";
+  }
+  return r;
 }
 
 EngineStats MonitorService::EngineCounters() const {

@@ -64,11 +64,15 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "journal/journal_writer.h"
 #include "journal/recovery.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
 #include "replica/lease.h"
 #include "service/ingest_queue.h"
 #include "service/session.h"
@@ -89,6 +93,11 @@ struct ServiceOptions {
   /// enabled, follower fetches renew the lease (NoteFollowerContact)
   /// and writes are refused with FENCED once it lapses.
   LeaseOptions lease;
+  /// Read-only HTTP introspection endpoint (/metrics, /statusz,
+  /// /healthz; src/obs/admin_server.h). Off by default; when enabled
+  /// the service starts the admin thread at construction and reports
+  /// the bound port through admin_port().
+  AdminServerOptions admin;
   /// Longest the driver waits for the ingest slack gate before forcing a
   /// cycle with whatever is buffered (bounds ingest->result staleness).
   std::chrono::milliseconds drain_wait{5};
@@ -113,6 +122,14 @@ struct ServiceStats {
   std::size_t queue_depth = 0;          ///< records waiting in ingest
   std::size_t open_sessions = 0;
   std::size_t active_queries = 0;
+
+  /// Key/value sections contributed by attached components (the TCP
+  /// server, replica follower, failover agent) via AddStatsSection —
+  /// one stats() call reflects the whole node. Section order is
+  /// registration order; every value is pre-rendered to a string.
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, std::string>>>>
+      sections;
 
   std::string ToString() const;
 };
@@ -371,6 +388,33 @@ class MonitorService {
 
   ServiceStats stats() const;
 
+  // ---- admin plane (src/obs/) -----------------------------------------
+  /// The node's metric registry. Attached components (TcpServer,
+  /// ReplicaFollower, FailoverAgent) register samplers here so one
+  /// scrape covers the whole node; the registry lives exactly as long
+  /// as the service.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// One /statusz + stats() section: a name plus a provider returning
+  /// pre-rendered key/value rows. Providers run outside the service's
+  /// internal locks on every stats() / /statusz call and must be
+  /// thread-safe. Returns an id for RemoveStatsSection, which blocks
+  /// until no in-flight stats() call is still inside the provider —
+  /// after it returns, whatever the provider captured may be destroyed.
+  using StatsSectionProvider =
+      std::function<std::vector<std::pair<std::string, std::string>>()>;
+  std::uint64_t AddStatsSection(std::string name,
+                                StatsSectionProvider provider);
+  void RemoveStatsSection(std::uint64_t id);
+
+  /// The admin endpoint's bound TCP port; 0 when options.admin.enabled
+  /// is false or the bind failed (the failure is in admin_status()).
+  std::uint16_t admin_port() const;
+
+  /// Ok when the admin endpoint is serving or disabled; the bind/start
+  /// error otherwise (the service still runs — admin is best-effort).
+  Status admin_status() const;
+
   /// The recovery outcome when this service was constructed via Open();
   /// a default (recovered=false) report otherwise.
   const RecoveryReport& recovery() const { return recovery_; }
@@ -453,12 +497,39 @@ class MonitorService {
   template <typename AppendFn>
   Status JournalAppendLocked(AppendFn&& append);
 
+  /// Registers the service's owned instruments (latency histograms) and
+  /// its scrape-time sampler, injects the histograms into the hub and
+  /// journal writer, and — when options.admin.enabled — starts the
+  /// admin HTTP endpoint. Constructor-only.
+  void SetupObservability();
+
+  /// Admin endpoint handlers (run on the admin thread).
+  AdminResponse ServeMetrics() const;
+  AdminResponse ServeStatusz() const;
+  AdminResponse ServeHealthz() const;
+
+  /// Bridges the service's own counters/gauges into a scrape.
+  void SampleServiceMetrics(MetricSink& sink) const;
+
+  /// stats() minus the attached-component sections — what the metric
+  /// sampler bridges (a scrape must not re-enter section providers).
+  ServiceStats CoreStats() const;
+
   const ServiceOptions options_;
   std::unique_ptr<MonitorEngine> engine_;
   const int dim_;
   const std::string engine_name_;
   const RecoveryReport recovery_;
   const std::chrono::steady_clock::time_point epoch_;
+
+  /// Admin-plane metric store. Declared before every component that
+  /// records into its instruments (hub_, journal_) so it is destroyed
+  /// after them; the raw LatencyHistogram pointers handed out below
+  /// stay valid for the components' whole lifetime.
+  MetricsRegistry metrics_;
+  LatencyHistogram* ingest_publish_hist_ = nullptr;
+  LatencyHistogram* delta_delivery_hist_ = nullptr;
+  LatencyHistogram* journal_fsync_hist_ = nullptr;
 
   IngestQueue ingest_;
   SessionManager sessions_;
@@ -550,6 +621,21 @@ class MonitorService {
 
   std::mutex shutdown_mu_;
   bool shutdown_requested_ = false;
+
+  /// Stats sections (see AddStatsSection). sections_mu_ is held while a
+  /// provider runs, which is what makes RemoveStatsSection a barrier;
+  /// providers must therefore never call back into AddStatsSection /
+  /// RemoveStatsSection (they read plain stats structs in practice).
+  mutable std::mutex sections_mu_;
+  std::vector<std::tuple<std::uint64_t, std::string, StatsSectionProvider>>
+      sections_;
+  std::uint64_t next_section_id_ = 1;
+
+  /// Admin endpoint (nullptr unless options.admin.enabled). Declared
+  /// after everything its handlers read, so destruction stops the admin
+  /// thread first; Shutdown() also stops it explicitly.
+  std::unique_ptr<AdminHttpServer> admin_;
+  Status admin_status_;
 
   std::thread driver_;
 };

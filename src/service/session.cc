@@ -165,6 +165,20 @@ std::size_t SessionManager::OpenSessions() const {
   return sessions_.size();
 }
 
+std::vector<SessionInfo> SessionManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, state] : sessions_) {
+    out.push_back(SessionInfo{id, state.label, state.queries.size()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionInfo& a, const SessionInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
 std::size_t SessionManager::ActiveQueries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return owner_.size();

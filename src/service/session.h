@@ -47,6 +47,13 @@ struct SessionOptions {
   double ingest_burst = 0.0;
 };
 
+/// One open session as the admin plane reports it (/statusz).
+struct SessionInfo {
+  SessionId id = 0;
+  std::string label;
+  std::size_t queries = 0;  ///< live queries owned
+};
+
 /// Observable session-layer counters.
 struct SessionStats {
   std::uint64_t opened = 0;
@@ -108,6 +115,10 @@ class SessionManager {
   Result<std::size_t> QueryCount(SessionId session) const;
 
   std::size_t OpenSessions() const;
+
+  /// Snapshot of every open session, id-sorted — the /statusz session
+  /// table. O(open sessions); admin-plane only, not the hot path.
+  std::vector<SessionInfo> List() const;
 
   /// Total live queries across all sessions.
   std::size_t ActiveQueries() const;

@@ -70,7 +70,8 @@ void SubscriptionHub::Publish(const ResultDelta& delta) {
       ++b.dropped;
       ++stats_.dropped;
     }
-    b.events.push_back(DeltaEvent{b.next_seq++, delta});
+    b.events.push_back(BufferedEvent{DeltaEvent{b.next_seq++, delta},
+                                     std::chrono::steady_clock::now()});
   }
   event_cv_.notify_all();
 }
@@ -78,8 +79,16 @@ void SubscriptionHub::Publish(const ResultDelta& delta) {
 std::size_t SubscriptionHub::PollLocked(Buffer& buffer, std::size_t max,
                                         std::vector<DeltaEvent>* out) {
   const std::size_t n = std::min(max, buffer.events.size());
+  const auto now =
+      n > 0 && delivery_histogram_ != nullptr
+          ? std::chrono::steady_clock::now()
+          : std::chrono::steady_clock::time_point{};
   for (std::size_t i = 0; i < n; ++i) {
-    out->push_back(std::move(buffer.events.front()));
+    BufferedEvent& buffered = buffer.events.front();
+    if (delivery_histogram_ != nullptr) {
+      delivery_histogram_->Record(now - buffered.published_at);
+    }
+    out->push_back(std::move(buffered.event));
     buffer.events.pop_front();
   }
   stats_.delivered += n;
@@ -125,14 +134,19 @@ HubStats SubscriptionHub::stats() const {
   return stats_;
 }
 
+void SubscriptionHub::SetDeliveryHistogram(LatencyHistogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delivery_histogram_ = histogram;
+}
+
 std::size_t SubscriptionHub::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t bytes = 0;
   for (const auto& [session, buffer] : buffers_) {
     bytes += sizeof(Buffer);
-    for (const DeltaEvent& e : buffer.events) {
-      bytes += sizeof(DeltaEvent) + VectorBytes(e.delta.added) +
-               VectorBytes(e.delta.removed);
+    for (const BufferedEvent& e : buffer.events) {
+      bytes += sizeof(BufferedEvent) + VectorBytes(e.event.delta.added) +
+               VectorBytes(e.event.delta.removed);
     }
   }
   return bytes;

@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "core/delta.h"
+#include "obs/metrics.h"
 #include "service/session.h"
 
 namespace topkmon {
@@ -101,12 +102,27 @@ class SubscriptionHub {
 
   HubStats stats() const;
 
+  /// Admin-plane instrumentation: every event moved out by Poll/WaitPoll
+  /// records (poll instant − publish instant) into `histogram` — the
+  /// cycle-publish→delta-delivery latency the service registers as
+  /// topkmon_delta_delivery_latency_seconds. The histogram must outlive
+  /// the hub; nullptr (the default) disables timing. Install before the
+  /// driver starts publishing (the service constructor does).
+  void SetDeliveryHistogram(LatencyHistogram* histogram);
+
   /// Approximate heap footprint of all buffered events.
   std::size_t MemoryBytes() const;
 
  private:
+  /// A buffered event plus the instant Publish() stamped it — internal
+  /// so the public DeltaEvent wire shape carries no clock.
+  struct BufferedEvent {
+    DeltaEvent event;
+    std::chrono::steady_clock::time_point published_at;
+  };
+
   struct Buffer {
-    std::deque<DeltaEvent> events;
+    std::deque<BufferedEvent> events;
     std::uint64_t next_seq = 1;
     std::uint64_t dropped = 0;
   };
@@ -121,6 +137,7 @@ class SubscriptionHub {
   std::unordered_map<SessionId, Buffer> buffers_;
   std::unordered_map<QueryId, SessionId> routes_;
   HubStats stats_;
+  LatencyHistogram* delivery_histogram_ = nullptr;
 };
 
 }  // namespace topkmon

@@ -1,0 +1,390 @@
+// MetricsRegistry unit + round-trip tests: instrument semantics,
+// histogram bucket math, sampler add/remove, and a Prometheus text
+// exposition parser driven over both a synthetic registry and a real
+// MonitorService scrape. The parser enforces the exposition invariants
+// a scraper relies on: every line parses, every sample name is covered
+// by exactly one HELP/TYPE block, no (name, labels) series appears
+// twice, histogram buckets are cumulative and monotone, and the +Inf
+// bucket equals _count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/brute_force_engine.h"
+#include "obs/metrics.h"
+#include "service/monitor_service.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+// ---- a small Prometheus text exposition parser ------------------------
+
+struct PromSeries {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct PromExposition {
+  std::map<std::string, std::string> help;  ///< metric name -> HELP text
+  std::map<std::string, std::string> type;  ///< metric name -> TYPE token
+  std::vector<PromSeries> series;
+};
+
+/// Parses `name{k="v",...}` (labels optional); false on malformed input.
+bool ParseSeriesHead(const std::string& head, PromSeries* out) {
+  const std::size_t brace = head.find('{');
+  if (brace == std::string::npos) {
+    out->name = head;
+    return !out->name.empty();
+  }
+  out->name = head.substr(0, brace);
+  if (out->name.empty() || head.back() != '}') return false;
+  std::string inner = head.substr(brace + 1, head.size() - brace - 2);
+  while (!inner.empty()) {
+    const std::size_t eq = inner.find("=\"");
+    if (eq == std::string::npos) return false;
+    const std::size_t end = inner.find('"', eq + 2);
+    if (end == std::string::npos) return false;
+    out->labels[inner.substr(0, eq)] = inner.substr(eq + 2, end - eq - 2);
+    if (end + 1 == inner.size()) break;
+    if (inner[end + 1] != ',') return false;
+    inner = inner.substr(end + 2);
+  }
+  return true;
+}
+
+/// Parses a whole exposition document into *out; fails the test on any
+/// malformed line (out-param because gtest ASSERTs need a void return).
+void ParseExposition(const std::string& text, PromExposition* parsed) {
+  PromExposition& out = *parsed;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      EXPECT_NE(space, std::string::npos) << "bare comment header: " << line;
+      if (space == std::string::npos) continue;
+      const std::string name = rest.substr(0, space);
+      auto& target = is_help ? out.help : out.type;
+      EXPECT_EQ(target.count(name), 0u)
+          << "duplicate " << (is_help ? "HELP" : "TYPE") << " for " << name;
+      target[name] = rest.substr(space + 1);
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unknown comment form: " << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no value on line: " << line;
+    PromSeries series;
+    ASSERT_TRUE(ParseSeriesHead(line.substr(0, space), &series))
+        << "bad series head: " << line;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    if (value == "+Inf") {
+      series.value = std::numeric_limits<double>::infinity();
+    } else {
+      series.value = std::strtod(value.c_str(), &end);
+      ASSERT_TRUE(end != nullptr && *end == '\0')
+          << "bad value '" << value << "' on line: " << line;
+    }
+    out.series.push_back(std::move(series));
+  }
+}
+
+/// Strips the _bucket/_sum/_count suffix a histogram series carries, so
+/// the series maps back to its TYPE block's base name.
+std::string BaseName(const PromExposition& exposition,
+                     const std::string& series_name) {
+  if (exposition.type.count(series_name) != 0) return series_name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (series_name.size() > s.size() &&
+        series_name.compare(series_name.size() - s.size(), s.size(), s) ==
+            0) {
+      const std::string base =
+          series_name.substr(0, series_name.size() - s.size());
+      const auto it = exposition.type.find(base);
+      if (it != exposition.type.end() && it->second == "histogram") {
+        return base;
+      }
+    }
+  }
+  return series_name;
+}
+
+/// The full invariant pass every scrape must satisfy.
+void CheckExposition(const PromExposition& exposition) {
+  // 1. Every series belongs to exactly one HELP + TYPE block.
+  for (const PromSeries& s : exposition.series) {
+    const std::string base = BaseName(exposition, s.name);
+    EXPECT_EQ(exposition.type.count(base), 1u)
+        << "series " << s.name << " has no TYPE block";
+    EXPECT_EQ(exposition.help.count(base), 1u)
+        << "series " << s.name << " has no HELP block";
+  }
+  // 2. No (name, labels) series appears twice.
+  std::set<std::string> seen;
+  for (const PromSeries& s : exposition.series) {
+    std::string key = s.name;
+    for (const auto& [k, v] : s.labels) key += "|" + k + "=" + v;
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate series " << key;
+  }
+  // 3. Histograms: buckets cumulative-monotone in le order, +Inf bucket
+  //    present and equal to _count, _sum present.
+  for (const auto& [name, type] : exposition.type) {
+    if (type != "histogram") continue;
+    // Group the buckets by their non-le label set (one histogram per
+    // label combination).
+    std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+    std::map<std::string, double> counts;
+    std::set<std::string> sums;
+    for (const PromSeries& s : exposition.series) {
+      std::string key;
+      for (const auto& [k, v] : s.labels) {
+        if (k != "le") key += k + "=" + v + ",";
+      }
+      if (s.name == name + "_bucket") {
+        const auto le = s.labels.find("le");
+        ASSERT_NE(le, s.labels.end()) << name << "_bucket without le";
+        const double bound = le->second == "+Inf"
+                                 ? std::numeric_limits<double>::infinity()
+                                 : std::strtod(le->second.c_str(), nullptr);
+        buckets[key].emplace_back(bound, s.value);
+      } else if (s.name == name + "_count") {
+        counts[key] = s.value;
+      } else if (s.name == name + "_sum") {
+        sums.insert(key);
+      }
+    }
+    EXPECT_FALSE(buckets.empty()) << name << " has no buckets";
+    for (auto& [key, series] : buckets) {
+      std::sort(series.begin(), series.end());
+      double prev = 0.0;
+      for (const auto& [bound, count] : series) {
+        EXPECT_GE(count, prev)
+            << name << "{" << key << "} bucket le=" << bound
+            << " is not cumulative-monotone";
+        prev = count;
+      }
+      ASSERT_FALSE(series.empty());
+      EXPECT_TRUE(std::isinf(series.back().first))
+          << name << "{" << key << "} is missing the +Inf bucket";
+      ASSERT_EQ(counts.count(key), 1u) << name << " is missing _count";
+      EXPECT_EQ(series.back().second, counts[key])
+          << name << "{" << key << "} +Inf bucket != _count";
+      EXPECT_EQ(sums.count(key), 1u) << name << " is missing _sum";
+    }
+  }
+}
+
+// ---- instrument semantics ---------------------------------------------
+
+TEST(MetricsInstruments, CountersAndGaugesRender) {
+  MetricsRegistry registry;
+  MetricCounter* counter =
+      registry.RegisterCounter("demo_events_total", "Events seen");
+  MetricGauge* gauge = registry.RegisterGauge("demo_depth", "Queue depth");
+  MetricGauge* labeled = registry.RegisterGauge(
+      "demo_loop_depth", "Per-loop depth", {{"loop", "0"}});
+  counter->Increment();
+  counter->Increment(41);
+  gauge->Set(7);
+  gauge->Add(-2);
+  labeled->Set(3);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "demo_events_total");
+  EXPECT_EQ(snap.samples[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.samples[0].value, 42.0);
+  EXPECT_EQ(snap.samples[1].value, 5.0);
+  ASSERT_EQ(snap.samples[2].labels.size(), 1u);
+  EXPECT_EQ(snap.samples[2].labels[0].second, "0");
+
+  PromExposition exposition;
+  ParseExposition(snap.ToPrometheus(), &exposition);
+  CheckExposition(exposition);
+  ASSERT_EQ(exposition.series.size(), 3u);
+  EXPECT_EQ(exposition.type.at("demo_events_total"), "counter");
+  EXPECT_EQ(exposition.type.at("demo_depth"), "gauge");
+}
+
+TEST(MetricsHistogram, BucketBoundsArePowersOfTwoMicros) {
+  EXPECT_EQ(LatencyHistogram::BucketBoundMicros(0), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketBoundMicros(10), 1024u);
+  EXPECT_EQ(LatencyHistogram::BucketBoundMicros(26), 67108864u);
+}
+
+TEST(MetricsHistogram, RecordsIntoTheTightestBucket) {
+  LatencyHistogram h;
+  h.RecordMicros(1);     // bucket 0 (<= 1us)
+  h.RecordMicros(2);     // bucket 1
+  h.RecordMicros(3);     // bucket 2 (<= 4us)
+  h.RecordMicros(1024);  // bucket 10
+  h.RecordMicros(std::uint64_t{1} << 40);  // beyond 2^26us: +Inf
+  h.Record(std::chrono::milliseconds(1));  // 1000us: bucket 10
+  h.Record(std::chrono::nanoseconds(-5));  // clamped to 0: bucket 0
+
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(10), 2u);
+  EXPECT_EQ(h.BucketCount(LatencyHistogram::kFiniteBuckets), 1u);
+  EXPECT_EQ(h.Count(), 7u);
+  EXPECT_EQ(h.SumMicros(),
+            1u + 2u + 3u + 1024u + (std::uint64_t{1} << 40) + 1000u);
+}
+
+TEST(MetricsHistogram, SnapshotBucketsAreCumulative) {
+  MetricsRegistry registry;
+  LatencyHistogram* h =
+      registry.RegisterHistogram("demo_latency_seconds", "Latency");
+  h->RecordMicros(1);
+  h->RecordMicros(2);
+  h->RecordMicros(500);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  const MetricSample& s = snap.samples[0];
+  EXPECT_EQ(s.kind, MetricKind::kHistogram);
+  ASSERT_EQ(static_cast<int>(s.cumulative_buckets.size()),
+            LatencyHistogram::kFiniteBuckets);
+  EXPECT_EQ(s.cumulative_buckets[0], 1u);  // <= 1us
+  EXPECT_EQ(s.cumulative_buckets[1], 2u);  // <= 2us
+  EXPECT_EQ(s.cumulative_buckets[9], 3u);  // <= 512us
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum_seconds, 503e-6, 1e-12);
+
+  PromExposition exposition;
+  ParseExposition(snap.ToPrometheus(), &exposition);
+  CheckExposition(exposition);
+  EXPECT_EQ(exposition.type.at("demo_latency_seconds"), "histogram");
+}
+
+// ---- samplers ---------------------------------------------------------
+
+TEST(MetricsSampler, BridgesAndRemoves) {
+  MetricsRegistry registry;
+  int calls = 0;
+  const std::uint64_t id = registry.AddSampler([&calls](MetricSink& sink) {
+    ++calls;
+    sink.AddCounter("bridged_total", "Bridged", 5.0);
+    sink.AddGauge("bridged_depth", "Bridged", 2.0, {{"loop", "1"}});
+  });
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(snap.samples.size(), 2u);
+  EXPECT_EQ(snap.samples[0].name, "bridged_total");
+  PromExposition bridged;
+  ParseExposition(snap.ToPrometheus(), &bridged);
+  CheckExposition(bridged);
+
+  registry.RemoveSampler(id);
+  snap = registry.Snapshot();
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(snap.samples.empty());
+  // Removing twice (or a bogus id) is harmless.
+  registry.RemoveSampler(id);
+  registry.RemoveSampler(9999);
+}
+
+TEST(MetricsSampler, RemoveIsSafeUnderConcurrentSnapshots) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&registry, &stop] {
+    while (!stop.load()) (void)registry.Snapshot();
+  });
+  // Each round's sampler reads state that dies right after RemoveSampler
+  // returns — the barrier semantics are what keeps the scraper off it.
+  for (int round = 0; round < 200; ++round) {
+    auto state = std::make_unique<int>(round);
+    int* raw = state.get();
+    const std::uint64_t id = registry.AddSampler([raw](MetricSink& sink) {
+      sink.AddGauge("ephemeral", "Round state", static_cast<double>(*raw));
+    });
+    (void)registry.Snapshot();
+    registry.RemoveSampler(id);
+    state.reset();  // safe: no snapshot can still be inside the sampler
+  }
+  stop.store(true);
+  scraper.join();
+}
+
+// ---- the real thing: a MonitorService scrape round-trips --------------
+
+TEST(MetricsRoundTrip, MonitorServiceScrapeParses) {
+  ServiceOptions options;
+  options.drain_wait = std::chrono::milliseconds(1);
+  MonitorService service(
+      std::make_unique<BruteForceEngine>(2, WindowSpec::Count(100)),
+      options);
+
+  const auto session = service.OpenSession("scrape-test");
+  ASSERT_TRUE(session.ok());
+  QuerySpec spec;
+  spec.k = 3;
+  spec.function = std::make_shared<LinearFunction>(
+      std::vector<double>{1.0, 1.0}, 0.0);
+  ASSERT_TRUE(service.Register(*session, spec).ok());
+  for (Timestamp t = 1; t <= 200; ++t) {
+    TOPKMON_ASSERT_OK(service.Ingest(
+        Point{0.001 * static_cast<double>(t), 0.5}, t));
+  }
+  TOPKMON_ASSERT_OK(service.Flush());
+
+  const MetricsSnapshot snap = service.metrics().Snapshot();
+  PromExposition exposition;
+  ParseExposition(snap.ToPrometheus(), &exposition);
+  CheckExposition(exposition);
+
+  // Every registered sample made it into the exposition.
+  for (const MetricSample& s : snap.samples) {
+    EXPECT_EQ(exposition.type.count(s.name), 1u)
+        << s.name << " missing from the exposition";
+  }
+  // The time dimension exists: ingested records flowed through the
+  // ingest->publish histogram.
+  double ingested = -1.0;
+  for (const PromSeries& s : exposition.series) {
+    if (s.name == "topkmon_records_ingested_total") ingested = s.value;
+    if (s.name == "topkmon_ingest_publish_latency_seconds_count") {
+      EXPECT_GT(s.value, 0.0) << "no ingest->publish latency recorded";
+    }
+  }
+  EXPECT_EQ(ingested, 200.0);
+
+  service.Shutdown();
+}
+
+TEST(MetricsJson, EscapesAndRenders) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape(std::string("a\nb\tc")), "a\\nb\\tc");
+
+  MetricsRegistry registry;
+  registry.RegisterCounter("x_total", "help", {{"loop", "0"}})->Increment();
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"name\":\"x_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"loop\":\"0\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Metric catalog lockstep check (run by the CI build-and-test job).
+
+docs/ADMIN.md carries the admin plane's metric catalog between the
+`<!-- metric-catalog-begin -->` / `<!-- metric-catalog-end -->`
+markers. A live node is the source of truth for what actually gets
+registered: `example_service_demo --dump_metrics` boots a leader, a
+TCP server, a replica follower and a failover agent, and prints the
+union of registered metric names one per line.
+
+This script diffs the two sets, so a metric added in code without a
+catalog row — or a catalog row whose metric no longer exists — fails
+CI, the same way tools/check_docs.py pins the workload registry.
+
+Usage: check_metrics.py [path/to/example_service_demo]
+       (default: build/example_service_demo)
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC = os.path.join(REPO, "docs", "ADMIN.md")
+CATALOG_NAME_RE = re.compile(r"`(topkmon_[a-z0-9_]+)`")
+DUMPED_NAME_RE = re.compile(r"^topkmon_[a-z0-9_]+$")
+
+
+def catalog_names():
+    text = open(DOC, encoding="utf-8").read()
+    begin = text.find("<!-- metric-catalog-begin -->")
+    end = text.find("<!-- metric-catalog-end -->")
+    if begin < 0 or end < 0 or end <= begin:
+        sys.exit("error: docs/ADMIN.md: metric-catalog-begin/-end "
+                 "markers not found")
+    names = CATALOG_NAME_RE.findall(text[begin:end])
+    if not names:
+        sys.exit("error: docs/ADMIN.md: no `topkmon_*` names between the "
+                 "catalog markers")
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        sys.exit("error: docs/ADMIN.md: duplicate catalog rows: " +
+                 ", ".join(sorted(duplicates)))
+    return set(names)
+
+
+def registered_names(binary):
+    try:
+        out = subprocess.run([binary, "--dump_metrics"], check=True,
+                             capture_output=True, text=True,
+                             timeout=120).stdout
+    except FileNotFoundError:
+        sys.exit(f"error: {binary} not found — build it first "
+                 "(cmake --build build --target example_service_demo)")
+    except subprocess.CalledProcessError as e:
+        sys.exit(f"error: {binary} --dump_metrics failed "
+                 f"({e.returncode}):\n{e.stderr}")
+    names = set()
+    for line in out.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if not DUMPED_NAME_RE.match(line):
+            sys.exit(f"error: unexpected --dump_metrics line: {line!r}")
+        names.add(line)
+    if not names:
+        sys.exit("error: --dump_metrics printed no metric names")
+    return names
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        REPO, "build", "example_service_demo")
+    documented = catalog_names()
+    registered = registered_names(binary)
+    errors = []
+    for name in sorted(registered - documented):
+        errors.append(f"registered metric '{name}' has no docs/ADMIN.md "
+                      "catalog row — document it alongside the code")
+    for name in sorted(documented - registered):
+        errors.append(f"docs/ADMIN.md catalogs '{name}' but no live node "
+                      "registers it — remove the stale row")
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} metric catalog error(s)", file=sys.stderr)
+        return 1
+    print(f"metric catalog check passed ({len(registered)} metrics "
+          "documented and registered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
