@@ -31,14 +31,8 @@ struct Fixture {
     for (std::size_t i = 0; i < n; ++i) {
       records.push_back(source.Next(0));
       grid->InsertPoint(grid->LocateCell(records.back().position),
-                        records.back().id);
+                        records.back().id, records.back().position);
     }
-  }
-
-  RecordAccessor Accessor() const {
-    return [this](RecordId id) -> const Record& {
-      return records[static_cast<std::size_t>(id)];
-    };
   }
 };
 
@@ -47,8 +41,8 @@ void BM_HeapTraversal(benchmark::State& state) {
   const int k = static_cast<int>(state.range(1));
   TraversalScratch scratch;
   for (auto _ : state) {
-    TopKComputation out = ComputeTopK(*fixture.grid, fixture.f, k,
-                                      fixture.Accessor(), &scratch);
+    TopKComputation out =
+        ComputeTopK(*fixture.grid, fixture.f, k, &scratch);
     benchmark::DoNotOptimize(out.result.data());
   }
   state.counters["cells"] = static_cast<double>(
@@ -59,8 +53,7 @@ void BM_NaiveSortAllCells(benchmark::State& state) {
   const Fixture fixture(static_cast<int>(state.range(0)), 100000);
   const int k = static_cast<int>(state.range(1));
   for (auto _ : state) {
-    TopKComputation out = ComputeTopKNaive(*fixture.grid, fixture.f, k,
-                                           fixture.Accessor());
+    TopKComputation out = ComputeTopKNaive(*fixture.grid, fixture.f, k);
     benchmark::DoNotOptimize(out.result.data());
   }
   state.counters["cells"] = static_cast<double>(

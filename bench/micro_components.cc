@@ -27,7 +27,7 @@ void BM_GridLocateAndInsert(benchmark::State& state) {
   for (auto _ : state) {
     const Record& r = batch[i & 4095];
     const CellIndex cell = grid.LocateCell(r.position);
-    grid.InsertPoint(cell, r.id);
+    grid.InsertPoint(cell, r.id, r.position);
     benchmark::DoNotOptimize(cell);
     ++i;
   }
@@ -110,17 +110,12 @@ void BM_TopKComputeModule(benchmark::State& state) {
   for (std::size_t i = 0; i < 100000; ++i) {
     records.push_back(source.Next(0));
     grid.InsertPoint(grid.LocateCell(records.back().position),
-                     records.back().id);
+                     records.back().id, records.back().position);
   }
   LinearFunction f({0.7, 0.3, 0.9, 0.5});
   TraversalScratch scratch;
   for (auto _ : state) {
-    TopKComputation out = ComputeTopK(
-        grid, f, k,
-        [&records](RecordId id) -> const Record& {
-          return records[static_cast<std::size_t>(id)];
-        },
-        &scratch);
+    TopKComputation out = ComputeTopK(grid, f, k, &scratch);
     benchmark::DoNotOptimize(out.result.data());
   }
 }

@@ -9,8 +9,11 @@
 #ifndef TOPKMON_COMMON_RECORD_H_
 #define TOPKMON_COMMON_RECORD_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
+#include <vector>
 
 #include "common/geometry.h"
 
@@ -38,6 +41,45 @@ struct Record {
   Record() = default;
   Record(RecordId id_in, Point pos, Timestamp arrival_in)
       : id(id_in), position(std::move(pos)), arrival(arrival_in) {}
+};
+
+/// Non-owning, contiguous view over records — the currency of the
+/// zero-copy ingest path. A span never outlives the storage it views:
+/// a cycle batch span is valid for the duration of the driver's cycle
+/// (journal append, engine apply, observer), and an arena-backed span
+/// is valid until its records are released back to their RecordArena.
+/// Implicitly constructible from a vector so every existing
+/// ProcessCycle / AppendCycle call site keeps compiling unchanged.
+class RecordSpan {
+ public:
+  constexpr RecordSpan() = default;
+  constexpr RecordSpan(const Record* data, std::size_t size)
+      : data_(data), size_(size) {}
+  RecordSpan(const std::vector<Record>& records)  // NOLINT: implicit
+      : data_(records.data()), size_(records.size()) {}
+  /// Views a braced list (alive until the end of the full expression —
+  /// long enough for any call that does not retain the span).
+  RecordSpan(std::initializer_list<Record> records)  // NOLINT: implicit
+      : data_(records.begin()), size_(records.size()) {}
+
+  const Record* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Record* begin() const { return data_; }
+  const Record* end() const { return data_ + size_; }
+
+  const Record& operator[](std::size_t i) const { return data_[i]; }
+  const Record& front() const { return data_[0]; }
+  const Record& back() const { return data_[size_ - 1]; }
+
+  RecordSpan subspan(std::size_t offset, std::size_t count) const {
+    return RecordSpan(data_ + offset, count);
+  }
+
+ private:
+  const Record* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace topkmon

@@ -25,6 +25,15 @@ Point ScoringFunction::BestCorner(const Rect& r) const {
   return corner;
 }
 
+void ScoringFunction::ScoreLanes(const double* const* lanes, std::size_t n,
+                                 double* out) const {
+  Point p(dim());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim(); ++d) p[d] = lanes[d][i];
+    out[i] = Score(p);
+  }
+}
+
 Point ScoringFunction::WorstCorner(const Rect& r) const {
   assert(r.dim() == dim());
   Point corner(r.dim());
@@ -46,6 +55,21 @@ double LinearFunction::Score(const Point& p) const {
   double s = bias_;
   for (int i = 0; i < dim(); ++i) s += weights_[i] * p[i];
   return s;
+}
+
+void LinearFunction::ScoreLanes(const double* const* lanes, std::size_t n,
+                                double* out) const {
+  // Accumulate dimension-outer / point-inner: each pass reads one
+  // contiguous lane, and every point sees the same addition order as
+  // Score() (bias, then w_0*x_0, w_1*x_1, ...), keeping results bitwise
+  // equal to the scalar path.
+  const double bias = bias_;
+  for (std::size_t i = 0; i < n; ++i) out[i] = bias;
+  for (int d = 0; d < dim(); ++d) {
+    const double w = weights_[d];
+    const double* lane = lanes[d];
+    for (std::size_t i = 0; i < n; ++i) out[i] += w * lane[i];
+  }
 }
 
 std::string LinearFunction::ToString() const {
@@ -78,6 +102,16 @@ double ProductFunction::Score(const Point& p) const {
   return s;
 }
 
+void ProductFunction::ScoreLanes(const double* const* lanes, std::size_t n,
+                                 double* out) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 1.0;
+  for (int d = 0; d < dim(); ++d) {
+    const double a = offsets_[d];
+    const double* lane = lanes[d];
+    for (std::size_t i = 0; i < n; ++i) out[i] *= a + lane[i];
+  }
+}
+
 std::string ProductFunction::ToString() const {
   std::string out;
   for (int i = 0; i < dim(); ++i) {
@@ -100,6 +134,16 @@ double SumOfSquaresFunction::Score(const Point& p) const {
   double s = 0.0;
   for (int i = 0; i < dim(); ++i) s += coeffs_[i] * p[i] * p[i];
   return s;
+}
+
+void SumOfSquaresFunction::ScoreLanes(const double* const* lanes,
+                                      std::size_t n, double* out) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+  for (int d = 0; d < dim(); ++d) {
+    const double a = coeffs_[d];
+    const double* lane = lanes[d];
+    for (std::size_t i = 0; i < n; ++i) out[i] += a * lane[i] * lane[i];
+  }
 }
 
 std::string SumOfSquaresFunction::ToString() const {

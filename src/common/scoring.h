@@ -19,6 +19,7 @@
 #ifndef TOPKMON_COMMON_SCORING_H_
 #define TOPKMON_COMMON_SCORING_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -48,6 +49,16 @@ class ScoringFunction {
 
   /// The score of point `p`. Requires p.dim() == dim().
   virtual double Score(const Point& p) const = 0;
+
+  /// Batch-scores `n` points laid out lane-major: lanes[d][i] is
+  /// coordinate d of point i; writes the scores to out[0..n). Must be
+  /// bitwise identical to scoring each reconstructed point with Score()
+  /// — the engines' differential tests rely on it — so overrides have to
+  /// apply the exact floating-point operation order of Score(). The
+  /// default does exactly that via reconstruction; the built-in families
+  /// override it with contiguous auto-vectorizable per-lane loops.
+  virtual void ScoreLanes(const double* const* lanes, std::size_t n,
+                          double* out) const;
 
   /// Monotonicity direction along dimension `i` (0-based).
   virtual Monotonicity direction(int i) const = 0;
@@ -94,6 +105,8 @@ class LinearFunction final : public ScoringFunction {
 
   int dim() const override { return static_cast<int>(weights_.size()); }
   double Score(const Point& p) const override;
+  void ScoreLanes(const double* const* lanes, std::size_t n,
+                  double* out) const override;
   Monotonicity direction(int i) const override {
     return weights_[i] < 0 ? Monotonicity::kDecreasing
                            : Monotonicity::kIncreasing;
@@ -120,6 +133,8 @@ class ProductFunction final : public ScoringFunction {
 
   int dim() const override { return static_cast<int>(offsets_.size()); }
   double Score(const Point& p) const override;
+  void ScoreLanes(const double* const* lanes, std::size_t n,
+                  double* out) const override;
   Monotonicity direction(int) const override {
     return Monotonicity::kIncreasing;
   }
@@ -143,6 +158,8 @@ class SumOfSquaresFunction final : public ScoringFunction {
 
   int dim() const override { return static_cast<int>(coeffs_.size()); }
   double Score(const Point& p) const override;
+  void ScoreLanes(const double* const* lanes, std::size_t n,
+                  double* out) const override;
   Monotonicity direction(int) const override {
     return Monotonicity::kIncreasing;
   }

@@ -44,7 +44,7 @@ Status BruteForceEngine::UnregisterQuery(QueryId id) {
 }
 
 Status BruteForceEngine::ProcessCycle(Timestamp now,
-                                      const std::vector<Record>& arrivals) {
+                                      RecordSpan arrivals) {
   Stopwatch watch;
   ++stats_.cycles;
   for (const Record& p : arrivals) {

@@ -26,8 +26,7 @@ class BruteForceEngine final : public MonitorEngine {
   int dim() const override { return dim_; }
   Status RegisterQuery(const QuerySpec& spec) override;
   Status UnregisterQuery(QueryId id) override;
-  Status ProcessCycle(Timestamp now,
-                      const std::vector<Record>& arrivals) override;
+  Status ProcessCycle(Timestamp now, RecordSpan arrivals) override;
   Result<std::vector<ResultEntry>> CurrentResult(QueryId id) const override;
   void SetDeltaCallback(DeltaCallback callback) override {
     delta_.SetCallback(std::move(callback));

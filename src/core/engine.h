@@ -56,9 +56,11 @@ class MonitorEngine {
 
   /// Advances the stream by one processing cycle: admits `arrivals`
   /// (strictly increasing ids, non-decreasing timestamps), evicts expired
-  /// records, and maintains every registered query's result.
-  virtual Status ProcessCycle(Timestamp now,
-                              const std::vector<Record>& arrivals) = 0;
+  /// records, and maintains every registered query's result. The span is
+  /// a borrowed view (typically the driver's reusable cycle batch or an
+  /// arena-backed wire batch): engines must copy whatever they keep and
+  /// must not hold the view past the call.
+  virtual Status ProcessCycle(Timestamp now, RecordSpan arrivals) = 0;
 
   /// The query's current top-k set in ResultOrder (may hold fewer than k
   /// entries when the window has fewer qualifying records).

@@ -66,8 +66,7 @@ Status ShardedEngine::UnregisterQuery(QueryId id) {
   return Status::Ok();
 }
 
-Status ShardedEngine::ProcessCycle(Timestamp now,
-                                   const std::vector<Record>& arrivals) {
+Status ShardedEngine::ProcessCycle(Timestamp now, RecordSpan arrivals) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
@@ -75,7 +74,7 @@ Status ShardedEngine::ProcessCycle(Timestamp now,
           "ShardedEngine is shut down; no worker pool to run the cycle");
     }
     now_ = now;
-    arrivals_ = &arrivals;
+    arrivals_ = arrivals;
     pending_ = shards_.size();
     ++generation_;
   }
@@ -96,7 +95,7 @@ void ShardedEngine::WorkerLoop(std::size_t shard_index) {
   std::uint64_t seen_generation = 0;
   while (true) {
     Timestamp now;
-    const std::vector<Record>* arrivals;
+    RecordSpan arrivals;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_generation] {
@@ -107,7 +106,7 @@ void ShardedEngine::WorkerLoop(std::size_t shard_index) {
       now = now_;
       arrivals = arrivals_;
     }
-    const Status st = shards_[shard_index]->ProcessCycle(now, *arrivals);
+    const Status st = shards_[shard_index]->ProcessCycle(now, arrivals);
     {
       std::lock_guard<std::mutex> lock(mu_);
       shard_status_[shard_index] = st;

@@ -57,8 +57,7 @@ class ShardedEngine final : public MonitorEngine {
   int dim() const override { return dim_; }
   Status RegisterQuery(const QuerySpec& spec) override;
   Status UnregisterQuery(QueryId id) override;
-  Status ProcessCycle(Timestamp now,
-                      const std::vector<Record>& arrivals) override;
+  Status ProcessCycle(Timestamp now, RecordSpan arrivals) override;
   Result<std::vector<ResultEntry>> CurrentResult(QueryId id) const override;
   void SetDeltaCallback(DeltaCallback callback) override;
   std::size_t WindowSize() const override {
@@ -98,7 +97,7 @@ class ShardedEngine final : public MonitorEngine {
   std::size_t pending_ = 0;
   bool stop_ = false;
   Timestamp now_ = 0;
-  const std::vector<Record>* arrivals_ = nullptr;
+  RecordSpan arrivals_;
   std::vector<Status> shard_status_;
   std::vector<std::thread> threads_;
 

@@ -103,8 +103,7 @@ Status SmaEngine::RemoveMonotone(QueryId id) {
   return Status::Ok();
 }
 
-Status SmaEngine::ProcessCycle(Timestamp now,
-                               const std::vector<Record>& arrivals) {
+Status SmaEngine::ProcessCycle(Timestamp now, RecordSpan arrivals) {
   Stopwatch watch;
   ++stats_.cycles;
   // -- Pins (Figure 11, lines 4-11) ----------------------------------------
@@ -112,7 +111,7 @@ Status SmaEngine::ProcessCycle(Timestamp now,
     TOPKMON_RETURN_IF_ERROR(ValidatePoint(p.position, dim()));
     TOPKMON_RETURN_IF_ERROR(window_.Append(p));
     const CellIndex cell = grid_.LocateCell(p.position);
-    grid_.InsertPoint(cell, p.id);
+    grid_.InsertPoint(cell, p.id, p.position);
     ++stats_.arrivals;
     for (QueryId qid : grid_.InfluenceList(cell)) {
       QueryState& state = queries_.at(qid);
@@ -171,10 +170,8 @@ void SmaEngine::RecomputeFromScratch(QueryId id, QueryState& state) {
   const QuerySpec& spec = state.spec;
   const Rect* constraint =
       spec.constraint.has_value() ? &*spec.constraint : nullptr;
-  const TopKComputation computation = ComputeTopK(
-      grid_, *spec.function, spec.k,
-      [this](RecordId rid) -> const Record& { return Lookup(rid); },
-      &scratch_, constraint);
+  const TopKComputation computation =
+      ComputeTopK(grid_, *spec.function, spec.k, &scratch_, constraint);
   stats_.cells_visited += computation.processed_cells.size();
   stats_.points_scored += computation.points_scored;
   state.skyband.Rebuild(computation.result);

@@ -80,7 +80,7 @@ Status ThresholdMonitor::ProcessCycle(Timestamp now,
     TOPKMON_RETURN_IF_ERROR(ValidatePoint(p.position, dim()));
     TOPKMON_RETURN_IF_ERROR(window_.Append(p));
     const CellIndex cell = grid_.LocateCell(p.position);
-    grid_.InsertPoint(cell, p.id);
+    grid_.InsertPoint(cell, p.id, p.position);
     ++stats_.arrivals;
     for (QueryId qid : grid_.InfluenceList(cell)) {
       QueryState& state = queries_.at(qid);

@@ -111,8 +111,7 @@ Status TmaEngine::RemoveMonotone(QueryId id) {
   return Status::Ok();
 }
 
-Status TmaEngine::ProcessCycle(Timestamp now,
-                               const std::vector<Record>& arrivals) {
+Status TmaEngine::ProcessCycle(Timestamp now, RecordSpan arrivals) {
   Stopwatch watch;
   ++stats_.cycles;
   // Admit arrivals into the window first so that both batches (Pins and
@@ -158,7 +157,7 @@ Status TmaEngine::ProcessCycle(Timestamp now,
 
 void TmaEngine::HandleArrival(const Record& p) {
   const CellIndex cell = grid_.LocateCell(p.position);
-  grid_.InsertPoint(cell, p.id);
+  grid_.InsertPoint(cell, p.id, p.position);
   ++stats_.arrivals;
   for (QueryId qid : grid_.InfluenceList(cell)) {
     QueryState& state = queries_.at(qid);
@@ -188,10 +187,8 @@ void TmaEngine::RecomputeFromScratch(QueryId id, QueryState& state) {
   const QuerySpec& spec = state.spec;
   const Rect* constraint =
       spec.constraint.has_value() ? &*spec.constraint : nullptr;
-  const TopKComputation computation = ComputeTopK(
-      grid_, *spec.function, spec.k,
-      [this](RecordId rid) -> const Record& { return Lookup(rid); },
-      &scratch_, constraint);
+  const TopKComputation computation =
+      ComputeTopK(grid_, *spec.function, spec.k, &scratch_, constraint);
   stats_.cells_visited += computation.processed_cells.size();
   stats_.points_scored += computation.points_scored;
   state.top_list.Clear();

@@ -7,19 +7,51 @@ namespace topkmon {
 namespace {
 
 /// Scans one cell's point list, considering each point for the running
-/// top-k list (Figure 6, lines 7-8).
+/// top-k list (Figure 6, lines 7-8). The coordinates come from the cell's
+/// lane-major storage: unconstrained scans batch-score the whole list with
+/// one ScoreLanes call (contiguous, auto-vectorizable); constrained scans
+/// filter per point first so points outside R are neither scored nor
+/// counted (Figure 12: point p1).
 void ScanCell(const Grid& grid, CellIndex cell, const ScoringFunction& f,
-              const RecordAccessor& records, const Rect* constraint,
-              TopKList* top, std::uint64_t* points_scored) {
-  for (RecordId id : grid.PointsIn(cell)) {
-    const Record& record = records(id);
-    if (constraint != nullptr && !constraint->Contains(record.position)) {
-      continue;  // outside the constraint region (Figure 12: point p1)
+              const Rect* constraint, TopKList* top,
+              std::vector<double>* score_buf,
+              std::uint64_t* points_scored) {
+  const PointList& points = grid.PointsIn(cell);
+  const std::size_t n = points.size();
+  if (n == 0) return;
+  const RecordId* ids = points.begin();
+  const int dim = grid.dim();
+  const double* lanes[kMaxDims];
+  for (int d = 0; d < dim; ++d) lanes[d] = points.Lane(d);
+  if (constraint == nullptr) {
+    score_buf->resize(n);
+    double* scores = score_buf->data();
+    f.ScoreLanes(lanes, n, scores);
+    *points_scored += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double score = scores[i];
+      if (!top->full() || score >= top->KthScore()) {
+        top->Consider(ids[i], score);
+      }
     }
-    ++*points_scored;
-    const double score = f.Score(record.position);
-    if (!top->full() || score >= top->KthScore()) {
-      top->Consider(id, score);
+  } else {
+    Point p(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      bool inside = true;
+      for (int d = 0; d < dim; ++d) {
+        const double v = lanes[d][i];
+        if (v < constraint->lo()[d] || v > constraint->hi()[d]) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      for (int d = 0; d < dim; ++d) p[d] = lanes[d][i];
+      ++*points_scored;
+      const double score = f.Score(p);
+      if (!top->full() || score >= top->KthScore()) {
+        top->Consider(ids[i], score);
+      }
     }
   }
 }
@@ -27,8 +59,7 @@ void ScanCell(const Grid& grid, CellIndex cell, const ScoringFunction& f,
 }  // namespace
 
 TopKComputation ComputeTopK(const Grid& grid, const ScoringFunction& f,
-                            int k, const RecordAccessor& records,
-                            TraversalScratch* scratch,
+                            int k, TraversalScratch* scratch,
                             const Rect* constraint) {
   assert(k >= 1);
   TopKComputation out;
@@ -39,7 +70,7 @@ TopKComputation ComputeTopK(const Grid& grid, const ScoringFunction& f,
   while (traversal.HasNext() &&
          (!top.full() || traversal.PeekMaxScore() > top.KthScore())) {
     const MaxScoreTraversal::Entry entry = traversal.Next();
-    ScanCell(grid, entry.cell, f, records, constraint, &top,
+    ScanCell(grid, entry.cell, f, constraint, &top, &scratch->scores(),
              &out.points_scored);
     out.processed_cells.push_back(entry.cell);
   }
@@ -49,11 +80,11 @@ TopKComputation ComputeTopK(const Grid& grid, const ScoringFunction& f,
 }
 
 TopKComputation ComputeTopKNaive(const Grid& grid, const ScoringFunction& f,
-                                 int k, const RecordAccessor& records,
-                                 const Rect* constraint) {
+                                 int k, const Rect* constraint) {
   assert(k >= 1);
   TopKComputation out;
   TopKList top(k);
+  std::vector<double> score_buf;
   // Compute the maxscore of every cell and sort descending (the expensive
   // strawman the heap traversal replaces, Section 4.2).
   struct CellScore {
@@ -83,7 +114,7 @@ TopKComputation ComputeTopKNaive(const Grid& grid, const ScoringFunction& f,
             });
   for (const CellScore& cs : order) {
     if (top.full() && cs.maxscore <= top.KthScore()) break;
-    ScanCell(grid, cs.cell, f, records, constraint, &top,
+    ScanCell(grid, cs.cell, f, constraint, &top, &score_buf,
              &out.points_scored);
     out.processed_cells.push_back(cs.cell);
   }

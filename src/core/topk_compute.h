@@ -17,7 +17,6 @@
 #ifndef TOPKMON_CORE_TOPK_COMPUTE_H_
 #define TOPKMON_CORE_TOPK_COMPUTE_H_
 
-#include <functional>
 #include <vector>
 
 #include "common/record.h"
@@ -27,9 +26,6 @@
 #include "grid/grid.h"
 
 namespace topkmon {
-
-/// Resolves a record id in the grid's point lists to the full record.
-using RecordAccessor = std::function<const Record&(RecordId)>;
 
 /// Output of one run of the computation module.
 struct TopKComputation {
@@ -51,21 +47,22 @@ struct TopKComputation {
 };
 
 /// Runs the computation module for preference function `f` and result size
-/// `k` over the points indexed in `grid`. When `constraint` is non-null,
-/// only points inside it are considered and only cells intersecting it are
-/// visited (constrained top-k, Section 7). `scratch` provides the visited
-/// marks; it must not be shared with a concurrently live traversal.
+/// `k` over the points indexed in `grid`; point coordinates come straight
+/// from the grid's lane-major point lists, so whole cells are batch-scored
+/// without touching the window. When `constraint` is non-null, only points
+/// inside it are considered and only cells intersecting it are visited
+/// (constrained top-k, Section 7). `scratch` provides the visited marks and
+/// the score buffer; it must not be shared with a concurrently live
+/// traversal.
 TopKComputation ComputeTopK(const Grid& grid, const ScoringFunction& f,
-                            int k, const RecordAccessor& records,
-                            TraversalScratch* scratch,
+                            int k, TraversalScratch* scratch,
                             const Rect* constraint = nullptr);
 
 /// The naive strawman: maxscore of every cell + full sort, identical
 /// result and processed-cell semantics (no frontier; all unprocessed cells
 /// with maxscore above the threshold would be the frontier equivalent).
 TopKComputation ComputeTopKNaive(const Grid& grid, const ScoringFunction& f,
-                                 int k, const RecordAccessor& records,
-                                 const Rect* constraint = nullptr);
+                                 int k, const Rect* constraint = nullptr);
 
 }  // namespace topkmon
 

@@ -43,7 +43,7 @@ Status UpdateStreamTmaEngine::ProcessBatch(const std::vector<UpdateOp>& ops) {
       TOPKMON_RETURN_IF_ERROR(ValidatePoint(p.position, dim()));
       TOPKMON_RETURN_IF_ERROR(pool_.Insert(p));
       const CellIndex cell = grid_.LocateCell(p.position);
-      grid_.InsertPoint(cell, p.id);
+      grid_.InsertPoint(cell, p.id, p.position);
       ++stats_.arrivals;
       for (QueryId qid : grid_.InfluenceList(cell)) {
         QueryState& state = queries_.at(qid);
@@ -91,10 +91,8 @@ void UpdateStreamTmaEngine::RecomputeFromScratch(QueryId id,
   const QuerySpec& spec = state.spec;
   const Rect* constraint =
       spec.constraint.has_value() ? &*spec.constraint : nullptr;
-  const TopKComputation computation = ComputeTopK(
-      grid_, *spec.function, spec.k,
-      [this](RecordId rid) -> const Record& { return pool_.Get(rid); },
-      &scratch_, constraint);
+  const TopKComputation computation =
+      ComputeTopK(grid_, *spec.function, spec.k, &scratch_, constraint);
   stats_.cells_visited += computation.processed_cells.size();
   stats_.points_scored += computation.points_scored;
   state.top_list.Clear();

@@ -48,10 +48,18 @@ class TraversalScratch {
     return marks_[cell] == epoch_;
   }
 
-  std::size_t MemoryBytes() const { return VectorBytes(marks_); }
+  /// Reusable batch-scoring buffer for the per-cell point scan
+  /// (core/topk_compute.cc); it lives here so the per-engine scratch
+  /// carries the allocation across cycles.
+  std::vector<double>& scores() { return scores_; }
+
+  std::size_t MemoryBytes() const {
+    return VectorBytes(marks_) + VectorBytes(scores_);
+  }
 
  private:
   std::vector<std::uint32_t> marks_;
+  std::vector<double> scores_;
   std::uint32_t epoch_ = 0;
 };
 

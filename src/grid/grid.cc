@@ -2,13 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace topkmon {
+
+void PointList::PushBack(RecordId id, const Point& p) {
+  assert(p.dim() >= 1);
+  assert(dim_ == 0 || p.dim() == dim_);
+  if (dim_ == 0) dim_ = p.dim();
+  const std::size_t idx = ids_.size();
+  if (idx >= stride_) GrowLanes(idx + 1);
+  ids_.push_back(id);
+  for (int d = 0; d < dim_; ++d) {
+    lanes_[static_cast<std::size_t>(d) * stride_ + idx] = p[d];
+  }
+}
+
+void PointList::GrowLanes(std::size_t min_stride) {
+  std::size_t stride = stride_ == 0 ? 16 : stride_ * 2;
+  if (stride < min_stride) stride = min_stride;
+  std::vector<double> lanes(static_cast<std::size_t>(dim_) * stride);
+  // Copy each lane, dead head prefix included, so lane index i stays
+  // aligned with ids_[i].
+  for (int d = 0; d < dim_; ++d) {
+    std::memcpy(lanes.data() + static_cast<std::size_t>(d) * stride,
+                lanes_.data() + static_cast<std::size_t>(d) * stride_,
+                ids_.size() * sizeof(double));
+  }
+  lanes_.swap(lanes);
+  stride_ = stride;
+}
+
+void PointList::MaybeCompact() {
+  if (head_ > 64 && head_ * 2 >= ids_.size()) {
+    const std::size_t n = ids_.size() - head_;
+    std::memmove(ids_.data(), ids_.data() + head_, n * sizeof(RecordId));
+    ids_.resize(n);
+    for (int d = 0; d < dim_; ++d) {
+      double* lane = lanes_.data() + static_cast<std::size_t>(d) * stride_;
+      std::memmove(lane, lane + head_, n * sizeof(double));
+    }
+    head_ = 0;
+  }
+}
 
 bool PointList::Erase(RecordId id) {
   for (std::size_t i = head_; i < ids_.size(); ++i) {
     if (ids_[i] == id) {
-      ids_.erase(ids_.begin() + static_cast<long>(i));
+      const std::size_t tail = ids_.size() - i - 1;
+      std::memmove(ids_.data() + i, ids_.data() + i + 1,
+                   tail * sizeof(RecordId));
+      ids_.resize(ids_.size() - 1);
+      for (int d = 0; d < dim_; ++d) {
+        double* lane = lanes_.data() + static_cast<std::size_t>(d) * stride_;
+        std::memmove(lane + i, lane + i + 1, tail * sizeof(double));
+      }
       return true;
     }
   }

@@ -38,11 +38,18 @@ using CellIndex = std::uint32_t;
 /// Per-axis integer coordinates of a cell.
 using CellCoords = std::array<std::int32_t, kMaxDims>;
 
-/// FIFO point list with a moving head: push_back to insert, PopFront to
+/// FIFO point list with a moving head: PushBack to insert, PopFront to
 /// expire, bounded-scan Erase for update streams.
+///
+/// Besides the ids, the list stores the point coordinates in a lane-major
+/// (structure-of-arrays) layout: lane d is a contiguous run of coordinate
+/// d for every entry, so the top-k scan batch-scores a whole cell with
+/// auto-vectorizable per-lane loops instead of chasing each record through
+/// the window (grid entries grow from 8 to 8 + 8d bytes per point; the
+/// paper's space numbers count only the id lane).
 class PointList {
  public:
-  void PushBack(RecordId id) { ids_.push_back(id); }
+  void PushBack(RecordId id, const Point& p);
 
   /// Removes the oldest entry, which must equal `id` (append-only model
   /// expires strictly FIFO within each cell).
@@ -64,18 +71,28 @@ class PointList {
   const RecordId* begin() const { return ids_.data() + head_; }
   const RecordId* end() const { return ids_.data() + ids_.size(); }
 
-  std::size_t MemoryBytes() const { return VectorBytes(ids_); }
-
- private:
-  void MaybeCompact() {
-    if (head_ > 64 && head_ * 2 >= ids_.size()) {
-      ids_.erase(ids_.begin(), ids_.begin() + static_cast<long>(head_));
-      head_ = 0;
-    }
+  /// Contiguous coordinate-d lane of the valid entries, aligned with
+  /// begin(): Lane(d)[i] is coordinate d of the record begin()[i].
+  /// Requires 0 <= d < the dimensionality of the inserted points.
+  const double* Lane(int d) const {
+    assert(d >= 0 && d < dim_);
+    return lanes_.data() + static_cast<std::size_t>(d) * stride_ + head_;
   }
 
+  std::size_t MemoryBytes() const {
+    return VectorBytes(ids_) + VectorBytes(lanes_);
+  }
+
+ private:
+  void MaybeCompact();
+  void GrowLanes(std::size_t min_stride);
+
   std::vector<RecordId> ids_;
+  /// Lane-major coordinates; entry i of ids_ lives at lanes_[d*stride_+i].
+  std::vector<double> lanes_;
+  std::size_t stride_ = 0;  // per-lane capacity; >= ids_.size() once dim_>0
   std::size_t head_ = 0;
+  int dim_ = 0;
 };
 
 /// The grid index. Owns per-cell point lists and influence lists; does not
@@ -111,9 +128,10 @@ class Grid {
 
   // -- Point lists ---------------------------------------------------------
 
-  /// Appends `id` to the point list of `cell` (arrival).
-  void InsertPoint(CellIndex cell, RecordId id) {
-    cells_[cell].points.PushBack(id);
+  /// Appends `id` with its coordinates to the point list of `cell`
+  /// (arrival). `p` must be the point that LocateCell mapped to `cell`.
+  void InsertPoint(CellIndex cell, RecordId id, const Point& p) {
+    cells_[cell].points.PushBack(id, p);
     ++num_points_;
   }
 

@@ -124,8 +124,7 @@ void EncodeFrame(const std::string& body, std::string* out) {
   out->append(body);
 }
 
-void EncodeCycleBody(Timestamp ts, const std::vector<Record>& batch,
-                     std::string* out) {
+void EncodeCycleBody(Timestamp ts, RecordSpan batch, std::string* out) {
   std::size_t bytes = out->size() + 1 + 8 + 4;
   if (!batch.empty()) {
     bytes +=

@@ -110,8 +110,7 @@ void EncodeFrame(const std::string& body, std::string* out);
 /// Unimplemented for scoring-function types the journal cannot encode
 /// (the Linear / Product / SumOfSquares / Piecewise families are
 /// journalable).
-void EncodeCycleBody(Timestamp ts, const std::vector<Record>& batch,
-                     std::string* out);
+void EncodeCycleBody(Timestamp ts, RecordSpan batch, std::string* out);
 Status EncodeRegisterBody(const JournaledQuery& query, std::string* out);
 void EncodeUnregisterBody(QueryId id, std::string* out);
 Status EncodeSnapshotBody(const JournalSnapshot& snapshot, std::string* out);

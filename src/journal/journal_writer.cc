@@ -253,8 +253,7 @@ Status CycleJournalWriter::AppendScratchFrame(bool is_cycle) {
   return Status::Ok();
 }
 
-Status CycleJournalWriter::AppendCycle(Timestamp ts,
-                                       const std::vector<Record>& batch) {
+Status CycleJournalWriter::AppendCycle(Timestamp ts, RecordSpan batch) {
   frame_scratch_.clear();
   frame_scratch_.resize(kFrameHeaderBytes);  // prologue placeholder
   EncodeCycleBody(ts, batch, &frame_scratch_);

@@ -119,7 +119,7 @@ class CycleJournalWriter {
   CycleJournalWriter& operator=(const CycleJournalWriter&) = delete;
 
   /// Appends one record (write-ahead: call before applying to the engine).
-  Status AppendCycle(Timestamp ts, const std::vector<Record>& batch);
+  Status AppendCycle(Timestamp ts, RecordSpan batch);
   Status AppendRegister(const JournaledQuery& query);
   Status AppendUnregister(QueryId id);
 

@@ -211,6 +211,37 @@ Status GetRecordSpan(ByteReader& in, std::uint64_t count,
   return Status::Ok();
 }
 
+Status GetRecordSpanInto(ByteReader& in, std::uint64_t count, Record* out) {
+  const int dim = in.GetU8();
+  if (!in.ok() || dim < 1 || dim > kMaxDims) {
+    return Status::InvalidArgument("bad record-span dimensionality");
+  }
+  const std::size_t min_entry = 2 + static_cast<std::size_t>(dim) * 8;
+  if (count > in.remaining() / min_entry + 1) {
+    return Status::InvalidArgument("record count exceeds body size");
+  }
+  RecordId prev_id = in.GetU64();
+  Timestamp prev_arrival = in.GetI64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id_delta = in.GetUvarint();
+    const std::uint64_t arrival_delta = in.GetUvarint();
+    if (i > 0 && id_delta == 0) {
+      return Status::InvalidArgument("non-increasing record id in span");
+    }
+    Record& rec = out[i];
+    rec.position = Point(dim);
+    for (int d = 0; d < dim; ++d) rec.position[d] = in.GetF64();
+    if (!in.ok()) return Status::InvalidArgument("truncated record span");
+    prev_id += id_delta;
+    // Unsigned accumulation: see GetRecordSpan.
+    prev_arrival = static_cast<Timestamp>(
+        static_cast<std::uint64_t>(prev_arrival) + arrival_delta);
+    rec.id = prev_id;
+    rec.arrival = prev_arrival;
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 /// Reads the `dim` raw f64 coefficients shared by the linear / product /

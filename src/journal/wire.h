@@ -184,6 +184,13 @@ class ByteReader {
 Status GetRecordSpan(ByteReader& in, std::uint64_t count,
                      std::vector<Record>* out);
 
+/// Zero-copy variant: decodes `count` > 0 records straight into `out`,
+/// caller-provided storage for at least `count` records (a RecordArena
+/// span on the ingest hot path). Identical validation to the vector
+/// overload; on error the storage contents are unspecified and the
+/// caller releases them.
+Status GetRecordSpanInto(ByteReader& in, std::uint64_t count, Record* out);
+
 /// Inverse of PutFunction.
 Status GetFunction(ByteReader& in,
                    std::shared_ptr<const ScoringFunction>* out);

@@ -1,5 +1,6 @@
 #include "net/protocol.h"
 
+#include "common/geometry.h"
 #include "journal/format.h"
 #include "journal/wire.h"
 
@@ -488,6 +489,60 @@ Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out) {
   }
   return Status::InvalidArgument("unknown message type " +
                                  std::to_string(type));
+}
+
+Status DecodeIngestBodyToArena(const char* data, std::size_t n, int dim,
+                               RecordArena& arena, IngestFrameView* out) {
+  out->records = nullptr;
+  out->count = 0;
+  out->invalid.clear();
+  out->first_invalid = Status::Ok();
+  ByteReader in(data, n);
+  const std::uint8_t type = in.GetU8();
+  if (!in.ok() ||
+      static_cast<NetMessageType>(type) != NetMessageType::kIngest) {
+    return Status::InvalidArgument("not an ingest body");
+  }
+  const std::uint32_t count = in.GetU32();
+  if (!in.ok()) return Status::InvalidArgument("truncated ingest header");
+  if (count == 0) {
+    if (in.remaining() != 0) {
+      return Status::InvalidArgument("trailing bytes after message");
+    }
+    return Status::Ok();
+  }
+  // Coarse pre-allocation bound: the cheapest conceivable entry (dim 1)
+  // still costs ~10 bytes, so a count prefix promising more is hostile
+  // and must be refused BEFORE it sizes an arena allocation.
+  // GetRecordSpanInto re-checks with the exact per-dim entry size.
+  if (count > in.remaining() / 10 + 1) {
+    return Status::InvalidArgument("record count exceeds body size");
+  }
+  Record* records = arena.Allocate(count);
+  Status st = wire::GetRecordSpanInto(in, count, records);
+  if (st.ok() && in.remaining() != 0) {
+    st = Status::InvalidArgument("trailing bytes after message");
+  }
+  if (!st.ok()) {
+    arena.Release(records, count);
+    return st;
+  }
+  // Frame-boundary validation — the ONE place wire records are checked
+  // against the engine's unit space; downstream stages trust the view.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Record& r = records[i];
+    Status v = ValidatePoint(r.position, dim);
+    if (v.ok() && (r.arrival < 0 || r.arrival > kMaxWireArrival)) {
+      v = Status::OutOfRange("arrival timestamp outside the wire range");
+    }
+    if (!v.ok()) {
+      if (out->invalid.empty()) out->first_invalid = v;
+      out->invalid.push_back(i);
+    }
+  }
+  out->records = records;
+  out->count = count;
+  return Status::Ok();
 }
 
 FrameParse TryParseNetFrame(const char* data, std::size_t n,

@@ -40,6 +40,7 @@
 #include "common/status.h"
 #include "core/query.h"
 #include "service/subscription_hub.h"
+#include "stream/record_arena.h"
 
 namespace topkmon {
 
@@ -339,6 +340,37 @@ void EncodeNetFrame(const std::string& body, std::string* out);
 /// content; the frame CRC already vouched for bit-level integrity, so a
 /// decode failure is a peer speaking a different dialect, not line noise.
 Status DecodeNetBody(const char* data, std::size_t n, NetMessage* out);
+
+/// The message type tag of a frame body (its first byte), or kError for
+/// an empty body. Lets the server route kIngest frames to the zero-copy
+/// decoder without a full DecodeNetBody pass.
+inline NetMessageType PeekNetMessageType(const char* data, std::size_t n) {
+  if (n == 0) return NetMessageType::kError;
+  return static_cast<NetMessageType>(static_cast<std::uint8_t>(data[0]));
+}
+
+/// One ingest frame decoded straight into a RecordArena (the zero-copy
+/// hot path). `records[0..count)` live in the arena the decoder was
+/// given; ownership is the caller's until every record is handed to
+/// IngestQueue::PushBatch (which releases admitted storage after cycle
+/// publish) or released back explicitly. Validation happens exactly
+/// once, here at the frame boundary: dimensionality + unit-space
+/// containment (ValidatePoint) and the wire arrival range. Indices of
+/// records failing it are listed in `invalid` (ascending; normally
+/// empty, so no allocation) with the first refusal in `first_invalid`.
+struct IngestFrameView {
+  Record* records = nullptr;
+  std::size_t count = 0;
+  std::vector<std::uint32_t> invalid;
+  Status first_invalid;
+};
+
+/// Decodes a kIngest body into `arena` (see IngestFrameView). A
+/// malformed body returns InvalidArgument with every allocation already
+/// released — hostile bytes cannot leak arena storage. `dim` is the
+/// engine dimensionality records are validated against.
+Status DecodeIngestBodyToArena(const char* data, std::size_t n, int dim,
+                               RecordArena& arena, IngestFrameView* out);
 
 /// Outcome of scanning a receive buffer for one complete frame.
 enum class FrameParse {

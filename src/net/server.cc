@@ -593,6 +593,20 @@ void TcpServer::DrainFrames(PollLoop& loop, Connection& conn) {
       FailConnection(conn, error);
       break;
     }
+    // Ingest frames bypass DecodeNetBody entirely: the body is decoded
+    // straight into the service's record arena (no per-record copy, no
+    // NetMessage materialization). Pre-handshake frames fall through so
+    // the "first frame must be Hello" check still fires.
+    if (conn.hello_done &&
+        PeekNetMessageType(body, body_len) == NetMessageType::kIngest) {
+      off += consumed;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_received;
+      }
+      HandleIngest(conn, body, body_len);
+      continue;
+    }
     NetMessage msg;
     const Status st = DecodeNetBody(body, body_len, &msg);
     if (!st.ok()) {
@@ -641,9 +655,6 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
   switch (msg.type) {
     case NetMessageType::kHello:
       HandleHello(loop, conn, msg);
-      return;
-    case NetMessageType::kIngest:
-      HandleIngest(conn, msg);
       return;
     case NetMessageType::kRegister: {
       const Result<QueryId> id = service_.Register(conn.session, msg.spec);
@@ -763,6 +774,10 @@ void TcpServer::HandleMessage(PollLoop& loop, Connection& conn,
       conn.closing = true;
       return;
     }
+    // Unreachable: post-handshake ingest frames are routed to
+    // HandleIngest by DrainFrames before DecodeNetBody ever runs, and a
+    // pre-handshake one already failed the Hello check above.
+    case NetMessageType::kIngest:
     // Response types have no business arriving at the server.
     case NetMessageType::kWelcome:
     case NetMessageType::kIngestAck:
@@ -968,58 +983,90 @@ void TcpServer::AnswerFetch(Connection& conn) {
   SendBody(conn, body);
 }
 
-void TcpServer::HandleIngest(Connection& conn, const NetMessage& msg) {
+void TcpServer::HandleIngest(Connection& conn, const char* body,
+                             std::size_t body_len) {
+  // Same parked-request discipline as HandleMessage: a pipelined ingest
+  // while a long-poll is parked answers the poll first, keeping the
+  // dialog a strict one-response-per-request sequence.
+  if (conn.poll_parked) {
+    AnswerPoll(conn);
+    if (conn.closing) return;
+  }
+  if (conn.fetch_parked) AnswerFetch(conn);
+
+  RecordArena& arena = service_.ingest_arena();
+  IngestFrameView view;
+  const Status decode = DecodeIngestBodyToArena(
+      body, body_len, service_.dim(), arena, &view);
+  if (!decode.ok()) {
+    FailConnection(conn, decode);
+    return;
+  }
+
   std::uint32_t accepted = 0;
   std::uint32_t rejected = 0;
   std::uint64_t backpressured = 0;
   Status first_error;
-  bool queue_full = false;
-  for (const Record& r : msg.tuples) {
-    if (queue_full) {
-      // The queue filled mid-batch: everything later in the batch would
-      // bounce off the same wall (admission is in arrival order), so
-      // skip the calls and report the suffix rejected wholesale.
+  // Walk the frame in record order, admitting each maximal run of valid
+  // records in one batch call and interleaving the decode-time refusals
+  // where they sit, so counts and first_error come out exactly as the
+  // per-record path produced them.
+  std::size_t i = 0;
+  std::size_t inv = 0;
+  while (i < view.count) {
+    if (inv < view.invalid.size() && view.invalid[inv] == i) {
       ++rejected;
-      ++backpressured;
+      if (first_error.ok()) first_error = view.first_invalid;
+      arena.Release(view.records + i, 1);
+      ++inv;
+      ++i;
       continue;
     }
-    if (r.arrival < 0 || r.arrival > kMaxWireArrival) {
-      ++rejected;
-      if (first_error.ok()) {
-        first_error = Status::OutOfRange(
-            "arrival timestamp " + std::to_string(r.arrival) +
-            " is outside the admissible wire range");
-      }
-      continue;
-    }
+    const std::size_t end =
+        inv < view.invalid.size() ? view.invalid[inv] : view.count;
+    const std::size_t run = end - i;
     // Non-blocking admission: a full ingest queue must never stall this
     // poll loop (every other connection on it would stall too). The
     // refusal is RESOURCE_EXHAUSTED and the ack's queue_hint tells the
-    // producer to self-pace; rate-limit and validation refusals are
-    // per-record as before.
-    const Status st = service_.TryIngest(conn.session, r.position,
-                                         r.arrival);
-    if (st.ok()) {
-      ++accepted;
+    // producer to self-pace; rate-limit refusals stay per-record.
+    Status err;
+    const std::size_t pushed =
+        service_.TryIngestBatch(conn.session, view.records + i, run, &err);
+    accepted += static_cast<std::uint32_t>(pushed);
+    if (pushed == run) {
+      i = end;
       continue;
     }
-    ++rejected;
-    if (st.code() == StatusCode::kResourceExhausted) {
-      queue_full = true;
-      ++backpressured;
+    if (first_error.ok()) first_error = err;
+    if (err.code() == StatusCode::kResourceExhausted) {
+      // The queue filled mid-batch: everything later in the frame would
+      // bounce off the same wall (admission is in arrival order), so
+      // hand the whole unadmitted tail back and report it rejected
+      // wholesale.
+      const std::size_t remaining = view.count - (i + pushed);
+      rejected += static_cast<std::uint32_t>(remaining);
+      backpressured += remaining;
+      arena.Release(view.records + i + pushed, remaining);
+      i = view.count;
+      break;
     }
-    if (first_error.ok()) first_error = st;
+    // Rate-limit / closed / follower / fenced refusal: this run's
+    // remainder is refused, later records are still examined (a later
+    // invalid record must draw its own validation rejection).
+    rejected += static_cast<std::uint32_t>(run - pushed);
+    arena.Release(view.records + i + pushed, run - pushed);
+    i = end;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.records_ingested += accepted;
     stats_.records_backpressured += backpressured;
   }
-  std::string body;
+  std::string ack;
   EncodeIngestAck(accepted, rejected, first_error,
                   service_.IngestPressure(), service_.fencing_epoch(),
-                  conn.wire_version, &body);
-  SendBody(conn, body);
+                  conn.wire_version, &ack);
+  SendBody(conn, ack);
 }
 
 void TcpServer::AnswerPoll(Connection& conn) {

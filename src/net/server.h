@@ -259,7 +259,13 @@ class TcpServer {
   void HandleMessage(PollLoop& loop, Connection& conn,
                      const NetMessage& msg);
   void HandleHello(PollLoop& loop, Connection& conn, const NetMessage& msg);
-  void HandleIngest(Connection& conn, const NetMessage& msg);
+  /// The zero-copy ingest path: DrainFrames routes kIngest frame bodies
+  /// here directly (no DecodeNetBody, no NetMessage), decoding straight
+  /// into the service's ingest arena and admitting maximal valid runs
+  /// batch-at-a-time. Counts and the ack's first_error match what the
+  /// per-record path produced.
+  void HandleIngest(Connection& conn, const char* body,
+                    std::size_t body_len);
   void HandleRegisterBatch(Connection& conn, const NetMessage& msg);
   void HandleReplFetch(Connection& conn, const NetMessage& msg);
   /// Answers a parked poll with whatever is pending (possibly nothing)

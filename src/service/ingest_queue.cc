@@ -7,53 +7,107 @@
 
 namespace topkmon {
 
-IngestQueue::IngestQueue(const IngestOptions& options) : options_(options) {
+IngestQueue::IngestQueue(const IngestOptions& options)
+    : options_(options), arena_(options.arena) {
   assert(options_.capacity > 0);
   assert(options_.max_batch > 0);
   assert(options_.slack >= 0);
-  heap_.reserve(std::min<std::size_t>(options_.capacity, 4096));
+  buf_.reserve(std::min<std::size_t>(options_.capacity, 4096));
   next_id_ = options_.first_record_id;
   frontier_ = options_.min_timestamp;
   max_seen_ = options_.min_timestamp;
 }
 
-void IngestQueue::PushLocked(Point&& position, Timestamp arrival) {
-  heap_.push_back(Pending{arrival, push_seq_++, std::move(position),
-                          std::chrono::steady_clock::now()});
-  std::push_heap(heap_.begin(), heap_.end(), Later());
+IngestQueue::~IngestQueue() {
+  // Backstop: a queue destroyed with records still buffered (or drained
+  // but uncommitted) hands their storage back so external arenas do not
+  // leak. Single-record releases are fine here — this is not a hot path.
+  for (std::size_t i = head_; i < buf_.size(); ++i) {
+    if (buf_[i].owner != nullptr) buf_[i].owner->Release(buf_[i].rec, 1);
+  }
+  buf_.clear();
+  head_ = 0;
+  CommitDrained();
+}
+
+void IngestQueue::PushLocked(const Record* rec, Timestamp arrival,
+                             RecordArena* owner) {
+  if (is_sorted_ && head_ < buf_.size() && arrival < buf_.back().arrival) {
+    is_sorted_ = false;
+  }
+  buf_.push_back(Pending{arrival, push_seq_++, rec, owner,
+                         std::chrono::steady_clock::now()});
   max_seen_ = std::max(max_seen_, arrival);
+  min_arrival_ = std::min(min_arrival_, arrival);
   ++stats_.pushed;
-  stats_.max_depth = std::max(stats_.max_depth, heap_.size());
+  stats_.max_depth = std::max(stats_.max_depth, SizeLocked());
 }
 
 Status IngestQueue::Push(Point position, Timestamp arrival) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_cv_.wait(lock, [this] {
-    return closed_ || heap_.size() < options_.capacity;
+    return closed_ || SizeLocked() < options_.capacity;
   });
   if (closed_) {
     return Status::FailedPrecondition("ingest queue is closed");
   }
-  PushLocked(std::move(position), arrival);
+  Record* rec = arena_.Allocate(1);
+  rec->id = kInvalidRecordId;
+  rec->position = std::move(position);
+  rec->arrival = arrival;
+  PushLocked(rec, arrival, &arena_);
   drain_cv_.notify_one();
   return Status::Ok();
 }
 
 bool IngestQueue::TryPush(Point position, Timestamp arrival) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (closed_ || heap_.size() >= options_.capacity) {
+  if (closed_ || SizeLocked() >= options_.capacity) {
     if (!closed_) ++stats_.shed;
     return false;
   }
-  PushLocked(std::move(position), arrival);
+  Record* rec = arena_.Allocate(1);
+  rec->id = kInvalidRecordId;
+  rec->position = std::move(position);
+  rec->arrival = arrival;
+  PushLocked(rec, arrival, &arena_);
   drain_cv_.notify_one();
   return true;
 }
 
+std::size_t IngestQueue::PushBatch(const Record* records, std::size_t n,
+                                   RecordArena* owner) {
+  if (n == 0) return 0;
+  std::size_t accepted = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return 0;
+    const std::size_t space = options_.capacity - SizeLocked();
+    accepted = std::min(n, space);
+    for (std::size_t i = 0; i < accepted; ++i) {
+      PushLocked(&records[i], records[i].arrival, owner);
+    }
+    stats_.shed += n - accepted;
+  }
+  if (accepted > 0) drain_cv_.notify_one();
+  return accepted;
+}
+
 bool IngestQueue::ReleasableLocked() const {
-  if (heap_.empty()) return false;
-  // heap_.front() is the earliest (arrival, seq) pending record.
-  return heap_.front().arrival + options_.slack <= max_seen_;
+  if (SizeLocked() == 0) return false;
+  // min_arrival_ tracks the earliest buffered arrival without a scan.
+  return min_arrival_ + options_.slack <= max_seen_;
+}
+
+void IngestQueue::SortLocked() {
+  if (is_sorted_) return;
+  std::sort(buf_.begin() + static_cast<std::ptrdiff_t>(head_), buf_.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.seq < b.seq;
+            });
+  is_sorted_ = true;
+  ++stats_.sorts;
 }
 
 std::size_t IngestQueue::DrainBatch(
@@ -65,38 +119,74 @@ std::size_t IngestQueue::DrainBatch(
     drain_cv_.wait_for(lock, max_wait,
                        [this] { return closed_ || ReleasableLocked(); });
   }
-  if (heap_.empty()) return 0;
+  if (SizeLocked() == 0) return 0;
   // A timeout with data buffered opens the slack gate: bounded staleness
   // beats holding the last records of a quiet stream forever.
   const bool open_gate = flush_all || closed_ || !ReleasableLocked();
+  SortLocked();
   std::size_t released = 0;
-  while (released < options_.max_batch && !heap_.empty()) {
-    if (!open_gate && heap_.front().arrival + options_.slack > max_seen_) {
-      break;
-    }
-    std::pop_heap(heap_.begin(), heap_.end(), Later());
-    Pending p = std::move(heap_.back());
-    heap_.pop_back();
-    if (p.arrival < frontier_) {
+  while (released < options_.max_batch && head_ < buf_.size()) {
+    Pending& p = buf_[head_];
+    if (!open_gate && p.arrival + options_.slack > max_seen_) break;
+    Timestamp arrival = p.arrival;
+    if (arrival < frontier_) {
       // Straggler beyond the slack: advance it to the frontier so the
-      // batch stays time-ordered for the window.
-      p.arrival = frontier_;
+      // batch stays time-ordered for the window. The arena copy keeps
+      // its original timestamp — only the drained copy is coerced.
+      arrival = frontier_;
       ++stats_.coerced;
     }
-    frontier_ = p.arrival;
+    frontier_ = arrival;
     if (oldest_push != nullptr &&
         (released == 0 || p.pushed_at < *oldest_push)) {
       *oldest_push = p.pushed_at;
     }
-    out->emplace_back(next_id_++, std::move(p.position), p.arrival);
+    out->emplace_back(next_id_++, p.rec->position, arrival);
+    pending_release_.push_back(Parked{p.rec, p.owner});
+    ++head_;
     ++released;
   }
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  } else if (head_ >= 64 && head_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  min_arrival_ = head_ < buf_.size() ? buf_[head_].arrival
+                                     : std::numeric_limits<Timestamp>::max();
   if (released > 0) {
     ++stats_.batches;
     *cycle_ts = frontier_;
+    // Seal the drained records' allocation epoch so their chunks retire
+    // as soon as CommitDrained hands the storage back.
+    const std::uint64_t sealed = arena_.AdvanceEpoch();
+    arena_.RetireThrough(sealed);
     not_full_cv_.notify_all();
   }
   return released;
+}
+
+void IngestQueue::CommitDrained() {
+  std::vector<Parked> parked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parked.swap(pending_release_);
+  }
+  // Coalesce contiguous same-owner runs (a drained wire frame releases
+  // as one call) and hand the storage back outside the queue mutex.
+  std::size_t i = 0;
+  while (i < parked.size()) {
+    std::size_t j = i + 1;
+    while (j < parked.size() && parked[j].owner == parked[i].owner &&
+           parked[j].rec == parked[i].rec + (j - i)) {
+      ++j;
+    }
+    if (parked[i].owner != nullptr) {
+      parked[i].owner->Release(parked[i].rec, j - i);
+    }
+    i = j;
+  }
 }
 
 void IngestQueue::Close() {
@@ -115,12 +205,12 @@ bool IngestQueue::closed() const {
 
 std::size_t IngestQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return heap_.size();
+  return SizeLocked();
 }
 
 std::uint8_t IngestQueue::Pressure() const {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t depth = heap_.size();
+  const std::size_t depth = SizeLocked();
   if (options_.capacity == 0 || depth * 2 < options_.capacity) return 0;
   const std::size_t scaled = (depth * 255) / options_.capacity;
   return static_cast<std::uint8_t>(
@@ -146,7 +236,7 @@ Status IngestQueue::ResumeSequences(RecordId next_record_id,
                                     Timestamp min_timestamp) {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return Status::FailedPrecondition("ingest queue is closed");
-  if (!heap_.empty()) {
+  if (SizeLocked() != 0) {
     return Status::FailedPrecondition(
         "cannot re-seed sequences with records buffered");
   }
@@ -158,7 +248,9 @@ Status IngestQueue::ResumeSequences(RecordId next_record_id,
 
 std::size_t IngestQueue::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return heap_.capacity() * sizeof(Pending);
+  return buf_.capacity() * sizeof(Pending) +
+         pending_release_.capacity() * sizeof(Parked) +
+         arena_.ResidentBytes();
 }
 
 }  // namespace topkmon

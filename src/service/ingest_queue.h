@@ -7,19 +7,36 @@
 //   * Push()/TryPush() admit a point with a client-supplied arrival
 //     timestamp from any thread. A bounded capacity applies backpressure
 //     (Push blocks while full) or load-shedding (TryPush refuses and
-//     counts the record as shed).
-//   * Buffered tuples sit in a min-heap ordered by (timestamp, push
-//     sequence). A tuple is released only once the highest timestamp seen
-//     has advanced past it by `slack` time units, so out-of-order arrivals
-//     within the slack are re-sorted rather than clamped. Stragglers that
-//     show up later than the release frontier are coerced forward to it
-//     (and counted) — the engines' window contract admits no time travel.
-//   * DrainBatch() pops the releasable prefix as one arrival batch,
-//     assigns the strictly increasing record ids the engines require, and
-//     reports the cycle timestamp to process the batch at. When nothing
-//     clears the slack gate within `max_wait` the gate opens and whatever
-//     is buffered is released, bounding result staleness when the stream
+//     counts the record as shed). PushBatch() admits a whole decoded
+//     wire frame of arena-backed records at once — the zero-copy path.
+//   * Buffered tuples are *references* into a RecordArena (the queue's
+//     own arena for in-process pushes, the same arena for wire frames
+//     the TCP server decodes straight into it via
+//     MonitorService::ingest_arena()). The buffer itself is a flat
+//     sorted run with a head index: pushes append in O(1), and the run
+//     is re-sorted by (arrival, push sequence) only when a drain finds
+//     out-of-order arrivals — in-order streams never pay a sort.
+//   * A tuple is released only once the highest timestamp seen has
+//     advanced past it by `slack` time units, so out-of-order arrivals
+//     within the slack are re-sorted rather than clamped. Stragglers
+//     that show up later than the release frontier are coerced forward
+//     to it (and counted) — the engines' window contract admits no time
+//     travel.
+//   * DrainBatch() copies the releasable prefix into the consumer's
+//     reusable batch vector (the one copy on the wire path), assigns
+//     the strictly increasing record ids the engines require, and
+//     reports the cycle timestamp to process the batch at. The drained
+//     records' arena storage is NOT released yet: it is parked on a
+//     pending-release list until the consumer calls CommitDrained()
+//     after the cycle has been published (journal append + engine apply
+//     + observer all read the drained copy, but the arena epochs only
+//     retire once the cycle is out the door). When nothing clears the
+//     slack gate within `max_wait` the gate opens and whatever is
+//     buffered is released, bounding result staleness when the stream
 //     goes quiet.
+//
+// Lock ordering: queue mutex before arena mutex; CommitDrained releases
+// arena storage outside the queue mutex.
 
 #ifndef TOPKMON_SERVICE_INGEST_QUEUE_H_
 #define TOPKMON_SERVICE_INGEST_QUEUE_H_
@@ -33,6 +50,7 @@
 
 #include "common/record.h"
 #include "common/status.h"
+#include "stream/record_arena.h"
 
 namespace topkmon {
 
@@ -56,15 +74,20 @@ struct IngestOptions {
   /// stragglers — after recovery, no tuple may time-travel behind the
   /// last journaled cycle.
   Timestamp min_timestamp = std::numeric_limits<Timestamp>::min();
+  /// The queue's record arena (single pushes allocate from it; the TCP
+  /// server decodes wire frames straight into it).
+  RecordArenaOptions arena;
 };
 
 /// Observable ingest counters (all monotonically increasing except depth).
 struct IngestStats {
   std::uint64_t pushed = 0;    ///< records accepted into the buffer
-  std::uint64_t shed = 0;      ///< TryPush refusals on a full buffer
+  std::uint64_t shed = 0;      ///< TryPush/PushBatch refusals on a full
+                               ///< buffer
   std::uint64_t coerced = 0;   ///< late records whose timestamp was
                                ///< advanced to the release frontier
   std::uint64_t batches = 0;   ///< DrainBatch calls that released records
+  std::uint64_t sorts = 0;     ///< drains that found out-of-order input
   std::size_t max_depth = 0;   ///< high-water mark of the buffer
 };
 
@@ -72,6 +95,7 @@ struct IngestStats {
 class IngestQueue {
  public:
   explicit IngestQueue(const IngestOptions& options);
+  ~IngestQueue();
 
   IngestQueue(const IngestQueue&) = delete;
   IngestQueue& operator=(const IngestQueue&) = delete;
@@ -84,6 +108,18 @@ class IngestQueue {
   /// (counted as shed) or the queue is closed (not counted — the stream
   /// has ended, nothing was load-shed).
   bool TryPush(Point position, Timestamp arrival);
+
+  /// Zero-copy admission of a decoded wire frame: `records` points at
+  /// `n` already-validated records allocated from `owner` (normally
+  /// this queue's own arena()). Admits exactly the first
+  /// min(n, capacity − depth) records — the prefix, in record order —
+  /// and returns that count without blocking; the refused suffix is
+  /// counted as shed and remains the caller's to release. Returns 0
+  /// once closed (not counted as shed). Admitted records' storage is
+  /// released by the queue after the cycle that drains them is
+  /// committed (CommitDrained).
+  std::size_t PushBatch(const Record* records, std::size_t n,
+                        RecordArena* owner);
 
   /// Consumer side: appends at most options.max_batch releasable records
   /// to *out (ids assigned, timestamps non-decreasing) and sets *cycle_ts
@@ -101,6 +137,14 @@ class IngestQueue {
                          bool flush_all = false,
                          std::chrono::steady_clock::time_point* oldest_push =
                              nullptr);
+
+  /// Releases the arena storage of every record drained so far back to
+  /// its owning arena. The consumer calls this once per cycle, *after*
+  /// the drained batch has been journaled, applied and published — the
+  /// "reclamation keyed to cycle publish" half of the arena contract.
+  /// Contiguous same-owner runs are coalesced into one Release call;
+  /// the actual releases happen outside the queue mutex.
+  void CommitDrained();
 
   /// Permanently closes the queue: subsequent pushes fail, blocked
   /// producers wake, and DrainBatch releases the remaining buffer.
@@ -135,34 +179,56 @@ class IngestQueue {
   /// closed.
   Status ResumeSequences(RecordId next_record_id, Timestamp min_timestamp);
 
-  /// Approximate heap footprint of the buffered records.
+  /// The queue's record arena — where the TCP server decodes ingest
+  /// frames so admitted records are never copied between decode and
+  /// drain. Lives exactly as long as the queue (== the service).
+  RecordArena& arena() { return arena_; }
+
+  /// Arena slab bytes currently resident (the topkmon_arena_bytes
+  /// gauge; flat after warm-up is what the soak tier asserts).
+  std::size_t ArenaResidentBytes() const { return arena_.ResidentBytes(); }
+  RecordArenaStats ArenaStats() const { return arena_.stats(); }
+
+  /// Approximate heap footprint of the queue buffers + arena slabs.
   std::size_t MemoryBytes() const;
 
  private:
+  /// One buffered record: a reference into an arena plus the ordering
+  /// key. 40 bytes — the point payload stays in the arena slab.
   struct Pending {
     Timestamp arrival;
     std::uint64_t seq;  ///< push order; ties on arrival keep FIFO order
-    Point position;
+    const Record* rec;  ///< arena-backed storage (position read at drain)
+    RecordArena* owner;
     /// Wall instant of the Push (ingest→publish latency measurement).
     std::chrono::steady_clock::time_point pushed_at;
   };
-  /// Max-heap comparator inverted to pop the smallest (arrival, seq).
-  struct Later {
-    bool operator()(const Pending& a, const Pending& b) const {
-      if (a.arrival != b.arrival) return a.arrival > b.arrival;
-      return a.seq > b.seq;
-    }
+  /// A drained record's storage awaiting CommitDrained.
+  struct Parked {
+    const Record* rec;
+    RecordArena* owner;
   };
 
-  void PushLocked(Point&& position, Timestamp arrival);
+  std::size_t SizeLocked() const { return buf_.size() - head_; }
+  void PushLocked(const Record* rec, Timestamp arrival, RecordArena* owner);
   bool ReleasableLocked() const;
+  /// Restores (arrival, seq) order over the live run if a push broke it.
+  void SortLocked();
 
   const IngestOptions options_;
+  RecordArena arena_;
 
   mutable std::mutex mu_;
   std::condition_variable not_full_cv_;  ///< producers wait here
   std::condition_variable drain_cv_;     ///< the consumer waits here
-  std::vector<Pending> heap_;
+  /// Live run is buf_[head_..); the drained prefix is compacted away
+  /// once it reaches half the vector.
+  std::vector<Pending> buf_;
+  std::size_t head_ = 0;
+  bool is_sorted_ = true;
+  /// Smallest buffered arrival (the slack-gate probe); max() when empty.
+  Timestamp min_arrival_ = std::numeric_limits<Timestamp>::max();
+  std::vector<Parked> pending_release_;
   bool closed_ = false;
   std::uint64_t push_seq_ = 0;
   Timestamp max_seen_ = std::numeric_limits<Timestamp>::min();

@@ -373,6 +373,39 @@ Status MonitorService::TryIngest(SessionId session, Point position,
   return TryIngest(std::move(position), arrival);
 }
 
+std::size_t MonitorService::TryIngestBatch(SessionId session,
+                                          const Record* records,
+                                          std::size_t n, Status* error) {
+  *error = RefuseIfFollower();
+  if (!error->ok()) return 0;
+  *error = RefuseIfFenced();
+  if (!error->ok()) return 0;
+  if (n == 0) return 0;
+#ifndef NDEBUG
+  // Records were validated once, at the frame boundary
+  // (DecodeIngestBodyToArena); re-validating per record here would
+  // undo the single-validation contract, so only debug builds assert it.
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(ValidatePoint(records[i].position, dim_).ok());
+    assert(records[i].arrival >= 0);
+  }
+#endif
+  Status rate_refusal;
+  const std::size_t granted = sessions_.ConsumeUpToIngestTokens(
+      session, n, NowSeconds(), &rate_refusal);
+  const std::size_t pushed =
+      granted == 0 ? 0
+                   : ingest_.PushBatch(records, granted, &ingest_.arena());
+  if (pushed < granted) {
+    *error = ingest_.closed()
+                 ? Status::FailedPrecondition("ingest queue is closed")
+                 : Status::ResourceExhausted("ingest queue is full");
+  } else if (granted < n) {
+    *error = rate_refusal;
+  }
+  return pushed;
+}
+
 Result<SessionId> MonitorService::OpenSession(std::string label) {
   Result<SessionId> id = sessions_.Open(std::move(label));
   if (id.ok()) hub_.Attach(*id);
@@ -863,7 +896,11 @@ void MonitorService::DriverLoop() {
     // The cycle may have published deltas and grown the journal: wake
     // front-end poll loops holding parked long-polls or fetches.
     NotifyProgress();
+    // Cycle published: hand the drained records' arena storage back so
+    // the decode path recycles it instead of growing the arena.
+    ingest_.CommitDrained();
   }
+  ingest_.CommitDrained();
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     stopped_ = true;
@@ -1092,6 +1129,20 @@ void MonitorService::SampleServiceMetrics(MetricSink& sink) const {
   sink.AddGauge("topkmon_journal_healthy",
                 "1 while journaling is healthy or disabled",
                 journal_status().ok() ? 1.0 : 0.0);
+  const RecordArenaStats arena = ingest_.ArenaStats();
+  sink.AddGauge("topkmon_arena_bytes",
+                "Slab bytes held by the ingest record arena "
+                "(live chunks + free list)",
+                static_cast<double>(arena.resident_bytes));
+  sink.AddGauge("topkmon_arena_peak_bytes",
+                "High-water mark of topkmon_arena_bytes",
+                static_cast<double>(arena.peak_resident_bytes));
+  sink.AddCounter("topkmon_arena_chunks_created_total",
+                  "Fresh slab allocations by the ingest record arena",
+                  static_cast<double>(arena.chunks_created));
+  sink.AddCounter("topkmon_arena_chunks_recycled_total",
+                  "Arena chunks reclaimed through the free list",
+                  static_cast<double>(arena.chunks_recycled));
 }
 
 AdminResponse MonitorService::ServeMetrics() const {

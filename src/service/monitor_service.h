@@ -214,6 +214,27 @@ class MonitorService {
   Status Ingest(SessionId session, Point position, Timestamp arrival);
   Status TryIngest(SessionId session, Point position, Timestamp arrival);
 
+  /// Zero-copy batch admission for the wire hot path: `records[0..n)`
+  /// must already live in this service's ingest_arena() (decoded there by
+  /// DecodeIngestBodyToArena, which validated them at the frame
+  /// boundary — this call does NOT re-validate). Charges the session's
+  /// token bucket for as many records as it covers, then admits the
+  /// granted prefix up to queue capacity, and returns the count actually
+  /// admitted (whose storage the queue now owns; the caller keeps
+  /// ownership of — and must Release — the rest). On a short admission
+  /// *error carries the refusal: queue-full/closed when the queue cut
+  /// the prefix, else the rate-limit (or follower/fenced) refusal.
+  std::size_t TryIngestBatch(SessionId session, const Record* records,
+                             std::size_t n, Status* error);
+
+  /// The arena backing the ingest queue — where the TCP server decodes
+  /// ingest frame bodies so admitted records flow to the engine without
+  /// a copy. Alive exactly as long as the service.
+  RecordArena& ingest_arena() { return ingest_.arena(); }
+
+  /// Engine dimensionality (what ingested tuples are validated against).
+  int dim() const { return dim_; }
+
   // ---- client API (any thread) ----------------------------------------
   Result<SessionId> OpenSession(std::string label);
   /// Unregisters every query the session owns, drops its subscription
@@ -440,8 +461,9 @@ class MonitorService {
   /// Installs a hook invoked by the driver thread with every (cycle
   /// timestamp, arrival batch) right before it is applied — the seam for
   /// journaling/persistence and for tests that need ground truth replay.
-  using CycleObserver =
-      std::function<void(Timestamp, const std::vector<Record>&)>;
+  /// The span is only valid for the duration of the call: the records
+  /// may be arena-backed and are recycled after cycle publish.
+  using CycleObserver = std::function<void(Timestamp, RecordSpan)>;
   void SetCycleObserver(CycleObserver observer);
 
   /// Replaces the monotonic clock behind the session token buckets with a

@@ -150,6 +150,50 @@ Status SessionManager::ConsumeIngestTokens(SessionId session, double n,
   return Status::Ok();
 }
 
+std::size_t SessionManager::ConsumeUpToIngestTokens(SessionId session,
+                                                    std::size_t n,
+                                                    double now_seconds,
+                                                    Status* refusal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    if (refusal != nullptr) {
+      *refusal = Status::NotFound("session " + std::to_string(session) +
+                                  " not open");
+    }
+    return 0;
+  }
+  if (options_.ingest_rate_per_sec <= 0.0 || n == 0) return n;
+  SessionState& state = it->second;
+  const double burst = BurstCapacity();
+  if (!state.bucket_primed) {
+    state.tokens = burst;
+    state.last_refill = now_seconds;
+    state.bucket_primed = true;
+  } else if (now_seconds > state.last_refill) {
+    state.tokens =
+        std::min(burst, state.tokens + (now_seconds - state.last_refill) *
+                                           options_.ingest_rate_per_sec);
+    state.last_refill = now_seconds;
+  }
+  const std::size_t granted = std::min<std::size_t>(
+      n, state.tokens >= 0.0 ? static_cast<std::size_t>(state.tokens) : 0);
+  state.tokens -= static_cast<double>(granted);
+  if (granted < n) {
+    // One refusal per record beyond the grant — the same accounting n
+    // individual ConsumeIngestTokens refusals would produce.
+    stats_.rate_limited += n - granted;
+    if (refusal != nullptr) {
+      *refusal = Status::FailedPrecondition(
+          "session " + std::to_string(session) +
+          " exceeded its ingest rate limit (" +
+          std::to_string(options_.ingest_rate_per_sec) +
+          " records/s, burst " + std::to_string(burst) + ")");
+    }
+  }
+  return granted;
+}
+
 Result<std::size_t> SessionManager::QueryCount(SessionId session) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session);

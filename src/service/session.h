@@ -111,6 +111,17 @@ class SessionManager {
   Status ConsumeIngestTokens(SessionId session, double n,
                              double now_seconds);
 
+  /// Batch variant for the zero-copy wire path: takes as many whole
+  /// tokens as the bucket covers, up to `n`, and returns the granted
+  /// count. Records beyond the grant are each counted as rate_limited
+  /// (matching n single-token refusals). NotFound (granted 0) for
+  /// unknown sessions; grants all of `n` when rate limiting is
+  /// disabled. When fewer than `n` are granted and `refusal` is
+  /// non-null, it receives the same FailedPrecondition a single-record
+  /// refusal would draw.
+  std::size_t ConsumeUpToIngestTokens(SessionId session, std::size_t n,
+                                      double now_seconds, Status* refusal);
+
   /// Live queries owned by `session`; NotFound if unknown.
   Result<std::size_t> QueryCount(SessionId session) const;
 

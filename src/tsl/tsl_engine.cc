@@ -92,8 +92,7 @@ Status TslEngine::RemoveMonotone(QueryId id) {
   return Status::Ok();
 }
 
-Status TslEngine::ProcessCycle(Timestamp now,
-                               const std::vector<Record>& arrivals) {
+Status TslEngine::ProcessCycle(Timestamp now, RecordSpan arrivals) {
   Stopwatch watch;
   ++stats_.cycles;
   // Arrivals: update the d sorted lists, then probe every view — TSL has

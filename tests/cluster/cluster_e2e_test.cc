@@ -101,10 +101,10 @@ TEST(ClusterE2ETest, ScatterGatherMatchesSingleNodeBruteForce) {
       captured(kPartitions);
   for (std::size_t p = 0; p < kPartitions; ++p) {
     (*cluster)->service(p)->SetCycleObserver(
-        [&capture_mu, &captured, p](Timestamp ts,
-                                    const std::vector<Record>& batch) {
+        [&capture_mu, &captured, p](Timestamp ts, RecordSpan batch) {
           std::lock_guard<std::mutex> lock(capture_mu);
-          captured[p].emplace_back(ts, batch);
+          captured[p].emplace_back(
+              ts, std::vector<Record>(batch.begin(), batch.end()));
         });
   }
 

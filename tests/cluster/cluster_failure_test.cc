@@ -155,10 +155,10 @@ TEST(ClusterFailureTest, RecoveredPartitionResumesGapFreeAndConverges) {
       captured(kPartitions);
   auto install_observer = [&](std::size_t p) {
     (*cluster)->service(p)->SetCycleObserver(
-        [&capture_mu, &captured, p](Timestamp ts,
-                                    const std::vector<Record>& batch) {
+        [&capture_mu, &captured, p](Timestamp ts, RecordSpan batch) {
           std::lock_guard<std::mutex> lock(capture_mu);
-          captured[p].emplace_back(ts, batch);
+          captured[p].emplace_back(
+              ts, std::vector<Record>(batch.begin(), batch.end()));
         });
   };
   for (std::size_t p = 0; p < kPartitions; ++p) install_observer(p);

@@ -23,14 +23,8 @@ struct Dataset {
     for (std::size_t i = 0; i < n; ++i) {
       records.push_back(source.Next(0));
       grid.InsertPoint(grid.LocateCell(records.back().position),
-                       records.back().id);
+                       records.back().id, records.back().position);
     }
-  }
-
-  RecordAccessor Accessor() const {
-    return [this](RecordId id) -> const Record& {
-      return records[static_cast<std::size_t>(id)];
-    };
   }
 
   std::vector<ResultEntry> BruteTopK(const ScoringFunction& f, int k,
@@ -51,7 +45,7 @@ TEST(ComputeTopKTest, MatchesBruteForceOnSmallDataset) {
   LinearFunction f({1.0, 2.0});
   TraversalScratch scratch;
   const TopKComputation out =
-      ComputeTopK(data.grid, f, 10, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, 10, &scratch);
   EXPECT_EQ(out.result, data.BruteTopK(f, 10, nullptr));
 }
 
@@ -60,7 +54,7 @@ TEST(ComputeTopKTest, EmptyGridReturnsNothing) {
   LinearFunction f({1.0, 1.0});
   TraversalScratch scratch;
   const TopKComputation out =
-      ComputeTopK(data.grid, f, 5, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, 5, &scratch);
   EXPECT_TRUE(out.result.empty());
   // All cells were processed looking for points.
   EXPECT_EQ(out.processed_cells.size(), data.grid.num_cells());
@@ -72,7 +66,7 @@ TEST(ComputeTopKTest, KLargerThanDatasetReturnsEverything) {
   LinearFunction f({1.0, 1.0});
   TraversalScratch scratch;
   const TopKComputation out =
-      ComputeTopK(data.grid, f, 50, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, 50, &scratch);
   EXPECT_EQ(out.result.size(), 7u);
   EXPECT_EQ(out.KthScore(50), -std::numeric_limits<double>::infinity());
 }
@@ -85,7 +79,7 @@ TEST(ComputeTopKTest, ProcessedCellsAreMinimal) {
   TraversalScratch scratch;
   const int k = 5;
   const TopKComputation out =
-      ComputeTopK(data.grid, f, k, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, k, &scratch);
   const double kth = out.KthScore(k);
   for (CellIndex cell : out.processed_cells) {
     EXPECT_GE(f.MaxScore(data.grid.CellBounds(cell)), kth);
@@ -106,7 +100,7 @@ TEST(ComputeTopKTest, FrontierCellsHaveMaxScoreBelowKth) {
   LinearFunction f({1.0, 2.0});
   TraversalScratch scratch;
   const TopKComputation out =
-      ComputeTopK(data.grid, f, 5, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, 5, &scratch);
   const double kth = out.KthScore(5);
   for (CellIndex cell : out.frontier_cells) {
     EXPECT_LE(f.MaxScore(data.grid.CellBounds(cell)), kth + 1e-12);
@@ -118,8 +112,7 @@ TEST(ComputeTopKTest, ConstrainedQueryFiltersPoints) {
   LinearFunction f({1.0, 2.0});
   const Rect constraint(Point{0.2, 0.3}, Point{0.6, 0.7});
   TraversalScratch scratch;
-  const TopKComputation out = ComputeTopK(data.grid, f, 8, data.Accessor(),
-                                          &scratch, &constraint);
+  const TopKComputation out = ComputeTopK(data.grid, f, 8, &scratch, &constraint);
   EXPECT_EQ(out.result, data.BruteTopK(f, 8, &constraint));
   for (const ResultEntry& e : out.result) {
     EXPECT_TRUE(constraint.Contains(
@@ -132,9 +125,9 @@ TEST(ComputeTopKTest, NaiveMatchesHeapTraversal) {
   ProductFunction f({0.2, 0.5, 0.8});
   TraversalScratch scratch;
   const TopKComputation heap =
-      ComputeTopK(data.grid, f, 12, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, 12, &scratch);
   const TopKComputation naive =
-      ComputeTopKNaive(data.grid, f, 12, data.Accessor());
+      ComputeTopKNaive(data.grid, f, 12);
   EXPECT_EQ(heap.result, naive.result);
 }
 
@@ -154,7 +147,7 @@ TEST_P(ComputeTopKProperty, MatchesBruteForce) {
   for (int trial = 0; trial < 5; ++trial) {
     auto f = MakeRandomFunction(family, dim, uniform);
     const TopKComputation out =
-        ComputeTopK(data.grid, *f, k, data.Accessor(), &scratch);
+        ComputeTopK(data.grid, *f, k, &scratch);
     EXPECT_EQ(out.result, data.BruteTopK(*f, k, nullptr));
   }
 }
@@ -175,7 +168,7 @@ TEST(ComputeTopKTest, MixedMonotonicityFunctionsWork) {
   LinearFunction f({1.0, -1.0});
   TraversalScratch scratch;
   const TopKComputation out =
-      ComputeTopK(data.grid, f, 4, data.Accessor(), &scratch);
+      ComputeTopK(data.grid, f, 4, &scratch);
   EXPECT_EQ(out.result, data.BruteTopK(f, 4, nullptr));
 }
 
@@ -211,11 +204,11 @@ TEST_P(ConstrainedComputeProperty, MatchesBruteForceUnderConstraints) {
     }
     const Rect constraint(lo, hi);
     const TopKComputation heap = ComputeTopK(
-        data.grid, *f, k, data.Accessor(), &scratch, &constraint);
+        data.grid, *f, k, &scratch, &constraint);
     EXPECT_EQ(heap.result, data.BruteTopK(*f, k, &constraint))
         << "constraint " << constraint.ToString();
     const TopKComputation naive =
-        ComputeTopKNaive(data.grid, *f, k, data.Accessor(), &constraint);
+        ComputeTopKNaive(data.grid, *f, k, &constraint);
     EXPECT_EQ(heap.result, naive.result);
   }
 }
@@ -229,16 +222,12 @@ TEST(ComputeTopKTest, DuplicatePositionsTieCorrectly) {
   std::vector<Record> records;
   for (RecordId i = 0; i < 6; ++i) {
     records.push_back(Record(i, Point{0.9, 0.9}, 0));
-    grid.InsertPoint(grid.LocateCell(records.back().position), i);
+    grid.InsertPoint(grid.LocateCell(records.back().position), i,
+                     records.back().position);
   }
   LinearFunction f({1.0, 1.0});
   TraversalScratch scratch;
-  const TopKComputation out = ComputeTopK(
-      grid, f, 3,
-      [&records](RecordId id) -> const Record& {
-        return records[static_cast<std::size_t>(id)];
-      },
-      &scratch);
+  const TopKComputation out = ComputeTopK(grid, f, 3, &scratch);
   ASSERT_EQ(out.result.size(), 3u);
   // All scores equal; newest ids win under ResultOrder.
   EXPECT_EQ(out.result[0].id, 5u);

@@ -80,9 +80,9 @@ TEST(GridTest, CellBoundsTileTheWorkspace) {
 TEST(GridTest, PointListFifo) {
   Grid g(2, 4);
   const CellIndex c = g.LocateCell(Point{0.1, 0.1});
-  g.InsertPoint(c, 10);
-  g.InsertPoint(c, 11);
-  g.InsertPoint(c, 12);
+  g.InsertPoint(c, 10, Point{0.1, 0.1});
+  g.InsertPoint(c, 11, Point{0.12, 0.1});
+  g.InsertPoint(c, 12, Point{0.14, 0.1});
   EXPECT_EQ(g.num_points(), 3u);
   EXPECT_EQ(g.PointsIn(c).size(), 3u);
   g.ErasePointFifo(c, 10);
@@ -94,9 +94,9 @@ TEST(GridTest, PointListFifo) {
 TEST(GridTest, PointListPositionalErase) {
   Grid g(2, 4);
   const CellIndex c = 0;
-  g.InsertPoint(c, 1);
-  g.InsertPoint(c, 2);
-  g.InsertPoint(c, 3);
+  g.InsertPoint(c, 1, Point{0.01, 0.01});
+  g.InsertPoint(c, 2, Point{0.02, 0.02});
+  g.InsertPoint(c, 3, Point{0.03, 0.03});
   ASSERT_TRUE(g.ErasePoint(c, 2).ok());
   EXPECT_EQ(g.PointsIn(c).size(), 2u);
   std::vector<RecordId> remaining(g.PointsIn(c).begin(),
@@ -107,11 +107,33 @@ TEST(GridTest, PointListPositionalErase) {
 
 TEST(GridTest, PointListCompactionKeepsContents) {
   PointList list;
-  for (RecordId i = 0; i < 1000; ++i) list.PushBack(i);
+  for (RecordId i = 0; i < 1000; ++i) {
+    list.PushBack(i, Point{static_cast<double>(i) / 1000.0, 0.5});
+  }
   for (RecordId i = 0; i < 900; ++i) list.PopFront(i);
   EXPECT_EQ(list.size(), 100u);
   RecordId expect = 900;
   for (RecordId id : list) EXPECT_EQ(id, expect++);
+  // The coordinate lanes compact in lockstep with the ids.
+  const double* x = list.Lane(0);
+  const double* y = list.Lane(1);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x[i], static_cast<double>(900 + i) / 1000.0);
+    EXPECT_DOUBLE_EQ(y[i], 0.5);
+  }
+}
+
+TEST(GridTest, PointListLanesTrackErase) {
+  PointList list;
+  list.PushBack(1, Point{0.1, 0.9});
+  list.PushBack(2, Point{0.2, 0.8});
+  list.PushBack(3, Point{0.3, 0.7});
+  ASSERT_TRUE(list.Erase(2));
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(list.Lane(0)[0], 0.1);
+  EXPECT_DOUBLE_EQ(list.Lane(0)[1], 0.3);
+  EXPECT_DOUBLE_EQ(list.Lane(1)[0], 0.9);
+  EXPECT_DOUBLE_EQ(list.Lane(1)[1], 0.7);
 }
 
 TEST(GridTest, InfluenceListAddRemove) {
@@ -131,7 +153,7 @@ TEST(GridTest, InfluenceListAddRemove) {
 
 TEST(GridTest, MemoryBreakdownHasExpectedComponents) {
   Grid g(2, 8);
-  g.InsertPoint(0, 1);
+  g.InsertPoint(0, 1, Point{0.05, 0.05});
   g.AddInfluence(0, 1);
   const MemoryBreakdown mb = g.Memory();
   EXPECT_GT(mb.Bytes("grid_directory"), 0u);

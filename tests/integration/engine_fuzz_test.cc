@@ -35,11 +35,15 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "core/brute_force_engine.h"
 #include "core/piecewise.h"
 #include "core/sharded_engine.h"
 #include "core/sma_engine.h"
 #include "core/tma_engine.h"
+#include "net/protocol.h"
+#include "stream/record_arena.h"
 #include "tests/test_util.h"
 #include "tsl/tsl_engine.h"
 #include "util/rng.h"
@@ -421,6 +425,135 @@ TEST(EngineFuzzTest, NamedWorkloadsAgreeWithBruteForce) {
     if (only != nullptr && info.name != only) continue;
     SCOPED_TRACE(info.name);
     FuzzWorkload(info.name, steps);
+  }
+}
+
+/// Wire-roundtrip mode: every cycle batch of a named workload is
+/// encoded as a kIngest frame body and decoded BOTH ways — the copying
+/// path (DecodeNetBody into a NetMessage) and the zero-copy path
+/// (DecodeIngestBodyToArena into a RecordArena). The two decodes are
+/// pinned bitwise against each other, then the arena-backed span drives
+/// the full engine set while BruteForce is fed from the copying decode,
+/// so any divergence between the storage paths — decode, arena
+/// lifetime, span-threaded ProcessCycle, lane-major scoring — shows up
+/// as a score mismatch. Arena epochs advance per frame exactly as the
+/// service's drain loop does, so recycling runs under the fuzz too.
+void FuzzWorkloadWireRoundtrip(const std::string& name, std::size_t steps) {
+  WorkloadOptions wopt;
+  wopt.dim = kDim;
+  wopt.seed = 20060626;
+  wopt.k = 5;
+  wopt.mean_batch = 24;
+  wopt.num_queries = kMaxLiveQueries;
+  auto workload = MakeWorkload(name, wopt);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  BruteForceEngine brute(kDim, WindowSpec::Count(kWindow));
+  GridEngineOptions grid;
+  grid.dim = kDim;
+  grid.window = WindowSpec::Count(kWindow);
+  grid.cell_budget = 128;
+  TmaEngine tma(grid);
+  SmaEngine sma(grid);
+  TslOptions tsl_opt;
+  tsl_opt.dim = kDim;
+  tsl_opt.window = WindowSpec::Count(kWindow);
+  TslEngine tsl(tsl_opt);
+  ShardedEngine sharded(2, [&grid] {
+    return std::unique_ptr<MonitorEngine>(new TmaEngine(grid));
+  });
+  std::vector<MonitorEngine*> engines = {&tma, &sma, &tsl, &sharded};
+
+  RecordArenaOptions aopt;
+  aopt.chunk_records = 64;  // small chunks so recycling actually cycles
+  RecordArena arena(aopt);
+
+  std::set<QueryId> live;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const WorkloadStep step = (*workload)->NextStep();
+    for (const QueryEvent& ev : step.query_events) {
+      if (ev.kind == QueryEvent::kRegister) {
+        ASSERT_TRUE(brute.RegisterQuery(ev.spec).ok());
+        for (MonitorEngine* e : engines) {
+          ASSERT_TRUE(e->RegisterQuery(ev.spec).ok()) << e->name();
+        }
+        live.insert(ev.id);
+      } else {
+        ASSERT_TRUE(brute.UnregisterQuery(ev.id).ok());
+        for (MonitorEngine* e : engines) {
+          ASSERT_TRUE(e->UnregisterQuery(ev.id).ok()) << e->name();
+        }
+        live.erase(ev.id);
+      }
+    }
+
+    RecordSpan engine_batch;
+    IngestFrameView view;
+    std::vector<Record> copied;
+    if (!step.arrivals.empty()) {
+      std::string body;
+      EncodeIngest(step.arrivals, &body);
+      NetMessage msg;
+      ASSERT_TRUE(DecodeNetBody(body.data(), body.size(), &msg).ok());
+      copied = std::move(msg.tuples);
+      ASSERT_TRUE(DecodeIngestBodyToArena(body.data(), body.size(), kDim,
+                                          arena, &view)
+                      .ok());
+      ASSERT_TRUE(view.invalid.empty()) << name << " cycle " << s;
+      ASSERT_EQ(view.count, copied.size());
+      for (std::size_t r = 0; r < view.count; ++r) {
+        ASSERT_EQ(view.records[r].id, copied[r].id);
+        ASSERT_EQ(view.records[r].arrival, copied[r].arrival);
+        ASSERT_EQ(view.records[r].position.dim(), kDim);
+        for (int d = 0; d < kDim; ++d) {
+          const double a = view.records[r].position[d];
+          const double b = copied[r].position[d];
+          ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+              << "coordinate bits diverged: workload '" << name
+              << "' cycle " << s << " record " << r << " dim " << d;
+        }
+      }
+      engine_batch = RecordSpan(view.records, view.count);
+    }
+
+    ASSERT_TRUE(brute.ProcessCycle(step.now, copied).ok());
+    for (MonitorEngine* e : engines) {
+      ASSERT_TRUE(e->ProcessCycle(step.now, engine_batch).ok())
+          << e->name();
+    }
+    for (const QueryId id : live) {
+      const auto want = brute.CurrentResult(id);
+      ASSERT_TRUE(want.ok());
+      for (MonitorEngine* e : engines) {
+        const auto got = e->CurrentResult(id);
+        ASSERT_TRUE(got.ok()) << e->name();
+        ASSERT_EQ(Scores(*got), Scores(*want))
+            << "engine " << e->name() << " diverged on wire-roundtrip '"
+            << name << "' query " << id << " at cycle " << s;
+      }
+    }
+
+    // Cycle published: same lifecycle the ingest queue runs per drain.
+    if (view.count > 0) arena.Release(view.records, view.count);
+    arena.RetireThrough(arena.AdvanceEpoch());
+  }
+  // Everything released + retired: a warmed-up arena must not have
+  // ratcheted memory (chunks recycle through the bounded free list).
+  const RecordArenaStats astats = arena.stats();
+  EXPECT_EQ(astats.allocated_records, astats.released_records);
+  EXPECT_LE(arena.ResidentBytes(),
+            (aopt.max_free_chunks + 1) * aopt.chunk_records *
+                sizeof(Record) +
+                wopt.mean_batch * 8 * sizeof(Record));
+}
+
+TEST(EngineFuzzTest, WireRoundtripNamedWorkloadsAgreeWithBruteForce) {
+  const char* only = std::getenv("TOPKMON_FUZZ_WORKLOAD");
+  const std::size_t steps = StepCount();
+  for (const WorkloadInfo& info : ListWorkloads()) {
+    if (only != nullptr && info.name != only) continue;
+    SCOPED_TRACE(info.name);
+    FuzzWorkloadWireRoundtrip(info.name, steps);
   }
 }
 

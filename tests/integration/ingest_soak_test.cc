@@ -1,0 +1,308 @@
+// Arena soak: sustained full-rate wire ingest through a LocalCluster
+// with the admin plane scraped throughout, pinning the zero-copy hot
+// path's memory contract — after a warm-up third, the record arenas
+// stop growing. Every chunk the steady state needs is allocated while
+// the queues first saturate; from then on decode/admit/drain/commit must
+// run entirely on recycled storage, and the `topkmon_arena_peak_bytes`
+// gauge (a lifetime high-water mark, monotone by construction) is the
+// witness: its value at the end of warm-up must equal its value after
+// the soak. A leak, an unreleased view, or a reclamation bug shows up
+// as a higher final peak; no sampling race can hide it.
+//
+// Mid-run, a ReplicaFollower attaches to partition 0 and performs a
+// full resync (bootstrap from the leader's oldest segment + live tail
+// chase) while the firehose is on — the shipper serves journal bytes
+// from the same poll loops that decode ingest frames, so the resync
+// must neither stall the hot path nor perturb the arena plateau.
+//
+// Runtime scales with TOPKMON_SOAK_SECONDS (default 3 so the tier-1
+// suite stays fast; the nightly/acceptance soak sets 60).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/local_cluster.h"
+#include "core/tma_engine.h"
+#include "net/client.h"
+#include "replica/follower.h"
+#include "stream/generators.h"
+#include "tests/journal/journal_test_util.h"
+#include "tests/net/net_test_util.h"
+#include "tests/test_util.h"
+
+namespace topkmon {
+namespace {
+
+using ::topkmon::testing::MakeRandomQueries;
+using ::topkmon::testing::ScopedTempDir;
+
+constexpr int kDim = 2;
+constexpr std::size_t kPartitions = 2;
+constexpr std::size_t kWireBatch = 256;
+
+double SoakSeconds() {
+  const char* env = std::getenv("TOPKMON_SOAK_SECONDS");
+  if (env != nullptr && *env != '\0') {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 3.0;
+}
+
+std::unique_ptr<MonitorEngine> MakeEngine() {
+  GridEngineOptions opt;
+  opt.dim = kDim;
+  opt.window = WindowSpec::Count(2000);
+  return std::make_unique<TmaEngine>(opt);
+}
+
+/// Minimal blocking HTTP/1.0 GET against the admin port; empty string on
+/// any socket failure (the caller asserts on content).
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// The value of an unlabelled gauge/counter line in a /metrics scrape;
+/// -1.0 when the metric is absent.
+double MetricValue(const std::string& scrape, const std::string& name) {
+  std::istringstream lines(scrape);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::atof(line.c_str() + name.size() + 1);
+    }
+  }
+  return -1.0;
+}
+
+TEST(IngestSoakTest, ArenaStopsGrowingAfterWarmup) {
+  const double total_seconds = SoakSeconds();
+  const double warmup_seconds = total_seconds / 3.0;
+
+  ScopedTempDir journal_root;
+  LocalClusterOptions options;
+  options.partitions = kPartitions;
+  options.engine_factory = MakeEngine;
+  options.service.ingest.slack = 2;
+  // Small enough that full-rate producers saturate the queue (and with
+  // it the arena's steady-state chunk count) well inside warm-up.
+  options.service.ingest.capacity = 4096;
+  options.service.ingest.max_batch = 2048;
+  options.service.drain_wait = std::chrono::milliseconds(2);
+  options.service.hub.buffer_capacity = 1 << 14;
+  options.service.journal.dir = journal_root.path();
+  options.service.journal.segment_bytes = 256 << 10;
+  options.service.admin.enabled = true;
+  options.net = testing::TestServerOptions();
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    ASSERT_NE((*cluster)->admin_port(p), 0) << "partition " << p;
+  }
+
+  // A few standing queries per partition so every cycle does real grid
+  // work while the arena churns underneath it.
+  const auto specs = MakeRandomQueries(kDim, 3, 5, 42);
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    auto admin = MonitorClient::Connect(
+        "127.0.0.1", (*cluster)->map().endpoint(p).port,
+        "soak-admin-" + std::to_string(p), /*resume=*/false);
+    ASSERT_TRUE(admin.ok()) << admin.status();
+    const auto outcomes = (*admin)->RegisterBatch(specs);
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+    for (const auto& outcome : *outcomes) {
+      ASSERT_EQ(outcome.code, StatusCode::kOk);
+    }
+    TOPKMON_ASSERT_OK((*admin)->Close(/*close_session=*/false));
+  }
+
+  // One unthrottled wire producer per partition: batches of kWireBatch
+  // records, backing off only on the server's explicit backpressure
+  // hint (rejected records are load-shed, which is the soak's point —
+  // the queue must stay pinned at capacity).
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> accepted(kPartitions, 0);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    producers.emplace_back([&, p] {
+      auto client = MonitorClient::Connect(
+          "127.0.0.1", (*cluster)->map().endpoint(p).port,
+          "soak-producer-" + std::to_string(p), /*resume=*/false);
+      ASSERT_TRUE(client.ok()) << client.status();
+      auto gen = MakeGenerator(Distribution::kIndependent, kDim,
+                               /*seed=*/1000 + p);
+      Timestamp clock = 1;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::vector<Record> batch;
+        batch.reserve(kWireBatch);
+        for (std::size_t i = 0; i < kWireBatch; ++i) {
+          batch.emplace_back(0, gen->NextPoint(), clock);
+          if (i % 32 == 31) ++clock;
+        }
+        ++clock;
+        const auto ack = (*client)->Ingest(std::move(batch));
+        if (!ack.ok()) break;  // cluster shutting down under us
+        accepted[p] += ack->accepted;
+        if (ack->queue_hint > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      (void)(*client)->Close(/*close_session=*/false);
+    });
+  }
+
+  // Scraper: periodic /metrics pulls against every partition's admin
+  // port for the whole soak, proving the plane stays responsive under
+  // fire and the arena gauges are always present and sane.
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (std::size_t p = 0; p < kPartitions; ++p) {
+        const std::string scrape =
+            HttpGet((*cluster)->admin_port(p), "/metrics");
+        if (scrape.empty()) continue;  // raced a slow accept; retry next tick
+        EXPECT_NE(scrape.find("200 OK"), std::string::npos);
+        const double bytes = MetricValue(scrape, "topkmon_arena_bytes");
+        const double peak = MetricValue(scrape, "topkmon_arena_peak_bytes");
+        EXPECT_GE(bytes, 0.0) << "partition " << p;
+        EXPECT_GE(peak, bytes) << "partition " << p;
+        ++scrapes;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  // ---- warm-up: let the queues saturate, then pin the high-water ------
+  // Warm-up ends when every partition's arena peak has been nonzero and
+  // unchanged across several consecutive scrapes (the plateau), not
+  // after a fixed sleep — on a loaded box (the full parallel test
+  // suite) the producers can be descheduled long enough that a fixed
+  // warm-up misses the true saturation peak and a late spike reads as
+  // "growth". Hard cap so a wedged cluster still fails loudly.
+  const auto warmup_start = std::chrono::steady_clock::now();
+  const auto warmup_floor =
+      warmup_start + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(warmup_seconds));
+  const auto warmup_cap = warmup_start + std::chrono::seconds(30);
+  std::vector<double> warm_peak(kPartitions, -1.0);
+  std::vector<int> stable_rounds(kPartitions, 0);
+  bool plateaued = false;
+  while (std::chrono::steady_clock::now() < warmup_cap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      const double peak = MetricValue(
+          HttpGet((*cluster)->admin_port(p), "/metrics"),
+          "topkmon_arena_peak_bytes");
+      if (peak > 0.0 && peak == warm_peak[p]) {
+        ++stable_rounds[p];
+      } else {
+        stable_rounds[p] = 0;
+        warm_peak[p] = peak;
+      }
+    }
+    if (std::chrono::steady_clock::now() < warmup_floor) continue;
+    plateaued = true;
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      if (stable_rounds[p] < 6) plateaued = false;
+    }
+    if (plateaued) break;
+  }
+  ASSERT_TRUE(plateaued) << "arena peaks never plateaued during warm-up";
+
+  // ---- mid-run follower resync against partition 0 --------------------
+  ServiceOptions follower_svc;
+  follower_svc.ingest.slack = 2;
+  follower_svc.drain_wait = std::chrono::milliseconds(2);
+  follower_svc.journal.dir = journal_root.path() + "/standby";
+  ReplicaFollowerOptions follower_opt;
+  follower_opt.leader_port = (*cluster)->map().endpoint(0).port;
+  follower_opt.fetch_wait = std::chrono::milliseconds(20);
+  follower_opt.reconnect_backoff = std::chrono::milliseconds(20);
+  auto follower =
+      ReplicaFollower::Open(MakeEngine, follower_svc, follower_opt);
+  ASSERT_TRUE(follower.ok()) << follower.status();
+  const Timestamp resync_target =
+      (*cluster)->service(0)->replication().applied_cycle_ts;
+  if (resync_target > 0) {
+    TOPKMON_ASSERT_OK(
+        (*follower)->WaitForCycleTs(resync_target, std::chrono::seconds(30)));
+  }
+
+  // ---- the rest of the soak, arena pinned at its warm-up plateau ------
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(total_seconds - warmup_seconds));
+  done.store(true);
+  for (std::thread& t : producers) t.join();
+  scraper.join();
+  TOPKMON_ASSERT_OK((*cluster)->FlushAll());
+
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    const std::string scrape =
+        HttpGet((*cluster)->admin_port(p), "/metrics");
+    const double final_peak =
+        MetricValue(scrape, "topkmon_arena_peak_bytes");
+    const double final_bytes = MetricValue(scrape, "topkmon_arena_bytes");
+    const double recycled =
+        MetricValue(scrape, "topkmon_arena_chunks_recycled_total");
+    // The contract under test: every byte the steady state needs was
+    // resident by the end of warm-up. Growth afterwards means a view
+    // outlived its cycle or reclamation regressed.
+    EXPECT_EQ(final_peak, warm_peak[p])
+        << "partition " << p << " arena grew after warm-up";
+    EXPECT_GE(final_bytes, 0.0) << "partition " << p;
+    EXPECT_LE(final_bytes, final_peak) << "partition " << p;
+    // A soak that never recycled a chunk wasn't running the zero-copy
+    // path at all.
+    EXPECT_GT(recycled, 0.0) << "partition " << p;
+    EXPECT_GT(accepted[p], 0u) << "partition " << p;
+  }
+  EXPECT_GT(scrapes.load(), 0u);
+
+  const ReplicaFollowerStats fstats = (*follower)->stats();
+  EXPECT_TRUE(fstats.connected);
+  EXPECT_GT(fstats.records_applied, 0u);
+  (*follower)->Stop();
+  (*cluster)->Stop();
+}
+
+}  // namespace
+}  // namespace topkmon

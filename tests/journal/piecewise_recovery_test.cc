@@ -85,8 +85,9 @@ void RunPiecewiseRecoveryScenario(bool clean_shutdown_snapshot) {
     query = *id;
 
     (*service)->SetCycleObserver(
-        [&applied](Timestamp ts, const std::vector<Record>& batch) {
-          applied.emplace_back(ts, batch);
+        [&applied](Timestamp ts, RecordSpan batch) {
+          applied.emplace_back(
+              ts, std::vector<Record>(batch.begin(), batch.end()));
         });
     auto gen = MakeGenerator(Distribution::kIndependent, kDim, 321);
     for (Timestamp ts = 1; ts <= 40; ++ts) {
@@ -115,8 +116,9 @@ void RunPiecewiseRecoveryScenario(bool clean_shutdown_snapshot) {
   // Keep streaming; the recovered query scores the new arrivals with the
   // original ridge function.
   (*service)->SetCycleObserver(
-      [&applied](Timestamp ts, const std::vector<Record>& batch) {
-        applied.emplace_back(ts, batch);
+      [&applied](Timestamp ts, RecordSpan batch) {
+        applied.emplace_back(
+              ts, std::vector<Record>(batch.begin(), batch.end()));
       });
   auto gen = MakeGenerator(Distribution::kIndependent, kDim, 654);
   for (Timestamp ts = 41; ts <= 80; ++ts) {

@@ -72,9 +72,10 @@ TEST(NetEndToEndTest, TcpClientsSeeGapFreeDeltasMatchingBruteForce) {
   std::mutex journal_mu;
   std::vector<std::pair<Timestamp, std::vector<Record>>> journal;
   service.SetCycleObserver(
-      [&journal_mu, &journal](Timestamp ts, const std::vector<Record>& b) {
+      [&journal_mu, &journal](Timestamp ts, RecordSpan b) {
         std::lock_guard<std::mutex> lock(journal_mu);
-        journal.emplace_back(ts, b);
+        journal.emplace_back(ts,
+                             std::vector<Record>(b.begin(), b.end()));
       });
 
   TcpServer server(service, testing::TestServerOptions());

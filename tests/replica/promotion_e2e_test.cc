@@ -114,9 +114,10 @@ TEST(ReplicaPromotionE2eTest, PromotedFollowerMatchesBruteForceMidKill) {
   std::mutex cycles_mu;
   std::vector<std::pair<Timestamp, std::vector<Record>>> cycles;
   (*follower)->service().SetCycleObserver(
-      [&cycles_mu, &cycles](Timestamp ts, const std::vector<Record>& b) {
+      [&cycles_mu, &cycles](Timestamp ts, RecordSpan b) {
         std::lock_guard<std::mutex> lock(cycles_mu);
-        cycles.emplace_back(ts, b);
+        cycles.emplace_back(ts,
+                            std::vector<Record>(b.begin(), b.end()));
       });
 
   TcpServer follower_server((*follower)->service(), net);

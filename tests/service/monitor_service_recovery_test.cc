@@ -62,9 +62,10 @@ void IngestPhase(MonitorService& service, Timestamp first_ts,
                      applied) {
   std::mutex mu;
   service.SetCycleObserver(
-      [&mu, applied](Timestamp ts, const std::vector<Record>& batch) {
+      [&mu, applied](Timestamp ts, RecordSpan batch) {
         std::lock_guard<std::mutex> lock(mu);
-        applied->emplace_back(ts, batch);
+        applied->emplace_back(
+            ts, std::vector<Record>(batch.begin(), batch.end()));
       });
   auto gen = MakeGenerator(Distribution::kIndependent, kDim, seed);
   for (std::size_t i = 0; i < count; ++i) {
